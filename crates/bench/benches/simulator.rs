@@ -1,0 +1,115 @@
+//! Criterion benchmarks: simulator throughput per core model and
+//! reduced-scale versions of each experiment family. The full-scale paper
+//! tables/figures are produced by the `fig*`/`table*`/`ablation*` harness
+//! binaries (see DESIGN.md §5); these benches keep the same code paths
+//! exercised and timed on every `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use svr_core::{LoopBoundMode, SvrConfig};
+use svr_sim::{run_kernel, run_workload, SimConfig};
+use svr_workloads::{GraphInput, Kernel, Scale};
+
+/// Core-model throughput on a fixed workload (instructions simulated per
+/// wall-clock second is the meaningful number; criterion reports time).
+fn core_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core_throughput");
+    g.sample_size(10);
+    let w = Kernel::Camel.build(Scale::Tiny);
+    for (name, cfg) in [
+        ("inorder", SimConfig::inorder()),
+        ("imp", SimConfig::imp()),
+        ("ooo", SimConfig::ooo()),
+        ("svr16", SimConfig::svr(16)),
+        ("svr128", SimConfig::svr(128)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| run_workload(&w, cfg, 200_000));
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 1/11 family: one representative workload per group under SVR-16.
+fn fig11_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_cpi");
+    g.sample_size(10);
+    for k in [
+        Kernel::Pr(GraphInput::Kr),
+        Kernel::Bfs(GraphInput::Ur),
+        Kernel::NasIs,
+        Kernel::HashJoin(2),
+    ] {
+        let w = k.build(Scale::Tiny);
+        g.bench_with_input(BenchmarkId::from_parameter(k.name()), &w, |b, w| {
+            b.iter(|| run_workload(w, &SimConfig::svr(16), 200_000));
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 15 family: loop-bound predictor variants.
+fn fig15_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_loop_bounds");
+    g.sample_size(10);
+    let w = Kernel::Pr(GraphInput::Ur).build(Scale::Tiny);
+    for (name, mode) in [
+        ("maxlength", LoopBoundMode::Maxlength),
+        ("ewma", LoopBoundMode::Ewma),
+        ("lbd_cv", LoopBoundMode::LbdCv),
+        ("tournament", LoopBoundMode::Tournament),
+    ] {
+        let cfg = SimConfig::svr_with(SvrConfig {
+            loop_bound_mode: mode,
+            ..SvrConfig::default()
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| run_workload(&w, cfg, 200_000));
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 17/18 family: memory-system sweeps.
+fn sensitivity_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sensitivity");
+    g.sample_size(10);
+    for mshrs in [1usize, 8, 16] {
+        let cfg = SimConfig::svr(16).with_mshrs(mshrs);
+        g.bench_with_input(BenchmarkId::new("mshrs", mshrs), &cfg, |b, cfg| {
+            b.iter(|| run_kernel(Kernel::Randacc, Scale::Tiny, cfg));
+        });
+    }
+    for bw in [12.5f64, 50.0] {
+        let cfg = SimConfig::svr(16).with_bandwidth(bw);
+        g.bench_with_input(BenchmarkId::new("bandwidth", bw as u64), &cfg, |b, cfg| {
+            b.iter(|| run_kernel(Kernel::Randacc, Scale::Tiny, cfg));
+        });
+    }
+    g.finish();
+}
+
+/// Workload construction cost (graph generation + assembly + references).
+fn workload_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_build");
+    g.sample_size(10);
+    for k in [
+        Kernel::Pr(GraphInput::Kr),
+        Kernel::HashJoin(8),
+        Kernel::NasCg,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(k.name()), &k, |b, k| {
+            b.iter(|| k.build(Scale::Tiny));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    core_throughput,
+    fig11_family,
+    fig15_family,
+    sensitivity_family,
+    workload_build
+);
+criterion_main!(benches);

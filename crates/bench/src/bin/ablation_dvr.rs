@@ -1,0 +1,76 @@
+//! §VI-D ablations comparing SVR's design decisions against DVR's:
+//! lockstep register-copy cost, DVR-style register recycling with a small
+//! SRF, and disabling waiting mode.
+use svr_bench::{assert_verified, scale_from_args};
+use svr_core::{RecyclePolicy, SvrConfig};
+use svr_sim::{harmonic_mean_speedup, run_parallel, SimConfig};
+use svr_workloads::irregular_suite;
+
+fn main() {
+    let scale = scale_from_args();
+    let suite = irregular_suite();
+    let base_jobs: Vec<_> = suite
+        .iter()
+        .map(|k| (*k, scale, SimConfig::inorder()))
+        .collect();
+    let base = run_parallel(base_jobs, 1);
+    assert_verified(&base);
+
+    let variants: Vec<(&str, SimConfig)> = vec![
+        ("SVR16", SimConfig::svr(16)),
+        ("SVR64", SimConfig::svr(64)),
+        (
+            "SVR16+regcopy",
+            SimConfig::svr_with(SvrConfig {
+                model_register_copy: true,
+                ..SvrConfig::with_length(16)
+            }),
+        ),
+        (
+            "SVR16 K=2 LRU",
+            SimConfig::svr_with(SvrConfig {
+                srf_entries: 2,
+                ..SvrConfig::with_length(16)
+            }),
+        ),
+        (
+            "SVR16 K=2 DVR",
+            SimConfig::svr_with(SvrConfig {
+                srf_entries: 2,
+                recycle: RecyclePolicy::NoRecycle,
+                ..SvrConfig::with_length(16)
+            }),
+        ),
+        (
+            "SVR64 K=2 DVR",
+            SimConfig::svr_with(SvrConfig {
+                srf_entries: 2,
+                recycle: RecyclePolicy::NoRecycle,
+                ..SvrConfig::with_length(64)
+            }),
+        ),
+        (
+            "SVR16 no-wait",
+            SimConfig::svr_with(SvrConfig {
+                waiting_mode: false,
+                ..SvrConfig::with_length(16)
+            }),
+        ),
+        (
+            "SVR64 no-wait",
+            SimConfig::svr_with(SvrConfig {
+                waiting_mode: false,
+                ..SvrConfig::with_length(64)
+            }),
+        ),
+    ];
+    println!("# §VI-D — DVR-comparison ablations (speedup vs in-order)");
+    println!("{:16} {:>8}", "variant", "speedup");
+    for (name, cfg) in variants {
+        let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
+        let reports = run_parallel(jobs, 1);
+        assert_verified(&reports);
+        let s = harmonic_mean_speedup(&base, &reports);
+        println!("{name:16} {s:>8.2}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Quick calibration check: headline numbers on a few workloads.
+use std::time::Instant;
+use svr_sim::{run_kernel, SimConfig};
+use svr_workloads::{GraphInput, Kernel, Scale};
+
+fn main() {
+    let scale = Scale::Small;
+    let kernels = [
+        Kernel::Pr(GraphInput::Kr),
+        Kernel::Bfs(GraphInput::Ur),
+        Kernel::Cc(GraphInput::Tw),
+        Kernel::Sssp(GraphInput::Kr),
+        Kernel::HashJoin(2),
+        Kernel::HashJoin(8),
+        Kernel::Kangaroo,
+        Kernel::NasIs,
+        Kernel::Randacc,
+        Kernel::Camel,
+        Kernel::NasCg,
+    ];
+    let configs = [
+        SimConfig::inorder(),
+        SimConfig::imp(),
+        SimConfig::ooo(),
+        SimConfig::svr(16),
+        SimConfig::svr(64),
+    ];
+    println!(
+        "{:10} {:>8} {:>8} {:>8} {:>8} {:>8}  (CPI)",
+        "workload", "InO", "IMP", "OoO", "SVR16", "SVR64"
+    );
+    for k in kernels {
+        print!("{:10}", k.name());
+        let t0 = Instant::now();
+        let mut insts = 0;
+        for c in &configs {
+            let r = run_kernel(k, scale, c);
+            insts += r.core.retired;
+            print!(" {:8.2}", r.cpi());
+            assert!(r.verified, "{} failed check", k.name());
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        println!("   [{:.1} Minst/s]", insts as f64 / dt / 1e6);
+    }
+    // SVR internals on PR_KR.
+    let r = run_kernel(Kernel::Pr(GraphInput::Kr), scale, &SimConfig::svr(16));
+    let s = r.core.svr;
+    println!("PR_KR SVR16: rounds={} svis={} lanes={} lane_loads={} waiting={} retargets={} timeouts={} hslr_term={} masked={} banned_sup={} srf_recycles={} starved={} acc={:?}",
+        s.prm_rounds, s.svis, s.lanes, s.lane_loads, s.waiting_suppressed, s.retargets,
+        s.timeouts, s.hslr_terminations, s.masked_lanes, s.banned_suppressed,
+        s.srf_recycles, s.srf_starved, r.svr_accuracy());
+}

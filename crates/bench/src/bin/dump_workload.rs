@@ -1,0 +1,53 @@
+//! Developer tool: print a workload's assembly listing, binary encoding and
+//! data-footprint summary.
+//!
+//! ```sh
+//! cargo run --release -p svr-bench --bin dump_workload -- PR_KR --scale tiny
+//! cargo run --release -p svr-bench --bin dump_workload -- --list
+//! ```
+
+use svr_bench::scale_from_args;
+use svr_isa::encode::encode_program;
+use svr_workloads::{irregular_suite, regular_suite, Kernel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let all: Vec<Kernel> = irregular_suite().into_iter().chain(regular_suite()).collect();
+    if args.iter().any(|a| a == "--list") {
+        for k in &all {
+            println!("{}", k.name());
+        }
+        return;
+    }
+    let name = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| {
+            eprintln!("usage: dump_workload <name>|--list [--scale tiny|small|full]");
+            std::process::exit(2);
+        });
+    let kernel = all
+        .iter()
+        .find(|k| k.name() == *name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload {name}; try --list");
+            std::process::exit(2);
+        });
+    let w = kernel.build(scale_from_args());
+    println!("{}", w.program);
+    match encode_program(&w.program) {
+        Ok(words) => {
+            println!("; binary image ({} words):", words.len());
+            for (pc, word) in words.iter().enumerate() {
+                println!(";   {pc:4}: {word:#018x}");
+            }
+        }
+        Err(e) => println!("; not encodable: {e}"),
+    }
+    println!(
+        "; data: {} bytes allocated, {} pages mapped",
+        w.image.allocated_bytes(),
+        w.image.mapped_pages()
+    );
+    println!("; check: {:?}", w.check);
+}

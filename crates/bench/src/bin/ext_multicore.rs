@@ -1,0 +1,41 @@
+//! Extension experiment (beyond the paper): §VI-E observes that SVR does
+//! not saturate memory bandwidth and conjectures that "SVR across multiple
+//! cores simultaneously would give significant benefit".
+//!
+//! We model an M-core SoC running one SVR instance per core by giving each
+//! core a 1/M share of the 50 GiB/s channel (the DRAM model is
+//! bandwidth-queued, so this is the steady-state contention equivalent) and
+//! report how per-core SVR speedup holds up as cores are added.
+
+use svr_bench::{assert_verified, scale_from_args};
+use svr_sim::{harmonic_mean_speedup, run_parallel, SimConfig};
+use svr_workloads::irregular_suite;
+
+fn main() {
+    let scale = scale_from_args();
+    let suite = irregular_suite();
+    println!("# Extension — per-core SVR speedup with M cores sharing 50 GiB/s");
+    println!(
+        "{:6} {:>10} {:>8} {:>8}",
+        "cores", "GiB/s/core", "SVR16", "SVR64"
+    );
+    for &cores in &[1u32, 2, 4] {
+        let bw = 50.0 / cores as f64;
+        let base_cfg = SimConfig::inorder().with_bandwidth(bw);
+        let base_jobs: Vec<_> = suite
+            .iter()
+            .map(|k| (*k, scale, base_cfg.clone()))
+            .collect();
+        let base = run_parallel(base_jobs, 1);
+        assert_verified(&base);
+        let mut row = Vec::new();
+        for n in [16usize, 64] {
+            let cfg = SimConfig::svr(n).with_bandwidth(bw);
+            let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
+            let reports = run_parallel(jobs, 1);
+            assert_verified(&reports);
+            row.push(harmonic_mean_speedup(&base, &reports));
+        }
+        println!("{:6} {:>10.2} {:>8.2} {:>8.2}", cores, bw, row[0], row[1]);
+    }
+}

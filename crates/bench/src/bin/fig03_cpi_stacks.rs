@@ -1,0 +1,62 @@
+//! Fig. 3: CPI stacks (base/branch/other vs mem-dram) for the in-order and
+//! out-of-order baselines, grouped as in the paper.
+use svr_bench::{assert_verified, scale_from_args};
+use svr_sim::{run_parallel, SimConfig};
+use svr_workloads::{irregular_suite, Group};
+
+fn main() {
+    let scale = scale_from_args();
+    let suite = irregular_suite();
+    println!("# Fig. 3 — CPI stacks, in-order vs out-of-order");
+    println!(
+        "{:8} {:>6} {:>10} {:>10} {:>10}",
+        "group", "core", "cpi", "mem-dram", "other"
+    );
+    let groups = [
+        Group::Bc,
+        Group::Bfs,
+        Group::Cc,
+        Group::Pr,
+        Group::Sssp,
+        Group::HpcDb,
+    ];
+    for (name, cfg) in [("InO", SimConfig::inorder()), ("OoO", SimConfig::ooo())] {
+        let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
+        let reports = run_parallel(jobs, 1);
+        assert_verified(&reports);
+        let mut total_dram = 0.0;
+        let mut total_cpi = 0.0;
+        for g in groups {
+            let rs: Vec<_> = suite
+                .iter()
+                .zip(&reports)
+                .filter(|(k, _)| k.group() == g)
+                .map(|(_, r)| r)
+                .collect();
+            let cpi: f64 = rs.iter().map(|r| r.cpi()).sum::<f64>() / rs.len() as f64;
+            let dram: f64 = rs
+                .iter()
+                .map(|r| r.core.stack.mem_dram as f64 / r.core.retired as f64)
+                .sum::<f64>()
+                / rs.len() as f64;
+            println!(
+                "{:8} {:>6} {:>10.2} {:>10.2} {:>10.2}",
+                g.label(),
+                name,
+                cpi,
+                dram,
+                cpi - dram
+            );
+            total_dram += dram;
+            total_cpi += cpi;
+        }
+        println!(
+            "{:8} {:>6} {:>10.2} {:>10.2} {:>10.2}",
+            "Avg.",
+            name,
+            total_cpi / groups.len() as f64,
+            total_dram / groups.len() as f64,
+            (total_cpi - total_dram) / groups.len() as f64
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Fig. 12: whole-system energy per committed instruction (nJ/instr,
+//! lower is better) for every workload under every configuration.
+use svr_bench::{assert_verified, paper_configs, print_header, print_row, scale_from_args};
+use svr_sim::run_parallel;
+use svr_workloads::irregular_suite;
+
+fn main() {
+    let scale = scale_from_args();
+    let suite = irregular_suite();
+    let configs = paper_configs();
+    println!("# Fig. 12 — energy per committed instruction (nJ, lower is better)");
+    let labels: Vec<String> = configs.iter().map(|c| c.label()).collect();
+    print_header(
+        "workload",
+        &labels.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let mut all: Vec<Vec<f64>> = vec![Vec::new(); suite.len()];
+    for cfg in &configs {
+        let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
+        let reports = run_parallel(jobs, 1);
+        assert_verified(&reports);
+        for (wi, r) in reports.iter().enumerate() {
+            all[wi].push(r.nj_per_inst());
+        }
+    }
+    for (wi, k) in suite.iter().enumerate() {
+        print_row(&k.name(), &all[wi]);
+    }
+    let n = suite.len() as f64;
+    let avg: Vec<f64> = (0..configs.len())
+        .map(|ci| all.iter().map(|row| row[ci]).sum::<f64>() / n)
+        .collect();
+    print_row("Avg.", &avg);
+}

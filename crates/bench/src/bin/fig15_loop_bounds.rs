@@ -1,0 +1,70 @@
+//! Fig. 15: normalized IPC of SVR's loop-bound prediction mechanisms
+//! (LBD+Wait, Maxlength, LBD+Maxlength, LBD+CV, EWMA, Tournament) for
+//! SVR-16 and SVR-64, grouped as in the paper.
+use svr_bench::{assert_verified, scale_from_args};
+use svr_core::{LoopBoundMode, SvrConfig};
+use svr_sim::{run_parallel, SimConfig};
+use svr_workloads::{irregular_suite, Group};
+
+fn main() {
+    let scale = scale_from_args();
+    let suite = irregular_suite();
+    let modes = [
+        ("LBD+Wait", LoopBoundMode::LbdWait),
+        ("Maxlength", LoopBoundMode::Maxlength),
+        ("LBD+Max", LoopBoundMode::LbdMaxlength),
+        ("LBD+CV", LoopBoundMode::LbdCv),
+        ("EWMA", LoopBoundMode::Ewma),
+        ("Tournament", LoopBoundMode::Tournament),
+    ];
+    let group_sets: [(&str, Vec<Group>); 3] = [
+        ("BC+BFS+SSSP", vec![Group::Bc, Group::Bfs, Group::Sssp]),
+        ("CC+PR", vec![Group::Cc, Group::Pr]),
+        ("HPC-DB", vec![Group::HpcDb]),
+    ];
+    let base_jobs: Vec<_> = suite
+        .iter()
+        .map(|k| (*k, scale, SimConfig::inorder()))
+        .collect();
+    let base = run_parallel(base_jobs, 1);
+    assert_verified(&base);
+    for n in [16usize, 64] {
+        println!(
+            "# Fig. 15{} — normalized IPC for SVR-{n} loop-bound mechanisms",
+            if n == 16 { "a" } else { "b" }
+        );
+        print!("{:12}", "mode");
+        for (gname, _) in &group_sets {
+            print!(" {gname:>12}");
+        }
+        println!(" {:>12}", "H-mean");
+        for (mname, mode) in modes {
+            let cfg = SimConfig::svr_with(SvrConfig {
+                loop_bound_mode: mode,
+                ..SvrConfig::with_length(n)
+            });
+            let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
+            let reports = run_parallel(jobs, 1);
+            assert_verified(&reports);
+            print!("{mname:12}");
+            for (_, gs) in &group_sets {
+                let mut inv = 0.0;
+                let mut count = 0;
+                for ((k, r), b) in suite.iter().zip(&reports).zip(&base) {
+                    if gs.contains(&k.group()) {
+                        inv += b.ipc() / r.ipc();
+                        count += 1;
+                    }
+                }
+                print!(" {:>12.2}", count as f64 / inv);
+            }
+            let inv: f64 = reports
+                .iter()
+                .zip(&base)
+                .map(|(r, b)| b.ipc() / r.ipc())
+                .sum();
+            println!(" {:>12.2}", reports.len() as f64 / inv);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,34 @@
+//! Fig. 16: impact of the number of scalars entering execute per cycle
+//! (1, 2, 4, 8) for SVR-16 and SVR-64 — flat in the paper, because runahead
+//! is memory-bound.
+use svr_bench::{assert_verified, scale_from_args};
+use svr_core::SvrConfig;
+use svr_sim::{harmonic_mean_speedup, run_parallel, SimConfig};
+use svr_workloads::irregular_suite;
+
+fn main() {
+    let scale = scale_from_args();
+    let suite = irregular_suite();
+    let base_jobs: Vec<_> = suite
+        .iter()
+        .map(|k| (*k, scale, SimConfig::inorder()))
+        .collect();
+    let base = run_parallel(base_jobs, 1);
+    assert_verified(&base);
+    println!("# Fig. 16 — normalized IPC vs scalars per vector unit");
+    println!("{:6} {:>8} {:>8}", "spc", "SVR16", "SVR64");
+    for spc in [1u32, 2, 4, 8] {
+        let mut row = Vec::new();
+        for n in [16usize, 64] {
+            let cfg = SimConfig::svr_with(SvrConfig {
+                scalars_per_cycle: spc,
+                ..SvrConfig::with_length(n)
+            });
+            let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
+            let reports = run_parallel(jobs, 1);
+            assert_verified(&reports);
+            row.push(harmonic_mean_speedup(&base, &reports));
+        }
+        println!("{:6} {:>8.2} {:>8.2}", spc, row[0], row[1]);
+    }
+}

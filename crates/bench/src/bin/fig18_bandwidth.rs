@@ -1,0 +1,30 @@
+//! Fig. 18: memory-bandwidth sensitivity — SVR speedup relative to an
+//! in-order baseline with the *same* bandwidth (12.5..100 GiB/s).
+use svr_bench::{assert_verified, scale_from_args};
+use svr_sim::{harmonic_mean_speedup, run_parallel, SimConfig};
+use svr_workloads::irregular_suite;
+
+fn main() {
+    let scale = scale_from_args();
+    let suite = irregular_suite();
+    println!("# Fig. 18 — speedup vs DRAM bandwidth (baseline: in-order at same bandwidth)");
+    println!("{:>10} {:>8} {:>8}", "GiB/s", "SVR16", "SVR64");
+    for &bw in &[12.5f64, 25.0, 50.0, 100.0] {
+        let base_cfg = SimConfig::inorder().with_bandwidth(bw);
+        let base_jobs: Vec<_> = suite
+            .iter()
+            .map(|k| (*k, scale, base_cfg.clone()))
+            .collect();
+        let base = run_parallel(base_jobs, 1);
+        assert_verified(&base);
+        let mut row = Vec::new();
+        for n in [16usize, 64] {
+            let cfg = SimConfig::svr(n).with_bandwidth(bw);
+            let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
+            let reports = run_parallel(jobs, 1);
+            assert_verified(&reports);
+            row.push(harmonic_mean_speedup(&base, &reports));
+        }
+        println!("{:>10.1} {:>8.2} {:>8.2}", bw, row[0], row[1]);
+    }
+}

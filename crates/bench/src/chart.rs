@@ -1,0 +1,102 @@
+//! Minimal terminal bar charts for the harness binaries: the paper's
+//! figures are bar plots, and a quick visual makes shape comparisons easier
+//! than columns of numbers.
+
+/// Renders a horizontal bar chart. Each row is `(label, value)`; bars are
+/// scaled so the maximum value spans `width` characters.
+///
+/// # Examples
+///
+/// ```
+/// use svr_bench::chart::bar_chart;
+/// let s = bar_chart(&[("InO".into(), 1.0), ("SVR16".into(), 3.2)], 20);
+/// assert!(s.contains("SVR16"));
+/// assert!(s.lines().count() == 2);
+/// ```
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::NAN, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let n = if value.is_finite() && *value > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} {:width$} {value:.2}\n",
+            "█".repeat(n),
+        ));
+    }
+    // Trim per-line trailing spaces introduced by the bar padding.
+    let trimmed: Vec<&str> = out.lines().map(str::trim_end).collect();
+    trimmed.join("\n")
+}
+
+/// Renders grouped values as a compact sparkline (one char per value),
+/// useful for sweeps like Fig. 17/18.
+///
+/// # Examples
+///
+/// ```
+/// use svr_bench::chart::sparkline;
+/// assert_eq!(sparkline(&[1.0, 2.0, 4.0, 8.0]).chars().count(), 4);
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const TICKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(f64::NAN, f64::max);
+    let min = values.iter().copied().fold(f64::NAN, f64::min);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|v| {
+            if !v.is_finite() {
+                return ' ';
+            }
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            TICKS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = bar_chart(&[("a".into(), 1.0), ("bb".into(), 2.0)], 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].matches('█').count() == 10);
+        assert!(lines[0].matches('█').count() == 5);
+        // Labels aligned.
+        assert!(lines[0].starts_with("a  "));
+        assert!(lines[1].starts_with("bb "));
+    }
+
+    #[test]
+    fn zero_and_nan_values_render_empty_bars() {
+        let s = bar_chart(&[("z".into(), 0.0), ("n".into(), f64::NAN), ("x".into(), 1.0)], 8);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0].matches('█').count(), 0);
+        assert_eq!(lines[1].matches('█').count(), 0);
+        assert_eq!(lines[2].matches('█').count(), 8);
+    }
+
+    #[test]
+    fn sparkline_monotone() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s, "▁▃▆█");
+    }
+
+    #[test]
+    fn sparkline_flat_is_low() {
+        let s = sparkline(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.chars().count(), 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Shared helpers for the SVR benchmark harness binaries (one binary per
+//! table/figure of the paper; see DESIGN.md §5 for the index).
+
+use svr_sim::{RunReport, SimConfig};
+use svr_workloads::Scale;
+
+/// Parses `--scale tiny|small|full` from the command line (default small).
+///
+/// The paper simulates 200 M instructions per workload on Sniper; our
+/// `small` preset uses DRAM-resident footprints with 3 M-instruction runs,
+/// and `full` raises both (see [`Scale`]).
+///
+/// # Panics
+///
+/// Panics on an unknown scale name.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("tiny") => Scale::Tiny,
+        Some("full") => Scale::Full,
+        Some("small") | None => Scale::Small,
+        Some(other) => panic!("unknown --scale {other} (tiny|small|full)"),
+    }
+}
+
+/// The paper's eight core configurations in Fig. 1/11/12 order.
+pub fn paper_configs() -> Vec<SimConfig> {
+    vec![
+        SimConfig::inorder(),
+        SimConfig::imp(),
+        SimConfig::ooo(),
+        SimConfig::svr(8),
+        SimConfig::svr(16),
+        SimConfig::svr(32),
+        SimConfig::svr(64),
+        SimConfig::svr(128),
+    ]
+}
+
+/// Prints one formatted row: a left-aligned label and fixed-width values.
+pub fn print_row(label: &str, values: &[f64]) {
+    print!("{label:12}");
+    for v in values {
+        print!(" {v:8.2}");
+    }
+    println!();
+}
+
+/// Prints the standard header for a per-workload table.
+pub fn print_header(first: &str, cols: &[&str]) {
+    print!("{first:12}");
+    for c in cols {
+        print!(" {c:>8}");
+    }
+    println!();
+}
+
+/// Asserts all runs passed their architectural checks (capped runs pass by
+/// construction).
+///
+/// # Panics
+///
+/// Panics if any report failed its check.
+pub fn assert_verified(reports: &[RunReport]) {
+    for r in reports {
+        assert!(
+            r.verified,
+            "workload {} under {} failed its architectural check",
+            r.workload, r.config
+        );
+    }
+}
+
+pub mod chart;

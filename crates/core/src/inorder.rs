@@ -1,0 +1,512 @@
+//! The 3-wide stall-on-use in-order core (Cortex-A510-like, Table III),
+//! optionally augmented with the SVR engine.
+
+use crate::branch::{BranchPredictor, MISPREDICT_PENALTY};
+use crate::pipeline::{IssueSlots, Scoreboard};
+use crate::stats::{CoreStats, StallBucket};
+use crate::svr::{SvrConfig, SvrEngine};
+use svr_isa::{AluOp, ArchState, DataMemory, Inst, MemAccessKind, Outcome, Program, NUM_REGS};
+use svr_mem::{Access, AccessKind, HitLevel, MemConfig, MemImage, MemoryHierarchy};
+
+/// In-order core parameters (defaults = Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InOrderConfig {
+    /// Dispatch/commit width (instructions per cycle).
+    pub width: u8,
+    /// Scoreboard entries (in-flight instructions).
+    pub scoreboard: usize,
+    /// Branch misprediction penalty in cycles.
+    pub mispredict_penalty: u64,
+    /// Whether to model instruction fetch through the L1-I.
+    pub model_fetch: bool,
+}
+
+impl Default for InOrderConfig {
+    fn default() -> Self {
+        InOrderConfig {
+            width: 3,
+            scoreboard: 32,
+            mispredict_penalty: MISPREDICT_PENALTY,
+            model_fetch: true,
+        }
+    }
+}
+
+/// Everything the SVR engine can see/alter about the host pipeline when it
+/// piggybacks on an issued instruction.
+pub struct SvrCtx<'a> {
+    /// The memory hierarchy (for transient lane loads).
+    pub hier: &'a mut MemoryHierarchy,
+    /// Shared issue bandwidth (SVI lanes consume real slots).
+    pub slots: &'a mut IssueSlots,
+    /// Shared scoreboard (one entry per SVI, with a return counter).
+    pub sb: &'a mut Scoreboard,
+    /// Core statistics (SVR activity counters live here).
+    pub stats: &'a mut CoreStats,
+    /// Functional memory, so transient lanes chase real pointers.
+    pub image: &'a MemImage,
+}
+
+/// One issued instruction as observed by the SVR engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Observed<'a> {
+    /// Static PC (instruction index).
+    pub pc: usize,
+    /// The instruction.
+    pub inst: Inst,
+    /// Cycle it issued.
+    pub issue_t: u64,
+    /// Pre-execution values of the instruction's sources, in
+    /// [`Inst::srcs`] order.
+    pub src_vals: [u64; 3],
+    /// Functional outcome (memory address, branch direction, ...).
+    pub outcome: Outcome,
+    /// Value loaded from memory (loads only).
+    pub loaded_value: Option<u64>,
+    /// Architectural state *after* this instruction (for CV scavenging).
+    pub arch: &'a ArchState,
+}
+
+/// The in-order core. Construct with [`InOrderCore::new`] for the baseline,
+/// or [`InOrderCore::with_svr`] for the paper's SVR configuration.
+///
+/// # Examples
+///
+/// ```
+/// use svr_core::{InOrderCore, InOrderConfig};
+/// use svr_mem::{MemConfig, MemImage};
+/// use svr_isa::{Assembler, ArchState, Reg};
+///
+/// let mut asm = Assembler::new("tiny");
+/// asm.li(Reg::new(1), 7);
+/// asm.halt();
+/// let p = asm.finish();
+/// let mut image = MemImage::new();
+/// let mut arch = ArchState::new();
+/// let mut core = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
+/// core.run(&p, &mut image, &mut arch, u64::MAX);
+/// assert_eq!(arch.reg(Reg::new(1)), 7);
+/// assert!(core.stats().cycles > 0);
+/// ```
+#[derive(Debug)]
+pub struct InOrderCore {
+    cfg: InOrderConfig,
+    hier: MemoryHierarchy,
+    bp: BranchPredictor,
+    slots: IssueSlots,
+    sb: Scoreboard,
+    reg_ready: [u64; NUM_REGS],
+    reg_bucket: [StallBucket; NUM_REGS],
+    flags_ready: u64,
+    fetch_ready: u64,
+    fetch_bucket: StallBucket,
+    last_fetch_line: Option<usize>,
+    last_issue: u64,
+    max_completion: u64,
+    stats: CoreStats,
+    svr: Option<SvrEngine>,
+}
+
+fn alu_latency(op: AluOp) -> u64 {
+    match op {
+        AluOp::Mul => 3,
+        AluOp::Divu | AluOp::Remu => 12,
+        _ => 1,
+    }
+}
+
+fn level_bucket(level: HitLevel) -> StallBucket {
+    match level {
+        HitLevel::L1 => StallBucket::MemL1,
+        HitLevel::L2 => StallBucket::MemL2,
+        HitLevel::Dram => StallBucket::MemDram,
+    }
+}
+
+impl InOrderCore {
+    /// Creates a baseline in-order core over a fresh memory hierarchy.
+    pub fn new(cfg: InOrderConfig, mem: MemConfig) -> Self {
+        InOrderCore {
+            hier: MemoryHierarchy::new(mem),
+            bp: BranchPredictor::new(),
+            slots: IssueSlots::new(cfg.width),
+            sb: Scoreboard::new(cfg.scoreboard),
+            reg_ready: [0; NUM_REGS],
+            reg_bucket: [StallBucket::Base; NUM_REGS],
+            flags_ready: 0,
+            fetch_ready: 0,
+            fetch_bucket: StallBucket::Fetch,
+            last_fetch_line: None,
+            last_issue: 0,
+            max_completion: 0,
+            stats: CoreStats::default(),
+            svr: None,
+            cfg,
+        }
+    }
+
+    /// Creates an SVR core: the same in-order pipeline plus the SVR engine.
+    pub fn with_svr(cfg: InOrderConfig, mem: MemConfig, svr: SvrConfig) -> Self {
+        let mut core = Self::new(cfg, mem);
+        core.svr = Some(SvrEngine::new(svr));
+        core
+    }
+
+    /// Core statistics accumulated so far.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Memory-system statistics.
+    pub fn mem_stats(&self) -> &svr_mem::MemStats {
+        self.hier.stats()
+    }
+
+    /// The memory hierarchy (e.g. to inspect DRAM traffic).
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hier
+    }
+
+    /// The SVR engine, when configured.
+    pub fn svr_engine(&self) -> Option<&SvrEngine> {
+        self.svr.as_ref()
+    }
+
+    /// Runs `program` until `halt` or `max_insts` retired instructions.
+    ///
+    /// `arch` carries initial register state (workloads pre-load base
+    /// addresses) and holds final state afterwards.
+    pub fn run(
+        &mut self,
+        program: &Program,
+        image: &mut MemImage,
+        arch: &mut ArchState,
+        max_insts: u64,
+    ) {
+        while self.stats.retired < max_insts && !arch.halted() {
+            let pc = arch.pc();
+            let Some(&inst) = program.get(pc) else { break };
+
+            // Snapshot source values before execution (an instruction may
+            // overwrite its own source).
+            let mut src_vals = [0u64; 3];
+            for (i, r) in inst.srcs().enumerate().take(3) {
+                src_vals[i] = arch.reg(r);
+            }
+
+            // Instruction fetch, one access per new cache line (16 insts).
+            if self.cfg.model_fetch {
+                let line = pc / 16;
+                if self.last_fetch_line != Some(line) {
+                    let r = self.hier.fetch_inst(self.slots.horizon(), pc as u64);
+                    if r.complete_at > self.fetch_ready {
+                        self.fetch_ready = r.complete_at;
+                        self.fetch_bucket = StallBucket::Fetch;
+                    }
+                    self.last_fetch_line = Some(line);
+                }
+            }
+
+            // Data readiness (stall-on-use).
+            let mut ready = self.fetch_ready;
+            let mut bucket = self.fetch_bucket;
+            for r in inst.srcs() {
+                if self.reg_ready[r.index()] > ready {
+                    ready = self.reg_ready[r.index()];
+                    bucket = self.reg_bucket[r.index()];
+                }
+            }
+            if matches!(inst, Inst::B { .. }) && self.flags_ready > ready {
+                ready = self.flags_ready;
+                bucket = StallBucket::Base;
+            }
+
+            // Claim an issue slot, then a scoreboard entry.
+            let slot_t = self.slots.take(ready);
+            let t = self.sb.admit(slot_t);
+            if t > slot_t {
+                self.slots.bump(t);
+            }
+
+            // CPI-stack attribution.
+            let delta = t.saturating_sub(self.last_issue);
+            if delta > 0 {
+                self.stats.stack.charge(StallBucket::Base, 1);
+                if delta > 1 {
+                    let b = if t > ready {
+                        StallBucket::Structural
+                    } else {
+                        bucket
+                    };
+                    self.stats.stack.charge(b, delta - 1);
+                }
+            }
+            self.last_issue = t;
+
+            // Functional execution.
+            let out: Outcome = arch
+                .step(program, image)
+                .expect("not halted and pc in range");
+            self.stats.retired += 1;
+            self.stats.issued_uops += 1;
+
+            let completion = self.timing_for(inst, pc, t, &out, image);
+            self.sb.push(completion);
+            self.max_completion = self.max_completion.max(completion).max(t);
+
+            // SVR piggybacking.
+            if let Some(svr) = self.svr.as_mut() {
+                let loaded_value = match out.mem {
+                    Some((MemAccessKind::Load, addr)) => Some(image.read_u64(addr)),
+                    _ => None,
+                };
+                let observed = Observed {
+                    pc,
+                    inst,
+                    issue_t: t,
+                    src_vals,
+                    outcome: out,
+                    loaded_value,
+                    arch,
+                };
+                let mut ctx = SvrCtx {
+                    hier: &mut self.hier,
+                    slots: &mut self.slots,
+                    sb: &mut self.sb,
+                    stats: &mut self.stats,
+                    image,
+                };
+                svr.observe(&mut ctx, &observed);
+            }
+
+            self.stats.cycles = self.max_completion;
+        }
+    }
+
+    /// Computes the completion time of one instruction and updates
+    /// register-readiness state. Returns the completion cycle.
+    fn timing_for(
+        &mut self,
+        inst: Inst,
+        pc: usize,
+        t: u64,
+        out: &Outcome,
+        image: &MemImage,
+    ) -> u64 {
+        match inst {
+            Inst::Ld { .. } | Inst::LdX { .. } => {
+                let (_, addr) = out.mem.expect("load accesses memory");
+                let value = image.read_u64(addr);
+                let res = self.hier.access_with_image(
+                    Access::new(t, addr, AccessKind::DemandLoad)
+                        .with_pc(pc as u64)
+                        .with_value(value),
+                    Some(image),
+                );
+                if res.issued_at > t {
+                    self.slots.bump(res.issued_at);
+                }
+                self.stats.loads += 1;
+                if let Some(dst) = inst.dst() {
+                    self.reg_ready[dst.index()] = res.complete_at;
+                    self.reg_bucket[dst.index()] = level_bucket(res.level);
+                }
+                res.complete_at
+            }
+            Inst::St { .. } | Inst::StX { .. } => {
+                let (_, addr) = out.mem.expect("store accesses memory");
+                let res = self.hier.access_with_image(
+                    Access::new(t, addr, AccessKind::DemandStore).with_pc(pc as u64),
+                    Some(image),
+                );
+                if res.issued_at > t {
+                    self.slots.bump(res.issued_at);
+                }
+                self.stats.stores += 1;
+                // Stores retire into the write path; the core does not wait.
+                t + 1
+            }
+            Inst::Alu { op, .. } | Inst::AluI { op, .. } => {
+                let done = t + alu_latency(op);
+                if let Some(dst) = inst.dst() {
+                    self.reg_ready[dst.index()] = done;
+                    self.reg_bucket[dst.index()] = StallBucket::Base;
+                }
+                done
+            }
+            Inst::Li { .. } | Inst::Nop => {
+                let done = t + 1;
+                if let Some(dst) = inst.dst() {
+                    self.reg_ready[dst.index()] = done;
+                    self.reg_bucket[dst.index()] = StallBucket::Base;
+                }
+                done
+            }
+            Inst::Cmp { .. } | Inst::CmpI { .. } => {
+                self.flags_ready = t + 1;
+                t + 1
+            }
+            Inst::B { .. } => {
+                self.stats.branches += 1;
+                let (taken, _) = out.branch.expect("branch outcome");
+                let pred = self.bp.predict(pc as u64);
+                self.bp.update(pc as u64, taken);
+                if pred != taken {
+                    self.stats.mispredicts += 1;
+                    let redirect = t + 1 + self.cfg.mispredict_penalty;
+                    if redirect > self.fetch_ready {
+                        self.fetch_ready = redirect;
+                        self.fetch_bucket = StallBucket::Branch;
+                    }
+                    // The fetch line changes on the (mispredicted) path.
+                    self.last_fetch_line = None;
+                }
+                t + 1
+            }
+            Inst::J { .. } | Inst::Halt => t + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svr_isa::{Assembler, Cond, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    /// Builds a pointer-chase program: p = mem[p] repeated `iters` times.
+    fn pointer_chase(iters: i64) -> (Program, MemImage, ArchState) {
+        let mut img = MemImage::new();
+        // A cycle of pointers spread over many cache lines (2 MiB footprint,
+        // well beyond the 512 KiB L2).
+        let n = 32768u64;
+        let mut addrs: Vec<u64> = Vec::new();
+        let base = img.alloc_words(n * 8); // spread by 64B
+        for i in 0..n {
+            addrs.push(base + i * 64);
+        }
+        // Permute: next[i] = addr of (i*1663+1) mod n
+        for i in 0..n {
+            let next = addrs[((i * 16411 + 1) % n) as usize];
+            img.write_u64(addrs[i as usize], next);
+        }
+        let p = r(1);
+        let i = r(2);
+        let mut asm = Assembler::new("chase");
+        let top = asm.label();
+        asm.bind(top);
+        asm.ld(p, p, 0);
+        asm.alui(AluOp::Add, i, i, 1);
+        asm.cmpi(i, iters);
+        asm.b(Cond::Ne, top);
+        asm.halt();
+        let prog = asm.finish();
+        let mut arch = ArchState::new();
+        arch.set_reg(p, addrs[0]);
+        (prog, img, arch)
+    }
+
+    /// Builds a streaming-sum program over `n` consecutive words.
+    fn streaming(n: i64) -> (Program, MemImage, ArchState) {
+        let mut img = MemImage::new();
+        let base = img.alloc_words(n as u64);
+        for k in 0..n as u64 {
+            img.write_u64(base + k * 8, k);
+        }
+        let b = r(1);
+        let i = r(2);
+        let s = r(3);
+        let t = r(4);
+        let mut asm = Assembler::new("stream");
+        let top = asm.label();
+        asm.bind(top);
+        asm.ldx(t, b, i, 3);
+        asm.alu(AluOp::Add, s, s, t);
+        asm.alui(AluOp::Add, i, i, 1);
+        asm.cmpi(i, n);
+        asm.b(Cond::Ne, top);
+        asm.halt();
+        let prog = asm.finish();
+        let mut arch = ArchState::new();
+        arch.set_reg(b, base);
+        (prog, img, arch)
+    }
+
+    #[test]
+    fn executes_correctly_and_counts() {
+        let (p, mut img, mut arch) = streaming(100);
+        let mut core = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
+        core.run(&p, &mut img, &mut arch, u64::MAX);
+        assert!(arch.halted());
+        assert_eq!(arch.reg(r(3)), (0..100).sum::<u64>());
+        assert_eq!(core.stats().retired, 100 * 5 + 1);
+        assert!(core.stats().cycles > 0);
+        assert_eq!(core.stats().loads, 100);
+    }
+
+    #[test]
+    fn pointer_chase_is_memory_bound() {
+        let (p, mut img, mut arch) = pointer_chase(2000);
+        let mut core = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
+        core.run(&p, &mut img, &mut arch, u64::MAX);
+        let cpi = core.stats().cpi();
+        // Each iteration (4 insts) serializes a ~100-cycle DRAM access once
+        // caches are cold/thrashing: CPI must be well above 10.
+        assert!(cpi > 10.0, "cpi={cpi}");
+        // DRAM stalls dominate the stack.
+        let stack = core.stats().stack;
+        assert!(
+            stack.mem_dram > stack.total() / 2,
+            "dram={} total={}",
+            stack.mem_dram,
+            stack.total()
+        );
+    }
+
+    #[test]
+    fn streaming_is_fast_with_stride_prefetcher() {
+        let (p, mut img, mut arch) = streaming(20_000);
+        let mut core = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
+        core.run(&p, &mut img, &mut arch, u64::MAX);
+        let cpi = core.stats().cpi();
+        assert!(cpi < 3.0, "streaming cpi={cpi}");
+    }
+
+    #[test]
+    fn respects_max_insts() {
+        let (p, mut img, mut arch) = streaming(1000);
+        let mut core = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
+        core.run(&p, &mut img, &mut arch, 42);
+        assert_eq!(core.stats().retired, 42);
+        assert!(!arch.halted());
+    }
+
+    #[test]
+    fn branch_stats_counted() {
+        let (p, mut img, mut arch) = streaming(50);
+        let mut core = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
+        core.run(&p, &mut img, &mut arch, u64::MAX);
+        assert_eq!(core.stats().branches, 50);
+        // The loop exit is hard to predict at least once.
+        assert!(core.stats().mispredicts >= 1);
+    }
+
+    #[test]
+    fn cpi_stack_total_close_to_cycles() {
+        let (p, mut img, mut arch) = pointer_chase(500);
+        let mut core = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
+        core.run(&p, &mut img, &mut arch, u64::MAX);
+        let total = core.stats().stack.total();
+        let cycles = core.stats().cycles;
+        // Attribution covers issue-to-issue gaps; completion drain may add a
+        // small tail. Expect the stack to cover most cycles.
+        assert!(
+            total as f64 > cycles as f64 * 0.8,
+            "total={total} cycles={cycles}"
+        );
+        assert!(total <= cycles + 200, "total={total} cycles={cycles}");
+    }
+}

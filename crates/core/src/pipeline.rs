@@ -1,0 +1,192 @@
+//! Shared pipeline resources: issue-slot accounting and the scoreboard.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Tracks issue bandwidth: at most `width` instructions may issue per cycle,
+/// and issue times are monotonically non-decreasing (in-order issue).
+///
+/// # Examples
+///
+/// ```
+/// use svr_core::IssueSlots;
+/// let mut s = IssueSlots::new(3);
+/// assert_eq!(s.take(10), 10);
+/// assert_eq!(s.take(10), 10);
+/// assert_eq!(s.take(10), 10);
+/// assert_eq!(s.take(10), 11); // fourth in the same cycle spills over
+/// ```
+#[derive(Debug, Clone)]
+pub struct IssueSlots {
+    width: u8,
+    cur: u64,
+    used: u8,
+}
+
+impl IssueSlots {
+    /// Creates an issue tracker with the given per-cycle width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: u8) -> Self {
+        assert!(width > 0, "issue width must be positive");
+        IssueSlots {
+            width,
+            cur: 0,
+            used: 0,
+        }
+    }
+
+    /// Claims an issue slot at or after `at`; returns the actual issue cycle.
+    pub fn take(&mut self, at: u64) -> u64 {
+        if at > self.cur {
+            self.cur = at;
+            self.used = 1;
+            return at;
+        }
+        if self.used < self.width {
+            self.used += 1;
+            return self.cur;
+        }
+        self.cur += 1;
+        self.used = 1;
+        self.cur
+    }
+
+    /// The cycle the next issue would occur at the earliest.
+    pub fn horizon(&self) -> u64 {
+        if self.used < self.width {
+            self.cur
+        } else {
+            self.cur + 1
+        }
+    }
+
+    /// Forces the issue point forward to at least `t` (structural stall).
+    pub fn bump(&mut self, t: u64) {
+        if t > self.cur {
+            self.cur = t;
+            self.used = 0;
+        }
+    }
+}
+
+/// An in-flight-instruction tracker (in-order scoreboard or ROB occupancy).
+///
+/// Holds completion times; admission blocks when `capacity` instructions are
+/// still in flight.
+#[derive(Debug, Clone)]
+pub struct Scoreboard {
+    capacity: usize,
+    inflight: BinaryHeap<Reverse<u64>>,
+}
+
+impl Scoreboard {
+    /// Creates an empty scoreboard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "scoreboard capacity must be positive");
+        Scoreboard {
+            capacity,
+            inflight: BinaryHeap::new(),
+        }
+    }
+
+    /// Admits a new instruction wanting to issue at `t`: returns the possibly
+    /// delayed issue time once an entry is free.
+    pub fn admit(&mut self, t: u64) -> u64 {
+        while let Some(&Reverse(done)) = self.inflight.peek() {
+            if done <= t {
+                self.inflight.pop();
+            } else {
+                break;
+            }
+        }
+        if self.inflight.len() < self.capacity {
+            return t;
+        }
+        let Reverse(done) = self.inflight.pop().expect("nonempty when full");
+        t.max(done)
+    }
+
+    /// Records the completion time of the just-admitted instruction.
+    pub fn push(&mut self, completes_at: u64) {
+        self.inflight.push(Reverse(completes_at));
+    }
+
+    /// Number of entries currently tracked (including completed-but-unpopped).
+    pub fn len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether no instructions are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_respect_width() {
+        let mut s = IssueSlots::new(2);
+        assert_eq!(s.take(5), 5);
+        assert_eq!(s.take(5), 5);
+        assert_eq!(s.take(5), 6);
+        assert_eq!(s.take(5), 6);
+        assert_eq!(s.take(5), 7);
+    }
+
+    #[test]
+    fn slots_monotonic() {
+        let mut s = IssueSlots::new(3);
+        assert_eq!(s.take(10), 10);
+        // A request "in the past" still issues at the current cycle.
+        assert_eq!(s.take(3), 10);
+    }
+
+    #[test]
+    fn bump_advances() {
+        let mut s = IssueSlots::new(3);
+        s.take(1);
+        s.bump(100);
+        assert_eq!(s.take(0), 100);
+        assert_eq!(s.horizon(), 100);
+    }
+
+    #[test]
+    fn scoreboard_blocks_when_full() {
+        let mut sb = Scoreboard::new(2);
+        assert_eq!(sb.admit(0), 0);
+        sb.push(50);
+        assert_eq!(sb.admit(1), 1);
+        sb.push(80);
+        // Full: must wait for the earliest completion (50).
+        assert_eq!(sb.admit(2), 50);
+        sb.push(90);
+        // Entries {80, 90}, capacity 2: admission waits for 80.
+        assert_eq!(sb.admit(60), 80);
+        assert_eq!(sb.len(), 1);
+    }
+
+    #[test]
+    fn scoreboard_retires_completed() {
+        let mut sb = Scoreboard::new(1);
+        sb.push(10);
+        assert_eq!(sb.admit(20), 20); // completed entry popped
+        sb.push(30);
+        assert!(!sb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        let _ = IssueSlots::new(0);
+    }
+}

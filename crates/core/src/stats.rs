@@ -1,0 +1,193 @@
+//! Core-side statistics: cycle counts, CPI stacks, and SVR activity counters.
+
+/// Where a stall cycle is attributed in the CPI stack (Fig. 3 of the paper
+/// groups these into "other" and "mem-dram"; we keep finer buckets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallBucket {
+    /// Useful issue (the 1/IPC_max component).
+    Base,
+    /// Branch misprediction penalty.
+    Branch,
+    /// Instruction-fetch stalls.
+    Fetch,
+    /// Waiting on data that hit in L1 (or in-flight hit-under-miss).
+    MemL1,
+    /// Waiting on data supplied by L2.
+    MemL2,
+    /// Waiting on data supplied by DRAM.
+    MemDram,
+    /// Structural stalls (scoreboard/ROB/LSQ/MSHR full, SVI issue sharing).
+    Structural,
+}
+
+/// A decomposition of total cycles into stall causes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpiStack {
+    /// See [`StallBucket::Base`].
+    pub base: u64,
+    /// See [`StallBucket::Branch`].
+    pub branch: u64,
+    /// See [`StallBucket::Fetch`].
+    pub fetch: u64,
+    /// See [`StallBucket::MemL1`].
+    pub mem_l1: u64,
+    /// See [`StallBucket::MemL2`].
+    pub mem_l2: u64,
+    /// See [`StallBucket::MemDram`].
+    pub mem_dram: u64,
+    /// See [`StallBucket::Structural`].
+    pub structural: u64,
+}
+
+impl CpiStack {
+    /// Adds `cycles` to the given bucket.
+    pub fn charge(&mut self, bucket: StallBucket, cycles: u64) {
+        match bucket {
+            StallBucket::Base => self.base += cycles,
+            StallBucket::Branch => self.branch += cycles,
+            StallBucket::Fetch => self.fetch += cycles,
+            StallBucket::MemL1 => self.mem_l1 += cycles,
+            StallBucket::MemL2 => self.mem_l2 += cycles,
+            StallBucket::MemDram => self.mem_dram += cycles,
+            StallBucket::Structural => self.structural += cycles,
+        }
+    }
+
+    /// Sum of all buckets.
+    pub fn total(&self) -> u64 {
+        self.base
+            + self.branch
+            + self.fetch
+            + self.mem_l1
+            + self.mem_l2
+            + self.mem_dram
+            + self.structural
+    }
+
+    /// Everything that is not a DRAM stall ("other" in Fig. 3).
+    pub fn other(&self) -> u64 {
+        self.total() - self.mem_dram
+    }
+}
+
+/// Counters describing SVR activity during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SvrActivity {
+    /// Rounds of piggyback runahead mode entered.
+    pub prm_rounds: u64,
+    /// Scalar-vector instructions generated.
+    pub svis: u64,
+    /// Individual transient lanes issued (≈ extra dynamic instructions).
+    pub lanes: u64,
+    /// Transient lane loads sent to the memory system.
+    pub lane_loads: u64,
+    /// Rounds terminated by the 256-instruction timeout.
+    pub timeouts: u64,
+    /// Rounds terminated by re-encountering the HSLR load.
+    pub hslr_terminations: u64,
+    /// SVI generation suppressed past the last indirect load.
+    pub lil_suppressed: u64,
+    /// PRM triggers suppressed by waiting mode.
+    pub waiting_suppressed: u64,
+    /// PRM triggers suppressed by the accuracy ban (§IV-A7).
+    pub banned_suppressed: u64,
+    /// PRM triggers suppressed because the chain has no dependent load.
+    pub non_indirect_suppressed: u64,
+    /// HSLR retargets (nested/independent-loop switches).
+    pub retargets: u64,
+    /// Lanes masked off by control-flow divergence.
+    pub masked_lanes: u64,
+    /// SRF recycling events (LRU steal of a mapped register).
+    pub srf_recycles: u64,
+    /// SVI generation skipped because no SRF entry was available.
+    pub srf_starved: u64,
+}
+
+/// Statistics for one core run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Total cycles to retire the run.
+    pub cycles: u64,
+    /// Main-thread (architectural) instructions retired.
+    pub retired: u64,
+    /// All issue slots consumed, including transient SVI lanes.
+    pub issued_uops: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+    /// Demand loads executed.
+    pub loads: u64,
+    /// Demand stores executed.
+    pub stores: u64,
+    /// Cycle decomposition.
+    pub stack: CpiStack,
+    /// SVR activity (zero for non-SVR cores).
+    pub svr: SvrActivity,
+}
+
+impl CoreStats {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.retired as f64
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_total() {
+        let mut s = CpiStack::default();
+        s.charge(StallBucket::Base, 10);
+        s.charge(StallBucket::MemDram, 30);
+        s.charge(StallBucket::Structural, 5);
+        assert_eq!(s.total(), 45);
+        assert_eq!(s.other(), 15);
+        assert_eq!(s.mem_dram, 30);
+    }
+
+    #[test]
+    fn cpi_and_ipc() {
+        let s = CoreStats {
+            cycles: 200,
+            retired: 100,
+            ..CoreStats::default()
+        };
+        assert!((s.cpi() - 2.0).abs() < 1e-12);
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert_eq!(CoreStats::default().cpi(), 0.0);
+        assert_eq!(CoreStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn all_buckets_route() {
+        let mut s = CpiStack::default();
+        for b in [
+            StallBucket::Base,
+            StallBucket::Branch,
+            StallBucket::Fetch,
+            StallBucket::MemL1,
+            StallBucket::MemL2,
+            StallBucket::MemDram,
+            StallBucket::Structural,
+        ] {
+            s.charge(b, 1);
+        }
+        assert_eq!(s.total(), 7);
+    }
+}

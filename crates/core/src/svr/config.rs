@@ -1,0 +1,130 @@
+//! SVR configuration knobs, including every ablation evaluated in §VI.
+
+/// Loop-bound prediction mechanism (§IV-B2, evaluated in Fig. 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopBoundMode {
+    /// Always generate the full vector length (no throttling).
+    Maxlength,
+    /// DVR-style: wait a full loop iteration for the compare/branch to train
+    /// the LBD before performing runahead (slow on in-order cores).
+    LbdWait,
+    /// Use the LBD when trained, fall back to max length otherwise.
+    LbdMaxlength,
+    /// LBD plus current-value scavenging of the compare's source registers
+    /// at the stride discontinuity (the paper's novel mechanism).
+    LbdCv,
+    /// Exponentially weighted moving average of past iteration counts.
+    Ewma,
+    /// 2-bit tournament between EWMA and LBD+CV (the default).
+    Tournament,
+}
+
+/// Speculative-register recycling policy (§VI-D "Register Recycling").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecyclePolicy {
+    /// SVR's policy: LRU-recycle the least-recently-read mapped register.
+    Lru,
+    /// DVR-style: never steal a live mapping; SVI generation simply fails
+    /// when the SRF is exhausted.
+    NoRecycle,
+}
+
+/// Full SVR configuration. [`SvrConfig::default`] matches the paper's
+/// default SVR-16 design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvrConfig {
+    /// Scalar-vector length N (lanes per SVI): 8–128, default 16.
+    pub vector_length: usize,
+    /// Speculative register file entries K (default 8).
+    pub srf_entries: usize,
+    /// Stride-detector entries (default 32).
+    pub stride_detector_entries: usize,
+    /// Stride confidence threshold (2-bit counter, default 2).
+    pub stride_confidence: u8,
+    /// PRM timeout in main-thread instructions (default 256).
+    pub timeout_insts: u64,
+    /// Transient lanes entering execute per cycle (Fig. 16, default 1).
+    pub scalars_per_cycle: u32,
+    /// Loop-bound predictor choice (default tournament).
+    pub loop_bound_mode: LoopBoundMode,
+    /// Loop-bound-detector entries (default 8).
+    pub lbd_entries: usize,
+    /// Waiting mode (§IV-A5); disabling it is the §VI-D ablation.
+    pub waiting_mode: bool,
+    /// The accuracy-based global ban (§IV-A7).
+    pub accuracy_ban: bool,
+    /// Prefetch outcomes before the ban logic activates (default 100).
+    pub accuracy_warmup: u64,
+    /// Accuracy below which SVR is banned (default 0.5).
+    pub accuracy_threshold: f64,
+    /// Instructions between ban lifts (default 1 M).
+    pub ban_reset_insts: u64,
+    /// SRF recycling policy.
+    pub recycle: RecyclePolicy,
+    /// Model the cost of copying the scalar register file at PRM entry
+    /// (§VI-D "Lockstep Coupling": 32 regs / 2 write ports).
+    pub model_register_copy: bool,
+    /// Cycles charged per PRM entry when `model_register_copy` is set.
+    pub register_copy_cycles: u64,
+    /// Use the last-indirect-load optimization (§IV-A4).
+    pub lil_enabled: bool,
+    /// Handle multiple concurrent indirect chains (§IV-A6).
+    pub multi_chain: bool,
+}
+
+impl Default for SvrConfig {
+    fn default() -> Self {
+        SvrConfig {
+            vector_length: 16,
+            srf_entries: 8,
+            stride_detector_entries: 32,
+            stride_confidence: 2,
+            timeout_insts: 256,
+            scalars_per_cycle: 1,
+            loop_bound_mode: LoopBoundMode::Tournament,
+            lbd_entries: 8,
+            waiting_mode: true,
+            accuracy_ban: true,
+            accuracy_warmup: 100,
+            accuracy_threshold: 0.5,
+            ban_reset_insts: 1_000_000,
+            recycle: RecyclePolicy::Lru,
+            model_register_copy: false,
+            register_copy_cycles: 16,
+            lil_enabled: true,
+            multi_chain: true,
+        }
+    }
+}
+
+impl SvrConfig {
+    /// The paper's SVR-N design point (N ∈ {8, 16, 32, 64, 128}).
+    pub fn with_length(n: usize) -> Self {
+        SvrConfig {
+            vector_length: n,
+            ..SvrConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SvrConfig::default();
+        assert_eq!(c.vector_length, 16);
+        assert_eq!(c.srf_entries, 8);
+        assert_eq!(c.stride_detector_entries, 32);
+        assert_eq!(c.timeout_insts, 256);
+        assert_eq!(c.loop_bound_mode, LoopBoundMode::Tournament);
+        assert!(c.waiting_mode && c.accuracy_ban && c.lil_enabled && c.multi_chain);
+    }
+
+    #[test]
+    fn with_length_sets_n() {
+        assert_eq!(SvrConfig::with_length(128).vector_length, 128);
+        assert_eq!(SvrConfig::with_length(8).srf_entries, 8);
+    }
+}

@@ -1,0 +1,274 @@
+//! The stride detector (Fig. 6): a PC-indexed reference prediction table
+//! extended with SVR's waiting-mode range, Seen bits, and LIL fields.
+
+/// One stride-detector entry (Fig. 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SdEntry {
+    /// Load PC this entry tracks.
+    pub pc: usize,
+    /// Whether the entry holds a live PC.
+    pub valid: bool,
+    /// Last observed address.
+    pub prev_addr: u64,
+    /// Detected stride (bytes).
+    pub stride: i64,
+    /// 2-bit stride confidence.
+    pub conf: u8,
+    /// Last address SVR prefetched for this PC (waiting-mode upper bound).
+    pub last_prefetch: u64,
+    /// Whether `last_prefetch` is meaningful.
+    pub lp_valid: bool,
+    /// Seen bit for nested/unrolled/independent loop detection (§IV-A6).
+    pub seen: bool,
+    /// Low 16 bits of the last indirect load PC in the chain.
+    pub lil: u16,
+    /// 2-bit LIL confidence.
+    pub lil_conf: u8,
+    /// Whether `lil` has been written at least once.
+    pub lil_valid: bool,
+    /// LbdWait helper: the first trigger arms; the next fires.
+    pub armed: bool,
+    /// 2-bit usefulness counter: rounds that vectorize no dependent
+    /// (indirect) load decay it; at zero the PC stops triggering runahead
+    /// until the periodic reset (§II-C: the point of runahead is the
+    /// dependent chain; pure streams are already covered by the stride
+    /// prefetcher).
+    pub useful: u8,
+}
+
+impl SdEntry {
+    /// Whether this entry currently predicts a confident non-zero stride.
+    pub fn striding(&self, threshold: u8) -> bool {
+        self.valid && self.stride != 0 && self.conf >= threshold
+    }
+
+    /// Waiting-mode test (§IV-A5): is `addr` inside the already-prefetched
+    /// range `(prev_addr_at_last_round, last_prefetch]`? Handles both
+    /// ascending and descending strides.
+    pub fn in_prefetched_range(&self, addr: u64) -> bool {
+        if !self.lp_valid {
+            return false;
+        }
+        if self.stride >= 0 {
+            addr > self.prev_addr && addr <= self.last_prefetch
+        } else {
+            addr < self.prev_addr && addr >= self.last_prefetch
+        }
+    }
+}
+
+/// Result of a stride-detector update for one executed load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdUpdate {
+    /// Index of the (direct-mapped) entry.
+    pub index: usize,
+    /// Whether the entry is confident and striding after the update.
+    pub striding: bool,
+    /// The stride in effect.
+    pub stride: i64,
+    /// The address equalled `prev + stride` (iteration continues).
+    pub continued: bool,
+    /// A previously confident stride was broken by this address.
+    pub discontinuity: bool,
+}
+
+/// The PC-indexed stride detector (32 entries by default, direct-mapped).
+///
+/// # Examples
+///
+/// ```
+/// use svr_core::svr::StrideDetector;
+/// let mut sd = StrideDetector::new(32, 2);
+/// for i in 0..3u64 {
+///     sd.update(5, 0x1000 + i * 8);
+/// }
+/// let up = sd.update(5, 0x1018);
+/// assert!(up.striding && up.continued && up.stride == 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StrideDetector {
+    entries: Vec<SdEntry>,
+    threshold: u8,
+}
+
+impl StrideDetector {
+    /// Creates an empty detector with `entries` slots and the given 2-bit
+    /// confidence `threshold`.
+    pub fn new(entries: usize, threshold: u8) -> Self {
+        assert!(entries > 0);
+        StrideDetector {
+            entries: vec![SdEntry::default(); entries],
+            threshold,
+        }
+    }
+
+    fn index(&self, pc: usize) -> usize {
+        pc % self.entries.len()
+    }
+
+    /// The entry currently associated with `pc`, if it is the live owner.
+    pub fn lookup(&self, pc: usize) -> Option<&SdEntry> {
+        let e = &self.entries[self.index(pc)];
+        (e.valid && e.pc == pc).then_some(e)
+    }
+
+    /// Mutable access; `None` if `pc` does not own its slot.
+    pub fn lookup_mut(&mut self, pc: usize) -> Option<&mut SdEntry> {
+        let i = self.index(pc);
+        let e = &mut self.entries[i];
+        (e.valid && e.pc == pc).then_some(e)
+    }
+
+    /// RPT update for an executed load; installs/steals the slot on mismatch.
+    pub fn update(&mut self, pc: usize, addr: u64) -> SdUpdate {
+        let i = self.index(pc);
+        let threshold = self.threshold;
+        let e = &mut self.entries[i];
+        if !e.valid || e.pc != pc {
+            *e = SdEntry {
+                pc,
+                valid: true,
+                prev_addr: addr,
+                useful: 3,
+                ..SdEntry::default()
+            };
+            return SdUpdate {
+                index: i,
+                striding: false,
+                stride: 0,
+                continued: false,
+                discontinuity: false,
+            };
+        }
+        let s = addr.wrapping_sub(e.prev_addr) as i64;
+        let was_confident = e.striding(threshold);
+        let continued = s != 0 && s == e.stride;
+        if continued {
+            e.conf = (e.conf + 1).min(3);
+        } else if e.conf > 0 {
+            // Keep the learned stride through transient discontinuities
+            // (e.g. the jump to a new inner loop); only a persistent change
+            // replaces it. This is the classic RPT steady/transient split.
+            e.conf -= 1;
+        } else {
+            e.stride = s;
+        }
+        e.prev_addr = addr;
+        SdUpdate {
+            index: i,
+            striding: e.striding(threshold),
+            stride: e.stride,
+            continued,
+            discontinuity: was_confident && !continued,
+        }
+    }
+
+    /// Restores every entry's usefulness counter (periodic second chance,
+    /// same cadence as the accuracy-ban reset of §IV-A7).
+    pub fn reset_usefulness(&mut self) {
+        for e in &mut self.entries {
+            if e.valid {
+                e.useful = 3;
+            }
+        }
+    }
+
+    /// Clears every Seen bit except the entry owning `keep_pc` (§IV-A6).
+    pub fn clear_seen_except(&mut self, keep_pc: usize) {
+        for e in &mut self.entries {
+            if e.valid && e.pc != keep_pc {
+                e.seen = false;
+            }
+        }
+    }
+
+    /// The configured confidence threshold.
+    pub fn threshold(&self) -> u8 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_stride_and_detects_discontinuity() {
+        let mut sd = StrideDetector::new(8, 2);
+        sd.update(1, 100);
+        sd.update(1, 108); // stride 8, conf 0
+        let u = sd.update(1, 116); // conf 1
+        assert!(!u.striding);
+        let u = sd.update(1, 124); // conf 2
+        assert!(u.striding && u.continued);
+        let u = sd.update(1, 999); // break
+        assert!(u.discontinuity && !u.continued);
+    }
+
+    #[test]
+    fn waiting_range_ascending() {
+        let e = SdEntry {
+            valid: true,
+            prev_addr: 100,
+            stride: 8,
+            last_prefetch: 164,
+            lp_valid: true,
+            ..SdEntry::default()
+        };
+        assert!(e.in_prefetched_range(108));
+        assert!(e.in_prefetched_range(164));
+        assert!(!e.in_prefetched_range(172)); // past last prefetch
+        assert!(!e.in_prefetched_range(50)); // discontinuity backwards
+    }
+
+    #[test]
+    fn waiting_range_descending() {
+        let e = SdEntry {
+            valid: true,
+            prev_addr: 200,
+            stride: -8,
+            last_prefetch: 136,
+            lp_valid: true,
+            ..SdEntry::default()
+        };
+        assert!(e.in_prefetched_range(192));
+        assert!(e.in_prefetched_range(136));
+        assert!(!e.in_prefetched_range(128));
+        assert!(!e.in_prefetched_range(300));
+    }
+
+    #[test]
+    fn no_waiting_without_last_prefetch() {
+        let e = SdEntry {
+            valid: true,
+            prev_addr: 100,
+            stride: 8,
+            ..SdEntry::default()
+        };
+        assert!(!e.in_prefetched_range(108));
+    }
+
+    #[test]
+    fn slot_stealing_resets() {
+        let mut sd = StrideDetector::new(1, 2);
+        for i in 0..4u64 {
+            sd.update(1, 100 + i * 8);
+        }
+        assert!(sd.lookup(1).unwrap().striding(2));
+        sd.update(2, 5000); // steals the only slot
+        assert!(sd.lookup(1).is_none());
+        assert!(sd.lookup(2).is_some());
+    }
+
+    #[test]
+    fn clear_seen_except_keeps_target() {
+        let mut sd = StrideDetector::new(4, 2);
+        sd.update(1, 0);
+        sd.update(2, 0);
+        sd.lookup_mut(1).unwrap().seen = true;
+        sd.lookup_mut(2).unwrap().seen = true;
+        sd.clear_seen_except(1);
+        assert!(sd.lookup(1).unwrap().seen);
+        assert!(!sd.lookup(2).unwrap().seen);
+    }
+}

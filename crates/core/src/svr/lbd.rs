@@ -1,0 +1,423 @@
+//! Loop-bound prediction (§IV-B2): last-compare register, loop-bound
+//! detector with current-value scavenging, EWMA, and the tournament chooser.
+
+use svr_isa::Reg;
+
+/// Snapshot of the most recent compare instruction (the LC register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LcEntry {
+    /// PC of the compare.
+    pub pc: usize,
+    /// First source value.
+    pub va: u64,
+    /// Second source value (immediate compares store the immediate).
+    pub vb: u64,
+    /// First source register id.
+    pub ra: Option<Reg>,
+    /// Second source register id (`None` for immediate compares).
+    pub rb: Option<Reg>,
+}
+
+/// One loop-bound-detector entry (Fig. 10), keyed by the HSLR load PC.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LbdEntry {
+    /// HSLR load PC this entry predicts for.
+    pub pc: usize,
+    /// Whether this entry is live.
+    pub valid: bool,
+    /// Consecutive-stride iteration counter (9 bits in hardware).
+    pub iteration: u32,
+    /// EWMA of past iteration counts, stored in eighths (9-bit value plus
+    /// 3 fraction bits in hardware).
+    pub ewma_x8: u32,
+    /// Whether the EWMA has been trained at least once.
+    pub ewma_valid: bool,
+    /// The loop's compare PC.
+    pub comp_pc: usize,
+    /// Last captured compare source values.
+    pub s_a: u64,
+    /// Last captured compare source values.
+    pub s_b: u64,
+    /// Compare source register ids.
+    pub ra: Option<Reg>,
+    /// Compare source register ids.
+    pub rb: Option<Reg>,
+    /// 2-bit confidence that `comp_pc` is the loop's bound check.
+    pub comp_conf: u8,
+    /// Inferred per-iteration induction-variable increment.
+    pub increment: i64,
+    /// Whether `increment` has been inferred.
+    pub increment_valid: bool,
+    /// Which of (s_a, s_b) is the moving induction value (`true` = A moves).
+    pub a_moves: bool,
+    /// 2-bit tournament counter: MSB set → trust the LBD over the EWMA.
+    pub tournament: u8,
+    /// Prediction issued by the EWMA at the last PRM trigger (for training).
+    pub last_pred_ewma: Option<u64>,
+    /// Prediction issued by the LBD at the last PRM trigger (for training).
+    pub last_pred_lbd: Option<u64>,
+    /// Iterations already consumed when the last prediction was made.
+    pub pred_base_iter: u32,
+}
+
+/// EWMA update on the fixed-point (eighths) representation:
+/// `new = 7*old/8 + iteration/8` (paper formula), capped at the 9-bit range.
+pub fn ewma_update(old_x8: u32, iteration: u32) -> u32 {
+    ((7 * old_x8) / 8 + iteration).min(511 * 8)
+}
+
+/// The LBD table plus the (single) LC register.
+#[derive(Debug, Clone)]
+pub struct LoopBounds {
+    entries: Vec<LbdEntry>,
+    /// The last-compare register; reset when flags are clobbered.
+    pub lc: Option<LcEntry>,
+}
+
+impl LoopBounds {
+    /// Creates an empty table with `entries` slots (8 in the paper).
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0);
+        LoopBounds {
+            entries: vec![LbdEntry::default(); entries],
+            lc: None,
+        }
+    }
+
+    fn index(&self, pc: usize) -> usize {
+        pc % self.entries.len()
+    }
+
+    /// The entry for `pc`, installing a fresh one if absent (direct-mapped).
+    pub fn entry_mut(&mut self, pc: usize) -> &mut LbdEntry {
+        let i = self.index(pc);
+        let e = &mut self.entries[i];
+        if !e.valid || e.pc != pc {
+            *e = LbdEntry {
+                pc,
+                valid: true,
+                tournament: 1,
+                ..LbdEntry::default()
+            };
+        }
+        e
+    }
+
+    /// Read-only lookup.
+    pub fn entry(&self, pc: usize) -> Option<&LbdEntry> {
+        let e = &self.entries[self.index(pc)];
+        (e.valid && e.pc == pc).then_some(e)
+    }
+
+    /// Called when the stride continues at the HSLR PC; returns `true` when
+    /// the 512-iteration cap forced an EWMA update.
+    pub fn on_continue(&mut self, pc: usize) -> bool {
+        let e = self.entry_mut(pc);
+        e.iteration += 1;
+        if e.iteration >= 512 {
+            let it = e.iteration;
+            Self::train_tournament(e, it);
+            e.ewma_x8 = ewma_update(e.ewma_x8, it);
+            e.ewma_valid = true;
+            e.iteration = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Called on a stride discontinuity at the HSLR PC: trains the
+    /// tournament and folds the finished run length into the EWMA.
+    pub fn on_discontinuity(&mut self, pc: usize) {
+        let e = self.entry_mut(pc);
+        let it = e.iteration;
+        Self::train_tournament(e, it);
+        e.ewma_x8 = ewma_update(e.ewma_x8, it);
+        e.ewma_valid = true;
+        e.iteration = 0;
+    }
+
+    fn train_tournament(e: &mut LbdEntry, actual: u32) {
+        let (Some(pe), Some(pl)) = (e.last_pred_ewma, e.last_pred_lbd) else {
+            e.last_pred_ewma = None;
+            e.last_pred_lbd = None;
+            return;
+        };
+        // Both predictors forecast the remaining iterations at trigger time.
+        let actual_remaining = u64::from(actual.saturating_sub(e.pred_base_iter));
+        let err_e = pe.abs_diff(actual_remaining);
+        let err_l = pl.abs_diff(actual_remaining);
+        if err_l < err_e {
+            e.tournament = (e.tournament + 1).min(3);
+        } else if err_e < err_l {
+            e.tournament = e.tournament.saturating_sub(1);
+        }
+        e.last_pred_ewma = None;
+        e.last_pred_lbd = None;
+    }
+
+    /// Trains the compare tracking on a backward conditional-taken branch
+    /// whose flags come from the LC (§IV-B2).
+    pub fn train_compare(&mut self, hslr_pc: usize) {
+        let Some(lc) = self.lc else { return };
+        let e = self.entry_mut(hslr_pc);
+        if e.comp_conf == 0 || e.comp_pc != lc.pc {
+            if e.comp_conf == 0 {
+                // Adopt the LC as the loop's bound check.
+                e.comp_pc = lc.pc;
+                e.s_a = lc.va;
+                e.s_b = lc.vb;
+                e.ra = lc.ra;
+                e.rb = lc.rb;
+                e.comp_conf = 1;
+                e.increment_valid = false;
+            } else {
+                e.comp_conf -= 1;
+            }
+            return;
+        }
+        // Matching compare PC: infer the loop increment from which operand
+        // moved since the previous iteration.
+        e.comp_conf = (e.comp_conf + 1).min(3);
+        let a_changed = lc.va != e.s_a;
+        let b_changed = lc.vb != e.s_b;
+        if a_changed != b_changed {
+            let delta = if a_changed {
+                lc.va.wrapping_sub(e.s_a) as i64
+            } else {
+                lc.vb.wrapping_sub(e.s_b) as i64
+            };
+            if delta != 0 {
+                e.increment = delta;
+                e.increment_valid = true;
+                e.a_moves = a_changed;
+            }
+        }
+        e.s_a = lc.va;
+        e.s_b = lc.vb;
+        e.ra = lc.ra;
+        e.rb = lc.rb;
+    }
+
+    /// EWMA prediction of remaining iterations (paper formula):
+    /// `min(EWMA - iterations, N)` if positive, else `min(EWMA, N)`.
+    pub fn predict_ewma(&self, pc: usize, n: u64) -> Option<u64> {
+        let e = self.entry(pc)?;
+        if !e.ewma_valid {
+            return None;
+        }
+        let ewma = u64::from(e.ewma_x8 / 8);
+        let it = u64::from(e.iteration);
+        let pred = if ewma > it { ewma - it } else { ewma };
+        Some(pred.clamp(1, n))
+    }
+
+    /// LBD prediction from the *stored* compare operand values
+    /// (LbdWait / LBD+Maxlength style, available after a full iteration).
+    pub fn predict_lbd_stored(&self, pc: usize, n: u64) -> Option<u64> {
+        let e = self.entry(pc)?;
+        if !e.increment_valid || e.comp_conf < 2 {
+            return None;
+        }
+        let (moving, bound) = if e.a_moves {
+            (e.s_a, e.s_b)
+        } else {
+            (e.s_b, e.s_a)
+        };
+        predict_from_values(moving, bound, e.increment, n)
+    }
+
+    /// LBD+CV prediction: scavenge the *current* values of the compare's
+    /// source registers at trigger time (§IV-B2).
+    pub fn predict_lbd_cv(&self, pc: usize, n: u64, read_reg: impl Fn(Reg) -> u64) -> Option<u64> {
+        let e = self.entry(pc)?;
+        if !e.increment_valid || e.comp_conf < 1 {
+            return None;
+        }
+        let cv_a = e.ra.map(&read_reg);
+        let cv_b = e.rb.map(&read_reg).or(Some(e.s_b));
+        let (moving, bound) = if e.a_moves {
+            (cv_a?, cv_b?)
+        } else {
+            (cv_b?, cv_a?)
+        };
+        predict_from_values(moving, bound, e.increment, n)
+    }
+
+    /// Remembers what each component predicted (for tournament training).
+    pub fn record_predictions(&mut self, pc: usize, pe: Option<u64>, pl: Option<u64>) {
+        let e = self.entry_mut(pc);
+        let base = e.iteration;
+        e.last_pred_ewma = pe;
+        e.last_pred_lbd = pl;
+        e.pred_base_iter = base;
+    }
+
+    /// Whether the tournament currently favours the LBD for `pc`.
+    pub fn tournament_picks_lbd(&self, pc: usize) -> bool {
+        self.entry(pc).map(|e| e.tournament >= 2).unwrap_or(false)
+    }
+}
+
+/// `(bound - moving) / increment`, the number of iterations left.
+fn predict_from_values(moving: u64, bound: u64, increment: i64, n: u64) -> Option<u64> {
+    if increment == 0 {
+        return None;
+    }
+    let remaining = bound.wrapping_sub(moving) as i64;
+    let iters = remaining / increment;
+    if iters <= 0 {
+        Some(1)
+    } else {
+        Some((iters as u64).clamp(1, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn ewma_formula() {
+        // Fixed point in eighths: update adds the raw iteration count.
+        assert_eq!(ewma_update(0, 80), 80); // ewma value 10
+        assert_eq!(ewma_update(80 * 8, 80), 640); // steady state: ewma 80
+        assert!(ewma_update(511 * 8, 4096) <= 511 * 8);
+    }
+
+    #[test]
+    fn ewma_prediction_uses_remaining() {
+        let mut lb = LoopBounds::new(8);
+        // Train: ten runs of 20 iterations (EWMA converges toward 20).
+        for _ in 0..10 {
+            for _ in 0..20 {
+                lb.on_continue(7);
+            }
+            lb.on_discontinuity(7);
+        }
+        let e = lb.entry(7).unwrap();
+        assert!(e.ewma_valid && e.ewma_x8 / 8 >= 10);
+        // Mid-loop: 5 iterations consumed.
+        for _ in 0..5 {
+            lb.on_continue(7);
+        }
+        let pred_mid = lb.predict_ewma(7, 64).unwrap();
+        let e = lb.entry(7).unwrap();
+        assert_eq!(pred_mid, u64::from(e.ewma_x8 / 8 - 5));
+    }
+
+    #[test]
+    fn compare_training_infers_increment() {
+        let mut lb = LoopBounds::new(8);
+        // i compares against constant bound 100, i += 1 each iteration.
+        for i in 1..6u64 {
+            lb.lc = Some(LcEntry {
+                pc: 33,
+                va: i,
+                vb: 100,
+                ra: Some(r(3)),
+                rb: Some(r(4)),
+            });
+            lb.train_compare(10);
+        }
+        let e = lb.entry(10).unwrap();
+        assert!(e.increment_valid);
+        assert_eq!(e.increment, 1);
+        assert!(e.a_moves);
+        assert!(e.comp_conf >= 2);
+        // Stored prediction: (100 - 5) / 1 = 95, clamped to N.
+        assert_eq!(lb.predict_lbd_stored(10, 64), Some(64));
+        assert_eq!(lb.predict_lbd_stored(10, 128), Some(95));
+    }
+
+    #[test]
+    fn cv_scavenging_reads_registers() {
+        let mut lb = LoopBounds::new(8);
+        for i in 1..4u64 {
+            lb.lc = Some(LcEntry {
+                pc: 33,
+                va: i * 8,
+                vb: 800,
+                ra: Some(r(3)),
+                rb: Some(r(4)),
+            });
+            lb.train_compare(10);
+        }
+        // Registers currently hold i*8 = 720 and bound 800: 10 iterations.
+        let pred = lb
+            .predict_lbd_cv(10, 64, |reg| if reg == r(3) { 720 } else { 800 })
+            .unwrap();
+        assert_eq!(pred, 10);
+    }
+
+    #[test]
+    fn changing_compare_pc_lowers_confidence_then_replaces() {
+        let mut lb = LoopBounds::new(8);
+        lb.lc = Some(LcEntry {
+            pc: 33,
+            va: 1,
+            vb: 9,
+            ra: Some(r(1)),
+            rb: Some(r(2)),
+        });
+        lb.train_compare(10);
+        assert_eq!(lb.entry(10).unwrap().comp_pc, 33);
+        // A different compare shows up twice: first decrements, then replaces.
+        lb.lc = Some(LcEntry {
+            pc: 44,
+            va: 2,
+            vb: 9,
+            ra: Some(r(1)),
+            rb: Some(r(2)),
+        });
+        lb.train_compare(10);
+        assert_eq!(lb.entry(10).unwrap().comp_pc, 33);
+        lb.train_compare(10);
+        assert_eq!(lb.entry(10).unwrap().comp_pc, 44);
+    }
+
+    #[test]
+    fn tournament_trains_toward_better_component() {
+        let mut lb = LoopBounds::new(8);
+        // Record: EWMA said 50 remaining, LBD said 10; actual run length 10.
+        lb.record_predictions(7, Some(50), Some(10));
+        for _ in 0..10 {
+            lb.on_continue(7);
+        }
+        lb.on_discontinuity(7);
+        assert!(lb.tournament_picks_lbd(7));
+        // Now EWMA is better twice: counter saturates back down.
+        for _ in 0..2 {
+            lb.record_predictions(7, Some(10), Some(500));
+            for _ in 0..10 {
+                lb.on_continue(7);
+            }
+            lb.on_discontinuity(7);
+        }
+        assert!(!lb.tournament_picks_lbd(7));
+    }
+
+    #[test]
+    fn predict_from_values_edge_cases() {
+        assert_eq!(predict_from_values(5, 100, 0, 16), None);
+        assert_eq!(predict_from_values(100, 5, 1, 16), Some(1)); // overrun
+        assert_eq!(predict_from_values(0, 5, 1, 16), Some(5));
+        assert_eq!(predict_from_values(100, 20, -10, 16), Some(8));
+    }
+
+    #[test]
+    fn cap_512_forces_update() {
+        let mut lb = LoopBounds::new(8);
+        let mut capped = false;
+        for _ in 0..512 {
+            capped |= lb.on_continue(3);
+        }
+        assert!(capped);
+        assert_eq!(lb.entry(3).unwrap().iteration, 0);
+        assert!(lb.entry(3).unwrap().ewma_valid);
+    }
+}

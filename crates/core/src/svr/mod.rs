@@ -1,0 +1,24 @@
+//! Scalar Vector Runahead (§IV): the paper's contribution.
+//!
+//! The [`SvrEngine`] attaches to the in-order pipeline
+//! ([`crate::InOrderCore::with_svr`]) and implements piggyback runahead mode
+//! end to end: stride detection, taint tracking, the speculative register
+//! file with LRU recycling, scalar-vector instruction generation, waiting
+//! mode, multi-chain handling, control-flow masking, loop-bound prediction
+//! (EWMA / LBD / CV scavenging / tournament) and the accuracy-based ban.
+
+mod config;
+mod detector;
+mod engine;
+mod lbd;
+mod monitor;
+mod overhead;
+mod taint;
+
+pub use config::{LoopBoundMode, RecyclePolicy, SvrConfig};
+pub use detector::{SdEntry, SdUpdate, StrideDetector};
+pub use engine::SvrEngine;
+pub use lbd::{ewma_update, LbdEntry, LcEntry, LoopBounds};
+pub use monitor::AccuracyMonitor;
+pub use overhead::{bit_budget, BitBudget};
+pub use taint::{RecycleOutcome, SrfReg, TaintEntry, TaintSrf};

@@ -1,0 +1,132 @@
+//! The usefulness monitor (§IV-A7): prefetch-tag accuracy tracking with a
+//! global SVR ban that is periodically lifted.
+
+/// Tracks SVR prefetch accuracy from the L1 prefetch-tag counters and bans
+/// SVR triggering when accuracy drops below the threshold.
+///
+/// # Examples
+///
+/// ```
+/// use svr_core::svr::AccuracyMonitor;
+/// let mut m = AccuracyMonitor::new(100, 0.5, 1_000_000);
+/// m.observe(500, 10, 150); // 10 used / 150 evicted: bad
+/// assert!(m.banned());
+/// m.observe(1_000_001, 10, 150); // 1M-instruction reset lifts the ban
+/// assert!(!m.banned());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccuracyMonitor {
+    warmup: u64,
+    threshold: f64,
+    reset_insts: u64,
+    banned: bool,
+    /// Counter values at the start of the current observation window.
+    base_used: u64,
+    base_evicted: u64,
+    /// Instruction count at which the next ban lift / window reset happens.
+    next_reset: u64,
+    bans: u64,
+}
+
+impl AccuracyMonitor {
+    /// Creates a monitor with the paper's parameters:
+    /// `warmup` outcomes (100), accuracy `threshold` (0.5), and ban-lift
+    /// period `reset_insts` (1 M instructions).
+    pub fn new(warmup: u64, threshold: f64, reset_insts: u64) -> Self {
+        AccuracyMonitor {
+            warmup,
+            threshold,
+            reset_insts,
+            banned: false,
+            base_used: 0,
+            base_evicted: 0,
+            next_reset: reset_insts,
+            bans: 0,
+        }
+    }
+
+    /// Whether SVR triggering is currently banned.
+    pub fn banned(&self) -> bool {
+        self.banned
+    }
+
+    /// Number of times the ban engaged.
+    pub fn bans(&self) -> u64 {
+        self.bans
+    }
+
+    /// Feeds the monitor the current instruction count and the cumulative
+    /// SVR prefetch outcome counters (from the L1 prefetch tags).
+    pub fn observe(&mut self, inst_count: u64, used: u64, evicted_unused: u64) {
+        if inst_count >= self.next_reset {
+            // Periodic reset: lift the ban and start a fresh window, giving
+            // SVR another chance (§IV-A7).
+            self.banned = false;
+            self.base_used = used;
+            self.base_evicted = evicted_unused;
+            self.next_reset = inst_count - inst_count % self.reset_insts + self.reset_insts;
+            return;
+        }
+        if self.banned {
+            return;
+        }
+        let du = used - self.base_used;
+        let de = evicted_unused - self.base_evicted;
+        let total = du + de;
+        if total >= self.warmup {
+            let acc = du as f64 / total as f64;
+            if acc < self.threshold {
+                self.banned = true;
+                self.bans += 1;
+            } else {
+                // Roll the window forward so old history ages out.
+                self.base_used = used;
+                self.base_evicted = evicted_unused;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ban_during_warmup() {
+        let mut m = AccuracyMonitor::new(100, 0.5, 1_000_000);
+        m.observe(10, 0, 99); // only 99 outcomes
+        assert!(!m.banned());
+    }
+
+    #[test]
+    fn bans_on_low_accuracy() {
+        let mut m = AccuracyMonitor::new(100, 0.5, 1_000_000);
+        m.observe(10, 40, 60);
+        assert!(m.banned());
+        assert_eq!(m.bans(), 1);
+    }
+
+    #[test]
+    fn stays_enabled_on_good_accuracy() {
+        let mut m = AccuracyMonitor::new(100, 0.5, 1_000_000);
+        m.observe(10, 90, 20);
+        assert!(!m.banned());
+        // Window rolled: the old 90/20 does not count again.
+        m.observe(20, 95, 130);
+        assert!(m.banned(), "5 used vs 110 evicted in the new window");
+    }
+
+    #[test]
+    fn reset_lifts_ban_and_restarts_window() {
+        let mut m = AccuracyMonitor::new(100, 0.5, 1000);
+        m.observe(10, 0, 200);
+        assert!(m.banned());
+        m.observe(999, 0, 400);
+        assert!(m.banned(), "not yet at the reset boundary");
+        m.observe(1005, 0, 500);
+        assert!(!m.banned(), "boundary crossed");
+        // Fresh window: old evictions forgiven.
+        m.observe(1010, 50, 520);
+        assert!(!m.banned(), "50/70 in new window is above threshold");
+    }
+}

@@ -1,0 +1,148 @@
+//! Hardware-overhead accounting, reproducing Table II bit-for-bit.
+
+/// Per-structure bit budget of an SVR design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitBudget {
+    /// Stride detector (32 entries × 173 bits).
+    pub stride_detector: u64,
+    /// Taint tracker (32 architectural registers).
+    pub taint_tracker: u64,
+    /// Head striding-load register + mask.
+    pub hslr: u64,
+    /// Speculative register file (K × N×64 bits).
+    pub srf: u64,
+    /// Last-compare register.
+    pub lc: u64,
+    /// Loop-bound detector (8 entries).
+    pub lbd: u64,
+    /// Scoreboard return counters (32 × ⌈log2(N+1)⌉).
+    pub scoreboard: u64,
+    /// L1 prefetch tags.
+    pub l1_tags: u64,
+}
+
+impl BitBudget {
+    /// Total bits.
+    pub fn total_bits(&self) -> u64 {
+        self.stride_detector
+            + self.taint_tracker
+            + self.hslr
+            + self.srf
+            + self.lc
+            + self.lbd
+            + self.scoreboard
+            + self.l1_tags
+    }
+
+    /// Total KiB.
+    pub fn total_kib(&self) -> f64 {
+        self.total_bits() as f64 / 8.0 / 1024.0
+    }
+}
+
+/// Computes the Table II bit budget for vector length `n` and `k` SRF
+/// entries (paper default: n = 16, k = 8 → 17 738 bits = 2.17 KiB).
+///
+/// # Examples
+///
+/// ```
+/// use svr_core::bit_budget;
+/// let b = bit_budget(16, 8);
+/// assert_eq!(b.total_bits(), 17_738);
+/// assert!((b.total_kib() - 2.17).abs() < 0.01);
+/// ```
+pub fn bit_budget(n: u64, k: u64) -> BitBudget {
+    let log2k = if k <= 1 { 1 } else { ceil_log2(k) };
+
+    // Stride-detector entry (Fig. 6 / Table II):
+    // 48 PC + 48 LP + 48 prev addr + 1 seen + 8 stride + 16 LIL + 2 conf + 2 LIL conf
+    let sd_entry = 48 + 48 + 48 + 1 + 8 + 16 + 2 + 2;
+    let stride_detector = 32 * sd_entry;
+
+    // Taint-tracker entry: 1 tainted + ceil(log2 K) SRF id + 1 mapped + 8 offset
+    let tt_entry = 1 + log2k + 1 + 8;
+    let taint_tracker = 32 * tt_entry;
+
+    // HSLR: 48-bit PC + N mask bits.
+    let hslr = 48 + n;
+
+    // SRF: K registers of N×64 bits.
+    let srf = k * n * 64;
+
+    // LC: 48 PC + 64 val A + 5 reg A + 64 val B + 5 reg B.
+    let lc = 48 + 64 + 5 + 64 + 5;
+
+    // LBD entry: 48 PC + 186 LC + 9 EWMA + 16 loop increment
+    //            + 9 iteration counter + 2 tournament = 270 bits.
+    let lbd_entry = 48 + lc + 9 + 16 + 9 + 2;
+    let lbd = 8 * lbd_entry;
+
+    // Scoreboard: 32 × ceil(log2(N+1)) return-counter bits.
+    let scoreboard = 32 * ceil_log2(n + 1);
+
+    // L1 prefetch tags: one bit per L1 line (64 KiB / 64 B = 1024).
+    let l1_tags = 1024;
+
+    BitBudget {
+        stride_detector,
+        taint_tracker,
+        hslr,
+        srf,
+        lc,
+        lbd,
+        scoreboard,
+        l1_tags,
+    }
+}
+
+fn ceil_log2(x: u64) -> u64 {
+    assert!(x >= 1);
+    64 - (x - 1).leading_zeros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+        assert_eq!(ceil_log2(17), 5);
+        assert_eq!(ceil_log2(129), 8);
+    }
+
+    #[test]
+    fn matches_table_ii_default() {
+        let b = bit_budget(16, 8);
+        assert_eq!(b.stride_detector, 5536);
+        assert_eq!(b.taint_tracker, 416);
+        assert_eq!(b.hslr, 64);
+        assert_eq!(b.srf, 8192);
+        assert_eq!(b.lc, 186);
+        assert_eq!(b.lbd, 2160);
+        assert_eq!(b.scoreboard, 160);
+        assert_eq!(b.l1_tags, 1024);
+        assert_eq!(b.total_bits(), 17_738);
+        assert!((b.total_kib() - 2.17).abs() < 0.005, "{}", b.total_kib());
+    }
+
+    #[test]
+    fn n128_is_about_9kib() {
+        // §IV-C: "As N grows to 128, the SRF grows linearly to incur 9 KiB".
+        let b = bit_budget(128, 8);
+        assert!(
+            b.total_kib() > 8.0 && b.total_kib() < 10.0,
+            "{}",
+            b.total_kib()
+        );
+    }
+
+    #[test]
+    fn srf_scales_linearly_with_n_and_k() {
+        assert_eq!(bit_budget(32, 8).srf, 2 * bit_budget(16, 8).srf);
+        assert_eq!(bit_budget(16, 16).srf, 2 * bit_budget(16, 8).srf);
+    }
+}

@@ -1,0 +1,264 @@
+//! The taint tracker (Fig. 8) and speculative register file (§IV-A3).
+
+use crate::svr::config::RecyclePolicy;
+use svr_isa::{Reg, NUM_REGS};
+
+/// Per-architectural-register taint state (Fig. 8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaintEntry {
+    /// Register is part of the current indirect chain.
+    pub tainted: bool,
+    /// Register is mapped to a live SRF entry.
+    pub mapped: bool,
+    /// SRF entry id when mapped.
+    pub srf: usize,
+    /// Dynamic-instruction offset of the last read (LRU state).
+    pub offset: u32,
+}
+
+/// One speculative vector register: N 64-bit lanes plus per-lane ready times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrfReg {
+    /// Lane values.
+    pub vals: Vec<u64>,
+    /// Cycle each lane's value becomes available.
+    pub ready: Vec<u64>,
+    /// The architectural register currently mapped here, if any.
+    pub owner: Option<Reg>,
+}
+
+/// The taint tracker plus SRF, managed together because mappings live in the
+/// taint tracker (§IV-A3).
+///
+/// # Examples
+///
+/// ```
+/// use svr_core::svr::{TaintSrf, RecycleOutcome};
+/// use svr_core::RecyclePolicy;
+/// use svr_isa::Reg;
+///
+/// let mut ts = TaintSrf::new(2, 4, RecyclePolicy::Lru);
+/// let id = match ts.map_dest(Reg::new(5), 0) {
+///     RecycleOutcome::Allocated(id) => id,
+///     other => panic!("{other:?}"),
+/// };
+/// ts.srf_mut(id).vals[0] = 42;
+/// assert!(ts.entry(Reg::new(5)).tainted);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaintSrf {
+    entries: [TaintEntry; NUM_REGS],
+    srf: Vec<SrfReg>,
+    policy: RecyclePolicy,
+}
+
+/// What happened when mapping a destination register to the SRF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecycleOutcome {
+    /// A free (or already-owned) SRF entry was used.
+    Allocated(usize),
+    /// An LRU victim mapping was stolen (SVR's recycling).
+    Recycled(usize),
+    /// No entry available under [`RecyclePolicy::NoRecycle`].
+    Starved,
+}
+
+impl TaintSrf {
+    /// Creates a tracker with `k` SRF entries of `n` lanes each.
+    pub fn new(k: usize, n: usize, policy: RecyclePolicy) -> Self {
+        assert!(k > 0 && n > 0);
+        TaintSrf {
+            entries: [TaintEntry::default(); NUM_REGS],
+            srf: vec![
+                SrfReg {
+                    vals: vec![0; n],
+                    ready: vec![0; n],
+                    owner: None,
+                };
+                k
+            ],
+            policy,
+        }
+    }
+
+    /// Taint state of `r`.
+    pub fn entry(&self, r: Reg) -> &TaintEntry {
+        &self.entries[r.index()]
+    }
+
+    /// Whether `r` is tainted *and* still mapped (usable as an SVI input).
+    pub fn vector_input(&self, r: Reg) -> Option<usize> {
+        let e = &self.entries[r.index()];
+        (e.tainted && e.mapped).then_some(e.srf)
+    }
+
+    /// Reads SRF entry `id`.
+    pub fn srf(&self, id: usize) -> &SrfReg {
+        &self.srf[id]
+    }
+
+    /// Mutable SRF entry `id`.
+    pub fn srf_mut(&mut self, id: usize) -> &mut SrfReg {
+        &mut self.srf[id]
+    }
+
+    /// Marks a read of `r` at dynamic-instruction `offset` (LRU update).
+    pub fn touch(&mut self, r: Reg, offset: u32) {
+        let e = &mut self.entries[r.index()];
+        if e.tainted {
+            e.offset = offset;
+        }
+    }
+
+    /// Maps destination `r` to an SRF entry, tainting it. Reuses an existing
+    /// mapping, takes a free entry, or recycles per policy.
+    pub fn map_dest(&mut self, r: Reg, offset: u32) -> RecycleOutcome {
+        let idx = r.index();
+        if self.entries[idx].mapped {
+            // Only one copy of an architectural register is live at once
+            // (footnote 1): reuse the mapping.
+            let id = self.entries[idx].srf;
+            self.entries[idx].tainted = true;
+            self.entries[idx].offset = offset;
+            return RecycleOutcome::Allocated(id);
+        }
+        if let Some(id) = self.srf.iter().position(|s| s.owner.is_none()) {
+            self.install(r, id, offset);
+            return RecycleOutcome::Allocated(id);
+        }
+        match self.policy {
+            RecyclePolicy::NoRecycle => RecycleOutcome::Starved,
+            RecyclePolicy::Lru => {
+                // Steal from the least-recently-read mapped register.
+                let victim_reg = (0..NUM_REGS)
+                    .filter(|&i| self.entries[i].mapped)
+                    .min_by_key(|&i| self.entries[i].offset)
+                    .expect("all SRF entries have owners");
+                let id = self.entries[victim_reg].srf;
+                // Invalidate the old mapping: Mapped=0 blocks further SVIs
+                // reading that register.
+                self.entries[victim_reg].mapped = false;
+                self.install(r, id, offset);
+                RecycleOutcome::Recycled(id)
+            }
+        }
+    }
+
+    fn install(&mut self, r: Reg, id: usize, offset: u32) {
+        self.srf[id].owner = Some(r);
+        for v in &mut self.srf[id].ready {
+            *v = 0;
+        }
+        self.entries[r.index()] = TaintEntry {
+            tainted: true,
+            mapped: true,
+            srf: id,
+            offset,
+        };
+    }
+
+    /// Called when the main thread overwrites `r` with an untainted value:
+    /// resets the taint and frees the SRF entry (§IV-A3).
+    pub fn untaint(&mut self, r: Reg) {
+        let e = &mut self.entries[r.index()];
+        if e.mapped {
+            self.srf[e.srf].owner = None;
+        }
+        *e = TaintEntry::default();
+    }
+
+    /// Clears all taint and frees the whole SRF (PRM termination).
+    pub fn clear(&mut self) {
+        self.entries = [TaintEntry::default(); NUM_REGS];
+        for s in &mut self.srf {
+            s.owner = None;
+        }
+    }
+
+    /// Number of SRF entries currently owned.
+    pub fn srf_in_use(&self) -> usize {
+        self.srf.iter().filter(|s| s.owner.is_some()).count()
+    }
+
+    /// The configured number of SRF entries.
+    pub fn srf_len(&self) -> usize {
+        self.srf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn map_taint_untaint_cycle() {
+        let mut ts = TaintSrf::new(2, 4, RecyclePolicy::Lru);
+        let RecycleOutcome::Allocated(id) = ts.map_dest(r(3), 1) else {
+            panic!("expected allocation");
+        };
+        assert!(ts.entry(r(3)).tainted && ts.entry(r(3)).mapped);
+        assert_eq!(ts.vector_input(r(3)), Some(id));
+        assert_eq!(ts.srf_in_use(), 1);
+        ts.untaint(r(3));
+        assert!(!ts.entry(r(3)).tainted);
+        assert_eq!(ts.srf_in_use(), 0);
+    }
+
+    #[test]
+    fn remap_reuses_same_entry() {
+        let mut ts = TaintSrf::new(2, 4, RecyclePolicy::Lru);
+        let RecycleOutcome::Allocated(a) = ts.map_dest(r(3), 1) else {
+            panic!()
+        };
+        let RecycleOutcome::Allocated(b) = ts.map_dest(r(3), 5) else {
+            panic!()
+        };
+        assert_eq!(a, b);
+        assert_eq!(ts.srf_in_use(), 1);
+    }
+
+    #[test]
+    fn lru_recycling_steals_least_recently_read() {
+        let mut ts = TaintSrf::new(2, 4, RecyclePolicy::Lru);
+        ts.map_dest(r(1), 1);
+        ts.map_dest(r(2), 2);
+        ts.touch(r(1), 10); // r1 recently read; r2 is LRU
+        let out = ts.map_dest(r(3), 11);
+        assert!(matches!(out, RecycleOutcome::Recycled(_)));
+        assert!(!ts.entry(r(2)).mapped, "victim loses its mapping");
+        assert!(ts.entry(r(2)).tainted, "victim stays tainted (Fig. 8)");
+        assert_eq!(ts.vector_input(r(2)), None, "unmapped blocks SVI input");
+        assert!(ts.entry(r(1)).mapped);
+        assert!(ts.entry(r(3)).mapped);
+    }
+
+    #[test]
+    fn no_recycle_policy_starves() {
+        let mut ts = TaintSrf::new(1, 4, RecyclePolicy::NoRecycle);
+        ts.map_dest(r(1), 1);
+        assert_eq!(ts.map_dest(r(2), 2), RecycleOutcome::Starved);
+        assert!(ts.entry(r(1)).mapped);
+        assert!(!ts.entry(r(2)).tainted);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut ts = TaintSrf::new(2, 4, RecyclePolicy::Lru);
+        ts.map_dest(r(1), 1);
+        ts.map_dest(r(2), 2);
+        ts.clear();
+        assert_eq!(ts.srf_in_use(), 0);
+        assert!(!ts.entry(r(1)).tainted);
+    }
+
+    #[test]
+    fn touch_only_affects_tainted() {
+        let mut ts = TaintSrf::new(2, 4, RecyclePolicy::Lru);
+        ts.touch(r(7), 99);
+        assert_eq!(ts.entry(r(7)).offset, 0);
+    }
+}

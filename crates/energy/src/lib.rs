@@ -1,0 +1,287 @@
+//! # svr-energy — McPAT-style event-based energy model
+//!
+//! The paper evaluates power/energy with McPAT v1.0 at 22 nm (§V). McPAT is
+//! an analytical model: dynamic energy per microarchitectural event plus
+//! static (leakage + clock) power integrated over runtime, summed for the
+//! whole system (SoC + DRAM). This crate reproduces that accounting
+//! structure with per-event constants anchored to the two absolute numbers
+//! the paper reports (§VI-B): the in-order core averages ≈0.12 W and the
+//! out-of-order core ≈1.01 W on the irregular suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use svr_energy::{EnergyModel, EnergyInput, CoreKind};
+//!
+//! let model = EnergyModel::default();
+//! let input = EnergyInput {
+//!     cycles: 2_000_000,
+//!     retired: 200_000,
+//!     issued_uops: 200_000,
+//!     svr_lanes: 0,
+//!     l1_accesses: 60_000,
+//!     l2_accesses: 20_000,
+//!     dram_lines: 15_000,
+//!     core: CoreKind::InOrder,
+//! };
+//! let e = model.energy(&input);
+//! assert!(e.total_nj() > 0.0);
+//! assert!(e.nj_per_inst(input.retired) > 0.0);
+//! ```
+
+/// Which core's power profile applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreKind {
+    /// The 3-wide in-order core (with or without SVR/IMP attached).
+    InOrder,
+    /// The 3-wide out-of-order core.
+    OutOfOrder,
+}
+
+/// Per-event energies (pJ) and static powers (W) for the 22 nm-ish model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Core clock (GHz), to convert cycles into seconds.
+    pub freq_ghz: f64,
+    /// Front-end + in-order issue + RF + ALU energy per issued µop.
+    pub inorder_uop_pj: f64,
+    /// Rename/RS/ROB/wakeup-inclusive energy per µop on the OoO core.
+    pub ooo_uop_pj: f64,
+    /// Extra energy per SVR transient lane (SVU copy generation + SRF
+    /// access); lanes also pay `inorder_uop_pj` as they use the real pipe.
+    pub svr_lane_pj: f64,
+    /// Energy per L1 access.
+    pub l1_access_pj: f64,
+    /// Energy per L2 access.
+    pub l2_access_pj: f64,
+    /// Energy per DRAM line transfer (activate+IO for 64 B).
+    pub dram_line_pj: f64,
+    /// In-order core static power (leakage + clock), W.
+    pub inorder_static_w: f64,
+    /// OoO core static power, W.
+    pub ooo_static_w: f64,
+    /// Uncore (L2 + interconnect) static power, W.
+    pub uncore_static_w: f64,
+    /// DRAM background power, W.
+    pub dram_static_w: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            freq_ghz: 2.0,
+            inorder_uop_pj: 35.0,
+            ooo_uop_pj: 260.0,
+            svr_lane_pj: 12.0,
+            l1_access_pj: 22.0,
+            l2_access_pj: 60.0,
+            dram_line_pj: 12_000.0,
+            inorder_static_w: 0.055,
+            ooo_static_w: 0.82,
+            uncore_static_w: 0.12,
+            dram_static_w: 0.45,
+        }
+    }
+}
+
+/// Event counts for one run, assembled by the simulator driver from
+/// `CoreStats` and `MemStats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnergyInput {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Architectural instructions retired.
+    pub retired: u64,
+    /// All µops issued, including SVR transient lanes.
+    pub issued_uops: u64,
+    /// SVR transient lanes (subset of `issued_uops`).
+    pub svr_lanes: u64,
+    /// L1-D accesses (demand + prefetch fills).
+    pub l1_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// DRAM line transfers (reads + writebacks).
+    pub dram_lines: u64,
+    /// Core profile.
+    pub core: CoreKind,
+}
+
+/// Energy decomposition in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Core dynamic energy (issue, RF, ALUs, SVU/SRF).
+    pub core_dynamic_nj: f64,
+    /// Cache dynamic energy (L1 + L2).
+    pub cache_dynamic_nj: f64,
+    /// DRAM dynamic energy.
+    pub dram_dynamic_nj: f64,
+    /// Static (leakage + background) energy over the runtime.
+    pub static_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total whole-system energy.
+    pub fn total_nj(&self) -> f64 {
+        self.core_dynamic_nj + self.cache_dynamic_nj + self.dram_dynamic_nj + self.static_nj
+    }
+
+    /// Energy per committed instruction (Fig. 12's metric).
+    pub fn nj_per_inst(&self, retired: u64) -> f64 {
+        if retired == 0 {
+            0.0
+        } else {
+            self.total_nj() / retired as f64
+        }
+    }
+}
+
+/// The energy model (see crate docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyModel {
+    params: EnergyParams,
+}
+
+impl EnergyModel {
+    /// Creates a model with custom parameters.
+    pub fn new(params: EnergyParams) -> Self {
+        EnergyModel { params }
+    }
+
+    /// The parameters in effect.
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Computes the whole-system energy for one run.
+    pub fn energy(&self, input: &EnergyInput) -> EnergyBreakdown {
+        let p = &self.params;
+        let uop_pj = match input.core {
+            CoreKind::InOrder => p.inorder_uop_pj,
+            CoreKind::OutOfOrder => p.ooo_uop_pj,
+        };
+        let core_dynamic_nj =
+            (input.issued_uops as f64 * uop_pj + input.svr_lanes as f64 * p.svr_lane_pj) / 1000.0;
+        let cache_dynamic_nj = (input.l1_accesses as f64 * p.l1_access_pj
+            + input.l2_accesses as f64 * p.l2_access_pj)
+            / 1000.0;
+        let dram_dynamic_nj = input.dram_lines as f64 * p.dram_line_pj / 1000.0;
+        let seconds = input.cycles as f64 / (p.freq_ghz * 1e9);
+        let core_static = match input.core {
+            CoreKind::InOrder => p.inorder_static_w,
+            CoreKind::OutOfOrder => p.ooo_static_w,
+        };
+        let static_nj = (core_static + p.uncore_static_w + p.dram_static_w) * seconds * 1e9;
+        EnergyBreakdown {
+            core_dynamic_nj,
+            cache_dynamic_nj,
+            dram_dynamic_nj,
+            static_nj,
+        }
+    }
+
+    /// Average core power (dynamic + core static) over a run, in watts —
+    /// the §VI-B headline metric (0.12 W in-order, 1.01 W OoO).
+    pub fn core_power_w(&self, input: &EnergyInput) -> f64 {
+        let e = self.energy(input);
+        let seconds = input.cycles as f64 / (self.params.freq_ghz * 1e9);
+        if seconds == 0.0 {
+            return 0.0;
+        }
+        let core_static = match input.core {
+            CoreKind::InOrder => self.params.inorder_static_w,
+            CoreKind::OutOfOrder => self.params.ooo_static_w,
+        };
+        e.core_dynamic_nj / 1e9 / seconds + core_static
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A memory-bound irregular profile: CPI ≈ 7 on OoO, ≈ 18 in-order.
+    fn profile(core: CoreKind, cpi: f64) -> EnergyInput {
+        let retired = 1_000_000u64;
+        EnergyInput {
+            cycles: (retired as f64 * cpi) as u64,
+            retired,
+            issued_uops: retired,
+            svr_lanes: 0,
+            l1_accesses: retired / 3,
+            l2_accesses: retired / 12,
+            dram_lines: retired / 18,
+            core,
+        }
+    }
+
+    #[test]
+    fn core_power_anchors_match_paper() {
+        let m = EnergyModel::default();
+        let ino = m.core_power_w(&profile(CoreKind::InOrder, 12.0));
+        let ooo = m.core_power_w(&profile(CoreKind::OutOfOrder, 4.0));
+        // §VI-B: 0.12 W and 1.01 W on average.
+        assert!((0.05..0.25).contains(&ino), "in-order power {ino:.3} W");
+        assert!((0.7..1.4).contains(&ooo), "OoO power {ooo:.3} W");
+    }
+
+    #[test]
+    fn faster_run_uses_less_static_energy() {
+        let m = EnergyModel::default();
+        let slow = m.energy(&profile(CoreKind::InOrder, 18.0));
+        let fast = m.energy(&profile(CoreKind::InOrder, 6.0));
+        assert!(fast.static_nj < slow.static_nj / 2.5);
+        assert_eq!(fast.dram_dynamic_nj, slow.dram_dynamic_nj);
+    }
+
+    #[test]
+    fn svr_lanes_add_core_energy_only() {
+        let m = EnergyModel::default();
+        let base = profile(CoreKind::InOrder, 6.0);
+        let with_svr = EnergyInput {
+            issued_uops: base.issued_uops * 2,
+            svr_lanes: base.issued_uops,
+            ..base
+        };
+        let e0 = m.energy(&base);
+        let e1 = m.energy(&with_svr);
+        assert!(e1.core_dynamic_nj > e0.core_dynamic_nj);
+        assert_eq!(e1.dram_dynamic_nj, e0.dram_dynamic_nj);
+        // Transient execution is cheap relative to the whole system (paper:
+        // 22% of core power, which is itself a small share).
+        assert!(e1.total_nj() < e0.total_nj() * 1.5);
+    }
+
+    #[test]
+    fn svr_halves_energy_versus_inorder_shape() {
+        // SVR: 3.2x faster, 2x µops, same DRAM traffic.
+        let m = EnergyModel::default();
+        let ino = profile(CoreKind::InOrder, 16.0);
+        let svr = EnergyInput {
+            cycles: (ino.cycles as f64 / 3.2) as u64,
+            issued_uops: ino.issued_uops * 2,
+            svr_lanes: ino.issued_uops,
+            ..ino
+        };
+        let r = m.energy(&svr).total_nj() / m.energy(&ino).total_nj();
+        // Paper Fig. 1: SVR needs ~53% less energy than in-order.
+        assert!((0.3..0.7).contains(&r), "ratio {r:.2}");
+    }
+
+    #[test]
+    fn ooo_beats_inorder_energy_when_fast_enough() {
+        let m = EnergyModel::default();
+        let ino = m.energy(&profile(CoreKind::InOrder, 18.0)).total_nj();
+        let ooo = m.energy(&profile(CoreKind::OutOfOrder, 6.0)).total_nj();
+        assert!(ooo < ino, "ooo {ooo:.0} vs ino {ino:.0}");
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let m = EnergyModel::default();
+        let mut i = profile(CoreKind::InOrder, 1.0);
+        i.cycles = 0;
+        assert_eq!(m.core_power_w(&i), 0.0);
+        assert_eq!(m.energy(&i).static_nj, 0.0);
+        assert_eq!(m.energy(&i).nj_per_inst(0), 0.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! A tiny assembler with forward/backward label resolution.
+
+use crate::inst::{AluOp, Cond, Inst};
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// An opaque label handle produced by [`Assembler::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builds a [`Program`] instruction by instruction, resolving labels at
+/// [`Assembler::finish`] time.
+///
+/// # Examples
+///
+/// ```
+/// use svr_isa::{Assembler, Reg, Cond};
+/// let mut asm = Assembler::new("spin");
+/// let i = Reg::new(1);
+/// asm.li(i, 3);
+/// let top = asm.label();
+/// asm.bind(top);
+/// asm.alui(svr_isa::AluOp::Sub, i, i, 1);
+/// asm.cmpi(i, 0);
+/// asm.b(Cond::Ne, top);
+/// asm.halt();
+/// let p = asm.finish();
+/// assert_eq!(p.len(), 5);
+/// ```
+#[derive(Debug)]
+pub struct Assembler {
+    name: String,
+    insts: Vec<Inst>,
+    /// For each instruction, the label it references (branches only).
+    fixups: Vec<(usize, Label)>,
+    /// Label id -> bound pc.
+    bindings: Vec<Option<usize>>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler for a program called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Assembler {
+            name: name.into(),
+            insts: Vec::new(),
+            fixups: Vec::new(),
+            bindings: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.bindings.push(None);
+        Label(self.bindings.len() - 1)
+    }
+
+    /// Binds `label` to the current position (the next emitted instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.bindings[label.0].is_none(),
+            "label bound twice at pc {}",
+            self.insts.len()
+        );
+        self.bindings[label.0] = Some(self.insts.len());
+    }
+
+    /// The PC of the next emitted instruction.
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    fn push(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    /// Emits `li dst, imm`.
+    pub fn li(&mut self, dst: Reg, imm: i64) {
+        self.push(Inst::Li { dst, imm });
+    }
+
+    /// Emits a register-register ALU operation.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, a: Reg, b: Reg) {
+        self.push(Inst::Alu { op, dst, a, b });
+    }
+
+    /// Emits a register-immediate ALU operation.
+    pub fn alui(&mut self, op: AluOp, dst: Reg, src: Reg, imm: i64) {
+        self.push(Inst::AluI { op, dst, src, imm });
+    }
+
+    /// Emits `mv dst, src` (encoded as `addi dst, src, 0`).
+    pub fn mv(&mut self, dst: Reg, src: Reg) {
+        self.alui(AluOp::Add, dst, src, 0);
+    }
+
+    /// Emits `ld dst, offset(base)`.
+    pub fn ld(&mut self, dst: Reg, base: Reg, offset: i64) {
+        self.push(Inst::Ld { dst, base, offset });
+    }
+
+    /// Emits `ldx dst, (base + index<<shift)`.
+    pub fn ldx(&mut self, dst: Reg, base: Reg, index: Reg, shift: u8) {
+        self.push(Inst::LdX {
+            dst,
+            base,
+            index,
+            shift,
+        });
+    }
+
+    /// Emits `st src, offset(base)`.
+    pub fn st(&mut self, src: Reg, base: Reg, offset: i64) {
+        self.push(Inst::St { src, base, offset });
+    }
+
+    /// Emits `stx src, (base + index<<shift)`.
+    pub fn stx(&mut self, src: Reg, base: Reg, index: Reg, shift: u8) {
+        self.push(Inst::StX {
+            src,
+            base,
+            index,
+            shift,
+        });
+    }
+
+    /// Emits `cmp a, b`.
+    pub fn cmp(&mut self, a: Reg, b: Reg) {
+        self.push(Inst::Cmp { a, b });
+    }
+
+    /// Emits `cmpi a, imm`.
+    pub fn cmpi(&mut self, a: Reg, imm: i64) {
+        self.push(Inst::CmpI { a, imm });
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn b(&mut self, cond: Cond, label: Label) {
+        let pc = self.insts.len();
+        self.fixups.push((pc, label));
+        self.push(Inst::B { cond, target: 0 });
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn j(&mut self, label: Label) {
+        let pc = self.insts.len();
+        self.fixups.push((pc, label));
+        self.push(Inst::J { target: 0 });
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) {
+        self.push(Inst::Nop);
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) {
+        self.push(Inst::Halt);
+    }
+
+    /// Resolves labels and produces the final [`Program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn finish(mut self) -> Program {
+        for &(pc, label) in &self.fixups {
+            let target = self.bindings[label.0]
+                .unwrap_or_else(|| panic!("unbound label referenced at pc {pc}"));
+            match &mut self.insts[pc] {
+                Inst::B { target: t, .. } | Inst::J { target: t } => *t = target,
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        Program::new(self.name, self.insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut asm = Assembler::new("t");
+        let fwd = asm.label();
+        let back = asm.label();
+        asm.bind(back);
+        asm.nop(); // pc 0
+        asm.b(Cond::Eq, fwd); // pc 1 -> 4
+        asm.j(back); // pc 2 -> 0
+        asm.nop(); // pc 3
+        asm.bind(fwd);
+        asm.halt(); // pc 4
+        let p = asm.finish();
+        assert_eq!(
+            p[1],
+            Inst::B {
+                cond: Cond::Eq,
+                target: 4
+            }
+        );
+        assert_eq!(p[2], Inst::J { target: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut asm = Assembler::new("t");
+        let l = asm.label();
+        asm.j(l);
+        let _ = asm.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut asm = Assembler::new("t");
+        let l = asm.label();
+        asm.bind(l);
+        asm.bind(l);
+    }
+
+    #[test]
+    fn emit_helpers_produce_expected_instructions() {
+        let mut asm = Assembler::new("t");
+        asm.li(r(1), 7);
+        asm.mv(r(2), r(1));
+        asm.ld(r(3), r(2), 16);
+        asm.stx(r(3), r(2), r(1), 3);
+        asm.cmpi(r(1), 0);
+        asm.halt();
+        let p = asm.finish();
+        assert_eq!(p.len(), 6);
+        assert_eq!(
+            p[1],
+            Inst::AluI {
+                op: AluOp::Add,
+                dst: r(2),
+                src: r(1),
+                imm: 0
+            }
+        );
+        assert!(p[2].is_load());
+        assert!(p[3].is_store());
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut asm = Assembler::new("t");
+        assert_eq!(asm.here(), 0);
+        asm.nop();
+        assert_eq!(asm.here(), 1);
+    }
+}

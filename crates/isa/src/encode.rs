@@ -1,0 +1,428 @@
+//! A fixed-width 64-bit binary encoding for the ISA.
+//!
+//! The simulator executes structured [`Inst`] values directly, but an
+//! on-disk/program-image format is useful for tooling (dumping compiled
+//! workloads, diffing programs, hashing program text) and pins down the
+//! instruction-footprint numbers used by the I-side model. The encoding is
+//! deliberately simple: one 64-bit word per instruction.
+//!
+//! Layout (LSB first):
+//! `[7:0] opcode | [12:8] rd | [17:13] ra | [22:18] rb | [26:23] aluop |
+//!  [31:27] shift/cond | [63:32] imm32 (sign-extended on decode)`
+//!
+//! Branch targets and large immediates must fit in 32 bits; encoding
+//! returns an error otherwise.
+
+use crate::inst::{AluOp, Cond, Inst};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::fmt;
+
+/// Error produced when a program cannot be encoded losslessly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError {
+    /// PC of the offending instruction.
+    pub pc: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot encode instruction at pc {}: {}",
+            self.pc, self.reason
+        )
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Error produced when a word does not decode to a valid instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Index of the offending word.
+    pub index: usize,
+    /// The raw word.
+    pub word: u64,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot decode word {:#018x} at index {}",
+            self.word, self.index
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_LI: u64 = 1;
+const OP_ALU: u64 = 2;
+const OP_ALUI: u64 = 3;
+const OP_LD: u64 = 4;
+const OP_LDX: u64 = 5;
+const OP_ST: u64 = 6;
+const OP_STX: u64 = 7;
+const OP_CMP: u64 = 8;
+const OP_CMPI: u64 = 9;
+const OP_B: u64 = 10;
+const OP_J: u64 = 11;
+const OP_NOP: u64 = 12;
+const OP_HALT: u64 = 13;
+
+fn alu_code(op: AluOp) -> u64 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::Mul => 2,
+        AluOp::Divu => 3,
+        AluOp::Remu => 4,
+        AluOp::And => 5,
+        AluOp::Or => 6,
+        AluOp::Xor => 7,
+        AluOp::Sll => 8,
+        AluOp::Srl => 9,
+        AluOp::Sra => 10,
+        AluOp::Min => 11,
+        AluOp::Max => 12,
+        AluOp::Sltu => 13,
+    }
+}
+
+fn alu_from(code: u64) -> Option<AluOp> {
+    Some(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::Mul,
+        3 => AluOp::Divu,
+        4 => AluOp::Remu,
+        5 => AluOp::And,
+        6 => AluOp::Or,
+        7 => AluOp::Xor,
+        8 => AluOp::Sll,
+        9 => AluOp::Srl,
+        10 => AluOp::Sra,
+        11 => AluOp::Min,
+        12 => AluOp::Max,
+        13 => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn cond_code(c: Cond) -> u64 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Ge => 3,
+        Cond::Ltu => 4,
+        Cond::Geu => 5,
+    }
+}
+
+fn cond_from(code: u64) -> Option<Cond> {
+    Some(match code {
+        0 => Cond::Eq,
+        1 => Cond::Ne,
+        2 => Cond::Lt,
+        3 => Cond::Ge,
+        4 => Cond::Ltu,
+        5 => Cond::Geu,
+        _ => return None,
+    })
+}
+
+fn imm32(pc: usize, value: i64) -> Result<u64, EncodeError> {
+    i32::try_from(value)
+        .map(|v| (v as u32 as u64) << 32)
+        .map_err(|_| EncodeError {
+            pc,
+            reason: format!("immediate {value} does not fit in 32 bits"),
+        })
+}
+
+fn pack(op: u64, rd: u64, ra: u64, rb: u64, aux: u64, misc: u64) -> u64 {
+    op | (rd << 8) | (ra << 13) | (rb << 18) | (aux << 23) | (misc << 27)
+}
+
+/// Encodes one instruction at `pc` into a 64-bit word.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] if an immediate or branch target exceeds the
+/// 32-bit field.
+pub fn encode_inst(pc: usize, inst: &Inst) -> Result<u64, EncodeError> {
+    let r = |reg: Reg| reg.index() as u64;
+    Ok(match *inst {
+        Inst::Li { dst, imm } => pack(OP_LI, r(dst), 0, 0, 0, 0) | imm32(pc, imm)?,
+        Inst::Alu { op, dst, a, b } => pack(OP_ALU, r(dst), r(a), r(b), alu_code(op), 0),
+        Inst::AluI { op, dst, src, imm } => {
+            pack(OP_ALUI, r(dst), r(src), 0, alu_code(op), 0) | imm32(pc, imm)?
+        }
+        Inst::Ld { dst, base, offset } => {
+            pack(OP_LD, r(dst), r(base), 0, 0, 0) | imm32(pc, offset)?
+        }
+        Inst::LdX {
+            dst,
+            base,
+            index,
+            shift,
+        } => pack(OP_LDX, r(dst), r(base), r(index), 0, shift as u64),
+        Inst::St { src, base, offset } => {
+            pack(OP_ST, r(src), r(base), 0, 0, 0) | imm32(pc, offset)?
+        }
+        Inst::StX {
+            src,
+            base,
+            index,
+            shift,
+        } => pack(OP_STX, r(src), r(base), r(index), 0, shift as u64),
+        Inst::Cmp { a, b } => pack(OP_CMP, 0, r(a), r(b), 0, 0),
+        Inst::CmpI { a, imm } => pack(OP_CMPI, 0, r(a), 0, 0, 0) | imm32(pc, imm)?,
+        Inst::B { cond, target } => {
+            pack(OP_B, 0, 0, 0, 0, cond_code(cond)) | imm32(pc, target as i64)?
+        }
+        Inst::J { target } => pack(OP_J, 0, 0, 0, 0, 0) | imm32(pc, target as i64)?,
+        Inst::Nop => pack(OP_NOP, 0, 0, 0, 0, 0),
+        Inst::Halt => pack(OP_HALT, 0, 0, 0, 0, 0),
+    })
+}
+
+/// Decodes one 64-bit word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for unknown opcodes or field values.
+pub fn decode_inst(index: usize, word: u64) -> Result<Inst, DecodeError> {
+    let err = || DecodeError { index, word };
+    let op = word & 0xff;
+    let rd = Reg::new(((word >> 8) & 31) as u8);
+    let ra = Reg::new(((word >> 13) & 31) as u8);
+    let rb = Reg::new(((word >> 18) & 31) as u8);
+    let aux = (word >> 23) & 15;
+    let misc = (word >> 27) & 31;
+    let imm = (word >> 32) as u32 as i32 as i64;
+    Ok(match op {
+        OP_LI => Inst::Li { dst: rd, imm },
+        OP_ALU => Inst::Alu {
+            op: alu_from(aux).ok_or_else(err)?,
+            dst: rd,
+            a: ra,
+            b: rb,
+        },
+        OP_ALUI => Inst::AluI {
+            op: alu_from(aux).ok_or_else(err)?,
+            dst: rd,
+            src: ra,
+            imm,
+        },
+        OP_LD => Inst::Ld {
+            dst: rd,
+            base: ra,
+            offset: imm,
+        },
+        OP_LDX => Inst::LdX {
+            dst: rd,
+            base: ra,
+            index: rb,
+            shift: misc as u8,
+        },
+        OP_ST => Inst::St {
+            src: rd,
+            base: ra,
+            offset: imm,
+        },
+        OP_STX => Inst::StX {
+            src: rd,
+            base: ra,
+            index: rb,
+            shift: misc as u8,
+        },
+        OP_CMP => Inst::Cmp { a: ra, b: rb },
+        OP_CMPI => Inst::CmpI { a: ra, imm },
+        OP_B => Inst::B {
+            cond: cond_from(misc).ok_or_else(err)?,
+            target: imm as usize,
+        },
+        OP_J => Inst::J {
+            target: imm as usize,
+        },
+        OP_NOP => Inst::Nop,
+        OP_HALT => Inst::Halt,
+        _ => return Err(err()),
+    })
+}
+
+/// Encodes a whole program into its binary image.
+///
+/// # Errors
+///
+/// Propagates the first [`EncodeError`].
+pub fn encode_program(program: &Program) -> Result<Vec<u64>, EncodeError> {
+    program
+        .iter()
+        .enumerate()
+        .map(|(pc, i)| encode_inst(pc, i))
+        .collect()
+}
+
+/// Decodes a binary image back into a program named `name`.
+///
+/// # Errors
+///
+/// Propagates the first [`DecodeError`].
+pub fn decode_program(name: &str, words: &[u64]) -> Result<Program, DecodeError> {
+    let insts: Result<Vec<Inst>, DecodeError> = words
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| decode_inst(i, w))
+        .collect();
+    Ok(Program::new(name, insts?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+
+    fn all_instruction_kinds() -> Vec<Inst> {
+        let r = |i: u8| Reg::new(i);
+        vec![
+            Inst::Li { dst: r(1), imm: -5 },
+            Inst::Alu {
+                op: AluOp::Xor,
+                dst: r(2),
+                a: r(3),
+                b: r(4),
+            },
+            Inst::AluI {
+                op: AluOp::Sll,
+                dst: r(5),
+                src: r(6),
+                imm: 63,
+            },
+            Inst::Ld {
+                dst: r(7),
+                base: r(8),
+                offset: -128,
+            },
+            Inst::LdX {
+                dst: r(9),
+                base: r(10),
+                index: r(11),
+                shift: 3,
+            },
+            Inst::St {
+                src: r(12),
+                base: r(13),
+                offset: 4096,
+            },
+            Inst::StX {
+                src: r(14),
+                base: r(15),
+                index: r(16),
+                shift: 6,
+            },
+            Inst::Cmp { a: r(17), b: r(18) },
+            Inst::CmpI {
+                a: r(19),
+                imm: 100_000,
+            },
+            Inst::B {
+                cond: Cond::Geu,
+                target: 0,
+            },
+            Inst::J { target: 1 },
+            Inst::Nop,
+            Inst::Halt,
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_kind() {
+        for (pc, inst) in all_instruction_kinds().into_iter().enumerate() {
+            let w = encode_inst(pc, &inst).expect("encodable");
+            let back = decode_inst(pc, w).expect("decodable");
+            assert_eq!(back, inst, "word {w:#x}");
+        }
+    }
+
+    #[test]
+    fn round_trip_every_aluop_and_cond() {
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::Divu,
+            AluOp::Remu,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Sll,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Min,
+            AluOp::Max,
+            AluOp::Sltu,
+        ] {
+            let i = Inst::Alu {
+                op,
+                dst: Reg::new(1),
+                a: Reg::new(2),
+                b: Reg::new(3),
+            };
+            assert_eq!(decode_inst(0, encode_inst(0, &i).unwrap()).unwrap(), i);
+        }
+        for cond in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu] {
+            let i = Inst::B { cond, target: 7 };
+            let w = encode_inst(0, &i).unwrap();
+            // Target must be valid when decoding standalone.
+            assert_eq!(decode_inst(0, w).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn program_round_trip() {
+        let mut asm = Assembler::new("rt");
+        let top = asm.label();
+        asm.bind(top);
+        asm.li(Reg::new(1), 42);
+        asm.cmpi(Reg::new(1), 0);
+        asm.b(Cond::Ne, top);
+        asm.halt();
+        let p = asm.finish();
+        let words = encode_program(&p).expect("encodable");
+        assert_eq!(words.len(), p.len());
+        let back = decode_program("rt", &words).expect("decodable");
+        assert_eq!(back, Program::new("rt", p.iter().copied().collect()));
+    }
+
+    #[test]
+    fn oversized_immediate_rejected() {
+        let i = Inst::Li {
+            dst: Reg::new(1),
+            imm: i64::MAX,
+        };
+        let e = encode_inst(3, &i).unwrap_err();
+        assert_eq!(e.pc, 3);
+        assert!(e.to_string().contains("32 bits"));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let e = decode_inst(0, 0xff).unwrap_err();
+        assert_eq!(e.word, 0xff);
+        assert!(e.to_string().contains("cannot decode"));
+    }
+
+    #[test]
+    fn unknown_aluop_rejected() {
+        // OP_ALU with aux = 15 (invalid).
+        let w = OP_ALU | (15u64 << 23);
+        assert!(decode_inst(0, w).is_err());
+    }
+}

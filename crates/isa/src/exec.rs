@@ -1,0 +1,398 @@
+//! Functional (architectural) execution semantics.
+//!
+//! All core timing models in the workspace share this single functional
+//! implementation: the in-order and out-of-order cores call [`ArchState::step`]
+//! to retire instructions, and the SVR scalar-vector unit reuses
+//! [`crate::eval_alu`] / [`crate::eval_cond`] plus [`DataMemory`] reads to
+//! execute transient lanes without affecting architectural state.
+
+use crate::inst::{eval_alu, eval_cond, Inst};
+use crate::program::Program;
+use crate::reg::{Reg, NUM_REGS};
+
+/// The flags register, written by `cmp`/`cmpi` and read by conditional
+/// branches. We record the compared operand values and evaluate conditions
+/// lazily, which is exact and keeps the model simple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// First compared operand.
+    pub a: u64,
+    /// Second compared operand.
+    pub b: u64,
+}
+
+/// Byte-addressed 64-bit word data memory, as seen by the cores.
+///
+/// Addresses are arbitrary 64-bit values; implementations decide the backing
+/// store. Reads of unmapped locations return 0 so speculative (runahead)
+/// accesses are always safe.
+pub trait DataMemory {
+    /// Reads the 64-bit word at `addr`.
+    fn read_u64(&self, addr: u64) -> u64;
+    /// Writes the 64-bit word at `addr`.
+    fn write_u64(&mut self, addr: u64, value: u64);
+}
+
+/// A simple dense `Vec`-backed memory for tests and examples: word `i` lives
+/// at address `8 * i`; out-of-range reads return 0 and out-of-range writes
+/// grow the vector.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VecMemory {
+    words: Vec<u64>,
+}
+
+impl VecMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a memory holding `words`, word `i` at address `8*i`.
+    pub fn from_words(words: Vec<u64>) -> Self {
+        VecMemory { words }
+    }
+
+    /// Borrows the backing words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl DataMemory for VecMemory {
+    fn read_u64(&self, addr: u64) -> u64 {
+        self.words.get((addr / 8) as usize).copied().unwrap_or(0)
+    }
+
+    fn write_u64(&mut self, addr: u64, value: u64) {
+        let idx = (addr / 8) as usize;
+        if idx >= self.words.len() {
+            self.words.resize(idx + 1, 0);
+        }
+        self.words[idx] = value;
+    }
+}
+
+/// Kind of data-memory access performed by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemAccessKind {
+    /// A demand load.
+    Load,
+    /// A demand store.
+    Store,
+}
+
+/// Everything a timing model needs to know about one retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome {
+    /// PC of the executed instruction.
+    pub pc: usize,
+    /// PC of the next instruction to execute.
+    pub next_pc: usize,
+    /// Data-memory access performed, if any.
+    pub mem: Option<(MemAccessKind, u64)>,
+    /// For branches: `(taken, taken_target)`.
+    pub branch: Option<(bool, usize)>,
+    /// Whether the program halted on this instruction.
+    pub halted: bool,
+}
+
+/// Architectural register/flags/PC state of one hardware thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    regs: [u64; NUM_REGS],
+    flags: Flags,
+    pc: usize,
+    halted: bool,
+}
+
+impl Default for ArchState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArchState {
+    /// Creates a reset state: all registers zero, PC 0.
+    pub fn new() -> Self {
+        ArchState {
+            regs: [0; NUM_REGS],
+            flags: Flags::default(),
+            pc: 0,
+            halted: false,
+        }
+    }
+
+    /// Reads register `r` (`x0` always reads 0).
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes register `r` (writes to `x0` are discarded).
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Current flags value.
+    #[inline]
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Current program counter.
+    #[inline]
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Overrides the program counter (used by trace replay and tests).
+    pub fn set_pc(&mut self, pc: usize) {
+        self.pc = pc;
+    }
+
+    /// Whether a `halt` has been executed.
+    #[inline]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Computes the effective address of a memory instruction given this
+    /// state, without executing it. Returns `None` for non-memory
+    /// instructions.
+    pub fn effective_addr(&self, inst: &Inst) -> Option<u64> {
+        match *inst {
+            Inst::Ld { base, offset, .. } | Inst::St { base, offset, .. } => {
+                Some(self.reg(base).wrapping_add(offset as u64))
+            }
+            Inst::LdX {
+                base, index, shift, ..
+            }
+            | Inst::StX {
+                base, index, shift, ..
+            } => Some(self.reg(base).wrapping_add(self.reg(index) << shift)),
+            _ => None,
+        }
+    }
+
+    /// Executes the instruction at the current PC and advances.
+    ///
+    /// Returns `None` when the state is already halted or the PC ran off the
+    /// end of the program (treated as an implicit halt).
+    pub fn step<M: DataMemory>(&mut self, program: &Program, mem: &mut M) -> Option<Outcome> {
+        if self.halted {
+            return None;
+        }
+        let pc = self.pc;
+        let inst = match program.get(pc) {
+            Some(i) => *i,
+            None => {
+                self.halted = true;
+                return None;
+            }
+        };
+        let mut out = Outcome {
+            pc,
+            next_pc: pc + 1,
+            mem: None,
+            branch: None,
+            halted: false,
+        };
+        match inst {
+            Inst::Li { dst, imm } => self.set_reg(dst, imm as u64),
+            Inst::Alu { op, dst, a, b } => {
+                let v = eval_alu(op, self.reg(a), self.reg(b));
+                self.set_reg(dst, v);
+            }
+            Inst::AluI { op, dst, src, imm } => {
+                let v = eval_alu(op, self.reg(src), imm as u64);
+                self.set_reg(dst, v);
+            }
+            Inst::Ld { dst, .. } | Inst::LdX { dst, .. } => {
+                let addr = self
+                    .effective_addr(&inst)
+                    .expect("load has an effective address");
+                let v = mem.read_u64(addr);
+                self.set_reg(dst, v);
+                out.mem = Some((MemAccessKind::Load, addr));
+            }
+            Inst::St { src, .. } | Inst::StX { src, .. } => {
+                let addr = self
+                    .effective_addr(&inst)
+                    .expect("store has an effective address");
+                mem.write_u64(addr, self.reg(src));
+                out.mem = Some((MemAccessKind::Store, addr));
+            }
+            Inst::Cmp { a, b } => {
+                self.flags = Flags {
+                    a: self.reg(a),
+                    b: self.reg(b),
+                };
+            }
+            Inst::CmpI { a, imm } => {
+                self.flags = Flags {
+                    a: self.reg(a),
+                    b: imm as u64,
+                };
+            }
+            Inst::B { cond, target } => {
+                let taken = eval_cond(cond, self.flags.a, self.flags.b);
+                out.branch = Some((taken, target));
+                if taken {
+                    out.next_pc = target;
+                }
+            }
+            Inst::J { target } => {
+                out.branch = Some((true, target));
+                out.next_pc = target;
+            }
+            Inst::Nop => {}
+            Inst::Halt => {
+                self.halted = true;
+                out.halted = true;
+                out.next_pc = pc;
+            }
+        }
+        self.pc = out.next_pc;
+        Some(out)
+    }
+
+    /// Runs until halt or until `max_insts` instructions retire; returns the
+    /// number of retired instructions.
+    pub fn run<M: DataMemory>(&mut self, program: &Program, mem: &mut M, max_insts: u64) -> u64 {
+        let mut n = 0;
+        while n < max_insts {
+            if self.step(program, mem).is_none() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::inst::{AluOp, Cond};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn loop_sums_array() {
+        // sum a[0..4]
+        let base = r(1);
+        let n = r(2);
+        let i = r(3);
+        let sum = r(4);
+        let t = r(5);
+        let mut asm = Assembler::new("sum");
+        let top = asm.label();
+        asm.bind(top);
+        asm.ldx(t, base, i, 3);
+        asm.alu(AluOp::Add, sum, sum, t);
+        asm.alui(AluOp::Add, i, i, 1);
+        asm.cmp(i, n);
+        asm.b(Cond::Ne, top);
+        asm.halt();
+        let p = asm.finish();
+
+        let mut mem = VecMemory::from_words(vec![10, 20, 30, 40]);
+        let mut st = ArchState::new();
+        st.set_reg(base, 0);
+        st.set_reg(n, 4);
+        let retired = st.run(&p, &mut mem, 1000);
+        assert!(st.halted());
+        assert_eq!(st.reg(sum), 100);
+        assert_eq!(retired, 4 * 5 + 1);
+    }
+
+    #[test]
+    fn x0_reads_zero_and_discards_writes() {
+        let p = Program::new(
+            "z",
+            vec![
+                Inst::Li {
+                    dst: Reg::new(0),
+                    imm: 42,
+                },
+                Inst::Halt,
+            ],
+        );
+        let mut mem = VecMemory::new();
+        let mut st = ArchState::new();
+        st.run(&p, &mut mem, 10);
+        assert_eq!(st.reg(Reg::new(0)), 0);
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let mut asm = Assembler::new("sl");
+        asm.li(r(1), 0x1234);
+        asm.li(r(2), 64);
+        asm.st(r(1), r(2), 8);
+        asm.ld(r(3), r(2), 8);
+        asm.halt();
+        let p = asm.finish();
+        let mut mem = VecMemory::new();
+        let mut st = ArchState::new();
+        st.run(&p, &mut mem, 10);
+        assert_eq!(st.reg(r(3)), 0x1234);
+        assert_eq!(mem.read_u64(72), 0x1234);
+    }
+
+    #[test]
+    fn outcome_reports_memory_and_branches() {
+        let mut asm = Assembler::new("o");
+        let skip = asm.label();
+        asm.li(r(1), 8);
+        asm.ld(r(2), r(1), 0);
+        asm.cmpi(r(2), 0);
+        asm.b(Cond::Eq, skip);
+        asm.nop();
+        asm.bind(skip);
+        asm.halt();
+        let p = asm.finish();
+        let mut mem = VecMemory::from_words(vec![0, 0]);
+        let mut st = ArchState::new();
+        st.step(&p, &mut mem); // li
+        let ld = st.step(&p, &mut mem).unwrap();
+        assert_eq!(ld.mem, Some((MemAccessKind::Load, 8)));
+        st.step(&p, &mut mem); // cmpi
+        let b = st.step(&p, &mut mem).unwrap();
+        assert_eq!(b.branch, Some((true, 5)));
+        assert_eq!(b.next_pc, 5);
+        let h = st.step(&p, &mut mem).unwrap();
+        assert!(h.halted);
+        assert!(st.step(&p, &mut mem).is_none());
+    }
+
+    #[test]
+    fn pc_off_end_halts() {
+        let p = Program::new("end", vec![Inst::Nop]);
+        let mut mem = VecMemory::new();
+        let mut st = ArchState::new();
+        assert_eq!(st.run(&p, &mut mem, 10), 1);
+        assert!(st.halted());
+    }
+
+    #[test]
+    fn effective_addr_matches_semantics() {
+        let mut st = ArchState::new();
+        st.set_reg(r(1), 100);
+        st.set_reg(r(2), 3);
+        let ld = Inst::LdX {
+            dst: r(3),
+            base: r(1),
+            index: r(2),
+            shift: 3,
+        };
+        assert_eq!(st.effective_addr(&ld), Some(124));
+        assert_eq!(st.effective_addr(&Inst::Nop), None);
+    }
+}

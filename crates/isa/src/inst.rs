@@ -1,0 +1,406 @@
+//! Instruction definitions and pure ALU/condition evaluation.
+
+use crate::reg::Reg;
+use std::fmt;
+
+/// Arithmetic/logical operations, used by both register-register ([`Inst::Alu`])
+/// and register-immediate ([`Inst::AluI`]) forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping 64-bit addition.
+    Add,
+    /// Wrapping 64-bit subtraction.
+    Sub,
+    /// Wrapping 64-bit multiplication (low half).
+    Mul,
+    /// Unsigned division; division by zero yields all-ones (like RISC-V).
+    Divu,
+    /// Unsigned remainder; remainder by zero yields the dividend (like RISC-V).
+    Remu,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical left shift (shift amount masked to 6 bits).
+    Sll,
+    /// Logical right shift (shift amount masked to 6 bits).
+    Srl,
+    /// Arithmetic right shift (shift amount masked to 6 bits).
+    Sra,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+    /// Unsigned set-less-than: `(a < b) as u64`.
+    Sltu,
+}
+
+/// Branch conditions, evaluated against the flags produced by [`Inst::Cmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// A single instruction.
+///
+/// PCs are instruction indices into a [`crate::Program`]. All memory accesses
+/// move 64-bit values; workload data structures are laid out as `u64` words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `dst = imm`.
+    Li { dst: Reg, imm: i64 },
+    /// `dst = op(a, b)`.
+    Alu { op: AluOp, dst: Reg, a: Reg, b: Reg },
+    /// `dst = op(src, imm)`.
+    AluI {
+        op: AluOp,
+        dst: Reg,
+        src: Reg,
+        imm: i64,
+    },
+    /// `dst = mem[base + offset]` (64-bit).
+    Ld { dst: Reg, base: Reg, offset: i64 },
+    /// `dst = mem[base + (index << shift)]` (64-bit).
+    LdX {
+        dst: Reg,
+        base: Reg,
+        index: Reg,
+        shift: u8,
+    },
+    /// `mem[base + offset] = src` (64-bit).
+    St { src: Reg, base: Reg, offset: i64 },
+    /// `mem[base + (index << shift)] = src` (64-bit).
+    StX {
+        src: Reg,
+        base: Reg,
+        index: Reg,
+        shift: u8,
+    },
+    /// Compare two registers and set the flags register.
+    Cmp { a: Reg, b: Reg },
+    /// Compare a register against an immediate and set the flags register.
+    CmpI { a: Reg, imm: i64 },
+    /// Conditional branch on flags to an absolute instruction index.
+    B { cond: Cond, target: usize },
+    /// Unconditional jump to an absolute instruction index.
+    J { target: usize },
+    /// No operation.
+    Nop,
+    /// Stop execution.
+    Halt,
+}
+
+impl Inst {
+    /// Whether this instruction reads data memory.
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Ld { .. } | Inst::LdX { .. })
+    }
+
+    /// Whether this instruction writes data memory.
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::St { .. } | Inst::StX { .. })
+    }
+
+    /// Whether this instruction is a (conditional or unconditional) branch.
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Inst::B { .. } | Inst::J { .. })
+    }
+
+    /// Whether this instruction writes the flags register.
+    #[inline]
+    pub fn writes_flags(&self) -> bool {
+        matches!(self, Inst::Cmp { .. } | Inst::CmpI { .. })
+    }
+
+    /// Destination register, if any. Writes to `x0` are reported as `None`.
+    pub fn dst(&self) -> Option<Reg> {
+        let d = match *self {
+            Inst::Li { dst, .. }
+            | Inst::Alu { dst, .. }
+            | Inst::AluI { dst, .. }
+            | Inst::Ld { dst, .. }
+            | Inst::LdX { dst, .. } => dst,
+            _ => return None,
+        };
+        if d.is_zero() {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Source registers (up to three: store data + base + index).
+    pub fn srcs(&self) -> SrcIter {
+        let mut s = [None; 3];
+        match *self {
+            Inst::Li { .. } | Inst::B { .. } | Inst::J { .. } | Inst::Nop | Inst::Halt => {}
+            Inst::Alu { a, b, .. } => {
+                s[0] = Some(a);
+                s[1] = Some(b);
+            }
+            Inst::AluI { src, .. } => s[0] = Some(src),
+            Inst::Ld { base, .. } => s[0] = Some(base),
+            Inst::LdX { base, index, .. } => {
+                s[0] = Some(base);
+                s[1] = Some(index);
+            }
+            Inst::St { src, base, .. } => {
+                s[0] = Some(src);
+                s[1] = Some(base);
+            }
+            Inst::StX {
+                src, base, index, ..
+            } => {
+                s[0] = Some(src);
+                s[1] = Some(base);
+                s[2] = Some(index);
+            }
+            Inst::Cmp { a, b } => {
+                s[0] = Some(a);
+                s[1] = Some(b);
+            }
+            Inst::CmpI { a, .. } => s[0] = Some(a),
+        }
+        SrcIter { srcs: s, pos: 0 }
+    }
+
+    /// Address-generation source registers only (base and index for memory ops).
+    pub fn addr_srcs(&self) -> SrcIter {
+        let mut s = [None; 3];
+        match *self {
+            Inst::Ld { base, .. } | Inst::St { base, .. } => s[0] = Some(base),
+            Inst::LdX { base, index, .. } | Inst::StX { base, index, .. } => {
+                s[0] = Some(base);
+                s[1] = Some(index);
+            }
+            _ => {}
+        }
+        SrcIter { srcs: s, pos: 0 }
+    }
+}
+
+/// Iterator over an instruction's source registers (see [`Inst::srcs`]).
+#[derive(Debug, Clone)]
+pub struct SrcIter {
+    srcs: [Option<Reg>; 3],
+    pos: usize,
+}
+
+impl Iterator for SrcIter {
+    type Item = Reg;
+
+    fn next(&mut self) -> Option<Reg> {
+        while self.pos < 3 {
+            let v = self.srcs[self.pos];
+            self.pos += 1;
+            if v.is_some() {
+                return v;
+            }
+        }
+        None
+    }
+}
+
+/// Evaluates an ALU operation on two 64-bit values.
+///
+/// This is the single source of truth for ALU semantics; core models reuse it
+/// to execute transient scalar-vector lanes on SRF data.
+///
+/// # Examples
+///
+/// ```
+/// use svr_isa::{eval_alu, AluOp};
+/// assert_eq!(eval_alu(AluOp::Add, 2, 3), 5);
+/// assert_eq!(eval_alu(AluOp::Divu, 7, 0), u64::MAX);
+/// ```
+#[inline]
+pub fn eval_alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Divu => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                a / b
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a << (b & 63),
+        AluOp::Srl => a >> (b & 63),
+        AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+        AluOp::Min => (a as i64).min(b as i64) as u64,
+        AluOp::Max => (a as i64).max(b as i64) as u64,
+        AluOp::Sltu => u64::from(a < b),
+    }
+}
+
+/// Evaluates a branch condition against a compare of `a` and `b`.
+///
+/// Equivalent to `Cmp a, b` followed by testing `cond`, without going through
+/// the flags register — used by the SVR unit to evaluate per-lane predicates.
+///
+/// # Examples
+///
+/// ```
+/// use svr_isa::{eval_cond, Cond};
+/// assert!(eval_cond(Cond::Ltu, 1, 2));
+/// assert!(eval_cond(Cond::Lt, u64::MAX, 2)); // signed: -1 < 2
+/// assert!(!eval_cond(Cond::Ltu, u64::MAX, 2)); // unsigned: huge value
+/// ```
+#[inline]
+pub fn eval_cond(cond: Cond, a: u64, b: u64) -> bool {
+    match cond {
+        Cond::Eq => a == b,
+        Cond::Ne => a != b,
+        Cond::Lt => (a as i64) < (b as i64),
+        Cond::Ge => (a as i64) >= (b as i64),
+        Cond::Ltu => a < b,
+        Cond::Geu => a >= b,
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Li { dst, imm } => write!(f, "li {dst}, {imm}"),
+            Inst::Alu { op, dst, a, b } => write!(f, "{op:?} {dst}, {a}, {b}"),
+            Inst::AluI { op, dst, src, imm } => write!(f, "{op:?}i {dst}, {src}, {imm}"),
+            Inst::Ld { dst, base, offset } => write!(f, "ld {dst}, {offset}({base})"),
+            Inst::LdX {
+                dst,
+                base,
+                index,
+                shift,
+            } => write!(f, "ldx {dst}, ({base} + {index}<<{shift})"),
+            Inst::St { src, base, offset } => write!(f, "st {src}, {offset}({base})"),
+            Inst::StX {
+                src,
+                base,
+                index,
+                shift,
+            } => write!(f, "stx {src}, ({base} + {index}<<{shift})"),
+            Inst::Cmp { a, b } => write!(f, "cmp {a}, {b}"),
+            Inst::CmpI { a, imm } => write!(f, "cmpi {a}, {imm}"),
+            Inst::B { cond, target } => write!(f, "b.{cond:?} @{target}"),
+            Inst::J { target } => write!(f, "j @{target}"),
+            Inst::Nop => write!(f, "nop"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(eval_alu(AluOp::Add, u64::MAX, 1), 0);
+        assert_eq!(eval_alu(AluOp::Sub, 0, 1), u64::MAX);
+        assert_eq!(eval_alu(AluOp::Mul, 3, 5), 15);
+        assert_eq!(eval_alu(AluOp::Divu, 10, 3), 3);
+        assert_eq!(eval_alu(AluOp::Divu, 10, 0), u64::MAX);
+        assert_eq!(eval_alu(AluOp::Remu, 10, 3), 1);
+        assert_eq!(eval_alu(AluOp::Remu, 10, 0), 10);
+        assert_eq!(eval_alu(AluOp::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(eval_alu(AluOp::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(eval_alu(AluOp::Xor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(eval_alu(AluOp::Sll, 1, 65), 2); // shift masked to 6 bits
+        assert_eq!(eval_alu(AluOp::Srl, u64::MAX, 63), 1);
+        assert_eq!(eval_alu(AluOp::Sra, (-8i64) as u64, 2), (-2i64) as u64);
+        assert_eq!(eval_alu(AluOp::Min, (-1i64) as u64, 1), (-1i64) as u64);
+        assert_eq!(eval_alu(AluOp::Max, (-1i64) as u64, 1), 1);
+        assert_eq!(eval_alu(AluOp::Sltu, 1, 2), 1);
+        assert_eq!(eval_alu(AluOp::Sltu, 2, 1), 0);
+    }
+
+    #[test]
+    fn cond_semantics() {
+        assert!(eval_cond(Cond::Eq, 4, 4));
+        assert!(eval_cond(Cond::Ne, 4, 5));
+        assert!(eval_cond(Cond::Lt, (-1i64) as u64, 0));
+        assert!(!eval_cond(Cond::Ltu, (-1i64) as u64, 0));
+        assert!(eval_cond(Cond::Ge, 0, (-1i64) as u64));
+        assert!(eval_cond(Cond::Geu, (-1i64) as u64, 0));
+    }
+
+    #[test]
+    fn classification() {
+        let ld = Inst::Ld {
+            dst: r(1),
+            base: r(2),
+            offset: 8,
+        };
+        assert!(ld.is_load() && !ld.is_store() && !ld.is_branch());
+        let st = Inst::StX {
+            src: r(1),
+            base: r(2),
+            index: r(3),
+            shift: 3,
+        };
+        assert!(st.is_store() && !st.is_load());
+        let b = Inst::B {
+            cond: Cond::Ne,
+            target: 0,
+        };
+        assert!(b.is_branch());
+        assert!(Inst::Cmp { a: r(1), b: r(2) }.writes_flags());
+    }
+
+    #[test]
+    fn dst_hides_x0() {
+        let w0 = Inst::Li {
+            dst: Reg::new(0),
+            imm: 5,
+        };
+        assert_eq!(w0.dst(), None);
+        let w1 = Inst::Li { dst: r(1), imm: 5 };
+        assert_eq!(w1.dst(), Some(r(1)));
+    }
+
+    #[test]
+    fn srcs_enumeration() {
+        let st = Inst::StX {
+            src: r(1),
+            base: r(2),
+            index: r(3),
+            shift: 3,
+        };
+        let got: Vec<Reg> = st.srcs().collect();
+        assert_eq!(got, vec![r(1), r(2), r(3)]);
+        let addr: Vec<Reg> = st.addr_srcs().collect();
+        assert_eq!(addr, vec![r(2), r(3)]);
+        assert_eq!(Inst::Nop.srcs().count(), 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # svr-isa — a small RISC-like ISA for the SVR simulator
+//!
+//! This crate defines the instruction set that all workloads in the Scalar
+//! Vector Runahead (SVR) reproduction are written in, together with an
+//! assembler (label resolution, loop helpers) and the functional semantics
+//! used by every core model (in-order, out-of-order, and SVR).
+//!
+//! The ISA is deliberately minimal but sufficient to express the paper's
+//! workloads: 32 64-bit integer registers (`x0` hardwired to zero), a flags
+//! register written by compare instructions (the SVR loop-bound detector
+//! snoops compares, see §IV-B2 of the paper), loads/stores with
+//! base+immediate and base+index<<shift addressing, ALU operations, and
+//! conditional branches.
+//!
+//! # Examples
+//!
+//! ```
+//! use svr_isa::{Assembler, Reg, AluOp, Cond};
+//!
+//! // sum = 0; for (i = 0; i != n; i++) sum += a[i];
+//! let a = Reg::new(1);
+//! let n = Reg::new(2);
+//! let i = Reg::new(3);
+//! let sum = Reg::new(4);
+//! let t = Reg::new(5);
+//! let mut asm = Assembler::new("sum");
+//! asm.li(i, 0);
+//! asm.li(sum, 0);
+//! let top = asm.label();
+//! asm.bind(top);
+//! asm.ldx(t, a, i, 3);
+//! asm.alu(AluOp::Add, sum, sum, t);
+//! asm.alui(AluOp::Add, i, i, 1);
+//! asm.cmp(i, n);
+//! asm.b(Cond::Ne, top);
+//! asm.halt();
+//! let program = asm.finish();
+//! assert!(program.len() > 0);
+//! ```
+
+mod asm;
+pub mod encode;
+pub mod parse;
+mod exec;
+mod inst;
+mod program;
+mod reg;
+
+pub use asm::{Assembler, Label};
+pub use exec::{ArchState, DataMemory, Flags, MemAccessKind, Outcome, VecMemory};
+pub use inst::{eval_alu, eval_cond, AluOp, Cond, Inst};
+pub use program::Program;
+pub use reg::{Reg, NUM_REGS, ZERO};

@@ -1,0 +1,413 @@
+//! Text-format assembly parser: the inverse of the `Display` impls, so
+//! program listings produced by `dump_workload` (or written by hand) can be
+//! loaded back. Lines look like:
+//!
+//! ```text
+//!    0: li x1, 42
+//!    1: ldx x5, (x1 + x3<<3)
+//!    2: Add x7, x7, x6
+//!    3: cmp x3, x4
+//!    4: b.Ltu @0
+//!    5: halt
+//! ```
+//!
+//! Leading `NNN:` indices, blank lines and `;` comments are ignored.
+
+use crate::inst::{AluOp, Cond, Inst};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::fmt;
+
+/// Error produced for a line that does not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// Description of the problem.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, reason: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+fn parse_reg(line: usize, tok: &str) -> Result<Reg, ParseError> {
+    let tok = tok.trim().trim_end_matches(',');
+    let idx = tok
+        .strip_prefix('x')
+        .and_then(|s| s.parse::<u8>().ok())
+        .filter(|&i| (i as usize) < crate::reg::NUM_REGS)
+        .ok_or_else(|| err(line, format!("bad register `{tok}`")))?;
+    Ok(Reg::new(idx))
+}
+
+fn parse_imm(line: usize, tok: &str) -> Result<i64, ParseError> {
+    let tok = tok.trim().trim_end_matches(',');
+    tok.parse::<i64>()
+        .map_err(|_| err(line, format!("bad immediate `{tok}`")))
+}
+
+fn parse_alu_op(tok: &str) -> Option<(AluOp, bool)> {
+    let (name, imm) = match tok.strip_suffix('i') {
+        // `Srli` etc.: trailing `i` marks the immediate form, but beware of
+        // ops whose own name could end differently; all our op names do not
+        // end in 'i'.
+        Some(base) => (base, true),
+        None => (tok, false),
+    };
+    let op = match name.to_ascii_lowercase().as_str() {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "divu" => AluOp::Divu,
+        "remu" => AluOp::Remu,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "min" => AluOp::Min,
+        "max" => AluOp::Max,
+        "sltu" => AluOp::Sltu,
+        _ => return None,
+    };
+    Some((op, imm))
+}
+
+fn parse_cond(line: usize, tok: &str) -> Result<Cond, ParseError> {
+    Ok(match tok.to_ascii_lowercase().as_str() {
+        "eq" => Cond::Eq,
+        "ne" => Cond::Ne,
+        "lt" => Cond::Lt,
+        "ge" => Cond::Ge,
+        "ltu" => Cond::Ltu,
+        "geu" => Cond::Geu,
+        other => return Err(err(line, format!("bad condition `{other}`"))),
+    })
+}
+
+/// Parses `(xB + xI<<S)` into (base, index, shift).
+fn parse_indexed(line: usize, s: &str) -> Result<(Reg, Reg, u8), ParseError> {
+    let inner = s
+        .trim()
+        .strip_prefix('(')
+        .and_then(|t| t.strip_suffix(')'))
+        .ok_or_else(|| err(line, format!("expected (base + index<<shift), got `{s}`")))?;
+    let (b, rest) = inner
+        .split_once('+')
+        .ok_or_else(|| err(line, "expected `+` in indexed operand"))?;
+    let (i, sh) = rest
+        .split_once("<<")
+        .ok_or_else(|| err(line, "expected `<<` in indexed operand"))?;
+    let shift = sh
+        .trim()
+        .parse::<u8>()
+        .map_err(|_| err(line, format!("bad shift `{sh}`")))?;
+    Ok((parse_reg(line, b)?, parse_reg(line, i)?, shift))
+}
+
+/// Parses `OFF(xB)` into (base, offset).
+fn parse_based(line: usize, s: &str) -> Result<(Reg, i64), ParseError> {
+    let (off, rest) = s
+        .trim()
+        .split_once('(')
+        .ok_or_else(|| err(line, format!("expected off(base), got `{s}`")))?;
+    let base = rest
+        .strip_suffix(')')
+        .ok_or_else(|| err(line, "missing `)`"))?;
+    Ok((parse_reg(line, base)?, parse_imm(line, off)?))
+}
+
+/// Parses one instruction line (without any `NNN:` prefix).
+pub fn parse_inst(line: usize, text: &str) -> Result<Inst, ParseError> {
+    let text = text.trim();
+    let (mnemonic, rest) = text
+        .split_once(char::is_whitespace)
+        .unwrap_or((text, ""));
+    let args: Vec<&str> = if rest.trim().is_empty() {
+        Vec::new()
+    } else {
+        split_operands(rest)
+    };
+    let need = |n: usize| -> Result<(), ParseError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("`{mnemonic}` expects {n} operands, got {}", args.len()),
+            ))
+        }
+    };
+    match mnemonic.to_ascii_lowercase().as_str() {
+        "li" => {
+            need(2)?;
+            Ok(Inst::Li {
+                dst: parse_reg(line, args[0])?,
+                imm: parse_imm(line, args[1])?,
+            })
+        }
+        "ld" => {
+            need(2)?;
+            let (base, offset) = parse_based(line, args[1])?;
+            Ok(Inst::Ld {
+                dst: parse_reg(line, args[0])?,
+                base,
+                offset,
+            })
+        }
+        "ldx" => {
+            need(2)?;
+            let (base, index, shift) = parse_indexed(line, args[1])?;
+            Ok(Inst::LdX {
+                dst: parse_reg(line, args[0])?,
+                base,
+                index,
+                shift,
+            })
+        }
+        "st" => {
+            need(2)?;
+            let (base, offset) = parse_based(line, args[1])?;
+            Ok(Inst::St {
+                src: parse_reg(line, args[0])?,
+                base,
+                offset,
+            })
+        }
+        "stx" => {
+            need(2)?;
+            let (base, index, shift) = parse_indexed(line, args[1])?;
+            Ok(Inst::StX {
+                src: parse_reg(line, args[0])?,
+                base,
+                index,
+                shift,
+            })
+        }
+        "cmp" => {
+            need(2)?;
+            Ok(Inst::Cmp {
+                a: parse_reg(line, args[0])?,
+                b: parse_reg(line, args[1])?,
+            })
+        }
+        "cmpi" => {
+            need(2)?;
+            Ok(Inst::CmpI {
+                a: parse_reg(line, args[0])?,
+                imm: parse_imm(line, args[1])?,
+            })
+        }
+        "j" => {
+            need(1)?;
+            let t = args[0]
+                .strip_prefix('@')
+                .ok_or_else(|| err(line, "jump target must be @N"))?;
+            Ok(Inst::J {
+                target: t
+                    .parse()
+                    .map_err(|_| err(line, format!("bad target `{t}`")))?,
+            })
+        }
+        "nop" => {
+            need(0)?;
+            Ok(Inst::Nop)
+        }
+        "halt" => {
+            need(0)?;
+            Ok(Inst::Halt)
+        }
+        m if m.starts_with("b.") => {
+            need(1)?;
+            let cond = parse_cond(line, &m[2..])?;
+            let t = args[0]
+                .strip_prefix('@')
+                .ok_or_else(|| err(line, "branch target must be @N"))?;
+            Ok(Inst::B {
+                cond,
+                target: t
+                    .parse()
+                    .map_err(|_| err(line, format!("bad target `{t}`")))?,
+            })
+        }
+        m => {
+            let (op, imm_form) = parse_alu_op(m)
+                .ok_or_else(|| err(line, format!("unknown mnemonic `{m}`")))?;
+            need(3)?;
+            let dst = parse_reg(line, args[0])?;
+            if imm_form {
+                Ok(Inst::AluI {
+                    op,
+                    dst,
+                    src: parse_reg(line, args[1])?,
+                    imm: parse_imm(line, args[2])?,
+                })
+            } else {
+                Ok(Inst::Alu {
+                    op,
+                    dst,
+                    a: parse_reg(line, args[1])?,
+                    b: parse_reg(line, args[2])?,
+                })
+            }
+        }
+    }
+}
+
+/// Splits operand text on top-level commas (commas inside `(...)` stay).
+fn split_operands(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let tail = s[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+/// Parses a full listing into a [`Program`]. `NNN:` prefixes, blank lines
+/// and `;` comments are skipped; branch targets are absolute indices as in
+/// the `Display` output.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// use svr_isa::parse::parse_program;
+/// let p = parse_program("demo", "
+///     ; a tiny loop
+///     0: li x1, 3
+///     1: Subi x1, x1, 1
+///     2: cmpi x1, 0
+///     3: b.Ne @1
+///     4: halt
+/// ").unwrap();
+/// assert_eq!(p.len(), 5);
+/// ```
+pub fn parse_program(name: &str, text: &str) -> Result<Program, ParseError> {
+    let mut insts = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let mut line = raw.trim();
+        if let Some(pos) = line.find(';') {
+            line = line[..pos].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        // Strip a leading `NNN:` index.
+        if let Some((prefix, rest)) = line.split_once(':') {
+            if prefix.trim().parse::<usize>().is_ok() {
+                line = rest.trim();
+            }
+        }
+        if line.is_empty() {
+            continue;
+        }
+        insts.push(parse_inst(line_no, line)?);
+    }
+    Ok(Program::new(name, insts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::inst::{AluOp, Cond};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    /// Round-trip: Display → parse → identical program.
+    #[test]
+    fn display_parse_round_trip() {
+        let mut asm = Assembler::new("rt");
+        let top = asm.label();
+        asm.bind(top);
+        asm.li(r(1), -42);
+        asm.ldx(r(2), r(3), r(1), 3);
+        asm.ld(r(4), r(2), -16);
+        asm.alu(AluOp::Xor, r(5), r(4), r(2));
+        asm.alui(AluOp::Srl, r(6), r(5), 7);
+        asm.st(r(6), r(2), 8);
+        asm.stx(r(6), r(2), r(1), 6);
+        asm.cmp(r(6), r(1));
+        asm.b(Cond::Geu, top);
+        asm.cmpi(r(6), 100);
+        asm.j(top);
+        asm.nop();
+        asm.halt();
+        let p = asm.finish();
+        let text = p.to_string();
+        let back = parse_program("rt", &text).expect("listing parses");
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse_program("c", "; header\n\n  0: nop ; trailing\n halt").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program("e", "nop\nfrobnicate x1, x2, x3").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        assert!(parse_program("e", "li x99, 1").is_err());
+        assert!(parse_program("e", "li y1, 1").is_err());
+    }
+
+    #[test]
+    fn operand_arity_checked() {
+        assert!(parse_program("e", "cmp x1").is_err());
+        assert!(parse_program("e", "halt x1").is_err());
+    }
+
+    #[test]
+    fn alui_form_detected_by_suffix() {
+        let p = parse_program("a", "Addi x1, x2, 5\nAdd x1, x2, x3\nhalt").unwrap();
+        assert!(matches!(p[0], Inst::AluI { op: AluOp::Add, .. }));
+        assert!(matches!(p[1], Inst::Alu { op: AluOp::Add, .. }));
+    }
+
+    #[test]
+    fn whitespace_variants_accepted() {
+        let a = parse_inst(1, "ldx x2, (x3 + x1<<3)").unwrap();
+        let b = parse_inst(1, "ldx   x2 ,  ( x3 +x1<<3 )").unwrap();
+        assert_eq!(a, b);
+    }
+}

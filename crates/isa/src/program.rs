@@ -1,0 +1,118 @@
+//! Assembled programs.
+
+use crate::inst::Inst;
+use std::fmt;
+use std::ops::Index;
+
+/// An assembled, label-resolved program.
+///
+/// PCs are instruction indices (`0..len`). Programs are produced by
+/// [`crate::Assembler::finish`] and are immutable afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Creates a program from already-resolved instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any branch target is out of range.
+    pub fn new(name: impl Into<String>, insts: Vec<Inst>) -> Self {
+        let len = insts.len();
+        for (pc, inst) in insts.iter().enumerate() {
+            if let Inst::B { target, .. } | Inst::J { target } = *inst {
+                assert!(
+                    target < len,
+                    "branch at pc {pc} targets {target} but program has {len} instructions"
+                );
+            }
+        }
+        Program {
+            name: name.into(),
+            insts,
+        }
+    }
+
+    /// The program's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at `pc`, or `None` past the end.
+    pub fn get(&self, pc: usize) -> Option<&Inst> {
+        self.insts.get(pc)
+    }
+
+    /// Iterates over the static instructions in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Inst> {
+        self.insts.iter()
+    }
+}
+
+impl Index<usize> for Program {
+    type Output = Inst;
+
+    fn index(&self, pc: usize) -> &Inst {
+        &self.insts[pc]
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; program {}", self.name)?;
+        for (pc, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{pc:4}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Cond;
+
+    #[test]
+    fn round_trip() {
+        let p = Program::new("t", vec![Inst::Nop, Inst::Halt]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p[0], Inst::Nop);
+        assert_eq!(p.get(2), None);
+        assert_eq!(p.name(), "t");
+        assert_eq!(p.iter().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets")]
+    fn rejects_out_of_range_branch() {
+        let _ = Program::new(
+            "bad",
+            vec![Inst::B {
+                cond: Cond::Eq,
+                target: 7,
+            }],
+        );
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let p = Program::new("d", vec![Inst::Nop, Inst::Halt]);
+        let s = p.to_string();
+        assert!(s.contains("nop"));
+        assert!(s.contains("halt"));
+    }
+}

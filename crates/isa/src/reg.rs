@@ -1,0 +1,99 @@
+//! Architectural register identifiers.
+
+use std::fmt;
+
+/// Number of architectural integer registers.
+pub const NUM_REGS: usize = 32;
+
+/// Register `x0`, hardwired to zero (writes are discarded).
+pub const ZERO: Reg = Reg(0);
+
+/// An architectural register identifier (`x0`..`x31`).
+///
+/// `x0` is hardwired to zero, matching common RISC conventions. The SVR taint
+/// tracker (paper Fig. 8) is indexed by this identifier.
+///
+/// # Examples
+///
+/// ```
+/// use svr_isa::Reg;
+/// let r = Reg::new(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(format!("{r}"), "x5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "register index {index} out of range (0..{NUM_REGS})"
+        );
+        Reg(index)
+    }
+
+    /// The raw register number in `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register `x0`.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in 0..NUM_REGS as u8 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(Reg::new(17).to_string(), "x17");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Reg::new(3) < Reg::new(4));
+    }
+}

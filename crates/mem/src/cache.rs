@@ -1,0 +1,334 @@
+//! Set-associative cache with LRU replacement and per-line prefetch tags.
+//!
+//! Prefetch tags implement the accuracy bookkeeping of §IV-A7: every line
+//! filled by a prefetch remembers which mechanism brought it in; the first
+//! demand access clears the tag ("used"), and evicting a still-tagged line
+//! counts as a wasted prefetch.
+
+use crate::{line_of, LINE_BYTES};
+
+/// Which mechanism issued a prefetch (for per-line tags and statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PfSource {
+    /// The baseline L1 stride prefetcher.
+    Stride,
+    /// The Indirect Memory Prefetcher baseline.
+    Imp,
+    /// SVR transient scalar-vector loads.
+    Svr,
+}
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// L1 data/instruction cache from Table III: 64 KiB, 4-way.
+    pub fn l1() -> Self {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 4,
+        }
+    }
+
+    /// L2 cache from Table III: 512 KiB, 8-way.
+    pub fn l2() -> Self {
+        CacheConfig {
+            size_bytes: 512 * 1024,
+            ways: 8,
+        }
+    }
+
+    fn num_sets(&self) -> usize {
+        (self.size_bytes / LINE_BYTES) as usize / self.ways
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    pf: Option<PfSource>,
+    lru: u64,
+}
+
+/// Result of a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// If this was the first demand touch of a prefetched line, its source.
+    pub first_use_of: Option<PfSource>,
+}
+
+/// Information about an evicted line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictInfo {
+    /// Line-aligned address of the victim.
+    pub line_addr: u64,
+    /// Whether the victim was dirty (needs a writeback).
+    pub dirty: bool,
+    /// If the victim was a never-used prefetch, its source.
+    pub pf_unused: Option<PfSource>,
+}
+
+/// A set-associative, write-back, write-allocate cache (timing only — data
+/// lives in [`crate::MemImage`]).
+///
+/// # Examples
+///
+/// ```
+/// use svr_mem::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig::l1());
+/// assert!(!c.access(0x40, false).hit);
+/// c.fill(0x40, false, None);
+/// assert!(c.access(0x40, false).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    lines: Vec<Line>,
+    ways: usize,
+    set_mask: u64,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not yield a power-of-two set count.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.num_sets();
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} not a power of two"
+        );
+        Cache {
+            lines: vec![Line::default(); sets * config.ways],
+            ways: config.ways,
+            set_mask: sets as u64 - 1,
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_range(&self, addr: u64) -> (usize, u64) {
+        let line = line_of(addr) / LINE_BYTES;
+        let set = (line & self.set_mask) as usize;
+        (set * self.ways, line)
+    }
+
+    /// Checks presence without updating replacement state.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (base, tag) = self.set_range(addr);
+        self.lines[base..base + self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Performs a demand access (load or store). On a hit, updates LRU, sets
+    /// the dirty bit for writes, and reports the first use of a prefetched
+    /// line. On a miss, state is unchanged (call [`Cache::fill`] afterwards).
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+        self.tick += 1;
+        let (base, tag) = self.set_range(addr);
+        for l in &mut self.lines[base..base + self.ways] {
+            if l.valid && l.tag == tag {
+                l.lru = self.tick;
+                l.dirty |= is_write;
+                let first_use_of = l.pf.take();
+                return AccessOutcome {
+                    hit: true,
+                    first_use_of,
+                };
+            }
+        }
+        AccessOutcome {
+            hit: false,
+            first_use_of: None,
+        }
+    }
+
+    /// Touches a line for a *prefetch* hit check: returns `true` (and updates
+    /// nothing else) if present. Prefetches that hit are dropped by callers.
+    pub fn prefetch_probe(&self, addr: u64) -> bool {
+        self.probe(addr)
+    }
+
+    /// Inserts a line, evicting the LRU victim if the set is full.
+    ///
+    /// `pf` tags the line as brought in by a prefetcher; `dirty` marks
+    /// store-allocated lines.
+    pub fn fill(&mut self, addr: u64, dirty: bool, pf: Option<PfSource>) -> Option<EvictInfo> {
+        self.tick += 1;
+        let (base, tag) = self.set_range(addr);
+        // Already present (e.g. racing fills): refresh tags only.
+        for l in &mut self.lines[base..base + self.ways] {
+            if l.valid && l.tag == tag {
+                l.dirty |= dirty;
+                l.lru = self.tick;
+                return None;
+            }
+        }
+        let mut victim = base;
+        for i in base..base + self.ways {
+            if !self.lines[i].valid {
+                victim = i;
+                break;
+            }
+            if self.lines[i].lru < self.lines[victim].lru {
+                victim = i;
+            }
+        }
+        let evicted = if self.lines[victim].valid {
+            let v = self.lines[victim];
+            Some(EvictInfo {
+                line_addr: v.tag * LINE_BYTES,
+                dirty: v.dirty,
+                pf_unused: v.pf,
+            })
+        } else {
+            None
+        };
+        self.lines[victim] = Line {
+            tag,
+            valid: true,
+            dirty,
+            pf,
+            lru: self.tick,
+        };
+        evicted
+    }
+
+    /// Tags an already-present line as a prefetch from `src` (used when a
+    /// tagged line migrates down a level on eviction, so accuracy follows
+    /// the paper's eviction-from-LLC definition). Returns `false` when the
+    /// line is absent.
+    pub fn tag_line(&mut self, addr: u64, src: PfSource) -> bool {
+        let (base, tag) = self.set_range(addr);
+        for l in &mut self.lines[base..base + self.ways] {
+            if l.valid && l.tag == tag {
+                l.pf = Some(src);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates every line (used between simulation phases in tests).
+    pub fn clear(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+    }
+
+    /// Number of currently valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, false).hit);
+        assert_eq!(c.fill(0x100, false, None), None);
+        assert!(c.access(0x100, false).hit);
+        assert!(c.probe(0x13f)); // same line
+        assert!(!c.probe(0x140)); // next line
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // set stride = 4 lines * 64 = 256 bytes; addresses mapping to set 0:
+        let a = 0x000;
+        let b = 0x400;
+        let d = 0x800;
+        c.fill(a, false, None);
+        c.fill(b, false, None);
+        c.access(a, false); // a more recent than b
+        let ev = c.fill(d, false, None).expect("must evict");
+        assert_eq!(ev.line_addr, b);
+        assert!(c.probe(a) && c.probe(d) && !c.probe(b));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny();
+        c.fill(0x000, false, None);
+        c.access(0x000, true); // make dirty
+        c.fill(0x400, false, None);
+        let ev = c.fill(0x800, false, None).unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn prefetch_tag_first_use_and_unused_eviction() {
+        let mut c = tiny();
+        c.fill(0x000, false, Some(PfSource::Svr));
+        let out = c.access(0x000, false);
+        assert_eq!(out.first_use_of, Some(PfSource::Svr));
+        // Second access is no longer a "first use".
+        assert_eq!(c.access(0x000, false).first_use_of, None);
+
+        c.fill(0x400, false, Some(PfSource::Imp));
+        c.access(0x000, false);
+        let ev = c.fill(0x800, false, None).unwrap();
+        assert_eq!(ev.pf_unused, Some(PfSource::Imp));
+        assert_eq!(ev.line_addr, 0x400);
+    }
+
+    #[test]
+    fn refill_of_present_line_keeps_one_copy() {
+        let mut c = tiny();
+        c.fill(0x000, false, None);
+        assert_eq!(c.fill(0x000, true, None), None);
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = tiny();
+        c.fill(0x000, false, None);
+        c.clear();
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.probe(0x000));
+    }
+
+    #[test]
+    fn tag_line_marks_present_lines_only() {
+        let mut c = tiny();
+        c.fill(0x000, false, None);
+        assert!(c.tag_line(0x000, PfSource::Svr));
+        assert_eq!(c.access(0x000, false).first_use_of, Some(PfSource::Svr));
+        assert!(!c.tag_line(0xf00, PfSource::Svr));
+    }
+
+    #[test]
+    fn l1_l2_geometry() {
+        let l1 = Cache::new(CacheConfig::l1());
+        let l2 = Cache::new(CacheConfig::l2());
+        assert_eq!(l1.lines.len(), 1024); // 64KiB/64B
+        assert_eq!(l2.lines.len(), 8192); // 512KiB/64B
+    }
+}

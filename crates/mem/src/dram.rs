@@ -1,0 +1,163 @@
+//! DRAM model: fixed access latency plus a bandwidth-limited channel.
+
+use crate::LINE_BYTES;
+
+/// DRAM configuration (Table III: 45 ns latency, 50 GiB/s bandwidth, 2 GHz
+/// core clock so 1 ns = 2 cycles).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Core cycles for an unloaded access (45 ns @ 2 GHz = 90 cycles).
+    pub latency_cycles: u64,
+    /// Channel bandwidth in GiB/s.
+    pub bandwidth_gibps: f64,
+    /// Core frequency in GHz (to convert bandwidth into cycles/line).
+    pub freq_ghz: f64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            latency_cycles: 90,
+            bandwidth_gibps: 50.0,
+            freq_ghz: 2.0,
+        }
+    }
+}
+
+impl DramConfig {
+    /// Core cycles of channel occupancy per 64 B line transfer.
+    pub fn cycles_per_line(&self) -> f64 {
+        let bytes_per_ns = self.bandwidth_gibps * (1u64 << 30) as f64 / 1e9;
+        LINE_BYTES as f64 / bytes_per_ns * self.freq_ghz
+    }
+}
+
+/// A single bandwidth-shared DRAM channel.
+///
+/// Each line transfer occupies the channel for `cycles_per_line`; a request
+/// arriving while the channel is busy queues behind it, and its completion
+/// time is `channel_start + latency`. Reads and writes (writebacks) share the
+/// channel, which is what makes over-prefetching expensive (§VI-C).
+///
+/// # Examples
+///
+/// ```
+/// use svr_mem::{DramModel, DramConfig};
+/// let mut d = DramModel::new(DramConfig::default());
+/// let a = d.access(0, false);
+/// let b = d.access(0, false); // queued behind the first transfer
+/// assert!(b > a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    config: DramConfig,
+    cycles_per_line: f64,
+    next_free: f64,
+    reads: u64,
+    writes: u64,
+}
+
+impl DramModel {
+    /// Creates an idle channel.
+    pub fn new(config: DramConfig) -> Self {
+        DramModel {
+            cycles_per_line: config.cycles_per_line(),
+            config,
+            next_free: 0.0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Issues a line transfer at `now`; returns the completion cycle.
+    /// `is_write` counts the transfer as writeback traffic.
+    pub fn access(&mut self, now: u64, is_write: bool) -> u64 {
+        let start = self.next_free.max(now as f64);
+        self.next_free = start + self.cycles_per_line;
+        if is_write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+        (start + self.config.latency_cycles as f64).ceil() as u64
+    }
+
+    /// Number of read-line transfers so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write-line transfers so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total bytes moved.
+    pub fn traffic_bytes(&self) -> u64 {
+        (self.reads + self.writes) * LINE_BYTES
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> DramConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unloaded_latency() {
+        let mut d = DramModel::new(DramConfig::default());
+        let t = d.access(100, false);
+        assert_eq!(t, 100 + 90);
+    }
+
+    #[test]
+    fn queueing_under_bandwidth_pressure() {
+        let cfg = DramConfig::default();
+        let per_line = cfg.cycles_per_line();
+        let mut d = DramModel::new(cfg);
+        let t0 = d.access(0, false);
+        let t1 = d.access(0, false);
+        let t2 = d.access(0, false);
+        assert!(t1 >= t0);
+        assert!((t2 - t0) as f64 >= 2.0 * per_line - 2.0);
+    }
+
+    #[test]
+    fn idle_channel_does_not_queue() {
+        let mut d = DramModel::new(DramConfig::default());
+        let t0 = d.access(0, false);
+        let t1 = d.access(10_000, false);
+        assert_eq!(t1, 10_000 + 90);
+        assert!(t0 < t1);
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let mut d = DramModel::new(DramConfig::default());
+        d.access(0, false);
+        d.access(0, true);
+        assert_eq!(d.reads(), 1);
+        assert_eq!(d.writes(), 1);
+        assert_eq!(d.traffic_bytes(), 128);
+    }
+
+    #[test]
+    fn cycles_per_line_scales_with_bandwidth() {
+        let slow = DramConfig {
+            bandwidth_gibps: 12.5,
+            ..DramConfig::default()
+        };
+        let fast = DramConfig {
+            bandwidth_gibps: 100.0,
+            ..DramConfig::default()
+        };
+        assert!((slow.cycles_per_line() / fast.cycles_per_line() - 8.0).abs() < 1e-9);
+        // 50 GiB/s @ 2GHz: 64B / 53.687 B/ns * 2 = ~2.38 cycles
+        let c = DramConfig::default().cycles_per_line();
+        assert!(c > 2.0 && c < 3.0, "{c}");
+    }
+}

@@ -1,0 +1,595 @@
+//! The composed memory hierarchy: TLB → L1 → MSHRs → L2 → DRAM, with
+//! attached prefetchers. This is the single timing entry point used by all
+//! core models.
+
+use crate::cache::{Cache, CacheConfig, PfSource};
+use crate::dram::{DramConfig, DramModel};
+use crate::image::MemImage;
+use crate::line_of;
+use crate::mshr::MshrFile;
+use crate::prefetch::{
+    DemandInfo, ImpConfig, ImpPrefetcher, Prefetcher, StrideConfig, StridePrefetcher,
+};
+use crate::stats::MemStats;
+use crate::tlb::{Tlb, TlbConfig, WalkerPool};
+
+/// What kind of access is being performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A demand data load from the main thread.
+    DemandLoad,
+    /// A demand data store from the main thread.
+    DemandStore,
+    /// An instruction fetch.
+    InstFetch,
+    /// A prefetch from the given mechanism. SVR transient-lane loads use
+    /// `Prefetch(PfSource::Svr)` — they get a real completion time (their
+    /// loaded values feed dependent lanes) and tag the lines they fill.
+    Prefetch(PfSource),
+}
+
+/// One access request.
+#[derive(Debug, Clone, Copy)]
+pub struct Access {
+    /// Cycle at which the request is presented.
+    pub now: u64,
+    /// Byte address.
+    pub addr: u64,
+    /// Kind of access.
+    pub kind: AccessKind,
+    /// PC of the instruction (for prefetcher training).
+    pub pc: u64,
+    /// Functional value loaded (for value-based prefetchers like IMP).
+    pub value: Option<u64>,
+}
+
+impl Access {
+    /// Creates an access with no PC/value metadata.
+    pub fn new(now: u64, addr: u64, kind: AccessKind) -> Self {
+        Access {
+            now,
+            addr,
+            kind,
+            pc: 0,
+            value: None,
+        }
+    }
+
+    /// Attaches the requesting PC (enables PC-indexed prefetcher training).
+    pub fn with_pc(mut self, pc: u64) -> Self {
+        self.pc = pc;
+        self
+    }
+
+    /// Attaches the loaded value (enables IMP indirect detection).
+    pub fn with_value(mut self, value: u64) -> Self {
+        self.value = Some(value);
+        self
+    }
+}
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HitLevel {
+    /// L1 hit (or coalesced onto an L1 miss already in flight).
+    L1,
+    /// L2 hit.
+    L2,
+    /// Main memory.
+    Dram,
+}
+
+/// Timing outcome of an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// When the request actually started (≥ `now`; later if it had to wait
+    /// for an MSHR or page-table walker).
+    pub issued_at: u64,
+    /// When the data is available to dependents.
+    pub complete_at: u64,
+    /// Level that supplied the data.
+    pub level: HitLevel,
+}
+
+/// Hierarchy configuration (defaults = Table III).
+#[derive(Debug, Clone)]
+pub struct MemConfig {
+    /// L1-D geometry.
+    pub l1d: CacheConfig,
+    /// L1-I geometry.
+    pub l1i: CacheConfig,
+    /// L2 geometry.
+    pub l2: CacheConfig,
+    /// L1 load-to-use latency in cycles.
+    pub l1_latency: u64,
+    /// L2 load-to-use latency in cycles.
+    pub l2_latency: u64,
+    /// Number of L1-D MSHRs.
+    pub mshrs: usize,
+    /// DRAM parameters.
+    pub dram: DramConfig,
+    /// TLB parameters.
+    pub tlb: TlbConfig,
+    /// Baseline stride prefetcher (present in all paper configs).
+    pub stride_pf: Option<StrideConfig>,
+    /// IMP indirect prefetcher (the prior-art comparison config).
+    pub imp: Option<ImpConfig>,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            l1d: CacheConfig::l1(),
+            l1i: CacheConfig::l1(),
+            l2: CacheConfig::l2(),
+            l1_latency: 3,
+            l2_latency: 12,
+            mshrs: 16,
+            dram: DramConfig::default(),
+            tlb: TlbConfig::default(),
+            stride_pf: Some(StrideConfig::default()),
+            imp: None,
+        }
+    }
+}
+
+/// The full memory system (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use svr_mem::{MemoryHierarchy, MemConfig, Access, AccessKind, HitLevel};
+/// let mut hier = MemoryHierarchy::new(MemConfig::default());
+/// let r = hier.access(Access::new(0, 0x4000, AccessKind::DemandLoad));
+/// assert_eq!(r.level, HitLevel::Dram);
+/// let r2 = hier.access(Access::new(r.complete_at, 0x4000, AccessKind::DemandLoad));
+/// assert_eq!(r2.level, HitLevel::L1);
+/// ```
+#[derive(Debug)]
+pub struct MemoryHierarchy {
+    config: MemConfig,
+    l1d: Cache,
+    l1i: Cache,
+    l2: Cache,
+    mshrs: MshrFile,
+    dram: DramModel,
+    dtlb: Tlb,
+    itlb: Tlb,
+    walkers: WalkerPool,
+    stride_pf: Option<StridePrefetcher>,
+    imp: Option<ImpPrefetcher>,
+    stats: MemStats,
+    pf_scratch: Vec<u64>,
+    /// Optional hook address region: instruction fetches are mapped here.
+    inst_base: u64,
+}
+
+impl MemoryHierarchy {
+    /// Creates an empty hierarchy.
+    pub fn new(config: MemConfig) -> Self {
+        MemoryHierarchy {
+            l1d: Cache::new(config.l1d),
+            l1i: Cache::new(config.l1i),
+            l2: Cache::new(config.l2),
+            mshrs: MshrFile::new(config.mshrs),
+            dram: DramModel::new(config.dram),
+            dtlb: Tlb::new(config.tlb),
+            itlb: Tlb::new(config.tlb),
+            walkers: WalkerPool::new(config.tlb.walkers),
+            stride_pf: config.stride_pf.map(StridePrefetcher::new),
+            imp: config.imp.map(ImpPrefetcher::new),
+            config,
+            stats: MemStats::default(),
+            pf_scratch: Vec::new(),
+            inst_base: 0x4000_0000,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Total DRAM line transfers (reads + writebacks).
+    pub fn dram_traffic_lines(&self) -> u64 {
+        self.dram.reads() + self.dram.writes()
+    }
+
+    /// Performs a data-side access without prefetcher training (used
+    /// internally and by SVR transient lanes via `Prefetch(Svr)`).
+    fn access_data_path(&mut self, now: u64, addr: u64, kind: AccessKind) -> AccessResult {
+        // Translation.
+        let (tlat, walked) = self.dtlb.translate(now, addr, &mut self.walkers);
+        if walked {
+            self.stats.tlb_walks += 1;
+        }
+        let mut t = now + tlat;
+        let is_store = kind == AccessKind::DemandStore;
+        let is_demand = matches!(kind, AccessKind::DemandLoad | AccessKind::DemandStore);
+        let line = line_of(addr);
+
+        // L1 lookup.
+        let outcome = self.l1d.access(addr, is_store);
+        if let Some(src) = outcome.first_use_of {
+            if is_demand {
+                self.stats.pf_mut(src).used += 1;
+            }
+        }
+        if outcome.hit {
+            if is_demand {
+                self.stats.l1d_hits += 1;
+            }
+            // Lines are installed eagerly at request time; a "hit" on a line
+            // whose fill is still in flight completes when the fill does
+            // (hit-under-miss / MSHR coalescing).
+            let ready = self
+                .mshrs
+                .outstanding(line, t)
+                .unwrap_or(t)
+                .max(t + self.config.l1_latency);
+            return AccessResult {
+                issued_at: now,
+                complete_at: ready,
+                level: HitLevel::L1,
+            };
+        }
+        if is_demand {
+            self.stats.l1d_misses += 1;
+        }
+
+        // Coalesce onto an outstanding miss for the same line.
+        if let Some(ready) = self.mshrs.outstanding(line, t) {
+            return AccessResult {
+                issued_at: now,
+                complete_at: ready.max(t + self.config.l1_latency),
+                level: HitLevel::L1,
+            };
+        }
+
+        // Need an MSHR.
+        self.mshrs.retire(t);
+        if self.mshrs.in_flight(t) >= self.mshrs.capacity() {
+            match kind {
+                // Speculative prefetchers drop on structural hazard.
+                AccessKind::Prefetch(PfSource::Stride) | AccessKind::Prefetch(PfSource::Imp) => {
+                    return AccessResult {
+                        issued_at: now,
+                        complete_at: t,
+                        level: HitLevel::L1,
+                    };
+                }
+                // Demand and SVR lanes wait for a free MSHR.
+                _ => {
+                    let free = self.mshrs.earliest_free().max(t);
+                    t = free;
+                    self.mshrs.retire(t);
+                }
+            }
+        }
+
+        // L2 lookup.
+        let l2_out = self.l2.access(addr, false);
+        if let Some(src) = l2_out.first_use_of {
+            if is_demand {
+                self.stats.pf_mut(src).used += 1;
+            }
+        }
+        let (ready, level) = if l2_out.hit {
+            if is_demand {
+                self.stats.l2_hits += 1;
+            }
+            (t + self.config.l2_latency, HitLevel::L2)
+        } else {
+            if is_demand {
+                self.stats.l2_misses += 1;
+            }
+            let done = self.dram.access(t + self.config.l2_latency, false);
+            match kind {
+                AccessKind::DemandLoad | AccessKind::DemandStore => {
+                    self.stats.dram_demand_data += 1
+                }
+                AccessKind::InstFetch => self.stats.dram_inst += 1,
+                AccessKind::Prefetch(PfSource::Stride) => self.stats.dram_stride_pf += 1,
+                AccessKind::Prefetch(PfSource::Imp) => self.stats.dram_imp_pf += 1,
+                AccessKind::Prefetch(PfSource::Svr) => self.stats.dram_svr_pf += 1,
+            }
+            (done, HitLevel::Dram)
+        };
+
+        let _ = self.mshrs.try_alloc(line, ready);
+
+        // Fill caches; dirty-evictions create writebacks.
+        let pf_tag = match kind {
+            AccessKind::Prefetch(src) => Some(src),
+            _ => None,
+        };
+        // Writebacks drain from a write buffer at eviction time; they only
+        // consume channel bandwidth and never delay the read's fill.
+        if level == HitLevel::Dram {
+            if let Some(ev) = self.l2.fill(addr, false, None) {
+                if ev.dirty {
+                    self.stats.writebacks += 1;
+                    self.dram.access(t, true);
+                }
+                if let Some(src) = ev.pf_unused {
+                    // Gone from the LLC without a demand touch (§IV-A7 /
+                    // Fig. 13a count prefetches against LLC eviction).
+                    self.stats.pf_mut(src).evicted_unused += 1;
+                }
+            }
+        }
+        if let Some(ev) = self.l1d.fill(addr, is_store, pf_tag) {
+            if let Some(src) = ev.pf_unused {
+                // Still resident in L2: the tag migrates; the prefetch only
+                // counts as wasted once it leaves the LLC untouched.
+                if !self.l2.tag_line(ev.line_addr, src) {
+                    self.stats.pf_mut(src).evicted_unused += 1;
+                }
+            }
+            if ev.dirty {
+                // Writeback to L2; if it misses there it goes to DRAM.
+                if !self.l2.probe(ev.line_addr) {
+                    self.stats.writebacks += 1;
+                    self.dram.access(t, true);
+                }
+                self.l2.fill(ev.line_addr, true, None);
+            }
+        }
+
+        AccessResult {
+            issued_at: now,
+            complete_at: ready,
+            level,
+        }
+    }
+
+    /// Performs an access, training the prefetchers on demand traffic and
+    /// issuing any prefetches they request.
+    pub fn access(&mut self, acc: Access) -> AccessResult {
+        self.access_with_image(acc, None)
+    }
+
+    /// Like [`MemoryHierarchy::access`], with a functional image so
+    /// value-based prefetchers (IMP) can compute indirect targets.
+    pub fn access_with_image(&mut self, acc: Access, image: Option<&MemImage>) -> AccessResult {
+        if acc.kind == AccessKind::InstFetch {
+            return self.fetch_inst(acc.now, acc.addr);
+        }
+        let res = self.access_data_path(acc.now, acc.addr, acc.kind);
+        // Train prefetchers on demand traffic only.
+        if matches!(acc.kind, AccessKind::DemandLoad | AccessKind::DemandStore) {
+            let info = DemandInfo {
+                pc: acc.pc,
+                addr: acc.addr,
+                value: if acc.kind == AccessKind::DemandLoad {
+                    acc.value
+                } else {
+                    None
+                },
+                was_miss: res.level != HitLevel::L1,
+            };
+            let empty = MemImage::new();
+            let img = image.unwrap_or(&empty);
+            let mut scratch = std::mem::take(&mut self.pf_scratch);
+            scratch.clear();
+            if let Some(pf) = self.stride_pf.as_mut() {
+                pf.on_demand(info, img, &mut scratch);
+                let n = scratch.len();
+                self.issue_prefetches(acc.now, &mut scratch, PfSource::Stride, 0, n);
+            }
+            if let Some(imp) = self.imp.as_mut() {
+                let start = scratch.len();
+                imp.on_demand(info, img, &mut scratch);
+                let n = scratch.len();
+                self.issue_prefetches(acc.now, &mut scratch, PfSource::Imp, start, n);
+            }
+            scratch.clear();
+            self.pf_scratch = scratch;
+        }
+        res
+    }
+
+    fn issue_prefetches(
+        &mut self,
+        now: u64,
+        addrs: &mut Vec<u64>,
+        src: PfSource,
+        start: usize,
+        end: usize,
+    ) {
+        for i in start..end {
+            let addr = addrs[i];
+            if self.l1d.prefetch_probe(addr) {
+                continue; // already cached
+            }
+            self.stats.pf_mut(src).issued += 1;
+            self.access_data_path(now, addr, AccessKind::Prefetch(src));
+        }
+    }
+
+    /// Instruction fetch: consults the L1-I (then L2/DRAM). `addr` is a PC
+    /// (instruction index); it is mapped into a dedicated text segment.
+    pub fn fetch_inst(&mut self, now: u64, pc: u64) -> AccessResult {
+        let addr = self.inst_base + pc * 4;
+        let (tlat, _) = self.itlb.translate(now, addr, &mut self.walkers);
+        let t = now + tlat;
+        let out = self.l1i.access(addr, false);
+        if out.hit {
+            self.stats.l1i_hits += 1;
+            return AccessResult {
+                issued_at: now,
+                complete_at: t + 1,
+                level: HitLevel::L1,
+            };
+        }
+        self.stats.l1i_misses += 1;
+        let l2_out = self.l2.access(addr, false);
+        let (ready, level) = if l2_out.hit {
+            (t + self.config.l2_latency, HitLevel::L2)
+        } else {
+            let done = self.dram.access(t + self.config.l2_latency, false);
+            self.stats.dram_inst += 1;
+            self.l2.fill(addr, false, None);
+            (done, HitLevel::Dram)
+        };
+        self.l1i.fill(addr, false, None);
+        AccessResult {
+            issued_at: now,
+            complete_at: ready,
+            level,
+        }
+    }
+
+    /// Earliest cycle a new L1-D miss could allocate an MSHR at/after `now`.
+    pub fn mshr_free_at(&mut self, now: u64) -> u64 {
+        if self.mshrs.in_flight(now) < self.mshrs.capacity() {
+            now
+        } else {
+            self.mshrs.earliest_free()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier() -> MemoryHierarchy {
+        MemoryHierarchy::new(MemConfig {
+            stride_pf: None,
+            ..MemConfig::default()
+        })
+    }
+
+    #[test]
+    fn dram_then_l1_hit() {
+        let mut h = hier();
+        let r = h.access(Access::new(0, 0x10000, AccessKind::DemandLoad));
+        assert_eq!(r.level, HitLevel::Dram);
+        assert!(r.complete_at >= 90);
+        let r2 = h.access(Access::new(r.complete_at, 0x10000, AccessKind::DemandLoad));
+        assert_eq!(r2.level, HitLevel::L1);
+        assert_eq!(r2.complete_at - r2.issued_at, 3);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut h = hier();
+        // Fill a line, then evict it from L1 by filling 4 more lines mapping
+        // to the same set (L1: 256 sets, 4 ways -> set stride 16 KiB).
+        h.access(Access::new(0, 0x0, AccessKind::DemandLoad));
+        for i in 1..=4u64 {
+            h.access(Access::new(1000 * i, i * 16384, AccessKind::DemandLoad));
+        }
+        let r = h.access(Access::new(100_000, 0x0, AccessKind::DemandLoad));
+        assert_eq!(r.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn same_line_coalesces_no_extra_dram() {
+        let mut h = hier();
+        let r1 = h.access(Access::new(0, 0x40, AccessKind::DemandLoad));
+        let r2 = h.access(Access::new(1, 0x48, AccessKind::DemandLoad));
+        assert_eq!(h.stats().dram_demand_data, 1);
+        assert_eq!(r2.complete_at, r1.complete_at.max(1 + 3));
+    }
+
+    #[test]
+    fn mshr_pressure_delays_demand() {
+        let mut h = MemoryHierarchy::new(MemConfig {
+            mshrs: 1,
+            stride_pf: None,
+            ..MemConfig::default()
+        });
+        let r1 = h.access(Access::new(0, 0x0, AccessKind::DemandLoad));
+        let r2 = h.access(Access::new(0, 0x1000, AccessKind::DemandLoad));
+        // Second miss had to wait for the only MSHR.
+        assert!(r2.complete_at > r1.complete_at);
+    }
+
+    #[test]
+    fn svr_prefetch_tags_and_demand_use() {
+        let mut h = hier();
+        let r = h.access(Access::new(0, 0x2000, AccessKind::Prefetch(PfSource::Svr)));
+        assert_eq!(r.level, HitLevel::Dram);
+        assert_eq!(h.stats().dram_svr_pf, 1);
+        let r2 = h.access(Access::new(r.complete_at, 0x2000, AccessKind::DemandLoad));
+        assert_eq!(r2.level, HitLevel::L1);
+        assert_eq!(h.stats().svr.used, 1);
+    }
+
+    #[test]
+    fn store_allocates_and_writeback_counted() {
+        let mut h = hier();
+        h.access(Access::new(0, 0x0, AccessKind::DemandStore));
+        // Evict the dirty line from L1 *and* L2: lines at 64 KiB stride map
+        // to L1 set 0 and L2 set 0 simultaneously.
+        for i in 1..=14u64 {
+            h.access(Access::new(1000 * i, i * 65536, AccessKind::DemandLoad));
+        }
+        assert!(h.stats().writebacks >= 1);
+    }
+
+    #[test]
+    fn inst_fetch_path() {
+        let mut h = hier();
+        let r = h.fetch_inst(0, 0);
+        assert_eq!(r.level, HitLevel::Dram);
+        let r2 = h.fetch_inst(r.complete_at, 1); // same line (4B insts)
+        assert_eq!(r2.level, HitLevel::L1);
+        assert_eq!(h.stats().l1i_hits, 1);
+    }
+
+    #[test]
+    fn stride_prefetcher_reduces_misses_on_streaming() {
+        let run = |pf: bool| -> u64 {
+            let mut h = MemoryHierarchy::new(MemConfig {
+                stride_pf: pf.then(StrideConfig::default),
+                ..MemConfig::default()
+            });
+            let mut t = 0;
+            for i in 0..512u64 {
+                let r =
+                    h.access(Access::new(t, 0x10_0000 + i * 64, AccessKind::DemandLoad).with_pc(7));
+                t = r.complete_at;
+            }
+            h.stats().l1d_misses
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            with < without / 2,
+            "stride pf should cover most misses: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn prefetch_to_cached_line_is_dropped() {
+        let mut h = hier();
+        h.access(Access::new(0, 0x40, AccessKind::DemandLoad));
+        let before = h.stats().dram_reads();
+        // A direct data-path prefetch would hit; via issue_prefetches it is
+        // dropped, so simulate the public path: access a line and check stats
+        // remain unchanged when re-prefetching.
+        let r = h.access(Access::new(500, 0x40, AccessKind::Prefetch(PfSource::Svr)));
+        assert_eq!(r.level, HitLevel::L1);
+        assert_eq!(h.stats().dram_reads(), before);
+    }
+
+    #[test]
+    fn mshr_free_at_reports_pressure() {
+        let mut h = MemoryHierarchy::new(MemConfig {
+            mshrs: 1,
+            stride_pf: None,
+            ..MemConfig::default()
+        });
+        assert_eq!(h.mshr_free_at(0), 0);
+        let r = h.access(Access::new(0, 0x0, AccessKind::DemandLoad));
+        assert_eq!(h.mshr_free_at(0), r.complete_at);
+    }
+}

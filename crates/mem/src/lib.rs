@@ -1,0 +1,57 @@
+//! # svr-mem — memory hierarchy for the SVR simulator
+//!
+//! Timing-level models of the memory system from Table III of the paper:
+//! L1-I/L1-D/L2 set-associative caches with per-line prefetch tags, MSHRs
+//! with same-line coalescing, a latency+bandwidth DRAM model, TLBs with a
+//! limited pool of page-table walkers, a baseline stride prefetcher, and the
+//! IMP indirect-memory prefetcher used as a comparison point.
+//!
+//! Functional data lives in a separate sparse [`MemImage`] (the caches model
+//! timing only); every core model reads/writes the image directly and asks
+//! the [`MemoryHierarchy`] *when* an access completes.
+//!
+//! # Examples
+//!
+//! ```
+//! use svr_mem::{MemoryHierarchy, MemConfig, Access, AccessKind};
+//!
+//! let mut hier = MemoryHierarchy::new(MemConfig::default());
+//! let miss = hier.access(Access::new(0, 0x1000, AccessKind::DemandLoad));
+//! let hit = hier.access(Access::new(miss.complete_at, 0x1000, AccessKind::DemandLoad));
+//! assert!(hit.complete_at - miss.complete_at < miss.complete_at); // second access hits
+//! ```
+
+mod cache;
+mod dram;
+mod hierarchy;
+mod image;
+mod mshr;
+pub mod prefetch;
+mod stats;
+mod tlb;
+
+pub use cache::{Cache, CacheConfig, EvictInfo, PfSource};
+pub use dram::{DramConfig, DramModel};
+pub use hierarchy::{Access, AccessKind, AccessResult, HitLevel, MemConfig, MemoryHierarchy};
+pub use image::MemImage;
+pub use mshr::MshrFile;
+pub use stats::MemStats;
+pub use tlb::{Tlb, TlbConfig, WalkerPool};
+
+/// Cache line size in bytes (Table III: 64 B everywhere).
+pub const LINE_BYTES: u64 = 64;
+
+/// Page size in bytes for TLB modeling.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Returns the line-aligned address containing `addr`.
+#[inline]
+pub fn line_of(addr: u64) -> u64 {
+    addr & !(LINE_BYTES - 1)
+}
+
+/// Returns the page number containing `addr`.
+#[inline]
+pub fn page_of(addr: u64) -> u64 {
+    addr / PAGE_BYTES
+}

@@ -1,0 +1,135 @@
+//! Miss-status holding registers with same-line coalescing.
+
+use std::collections::VecDeque;
+
+/// A file of MSHRs tracking outstanding cache misses.
+///
+/// Each entry records the line address and the cycle the fill completes.
+/// A new miss to a line already outstanding *coalesces* (no new entry); when
+/// all entries are busy the requester must wait until [`MshrFile::earliest_free`].
+///
+/// # Examples
+///
+/// ```
+/// use svr_mem::MshrFile;
+/// let mut m = MshrFile::new(2);
+/// assert!(m.try_alloc(0x40, 100));
+/// assert_eq!(m.outstanding(0x40, 10), Some(100)); // coalesce
+/// assert!(m.try_alloc(0x80, 120));
+/// assert!(!m.try_alloc(0xc0, 130)); // full
+/// assert_eq!(m.earliest_free(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: VecDeque<(u64, u64)>, // (line_addr, ready_at)
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        MshrFile {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Drops entries whose fill completed at or before `now`.
+    pub fn retire(&mut self, now: u64) {
+        self.entries.retain(|&(_, ready)| ready > now);
+    }
+
+    /// If a miss to `line_addr` is already outstanding at `now`, returns its
+    /// completion time (the new request coalesces onto it).
+    pub fn outstanding(&mut self, line_addr: u64, now: u64) -> Option<u64> {
+        self.retire(now);
+        self.entries
+            .iter()
+            .find(|&&(l, _)| l == line_addr)
+            .map(|&(_, r)| r)
+    }
+
+    /// Tries to allocate an entry completing at `ready_at`; `false` if full.
+    /// Call [`MshrFile::retire`] (or [`MshrFile::outstanding`]) first so
+    /// finished entries free up.
+    pub fn try_alloc(&mut self, line_addr: u64, ready_at: u64) -> bool {
+        if self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.push_back((line_addr, ready_at));
+        true
+    }
+
+    /// The earliest cycle at which an entry frees. Only meaningful when full.
+    pub fn earliest_free(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|&(_, r)| r)
+            .min()
+            .unwrap_or_default()
+    }
+
+    /// Number of in-flight misses at `now`.
+    pub fn in_flight(&mut self, now: u64) -> usize {
+        self.retire(now);
+        self.entries.len()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retire_frees_entries() {
+        let mut m = MshrFile::new(1);
+        assert!(m.try_alloc(0x40, 50));
+        assert!(!m.try_alloc(0x80, 60));
+        m.retire(50);
+        assert!(m.try_alloc(0x80, 60));
+    }
+
+    #[test]
+    fn coalescing_returns_ready_time() {
+        let mut m = MshrFile::new(4);
+        m.try_alloc(0x40, 99);
+        assert_eq!(m.outstanding(0x40, 0), Some(99));
+        assert_eq!(m.outstanding(0x80, 0), None);
+        // After completion the entry is gone.
+        assert_eq!(m.outstanding(0x40, 99), None);
+    }
+
+    #[test]
+    fn earliest_free_is_min_ready() {
+        let mut m = MshrFile::new(2);
+        m.try_alloc(0x40, 200);
+        m.try_alloc(0x80, 150);
+        assert_eq!(m.earliest_free(), 150);
+    }
+
+    #[test]
+    fn in_flight_counts_live_entries() {
+        let mut m = MshrFile::new(8);
+        m.try_alloc(0x40, 100);
+        m.try_alloc(0x80, 200);
+        assert_eq!(m.in_flight(0), 2);
+        assert_eq!(m.in_flight(100), 1);
+        assert_eq!(m.in_flight(500), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,349 @@
+//! IMP — the Indirect Memory Prefetcher (Yu et al., MICRO 2015).
+//!
+//! IMP detects `A[B[i]]` patterns at the L1: a striding "index" load stream
+//! plus misses whose addresses are an affine function `base + (idx << shift)`
+//! of recently loaded index values. Once a pattern is verified twice, every
+//! index load triggers prefetches for the next `distance` indirect targets,
+//! reading future index values from fill data (modeled here via the
+//! functional memory image).
+//!
+//! Faithful to the paper's characterization in §VI of the SVR paper:
+//! * covers simple stride-indirect workloads (PR, IS, Graph500, BFS/KR);
+//! * cannot capture hash-table chains, value transformations (randacc's
+//!   masking), or multi-level indirection (Kangaroo's second level);
+//! * always prefetches `distance` elements past inner-loop boundaries,
+//!   making it inaccurate on short inner loops (BFS/UR).
+
+use super::{DemandInfo, Prefetcher};
+use crate::image::MemImage;
+use svr_isa::DataMemory;
+
+/// IMP parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImpConfig {
+    /// Prefetch-table (index-stream) entries.
+    pub pt_entries: usize,
+    /// Stride confidence needed to treat a PC as an index stream.
+    pub stream_threshold: u8,
+    /// Candidate element-size shifts to test (log2 bytes).
+    pub shifts: [u8; 2],
+    /// Indirect-prefetch lookahead distance in index elements.
+    pub distance: u32,
+    /// Matches required before a (base, shift) hypothesis is trusted.
+    pub verify_matches: u8,
+}
+
+impl Default for ImpConfig {
+    fn default() -> Self {
+        ImpConfig {
+            pt_entries: 16,
+            stream_threshold: 2,
+            shifts: [2, 3],
+            distance: 16,
+            verify_matches: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Stream {
+    pc: u64,
+    valid: bool,
+    last_addr: u64,
+    stride: i64,
+    conf: u8,
+    /// Latest index value, pending correlation with an indirect miss.
+    pending_value: Option<u64>,
+    /// Hypotheses per candidate shift: (base, consecutive matches).
+    cand: [(u64, u8); 2],
+    /// Learned pattern.
+    learned: Option<(u64, u8)>, // (base, shift)
+}
+
+/// See module docs.
+///
+/// # Examples
+///
+/// ```
+/// use svr_mem::prefetch::{ImpPrefetcher, ImpConfig, Prefetcher, DemandInfo};
+/// use svr_mem::MemImage;
+/// use svr_isa::DataMemory;
+///
+/// let mut img = MemImage::new();
+/// let idx_base = img.alloc_array(&[5, 2, 7, 1, 4, 3, 6, 0, 5, 2, 7, 1]);
+/// let data_base = img.alloc_words(64);
+/// let mut imp = ImpPrefetcher::new(ImpConfig::default());
+/// let mut out = Vec::new();
+/// for i in 0..6u64 {
+///     let ia = idx_base + i * 8;
+///     let v = img.read_u64(ia);
+///     imp.on_demand(DemandInfo { pc: 1, addr: ia, value: Some(v), was_miss: false }, &img, &mut out);
+///     imp.on_demand(DemandInfo { pc: 2, addr: data_base + (v << 3), value: Some(0), was_miss: true },
+///                   &img, &mut out);
+/// }
+/// assert!(!out.is_empty()); // pattern learned, indirect prefetches emitted
+/// ```
+#[derive(Debug, Clone)]
+pub struct ImpPrefetcher {
+    config: ImpConfig,
+    streams: Vec<Stream>,
+    issued: u64,
+    learned_patterns: u64,
+}
+
+impl ImpPrefetcher {
+    /// Creates an empty IMP.
+    pub fn new(config: ImpConfig) -> Self {
+        ImpPrefetcher {
+            streams: vec![Stream::default(); config.pt_entries],
+            config,
+            issued: 0,
+            learned_patterns: 0,
+        }
+    }
+
+    /// Number of indirect prefetches emitted.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Number of (re-)learned indirect patterns.
+    pub fn learned_patterns(&self) -> u64 {
+        self.learned_patterns
+    }
+
+    fn update_stream(&mut self, info: &DemandInfo) -> Option<usize> {
+        let idx = (info.pc as usize) % self.streams.len();
+        let e = &mut self.streams[idx];
+        if !e.valid || e.pc != info.pc {
+            // Only steal the slot if its current owner has no learned pattern.
+            if e.valid && e.learned.is_some() && e.pc != info.pc {
+                return None;
+            }
+            *e = Stream {
+                pc: info.pc,
+                valid: true,
+                last_addr: info.addr,
+                ..Stream::default()
+            };
+            return None;
+        }
+        let stride = info.addr.wrapping_sub(e.last_addr) as i64;
+        if stride != 0 && stride == e.stride {
+            e.conf = (e.conf + 1).min(3);
+        } else if e.conf > 0 {
+            e.conf -= 1;
+        } else {
+            e.stride = stride;
+        }
+        e.last_addr = info.addr;
+        if e.conf >= self.config.stream_threshold {
+            e.pending_value = info.value;
+            Some(idx)
+        } else {
+            e.pending_value = None;
+            None
+        }
+    }
+
+    fn correlate_miss(&mut self, miss_pc: u64, miss_addr: u64) {
+        let shifts = self.config.shifts;
+        let need = self.config.verify_matches;
+        for e in &mut self.streams {
+            // An index stream and its dependent indirect loads are distinct
+            // instructions; never correlate a stream with its own misses.
+            if !e.valid || e.learned.is_some() || e.pc == miss_pc {
+                continue;
+            }
+            let Some(v) = e.pending_value.take() else {
+                continue;
+            };
+            for (si, &sh) in shifts.iter().enumerate() {
+                let base = miss_addr.wrapping_sub(v << sh);
+                let (prev, hits) = e.cand[si];
+                if hits > 0 && prev == base {
+                    let hits = hits + 1;
+                    e.cand[si] = (base, hits);
+                    if hits >= need {
+                        e.learned = Some((base, sh));
+                        self.learned_patterns += 1;
+                    }
+                } else {
+                    e.cand[si] = (base, 1);
+                }
+            }
+        }
+    }
+
+    fn emit_indirect(
+        &mut self,
+        idx: usize,
+        info: &DemandInfo,
+        image: &MemImage,
+        out: &mut Vec<u64>,
+    ) {
+        let e = &self.streams[idx];
+        let Some((base, sh)) = e.learned else { return };
+        if e.stride == 0 {
+            return;
+        }
+        for j in 1..=self.config.distance as i64 {
+            let idx_addr = info.addr.wrapping_add((e.stride * j) as u64);
+            let idx_val = image.read_u64(idx_addr);
+            out.push(base.wrapping_add(idx_val << sh));
+            self.issued += 1;
+        }
+    }
+}
+
+impl Prefetcher for ImpPrefetcher {
+    fn on_demand(&mut self, info: DemandInfo, image: &MemImage, out: &mut Vec<u64>) {
+        // Index-stream update happens for loads with values.
+        if info.value.is_some() {
+            if let Some(idx) = self.update_stream(&info) {
+                if self.streams[idx].learned.is_some() {
+                    self.emit_indirect(idx, &info, image, out);
+                }
+            }
+        }
+        if info.was_miss {
+            self.correlate_miss(info.pc, info.addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives IMP with an `A[B[i]]` loop; returns emitted prefetches.
+    fn drive_stride_indirect(mask: Option<u64>) -> Vec<u64> {
+        let mut img = MemImage::new();
+        let n = 64u64;
+        let idx: Vec<u64> = (0..n).map(|i| (i * 37 + 11) % n).collect();
+        let idx_base = img.alloc_array(&idx);
+        let data_base = img.alloc_words(n * 16);
+        let mut imp = ImpPrefetcher::new(ImpConfig::default());
+        let mut out = Vec::new();
+        for i in 0..n {
+            let ia = idx_base + i * 8;
+            let mut v = img.read_u64(ia);
+            imp.on_demand(
+                DemandInfo {
+                    pc: 10,
+                    addr: ia,
+                    value: Some(v),
+                    was_miss: i % 8 == 0,
+                },
+                &img,
+                &mut out,
+            );
+            if let Some(m) = mask {
+                v &= m; // value transformation breaks the affine relation
+            }
+            imp.on_demand(
+                DemandInfo {
+                    pc: 20,
+                    addr: data_base + (v << 3),
+                    value: Some(0),
+                    was_miss: true,
+                },
+                &img,
+                &mut out,
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn learns_plain_stride_indirect() {
+        let out = drive_stride_indirect(None);
+        assert!(out.len() >= 16, "learned pattern should emit prefetches");
+    }
+
+    #[test]
+    fn prefetches_are_correct_targets() {
+        let mut img = MemImage::new();
+        let idx: Vec<u64> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4];
+        let idx_base = img.alloc_array(&idx);
+        let data_base = img.alloc_words(64);
+        let mut imp = ImpPrefetcher::new(ImpConfig {
+            distance: 2,
+            ..ImpConfig::default()
+        });
+        let mut out = Vec::new();
+        for (i, &v) in idx.iter().enumerate() {
+            let ia = idx_base + 8 * i as u64;
+            out.clear();
+            imp.on_demand(
+                DemandInfo {
+                    pc: 1,
+                    addr: ia,
+                    value: Some(v),
+                    was_miss: false,
+                },
+                &img,
+                &mut out,
+            );
+            imp.on_demand(
+                DemandInfo {
+                    pc: 2,
+                    addr: data_base + (v << 3),
+                    value: Some(0),
+                    was_miss: true,
+                },
+                &img,
+                &mut out,
+            );
+            if i + 3 < idx.len() && !out.is_empty() {
+                // Prefetches target the next indices' data elements.
+                assert_eq!(out[0], data_base + (idx[i + 1] << 3));
+            }
+        }
+        assert!(imp.learned_patterns() >= 1);
+    }
+
+    #[test]
+    fn value_transformation_defeats_imp() {
+        // randacc-style: address uses (value & mask), not value.
+        let out = drive_stride_indirect(Some(0xf));
+        // Correlation never verifies twice with masked values vs raw ones.
+        assert!(
+            out.is_empty(),
+            "IMP should not learn a nonlinear value transformation"
+        );
+    }
+
+    #[test]
+    fn random_misses_do_not_learn() {
+        let mut imp = ImpPrefetcher::new(ImpConfig::default());
+        let img = MemImage::new();
+        let mut out = Vec::new();
+        let mut x = 12345u64;
+        for i in 0..200u64 {
+            imp.on_demand(
+                DemandInfo {
+                    pc: 1,
+                    addr: 0x1000 + i * 8,
+                    value: Some(i),
+                    was_miss: false,
+                },
+                &img,
+                &mut out,
+            );
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            imp.on_demand(
+                DemandInfo {
+                    pc: 2,
+                    addr: x & 0xffff_fff8,
+                    value: Some(0),
+                    was_miss: true,
+                },
+                &img,
+                &mut out,
+            );
+        }
+        assert_eq!(imp.learned_patterns(), 0);
+        assert!(out.is_empty());
+    }
+}

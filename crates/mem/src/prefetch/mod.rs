@@ -1,0 +1,37 @@
+//! Hardware prefetchers attached to the L1 data cache.
+//!
+//! [`StridePrefetcher`] is the baseline next-N-strides prefetcher present in
+//! every configuration (Table III). [`ImpPrefetcher`] is the Indirect Memory
+//! Prefetcher of Yu et al. (MICRO 2015), the prior-art comparison point in
+//! Figs. 1 and 11–13.
+
+mod imp;
+mod stride;
+
+pub use imp::{ImpConfig, ImpPrefetcher};
+pub use stride::{StrideConfig, StridePrefetcher};
+
+use crate::image::MemImage;
+
+/// Observation of one demand access, fed to prefetchers by the hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub struct DemandInfo {
+    /// PC of the load (instruction index).
+    pub pc: u64,
+    /// Byte address accessed.
+    pub addr: u64,
+    /// Loaded value (loads only; `None` for stores).
+    pub value: Option<u64>,
+    /// Whether the access missed the L1.
+    pub was_miss: bool,
+}
+
+/// A prefetcher observing the L1 demand stream and emitting prefetch
+/// candidate addresses.
+pub trait Prefetcher {
+    /// Observes a demand access and appends prefetch addresses to `out`.
+    ///
+    /// `image` provides functional data so value-dependent prefetchers (IMP)
+    /// can compute indirect targets, mirroring hardware that snoops fill data.
+    fn on_demand(&mut self, info: DemandInfo, image: &MemImage, out: &mut Vec<u64>);
+}

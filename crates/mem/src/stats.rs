@@ -1,0 +1,158 @@
+//! Memory-system statistics: hit/miss counts, DRAM traffic by origin, and
+//! prefetch accuracy bookkeeping (used for Fig. 13 of the paper).
+
+use crate::cache::PfSource;
+
+/// Per-prefetch-source counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PfCounters {
+    /// Prefetches issued to the hierarchy (after in-cache drops).
+    pub issued: u64,
+    /// Prefetched lines demand-touched before eviction ("useful").
+    pub used: u64,
+    /// Prefetched lines evicted without a demand touch.
+    pub evicted_unused: u64,
+}
+
+impl PfCounters {
+    /// `used / (used + evicted_unused)`, or `None` before any outcome.
+    pub fn accuracy(&self) -> Option<f64> {
+        let total = self.used + self.evicted_unused;
+        if total == 0 {
+            None
+        } else {
+            Some(self.used as f64 / total as f64)
+        }
+    }
+}
+
+/// Aggregate statistics for one [`crate::MemoryHierarchy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Demand L1-D hits.
+    pub l1d_hits: u64,
+    /// Demand L1-D misses.
+    pub l1d_misses: u64,
+    /// Demand accesses that hit in L2.
+    pub l2_hits: u64,
+    /// Demand accesses that missed L2 (went to DRAM).
+    pub l2_misses: u64,
+    /// Instruction-fetch L1-I hits.
+    pub l1i_hits: u64,
+    /// Instruction-fetch L1-I misses.
+    pub l1i_misses: u64,
+    /// DRAM line reads triggered by demand data accesses.
+    pub dram_demand_data: u64,
+    /// DRAM line reads triggered by instruction fetches.
+    pub dram_inst: u64,
+    /// DRAM line reads triggered by the stride prefetcher.
+    pub dram_stride_pf: u64,
+    /// DRAM line reads triggered by IMP.
+    pub dram_imp_pf: u64,
+    /// DRAM line reads triggered by SVR transient loads.
+    pub dram_svr_pf: u64,
+    /// Dirty-line writebacks to DRAM.
+    pub writebacks: u64,
+    /// Stride-prefetcher accuracy counters.
+    pub stride: PfCounters,
+    /// IMP accuracy counters.
+    pub imp: PfCounters,
+    /// SVR accuracy counters.
+    pub svr: PfCounters,
+    /// TLB walks performed.
+    pub tlb_walks: u64,
+}
+
+impl MemStats {
+    /// Mutable counters for one prefetch source.
+    pub fn pf_mut(&mut self, src: PfSource) -> &mut PfCounters {
+        match src {
+            PfSource::Stride => &mut self.stride,
+            PfSource::Imp => &mut self.imp,
+            PfSource::Svr => &mut self.svr,
+        }
+    }
+
+    /// Counters for one prefetch source.
+    pub fn pf(&self, src: PfSource) -> &PfCounters {
+        match src {
+            PfSource::Stride => &self.stride,
+            PfSource::Imp => &self.imp,
+            PfSource::Svr => &self.svr,
+        }
+    }
+
+    /// Total DRAM line reads (all origins).
+    pub fn dram_reads(&self) -> u64 {
+        self.dram_demand_data
+            + self.dram_inst
+            + self.dram_stride_pf
+            + self.dram_imp_pf
+            + self.dram_svr_pf
+    }
+
+    /// Demand L1-D miss ratio.
+    pub fn l1d_miss_ratio(&self) -> f64 {
+        let total = self.l1d_hits + self.l1d_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1d_misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_none_without_outcomes() {
+        assert_eq!(PfCounters::default().accuracy(), None);
+    }
+
+    #[test]
+    fn accuracy_ratio() {
+        let c = PfCounters {
+            issued: 10,
+            used: 3,
+            evicted_unused: 1,
+        };
+        assert_eq!(c.accuracy(), Some(0.75));
+    }
+
+    #[test]
+    fn pf_mut_routes_by_source() {
+        let mut s = MemStats::default();
+        s.pf_mut(PfSource::Svr).used += 2;
+        s.pf_mut(PfSource::Imp).issued += 1;
+        assert_eq!(s.svr.used, 2);
+        assert_eq!(s.imp.issued, 1);
+        assert_eq!(s.pf(PfSource::Svr).used, 2);
+        assert_eq!(s.stride, PfCounters::default());
+    }
+
+    #[test]
+    fn dram_reads_sums_origins() {
+        let s = MemStats {
+            dram_demand_data: 1,
+            dram_inst: 2,
+            dram_stride_pf: 3,
+            dram_imp_pf: 4,
+            dram_svr_pf: 5,
+            ..MemStats::default()
+        };
+        assert_eq!(s.dram_reads(), 15);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let s = MemStats {
+            l1d_hits: 3,
+            l1d_misses: 1,
+            ..MemStats::default()
+        };
+        assert!((s.l1d_miss_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(MemStats::default().l1d_miss_ratio(), 0.0);
+    }
+}

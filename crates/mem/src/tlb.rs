@@ -1,0 +1,256 @@
+//! TLBs and the page-table-walker pool.
+//!
+//! Table III: 16-entry fully associative D-TLB and I-TLB, 2048-entry 8-way
+//! S-TLB, and 4 page-table walkers. Translation adds latency on top of the
+//! cache access path; the walker pool bounds TLB-miss concurrency, which is
+//! what Fig. 17's PTW sweep measures.
+
+use crate::page_of;
+
+/// TLB geometry and latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// First-level TLB entries (fully associative).
+    pub l1_entries: usize,
+    /// Second-level TLB entries.
+    pub l2_entries: usize,
+    /// Second-level TLB associativity.
+    pub l2_ways: usize,
+    /// Extra cycles on an L1-TLB miss that hits the S-TLB.
+    pub l2_hit_cycles: u64,
+    /// Cycles for a full page-table walk (occupies one walker).
+    pub walk_cycles: u64,
+    /// Number of page-table walkers.
+    pub walkers: usize,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        TlbConfig {
+            l1_entries: 16,
+            l2_entries: 2048,
+            l2_ways: 8,
+            l2_hit_cycles: 5,
+            // Walks mostly hit cached PTEs (8 PTEs share a line; upper
+            // levels are hot), so the average walk is far cheaper than a
+            // DRAM access.
+            walk_cycles: 30,
+            walkers: 4,
+        }
+    }
+}
+
+/// A two-level TLB (L1 fully associative, shared L2 set-associative).
+///
+/// # Examples
+///
+/// ```
+/// use svr_mem::{Tlb, TlbConfig, WalkerPool};
+/// let mut tlb = Tlb::new(TlbConfig::default());
+/// let mut ptw = WalkerPool::new(4);
+/// let (lat, walked) = tlb.translate(0, 0x1234_5000, &mut ptw);
+/// assert!(walked && lat > 0);
+/// let (lat2, walked2) = tlb.translate(lat, 0x1234_5008, &mut ptw);
+/// assert_eq!((lat2, walked2), (0, false)); // same page now hits
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    l1: Vec<(u64, u64)>,      // (page, lru)
+    l2: Vec<Vec<(u64, u64)>>, // sets of (page, lru)
+    tick: u64,
+    hits_l1: u64,
+    hits_l2: u64,
+    walks: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    pub fn new(config: TlbConfig) -> Self {
+        let sets = (config.l2_entries / config.l2_ways).max(1);
+        Tlb {
+            config,
+            l1: Vec::with_capacity(config.l1_entries),
+            l2: vec![Vec::with_capacity(config.l2_ways); sets],
+            tick: 0,
+            hits_l1: 0,
+            hits_l2: 0,
+            walks: 0,
+        }
+    }
+
+    /// Translates `addr` at cycle `now`.
+    ///
+    /// Returns `(extra_latency, walked)`: the added translation latency and
+    /// whether a page-table walk was required (consuming a walker slot from
+    /// `ptw`, possibly waiting for one to free).
+    pub fn translate(&mut self, now: u64, addr: u64, ptw: &mut WalkerPool) -> (u64, bool) {
+        self.tick += 1;
+        let page = page_of(addr);
+        // L1 lookup.
+        if let Some(e) = self.l1.iter_mut().find(|e| e.0 == page) {
+            e.1 = self.tick;
+            self.hits_l1 += 1;
+            return (0, false);
+        }
+        // L2 lookup (hashed index to spread page-number patterns).
+        let sets = self.l2.len();
+        let set = &mut self.l2[stlb_index(page, sets)];
+        let l2_hit = if let Some(e) = set.iter_mut().find(|e| e.0 == page) {
+            e.1 = self.tick;
+            true
+        } else {
+            false
+        };
+        if l2_hit {
+            self.hits_l2 += 1;
+            self.insert_l1(page);
+            return (self.config.l2_hit_cycles, false);
+        }
+        // Walk.
+        self.walks += 1;
+        let done = ptw.walk(now, self.config.walk_cycles);
+        self.insert_l2(page);
+        self.insert_l1(page);
+        (done - now, true)
+    }
+
+    fn insert_l1(&mut self, page: u64) {
+        if self.l1.len() >= self.config.l1_entries {
+            let victim = self
+                .l1
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .map(|(i, _)| i)
+                .expect("l1 nonempty");
+            self.l1.swap_remove(victim);
+        }
+        self.l1.push((page, self.tick));
+    }
+
+    fn insert_l2(&mut self, page: u64) {
+        let ways = self.config.l2_ways;
+        let sets = self.l2.len();
+        let set = &mut self.l2[stlb_index(page, sets)];
+        if set.len() >= ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .map(|(i, _)| i)
+                .expect("set nonempty");
+            set.swap_remove(victim);
+        }
+        set.push((page, self.tick));
+    }
+
+    /// `(l1_hits, l2_hits, walks)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits_l1, self.hits_l2, self.walks)
+    }
+}
+
+fn stlb_index(page: u64, sets: usize) -> usize {
+    let h = page.wrapping_mul(0x9E3779B97F4A7C15) >> 17;
+    (h as usize) % sets
+}
+
+/// A pool of page-table walkers with bounded concurrency.
+#[derive(Debug, Clone)]
+pub struct WalkerPool {
+    free_at: Vec<u64>,
+}
+
+impl WalkerPool {
+    /// Creates `n` idle walkers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one page-table walker");
+        WalkerPool {
+            free_at: vec![0; n],
+        }
+    }
+
+    /// Starts a walk at `now` (or when a walker frees); returns completion.
+    pub fn walk(&mut self, now: u64, walk_cycles: u64) -> u64 {
+        let slot = self.free_at.iter_mut().min().expect("pool nonempty");
+        let start = (*slot).max(now);
+        *slot = start + walk_cycles;
+        *slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TlbConfig {
+        TlbConfig {
+            l1_entries: 2,
+            l2_entries: 8,
+            l2_ways: 2,
+            l2_hit_cycles: 5,
+            walk_cycles: 100,
+            walkers: 2,
+        }
+    }
+
+    #[test]
+    fn first_access_walks_then_hits() {
+        let mut t = Tlb::new(small());
+        let mut p = WalkerPool::new(2);
+        let (lat, walked) = t.translate(0, 0x1000, &mut p);
+        assert!(walked);
+        assert_eq!(lat, 100);
+        let (lat, walked) = t.translate(100, 0x1fff, &mut p);
+        assert!(!walked);
+        assert_eq!(lat, 0);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut t = Tlb::new(small());
+        let mut p = WalkerPool::new(2);
+        t.translate(0, 0x1000, &mut p);
+        t.translate(0, 0x2000, &mut p);
+        t.translate(0, 0x3000, &mut p); // evicts page 1 from 2-entry L1
+        let (lat, walked) = t.translate(0, 0x1000, &mut p);
+        assert!(!walked, "should hit S-TLB");
+        assert_eq!(lat, 5);
+        let (_, _, walks) = t.stats();
+        assert_eq!(walks, 3);
+    }
+
+    #[test]
+    fn walker_pool_limits_concurrency() {
+        let mut p = WalkerPool::new(1);
+        let a = p.walk(0, 100);
+        let b = p.walk(0, 100);
+        assert_eq!(a, 100);
+        assert_eq!(b, 200); // serialized on a single walker
+        let mut p2 = WalkerPool::new(2);
+        let a = p2.walk(0, 100);
+        let b = p2.walk(0, 100);
+        assert_eq!((a, b), (100, 100)); // parallel
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_walkers_rejected() {
+        let _ = WalkerPool::new(0);
+    }
+
+    #[test]
+    fn stats_counters() {
+        let mut t = Tlb::new(small());
+        let mut p = WalkerPool::new(2);
+        t.translate(0, 0x1000, &mut p);
+        t.translate(0, 0x1000, &mut p);
+        let (h1, h2, w) = t.stats();
+        assert_eq!((h1, h2, w), (1, 0, 1));
+    }
+}

@@ -1,0 +1,142 @@
+//! Simulation configurations: the Table III design points and every
+//! sensitivity-study variant.
+
+use svr_core::{InOrderConfig, OooConfig, SvrConfig};
+use svr_mem::prefetch::ImpConfig;
+use svr_mem::{DramConfig, MemConfig, TlbConfig};
+
+/// Which core model (and attachment) to simulate.
+#[derive(Debug, Clone)]
+pub enum CoreChoice {
+    /// Baseline 3-wide in-order core.
+    InOrder,
+    /// In-order core with the IMP prefetcher at the L1 (prior art).
+    Imp,
+    /// 3-wide out-of-order core.
+    OutOfOrder,
+    /// In-order core with the SVR engine.
+    Svr(SvrConfig),
+}
+
+impl CoreChoice {
+    /// Display label used in tables ("InO", "IMP", "OoO", "SVR16", ...).
+    pub fn label(&self) -> String {
+        match self {
+            CoreChoice::InOrder => "InO".into(),
+            CoreChoice::Imp => "IMP".into(),
+            CoreChoice::OutOfOrder => "OoO".into(),
+            CoreChoice::Svr(c) => format!("SVR{}", c.vector_length),
+        }
+    }
+}
+
+/// A complete simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Core model.
+    pub core: CoreChoice,
+    /// Memory-hierarchy parameters (Table III defaults).
+    pub mem: MemConfig,
+    /// In-order pipeline parameters (shared by InO/IMP/SVR).
+    pub inorder: InOrderConfig,
+    /// Out-of-order parameters.
+    pub ooo: OooConfig,
+}
+
+impl SimConfig {
+    /// The baseline in-order configuration.
+    pub fn inorder() -> Self {
+        SimConfig {
+            core: CoreChoice::InOrder,
+            mem: MemConfig::default(),
+            inorder: InOrderConfig::default(),
+            ooo: OooConfig::default(),
+        }
+    }
+
+    /// The IMP comparison point: in-order core + IMP at the L1-D.
+    pub fn imp() -> Self {
+        let mut c = Self::inorder();
+        c.core = CoreChoice::Imp;
+        c.mem.imp = Some(ImpConfig::default());
+        c
+    }
+
+    /// The out-of-order comparison point.
+    pub fn ooo() -> Self {
+        let mut c = Self::inorder();
+        c.core = CoreChoice::OutOfOrder;
+        c
+    }
+
+    /// SVR with vector length `n` (8–128; paper default 16).
+    pub fn svr(n: usize) -> Self {
+        Self::svr_with(SvrConfig::with_length(n))
+    }
+
+    /// SVR with a fully custom engine configuration (ablations).
+    pub fn svr_with(svr: SvrConfig) -> Self {
+        let mut c = Self::inorder();
+        c.core = CoreChoice::Svr(svr);
+        c
+    }
+
+    /// Overrides the number of L1-D MSHRs (Fig. 17).
+    pub fn with_mshrs(mut self, mshrs: usize) -> Self {
+        self.mem.mshrs = mshrs;
+        self
+    }
+
+    /// Overrides the number of page-table walkers (Fig. 17).
+    pub fn with_ptws(mut self, walkers: usize) -> Self {
+        self.mem.tlb = TlbConfig {
+            walkers,
+            ..self.mem.tlb
+        };
+        self
+    }
+
+    /// Overrides DRAM bandwidth in GiB/s (Fig. 18).
+    pub fn with_bandwidth(mut self, gibps: f64) -> Self {
+        self.mem.dram = DramConfig {
+            bandwidth_gibps: gibps,
+            ..self.mem.dram
+        };
+        self
+    }
+
+    /// Label combining the core choice (for table rows).
+    pub fn label(&self) -> String {
+        self.core.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(SimConfig::inorder().label(), "InO");
+        assert_eq!(SimConfig::imp().label(), "IMP");
+        assert_eq!(SimConfig::ooo().label(), "OoO");
+        assert_eq!(SimConfig::svr(64).label(), "SVR64");
+    }
+
+    #[test]
+    fn imp_config_enables_prefetcher() {
+        assert!(SimConfig::imp().mem.imp.is_some());
+        assert!(SimConfig::inorder().mem.imp.is_none());
+    }
+
+    #[test]
+    fn sweep_builders() {
+        let c = SimConfig::svr(16)
+            .with_mshrs(4)
+            .with_ptws(6)
+            .with_bandwidth(12.5);
+        assert_eq!(c.mem.mshrs, 4);
+        assert_eq!(c.mem.tlb.walkers, 6);
+        assert!((c.mem.dram.bandwidth_gibps - 12.5).abs() < 1e-9);
+    }
+}

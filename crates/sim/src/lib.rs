@@ -1,0 +1,92 @@
+//! # svr-sim — simulation driver for the SVR reproduction
+//!
+//! Glues the workspace together: configurations for every design point in
+//! Table III (and the sensitivity variants of §VI-E), a runner that
+//! simulates a workload on a chosen core and collects timing, memory,
+//! prefetch-effectiveness and energy statistics, and helpers for the
+//! aggregate metrics the paper reports (harmonic-mean speedup, grouped
+//! results, parallel sweeps).
+//!
+//! # Examples
+//!
+//! ```
+//! use svr_sim::{run_kernel, SimConfig};
+//! use svr_workloads::{Kernel, Scale};
+//!
+//! let base = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder());
+//! let svr = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16));
+//! assert!(svr.core.cycles < base.core.cycles, "SVR speeds up Camel");
+//! ```
+
+mod config;
+mod runner;
+
+pub use config::{CoreChoice, SimConfig};
+pub use runner::{
+    energy_input, harmonic_mean_speedup, run_kernel, run_parallel, run_workload, RunReport,
+};
+
+/// Groups reports by the kernel group label and averages a metric within
+/// each group (used by Figs. 13 and 15, which aggregate similar workloads).
+pub fn group_mean<F>(
+    reports: &[(svr_workloads::Kernel, RunReport)],
+    metric: F,
+) -> Vec<(String, f64)>
+where
+    F: Fn(&RunReport) -> f64,
+{
+    use std::collections::BTreeMap;
+    let mut acc: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    for (k, r) in reports {
+        let e = acc.entry(k.group().label().to_string()).or_insert((0.0, 0));
+        e.0 += metric(r);
+        e.1 += 1;
+    }
+    acc.into_iter()
+        .map(|(g, (sum, n))| (g, sum / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svr_workloads::{GraphInput, Kernel, Scale};
+
+    #[test]
+    fn group_mean_averages_within_groups() {
+        let mk = |k: Kernel, cpi: u64| {
+            (
+                k,
+                RunReport {
+                    workload: k.name(),
+                    config: "x".into(),
+                    core: svr_core::CoreStats {
+                        cycles: cpi * 100,
+                        retired: 100,
+                        ..svr_core::CoreStats::default()
+                    },
+                    mem: svr_mem::MemStats::default(),
+                    energy: svr_energy::EnergyBreakdown::default(),
+                    verified: true,
+                },
+            )
+        };
+        let reports = vec![
+            mk(Kernel::Pr(GraphInput::Kr), 4),
+            mk(Kernel::Pr(GraphInput::Ur), 8),
+            mk(Kernel::Camel, 10),
+        ];
+        let means = group_mean(&reports, |r| r.cpi());
+        let pr = means.iter().find(|(g, _)| g == "PR").expect("PR group");
+        assert!((pr.1 - 6.0).abs() < 1e-9);
+        let hpc = means.iter().find(|(g, _)| g == "HPC-DB").expect("HPC-DB");
+        assert!((hpc.1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn svr_beats_inorder_on_tiny_camel() {
+        let base = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder());
+        let svr = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16));
+        assert!(svr.core.cycles < base.core.cycles);
+    }
+}

@@ -1,0 +1,255 @@
+//! Running workloads under configurations and collecting reports.
+
+use crate::config::{CoreChoice, SimConfig};
+use svr_core::{CoreStats, InOrderCore, OooCore};
+use svr_energy::{CoreKind, EnergyBreakdown, EnergyInput, EnergyModel};
+use svr_mem::MemStats;
+use svr_workloads::{Kernel, Scale, Workload};
+
+/// The result of simulating one workload under one configuration.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Workload name ("PR_KR", ...).
+    pub workload: String,
+    /// Configuration label ("SVR16", ...).
+    pub config: String,
+    /// Core-side statistics (cycles, CPI stack, SVR activity).
+    pub core: CoreStats,
+    /// Memory-side statistics (misses, DRAM traffic, prefetch accuracy).
+    pub mem: MemStats,
+    /// Whole-system energy.
+    pub energy: EnergyBreakdown,
+    /// Whether the architectural check passed (always true for capped runs
+    /// that did not reach `halt`).
+    pub verified: bool,
+}
+
+impl RunReport {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        self.core.cpi()
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.core.ipc()
+    }
+
+    /// Whole-system energy per committed instruction (nJ).
+    pub fn nj_per_inst(&self) -> f64 {
+        self.energy.nj_per_inst(self.core.retired)
+    }
+
+    /// SVR prefetch accuracy, if any outcomes were observed.
+    pub fn svr_accuracy(&self) -> Option<f64> {
+        self.mem.svr.accuracy()
+    }
+}
+
+/// Simulates `workload` under `config` for at most `max_insts` instructions.
+pub fn run_workload(workload: &Workload, config: &SimConfig, max_insts: u64) -> RunReport {
+    let (program, mut image, mut arch) = workload.instantiate();
+    let (core_stats, mem_stats, kind) = match &config.core {
+        CoreChoice::InOrder | CoreChoice::Imp => {
+            let mut core = InOrderCore::new(config.inorder, config.mem.clone());
+            core.run(&program, &mut image, &mut arch, max_insts);
+            (*core.stats(), *core.mem_stats(), CoreKind::InOrder)
+        }
+        CoreChoice::Svr(svr) => {
+            let mut core = InOrderCore::with_svr(config.inorder, config.mem.clone(), *svr);
+            core.run(&program, &mut image, &mut arch, max_insts);
+            (*core.stats(), *core.mem_stats(), CoreKind::InOrder)
+        }
+        CoreChoice::OutOfOrder => {
+            let mut core = OooCore::new(config.ooo, config.mem.clone());
+            core.run(&program, &mut image, &mut arch, max_insts);
+            (*core.stats(), *core.mem_stats(), CoreKind::OutOfOrder)
+        }
+    };
+    let energy = EnergyModel::default().energy(&energy_input(&core_stats, &mem_stats, kind));
+    let verified = !arch.halted() || workload.verify(&image, &arch);
+    RunReport {
+        workload: workload.name.clone(),
+        config: config.label(),
+        core: core_stats,
+        mem: mem_stats,
+        energy,
+        verified,
+    }
+}
+
+/// Builds and runs a registry kernel (convenience wrapper).
+pub fn run_kernel(kernel: Kernel, scale: Scale, config: &SimConfig) -> RunReport {
+    let w = kernel.build(scale);
+    run_workload(&w, config, scale.max_insts())
+}
+
+/// Assembles the energy-model event counts from simulator statistics.
+pub fn energy_input(core: &CoreStats, mem: &MemStats, kind: CoreKind) -> EnergyInput {
+    EnergyInput {
+        cycles: core.cycles,
+        retired: core.retired,
+        issued_uops: core.issued_uops,
+        svr_lanes: core.svr.lanes,
+        l1_accesses: mem.l1d_hits
+            + mem.l1d_misses
+            + mem.stride.issued
+            + mem.imp.issued
+            + core.svr.lane_loads
+            + mem.l1i_hits
+            + mem.l1i_misses,
+        l2_accesses: mem.l2_hits + mem.l2_misses,
+        dram_lines: mem.dram_reads() + mem.writebacks,
+        core: kind,
+    }
+}
+
+/// Harmonic-mean speedup of `new` over `base`, matching reports by IPC
+/// ratio per workload (Fig. 1's metric).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or a base IPC is zero.
+pub fn harmonic_mean_speedup(base: &[RunReport], new: &[RunReport]) -> f64 {
+    assert_eq!(base.len(), new.len(), "mismatched report sets");
+    assert!(!base.is_empty(), "empty report sets");
+    let mut denom = 0.0;
+    for (b, n) in base.iter().zip(new) {
+        assert_eq!(b.workload, n.workload, "reports must align by workload");
+        let s = n.ipc() / b.ipc();
+        assert!(s.is_finite() && s > 0.0, "bad speedup for {}", b.workload);
+        denom += 1.0 / s;
+    }
+    base.len() as f64 / denom
+}
+
+/// Runs `jobs` across `threads` OS threads; results come back in job order.
+pub fn run_parallel(jobs: Vec<(Kernel, Scale, SimConfig)>, threads: usize) -> Vec<RunReport> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let n = jobs.len();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; n]);
+    {
+        let jobs = &jobs;
+        let next = &next;
+        let results = &results;
+        std::thread::scope(|s| {
+            for _ in 0..threads.max(1).min(n.max(1)) {
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (kernel, scale, config) = &jobs[i];
+                    let report = run_kernel(*kernel, *scale, config);
+                    results.lock().expect("no poisoned runs")[i] = Some(report);
+                });
+            }
+        });
+    }
+    results
+        .into_inner()
+        .expect("threads joined")
+        .into_iter()
+        .map(|r| r.expect("all jobs completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svr_workloads::GraphInput;
+
+    #[test]
+    fn run_kernel_produces_verified_report() {
+        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder());
+        assert!(r.verified, "camel must verify");
+        assert!(r.cpi() > 0.0);
+        assert!(r.nj_per_inst() > 0.0);
+        assert_eq!(r.config, "InO");
+        assert_eq!(r.workload, "Camel");
+    }
+
+    #[test]
+    fn svr_report_contains_activity() {
+        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16));
+        assert!(r.core.svr.prm_rounds > 0);
+        assert!(r.svr_accuracy().is_some());
+        assert!(r.verified);
+    }
+
+    #[test]
+    fn harmonic_mean_is_correct() {
+        let mk = |w: &str, cycles: u64| RunReport {
+            workload: w.into(),
+            config: "x".into(),
+            core: CoreStats {
+                cycles,
+                retired: 1000,
+                ..CoreStats::default()
+            },
+            mem: MemStats::default(),
+            energy: EnergyBreakdown::default(),
+            verified: true,
+        };
+        let base = vec![mk("a", 4000), mk("b", 4000)];
+        let new = vec![mk("a", 2000), mk("b", 1000)]; // speedups 2 and 4
+        let h = harmonic_mean_speedup(&base, &new);
+        assert!((h - 2.0 / (1.0 / 2.0 + 1.0 / 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_input_accounting() {
+        use svr_core::SvrActivity;
+        let core = CoreStats {
+            cycles: 1000,
+            retired: 100,
+            issued_uops: 300,
+            svr: SvrActivity {
+                lanes: 200,
+                lane_loads: 150,
+                ..SvrActivity::default()
+            },
+            ..CoreStats::default()
+        };
+        let mem = MemStats {
+            l1d_hits: 40,
+            l1d_misses: 10,
+            l1i_hits: 5,
+            l2_hits: 6,
+            l2_misses: 4,
+            dram_demand_data: 4,
+            writebacks: 2,
+            ..MemStats::default()
+        };
+        let input = energy_input(&core, &mem, svr_energy::CoreKind::InOrder);
+        assert_eq!(input.issued_uops, 300);
+        assert_eq!(input.svr_lanes, 200);
+        assert_eq!(input.l1_accesses, 40 + 10 + 150 + 5);
+        assert_eq!(input.l2_accesses, 10);
+        assert_eq!(input.dram_lines, 4 + 2);
+    }
+
+    #[test]
+    fn imp_config_actually_prefetches() {
+        let r = run_kernel(Kernel::NasIs, Scale::Tiny, &SimConfig::imp());
+        assert!(r.mem.imp.issued > 0, "IMP should fire on IS");
+        let r2 = run_kernel(Kernel::NasIs, Scale::Tiny, &SimConfig::inorder());
+        assert_eq!(r2.mem.imp.issued, 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let jobs = vec![
+            (Kernel::Camel, Scale::Tiny, SimConfig::inorder()),
+            (Kernel::Pr(GraphInput::Ur), Scale::Tiny, SimConfig::svr(16)),
+        ];
+        let par = run_parallel(jobs.clone(), 2);
+        let ser: Vec<RunReport> = jobs.iter().map(|(k, s, c)| run_kernel(*k, *s, c)).collect();
+        for (a, b) in par.iter().zip(&ser) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.core.cycles, b.core.cycles, "determinism violated");
+        }
+    }
+}

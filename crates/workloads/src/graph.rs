@@ -1,0 +1,267 @@
+//! CSR graphs and the paper's graph inputs (§V): synthetic Kronecker (KR)
+//! and Uniform-Random (UR) generators as in GAP, plus degree-skewed RMAT
+//! stand-ins for the LiveJournal / Twitter / Orkut real-world inputs
+//! (substitution documented in DESIGN.md).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A graph in compressed-sparse-row form (Fig. 2 of the paper).
+///
+/// `offsets` has `n + 1` entries; the neighbors of vertex `u` are
+/// `neighbors[offsets[u] .. offsets[u+1]]`.
+///
+/// # Examples
+///
+/// ```
+/// use svr_workloads::Csr;
+/// let g = Csr::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.neighbors_of(0), &[1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    neighbors: Vec<u64>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list (duplicates kept, self-loops dropped).
+    pub fn from_edges(n: usize, edges: &[(u64, u64)]) -> Self {
+        let mut degree = vec![0u64; n];
+        for &(u, v) in edges {
+            if u != v {
+                degree[u as usize] += 1;
+            }
+            let _ = v;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u64; offsets[n] as usize];
+        for &(u, v) in edges {
+            if u == v {
+                continue;
+            }
+            let c = &mut cursor[u as usize];
+            neighbors[*c as usize] = v;
+            *c += 1;
+        }
+        Csr { offsets, neighbors }
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The offsets array (length `n + 1`).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The concatenated neighbor array.
+    pub fn neighbors(&self) -> &[u64] {
+        &self.neighbors
+    }
+
+    /// Neighbors of `u`.
+    pub fn neighbors_of(&self, u: usize) -> &[u64] {
+        let s = self.offsets[u] as usize;
+        let e = self.offsets[u + 1] as usize;
+        &self.neighbors[s..e]
+    }
+
+    /// Out-degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Basic structural invariants (used by property tests).
+    pub fn check_invariants(&self) -> bool {
+        let n = self.num_nodes() as u64;
+        self.offsets.windows(2).all(|w| w[0] <= w[1])
+            && *self.offsets.last().expect("nonempty") == self.neighbors.len() as u64
+            && self.neighbors.iter().all(|&v| v < n)
+    }
+}
+
+/// The paper's graph inputs (two synthetic, three real-world stand-ins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphInput {
+    /// Kronecker/RMAT with Graph500 parameters.
+    Kr,
+    /// Uniform random (Erdős–Rényi style).
+    Ur,
+    /// LiveJournal stand-in: moderately skewed RMAT.
+    Ljn,
+    /// Twitter stand-in: heavily skewed RMAT (celebrity hubs).
+    Tw,
+    /// Orkut stand-in: denser, mildly skewed RMAT.
+    Ork,
+}
+
+impl GraphInput {
+    /// All five inputs in the paper's order.
+    pub const ALL: [GraphInput; 5] = [
+        GraphInput::Kr,
+        GraphInput::Ur,
+        GraphInput::Ljn,
+        GraphInput::Tw,
+        GraphInput::Ork,
+    ];
+
+    /// Short name used in result tables ("KR", "UR", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            GraphInput::Kr => "KR",
+            GraphInput::Ur => "UR",
+            GraphInput::Ljn => "LJN",
+            GraphInput::Tw => "TW",
+            GraphInput::Ork => "ORK",
+        }
+    }
+
+    /// Generates the input at `nodes` vertices with `edge_factor` edges per
+    /// vertex, deterministically from `seed`.
+    pub fn generate(self, nodes: usize, edge_factor: usize, seed: u64) -> Csr {
+        match self {
+            GraphInput::Kr => rmat(nodes, edge_factor, (0.57, 0.19, 0.19), seed),
+            GraphInput::Ur => uniform(nodes, edge_factor, seed),
+            GraphInput::Ljn => rmat(nodes, edge_factor, (0.48, 0.22, 0.22), seed ^ 0x11),
+            GraphInput::Tw => rmat(nodes, edge_factor.max(2), (0.62, 0.18, 0.18), seed ^ 0x22),
+            GraphInput::Ork => rmat(nodes, edge_factor * 2, (0.45, 0.22, 0.22), seed ^ 0x33),
+        }
+    }
+}
+
+/// Uniform-random digraph: `n * edge_factor` edges with i.i.d. endpoints.
+pub fn uniform(n: usize, edge_factor: usize, seed: u64) -> Csr {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m = n * edge_factor;
+    let edges: Vec<(u64, u64)> = (0..m)
+        .map(|_| (rng.gen_range(0..n as u64), rng.gen_range(0..n as u64)))
+        .collect();
+    Csr::from_edges(n, &edges)
+}
+
+/// RMAT/Kronecker generator with recursive quadrant probabilities
+/// `(a, b, c)` (d = 1 - a - b - c), Graph500-style.
+pub fn rmat(n: usize, edge_factor: usize, abc: (f64, f64, f64), seed: u64) -> Csr {
+    let n_pow2 = n.next_power_of_two();
+    let levels = n_pow2.trailing_zeros();
+    let (a, b, c) = abc;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m = n * edge_factor;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0u64, 0u64);
+        for _ in 0..levels {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        // Permute to avoid locality artifacts of the bit construction and
+        // fold into the requested vertex count.
+        let u = scramble(u, seed) % n as u64;
+        let v = scramble(v, seed.wrapping_add(1)) % n as u64;
+        edges.push((u, v));
+    }
+    Csr::from_edges(n, &edges)
+}
+
+fn scramble(x: u64, seed: u64) -> u64 {
+    let mut z = x ^ seed;
+    z = z.wrapping_mul(0x9e3779b97f4a7c15);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58476d1ce4e5b9);
+    z ^= z >> 27;
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_from_edges_basics() {
+        let g = Csr::from_edges(4, &[(0, 1), (0, 2), (2, 3), (3, 0), (1, 1)]);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4, "self loop dropped");
+        assert_eq!(g.neighbors_of(0), &[1, 2]);
+        assert_eq!(g.degree(1), 0);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for input in GraphInput::ALL {
+            let g1 = input.generate(512, 4, 42);
+            let g2 = input.generate(512, 4, 42);
+            assert_eq!(g1, g2, "{input:?} not deterministic");
+            assert!(g1.check_invariants());
+        }
+    }
+
+    #[test]
+    fn uniform_has_uniform_degrees() {
+        let g = uniform(1024, 8, 7);
+        // Max degree of a balanced random graph stays near the mean.
+        assert!(g.max_degree() < 8 * 5, "max degree {}", g.max_degree());
+        // A few self-loops get dropped.
+        assert!(g.num_edges() <= 1024 * 8);
+        assert!(g.num_edges() >= 1024 * 8 - 100);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let kr = GraphInput::Kr.generate(2048, 8, 3);
+        let ur = GraphInput::Ur.generate(2048, 8, 3);
+        assert!(
+            kr.max_degree() > 2 * ur.max_degree(),
+            "kr {} ur {}",
+            kr.max_degree(),
+            ur.max_degree()
+        );
+    }
+
+    #[test]
+    fn tw_is_most_skewed() {
+        let tw = GraphInput::Tw.generate(4096, 8, 9);
+        let ljn = GraphInput::Ljn.generate(4096, 8, 9);
+        assert!(tw.max_degree() > ljn.max_degree());
+    }
+
+    #[test]
+    fn edge_counts_scale() {
+        let g = GraphInput::Ork.generate(256, 4, 1);
+        // ORK doubles the edge factor.
+        assert!(g.num_edges() >= 256 * 7);
+    }
+}

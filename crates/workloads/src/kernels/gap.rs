@@ -1,0 +1,570 @@
+//! GAP benchmark kernels (§V): PR, BFS, CC, SSSP, BC — hand-written hot
+//! loops over CSR graphs, with the initialization phase done natively (the
+//! paper skips init and simulates the region of interest).
+
+use crate::graph::{Csr, GraphInput};
+use crate::workload::{Check, Scale, Workload};
+use svr_isa::{AluOp, ArchState, Assembler, Cond, DataMemory, Reg};
+use svr_mem::MemImage;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// Distance value for "unreached" in SSSP/BFS-style kernels.
+const INF: u64 = u64::MAX / 4;
+
+fn graph_for(input: GraphInput, scale: Scale) -> Csr {
+    input.generate(scale.nodes(), scale.edge_factor(), 0xC0FFEE)
+}
+
+/// Traversals start from the highest-degree vertex (as GAP picks non-isolated
+/// sources); a random source on a skewed graph is often degree-0.
+fn source_of(g: &Csr) -> u64 {
+    (0..g.num_nodes()).max_by_key(|&u| g.degree(u)).unwrap_or(0) as u64
+}
+
+/// PageRank's hot loop (Listing 1 of the paper): for every vertex,
+/// accumulate `contrib[v]` over its neighbors and store the total.
+///
+/// Striding load: the neighbor array (global monotone index). Indirect load:
+/// `contrib[v]`. This is the canonical SVR target.
+pub fn pagerank(input: GraphInput, scale: Scale) -> Workload {
+    let g = graph_for(input, scale);
+    let n = g.num_nodes() as u64;
+    let mut img = MemImage::new();
+    let ob = img.alloc_array(g.offsets());
+    let nb = img.alloc_array(g.neighbors());
+    // Fixed-point contributions, one per vertex.
+    let contrib: Vec<u64> = (0..n).map(|i| (i * 2654435761) % 1000 + 1).collect();
+    let cb = img.alloc_array(&contrib);
+    let sb = img.alloc_words(n);
+
+    let (robs, rnbs, rcb, rsb) = (r(1), r(2), r(3), r(4));
+    let (ru, rn, rj, rend, rv, rc, rtot, rsum, rt) =
+        (r(5), r(6), r(7), r(8), r(9), r(10), r(11), r(12), r(13));
+
+    let mut asm = Assembler::new("pr");
+    let outer = asm.label();
+    let inner = asm.label();
+    let after = asm.label();
+    asm.bind(outer);
+    asm.ldx(rj, robs, ru, 3); // j = offsets[u]
+    asm.alui(AluOp::Add, rt, ru, 1);
+    asm.ldx(rend, robs, rt, 3); // end = offsets[u+1]
+    asm.li(rtot, 0);
+    asm.cmp(rj, rend);
+    asm.b(Cond::Geu, after);
+    asm.bind(inner);
+    asm.ldx(rv, rnbs, rj, 3); // v = neigh[j]        (striding)
+    asm.ldx(rc, rcb, rv, 3); // c = contrib[v]      (indirect)
+    asm.alu(AluOp::Add, rtot, rtot, rc);
+    asm.alui(AluOp::Add, rj, rj, 1);
+    asm.cmp(rj, rend);
+    asm.b(Cond::Ltu, inner);
+    asm.bind(after);
+    asm.stx(rtot, rsb, ru, 3);
+    asm.alu(AluOp::Add, rsum, rsum, rtot);
+    asm.alui(AluOp::Add, ru, ru, 1);
+    asm.cmp(ru, rn);
+    asm.b(Cond::Ltu, outer);
+    asm.halt();
+
+    let expected: u64 = g
+        .neighbors()
+        .iter()
+        .map(|&v| contrib[v as usize])
+        .fold(0u64, |a, b| a.wrapping_add(b));
+
+    let mut arch = ArchState::new();
+    arch.set_reg(robs, ob);
+    arch.set_reg(rnbs, nb);
+    arch.set_reg(rcb, cb);
+    arch.set_reg(rsb, sb);
+    arch.set_reg(rn, n);
+    Workload {
+        name: format!("PR_{}", input.label()),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Reg(rsum, expected),
+    }
+}
+
+/// Breadth-first search with an explicit frontier queue and parent array.
+pub fn bfs(input: GraphInput, scale: Scale) -> Workload {
+    bfs_named(input, scale, format!("BFS_{}", input.label()))
+}
+
+/// Graph500 seq-CSR is a BFS over a Kronecker graph; we reuse the BFS
+/// kernel under its own name.
+pub fn graph500(scale: Scale) -> Workload {
+    bfs_named(GraphInput::Kr, scale, "G500".to_string())
+}
+
+fn bfs_named(input: GraphInput, scale: Scale, name: String) -> Workload {
+    let g = graph_for(input, scale);
+    let n = g.num_nodes() as u64;
+    let src = source_of(&g);
+    let mut img = MemImage::new();
+    let ob = img.alloc_array(g.offsets());
+    let nb = img.alloc_array(g.neighbors());
+    let mut parent = vec![INF; n as usize];
+    parent[src as usize] = src;
+    let pb = img.alloc_array(&parent);
+    let mut queue = vec![0u64; n as usize + 1];
+    queue[0] = src;
+    let qb = img.alloc_array(&queue);
+
+    let (rob, rnb, rpb, rqb) = (r(1), r(2), r(3), r(4));
+    let (rhead, rtail, ru, rj, rend, rv, rpv, rt, rcount) =
+        (r(5), r(6), r(7), r(8), r(9), r(10), r(11), r(12), r(13));
+
+    let mut asm = Assembler::new("bfs");
+    let outer = asm.label();
+    let inner = asm.label();
+    let skip = asm.label();
+    let done = asm.label();
+    asm.bind(outer);
+    asm.cmp(rhead, rtail);
+    asm.b(Cond::Geu, done);
+    asm.ldx(ru, rqb, rhead, 3); // u = queue[head]    (striding)
+    asm.alui(AluOp::Add, rhead, rhead, 1);
+    asm.ldx(rj, rob, ru, 3); // j = offsets[u]      (indirect)
+    asm.alui(AluOp::Add, rt, ru, 1);
+    asm.ldx(rend, rob, rt, 3);
+    asm.cmp(rj, rend);
+    asm.b(Cond::Geu, outer); // empty neighbor list
+    asm.bind(inner);
+    asm.ldx(rv, rnb, rj, 3); // v = neigh[j]
+    asm.ldx(rpv, rpb, rv, 3); // parent[v]           (indirect)
+    asm.cmpi(rpv, INF as i64);
+    asm.b(Cond::Ne, skip);
+    asm.stx(ru, rpb, rv, 3); // parent[v] = u
+    asm.stx(rv, rqb, rtail, 3); // queue[tail] = v
+    asm.alui(AluOp::Add, rtail, rtail, 1);
+    asm.alui(AluOp::Add, rcount, rcount, 1);
+    asm.bind(skip);
+    asm.alui(AluOp::Add, rj, rj, 1);
+    asm.cmp(rj, rend); // backward-conditional latch: the LBD's training hook
+    asm.b(Cond::Ltu, inner);
+    asm.j(outer);
+    asm.bind(done);
+    asm.halt();
+
+    // Reference: replicate the exact algorithm.
+    let mut visited = 0u64;
+    {
+        let mut par = vec![INF; n as usize];
+        par[src as usize] = src;
+        let mut q = vec![src];
+        let mut head = 0;
+        while head < q.len() {
+            let u = q[head] as usize;
+            head += 1;
+            for &v in g.neighbors_of(u) {
+                if par[v as usize] == INF {
+                    par[v as usize] = u as u64;
+                    q.push(v);
+                    visited += 1;
+                }
+            }
+        }
+    }
+
+    let mut arch = ArchState::new();
+    arch.set_reg(rob, ob);
+    arch.set_reg(rnb, nb);
+    arch.set_reg(rpb, pb);
+    arch.set_reg(rqb, qb);
+    arch.set_reg(rhead, 0);
+    arch.set_reg(rtail, 1);
+    Workload {
+        name,
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Reg(rcount, visited),
+    }
+}
+
+/// Connected components by label propagation (two full sweeps).
+pub fn cc(input: GraphInput, scale: Scale) -> Workload {
+    let g = graph_for(input, scale);
+    let n = g.num_nodes() as u64;
+    let sweeps = 2u64;
+    let mut img = MemImage::new();
+    let ob = img.alloc_array(g.offsets());
+    let nb = img.alloc_array(g.neighbors());
+    let comp: Vec<u64> = (0..n).collect();
+    let cb = img.alloc_array(&comp);
+
+    let (rob, rnb, rcb) = (r(1), r(2), r(3));
+    let (ru, rn, rj, rend, rv, rcv, rcu, rs, rt, rsum) = (
+        r(4),
+        r(5),
+        r(6),
+        r(7),
+        r(8),
+        r(9),
+        r(10),
+        r(11),
+        r(12),
+        r(13),
+    );
+
+    let mut asm = Assembler::new("cc");
+    let sweep = asm.label();
+    let outer = asm.label();
+    let inner = asm.label();
+    let skip = asm.label();
+    let after = asm.label();
+    asm.bind(sweep);
+    asm.li(ru, 0);
+    asm.bind(outer);
+    asm.ldx(rj, rob, ru, 3);
+    asm.alui(AluOp::Add, rt, ru, 1);
+    asm.ldx(rend, rob, rt, 3);
+    asm.ldx(rcu, rcb, ru, 3); // comp[u]
+    asm.cmp(rj, rend);
+    asm.b(Cond::Geu, after);
+    asm.bind(inner);
+    asm.ldx(rv, rnb, rj, 3); // v = neigh[j]        (striding)
+    asm.ldx(rcv, rcb, rv, 3); // comp[v]             (indirect)
+    asm.cmp(rcv, rcu);
+    asm.b(Cond::Geu, skip);
+    asm.mv(rcu, rcv);
+    asm.bind(skip);
+    asm.alui(AluOp::Add, rj, rj, 1);
+    asm.cmp(rj, rend); // backward-conditional latch
+    asm.b(Cond::Ltu, inner);
+    asm.bind(after);
+    asm.stx(rcu, rcb, ru, 3);
+    asm.alu(AluOp::Add, rsum, rsum, rcu);
+    asm.alui(AluOp::Add, ru, ru, 1);
+    asm.cmp(ru, rn);
+    asm.b(Cond::Ltu, outer);
+    asm.alui(AluOp::Add, rs, rs, 1);
+    asm.cmpi(rs, sweeps as i64);
+    asm.b(Cond::Ltu, sweep);
+    asm.halt();
+
+    // Reference: identical sweeps.
+    let mut comp_ref: Vec<u64> = (0..n).collect();
+    let mut expected = 0u64;
+    for _ in 0..sweeps {
+        for u in 0..n as usize {
+            let mut cu = comp_ref[u];
+            for &v in g.neighbors_of(u) {
+                cu = cu.min(comp_ref[v as usize]);
+            }
+            comp_ref[u] = cu;
+            expected = expected.wrapping_add(cu);
+        }
+    }
+
+    let mut arch = ArchState::new();
+    arch.set_reg(rob, ob);
+    arch.set_reg(rnb, nb);
+    arch.set_reg(rcb, cb);
+    arch.set_reg(rn, n);
+    Workload {
+        name: format!("CC_{}", input.label()),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Reg(rsum, expected),
+    }
+}
+
+/// Single-source shortest paths with a worklist (SPFA-style, approximating
+/// GAP's delta-stepping): the frontier queue strides, everything after it is
+/// a dependent indirect chain — a pattern IMP cannot capture (§VI-A).
+pub fn sssp(input: GraphInput, scale: Scale) -> Workload {
+    let g = graph_for(input, scale);
+    let n = g.num_nodes() as u64;
+    let src = source_of(&g);
+    // Per-edge weights parallel to the neighbor array.
+    let wts: Vec<u64> = (0..g.num_edges() as u64)
+        .map(|i| (i * 2654435761) % 63 + 1)
+        .collect();
+    let qcap = 16 * n;
+    let mut img = MemImage::new();
+    let ob = img.alloc_array(g.offsets());
+    let nb = img.alloc_array(g.neighbors());
+    let wb = img.alloc_array(&wts);
+    let mut dist = vec![INF; n as usize];
+    dist[src as usize] = 0;
+    let distb = img.alloc_array(&dist);
+    let qb = img.alloc_words(qcap + 1);
+    img.write_u64(qb, src); // queue[0] = source
+
+    let (rob, rnb, rwb, rdist, rqb) = (r(1), r(2), r(3), r(4), r(5));
+    let (rhead, rtail, ru, rj, rend, rv, rw, rdu, rdv, rt, rqcap) = (
+        r(6),
+        r(7),
+        r(8),
+        r(9),
+        r(10),
+        r(11),
+        r(12),
+        r(13),
+        r(14),
+        r(15),
+        r(16),
+    );
+
+    let mut asm = Assembler::new("sssp");
+    let outer = asm.label();
+    let inner = asm.label();
+    let skip = asm.label();
+    let no_push = asm.label();
+    let done = asm.label();
+    asm.bind(outer);
+    asm.cmp(rhead, rtail);
+    asm.b(Cond::Geu, done);
+    asm.ldx(ru, rqb, rhead, 3); // u = queue[head]   (striding)
+    asm.alui(AluOp::Add, rhead, rhead, 1);
+    asm.ldx(rdu, rdist, ru, 3); // dist[u]           (indirect)
+    asm.ldx(rj, rob, ru, 3);
+    asm.alui(AluOp::Add, rt, ru, 1);
+    asm.ldx(rend, rob, rt, 3);
+    asm.cmp(rj, rend);
+    asm.b(Cond::Geu, outer);
+    asm.bind(inner);
+    asm.ldx(rv, rnb, rj, 3); // v = neigh[j]
+    asm.ldx(rw, rwb, rj, 3); // w = wt[j]
+    asm.alu(AluOp::Add, rt, rdu, rw);
+    asm.ldx(rdv, rdist, rv, 3); // dist[v]           (indirect)
+    asm.cmp(rt, rdv);
+    asm.b(Cond::Geu, skip);
+    asm.stx(rt, rdist, rv, 3); // relax
+    asm.cmp(rtail, rqcap);
+    asm.b(Cond::Geu, no_push);
+    asm.stx(rv, rqb, rtail, 3); // queue[tail] = v
+    asm.alui(AluOp::Add, rtail, rtail, 1);
+    asm.bind(no_push);
+    asm.bind(skip);
+    asm.alui(AluOp::Add, rj, rj, 1);
+    asm.cmp(rj, rend); // backward-conditional latch
+    asm.b(Cond::Ltu, inner);
+    asm.j(outer);
+    asm.bind(done);
+    asm.halt();
+
+    // Reference: identical worklist algorithm.
+    let mut dref = vec![INF; n as usize];
+    dref[src as usize] = 0;
+    {
+        let mut q = vec![src];
+        let mut head = 0usize;
+        while head < q.len() {
+            let u = q[head] as usize;
+            head += 1;
+            let du = dref[u];
+            for (idx, &v) in g.neighbors_of(u).iter().enumerate() {
+                let e = g.offsets()[u] as usize + idx;
+                let t = du.wrapping_add(wts[e]);
+                if t < dref[v as usize] {
+                    dref[v as usize] = t;
+                    if q.len() < qcap as usize {
+                        q.push(v);
+                    }
+                }
+            }
+        }
+    }
+    let expected_last = dref[n as usize - 1];
+
+    let mut arch = ArchState::new();
+    arch.set_reg(rob, ob);
+    arch.set_reg(rnb, nb);
+    arch.set_reg(rwb, wb);
+    arch.set_reg(rdist, distb);
+    arch.set_reg(rqb, qb);
+    arch.set_reg(rhead, 0);
+    arch.set_reg(rtail, 1);
+    arch.set_reg(rqcap, qcap);
+    Workload {
+        name: format!("SSSP_{}", input.label()),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Mem(distb + (n - 1) * 8, expected_last),
+    }
+}
+
+/// Betweenness centrality, forward phase of Brandes: BFS with shortest-path
+/// counting (two dependent indirect arrays per edge).
+pub fn bc(input: GraphInput, scale: Scale) -> Workload {
+    let g = graph_for(input, scale);
+    let n = g.num_nodes() as u64;
+    let src = source_of(&g);
+    let mut img = MemImage::new();
+    let ob = img.alloc_array(g.offsets());
+    let nb = img.alloc_array(g.neighbors());
+    let mut depth = vec![INF; n as usize];
+    depth[src as usize] = 0;
+    let depthb = img.alloc_array(&depth);
+    let mut sigma = vec![0u64; n as usize];
+    sigma[src as usize] = 1;
+    let sigmab = img.alloc_array(&sigma);
+    let mut queue = vec![0u64; n as usize + 1];
+    queue[0] = src;
+    let qb = img.alloc_array(&queue);
+
+    let (rob, rnb, rdep, rsig, rqb) = (r(1), r(2), r(3), r(4), r(5));
+    let (rhead, rtail, ru, rj, rend, rv, rdv, rdu, rsu, rsv, rt, racc) = (
+        r(6),
+        r(7),
+        r(8),
+        r(9),
+        r(10),
+        r(11),
+        r(12),
+        r(13),
+        r(14),
+        r(15),
+        r(16),
+        r(17),
+    );
+
+    let mut asm = Assembler::new("bc");
+    let outer = asm.label();
+    let inner = asm.label();
+    let not_new = asm.label();
+    let skip = asm.label();
+    let next = asm.label();
+    let done = asm.label();
+    asm.bind(outer);
+    asm.cmp(rhead, rtail);
+    asm.b(Cond::Geu, done);
+    asm.ldx(ru, rqb, rhead, 3); // u = queue[head]   (striding)
+    asm.alui(AluOp::Add, rhead, rhead, 1);
+    asm.ldx(rj, rob, ru, 3);
+    asm.alui(AluOp::Add, rt, ru, 1);
+    asm.ldx(rend, rob, rt, 3);
+    asm.ldx(rdu, rdep, ru, 3); // depth[u]
+    asm.ldx(rsu, rsig, ru, 3); // sigma[u]
+    asm.cmp(rj, rend);
+    asm.b(Cond::Geu, outer);
+    asm.bind(inner);
+    asm.ldx(rv, rnb, rj, 3); // v = neigh[j]
+    asm.ldx(rdv, rdep, rv, 3); // depth[v]          (indirect)
+    asm.cmpi(rdv, INF as i64);
+    asm.b(Cond::Ne, not_new);
+    // Newly discovered: depth[v] = depth[u] + 1; sigma[v] = sigma[u].
+    asm.alui(AluOp::Add, rt, rdu, 1);
+    asm.stx(rt, rdep, rv, 3);
+    asm.stx(rsu, rsig, rv, 3);
+    asm.stx(rv, rqb, rtail, 3);
+    asm.alui(AluOp::Add, rtail, rtail, 1);
+    asm.alui(AluOp::Add, racc, racc, 1);
+    asm.j(next);
+    asm.bind(not_new);
+    // Same-level path counting: sigma[v] += sigma[u] when depth matches.
+    asm.alui(AluOp::Add, rt, rdu, 1);
+    asm.cmp(rdv, rt);
+    asm.b(Cond::Ne, skip);
+    asm.ldx(rsv, rsig, rv, 3);
+    asm.alu(AluOp::Add, rsv, rsv, rsu);
+    asm.stx(rsv, rsig, rv, 3);
+    asm.bind(skip);
+    asm.bind(next);
+    asm.alui(AluOp::Add, rj, rj, 1);
+    asm.cmp(rj, rend); // backward-conditional latch
+    asm.b(Cond::Ltu, inner);
+    asm.j(outer);
+    asm.bind(done);
+    asm.halt();
+
+    // Reference: identical traversal.
+    let mut expected = 0u64;
+    {
+        let mut dep = vec![INF; n as usize];
+        let mut sig = vec![0u64; n as usize];
+        dep[src as usize] = 0;
+        sig[src as usize] = 1;
+        let mut q = vec![src];
+        let mut head = 0;
+        while head < q.len() {
+            let u = q[head] as usize;
+            head += 1;
+            for &v in g.neighbors_of(u) {
+                let v = v as usize;
+                if dep[v] == INF {
+                    dep[v] = dep[u] + 1;
+                    sig[v] = sig[u];
+                    q.push(v as u64);
+                    expected += 1;
+                } else if dep[v] == dep[u] + 1 {
+                    sig[v] = sig[v].wrapping_add(sig[u]);
+                }
+            }
+        }
+    }
+
+    let mut arch = ArchState::new();
+    arch.set_reg(rob, ob);
+    arch.set_reg(rnb, nb);
+    arch.set_reg(rdep, depthb);
+    arch.set_reg(rsig, sigmab);
+    arch.set_reg(rqb, qb);
+    arch.set_reg(rhead, 0);
+    arch.set_reg(rtail, 1);
+    Workload {
+        name: format!("BC_{}", input.label()),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Reg(racc, expected),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_functional(w: &Workload) -> bool {
+        let (p, mut img, mut arch) = w.instantiate();
+        arch.run(&p, &mut img, 200_000_000);
+        assert!(arch.halted(), "{} did not halt", w.name);
+        w.verify(&img, &arch)
+    }
+
+    #[test]
+    fn pr_is_correct_on_all_inputs() {
+        for input in GraphInput::ALL {
+            assert!(run_functional(&pagerank(input, Scale::Tiny)), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn bfs_is_correct() {
+        for input in [GraphInput::Kr, GraphInput::Ur] {
+            assert!(run_functional(&bfs(input, Scale::Tiny)), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn cc_is_correct() {
+        assert!(run_functional(&cc(GraphInput::Ur, Scale::Tiny)));
+    }
+
+    #[test]
+    fn sssp_is_correct() {
+        assert!(run_functional(&sssp(GraphInput::Kr, Scale::Tiny)));
+    }
+
+    #[test]
+    fn bc_is_correct() {
+        assert!(run_functional(&bc(GraphInput::Ljn, Scale::Tiny)));
+    }
+
+    #[test]
+    fn g500_is_bfs_on_kronecker() {
+        let w = graph500(Scale::Tiny);
+        assert_eq!(w.name, "G500");
+        assert!(run_functional(&w));
+    }
+}

@@ -1,0 +1,468 @@
+//! The HPC/database workload set (§V): Camel, HashJoin-2/8, Kangaroo,
+//! NAS-CG, NAS-IS, and HPCC randacc. (Graph500 seq-CSR lives in
+//! [`crate::kernels::gap::graph500`].)
+
+use crate::workload::{Check, Scale, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use svr_isa::{AluOp, ArchState, Assembler, Cond, Reg};
+use svr_mem::MemImage;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// Camel (Ainsworth & Jones): a stride-indirect gather with a few ALU
+/// operations of "hump" compute per element.
+pub fn camel(scale: Scale) -> Workload {
+    let n = scale.elems() as u64;
+    let mut rng = SmallRng::seed_from_u64(7);
+    let idx: Vec<u64> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+    let data: Vec<u64> = (0..n).map(|i| i * 3 + 1).collect();
+    let mut img = MemImage::new();
+    let ib = img.alloc_array(&idx);
+    let db = img.alloc_array(&data);
+
+    let (rib, rdb, ri, rn, rt, rv, racc) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7));
+    let mut asm = Assembler::new("camel");
+    let top = asm.label();
+    asm.bind(top);
+    asm.ldx(rt, rib, ri, 3); // t = idx[i]       (striding)
+    asm.ldx(rv, rdb, rt, 3); // v = data[t]      (indirect)
+                             // Hump compute: mix the gathered value.
+    asm.alui(AluOp::Mul, rv, rv, 0x45d9f3b);
+    asm.alui(AluOp::Srl, rt, rv, 16);
+    asm.alu(AluOp::Xor, rv, rv, rt);
+    asm.alu(AluOp::Add, racc, racc, rv);
+    asm.alui(AluOp::Add, ri, ri, 1);
+    asm.cmp(ri, rn);
+    asm.b(Cond::Ltu, top);
+    asm.halt();
+
+    let expected = idx
+        .iter()
+        .map(|&t| {
+            let v = data[t as usize].wrapping_mul(0x45d9f3b);
+            let v = v ^ (v >> 16);
+            v
+        })
+        .fold(0u64, |a, b| a.wrapping_add(b));
+
+    let mut arch = ArchState::new();
+    arch.set_reg(rib, ib);
+    arch.set_reg(rdb, db);
+    arch.set_reg(rn, n);
+    Workload {
+        name: "Camel".into(),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Reg(racc, expected),
+    }
+}
+
+/// Hash-join probe [Blanas+ SIGMOD'11] with `bucket` slots per bucket
+/// (paper: bucket sizes 2 and 8). The probe key stream strides; the bucket
+/// scan is a short divergent inner loop with early exit — the case where
+/// SVR's mask-only control-flow handling costs performance (§VI-D).
+pub fn hashjoin(bucket: usize, scale: Scale) -> Workload {
+    let n = scale.elems() as u64; // probe tuples
+    let nbuckets = (scale.elems() / 2).next_power_of_two() as u64;
+    let mask = nbuckets - 1;
+    let mut rng = SmallRng::seed_from_u64(11 + bucket as u64);
+
+    // Build relation: fill each bucket with up to `bucket` keys.
+    let mut tab_keys = vec![u64::MAX; (nbuckets as usize) * bucket];
+    let mut tab_vals = vec![0u64; (nbuckets as usize) * bucket];
+    let mut build_keys = Vec::new();
+    for _ in 0..(nbuckets as usize * bucket / 2) {
+        let k: u64 = rng.gen_range(1..u64::MAX / 2);
+        let h = (hash64(k) & mask) as usize;
+        for s in 0..bucket {
+            if tab_keys[h * bucket + s] == u64::MAX {
+                tab_keys[h * bucket + s] = k;
+                tab_vals[h * bucket + s] = k % 997;
+                build_keys.push(k);
+                break;
+            }
+        }
+    }
+    // Probe keys: half hits, half misses.
+    let probe: Vec<u64> = (0..n)
+        .map(|i| {
+            if i % 2 == 0 && !build_keys.is_empty() {
+                build_keys[rng.gen_range(0..build_keys.len())]
+            } else {
+                rng.gen_range(1..u64::MAX / 2)
+            }
+        })
+        .collect();
+
+    let mut img = MemImage::new();
+    let pb = img.alloc_array(&probe);
+    let kb = img.alloc_array(&tab_keys);
+    let vb = img.alloc_array(&tab_vals);
+
+    let (rpb, rkb, rvb, ri, rn, rk, rh, rs, rslot, rtk, rtv, racc, rt) = (
+        r(1),
+        r(2),
+        r(3),
+        r(4),
+        r(5),
+        r(6),
+        r(7),
+        r(8),
+        r(9),
+        r(10),
+        r(11),
+        r(12),
+        r(13),
+    );
+
+    let mut asm = Assembler::new("hj");
+    let top = asm.label();
+    let scan = asm.label();
+    let no_match = asm.label();
+    let found = asm.label();
+    let next_tuple = asm.label();
+    asm.bind(top);
+    asm.ldx(rk, rpb, ri, 3); // k = probe[i]     (striding)
+                             // h = hash(k) & mask
+    asm.alui(AluOp::Mul, rh, rk, 0x9E3779B97F4A7C15u64 as i64);
+    asm.alui(AluOp::Srl, rh, rh, 28);
+    asm.alui(AluOp::And, rh, rh, mask as i64);
+    asm.alui(AluOp::Mul, rslot, rh, (bucket * 8) as i64);
+    asm.li(rs, 0);
+    asm.bind(scan);
+    asm.cmpi(rs, bucket as i64);
+    asm.b(Cond::Geu, no_match);
+    asm.alu(AluOp::Add, rt, rkb, rslot);
+    asm.ldx(rtk, rt, rs, 3); // tab_keys[h*bucket + s]   (indirect)
+    asm.cmp(rtk, rk);
+    asm.b(Cond::Eq, found);
+    asm.alui(AluOp::Add, rs, rs, 1);
+    asm.j(scan);
+    asm.bind(found);
+    asm.alu(AluOp::Add, rt, rvb, rslot);
+    asm.ldx(rtv, rt, rs, 3); // payload
+    asm.alu(AluOp::Add, racc, racc, rtv);
+    asm.bind(no_match);
+    asm.bind(next_tuple);
+    asm.alui(AluOp::Add, ri, ri, 1);
+    asm.cmp(ri, rn);
+    asm.b(Cond::Ltu, top);
+    asm.halt();
+
+    // Reference.
+    let mut expected = 0u64;
+    for &k in &probe {
+        let h = (hash64(k) & mask) as usize;
+        for s in 0..bucket {
+            if tab_keys[h * bucket + s] == k {
+                expected = expected.wrapping_add(tab_vals[h * bucket + s]);
+                break;
+            }
+        }
+    }
+
+    let mut arch = ArchState::new();
+    arch.set_reg(rpb, pb);
+    arch.set_reg(rkb, kb);
+    arch.set_reg(rvb, vb);
+    arch.set_reg(rn, n);
+    Workload {
+        name: format!("HJ{bucket}"),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Reg(racc, expected),
+    }
+}
+
+/// Kangaroo (derived from NAS-IS): two levels of indirection,
+/// `count[k2[k1[i]]] += 1`. IMP only covers one level; SVR chases the chain.
+pub fn kangaroo(scale: Scale) -> Workload {
+    let n = scale.elems() as u64;
+    let mut rng = SmallRng::seed_from_u64(23);
+    let k1: Vec<u64> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+    let k2: Vec<u64> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+    let mut img = MemImage::new();
+    let b1 = img.alloc_array(&k1);
+    let b2 = img.alloc_array(&k2);
+    let cb = img.alloc_words(n);
+
+    let (rb1, rb2, rcb, ri, rn, ra, rbv, rc, racc) =
+        (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8), r(9));
+    let mut asm = Assembler::new("kangaroo");
+    let top = asm.label();
+    asm.bind(top);
+    asm.ldx(ra, rb1, ri, 3); // a = k1[i]        (striding)
+    asm.ldx(rbv, rb2, ra, 3); // b = k2[a]       (indirect level 1)
+    asm.ldx(rc, rcb, rbv, 3); // c = count[b]    (indirect level 2)
+    asm.alu(AluOp::Add, racc, racc, rc);
+    asm.alui(AluOp::Add, rc, rc, 1);
+    asm.stx(rc, rcb, rbv, 3);
+    asm.alui(AluOp::Add, ri, ri, 1);
+    asm.cmp(ri, rn);
+    asm.b(Cond::Ltu, top);
+    asm.halt();
+
+    let mut count = vec![0u64; n as usize];
+    let mut expected = 0u64;
+    for i in 0..n as usize {
+        let b = k2[k1[i] as usize] as usize;
+        expected = expected.wrapping_add(count[b]);
+        count[b] += 1;
+    }
+
+    let mut arch = ArchState::new();
+    arch.set_reg(rb1, b1);
+    arch.set_reg(rb2, b2);
+    arch.set_reg(rcb, cb);
+    arch.set_reg(rn, n);
+    Workload {
+        name: "Kangr".into(),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Reg(racc, expected),
+    }
+}
+
+/// NAS Conjugate Gradient's hot loop: sparse matrix-vector product over CSR
+/// (`sum += val[j] * x[col[j]]`).
+pub fn nas_cg(scale: Scale) -> Workload {
+    let rows = scale.nodes() as u64;
+    let nnz_per_row = 12u64;
+    let mut rng = SmallRng::seed_from_u64(31);
+    let mut offsets = vec![0u64; rows as usize + 1];
+    for i in 0..rows as usize {
+        offsets[i + 1] = offsets[i] + nnz_per_row;
+    }
+    let nnz = offsets[rows as usize];
+    let cols: Vec<u64> = (0..nnz).map(|_| rng.gen_range(0..rows)).collect();
+    let vals: Vec<u64> = (0..nnz).map(|i| i % 9 + 1).collect();
+    let x: Vec<u64> = (0..rows).map(|i| i % 31 + 1).collect();
+    let mut img = MemImage::new();
+    let ob = img.alloc_array(&offsets);
+    let cbase = img.alloc_array(&cols);
+    let vbase = img.alloc_array(&vals);
+    let xb = img.alloc_array(&x);
+    let yb = img.alloc_words(rows);
+
+    let (rob, rcbase, rvbase, rxb, ryb) = (r(1), r(2), r(3), r(4), r(5));
+    let (rrow, rn, rj, rend, rcol, rval, rxv, rsum, racc, rt) = (
+        r(6),
+        r(7),
+        r(8),
+        r(9),
+        r(10),
+        r(11),
+        r(12),
+        r(13),
+        r(14),
+        r(15),
+    );
+
+    let mut asm = Assembler::new("cg");
+    let outer = asm.label();
+    let inner = asm.label();
+    let after = asm.label();
+    asm.bind(outer);
+    asm.ldx(rj, rob, rrow, 3);
+    asm.alui(AluOp::Add, rt, rrow, 1);
+    asm.ldx(rend, rob, rt, 3);
+    asm.li(rsum, 0);
+    asm.cmp(rj, rend);
+    asm.b(Cond::Geu, after);
+    asm.bind(inner);
+    asm.ldx(rcol, rcbase, rj, 3); // col[j]   (striding)
+    asm.ldx(rval, rvbase, rj, 3); // val[j]   (striding)
+    asm.ldx(rxv, rxb, rcol, 3); // x[col[j]]  (indirect)
+    asm.alu(AluOp::Mul, rxv, rxv, rval);
+    asm.alu(AluOp::Add, rsum, rsum, rxv);
+    asm.alui(AluOp::Add, rj, rj, 1);
+    asm.cmp(rj, rend);
+    asm.b(Cond::Ltu, inner);
+    asm.bind(after);
+    asm.stx(rsum, ryb, rrow, 3);
+    asm.alu(AluOp::Add, racc, racc, rsum);
+    asm.alui(AluOp::Add, rrow, rrow, 1);
+    asm.cmp(rrow, rn);
+    asm.b(Cond::Ltu, outer);
+    asm.halt();
+
+    let mut expected = 0u64;
+    for i in 0..rows as usize {
+        for j in offsets[i] as usize..offsets[i + 1] as usize {
+            expected = expected.wrapping_add(vals[j].wrapping_mul(x[cols[j] as usize]));
+        }
+    }
+
+    let mut arch = ArchState::new();
+    arch.set_reg(rob, ob);
+    arch.set_reg(rcbase, cbase);
+    arch.set_reg(rvbase, vbase);
+    arch.set_reg(rxb, xb);
+    arch.set_reg(ryb, yb);
+    arch.set_reg(rn, rows);
+    Workload {
+        name: "NAS-CG".into(),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Reg(racc, expected),
+    }
+}
+
+/// NAS Integer Sort's ranking loop: `count[key[i]] += 1` over a large key
+/// range (stride load of keys feeding an indirect read-modify-write).
+pub fn nas_is(scale: Scale) -> Workload {
+    let n = scale.elems() as u64;
+    let range = (scale.elems() as u64).next_power_of_two();
+    let mut rng = SmallRng::seed_from_u64(37);
+    let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..range)).collect();
+    let mut img = MemImage::new();
+    let kb = img.alloc_array(&keys);
+    let cb = img.alloc_words(range);
+
+    let (rkb, rcb, ri, rn, rk, rc, racc) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7));
+    let mut asm = Assembler::new("is");
+    let top = asm.label();
+    asm.bind(top);
+    asm.ldx(rk, rkb, ri, 3); // k = key[i]      (striding)
+    asm.ldx(rc, rcb, rk, 3); // c = count[k]    (indirect)
+    asm.alu(AluOp::Add, racc, racc, rc);
+    asm.alui(AluOp::Add, rc, rc, 1);
+    asm.stx(rc, rcb, rk, 3);
+    asm.alui(AluOp::Add, ri, ri, 1);
+    asm.cmp(ri, rn);
+    asm.b(Cond::Ltu, top);
+    asm.halt();
+
+    let mut count = vec![0u64; range as usize];
+    let mut expected = 0u64;
+    for &k in &keys {
+        expected = expected.wrapping_add(count[k as usize]);
+        count[k as usize] += 1;
+    }
+
+    let mut arch = ArchState::new();
+    arch.set_reg(rkb, kb);
+    arch.set_reg(rcb, cb);
+    arch.set_reg(rn, n);
+    Workload {
+        name: "NAS-IS".into(),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Reg(racc, expected),
+    }
+}
+
+/// HPCC RandomAccess (GUPS): `table[ran[i] & mask] ^= ran[i]`. The masked
+/// value transformation defeats IMP's affine matching; SVR simply executes
+/// the real chain.
+pub fn randacc(scale: Scale) -> Workload {
+    let n = scale.elems() as u64;
+    let table_size = (scale.elems() as u64 * 2).next_power_of_two();
+    let mask = table_size - 1;
+    let mut rng = SmallRng::seed_from_u64(41);
+    let ran: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+    let mut img = MemImage::new();
+    let rb = img.alloc_array(&ran);
+    let tb = img.alloc_words(table_size);
+
+    let (rrb, rtb, ri, rn, rt, ra, rold, racc) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8));
+    let mut asm = Assembler::new("randacc");
+    let top = asm.label();
+    asm.bind(top);
+    asm.ldx(rt, rrb, ri, 3); // t = ran[i]         (striding)
+    asm.alui(AluOp::And, ra, rt, mask as i64);
+    asm.ldx(rold, rtb, ra, 3); // old = table[a]   (indirect)
+    asm.alu(AluOp::Xor, racc, racc, rold);
+    asm.alu(AluOp::Xor, rold, rold, rt);
+    asm.stx(rold, rtb, ra, 3);
+    asm.alui(AluOp::Add, ri, ri, 1);
+    asm.cmp(ri, rn);
+    asm.b(Cond::Ltu, top);
+    asm.halt();
+
+    let mut table = vec![0u64; table_size as usize];
+    let mut expected = 0u64;
+    for &t in &ran {
+        let a = (t & mask) as usize;
+        expected ^= table[a];
+        table[a] ^= t;
+    }
+
+    let mut arch = ArchState::new();
+    arch.set_reg(rrb, rb);
+    arch.set_reg(rtb, tb);
+    arch.set_reg(rn, n);
+    Workload {
+        name: "Randacc".into(),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Reg(racc, expected),
+    }
+}
+
+fn hash64(k: u64) -> u64 {
+    k.wrapping_mul(0x9E3779B97F4A7C15) >> 28
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Scale;
+
+    fn run_functional(w: &Workload) -> bool {
+        let (p, mut img, mut arch) = w.instantiate();
+        arch.run(&p, &mut img, 200_000_000);
+        assert!(arch.halted(), "{} did not halt", w.name);
+        w.verify(&img, &arch)
+    }
+
+    #[test]
+    fn camel_correct() {
+        assert!(run_functional(&camel(Scale::Tiny)));
+    }
+
+    #[test]
+    fn hashjoin_2_and_8_correct() {
+        assert!(run_functional(&hashjoin(2, Scale::Tiny)));
+        assert!(run_functional(&hashjoin(8, Scale::Tiny)));
+    }
+
+    #[test]
+    fn kangaroo_correct() {
+        assert!(run_functional(&kangaroo(Scale::Tiny)));
+    }
+
+    #[test]
+    fn nas_cg_correct() {
+        assert!(run_functional(&nas_cg(Scale::Tiny)));
+    }
+
+    #[test]
+    fn nas_is_correct() {
+        assert!(run_functional(&nas_is(Scale::Tiny)));
+    }
+
+    #[test]
+    fn randacc_correct() {
+        assert!(run_functional(&randacc(Scale::Tiny)));
+    }
+
+    #[test]
+    fn hashjoin_has_matches() {
+        let w = hashjoin(2, Scale::Tiny);
+        if let Check::Reg(_, v) = w.check {
+            assert!(v > 0, "join should produce matches");
+        } else {
+            panic!("expected reg check");
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! "SPEC-like" regular workloads for Fig. 14: 23 kernels named after the
+//! SPECrate 2017 suite, none of which exhibits the stride→indirect DRAM
+//! pattern SVR targets. They exist to measure SVR's overhead when there is
+//! nothing useful to vectorize (paper: ≈1 % average).
+//!
+//! Substitution (see DESIGN.md): we cannot run SPEC binaries on a custom
+//! ISA; each name maps to a small regular kernel archetype (streaming,
+//! stencil, dense compute, cached table lookups, ...) that exercises the
+//! same SVR code path — the stride detector and accuracy ban keeping
+//! runahead off or harmless.
+
+use crate::workload::{Check, Scale, Workload};
+use svr_isa::{AluOp, ArchState, Assembler, Cond, Reg};
+use svr_mem::MemImage;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// The 23 SPECrate 2017 benchmark names of Fig. 14.
+pub const SPEC_NAMES: [&str; 23] = [
+    "perlbench",
+    "gcc",
+    "bwaves",
+    "mcf",
+    "cactuBSSN",
+    "namd",
+    "parest",
+    "povray",
+    "lbm",
+    "omnetpp",
+    "wrf",
+    "xalancbmk",
+    "x264",
+    "blender",
+    "cam4",
+    "deepsjeng",
+    "imagick",
+    "leela",
+    "nab",
+    "exchange2",
+    "fotonik3d",
+    "roms",
+    "xz",
+];
+
+/// Builds the stand-in kernel for one SPEC name.
+///
+/// # Panics
+///
+/// Panics if `name` is not in [`SPEC_NAMES`].
+pub fn spec_like(name: &str, scale: Scale) -> Workload {
+    let pos = SPEC_NAMES
+        .iter()
+        .position(|&n| n == name)
+        .unwrap_or_else(|| panic!("unknown SPEC-like workload {name}"));
+    let n = scale.elems() as u64;
+    match pos % 6 {
+        0 => compute_mix(name, n),
+        1 => streaming_sum(name, n),
+        2 => stencil(name, n),
+        3 => saxpy(name, n),
+        4 => cached_table_fsm(name, n),
+        _ => strided_walk(name, n),
+    }
+}
+
+/// Register-only compute chain (perlbench/povray/deepsjeng-ish).
+fn compute_mix(name: &str, n: u64) -> Workload {
+    let (ri, rn, rx, racc, rt) = (r(1), r(2), r(3), r(4), r(5));
+    let mut asm = Assembler::new(name);
+    let top = asm.label();
+    asm.li(rx, 0x243F6A8885A308D3u64 as i64);
+    asm.bind(top);
+    asm.alui(AluOp::Mul, rx, rx, 6364136223846793005u64 as i64);
+    asm.alui(AluOp::Add, rx, rx, 1442695040888963407u64 as i64);
+    asm.alui(AluOp::Srl, rt, rx, 33);
+    asm.alu(AluOp::Xor, rx, rx, rt);
+    asm.alu(AluOp::Add, racc, racc, rx);
+    asm.alui(AluOp::Add, ri, ri, 1);
+    asm.cmp(ri, rn);
+    asm.b(Cond::Ltu, top);
+    asm.halt();
+
+    let mut x = 0x243F6A8885A308D3u64;
+    let mut acc = 0u64;
+    for _ in 0..n {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x ^= x >> 33;
+        acc = acc.wrapping_add(x);
+    }
+    let mut arch = ArchState::new();
+    arch.set_reg(rn, n);
+    Workload {
+        name: name.into(),
+        program: asm.finish(),
+        image: MemImage::new(),
+        arch,
+        check: Check::Reg(racc, acc),
+    }
+}
+
+/// Sequential streaming reduction (bwaves/lbm-ish).
+fn streaming_sum(name: &str, n: u64) -> Workload {
+    let data: Vec<u64> = (0..n).map(|i| i.wrapping_mul(2654435761)).collect();
+    let mut img = MemImage::new();
+    let db = img.alloc_array(&data);
+    let (rdb, ri, rn, rv, racc) = (r(1), r(2), r(3), r(4), r(5));
+    let mut asm = Assembler::new(name);
+    let top = asm.label();
+    asm.bind(top);
+    asm.ldx(rv, rdb, ri, 3);
+    asm.alu(AluOp::Add, racc, racc, rv);
+    asm.alui(AluOp::Add, ri, ri, 1);
+    asm.cmp(ri, rn);
+    asm.b(Cond::Ltu, top);
+    asm.halt();
+    let acc = data.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+    let mut arch = ArchState::new();
+    arch.set_reg(rdb, db);
+    arch.set_reg(rn, n);
+    Workload {
+        name: name.into(),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Reg(racc, acc),
+    }
+}
+
+/// 1-D three-point stencil into an output array (cactuBSSN/roms-ish).
+fn stencil(name: &str, n: u64) -> Workload {
+    let data: Vec<u64> = (0..n + 2).map(|i| i * 7 + 3).collect();
+    let mut img = MemImage::new();
+    let db = img.alloc_array(&data);
+    let ob = img.alloc_words(n);
+    let (rdb, rob, ri, rn, ra, rb, rc, racc) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8));
+    let mut asm = Assembler::new(name);
+    let top = asm.label();
+    asm.bind(top);
+    asm.ldx(ra, rdb, ri, 3);
+    asm.alui(AluOp::Add, rb, ri, 1);
+    asm.ldx(rb, rdb, rb, 3);
+    asm.alui(AluOp::Add, rc, ri, 2);
+    asm.ldx(rc, rdb, rc, 3);
+    asm.alu(AluOp::Add, ra, ra, rb);
+    asm.alu(AluOp::Add, ra, ra, rc);
+    asm.alui(AluOp::Srl, ra, ra, 1);
+    asm.stx(ra, rob, ri, 3);
+    asm.alu(AluOp::Add, racc, racc, ra);
+    asm.alui(AluOp::Add, ri, ri, 1);
+    asm.cmp(ri, rn);
+    asm.b(Cond::Ltu, top);
+    asm.halt();
+    let mut acc = 0u64;
+    for i in 0..n as usize {
+        let v = (data[i].wrapping_add(data[i + 1]).wrapping_add(data[i + 2])) >> 1;
+        acc = acc.wrapping_add(v);
+    }
+    let mut arch = ArchState::new();
+    arch.set_reg(rdb, db);
+    arch.set_reg(rob, ob);
+    arch.set_reg(rn, n);
+    Workload {
+        name: name.into(),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Reg(racc, acc),
+    }
+}
+
+/// `c[i] = a[i]*k + b[i]` (namd/nab-ish dense arithmetic).
+fn saxpy(name: &str, n: u64) -> Workload {
+    let a: Vec<u64> = (0..n).map(|i| i + 1).collect();
+    let b: Vec<u64> = (0..n).map(|i| i * 5 + 2).collect();
+    let mut img = MemImage::new();
+    let ab = img.alloc_array(&a);
+    let bb = img.alloc_array(&b);
+    let cb = img.alloc_words(n);
+    let (rab, rbb, rcb, ri, rn, rva, rvb, racc) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8));
+    let mut asm = Assembler::new(name);
+    let top = asm.label();
+    asm.bind(top);
+    asm.ldx(rva, rab, ri, 3);
+    asm.ldx(rvb, rbb, ri, 3);
+    asm.alui(AluOp::Mul, rva, rva, 17);
+    asm.alu(AluOp::Add, rva, rva, rvb);
+    asm.stx(rva, rcb, ri, 3);
+    asm.alu(AluOp::Add, racc, racc, rva);
+    asm.alui(AluOp::Add, ri, ri, 1);
+    asm.cmp(ri, rn);
+    asm.b(Cond::Ltu, top);
+    asm.halt();
+    let mut acc = 0u64;
+    for i in 0..n as usize {
+        acc = acc.wrapping_add(a[i].wrapping_mul(17).wrapping_add(b[i]));
+    }
+    let mut arch = ArchState::new();
+    arch.set_reg(rab, ab);
+    arch.set_reg(rbb, bb);
+    arch.set_reg(rcb, cb);
+    arch.set_reg(rn, n);
+    Workload {
+        name: name.into(),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Reg(racc, acc),
+    }
+}
+
+/// A cache-resident table-driven FSM (xalancbmk/x264-ish): indirect loads
+/// exist but the 1 KiB table always hits, so SVR prefetches are harmless.
+fn cached_table_fsm(name: &str, n: u64) -> Workload {
+    let table: Vec<u64> = (0..128).map(|i| (i * 37 + 11) % 128).collect();
+    let mut img = MemImage::new();
+    let tb = img.alloc_array(&table);
+    let (rtb, ri, rn, rstate, rx, racc, rt) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7));
+    let mut asm = Assembler::new(name);
+    let top = asm.label();
+    asm.li(rx, 0x9E3779B9);
+    asm.bind(top);
+    asm.alui(AluOp::Mul, rx, rx, 0x5DEECE66D);
+    asm.alui(AluOp::Add, rx, rx, 11);
+    asm.alui(AluOp::Srl, rt, rx, 17);
+    asm.alui(AluOp::And, rt, rt, 127);
+    asm.alu(AluOp::Add, rstate, rstate, rt);
+    asm.alui(AluOp::And, rstate, rstate, 127);
+    asm.ldx(rstate, rtb, rstate, 3); // state = table[state]
+    asm.alu(AluOp::Add, racc, racc, rstate);
+    asm.alui(AluOp::Add, ri, ri, 1);
+    asm.cmp(ri, rn);
+    asm.b(Cond::Ltu, top);
+    asm.halt();
+    let mut x = 0x9E3779B9u64;
+    let mut state = 0u64;
+    let mut acc = 0u64;
+    for _ in 0..n {
+        x = x.wrapping_mul(0x5DEECE66D).wrapping_add(11);
+        let t = (x >> 17) & 127;
+        state = (state + t) & 127;
+        state = table[state as usize];
+        acc = acc.wrapping_add(state);
+    }
+    let mut arch = ArchState::new();
+    arch.set_reg(rtb, tb);
+    arch.set_reg(rn, n);
+    Workload {
+        name: name.into(),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Reg(racc, acc),
+    }
+}
+
+/// A large-stride column walk (fotonik3d/wrf-ish): regular but not unit
+/// stride — covered by the stride prefetcher, not SVR.
+fn strided_walk(name: &str, n: u64) -> Workload {
+    let cols = 64u64;
+    let rows = (n / cols).max(4);
+    let data: Vec<u64> = (0..rows * cols).map(|i| i % 1021).collect();
+    let mut img = MemImage::new();
+    let db = img.alloc_array(&data);
+    let (rdb, rrow, rcol, rrows, rcols, rv, racc, rt) =
+        (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8));
+    let mut asm = Assembler::new(name);
+    let col_top = asm.label();
+    let row_top = asm.label();
+    asm.bind(col_top);
+    asm.li(rrow, 0);
+    asm.bind(row_top);
+    asm.alu(AluOp::Mul, rt, rrow, rcols);
+    asm.alu(AluOp::Add, rt, rt, rcol);
+    asm.ldx(rv, rdb, rt, 3); // column-major walk: stride = cols*8
+    asm.alu(AluOp::Add, racc, racc, rv);
+    asm.alui(AluOp::Add, rrow, rrow, 1);
+    asm.cmp(rrow, rrows);
+    asm.b(Cond::Ltu, row_top);
+    asm.alui(AluOp::Add, rcol, rcol, 1);
+    asm.cmp(rcol, rcols);
+    asm.b(Cond::Ltu, col_top);
+    asm.halt();
+    let mut acc = 0u64;
+    for c in 0..cols {
+        for row in 0..rows {
+            acc = acc.wrapping_add(data[(row * cols + c) as usize]);
+        }
+    }
+    let mut arch = ArchState::new();
+    arch.set_reg(rdb, db);
+    arch.set_reg(rrows, rows);
+    arch.set_reg(rcols, cols);
+    Workload {
+        name: name.into(),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Reg(racc, acc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_spec_kernels_build_and_verify() {
+        for name in SPEC_NAMES {
+            let w = spec_like(name, Scale::Tiny);
+            let (p, mut img, mut arch) = w.instantiate();
+            arch.run(&p, &mut img, 100_000_000);
+            assert!(arch.halted(), "{name} did not halt");
+            assert!(w.verify(&img, &arch), "{name} failed verification");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown SPEC-like")]
+    fn unknown_name_panics() {
+        let _ = spec_like("quake", Scale::Tiny);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut set = std::collections::HashSet::new();
+        for n in SPEC_NAMES {
+            assert!(set.insert(n));
+        }
+        assert_eq!(set.len(), 23);
+    }
+}

@@ -1,0 +1,34 @@
+//! # svr-workloads — the paper's workloads as programs for the SVR ISA
+//!
+//! Everything §V of "Scalar Vector Runahead" evaluates, rebuilt for the
+//! custom simulator: CSR graph containers and generators (Kronecker,
+//! uniform-random, and stand-ins for the LiveJournal/Twitter/Orkut inputs),
+//! the five GAP kernels across all five graphs, the HPC/database set
+//! (Camel, Graph500, HashJoin-2/8, Kangaroo, NAS-CG, NAS-IS, Randacc), and
+//! 23 SPEC-like regular kernels for the overhead study of Fig. 14.
+//!
+//! Each workload carries an initialized memory image, initial registers,
+//! and an architectural check validated against a native Rust reference of
+//! the same algorithm — so every simulator run doubles as a correctness
+//! test of the core models.
+//!
+//! # Examples
+//!
+//! ```
+//! use svr_workloads::{irregular_suite, Scale};
+//!
+//! let suite = irregular_suite();
+//! assert_eq!(suite.len(), 33);
+//! let w = suite[0].build(Scale::Tiny);
+//! let (program, mut image, mut arch) = w.instantiate();
+//! arch.run(&program, &mut image, 1_000_000);
+//! ```
+
+mod graph;
+pub mod kernels;
+mod registry;
+mod workload;
+
+pub use graph::{rmat, uniform, Csr, GraphInput};
+pub use registry::{gap_suite, hpcdb_suite, irregular_suite, regular_suite, Group, Kernel};
+pub use workload::{Check, Scale, Workload};

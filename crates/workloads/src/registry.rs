@@ -1,0 +1,210 @@
+//! The workload registry: the paper's suites as enumerable lists.
+
+use crate::graph::GraphInput;
+use crate::kernels;
+use crate::workload::{Scale, Workload};
+
+/// Workload grouping used by Figs. 3, 13 and 15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// Betweenness centrality.
+    Bc,
+    /// Breadth-first search.
+    Bfs,
+    /// Connected components.
+    Cc,
+    /// PageRank.
+    Pr,
+    /// Single-source shortest paths.
+    Sssp,
+    /// The HPC/database set.
+    HpcDb,
+    /// SPEC-like regular workloads (Fig. 14 only).
+    Regular,
+}
+
+impl Group {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Group::Bc => "BC",
+            Group::Bfs => "BFS",
+            Group::Cc => "CC",
+            Group::Pr => "PR",
+            Group::Sssp => "SSSP",
+            Group::HpcDb => "HPC-DB",
+            Group::Regular => "SPEC",
+        }
+    }
+}
+
+/// A buildable workload identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// GAP Betweenness Centrality on an input graph.
+    Bc(GraphInput),
+    /// GAP Breadth-First Search on an input graph.
+    Bfs(GraphInput),
+    /// GAP Connected Components on an input graph.
+    Cc(GraphInput),
+    /// GAP PageRank on an input graph.
+    Pr(GraphInput),
+    /// GAP Single-Source Shortest Paths on an input graph.
+    Sssp(GraphInput),
+    /// Camel stride-indirect microbenchmark.
+    Camel,
+    /// Graph500 seq-CSR (BFS on Kronecker).
+    G500,
+    /// Hash join with the given bucket size (2 or 8 in the paper).
+    HashJoin(usize),
+    /// Kangaroo double indirection.
+    Kangaroo,
+    /// NAS Conjugate Gradient SpMV.
+    NasCg,
+    /// NAS Integer Sort ranking.
+    NasIs,
+    /// HPCC RandomAccess.
+    Randacc,
+    /// SPEC-like regular kernel by name.
+    Regular(&'static str),
+}
+
+impl Kernel {
+    /// Builds the workload at the given scale.
+    pub fn build(self, scale: Scale) -> Workload {
+        match self {
+            Kernel::Bc(g) => kernels::bc(g, scale),
+            Kernel::Bfs(g) => kernels::bfs(g, scale),
+            Kernel::Cc(g) => kernels::cc(g, scale),
+            Kernel::Pr(g) => kernels::pagerank(g, scale),
+            Kernel::Sssp(g) => kernels::sssp(g, scale),
+            Kernel::Camel => kernels::camel(scale),
+            Kernel::G500 => kernels::graph500(scale),
+            Kernel::HashJoin(b) => kernels::hashjoin(b, scale),
+            Kernel::Kangaroo => kernels::kangaroo(scale),
+            Kernel::NasCg => kernels::nas_cg(scale),
+            Kernel::NasIs => kernels::nas_is(scale),
+            Kernel::Regular(name) => kernels::spec_like(name, scale),
+            Kernel::Randacc => kernels::randacc(scale),
+        }
+    }
+
+    /// Display name, matching the paper's x-axis labels.
+    pub fn name(self) -> String {
+        match self {
+            Kernel::Bc(g) => format!("BC_{}", g.label()),
+            Kernel::Bfs(g) => format!("BFS_{}", g.label()),
+            Kernel::Cc(g) => format!("CC_{}", g.label()),
+            Kernel::Pr(g) => format!("PR_{}", g.label()),
+            Kernel::Sssp(g) => format!("SSSP_{}", g.label()),
+            Kernel::Camel => "Camel".into(),
+            Kernel::G500 => "G500".into(),
+            Kernel::HashJoin(b) => format!("HJ{b}"),
+            Kernel::Kangaroo => "Kangr".into(),
+            Kernel::NasCg => "NAS-CG".into(),
+            Kernel::NasIs => "NAS-IS".into(),
+            Kernel::Randacc => "Randacc".into(),
+            Kernel::Regular(name) => name.into(),
+        }
+    }
+
+    /// The group this kernel is reported under.
+    pub fn group(self) -> Group {
+        match self {
+            Kernel::Bc(_) => Group::Bc,
+            Kernel::Bfs(_) => Group::Bfs,
+            Kernel::Cc(_) => Group::Cc,
+            Kernel::Pr(_) => Group::Pr,
+            Kernel::Sssp(_) => Group::Sssp,
+            Kernel::Regular(_) => Group::Regular,
+            _ => Group::HpcDb,
+        }
+    }
+}
+
+/// The 25 GAP workload/input combinations (5 kernels × 5 graphs).
+pub fn gap_suite() -> Vec<Kernel> {
+    let mut v = Vec::new();
+    for g in GraphInput::ALL {
+        v.push(Kernel::Bc(g));
+    }
+    for g in GraphInput::ALL {
+        v.push(Kernel::Bfs(g));
+    }
+    for g in GraphInput::ALL {
+        v.push(Kernel::Cc(g));
+    }
+    for g in GraphInput::ALL {
+        v.push(Kernel::Pr(g));
+    }
+    for g in GraphInput::ALL {
+        v.push(Kernel::Sssp(g));
+    }
+    v
+}
+
+/// The 8 HPC/database workloads (§V, first set).
+pub fn hpcdb_suite() -> Vec<Kernel> {
+    vec![
+        Kernel::Camel,
+        Kernel::G500,
+        Kernel::HashJoin(2),
+        Kernel::HashJoin(8),
+        Kernel::Kangaroo,
+        Kernel::NasCg,
+        Kernel::NasIs,
+        Kernel::Randacc,
+    ]
+}
+
+/// The full irregular suite of Figs. 1, 11 and 12 (33 workloads).
+pub fn irregular_suite() -> Vec<Kernel> {
+    let mut v = gap_suite();
+    v.extend(hpcdb_suite());
+    v
+}
+
+/// The SPEC-like regular suite of Fig. 14 (23 workloads).
+pub fn regular_suite() -> Vec<Kernel> {
+    kernels::SPEC_NAMES
+        .iter()
+        .map(|&n| Kernel::Regular(n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_paper() {
+        assert_eq!(gap_suite().len(), 25);
+        assert_eq!(hpcdb_suite().len(), 8);
+        assert_eq!(irregular_suite().len(), 33);
+        assert_eq!(regular_suite().len(), 23);
+    }
+
+    #[test]
+    fn names_are_unique_across_suites() {
+        let mut seen = std::collections::HashSet::new();
+        for k in irregular_suite().into_iter().chain(regular_suite()) {
+            assert!(seen.insert(k.name()), "duplicate {}", k.name());
+        }
+    }
+
+    #[test]
+    fn groups_partition_the_suite() {
+        let groups: Vec<Group> = irregular_suite().iter().map(|k| k.group()).collect();
+        assert_eq!(groups.iter().filter(|&&g| g == Group::Pr).count(), 5);
+        assert_eq!(groups.iter().filter(|&&g| g == Group::HpcDb).count(), 8);
+    }
+
+    #[test]
+    fn all_kernels_build_at_tiny_scale() {
+        for k in irregular_suite() {
+            let w = k.build(Scale::Tiny);
+            assert_eq!(w.name, k.name());
+            assert!(!w.program.is_empty());
+        }
+    }
+}

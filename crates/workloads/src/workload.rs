@@ -1,0 +1,160 @@
+//! The [`Workload`] container: a program, its initialized memory image and
+//! register state, and an optional architectural check.
+
+use svr_isa::{ArchState, DataMemory, Program, Reg};
+use svr_mem::MemImage;
+
+/// How a workload's architectural correctness is validated after a full
+/// functional run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Check {
+    /// A register must hold the given value at halt.
+    Reg(Reg, u64),
+    /// A memory word must hold the given value at halt.
+    Mem(u64, u64),
+    /// No cheap check available (e.g. capped runs).
+    None,
+}
+
+/// A ready-to-run workload: assembled program, initialized data, initial
+/// registers. Instantiate per run — cores mutate the image.
+///
+/// # Examples
+///
+/// ```
+/// use svr_workloads::{Scale, kernels};
+/// let w = kernels::camel(Scale::Tiny);
+/// let (program, mut image, mut arch) = w.instantiate();
+/// arch.run(&program, &mut image, u64::MAX);
+/// assert!(w.verify(&image, &arch));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name ("PR_KR", "HJ2", ...).
+    pub name: String,
+    /// The assembled program.
+    pub program: Program,
+    /// Initialized data image (init phase done natively, as the paper skips
+    /// initialization and simulates the region of interest).
+    pub image: MemImage,
+    /// Initial register state (base addresses, sizes).
+    pub arch: ArchState,
+    /// Post-run architectural check.
+    pub check: Check,
+}
+
+impl Workload {
+    /// Clones the pieces needed for one simulation run.
+    pub fn instantiate(&self) -> (Program, MemImage, ArchState) {
+        (self.program.clone(), self.image.clone(), self.arch.clone())
+    }
+
+    /// Validates a completed run against [`Workload::check`].
+    pub fn verify(&self, image: &MemImage, arch: &ArchState) -> bool {
+        match self.check {
+            Check::Reg(r, v) => arch.reg(r) == v,
+            Check::Mem(addr, v) => image.read_u64(addr) == v,
+            Check::None => true,
+        }
+    }
+}
+
+/// Problem-size presets. Paper runs simulate 200 M instructions in the
+/// region of interest; we scale the data so the working set exceeds the L2
+/// at `Small`/`Full` while keeping simulation time practical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Unit-test sized (cache-resident, sub-second).
+    Tiny,
+    /// Integration-test / quick-bench sized (DRAM-resident, ~1 M insts).
+    Small,
+    /// Full experiment size used by the figure harnesses.
+    Full,
+}
+
+impl Scale {
+    /// Graph vertices for GAP workloads.
+    pub fn nodes(self) -> usize {
+        match self {
+            Scale::Tiny => 512,
+            Scale::Small => 100_000,
+            Scale::Full => 400_000,
+        }
+    }
+
+    /// Edges per vertex for GAP workloads.
+    pub fn edge_factor(self) -> usize {
+        match self {
+            Scale::Tiny => 4,
+            Scale::Small => 8,
+            Scale::Full => 8,
+        }
+    }
+
+    /// Element count for array-based kernels (hash join, IS, randacc, ...).
+    pub fn elems(self) -> usize {
+        match self {
+            Scale::Tiny => 2_000,
+            Scale::Small => 400_000,
+            Scale::Full => 2_000_000,
+        }
+    }
+
+    /// Instruction budget a harness should simulate at this scale.
+    pub fn max_insts(self) -> u64 {
+        match self {
+            Scale::Tiny => 2_000_000,
+            Scale::Small => 2_000_000,
+            Scale::Full => 10_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svr_isa::Assembler;
+
+    #[test]
+    fn verify_checks_register() {
+        let mut asm = Assembler::new("t");
+        asm.li(Reg::new(1), 9);
+        asm.halt();
+        let w = Workload {
+            name: "t".into(),
+            program: asm.finish(),
+            image: MemImage::new(),
+            arch: ArchState::new(),
+            check: Check::Reg(Reg::new(1), 9),
+        };
+        let (p, mut img, mut arch) = w.instantiate();
+        arch.run(&p, &mut img, 100);
+        assert!(w.verify(&img, &arch));
+        assert!(!Workload {
+            check: Check::Reg(Reg::new(1), 10),
+            ..w.clone()
+        }
+        .verify(&img, &arch));
+    }
+
+    #[test]
+    fn verify_checks_memory() {
+        let mut img = MemImage::new();
+        img.write_u64(64, 5);
+        let w = Workload {
+            name: "m".into(),
+            program: Program::new("m", vec![svr_isa::Inst::Halt]),
+            image: img.clone(),
+            arch: ArchState::new(),
+            check: Check::Mem(64, 5),
+        };
+        assert!(w.verify(&img, &ArchState::new()));
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Tiny.nodes() < Scale::Small.nodes());
+        assert!(Scale::Small.nodes() < Scale::Full.nodes());
+        assert!(Scale::Tiny.elems() < Scale::Full.elems());
+    }
+}

@@ -1,0 +1,43 @@
+//! PageRank on a Kronecker graph (Listing 1 of the paper) across all four
+//! core configurations, printing CPI, DRAM traffic and energy.
+//!
+//! ```sh
+//! cargo run --release --example pagerank_speedup
+//! ```
+
+use svr::sim::{run_kernel, SimConfig};
+use svr::workloads::{GraphInput, Kernel, Scale};
+
+fn main() {
+    let kernel = Kernel::Pr(GraphInput::Kr);
+    let scale = Scale::Small;
+    println!(
+        "PageRank on a Kronecker graph ({} vertices, edge factor {}):",
+        scale.nodes(),
+        scale.edge_factor()
+    );
+    println!(
+        "{:8} {:>8} {:>12} {:>12} {:>12}",
+        "config", "CPI", "DRAM lines", "nJ/instr", "SVR accuracy"
+    );
+    for cfg in [
+        SimConfig::inorder(),
+        SimConfig::imp(),
+        SimConfig::ooo(),
+        SimConfig::svr(16),
+        SimConfig::svr(64),
+    ] {
+        let r = run_kernel(kernel, scale, &cfg);
+        assert!(r.verified, "architectural check failed");
+        println!(
+            "{:8} {:>8.2} {:>12} {:>12.2} {:>12}",
+            r.config,
+            r.cpi(),
+            r.mem.dram_reads() + r.mem.writebacks,
+            r.nj_per_inst(),
+            r.svr_accuracy()
+                .map(|a| format!("{:.1}%", a * 100.0))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+}

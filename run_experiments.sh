@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerates every table/figure of the paper into results/.
+# Usage: ./run_experiments.sh [--scale tiny|small|full]
+set -u
+SCALE_ARGS="${@:---scale small}"
+cd "$(dirname "$0")"
+cargo build --release -p svr-bench 2>&1 | tail -1
+for bin in table2_overhead fig01_headline fig11_cpi fig13_accuracy_coverage \
+           fig15_loop_bounds fig03_cpi_stacks fig12_energy fig14_spec_overhead \
+           fig16_vector_units fig18_bandwidth ablation_dvr fig17_mshr_ptw \
+           ext_multicore; do
+  echo "=== $bin ==="
+  ./target/release/$bin $SCALE_ARGS | tee results/$bin.txt
+done
+echo ALL_EXPERIMENTS_DONE

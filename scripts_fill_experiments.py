@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Injects results/*.txt into EXPERIMENTS.md placeholders."""
+import pathlib, re
+root = pathlib.Path(__file__).parent
+mapping = {
+    "FIG01": "fig01_headline", "FIG03": "fig03_cpi_stacks", "FIG11": "fig11_cpi",
+    "FIG12": "fig12_energy", "FIG13": "fig13_accuracy_coverage",
+    "FIG14": "fig14_spec_overhead", "FIG15": "fig15_loop_bounds",
+    "FIG16": "fig16_vector_units", "FIG17": "fig17_mshr_ptw",
+    "FIG18": "fig18_bandwidth", "ABLATION": "ablation_dvr", "EXT": "ext_multicore",
+}
+text = (root / "EXPERIMENTS.md").read_text()
+for key, name in mapping.items():
+    f = root / "results" / f"{name}.txt"
+    body = f.read_text().strip() if f.exists() else "(not regenerated in this run)"
+    text = text.replace(f"<!-- {key} -->", "```\n" + body + "\n```")
+(root / "EXPERIMENTS.md").write_text(text)
+print("filled")

@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the SVR reproduction workspace.
+pub use svr_core as core;
+pub use svr_energy as energy;
+pub use svr_isa as isa;
+pub use svr_mem as mem;
+pub use svr_sim as sim;
+pub use svr_workloads as workloads;

@@ -1,0 +1,135 @@
+//! Paper-property tests: assertions that pin down behaviours the paper's
+//! evaluation depends on, at test-friendly scales.
+
+use svr::core::svr::bit_budget;
+use svr::core::{LoopBoundMode, SvrConfig};
+use svr::sim::{run_kernel, SimConfig};
+use svr::workloads::{GraphInput, Kernel, Scale};
+
+/// Table II is reproduced exactly for the default design point.
+#[test]
+fn table2_exact() {
+    let b = bit_budget(16, 8);
+    assert_eq!(b.total_bits(), 17_738);
+    for (n, max_kib) in [(8u64, 2.0), (16, 2.5), (32, 3.5), (64, 6.0), (128, 10.5)] {
+        let kib = bit_budget(n, 8).total_kib();
+        assert!(kib < max_kib, "N={n}: {kib:.2} KiB");
+    }
+}
+
+/// Waiting mode produces the Fig. 4 cadence: roughly one PRM round per
+/// N prefetched iterations, the rest suppressed.
+#[test]
+fn waiting_mode_cadence() {
+    let r = run_kernel(Kernel::Camel, Scale::Small, &SimConfig::svr(16));
+    let s = r.core.svr;
+    let per_round = s.waiting_suppressed as f64 / s.prm_rounds as f64;
+    assert!(
+        (10.0..18.0).contains(&per_round),
+        "suppressions per round {per_round:.1}, expected ~15"
+    );
+}
+
+/// §IV-A7: prefetch accuracy stays above the ban threshold on the suite's
+/// graph kernels (Fig. 13a shows ≥88% everywhere for SVR-16).
+#[test]
+fn graph_kernel_accuracy_above_threshold() {
+    for k in [
+        Kernel::Pr(GraphInput::Ur),
+        Kernel::Cc(GraphInput::Kr),
+        Kernel::Bfs(GraphInput::Ljn),
+    ] {
+        let r = run_kernel(k, Scale::Small, &SimConfig::svr(16));
+        let acc = r.svr_accuracy().expect("prefetches issued");
+        assert!(acc > 0.8, "{} accuracy {acc:.2}", k.name());
+        assert_eq!(r.core.svr.banned_suppressed, 0, "{} banned", k.name());
+    }
+}
+
+/// §VI-D waiting-mode ablation: disabling it floods the pipe with redundant
+/// rounds and destroys the speedup (paper: SVR-64 becomes a slowdown).
+#[test]
+fn no_waiting_mode_collapses() {
+    let base = run_kernel(Kernel::Camel, Scale::Small, &SimConfig::inorder());
+    let with = run_kernel(Kernel::Camel, Scale::Small, &SimConfig::svr(64));
+    let without = run_kernel(
+        Kernel::Camel,
+        Scale::Small,
+        &SimConfig::svr_with(SvrConfig {
+            waiting_mode: false,
+            ..SvrConfig::with_length(64)
+        }),
+    );
+    let s_with = base.core.cycles as f64 / with.core.cycles as f64;
+    let s_without = base.core.cycles as f64 / without.core.cycles as f64;
+    assert!(
+        s_without < s_with * 0.75,
+        "with={s_with:.2} without={s_without:.2}"
+    );
+}
+
+/// Fig. 15's LBD+Wait point: DVR-style discovery waiting is slower than the
+/// tournament on an in-order core.
+#[test]
+fn lbd_wait_is_slower_than_tournament() {
+    let k = Kernel::Pr(GraphInput::Kr);
+    let wait = run_kernel(
+        k,
+        Scale::Small,
+        &SimConfig::svr_with(SvrConfig {
+            loop_bound_mode: LoopBoundMode::LbdWait,
+            ..SvrConfig::default()
+        }),
+    );
+    let tournament = run_kernel(k, Scale::Small, &SimConfig::svr(16));
+    assert!(
+        tournament.core.cycles <= wait.core.cycles,
+        "tournament {} vs wait {}",
+        tournament.core.cycles,
+        wait.core.cycles
+    );
+}
+
+/// Fig. 18 direction: more bandwidth never hurts, and SVR-64 gains at least
+/// as much as SVR-16 from a bandwidth doubling on a bandwidth-hungry kernel.
+#[test]
+fn bandwidth_direction() {
+    let k = Kernel::Randacc;
+    let lo16 = run_kernel(k, Scale::Small, &SimConfig::svr(16).with_bandwidth(12.5));
+    let hi16 = run_kernel(k, Scale::Small, &SimConfig::svr(16).with_bandwidth(100.0));
+    assert!(hi16.core.cycles <= lo16.core.cycles);
+    let lo64 = run_kernel(k, Scale::Small, &SimConfig::svr(64).with_bandwidth(12.5));
+    let hi64 = run_kernel(k, Scale::Small, &SimConfig::svr(64).with_bandwidth(100.0));
+    let g16 = lo16.core.cycles as f64 / hi16.core.cycles as f64;
+    let g64 = lo64.core.cycles as f64 / hi64.core.cycles as f64;
+    assert!(g64 >= g16 * 0.9, "g16={g16:.2} g64={g64:.2}");
+}
+
+/// Fig. 17 direction: a single MSHR strangles SVR relative to 16 MSHRs.
+#[test]
+fn mshr_starvation_hurts() {
+    let k = Kernel::NasIs;
+    let one = run_kernel(k, Scale::Small, &SimConfig::svr(16).with_mshrs(1));
+    let sixteen = run_kernel(k, Scale::Small, &SimConfig::svr(16).with_mshrs(16));
+    assert!(
+        one.core.cycles > sixteen.core.cycles * 2,
+        "1 MSHR {} vs 16 MSHRs {}",
+        one.core.cycles,
+        sixteen.core.cycles
+    );
+}
+
+/// The energy story of Fig. 1: SVR-16 uses materially less whole-system
+/// energy than the in-order baseline, and less than the OoO core.
+#[test]
+fn energy_ordering() {
+    let k = Kernel::Kangaroo;
+    let ino = run_kernel(k, Scale::Small, &SimConfig::inorder());
+    let ooo = run_kernel(k, Scale::Small, &SimConfig::ooo());
+    let svr = run_kernel(k, Scale::Small, &SimConfig::svr(16));
+    let e_ino = ino.energy.total_nj();
+    let e_ooo = ooo.energy.total_nj();
+    let e_svr = svr.energy.total_nj();
+    assert!(e_svr < e_ino * 0.8, "svr {e_svr:.0} vs ino {e_ino:.0}");
+    assert!(e_svr < e_ooo, "svr {e_svr:.0} vs ooo {e_ooo:.0}");
+}

@@ -1,0 +1,165 @@
+//! Whole-pipeline integration tests spanning every crate: each workload is
+//! simulated on each core model and validated against its native reference,
+//! and the paper's qualitative orderings are asserted.
+
+use svr::sim::{run_kernel, run_workload, SimConfig};
+use svr::workloads::{hpcdb_suite, irregular_suite, GraphInput, Kernel, Scale};
+
+/// Every irregular workload executes correctly (architectural check passes)
+/// on every core model at tiny scale.
+#[test]
+fn all_workloads_verify_on_all_cores() {
+    for k in irregular_suite() {
+        let w = k.build(Scale::Tiny);
+        for cfg in [
+            SimConfig::inorder(),
+            SimConfig::imp(),
+            SimConfig::ooo(),
+            SimConfig::svr(16),
+        ] {
+            let r = run_workload(&w, &cfg, u64::MAX);
+            assert!(r.verified, "{} failed under {}", w.name, cfg.label());
+        }
+    }
+}
+
+/// The cores are architecturally equivalent: identical cycle-independent
+/// results, identical retired instruction counts.
+#[test]
+fn cores_retire_identical_instruction_counts() {
+    for k in hpcdb_suite() {
+        let w = k.build(Scale::Tiny);
+        let a = run_workload(&w, &SimConfig::inorder(), u64::MAX);
+        let b = run_workload(&w, &SimConfig::ooo(), u64::MAX);
+        let c = run_workload(&w, &SimConfig::svr(16), u64::MAX);
+        assert_eq!(a.core.retired, b.core.retired, "{}", w.name);
+        assert_eq!(a.core.retired, c.core.retired, "{}", w.name);
+    }
+}
+
+/// Determinism: the same run twice yields identical cycle counts.
+#[test]
+fn runs_are_deterministic() {
+    for cfg in [SimConfig::svr(16), SimConfig::ooo()] {
+        let a = run_kernel(Kernel::Camel, Scale::Tiny, &cfg);
+        let b = run_kernel(Kernel::Camel, Scale::Tiny, &cfg);
+        assert_eq!(a.core.cycles, b.core.cycles);
+        assert_eq!(a.mem.dram_reads(), b.mem.dram_reads());
+    }
+}
+
+/// On DRAM-resident irregular workloads, the orderings the paper relies on
+/// hold: OoO beats in-order, and SVR beats in-order.
+#[test]
+fn qualitative_orderings_hold() {
+    for k in [
+        Kernel::Kangaroo,
+        Kernel::NasIs,
+        Kernel::Randacc,
+        Kernel::Camel,
+        Kernel::Pr(GraphInput::Kr),
+    ] {
+        let ino = run_kernel(k, Scale::Small, &SimConfig::inorder());
+        let ooo = run_kernel(k, Scale::Small, &SimConfig::ooo());
+        let svr = run_kernel(k, Scale::Small, &SimConfig::svr(16));
+        assert!(
+            ooo.core.cycles < ino.core.cycles,
+            "{}: OoO {} vs InO {}",
+            k.name(),
+            ooo.core.cycles,
+            ino.core.cycles
+        );
+        assert!(
+            (svr.core.cycles as f64) < ino.core.cycles as f64 * 0.8,
+            "{}: SVR {} vs InO {}",
+            k.name(),
+            svr.core.cycles,
+            ino.core.cycles
+        );
+    }
+}
+
+/// SVR prefetching is accurate on the regular-indirect workloads (paper
+/// Fig. 13a: high accuracy across the suite).
+#[test]
+fn svr_accuracy_is_high_on_stride_indirect() {
+    for k in [
+        Kernel::NasIs,
+        Kernel::Randacc,
+        Kernel::Camel,
+        Kernel::Kangaroo,
+    ] {
+        let r = run_kernel(k, Scale::Small, &SimConfig::svr(16));
+        let acc = r.svr_accuracy().expect("SVR issued prefetches");
+        assert!(acc > 0.9, "{} accuracy {acc:.2}", k.name());
+    }
+}
+
+/// HJ8's divergent bucket scan defeats mask-only control flow (§VI-D):
+/// SVR shows no meaningful speedup, unlike HJ2.
+#[test]
+fn hj8_shows_no_speedup_hj2_does() {
+    let base2 = run_kernel(Kernel::HashJoin(2), Scale::Small, &SimConfig::inorder());
+    let svr2 = run_kernel(Kernel::HashJoin(2), Scale::Small, &SimConfig::svr(16));
+    let base8 = run_kernel(Kernel::HashJoin(8), Scale::Small, &SimConfig::inorder());
+    let svr8 = run_kernel(Kernel::HashJoin(8), Scale::Small, &SimConfig::svr(16));
+    let s2 = base2.core.cycles as f64 / svr2.core.cycles as f64;
+    let s8 = base8.core.cycles as f64 / svr8.core.cycles as f64;
+    assert!(s2 > 1.5, "HJ2 speedup {s2:.2}");
+    assert!(s8 < 1.15, "HJ8 speedup {s8:.2} should be near 1");
+}
+
+/// IMP covers the simple stride-indirect pattern but fails on the value
+/// transformation in randacc and the second level in Kangaroo (§VI-A).
+#[test]
+fn imp_strengths_and_weaknesses() {
+    let is_imp = run_kernel(Kernel::NasIs, Scale::Small, &SimConfig::imp());
+    let is_ino = run_kernel(Kernel::NasIs, Scale::Small, &SimConfig::inorder());
+    assert!(
+        (is_imp.core.cycles as f64) < is_ino.core.cycles as f64 * 0.5,
+        "IMP should cover NAS-IS"
+    );
+
+    let ra_imp = run_kernel(Kernel::Randacc, Scale::Small, &SimConfig::imp());
+    let ra_ino = run_kernel(Kernel::Randacc, Scale::Small, &SimConfig::inorder());
+    assert!(
+        ra_imp.core.cycles as f64 > ra_ino.core.cycles as f64 * 0.9,
+        "IMP must not cover randacc"
+    );
+
+    let ka_imp = run_kernel(Kernel::Kangaroo, Scale::Small, &SimConfig::imp());
+    let ka_svr = run_kernel(Kernel::Kangaroo, Scale::Small, &SimConfig::svr(16));
+    assert!(
+        ka_svr.core.cycles * 2 < ka_imp.core.cycles,
+        "SVR chases both levels of Kangaroo, IMP only one"
+    );
+}
+
+/// SVR leaves regular workloads essentially untouched (paper Fig. 14: ~1%).
+#[test]
+fn spec_like_overhead_is_small() {
+    for name in ["bwaves", "namd", "xalancbmk", "perlbench"] {
+        let k = Kernel::Regular(name);
+        let base = run_kernel(k, Scale::Tiny, &SimConfig::inorder());
+        let svr = run_kernel(k, Scale::Tiny, &SimConfig::svr(16));
+        let ratio = svr.core.cycles as f64 / base.core.cycles as f64;
+        assert!(
+            ratio < 1.08,
+            "{name}: SVR adds {:.1}% overhead",
+            (ratio - 1.0) * 100.0
+        );
+    }
+}
+
+/// Larger vectors overlap more misses on deep regular-indirect chains.
+#[test]
+fn longer_vectors_help_on_regular_indirect() {
+    let r16 = run_kernel(Kernel::Kangaroo, Scale::Small, &SimConfig::svr(16));
+    let r64 = run_kernel(Kernel::Kangaroo, Scale::Small, &SimConfig::svr(64));
+    assert!(
+        r64.core.cycles <= r16.core.cycles,
+        "SVR64 {} vs SVR16 {}",
+        r64.core.cycles,
+        r16.core.cycles
+    );
+}

@@ -1,0 +1,272 @@
+//! Property-based tests (proptest) over the core data structures and
+//! cross-crate invariants.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+use svr::core::{svr::StrideDetector, IssueSlots, Scoreboard};
+use svr::isa::{AluOp, ArchState, DataMemory, Inst, Program, Reg, VecMemory};
+use svr::mem::{Access, AccessKind, Cache, CacheConfig, MemConfig, MemImage, MemoryHierarchy};
+use svr::sim::{run_workload, SimConfig};
+use svr::workloads::{Check, Csr, Scale, Workload};
+
+/// Strategy: random straight-line ALU/Li programs over registers 1..8.
+fn straight_line_program() -> impl Strategy<Value = Vec<Inst>> {
+    let reg = (1u8..8).prop_map(Reg::new);
+    let op = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Xor),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Sltu),
+    ];
+    let inst =
+        prop_oneof![
+            (reg.clone(), -1000i64..1000).prop_map(|(dst, imm)| Inst::Li { dst, imm }),
+            (op.clone(), reg.clone(), reg.clone(), reg.clone())
+                .prop_map(|(op, dst, a, b)| Inst::Alu { op, dst, a, b }),
+            (op, reg.clone(), reg.clone(), -64i64..64).prop_map(|(op, dst, src, imm)| Inst::AluI {
+                op,
+                dst,
+                src,
+                imm
+            }),
+        ];
+    prop::collection::vec(inst, 1..60)
+}
+
+proptest! {
+    /// Functional execution is deterministic and halts.
+    #[test]
+    fn straight_line_execution_is_deterministic(insts in straight_line_program()) {
+        let mut insts = insts;
+        insts.push(Inst::Halt);
+        let p = Program::new("prop", insts);
+        let run = || {
+            let mut mem = VecMemory::new();
+            let mut st = ArchState::new();
+            st.run(&p, &mut mem, 10_000);
+            (0..8).map(|i| st.reg(Reg::new(i))).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The memory image behaves as a flat 64-bit word store.
+    #[test]
+    fn mem_image_matches_hashmap_oracle(ops in prop::collection::vec((0u64..1u64<<20, any::<u64>()), 1..200)) {
+        let mut img = MemImage::new();
+        let mut oracle = std::collections::HashMap::new();
+        for &(addr, val) in &ops {
+            let addr = addr & !7;
+            img.write_u64(addr, val);
+            oracle.insert(addr, val);
+        }
+        for (&addr, &val) in &oracle {
+            prop_assert_eq!(img.read_u64(addr), val);
+        }
+    }
+
+    /// Cache invariant: after a fill, the line is present until evicted by
+    /// fills to the same set; a demand access never invents a line.
+    #[test]
+    fn cache_presence_invariant(addrs in prop::collection::vec(0u64..1u64<<16, 1..300)) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 2048, ways: 2 });
+        let mut filled = Vec::new();
+        for &a in &addrs {
+            if !c.access(a, false).hit {
+                c.fill(a, false, None);
+                filled.push(a);
+            }
+            // The just-accessed/filled line must be present.
+            prop_assert!(c.probe(a));
+        }
+    }
+
+    /// IssueSlots: per-cycle width is never exceeded and times are monotone.
+    #[test]
+    fn issue_slots_width_respected(reqs in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut s = IssueSlots::new(3);
+        let mut counts = std::collections::HashMap::new();
+        let mut last = 0;
+        for &r in &reqs {
+            let t = s.take(r);
+            prop_assert!(t >= last, "monotonic");
+            prop_assert!(t >= r);
+            last = t;
+            let c = counts.entry(t).or_insert(0u32);
+            *c += 1;
+            prop_assert!(*c <= 3, "width exceeded at {t}");
+        }
+    }
+
+    /// Scoreboard never exceeds capacity in flight.
+    #[test]
+    fn scoreboard_capacity_respected(jobs in prop::collection::vec((0u64..100, 1u64..200), 1..100)) {
+        let mut sb = Scoreboard::new(8);
+        let mut t = 0;
+        for &(gap, dur) in &jobs {
+            t += gap;
+            let admitted = sb.admit(t);
+            prop_assert!(admitted >= t);
+            sb.push(admitted + dur);
+            prop_assert!(sb.len() <= 8);
+        }
+    }
+
+    /// Stride detector: confident entries always report the true stride of
+    /// a perfectly striding stream.
+    #[test]
+    fn stride_detector_learns_any_stride(stride in prop_oneof![1i64..512, -512i64..-1], start in 0u64..1u64<<30) {
+        let mut sd = StrideDetector::new(8, 2);
+        let mut addr = start;
+        let mut up = sd.update(7, addr);
+        for _ in 0..6 {
+            addr = addr.wrapping_add(stride as u64);
+            up = sd.update(7, addr);
+        }
+        prop_assert!(up.striding);
+        prop_assert_eq!(up.stride, stride);
+        prop_assert!(up.continued);
+    }
+
+    /// CSR construction preserves edges and invariants.
+    #[test]
+    fn csr_invariants(edges in prop::collection::vec((0u64..50, 0u64..50), 0..300)) {
+        let g = Csr::from_edges(50, &edges);
+        prop_assert!(g.check_invariants());
+        let non_loops = edges.iter().filter(|(u, v)| u != v).count();
+        prop_assert_eq!(g.num_edges(), non_loops);
+    }
+}
+
+/// SVR transparency: for random gather workloads, final architectural state
+/// matches the plain in-order run (runahead never leaks into architecture).
+#[test]
+fn svr_is_architecturally_transparent_on_random_gathers() {
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    let strategy = (2u64..500, 1u64..7919);
+    for _ in 0..12 {
+        let (n, mult) = strategy
+            .new_tree(&mut runner)
+            .expect("value generated")
+            .current();
+        let w = gather_workload(n.max(4), mult);
+        let a = run_workload(&w, &SimConfig::inorder(), u64::MAX);
+        let b = run_workload(&w, &SimConfig::svr(16), u64::MAX);
+        assert!(a.verified && b.verified, "n={n} mult={mult}");
+        assert_eq!(a.core.retired, b.core.retired);
+    }
+}
+
+/// Builds a gather loop `sum += data[(i*mult) % n]` with a verified result.
+fn gather_workload(n: u64, mult: u64) -> Workload {
+    use svr::isa::{Assembler, Cond};
+    let mut img = MemImage::new();
+    let idx: Vec<u64> = (0..n).map(|i| (i * mult) % n).collect();
+    let data: Vec<u64> = (0..n).map(|i| i * 31 + 7).collect();
+    let ib = img.alloc_array(&idx);
+    let db = img.alloc_array(&data);
+    let (rib, rdb, ri, rn, rt, rv, racc) = (
+        Reg::new(1),
+        Reg::new(2),
+        Reg::new(3),
+        Reg::new(4),
+        Reg::new(5),
+        Reg::new(6),
+        Reg::new(7),
+    );
+    let mut asm = Assembler::new("gather");
+    let top = asm.label();
+    asm.bind(top);
+    asm.ldx(rt, rib, ri, 3);
+    asm.ldx(rv, rdb, rt, 3);
+    asm.alu(AluOp::Add, racc, racc, rv);
+    asm.alui(AluOp::Add, ri, ri, 1);
+    asm.cmp(ri, rn);
+    asm.b(Cond::Ltu, top);
+    asm.halt();
+    let expected = idx
+        .iter()
+        .map(|&t| data[t as usize])
+        .fold(0u64, |a, b| a.wrapping_add(b));
+    let mut arch = ArchState::new();
+    arch.set_reg(rib, ib);
+    arch.set_reg(rdb, db);
+    arch.set_reg(rn, n);
+    Workload {
+        name: "gather".into(),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::Reg(racc, expected),
+    }
+}
+
+/// Hierarchy oracle: completion times are always >= request time, and a
+/// second access to the same line after completion is an L1 hit.
+#[test]
+fn hierarchy_timing_sanity() {
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    let strategy = prop::collection::vec(0u64..1u64 << 22, 1..300);
+    for _ in 0..16 {
+        let addrs = strategy
+            .new_tree(&mut runner)
+            .expect("value generated")
+            .current();
+        let mut h = MemoryHierarchy::new(MemConfig::default());
+        let mut t = 0u64;
+        for &a in &addrs {
+            let r = h.access(Access::new(t, a, AccessKind::DemandLoad));
+            assert!(r.complete_at > t, "completion after request");
+            assert!(r.issued_at >= t);
+            t = r.complete_at;
+            let r2 = h.access(Access::new(t, a, AccessKind::DemandLoad));
+            assert_eq!(r2.complete_at - t, 3, "hot line is an L1 hit");
+            t = r2.complete_at;
+        }
+    }
+}
+
+/// The Scale presets build workloads whose checks pass at tiny scale for a
+/// sample of the registry (fast smoke; full coverage in pipeline.rs).
+#[test]
+fn tiny_scale_is_self_consistent() {
+    use svr::workloads::Kernel;
+    for k in [Kernel::NasCg, Kernel::HashJoin(8)] {
+        let w = k.build(Scale::Tiny);
+        let (p, mut img, mut arch) = w.instantiate();
+        arch.run(&p, &mut img, 50_000_000);
+        assert!(arch.halted());
+        assert!(w.verify(&img, &arch), "{}", w.name);
+    }
+}
+
+/// Every suite workload's listing survives Display -> parse -> Display.
+#[test]
+fn workload_listings_round_trip_through_text_and_binary() {
+    use svr::isa::encode::{decode_program, encode_program};
+    use svr::isa::parse::parse_program;
+    use svr::workloads::irregular_suite;
+    for k in irregular_suite() {
+        let w = k.build(Scale::Tiny);
+        let text = w.program.to_string();
+        let parsed = parse_program(w.program.name(), &text)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(parsed, w.program, "{} text round trip", w.name);
+        // The binary format documents a 32-bit immediate limit; kernels
+        // using sentinel constants (INF) legitimately exceed it.
+        match encode_program(&w.program) {
+            Ok(words) => {
+                let decoded =
+                    decode_program(w.program.name(), &words).expect("decodable");
+                assert_eq!(decoded, w.program, "{} binary round trip", w.name);
+            }
+            Err(e) => assert!(
+                e.reason.contains("32 bits"),
+                "{}: unexpected encode error {e}",
+                w.name
+            ),
+        }
+    }
+}
