@@ -1,19 +1,43 @@
-//! Criterion benchmarks: simulator throughput per core model and
-//! reduced-scale versions of each experiment family. The full-scale paper
-//! tables/figures are produced by the `fig*`/`table*`/`ablation*` harness
-//! binaries (see DESIGN.md §5); these benches keep the same code paths
-//! exercised and timed on every `cargo bench`.
+//! Throughput benchmarks: simulator speed per core model and reduced-scale
+//! versions of each experiment family. The full-scale paper tables/figures
+//! are produced by the `fig*`/`table*`/`ablation*` harness binaries (see
+//! DESIGN.md §5); these benches keep the same code paths exercised and
+//! timed on every `cargo bench`.
+//!
+//! Hand-rolled timing loop (`harness = false`): the registry is offline, so
+//! criterion is unavailable. Each case is warmed once and then timed over
+//! enough iterations to smooth scheduler noise; we report wall time per
+//! iteration and simulated instructions per second.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 use svr_core::{LoopBoundMode, SvrConfig};
 use svr_sim::{run_kernel, run_workload, SimConfig};
-use svr_workloads::{GraphInput, Kernel, Scale};
+use svr_workloads::{GraphInput, Kernel, Scale, Workload};
 
-/// Core-model throughput on a fixed workload (instructions simulated per
-/// wall-clock second is the meaningful number; criterion reports time).
-fn core_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("core_throughput");
-    g.sample_size(10);
+const ITERS: u32 = 5;
+
+/// Times `f` over [`ITERS`] iterations (after one warm-up) and prints one
+/// report row. `f` returns the number of simulated instructions.
+fn bench<F: FnMut() -> u64>(group: &str, name: &str, mut f: F) {
+    let mut insts = f(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        insts = f();
+    }
+    let dt = t0.elapsed().as_secs_f64() / f64::from(ITERS);
+    println!(
+        "{group:18} {name:12} {:>9.2} ms/iter {:>8.2} Minst/s",
+        dt * 1e3,
+        insts as f64 / dt / 1e6
+    );
+}
+
+fn run(w: &Workload, cfg: &SimConfig) -> u64 {
+    run_workload(w, cfg, 200_000).core.retired
+}
+
+/// Core-model throughput on a fixed workload.
+fn core_throughput() {
     let w = Kernel::Camel.build(Scale::Tiny);
     for (name, cfg) in [
         ("inorder", SimConfig::inorder()),
@@ -22,17 +46,12 @@ fn core_throughput(c: &mut Criterion) {
         ("svr16", SimConfig::svr(16)),
         ("svr128", SimConfig::svr(128)),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| run_workload(&w, cfg, 200_000));
-        });
+        bench("core_throughput", name, || run(&w, &cfg));
     }
-    g.finish();
 }
 
 /// Fig. 1/11 family: one representative workload per group under SVR-16.
-fn fig11_family(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11_cpi");
-    g.sample_size(10);
+fn fig11_family() {
     for k in [
         Kernel::Pr(GraphInput::Kr),
         Kernel::Bfs(GraphInput::Ur),
@@ -40,17 +59,12 @@ fn fig11_family(c: &mut Criterion) {
         Kernel::HashJoin(2),
     ] {
         let w = k.build(Scale::Tiny);
-        g.bench_with_input(BenchmarkId::from_parameter(k.name()), &w, |b, w| {
-            b.iter(|| run_workload(w, &SimConfig::svr(16), 200_000));
-        });
+        bench("fig11_cpi", &k.name(), || run(&w, &SimConfig::svr(16)));
     }
-    g.finish();
 }
 
 /// Fig. 15 family: loop-bound predictor variants.
-fn fig15_family(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig15_loop_bounds");
-    g.sample_size(10);
+fn fig15_family() {
     let w = Kernel::Pr(GraphInput::Ur).build(Scale::Tiny);
     for (name, mode) in [
         ("maxlength", LoopBoundMode::Maxlength),
@@ -62,54 +76,48 @@ fn fig15_family(c: &mut Criterion) {
             loop_bound_mode: mode,
             ..SvrConfig::default()
         });
-        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| run_workload(&w, cfg, 200_000));
-        });
+        bench("fig15_loop_bounds", name, || run(&w, &cfg));
     }
-    g.finish();
 }
 
 /// Fig. 17/18 family: memory-system sweeps.
-fn sensitivity_family(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sensitivity");
-    g.sample_size(10);
+fn sensitivity_family() {
     for mshrs in [1usize, 8, 16] {
         let cfg = SimConfig::svr(16).with_mshrs(mshrs);
-        g.bench_with_input(BenchmarkId::new("mshrs", mshrs), &cfg, |b, cfg| {
-            b.iter(|| run_kernel(Kernel::Randacc, Scale::Tiny, cfg));
+        bench("sensitivity", &format!("mshrs/{mshrs}"), || {
+            run_kernel(Kernel::Randacc, Scale::Tiny, &cfg).core.retired
         });
     }
     for bw in [12.5f64, 50.0] {
         let cfg = SimConfig::svr(16).with_bandwidth(bw);
-        g.bench_with_input(BenchmarkId::new("bandwidth", bw as u64), &cfg, |b, cfg| {
-            b.iter(|| run_kernel(Kernel::Randacc, Scale::Tiny, cfg));
+        bench("sensitivity", &format!("bw/{bw}"), || {
+            run_kernel(Kernel::Randacc, Scale::Tiny, &cfg).core.retired
         });
     }
-    g.finish();
 }
 
 /// Workload construction cost (graph generation + assembly + references).
-fn workload_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload_build");
-    g.sample_size(10);
+fn workload_build() {
     for k in [
         Kernel::Pr(GraphInput::Kr),
         Kernel::HashJoin(8),
         Kernel::NasCg,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(k.name()), &k, |b, k| {
-            b.iter(|| k.build(Scale::Tiny));
+        bench("workload_build", &k.name(), || {
+            let w = k.build(Scale::Tiny);
+            w.program.len() as u64
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    core_throughput,
-    fig11_family,
-    fig15_family,
-    sensitivity_family,
-    workload_build
-);
-criterion_main!(benches);
+fn main() {
+    println!(
+        "{:18} {:12} {:>17} {:>16}",
+        "group", "bench", "time", "throughput"
+    );
+    core_throughput();
+    fig11_family();
+    fig15_family();
+    sensitivity_family();
+    workload_build();
+}

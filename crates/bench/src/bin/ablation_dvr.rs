@@ -1,21 +1,13 @@
 //! §VI-D ablations comparing SVR's design decisions against DVR's:
 //! lockstep register-copy cost, DVR-style register recycling with a small
 //! SRF, and disabling waiting mode.
-use svr_bench::{assert_verified, scale_from_args};
+use svr_bench::{sweep, BenchArgs, Figure};
 use svr_core::{RecyclePolicy, SvrConfig};
-use svr_sim::{harmonic_mean_speedup, run_parallel, SimConfig};
+use svr_sim::SimConfig;
 use svr_workloads::irregular_suite;
 
 fn main() {
-    let scale = scale_from_args();
-    let suite = irregular_suite();
-    let base_jobs: Vec<_> = suite
-        .iter()
-        .map(|k| (*k, scale, SimConfig::inorder()))
-        .collect();
-    let base = run_parallel(base_jobs, 1);
-    assert_verified(&base);
-
+    let args = BenchArgs::parse("ablation_dvr");
     let variants: Vec<(&str, SimConfig)> = vec![
         ("SVR16", SimConfig::svr(16)),
         ("SVR64", SimConfig::svr(64)),
@@ -64,13 +56,23 @@ fn main() {
             }),
         ),
     ];
-    println!("# §VI-D — DVR-comparison ablations (speedup vs in-order)");
-    println!("{:16} {:>8}", "variant", "speedup");
-    for (name, cfg) in variants {
-        let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
-        let reports = run_parallel(jobs, 1);
-        assert_verified(&reports);
-        let s = harmonic_mean_speedup(&base, &reports);
-        println!("{name:16} {s:>8.2}");
+    // Config 0 is the in-order baseline, then the variants in table order.
+    let mut configs = vec![SimConfig::inorder()];
+    configs.extend(variants.iter().map(|(_, c)| c.clone()));
+    let res = sweep(irregular_suite(), &args)
+        .configs(configs)
+        .run(args.threads);
+    res.assert_verified();
+
+    let mut fig = Figure::new(
+        "ablation_dvr",
+        "§VI-D — DVR-comparison ablations (speedup vs in-order)",
+        &args,
+    );
+    fig.section("", "variant", &["speedup"]);
+    for (vi, (name, _)) in variants.iter().enumerate() {
+        fig.row(name, &[res.speedup(0, vi + 1)]);
     }
+    fig.attach(&res);
+    fig.finish();
 }

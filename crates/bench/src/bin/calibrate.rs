@@ -1,11 +1,13 @@
-//! Quick calibration check: headline numbers on a few workloads.
+//! Quick calibration check: headline CPI numbers on a few workloads, plus a
+//! simulation-throughput estimate and SVR internals on PR_KR.
 use std::time::Instant;
-use svr_sim::{run_kernel, SimConfig};
-use svr_workloads::{GraphInput, Kernel, Scale};
+use svr_bench::{sweep, BenchArgs, Figure};
+use svr_sim::SimConfig;
+use svr_workloads::{GraphInput, Kernel};
 
 fn main() {
-    let scale = Scale::Small;
-    let kernels = [
+    let args = BenchArgs::parse("calibrate");
+    let kernels = vec![
         Kernel::Pr(GraphInput::Kr),
         Kernel::Bfs(GraphInput::Ur),
         Kernel::Cc(GraphInput::Tw),
@@ -18,35 +20,61 @@ fn main() {
         Kernel::Camel,
         Kernel::NasCg,
     ];
-    let configs = [
+    let configs = vec![
         SimConfig::inorder(),
         SimConfig::imp(),
         SimConfig::ooo(),
         SimConfig::svr(16),
         SimConfig::svr(64),
     ];
-    println!(
-        "{:10} {:>8} {:>8} {:>8} {:>8} {:>8}  (CPI)",
-        "workload", "InO", "IMP", "OoO", "SVR16", "SVR64"
-    );
-    for k in kernels {
-        print!("{:10}", k.name());
-        let t0 = Instant::now();
-        let mut insts = 0;
-        for c in &configs {
-            let r = run_kernel(k, scale, c);
-            insts += r.core.retired;
-            print!(" {:8.2}", r.cpi());
-            assert!(r.verified, "{} failed check", k.name());
-        }
-        let dt = t0.elapsed().as_secs_f64();
-        println!("   [{:.1} Minst/s]", insts as f64 / dt / 1e6);
+    let t0 = Instant::now();
+    let res = sweep(kernels.clone(), &args)
+        .configs(configs.clone())
+        .run(args.threads);
+    res.assert_verified();
+    let dt = t0.elapsed().as_secs_f64();
+
+    let mut fig = Figure::new("calibrate", "Calibration — CPI on headline workloads", &args);
+    fig.section("", "workload", &["InO", "IMP", "OoO", "SVR16", "SVR64"]);
+    let mut insts = 0u64;
+    for (wi, k) in kernels.iter().enumerate() {
+        let row: Vec<f64> = (0..configs.len())
+            .map(|ci| {
+                let r = res.report(ci, wi);
+                insts += r.core.retired;
+                r.cpi()
+            })
+            .collect();
+        fig.row(&k.name(), &row);
     }
-    // SVR internals on PR_KR.
-    let r = run_kernel(Kernel::Pr(GraphInput::Kr), scale, &SimConfig::svr(16));
+    if res.stats.simulated > 0 {
+        fig.note(&format!(
+            "throughput: {:.1} Minst/s across {} threads",
+            insts as f64 / dt / 1e6,
+            args.threads
+        ));
+    }
+
+    // SVR internals on PR_KR (config index 3 = SVR16, workload index 0).
+    let r = res.report(3, 0);
     let s = r.core.svr;
-    println!("PR_KR SVR16: rounds={} svis={} lanes={} lane_loads={} waiting={} retargets={} timeouts={} hslr_term={} masked={} banned_sup={} srf_recycles={} starved={} acc={:?}",
-        s.prm_rounds, s.svis, s.lanes, s.lane_loads, s.waiting_suppressed, s.retargets,
-        s.timeouts, s.hslr_terminations, s.masked_lanes, s.banned_suppressed,
-        s.srf_recycles, s.srf_starved, r.svr_accuracy());
+    fig.note(&format!(
+        "PR_KR SVR16: rounds={} svis={} lanes={} lane_loads={} waiting={} retargets={} \
+         timeouts={} hslr_term={} masked={} banned_sup={} srf_recycles={} starved={} acc={:?}",
+        s.prm_rounds,
+        s.svis,
+        s.lanes,
+        s.lane_loads,
+        s.waiting_suppressed,
+        s.retargets,
+        s.timeouts,
+        s.hslr_terminations,
+        s.masked_lanes,
+        s.banned_suppressed,
+        s.srf_recycles,
+        s.srf_starved,
+        r.svr_accuracy()
+    ));
+    fig.attach(&res);
+    fig.finish();
 }

@@ -6,34 +6,34 @@
 //! cargo run --release -p svr-bench --bin dump_workload -- --list
 //! ```
 
-use svr_bench::scale_from_args;
+use svr_bench::BenchArgs;
 use svr_isa::encode::encode_program;
 use svr_workloads::{irregular_suite, regular_suite, Kernel};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
     let all: Vec<Kernel> = irregular_suite().into_iter().chain(regular_suite()).collect();
-    if args.iter().any(|a| a == "--list") {
+    if raw.iter().any(|a| a == "--list") {
         for k in &all {
             println!("{}", k.name());
         }
         return;
     }
-    let name = args
-        .get(1)
-        .filter(|a| !a.starts_with("--"))
-        .unwrap_or_else(|| {
-            eprintln!("usage: dump_workload <name>|--list [--scale tiny|small|full]");
-            std::process::exit(2);
-        });
-    let kernel = all
-        .iter()
-        .find(|k| k.name() == *name)
-        .unwrap_or_else(|| {
-            eprintln!("unknown workload {name}; try --list");
-            std::process::exit(2);
-        });
-    let w = kernel.build(scale_from_args());
+    let shared: Vec<String> = raw.into_iter().filter(|a| a != "--list").collect();
+    let args = BenchArgs::try_parse(&shared).unwrap_or_else(|e| {
+        eprintln!("dump_workload: {e}");
+        eprintln!("usage: dump_workload <name>|--list [--scale tiny|small|full]");
+        std::process::exit(2);
+    });
+    let name = args.positional.first().unwrap_or_else(|| {
+        eprintln!("usage: dump_workload <name>|--list [--scale tiny|small|full]");
+        std::process::exit(2);
+    });
+    let kernel = all.iter().find(|k| k.name() == *name).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}; try --list");
+        std::process::exit(2);
+    });
+    let w = kernel.build(args.scale);
     println!("{}", w.program);
     match encode_program(&w.program) {
         Ok(words) => {

@@ -7,35 +7,43 @@
 //! bandwidth-queued, so this is the steady-state contention equivalent) and
 //! report how per-core SVR speedup holds up as cores are added.
 
-use svr_bench::{assert_verified, scale_from_args};
-use svr_sim::{harmonic_mean_speedup, run_parallel, SimConfig};
+use svr_bench::{sweep, BenchArgs, Figure};
+use svr_sim::SimConfig;
 use svr_workloads::irregular_suite;
 
 fn main() {
-    let scale = scale_from_args();
-    let suite = irregular_suite();
-    println!("# Extension — per-core SVR speedup with M cores sharing 50 GiB/s");
-    println!(
-        "{:6} {:>10} {:>8} {:>8}",
-        "cores", "GiB/s/core", "SVR16", "SVR64"
-    );
-    for &cores in &[1u32, 2, 4] {
-        let bw = 50.0 / cores as f64;
-        let base_cfg = SimConfig::inorder().with_bandwidth(bw);
-        let base_jobs: Vec<_> = suite
-            .iter()
-            .map(|k| (*k, scale, base_cfg.clone()))
-            .collect();
-        let base = run_parallel(base_jobs, 1);
-        assert_verified(&base);
-        let mut row = Vec::new();
-        for n in [16usize, 64] {
-            let cfg = SimConfig::svr(n).with_bandwidth(bw);
-            let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
-            let reports = run_parallel(jobs, 1);
-            assert_verified(&reports);
-            row.push(harmonic_mean_speedup(&base, &reports));
-        }
-        println!("{:6} {:>10.2} {:>8.2} {:>8.2}", cores, bw, row[0], row[1]);
+    let args = BenchArgs::parse("ext_multicore");
+    let core_counts = [1u32, 2, 4];
+    // Triples of (InO, SVR16, SVR64) per core count, flattened.
+    let mut configs = Vec::new();
+    for &cores in &core_counts {
+        let bw = 50.0 / f64::from(cores);
+        configs.push(SimConfig::inorder().with_bandwidth(bw));
+        configs.push(SimConfig::svr(16).with_bandwidth(bw));
+        configs.push(SimConfig::svr(64).with_bandwidth(bw));
     }
+    let res = sweep(irregular_suite(), &args)
+        .configs(configs)
+        .run(args.threads);
+    res.assert_verified();
+
+    let mut fig = Figure::new(
+        "ext_multicore",
+        "Extension — per-core SVR speedup with M cores sharing 50 GiB/s",
+        &args,
+    );
+    fig.section("", "cores", &["GiB/s/core", "SVR16", "SVR64"]);
+    for (i, cores) in core_counts.iter().enumerate() {
+        let base = 3 * i;
+        fig.row(
+            &cores.to_string(),
+            &[
+                50.0 / f64::from(*cores),
+                res.speedup(base, base + 1),
+                res.speedup(base, base + 2),
+            ],
+        );
+    }
+    fig.attach(&res);
+    fig.finish();
 }

@@ -1,29 +1,33 @@
 //! Fig. 1: harmonic-mean speedup (IPC) and normalized whole-system energy
 //! for InO, IMP, OoO and SVR-8..128 over the 33-workload irregular suite.
-use svr_bench::{assert_verified, paper_configs, scale_from_args};
-use svr_sim::{harmonic_mean_speedup, run_parallel, RunReport};
+use svr_bench::{paper_configs, sweep, BenchArgs, Figure};
 use svr_workloads::irregular_suite;
 
 fn main() {
-    let scale = scale_from_args();
-    let suite = irregular_suite();
-    println!("# Fig. 1 — average speedup and normalized energy vs in-order baseline");
-    println!("{:8} {:>8} {:>12}", "config", "speedup", "norm-energy");
-    let mut base: Option<(Vec<RunReport>, f64)> = None;
-    for cfg in paper_configs() {
-        let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
-        let reports = run_parallel(jobs, 1);
-        assert_verified(&reports);
-        let energy: f64 = reports.iter().map(|r| r.energy.total_nj()).sum();
-        match &base {
-            None => {
-                println!("{:8} {:>8.2} {:>12.2}", cfg.label(), 1.0, 1.0);
-                base = Some((reports, energy));
-            }
-            Some((b, be)) => {
-                let s = harmonic_mean_speedup(b, &reports);
-                println!("{:8} {:>8.2} {:>12.2}", cfg.label(), s, energy / be);
-            }
-        }
+    let args = BenchArgs::parse("fig01_headline");
+    let configs = paper_configs();
+    let res = sweep(irregular_suite(), &args)
+        .configs(configs.clone())
+        .run(args.threads);
+    res.assert_verified();
+
+    let mut fig = Figure::new(
+        "fig01_headline",
+        "Fig. 1 — average speedup and normalized energy vs in-order baseline",
+        &args,
+    );
+    fig.section("", "config", &["speedup", "norm-energy"]);
+    let energy = |ci: usize| -> f64 {
+        res.config_reports(ci)
+            .iter()
+            .map(|r| r.energy.total_nj())
+            .sum()
+    };
+    let base_energy = energy(0);
+    for (ci, cfg) in configs.iter().enumerate() {
+        let speedup = if ci == 0 { 1.0 } else { res.speedup(0, ci) };
+        fig.row(&cfg.label(), &[speedup, energy(ci) / base_energy]);
     }
+    fig.attach(&res);
+    fig.finish();
 }

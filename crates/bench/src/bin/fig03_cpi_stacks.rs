@@ -1,17 +1,17 @@
 //! Fig. 3: CPI stacks (base/branch/other vs mem-dram) for the in-order and
 //! out-of-order baselines, grouped as in the paper.
-use svr_bench::{assert_verified, scale_from_args};
-use svr_sim::{run_parallel, SimConfig};
+use svr_bench::{sweep, BenchArgs, Figure};
+use svr_sim::{RunReport, SimConfig};
 use svr_workloads::{irregular_suite, Group};
 
 fn main() {
-    let scale = scale_from_args();
+    let args = BenchArgs::parse("fig03_cpi_stacks");
     let suite = irregular_suite();
-    println!("# Fig. 3 — CPI stacks, in-order vs out-of-order");
-    println!(
-        "{:8} {:>6} {:>10} {:>10} {:>10}",
-        "group", "core", "cpi", "mem-dram", "other"
-    );
+    let res = sweep(suite.clone(), &args)
+        .configs(vec![SimConfig::inorder(), SimConfig::ooo()])
+        .run(args.threads);
+    res.assert_verified();
+
     let groups = [
         Group::Bc,
         Group::Bfs,
@@ -20,14 +20,22 @@ fn main() {
         Group::Sssp,
         Group::HpcDb,
     ];
-    for (name, cfg) in [("InO", SimConfig::inorder()), ("OoO", SimConfig::ooo())] {
-        let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
-        let reports = run_parallel(jobs, 1);
-        assert_verified(&reports);
+    let mut fig = Figure::new(
+        "fig03_cpi_stacks",
+        "Fig. 3 — CPI stacks, in-order vs out-of-order",
+        &args,
+    );
+    for (ci, core) in ["InO", "OoO"].iter().enumerate() {
+        let reports = res.config_reports(ci);
+        fig.section(
+            &format!("{core} baseline"),
+            "group",
+            &["cpi", "mem-dram", "other"],
+        );
         let mut total_dram = 0.0;
         let mut total_cpi = 0.0;
         for g in groups {
-            let rs: Vec<_> = suite
+            let rs: Vec<&&RunReport> = suite
                 .iter()
                 .zip(&reports)
                 .filter(|(k, _)| k.group() == g)
@@ -39,24 +47,20 @@ fn main() {
                 .map(|r| r.core.stack.mem_dram as f64 / r.core.retired as f64)
                 .sum::<f64>()
                 / rs.len() as f64;
-            println!(
-                "{:8} {:>6} {:>10.2} {:>10.2} {:>10.2}",
-                g.label(),
-                name,
-                cpi,
-                dram,
-                cpi - dram
-            );
+            fig.row(g.label(), &[cpi, dram, cpi - dram]);
             total_dram += dram;
             total_cpi += cpi;
         }
-        println!(
-            "{:8} {:>6} {:>10.2} {:>10.2} {:>10.2}",
+        let n = groups.len() as f64;
+        fig.row(
             "Avg.",
-            name,
-            total_cpi / groups.len() as f64,
-            total_dram / groups.len() as f64,
-            (total_cpi - total_dram) / groups.len() as f64
+            &[
+                total_cpi / n,
+                total_dram / n,
+                (total_cpi - total_dram) / n,
+            ],
         );
     }
+    fig.attach(&res);
+    fig.finish();
 }

@@ -1,36 +1,41 @@
 //! Fig. 11: cycles-per-instruction for every workload under every
 //! configuration (lower is better).
-use svr_bench::{assert_verified, paper_configs, print_header, print_row, scale_from_args};
-use svr_sim::run_parallel;
+use svr_bench::{paper_configs, sweep, BenchArgs, Figure};
 use svr_workloads::irregular_suite;
 
 fn main() {
-    let scale = scale_from_args();
+    let args = BenchArgs::parse("fig11_cpi");
     let suite = irregular_suite();
     let configs = paper_configs();
-    println!("# Fig. 11 — CPI per workload (lower is better)");
+    let res = sweep(suite.clone(), &args)
+        .configs(configs.clone())
+        .run(args.threads);
+    res.assert_verified();
+
+    let mut fig = Figure::new(
+        "fig11_cpi",
+        "Fig. 11 — CPI per workload (lower is better)",
+        &args,
+    );
     let labels: Vec<String> = configs.iter().map(|c| c.label()).collect();
-    print_header(
+    fig.section(
+        "",
         "workload",
         &labels.iter().map(String::as_str).collect::<Vec<_>>(),
     );
-    let mut per_cfg_cpi = vec![Vec::new(); configs.len()];
-    let mut all: Vec<Vec<f64>> = vec![Vec::new(); suite.len()];
-    for (ci, cfg) in configs.iter().enumerate() {
-        let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
-        let reports = run_parallel(jobs, 1);
-        assert_verified(&reports);
-        for (wi, r) in reports.iter().enumerate() {
-            all[wi].push(r.cpi());
-            per_cfg_cpi[ci].push(r.cpi());
-        }
-    }
     for (wi, k) in suite.iter().enumerate() {
-        print_row(&k.name(), &all[wi]);
+        let row: Vec<f64> = (0..configs.len())
+            .map(|ci| res.report(ci, wi).cpi())
+            .collect();
+        fig.row(&k.name(), &row);
     }
-    let avg: Vec<f64> = per_cfg_cpi
-        .iter()
-        .map(|v| v.iter().sum::<f64>() / v.len() as f64)
+    let avg: Vec<f64> = (0..configs.len())
+        .map(|ci| {
+            let rs = res.config_reports(ci);
+            rs.iter().map(|r| r.cpi()).sum::<f64>() / rs.len() as f64
+        })
         .collect();
-    print_row("Avg.", &avg);
+    fig.row("Avg.", &avg);
+    fig.attach(&res);
+    fig.finish();
 }

@@ -1,34 +1,45 @@
 //! Fig. 12: whole-system energy per committed instruction (nJ/instr,
 //! lower is better) for every workload under every configuration.
-use svr_bench::{assert_verified, paper_configs, print_header, print_row, scale_from_args};
-use svr_sim::run_parallel;
+use svr_bench::{paper_configs, sweep, BenchArgs, Figure};
 use svr_workloads::irregular_suite;
 
 fn main() {
-    let scale = scale_from_args();
+    let args = BenchArgs::parse("fig12_energy");
     let suite = irregular_suite();
     let configs = paper_configs();
-    println!("# Fig. 12 — energy per committed instruction (nJ, lower is better)");
+    let res = sweep(suite.clone(), &args)
+        .configs(configs.clone())
+        .run(args.threads);
+    res.assert_verified();
+
+    let mut fig = Figure::new(
+        "fig12_energy",
+        "Fig. 12 — energy per committed instruction (nJ, lower is better)",
+        &args,
+    );
     let labels: Vec<String> = configs.iter().map(|c| c.label()).collect();
-    print_header(
+    fig.section(
+        "",
         "workload",
         &labels.iter().map(String::as_str).collect::<Vec<_>>(),
     );
-    let mut all: Vec<Vec<f64>> = vec![Vec::new(); suite.len()];
-    for cfg in &configs {
-        let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
-        let reports = run_parallel(jobs, 1);
-        assert_verified(&reports);
-        for (wi, r) in reports.iter().enumerate() {
-            all[wi].push(r.nj_per_inst());
-        }
-    }
     for (wi, k) in suite.iter().enumerate() {
-        print_row(&k.name(), &all[wi]);
+        let row: Vec<f64> = (0..configs.len())
+            .map(|ci| res.report(ci, wi).nj_per_inst())
+            .collect();
+        fig.row(&k.name(), &row);
     }
     let n = suite.len() as f64;
     let avg: Vec<f64> = (0..configs.len())
-        .map(|ci| all.iter().map(|row| row[ci]).sum::<f64>() / n)
+        .map(|ci| {
+            res.config_reports(ci)
+                .iter()
+                .map(|r| r.nj_per_inst())
+                .sum::<f64>()
+                / n
+        })
         .collect();
-    print_row("Avg.", &avg);
+    fig.row("Avg.", &avg);
+    fig.attach(&res);
+    fig.finish();
 }

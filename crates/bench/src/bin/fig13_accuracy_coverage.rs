@@ -1,9 +1,9 @@
 //! Fig. 13: (a) prefetch accuracy of IMP and SVR-16/64 with and without
 //! loop-bound prediction; (b) coverage — DRAM loads by origin normalized to
 //! the in-order baseline's demand loads.
-use svr_bench::{assert_verified, scale_from_args};
+use svr_bench::{sweep, BenchArgs, Figure};
 use svr_core::{LoopBoundMode, SvrConfig};
-use svr_sim::{run_parallel, RunReport, SimConfig};
+use svr_sim::{RunReport, SimConfig};
 use svr_workloads::{irregular_suite, Group, Kernel};
 
 fn svr_maxlength(n: usize) -> SimConfig {
@@ -15,18 +15,18 @@ fn svr_maxlength(n: usize) -> SimConfig {
 
 fn group_rows<'a>(
     suite: &'a [Kernel],
-    reports: &'a [RunReport],
+    reports: &'a [&'a RunReport],
     g: Group,
 ) -> impl Iterator<Item = &'a RunReport> {
     suite
         .iter()
         .zip(reports)
         .filter(move |(k, _)| k.group() == g)
-        .map(|(_, r)| r)
+        .map(|(_, r)| *r)
 }
 
 fn main() {
-    let scale = scale_from_args();
+    let args = BenchArgs::parse("fig13_accuracy_coverage");
     let suite = irregular_suite();
     let groups = [
         Group::Bc,
@@ -36,80 +36,80 @@ fn main() {
         Group::Sssp,
         Group::HpcDb,
     ];
-    let configs: Vec<(&str, SimConfig)> = vec![
-        ("IMP", SimConfig::imp()),
-        ("SVR16-Max", svr_maxlength(16)),
-        ("SVR16", SimConfig::svr(16)),
-        ("SVR64-Max", svr_maxlength(64)),
-        ("SVR64", SimConfig::svr(64)),
-    ];
-    let mut results: Vec<(String, Vec<RunReport>)> = Vec::new();
-    let base_jobs: Vec<_> = suite
-        .iter()
-        .map(|k| (*k, scale, SimConfig::inorder()))
-        .collect();
-    let base = run_parallel(base_jobs, 1);
-    assert_verified(&base);
-    for (name, cfg) in &configs {
-        let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
-        let reports = run_parallel(jobs, 1);
-        assert_verified(&reports);
-        results.push((name.to_string(), reports));
-    }
+    // Config 0 is the coverage baseline; 1.. are the plotted prefetchers.
+    let names = ["IMP", "SVR16-Max", "SVR16", "SVR64-Max", "SVR64"];
+    let res = sweep(suite.clone(), &args)
+        .configs(vec![
+            SimConfig::inorder(),
+            SimConfig::imp(),
+            svr_maxlength(16),
+            SimConfig::svr(16),
+            svr_maxlength(64),
+            SimConfig::svr(64),
+        ])
+        .run(args.threads);
+    res.assert_verified();
+    let base = res.config_reports(0);
 
-    println!("# Fig. 13a — prefetch accuracy (fraction of prefetched lines used)");
-    print!("{:8}", "group");
-    for (name, _) in &results {
-        print!(" {name:>10}");
-    }
-    println!();
+    let mut fig = Figure::new(
+        "fig13_accuracy_coverage",
+        "Fig. 13 — prefetch accuracy and coverage",
+        &args,
+    );
+    fig.section(
+        "Fig. 13a — prefetch accuracy (% of prefetched lines used)",
+        "group",
+        &names,
+    );
     for g in groups {
-        print!("{:8}", g.label());
-        for (name, reports) in &results {
-            let accs: Vec<f64> = group_rows(&suite, reports, g)
+        let mut row = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let reports = res.config_reports(i + 1);
+            let accs: Vec<f64> = group_rows(&suite, &reports, g)
                 .filter_map(|r| {
-                    if name == "IMP" {
+                    if *name == "IMP" {
                         r.mem.imp.accuracy()
                     } else {
                         r.svr_accuracy()
                     }
                 })
                 .collect();
-            let mean = if accs.is_empty() {
+            row.push(if accs.is_empty() {
                 f64::NAN
             } else {
-                accs.iter().sum::<f64>() / accs.len() as f64
-            };
-            print!(" {:>9.0}%", mean * 100.0);
+                accs.iter().sum::<f64>() / accs.len() as f64 * 100.0
+            });
         }
-        println!();
+        fig.row(g.label(), &row);
     }
 
-    println!();
-    println!("# Fig. 13b — coverage: DRAM demand loads remaining + prefetch traffic,");
-    println!("#           normalized to the in-order baseline's DRAM demand loads");
-    println!(
-        "{:8} {:>10} {:>10} {:>10} {:>10}",
-        "group", "config", "demand", "prefetch", "total"
+    fig.section(
+        "Fig. 13b — coverage: % DRAM demand loads remaining / prefetch traffic / total, \
+         normalized to the in-order baseline's DRAM demand loads",
+        "group/config",
+        &["demand", "prefetch", "total"],
     );
     for g in groups {
-        for (name, reports) in &results {
+        for (i, name) in names.iter().enumerate() {
+            let reports = res.config_reports(i + 1);
             let mut demand = 0.0;
             let mut pf = 0.0;
             let mut base_demand = 0.0;
-            for (r, b) in group_rows(&suite, reports, g).zip(group_rows(&suite, &base, g)) {
+            for (r, b) in group_rows(&suite, &reports, g).zip(group_rows(&suite, &base, g)) {
                 demand += r.mem.dram_demand_data as f64;
                 pf += (r.mem.dram_svr_pf + r.mem.dram_imp_pf) as f64;
                 base_demand += b.mem.dram_demand_data as f64;
             }
-            println!(
-                "{:8} {:>10} {:>9.0}% {:>9.0}% {:>9.0}%",
-                g.label(),
-                name,
-                demand / base_demand * 100.0,
-                pf / base_demand * 100.0,
-                (demand + pf) / base_demand * 100.0
+            fig.row(
+                &format!("{}/{}", g.label(), name),
+                &[
+                    demand / base_demand * 100.0,
+                    pf / base_demand * 100.0,
+                    (demand + pf) / base_demand * 100.0,
+                ],
             );
         }
     }
+    fig.attach(&res);
+    fig.finish();
 }

@@ -1,23 +1,31 @@
 //! Fig. 14: SVR overhead on regular (SPEC-like) workloads — normalized IPC
 //! of SVR-16 vs the in-order baseline; the paper reports a 1% average
 //! degradation.
-use svr_bench::scale_from_args;
-use svr_sim::{run_kernel, SimConfig};
+use svr_bench::{sweep, BenchArgs, Figure};
+use svr_sim::SimConfig;
 use svr_workloads::regular_suite;
 
 fn main() {
-    let scale = scale_from_args();
-    println!("# Fig. 14 — normalized IPC of SVR-16 on SPEC-like regular workloads");
-    println!("{:12} {:>10}", "workload", "norm-IPC");
-    let mut ratios = Vec::new();
-    for k in regular_suite() {
-        let base = run_kernel(k, scale, &SimConfig::inorder());
-        let svr = run_kernel(k, scale, &SimConfig::svr(16));
-        assert!(base.verified && svr.verified, "{} failed", k.name());
-        let ratio = svr.ipc() / base.ipc();
-        ratios.push(ratio);
-        println!("{:12} {:>10.3}", k.name(), ratio);
+    let args = BenchArgs::parse("fig14_spec_overhead");
+    let suite = regular_suite();
+    let res = sweep(suite.clone(), &args)
+        .configs(vec![SimConfig::inorder(), SimConfig::svr(16)])
+        .run(args.threads);
+    res.assert_verified();
+
+    let mut fig = Figure::new(
+        "fig14_spec_overhead",
+        "Fig. 14 — normalized IPC of SVR-16 on SPEC-like regular workloads",
+        &args,
+    );
+    fig.section("", "workload", &["norm-IPC"]);
+    let mut inv = 0.0;
+    for (wi, k) in suite.iter().enumerate() {
+        let ratio = res.report(1, wi).ipc() / res.report(0, wi).ipc();
+        inv += 1.0 / ratio;
+        fig.row(&k.name(), &[ratio]);
     }
-    let hmean = ratios.len() as f64 / ratios.iter().map(|r| 1.0 / r).sum::<f64>();
-    println!("{:12} {:>10.3}", "H-mean", hmean);
+    fig.row("H-mean", &[suite.len() as f64 / inv]);
+    fig.attach(&res);
+    fig.finish();
 }

@@ -1,13 +1,13 @@
 //! Fig. 15: normalized IPC of SVR's loop-bound prediction mechanisms
 //! (LBD+Wait, Maxlength, LBD+Maxlength, LBD+CV, EWMA, Tournament) for
 //! SVR-16 and SVR-64, grouped as in the paper.
-use svr_bench::{assert_verified, scale_from_args};
+use svr_bench::{sweep, BenchArgs, Figure};
 use svr_core::{LoopBoundMode, SvrConfig};
-use svr_sim::{run_parallel, SimConfig};
+use svr_sim::SimConfig;
 use svr_workloads::{irregular_suite, Group};
 
 fn main() {
-    let scale = scale_from_args();
+    let args = BenchArgs::parse("fig15_loop_bounds");
     let suite = irregular_suite();
     let modes = [
         ("LBD+Wait", LoopBoundMode::LbdWait),
@@ -22,31 +22,37 @@ fn main() {
         ("CC+PR", vec![Group::Cc, Group::Pr]),
         ("HPC-DB", vec![Group::HpcDb]),
     ];
-    let base_jobs: Vec<_> = suite
-        .iter()
-        .map(|k| (*k, scale, SimConfig::inorder()))
-        .collect();
-    let base = run_parallel(base_jobs, 1);
-    assert_verified(&base);
+    // Config 0 is the baseline; then 6 modes × {16, 64}.
+    let mut configs = vec![SimConfig::inorder()];
     for n in [16usize, 64] {
-        println!(
-            "# Fig. 15{} — normalized IPC for SVR-{n} loop-bound mechanisms",
-            if n == 16 { "a" } else { "b" }
-        );
-        print!("{:12}", "mode");
-        for (gname, _) in &group_sets {
-            print!(" {gname:>12}");
-        }
-        println!(" {:>12}", "H-mean");
-        for (mname, mode) in modes {
-            let cfg = SimConfig::svr_with(SvrConfig {
+        for (_, mode) in modes {
+            configs.push(SimConfig::svr_with(SvrConfig {
                 loop_bound_mode: mode,
                 ..SvrConfig::with_length(n)
-            });
-            let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
-            let reports = run_parallel(jobs, 1);
-            assert_verified(&reports);
-            print!("{mname:12}");
+            }));
+        }
+    }
+    let res = sweep(suite.clone(), &args).configs(configs).run(args.threads);
+    res.assert_verified();
+    let base = res.config_reports(0);
+
+    let mut fig = Figure::new(
+        "fig15_loop_bounds",
+        "Fig. 15 — normalized IPC per loop-bound mechanism",
+        &args,
+    );
+    for (half, n) in [16usize, 64].iter().enumerate() {
+        fig.section(
+            &format!(
+                "Fig. 15{} — normalized IPC for SVR-{n} loop-bound mechanisms",
+                if *n == 16 { "a" } else { "b" }
+            ),
+            "mode",
+            &["BC+BFS+SSSP", "CC+PR", "HPC-DB", "H-mean"],
+        );
+        for (mi, (mname, _)) in modes.iter().enumerate() {
+            let reports = res.config_reports(1 + half * modes.len() + mi);
+            let mut row = Vec::new();
             for (_, gs) in &group_sets {
                 let mut inv = 0.0;
                 let mut count = 0;
@@ -56,15 +62,17 @@ fn main() {
                         count += 1;
                     }
                 }
-                print!(" {:>12.2}", count as f64 / inv);
+                row.push(count as f64 / inv);
             }
             let inv: f64 = reports
                 .iter()
                 .zip(&base)
                 .map(|(r, b)| b.ipc() / r.ipc())
                 .sum();
-            println!(" {:>12.2}", reports.len() as f64 / inv);
+            row.push(reports.len() as f64 / inv);
+            fig.row(mname, &row);
         }
-        println!();
     }
+    fig.attach(&res);
+    fig.finish();
 }

@@ -1,34 +1,39 @@
 //! Fig. 16: impact of the number of scalars entering execute per cycle
 //! (1, 2, 4, 8) for SVR-16 and SVR-64 — flat in the paper, because runahead
 //! is memory-bound.
-use svr_bench::{assert_verified, scale_from_args};
+use svr_bench::{sweep, BenchArgs, Figure};
 use svr_core::SvrConfig;
-use svr_sim::{harmonic_mean_speedup, run_parallel, SimConfig};
+use svr_sim::SimConfig;
 use svr_workloads::irregular_suite;
 
 fn main() {
-    let scale = scale_from_args();
-    let suite = irregular_suite();
-    let base_jobs: Vec<_> = suite
-        .iter()
-        .map(|k| (*k, scale, SimConfig::inorder()))
-        .collect();
-    let base = run_parallel(base_jobs, 1);
-    assert_verified(&base);
-    println!("# Fig. 16 — normalized IPC vs scalars per vector unit");
-    println!("{:6} {:>8} {:>8}", "spc", "SVR16", "SVR64");
-    for spc in [1u32, 2, 4, 8] {
-        let mut row = Vec::new();
+    let args = BenchArgs::parse("fig16_vector_units");
+    let spcs = [1u32, 2, 4, 8];
+    // Config 0 is the baseline; then (spc, n) pairs in row-major order.
+    let mut configs = vec![SimConfig::inorder()];
+    for &spc in &spcs {
         for n in [16usize, 64] {
-            let cfg = SimConfig::svr_with(SvrConfig {
+            configs.push(SimConfig::svr_with(SvrConfig {
                 scalars_per_cycle: spc,
                 ..SvrConfig::with_length(n)
-            });
-            let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
-            let reports = run_parallel(jobs, 1);
-            assert_verified(&reports);
-            row.push(harmonic_mean_speedup(&base, &reports));
+            }));
         }
-        println!("{:6} {:>8.2} {:>8.2}", spc, row[0], row[1]);
     }
+    let res = sweep(irregular_suite(), &args)
+        .configs(configs)
+        .run(args.threads);
+    res.assert_verified();
+
+    let mut fig = Figure::new(
+        "fig16_vector_units",
+        "Fig. 16 — normalized IPC vs scalars per vector unit",
+        &args,
+    );
+    fig.section("", "spc", &["SVR16", "SVR64"]);
+    for (si, spc) in spcs.iter().enumerate() {
+        let row: Vec<f64> = (0..2).map(|half| res.speedup(0, 1 + si * 2 + half)).collect();
+        fig.row(&spc.to_string(), &row);
+    }
+    fig.attach(&res);
+    fig.finish();
 }

@@ -1,32 +1,41 @@
 //! Fig. 17: harmonic-mean speedup over the in-order baseline while sweeping
-//! L1 MSHRs (1..32) and page-table walkers (2/4/6), for SVR-16 and SVR-64.
-use svr_bench::{assert_verified, scale_from_args};
-use svr_sim::{harmonic_mean_speedup, run_parallel, SimConfig};
+//! L1 MSHRs (1..32) and page-table walkers (2/4), for SVR-16 and SVR-64.
+use svr_bench::{sweep, BenchArgs, Figure};
+use svr_sim::SimConfig;
 use svr_workloads::irregular_suite;
 
 fn main() {
-    let scale = scale_from_args();
+    let args = BenchArgs::parse("fig17_mshr_ptw");
     let suite = irregular_suite();
-    println!("# Fig. 17 — speedup vs #MSHRs and #PTWs (baseline: in-order, same MSHRs)");
-    println!("{:6} {:4} {:>8} {:>8}", "mshrs", "ptw", "SVR16", "SVR64");
-    for &mshrs in &[1usize, 4, 8, 16, 32] {
-        for &ptw in &[2usize, 4] {
-            let base_cfg = SimConfig::inorder().with_mshrs(mshrs).with_ptws(ptw);
-            let base_jobs: Vec<_> = suite
-                .iter()
-                .map(|k| (*k, scale, base_cfg.clone()))
-                .collect();
-            let base = run_parallel(base_jobs, 1);
-            assert_verified(&base);
-            let mut row = Vec::new();
-            for n in [16usize, 64] {
-                let cfg = SimConfig::svr(n).with_mshrs(mshrs).with_ptws(ptw);
-                let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
-                let reports = run_parallel(jobs, 1);
-                assert_verified(&reports);
-                row.push(harmonic_mean_speedup(&base, &reports));
-            }
-            println!("{:6} {:4} {:>8.2} {:>8.2}", mshrs, ptw, row[0], row[1]);
+    let mshr_axis = [1usize, 4, 8, 16, 32];
+    let ptw_axis = [2usize, 4];
+    // Triples of (InO, SVR16, SVR64) per (mshrs, ptw) design point, flattened.
+    let mut configs = Vec::new();
+    for &mshrs in &mshr_axis {
+        for &ptw in &ptw_axis {
+            configs.push(SimConfig::inorder().with_mshrs(mshrs).with_ptws(ptw));
+            configs.push(SimConfig::svr(16).with_mshrs(mshrs).with_ptws(ptw));
+            configs.push(SimConfig::svr(64).with_mshrs(mshrs).with_ptws(ptw));
         }
     }
+    let res = sweep(suite, &args).configs(configs).run(args.threads);
+    res.assert_verified();
+
+    let mut fig = Figure::new(
+        "fig17_mshr_ptw",
+        "Fig. 17 — speedup vs #MSHRs and #PTWs (baseline: in-order, same MSHRs)",
+        &args,
+    );
+    fig.section("", "mshrs/ptw", &["SVR16", "SVR64"]);
+    for (mi, mshrs) in mshr_axis.iter().enumerate() {
+        for (pi, ptw) in ptw_axis.iter().enumerate() {
+            let base = 3 * (mi * ptw_axis.len() + pi);
+            fig.row(
+                &format!("{mshrs}/{ptw}"),
+                &[res.speedup(base, base + 1), res.speedup(base, base + 2)],
+            );
+        }
+    }
+    fig.attach(&res);
+    fig.finish();
 }

@@ -1,30 +1,37 @@
 //! Fig. 18: memory-bandwidth sensitivity — SVR speedup relative to an
 //! in-order baseline with the *same* bandwidth (12.5..100 GiB/s).
-use svr_bench::{assert_verified, scale_from_args};
-use svr_sim::{harmonic_mean_speedup, run_parallel, SimConfig};
+use svr_bench::{sweep, BenchArgs, Figure};
+use svr_sim::SimConfig;
 use svr_workloads::irregular_suite;
 
 fn main() {
-    let scale = scale_from_args();
-    let suite = irregular_suite();
-    println!("# Fig. 18 — speedup vs DRAM bandwidth (baseline: in-order at same bandwidth)");
-    println!("{:>10} {:>8} {:>8}", "GiB/s", "SVR16", "SVR64");
-    for &bw in &[12.5f64, 25.0, 50.0, 100.0] {
-        let base_cfg = SimConfig::inorder().with_bandwidth(bw);
-        let base_jobs: Vec<_> = suite
-            .iter()
-            .map(|k| (*k, scale, base_cfg.clone()))
-            .collect();
-        let base = run_parallel(base_jobs, 1);
-        assert_verified(&base);
-        let mut row = Vec::new();
-        for n in [16usize, 64] {
-            let cfg = SimConfig::svr(n).with_bandwidth(bw);
-            let jobs: Vec<_> = suite.iter().map(|k| (*k, scale, cfg.clone())).collect();
-            let reports = run_parallel(jobs, 1);
-            assert_verified(&reports);
-            row.push(harmonic_mean_speedup(&base, &reports));
-        }
-        println!("{:>10.1} {:>8.2} {:>8.2}", bw, row[0], row[1]);
+    let args = BenchArgs::parse("fig18_bandwidth");
+    let bws = [12.5f64, 25.0, 50.0, 100.0];
+    // Triples of (InO, SVR16, SVR64) per bandwidth, flattened.
+    let mut configs = Vec::new();
+    for &bw in &bws {
+        configs.push(SimConfig::inorder().with_bandwidth(bw));
+        configs.push(SimConfig::svr(16).with_bandwidth(bw));
+        configs.push(SimConfig::svr(64).with_bandwidth(bw));
     }
+    let res = sweep(irregular_suite(), &args)
+        .configs(configs)
+        .run(args.threads);
+    res.assert_verified();
+
+    let mut fig = Figure::new(
+        "fig18_bandwidth",
+        "Fig. 18 — speedup vs DRAM bandwidth (baseline: in-order at same bandwidth)",
+        &args,
+    );
+    fig.section("", "GiB/s", &["SVR16", "SVR64"]);
+    for (bi, bw) in bws.iter().enumerate() {
+        let base = 3 * bi;
+        fig.row(
+            &format!("{bw:.1}"),
+            &[res.speedup(base, base + 1), res.speedup(base, base + 2)],
+        );
+    }
+    fig.attach(&res);
+    fig.finish();
 }

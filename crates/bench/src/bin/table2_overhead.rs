@@ -1,34 +1,30 @@
 //! Table II: SVR hardware overhead in bits, reproduced exactly.
+use svr_bench::{BenchArgs, Figure};
 use svr_core::bit_budget;
 
 fn main() {
-    println!("# Table II — SVR hardware overhead");
-    println!("{:6} {:4} {:>10} {:>8}", "N", "K", "bits", "KiB");
+    let args = BenchArgs::parse("table2_overhead");
+    let mut fig = Figure::new("table2_overhead", "Table II — SVR hardware overhead", &args);
+    fig.section("", "N (K=8)", &["bits", "KiB"]);
     for n in [8u64, 16, 32, 64, 128] {
         let b = bit_budget(n, 8);
-        println!(
-            "{:6} {:4} {:>10} {:>8.2}",
-            n,
-            8,
-            b.total_bits(),
-            b.total_kib()
-        );
+        fig.row(&n.to_string(), &[b.total_bits() as f64, b.total_kib()]);
     }
     let b = bit_budget(16, 8);
-    println!();
-    println!("breakdown for N=16, K=8 (paper: 17738 bits = 2.17 KiB):");
-    println!("  stride detector {:>6} bits", b.stride_detector);
-    println!("  taint tracker   {:>6} bits", b.taint_tracker);
-    println!("  HSLR            {:>6} bits", b.hslr);
-    println!("  SRF             {:>6} bits", b.srf);
-    println!("  LC              {:>6} bits", b.lc);
-    println!("  LBD             {:>6} bits", b.lbd);
-    println!("  scoreboard      {:>6} bits", b.scoreboard);
-    println!("  L1 tags         {:>6} bits", b.l1_tags);
-    println!(
-        "  total           {:>6} bits = {:.2} KiB",
-        b.total_bits(),
-        b.total_kib()
+    fig.section(
+        "breakdown for N=16, K=8 (paper: 17738 bits = 2.17 KiB)",
+        "component",
+        &["bits"],
     );
+    fig.row_u64("stride detector", &[b.stride_detector]);
+    fig.row_u64("taint tracker", &[b.taint_tracker]);
+    fig.row_u64("HSLR", &[b.hslr]);
+    fig.row_u64("SRF", &[b.srf]);
+    fig.row_u64("LC", &[b.lc]);
+    fig.row_u64("LBD", &[b.lbd]);
+    fig.row_u64("scoreboard", &[b.scoreboard]);
+    fig.row_u64("L1 tags", &[b.l1_tags]);
+    fig.row_u64("total", &[b.total_bits()]);
     assert_eq!(b.total_bits(), 17_738);
+    fig.finish();
 }

@@ -1,31 +1,136 @@
-//! Shared helpers for the SVR benchmark harness binaries (one binary per
-//! table/figure of the paper; see DESIGN.md §5 for the index).
+//! Shared infrastructure for the SVR harness binaries (one binary per
+//! table/figure of the paper; see DESIGN.md §5 for the index): command-line
+//! parsing ([`BenchArgs`]), sweep construction honouring the cache flags
+//! ([`sweep`]), and the [`Figure`] recorder that prints each text table and
+//! captures it — together with the raw [`RunReport`]s and sweep counters —
+//! into `results/<name>.json`.
 
-use svr_sim::{RunReport, SimConfig};
-use svr_workloads::Scale;
+use std::path::PathBuf;
+use svr_sim::{Json, RunReport, SimConfig, Sweep, SweepResult, SweepStats};
+use svr_workloads::{Kernel, Scale};
 
-/// Parses `--scale tiny|small|full` from the command line (default small).
+pub mod chart;
+
+/// Parsed command line shared by every harness binary.
 ///
-/// The paper simulates 200 M instructions per workload on Sniper; our
-/// `small` preset uses DRAM-resident footprints with 3 M-instruction runs,
-/// and `full` raises both (see [`Scale`]).
-///
-/// # Panics
-///
-/// Panics on an unknown scale name.
-pub fn scale_from_args() -> Scale {
-    let args: Vec<String> = std::env::args().collect();
-    match args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-    {
-        Some("tiny") => Scale::Tiny,
-        Some("full") => Scale::Full,
-        Some("small") | None => Scale::Small,
-        Some(other) => panic!("unknown --scale {other} (tiny|small|full)"),
+/// ```text
+/// --scale tiny|small|full   problem size (default small)
+/// --threads N               simulation threads (default: all cores)
+/// --json PATH               write the JSON report here (default results/<name>.json)
+/// --no-cache                ignore and do not write the result cache
+/// --cache-dir DIR           result cache directory (default $SVR_CACHE_DIR or results/cache)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Problem size preset.
+    pub scale: Scale,
+    /// Worker threads for sweeps.
+    pub threads: usize,
+    /// Explicit JSON output path (otherwise `results/<name>.json`).
+    pub json: Option<PathBuf>,
+    /// Disables the on-disk result cache.
+    pub no_cache: bool,
+    /// Overrides the result-cache directory.
+    pub cache_dir: Option<PathBuf>,
+    /// Arguments the shared parser did not consume (binary-specific).
+    pub positional: Vec<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            scale: Scale::Small,
+            threads: std::thread::available_parallelism().map_or(1, usize::from),
+            json: None,
+            no_cache: false,
+            cache_dir: None,
+            positional: Vec::new(),
+        }
     }
+}
+
+impl BenchArgs {
+    /// Parses `args` (without the program name). Unknown `--flags` are
+    /// errors; non-flag arguments are collected into `positional`.
+    pub fn try_parse(args: &[String]) -> Result<BenchArgs, String> {
+        let mut out = BenchArgs::default();
+        let mut it = args.iter();
+        let value = |flag: &str, it: &mut std::slice::Iter<String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = value("--scale", &mut it)?;
+                    out.scale = Scale::from_name(&v)
+                        .ok_or_else(|| format!("unknown --scale {v} (tiny|small|full)"))?;
+                }
+                "--threads" => {
+                    let v = value("--threads", &mut it)?;
+                    out.threads = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--threads needs a positive integer, got {v}"))?;
+                }
+                "--json" => out.json = Some(PathBuf::from(value("--json", &mut it)?)),
+                "--no-cache" => out.no_cache = true,
+                "--cache-dir" => {
+                    out.cache_dir = Some(PathBuf::from(value("--cache-dir", &mut it)?));
+                }
+                flag if flag.starts_with("--") && flag != "--" => {
+                    return Err(format!("unknown flag {flag}"));
+                }
+                other => out.positional.push(other.to_string()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process command line; prints usage and exits with status 2
+    /// on a bad flag, or 0 on `--help`.
+    pub fn parse(bin: &str) -> BenchArgs {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{}", usage(bin));
+            std::process::exit(0);
+        }
+        match BenchArgs::try_parse(&args) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("{bin}: {e}\n\n{}", usage(bin));
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// The shared usage text.
+pub fn usage(bin: &str) -> String {
+    format!(
+        "usage: {bin} [options]\n\
+         \n\
+         options:\n\
+         \x20 --scale tiny|small|full  problem size (default small)\n\
+         \x20 --threads N              simulation threads (default: all cores)\n\
+         \x20 --json PATH              JSON report path (default results/<bin>.json)\n\
+         \x20 --no-cache               ignore and do not write the result cache\n\
+         \x20 --cache-dir DIR          cache directory (default $SVR_CACHE_DIR or results/cache)\n\
+         \x20 --help                   show this help"
+    )
+}
+
+/// Builds a [`Sweep`] over `suite` honouring the scale and cache flags.
+pub fn sweep(suite: Vec<Kernel>, args: &BenchArgs) -> Sweep {
+    let mut s = Sweep::new(suite, args.scale);
+    if args.no_cache {
+        s = s.no_cache();
+    } else if let Some(dir) = &args.cache_dir {
+        s = s.cache_dir(dir.clone());
+    }
+    s
 }
 
 /// The paper's eight core configurations in Fig. 1/11/12 order.
@@ -40,24 +145,6 @@ pub fn paper_configs() -> Vec<SimConfig> {
         SimConfig::svr(64),
         SimConfig::svr(128),
     ]
-}
-
-/// Prints one formatted row: a left-aligned label and fixed-width values.
-pub fn print_row(label: &str, values: &[f64]) {
-    print!("{label:12}");
-    for v in values {
-        print!(" {v:8.2}");
-    }
-    println!();
-}
-
-/// Prints the standard header for a per-workload table.
-pub fn print_header(first: &str, cols: &[&str]) {
-    print!("{first:12}");
-    for c in cols {
-        print!(" {c:>8}");
-    }
-    println!();
 }
 
 /// Asserts all runs passed their architectural checks (capped runs pass by
@@ -76,4 +163,279 @@ pub fn assert_verified(reports: &[RunReport]) {
     }
 }
 
-pub mod chart;
+struct Section {
+    heading: String,
+    label: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<Json>)>,
+}
+
+/// Records a figure's tables while printing them, then emits the whole
+/// figure — tables, notes, attached raw runs and sweep counters — as
+/// `results/<name>.json` (or the `--json` path). Printing and recording are
+/// one call, so the text table and the JSON cannot diverge.
+pub struct Figure {
+    name: String,
+    title: String,
+    scale: Scale,
+    json_path: PathBuf,
+    sections: Vec<Section>,
+    notes: Vec<String>,
+    sweep: SweepStats,
+    runs: Vec<RunReport>,
+}
+
+impl Figure {
+    /// Starts a figure named `name` (the binary name) and prints its title.
+    pub fn new(name: &str, title: &str, args: &BenchArgs) -> Figure {
+        println!("# {title}");
+        Figure {
+            name: name.to_string(),
+            title: title.to_string(),
+            scale: args.scale,
+            json_path: args
+                .json
+                .clone()
+                .unwrap_or_else(|| PathBuf::from(format!("results/{name}.json"))),
+            sections: Vec::new(),
+            notes: Vec::new(),
+            sweep: SweepStats::default(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Starts a table section: prints `# heading` (when non-empty) and the
+    /// column header. `label` names the row-label column.
+    pub fn section(&mut self, heading: &str, label: &str, columns: &[&str]) {
+        if !heading.is_empty() {
+            println!("# {heading}");
+        }
+        print!("{label:16}");
+        for c in columns {
+            print!(" {c:>10}");
+        }
+        println!();
+        self.sections.push(Section {
+            heading: heading.to_string(),
+            label: label.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        });
+    }
+
+    fn push_row(&mut self, label: &str, values: Vec<Json>) {
+        self.sections
+            .last_mut()
+            .expect("section() before row()")
+            .rows
+            .push((label.to_string(), values));
+    }
+
+    /// Prints and records one row of real-valued cells (printed as `%.3f`;
+    /// non-finite values print and serialize as null).
+    pub fn row(&mut self, label: &str, values: &[f64]) {
+        print!("{label:16}");
+        for v in values {
+            if v.is_finite() {
+                print!(" {v:>10.3}");
+            } else {
+                print!(" {:>10}", "-");
+            }
+        }
+        println!();
+        self.push_row(label, values.iter().map(|v| Json::f64(*v)).collect());
+    }
+
+    /// Prints and records one row of integer cells (serialized exactly).
+    pub fn row_u64(&mut self, label: &str, values: &[u64]) {
+        print!("{label:16}");
+        for v in values {
+            print!(" {v:>10}");
+        }
+        println!();
+        self.push_row(label, values.iter().map(|v| Json::u64(*v)).collect());
+    }
+
+    /// Prints and records a free-form note line.
+    pub fn note(&mut self, text: &str) {
+        println!("{text}");
+        self.notes.push(text.to_string());
+    }
+
+    /// Folds a sweep's counters and unique reports into the figure. Reports
+    /// already attached (same workload and config label) are kept once.
+    pub fn attach(&mut self, res: &SweepResult) {
+        self.sweep.pairs += res.stats.pairs;
+        self.sweep.points += res.stats.points;
+        self.sweep.simulated += res.stats.simulated;
+        self.sweep.cache_hits += res.stats.cache_hits;
+        self.sweep.deduped += res.stats.deduped;
+        self.sweep.wall_ms += res.stats.wall_ms;
+        for r in res.unique_reports() {
+            if !self
+                .runs
+                .iter()
+                .any(|have| have.workload == r.workload && have.config == r.config)
+            {
+                self.runs.push(r.clone());
+            }
+        }
+    }
+
+    /// Writes the JSON report and prints the sweep summary to stderr.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report cannot be written.
+    pub fn finish(self) {
+        let sections = Json::Arr(
+            self.sections
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("heading".into(), Json::str(&s.heading)),
+                        ("label".into(), Json::str(&s.label)),
+                        (
+                            "columns".into(),
+                            Json::Arr(s.columns.iter().map(|c| Json::str(c)).collect()),
+                        ),
+                        (
+                            "rows".into(),
+                            Json::Arr(
+                                s.rows
+                                    .iter()
+                                    .map(|(label, values)| {
+                                        Json::Obj(vec![
+                                            ("label".into(), Json::str(label)),
+                                            ("values".into(), Json::Arr(values.clone())),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let stats = &self.sweep;
+        let doc = Json::Obj(vec![
+            ("name".into(), Json::str(&self.name)),
+            ("title".into(), Json::str(&self.title)),
+            ("scale".into(), Json::str(self.scale.name())),
+            ("sections".into(), sections),
+            (
+                "notes".into(),
+                Json::Arr(self.notes.iter().map(|n| Json::str(n)).collect()),
+            ),
+            (
+                "sweep".into(),
+                Json::Obj(vec![
+                    ("pairs".into(), Json::u64(stats.pairs as u64)),
+                    ("points".into(), Json::u64(stats.points as u64)),
+                    ("simulated".into(), Json::u64(stats.simulated as u64)),
+                    ("cache_hits".into(), Json::u64(stats.cache_hits as u64)),
+                    ("deduped".into(), Json::u64(stats.deduped as u64)),
+                    ("wall_ms".into(), Json::u64(stats.wall_ms)),
+                ]),
+            ),
+            (
+                "runs".into(),
+                Json::Arr(self.runs.iter().map(svr_sim::report_to_json).collect()),
+            ),
+        ]);
+        if let Some(dir) = self.json_path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create results directory");
+            }
+        }
+        std::fs::write(&self.json_path, doc.pretty())
+            .unwrap_or_else(|e| panic!("write {}: {e}", self.json_path.display()));
+        eprintln!("{}", self.sweep.summary());
+        eprintln!("[sweep] report: {}", self.json_path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = BenchArgs::try_parse(&strs(&[
+            "--scale",
+            "tiny",
+            "--threads",
+            "3",
+            "--json",
+            "out.json",
+            "--no-cache",
+            "--cache-dir",
+            "/tmp/c",
+            "PR_KR",
+        ]))
+        .expect("parses");
+        assert_eq!(a.scale, Scale::Tiny);
+        assert_eq!(a.threads, 3);
+        assert_eq!(a.json.as_deref(), Some(std::path::Path::new("out.json")));
+        assert!(a.no_cache);
+        assert_eq!(a.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/c")));
+        assert_eq!(a.positional, vec!["PR_KR"]);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = BenchArgs::try_parse(&[]).expect("parses");
+        assert_eq!(a.scale, Scale::Small);
+        assert!(a.threads >= 1);
+        assert!(!a.no_cache);
+        assert!(a.json.is_none());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(BenchArgs::try_parse(&strs(&["--frobnicate"])).is_err());
+        assert!(BenchArgs::try_parse(&strs(&["--scale", "huge"])).is_err());
+        assert!(BenchArgs::try_parse(&strs(&["--scale"])).is_err());
+        assert!(BenchArgs::try_parse(&strs(&["--threads", "0"])).is_err());
+        assert!(BenchArgs::try_parse(&strs(&["--threads", "many"])).is_err());
+        assert!(BenchArgs::try_parse(&strs(&["--json"])).is_err());
+    }
+
+    #[test]
+    fn usage_mentions_every_flag() {
+        let u = usage("fig11_cpi");
+        for flag in ["--scale", "--threads", "--json", "--no-cache", "--cache-dir"] {
+            assert!(u.contains(flag), "usage missing {flag}");
+        }
+    }
+
+    #[test]
+    fn sweep_helper_honours_cache_flags() {
+        use svr_workloads::Kernel;
+        // Smoke: a no-cache sweep built through the helper runs and dedupes.
+        let args = BenchArgs {
+            scale: Scale::Tiny,
+            no_cache: true,
+            ..BenchArgs::default()
+        };
+        let res = sweep(vec![Kernel::Camel], &args)
+            .configs(vec![SimConfig::inorder(), SimConfig::inorder()])
+            .run(1);
+        assert_eq!(res.stats.simulated, 1);
+        assert_eq!(res.stats.deduped, 1);
+    }
+
+    #[test]
+    fn paper_configs_have_unique_labels() {
+        let labels: Vec<String> = paper_configs().iter().map(|c| c.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len(), "duplicate labels: {labels:?}");
+        assert_eq!(labels.len(), 8);
+    }
+}

@@ -35,7 +35,7 @@ pub use dram::{DramConfig, DramModel};
 pub use hierarchy::{Access, AccessKind, AccessResult, HitLevel, MemConfig, MemoryHierarchy};
 pub use image::MemImage;
 pub use mshr::MshrFile;
-pub use stats::MemStats;
+pub use stats::{MemStats, PfCounters};
 pub use tlb::{Tlb, TlbConfig, WalkerPool};
 
 /// Cache line size in bytes (Table III: 64 B everywhere).

@@ -1,7 +1,7 @@
 //! Simulation configurations: the Table III design points and every
 //! sensitivity-study variant.
 
-use svr_core::{InOrderConfig, OooConfig, SvrConfig};
+use svr_core::{InOrderConfig, LoopBoundMode, OooConfig, SvrConfig};
 use svr_mem::prefetch::ImpConfig;
 use svr_mem::{DramConfig, MemConfig, TlbConfig};
 
@@ -20,12 +20,56 @@ pub enum CoreChoice {
 
 impl CoreChoice {
     /// Display label used in tables ("InO", "IMP", "OoO", "SVR16", ...).
+    /// SVR engine knobs that differ from the paper's SVR-N design point are
+    /// appended as `/tag` suffixes (e.g. "SVR16/K2/norecycle") so ablation
+    /// and sensitivity rows stay distinguishable.
     pub fn label(&self) -> String {
         match self {
             CoreChoice::InOrder => "InO".into(),
             CoreChoice::Imp => "IMP".into(),
             CoreChoice::OutOfOrder => "OoO".into(),
-            CoreChoice::Svr(c) => format!("SVR{}", c.vector_length),
+            CoreChoice::Svr(c) => {
+                let d = SvrConfig::with_length(c.vector_length);
+                let mut label = format!("SVR{}", c.vector_length);
+                if c.loop_bound_mode != d.loop_bound_mode {
+                    label += match c.loop_bound_mode {
+                        LoopBoundMode::Maxlength => "/max",
+                        LoopBoundMode::LbdWait => "/lbdwait",
+                        LoopBoundMode::LbdMaxlength => "/lbdmax",
+                        LoopBoundMode::LbdCv => "/lbdcv",
+                        LoopBoundMode::Ewma => "/ewma",
+                        LoopBoundMode::Tournament => "/tour",
+                    };
+                }
+                if c.srf_entries != d.srf_entries {
+                    label += &format!("/K{}", c.srf_entries);
+                }
+                if c.recycle != d.recycle {
+                    label += "/norecycle";
+                }
+                if c.scalars_per_cycle != d.scalars_per_cycle {
+                    label += &format!("/spc{}", c.scalars_per_cycle);
+                }
+                if c.waiting_mode != d.waiting_mode {
+                    label += "/nowait";
+                }
+                if c.accuracy_ban != d.accuracy_ban {
+                    label += "/noban";
+                }
+                if c.model_register_copy != d.model_register_copy {
+                    label += "/regcopy";
+                }
+                if c.lil_enabled != d.lil_enabled {
+                    label += "/nolil";
+                }
+                if c.multi_chain != d.multi_chain {
+                    label += "/nochain";
+                }
+                if c.timeout_insts != d.timeout_insts {
+                    label += &format!("/to{}", c.timeout_insts);
+                }
+                label
+            }
         }
     }
 }
@@ -105,9 +149,132 @@ impl SimConfig {
         self
     }
 
-    /// Label combining the core choice (for table rows).
+    /// Label combining the core choice and any memory-system overrides
+    /// relative to the Table III defaults (for table rows and reports):
+    /// `SimConfig::svr(16).with_mshrs(4)` labels "SVR16/mshr4", keeping
+    /// Fig. 17/18 sensitivity rows unambiguous.
     pub fn label(&self) -> String {
-        self.core.label()
+        let mut label = self.core.label();
+        let d = MemConfig::default();
+        if self.mem.mshrs != d.mshrs {
+            label += &format!("/mshr{}", self.mem.mshrs);
+        }
+        if self.mem.tlb.walkers != d.tlb.walkers {
+            label += &format!("/ptw{}", self.mem.tlb.walkers);
+        }
+        if self.mem.dram.bandwidth_gibps != d.dram.bandwidth_gibps {
+            label += &format!("/bw{}", self.mem.dram.bandwidth_gibps);
+        }
+        if self.mem.stride_pf.is_none() && d.stride_pf.is_some() {
+            label += "/nostride";
+        }
+        label
+    }
+
+    /// Checks internal consistency. [`crate::run_workload`] refuses invalid
+    /// configurations: [`CoreChoice::Imp`] with `mem.imp = None` would
+    /// silently degenerate to the plain in-order baseline, and a non-IMP
+    /// core with an IMP prefetcher attached would mislabel its rows.
+    pub fn validate(&self) -> Result<(), String> {
+        match (&self.core, &self.mem.imp) {
+            (CoreChoice::Imp, None) => Err(
+                "CoreChoice::Imp requires mem.imp: Some(ImpConfig); without it the \
+                 configuration silently degenerates to the in-order baseline \
+                 (use SimConfig::imp())"
+                    .into(),
+            ),
+            (CoreChoice::InOrder | CoreChoice::OutOfOrder | CoreChoice::Svr(_), Some(_)) => {
+                Err(format!(
+                    "mem.imp is set but the core choice is {:?}; the IMP prefetcher \
+                     would run under a non-IMP label (use SimConfig::imp())",
+                    self.core
+                ))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Canonical content key covering **every** field of the configuration.
+    /// Two configurations share a key iff they simulate identically, so the
+    /// sweep engine hashes this string to deduplicate design points within a
+    /// run and address the on-disk result cache across runs.
+    pub fn cache_key(&self) -> String {
+        let core = match &self.core {
+            CoreChoice::InOrder => "core=ino".to_string(),
+            CoreChoice::Imp => "core=imp".to_string(),
+            CoreChoice::OutOfOrder => "core=ooo".to_string(),
+            CoreChoice::Svr(c) => format!(
+                "core=svr;n={};k={};sde={};sconf={};to={};spc={};lbm={:?};lbde={};\
+                 wait={};ban={};warm={};thr={};reset={};rec={:?};copy={};copyc={};\
+                 lil={};mc={}",
+                c.vector_length,
+                c.srf_entries,
+                c.stride_detector_entries,
+                c.stride_confidence,
+                c.timeout_insts,
+                c.scalars_per_cycle,
+                c.loop_bound_mode,
+                c.lbd_entries,
+                c.waiting_mode,
+                c.accuracy_ban,
+                c.accuracy_warmup,
+                c.accuracy_threshold,
+                c.ban_reset_insts,
+                c.recycle,
+                c.model_register_copy,
+                c.register_copy_cycles,
+                c.lil_enabled,
+                c.multi_chain,
+            ),
+        };
+        let stride = match &self.mem.stride_pf {
+            None => "none".to_string(),
+            Some(s) => format!("{}/{}/{}", s.entries, s.threshold, s.degree),
+        };
+        let imp = match &self.mem.imp {
+            None => "none".to_string(),
+            Some(i) => format!(
+                "{}/{}/{:?}/{}/{}",
+                i.pt_entries, i.stream_threshold, i.shifts, i.distance, i.verify_matches
+            ),
+        };
+        format!(
+            "{core};\
+             ino={}/{}/{}/{};\
+             ooo={}/{}/{}/{}/{}/{};\
+             l1d={}/{};l1i={}/{};l2={}/{};lat={}/{};mshrs={};\
+             dram={}/{}/{};\
+             tlb={}/{}/{}/{}/{}/{};\
+             stride={stride};imp={imp}",
+            self.inorder.width,
+            self.inorder.scoreboard,
+            self.inorder.mispredict_penalty,
+            self.inorder.model_fetch,
+            self.ooo.width,
+            self.ooo.rob,
+            self.ooo.lsq,
+            self.ooo.mispredict_penalty,
+            self.ooo.model_fetch,
+            self.ooo.rs_delay,
+            self.mem.l1d.size_bytes,
+            self.mem.l1d.ways,
+            self.mem.l1i.size_bytes,
+            self.mem.l1i.ways,
+            self.mem.l2.size_bytes,
+            self.mem.l2.ways,
+            self.mem.l1_latency,
+            self.mem.l2_latency,
+            self.mem.mshrs,
+            self.mem.dram.latency_cycles,
+            self.mem.dram.bandwidth_gibps,
+            self.mem.dram.freq_ghz,
+            self.mem.tlb.l1_entries,
+            self.mem.tlb.l2_entries,
+            self.mem.tlb.l2_ways,
+            self.mem.tlb.l2_hit_cycles,
+            self.mem.tlb.walk_cycles,
+            self.mem.tlb.walkers,
+        )
     }
 }
 
@@ -127,6 +294,81 @@ mod tests {
     fn imp_config_enables_prefetcher() {
         assert!(SimConfig::imp().mem.imp.is_some());
         assert!(SimConfig::inorder().mem.imp.is_none());
+    }
+
+    #[test]
+    fn labels_include_mem_overrides() {
+        assert_eq!(SimConfig::svr(16).with_mshrs(4).label(), "SVR16/mshr4");
+        assert_eq!(
+            SimConfig::svr(16).with_mshrs(4).with_ptws(6).label(),
+            "SVR16/mshr4/ptw6"
+        );
+        assert_eq!(
+            SimConfig::inorder().with_bandwidth(12.5).label(),
+            "InO/bw12.5"
+        );
+        // Default values add no suffix.
+        assert_eq!(SimConfig::svr(16).with_mshrs(16).label(), "SVR16");
+    }
+
+    #[test]
+    fn labels_include_svr_overrides() {
+        let cfg = SimConfig::svr_with(SvrConfig {
+            srf_entries: 2,
+            recycle: svr_core::RecyclePolicy::NoRecycle,
+            ..SvrConfig::with_length(64)
+        });
+        assert_eq!(cfg.label(), "SVR64/K2/norecycle");
+        let cfg = SimConfig::svr_with(SvrConfig {
+            loop_bound_mode: LoopBoundMode::Maxlength,
+            ..SvrConfig::with_length(16)
+        });
+        assert_eq!(cfg.label(), "SVR16/max");
+        let cfg = SimConfig::svr_with(SvrConfig {
+            waiting_mode: false,
+            ..SvrConfig::with_length(16)
+        });
+        assert_eq!(cfg.label(), "SVR16/nowait");
+    }
+
+    #[test]
+    fn distinct_sensitivity_points_have_distinct_labels_and_keys() {
+        let a = SimConfig::svr(16);
+        let b = SimConfig::svr(16).with_mshrs(4);
+        assert_ne!(a.label(), b.label());
+        assert_ne!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn cache_key_is_stable_for_equal_configs() {
+        assert_eq!(
+            SimConfig::svr(16).with_ptws(6).cache_key(),
+            SimConfig::svr(16).with_ptws(6).cache_key()
+        );
+        assert_ne!(SimConfig::inorder().cache_key(), SimConfig::imp().cache_key());
+        assert_ne!(SimConfig::svr(16).cache_key(), SimConfig::svr(32).cache_key());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_imp() {
+        let mut c = SimConfig::imp();
+        c.mem.imp = None;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::inorder();
+        c.mem.imp = Some(ImpConfig::default());
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_all_paper_configs() {
+        for c in [
+            SimConfig::inorder(),
+            SimConfig::imp(),
+            SimConfig::ooo(),
+            SimConfig::svr(16),
+        ] {
+            assert!(c.validate().is_ok(), "{}", c.label());
+        }
     }
 
     #[test]

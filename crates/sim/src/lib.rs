@@ -19,11 +19,19 @@
 //! ```
 
 mod config;
+pub mod json;
+mod report;
 mod runner;
+mod sweep;
 
 pub use config::{CoreChoice, SimConfig};
+pub use json::Json;
+pub use report::{report_from_json, report_to_json};
 pub use runner::{
     energy_input, harmonic_mean_speedup, run_kernel, run_parallel, run_workload, RunReport,
+};
+pub use sweep::{
+    fnv1a64, JobSource, JobTrace, Sweep, SweepResult, SweepStats, CACHE_FORMAT_VERSION,
 };
 
 /// Groups reports by the kernel group label and averages a metric within

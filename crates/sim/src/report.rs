@@ -1,0 +1,284 @@
+//! Structured (JSON) serialization of [`RunReport`]s — the interchange
+//! format of the experiment engine: result-cache entries and the `runs`
+//! section of every figure's `results/<name>.json` report.
+//!
+//! All integer counters are emitted exactly; `f64` energies use shortest
+//! round-trip formatting, so deserializing a serialized report reproduces it
+//! bit-identically (asserted by the cache round-trip tests).
+
+use crate::json::Json;
+use crate::runner::RunReport;
+use svr_core::{CoreStats, CpiStack, SvrActivity};
+use svr_energy::EnergyBreakdown;
+use svr_mem::{MemStats, PfCounters};
+
+macro_rules! obj {
+    ($($k:literal : $v:expr),* $(,)?) => { Json::Obj(vec![$(($k.into(), $v)),*]) };
+}
+
+fn u(j: &Json, k: &str) -> Result<u64, String> {
+    j.get(k)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing/invalid u64 field `{k}`"))
+}
+
+fn f(j: &Json, k: &str) -> Result<f64, String> {
+    j.get(k)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing/invalid f64 field `{k}`"))
+}
+
+fn s(j: &Json, k: &str) -> Result<String, String> {
+    j.get(k)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing/invalid string field `{k}`"))
+}
+
+fn sub<'j>(j: &'j Json, k: &str) -> Result<&'j Json, String> {
+    j.get(k).ok_or_else(|| format!("missing object field `{k}`"))
+}
+
+fn stack_to_json(v: &CpiStack) -> Json {
+    obj! {
+        "base": Json::u64(v.base),
+        "branch": Json::u64(v.branch),
+        "fetch": Json::u64(v.fetch),
+        "mem_l1": Json::u64(v.mem_l1),
+        "mem_l2": Json::u64(v.mem_l2),
+        "mem_dram": Json::u64(v.mem_dram),
+        "structural": Json::u64(v.structural),
+    }
+}
+
+fn stack_from_json(j: &Json) -> Result<CpiStack, String> {
+    Ok(CpiStack {
+        base: u(j, "base")?,
+        branch: u(j, "branch")?,
+        fetch: u(j, "fetch")?,
+        mem_l1: u(j, "mem_l1")?,
+        mem_l2: u(j, "mem_l2")?,
+        mem_dram: u(j, "mem_dram")?,
+        structural: u(j, "structural")?,
+    })
+}
+
+fn svr_to_json(v: &SvrActivity) -> Json {
+    obj! {
+        "prm_rounds": Json::u64(v.prm_rounds),
+        "svis": Json::u64(v.svis),
+        "lanes": Json::u64(v.lanes),
+        "lane_loads": Json::u64(v.lane_loads),
+        "timeouts": Json::u64(v.timeouts),
+        "hslr_terminations": Json::u64(v.hslr_terminations),
+        "lil_suppressed": Json::u64(v.lil_suppressed),
+        "waiting_suppressed": Json::u64(v.waiting_suppressed),
+        "banned_suppressed": Json::u64(v.banned_suppressed),
+        "non_indirect_suppressed": Json::u64(v.non_indirect_suppressed),
+        "retargets": Json::u64(v.retargets),
+        "masked_lanes": Json::u64(v.masked_lanes),
+        "srf_recycles": Json::u64(v.srf_recycles),
+        "srf_starved": Json::u64(v.srf_starved),
+    }
+}
+
+fn svr_from_json(j: &Json) -> Result<SvrActivity, String> {
+    Ok(SvrActivity {
+        prm_rounds: u(j, "prm_rounds")?,
+        svis: u(j, "svis")?,
+        lanes: u(j, "lanes")?,
+        lane_loads: u(j, "lane_loads")?,
+        timeouts: u(j, "timeouts")?,
+        hslr_terminations: u(j, "hslr_terminations")?,
+        lil_suppressed: u(j, "lil_suppressed")?,
+        waiting_suppressed: u(j, "waiting_suppressed")?,
+        banned_suppressed: u(j, "banned_suppressed")?,
+        non_indirect_suppressed: u(j, "non_indirect_suppressed")?,
+        retargets: u(j, "retargets")?,
+        masked_lanes: u(j, "masked_lanes")?,
+        srf_recycles: u(j, "srf_recycles")?,
+        srf_starved: u(j, "srf_starved")?,
+    })
+}
+
+fn core_to_json(v: &CoreStats) -> Json {
+    obj! {
+        "cycles": Json::u64(v.cycles),
+        "retired": Json::u64(v.retired),
+        "issued_uops": Json::u64(v.issued_uops),
+        "branches": Json::u64(v.branches),
+        "mispredicts": Json::u64(v.mispredicts),
+        "loads": Json::u64(v.loads),
+        "stores": Json::u64(v.stores),
+        "stack": stack_to_json(&v.stack),
+        "svr": svr_to_json(&v.svr),
+    }
+}
+
+fn core_from_json(j: &Json) -> Result<CoreStats, String> {
+    Ok(CoreStats {
+        cycles: u(j, "cycles")?,
+        retired: u(j, "retired")?,
+        issued_uops: u(j, "issued_uops")?,
+        branches: u(j, "branches")?,
+        mispredicts: u(j, "mispredicts")?,
+        loads: u(j, "loads")?,
+        stores: u(j, "stores")?,
+        stack: stack_from_json(sub(j, "stack")?)?,
+        svr: svr_from_json(sub(j, "svr")?)?,
+    })
+}
+
+fn pf_to_json(v: &PfCounters) -> Json {
+    obj! {
+        "issued": Json::u64(v.issued),
+        "used": Json::u64(v.used),
+        "evicted_unused": Json::u64(v.evicted_unused),
+    }
+}
+
+fn pf_from_json(j: &Json) -> Result<PfCounters, String> {
+    Ok(PfCounters {
+        issued: u(j, "issued")?,
+        used: u(j, "used")?,
+        evicted_unused: u(j, "evicted_unused")?,
+    })
+}
+
+fn mem_to_json(v: &MemStats) -> Json {
+    obj! {
+        "l1d_hits": Json::u64(v.l1d_hits),
+        "l1d_misses": Json::u64(v.l1d_misses),
+        "l2_hits": Json::u64(v.l2_hits),
+        "l2_misses": Json::u64(v.l2_misses),
+        "l1i_hits": Json::u64(v.l1i_hits),
+        "l1i_misses": Json::u64(v.l1i_misses),
+        "dram_demand_data": Json::u64(v.dram_demand_data),
+        "dram_inst": Json::u64(v.dram_inst),
+        "dram_stride_pf": Json::u64(v.dram_stride_pf),
+        "dram_imp_pf": Json::u64(v.dram_imp_pf),
+        "dram_svr_pf": Json::u64(v.dram_svr_pf),
+        "writebacks": Json::u64(v.writebacks),
+        "tlb_walks": Json::u64(v.tlb_walks),
+        "stride": pf_to_json(&v.stride),
+        "imp": pf_to_json(&v.imp),
+        "svr": pf_to_json(&v.svr),
+    }
+}
+
+fn mem_from_json(j: &Json) -> Result<MemStats, String> {
+    Ok(MemStats {
+        l1d_hits: u(j, "l1d_hits")?,
+        l1d_misses: u(j, "l1d_misses")?,
+        l2_hits: u(j, "l2_hits")?,
+        l2_misses: u(j, "l2_misses")?,
+        l1i_hits: u(j, "l1i_hits")?,
+        l1i_misses: u(j, "l1i_misses")?,
+        dram_demand_data: u(j, "dram_demand_data")?,
+        dram_inst: u(j, "dram_inst")?,
+        dram_stride_pf: u(j, "dram_stride_pf")?,
+        dram_imp_pf: u(j, "dram_imp_pf")?,
+        dram_svr_pf: u(j, "dram_svr_pf")?,
+        writebacks: u(j, "writebacks")?,
+        tlb_walks: u(j, "tlb_walks")?,
+        stride: pf_from_json(sub(j, "stride")?)?,
+        imp: pf_from_json(sub(j, "imp")?)?,
+        svr: pf_from_json(sub(j, "svr")?)?,
+    })
+}
+
+fn energy_to_json(v: &EnergyBreakdown) -> Json {
+    obj! {
+        "core_dynamic_nj": Json::f64(v.core_dynamic_nj),
+        "cache_dynamic_nj": Json::f64(v.cache_dynamic_nj),
+        "dram_dynamic_nj": Json::f64(v.dram_dynamic_nj),
+        "static_nj": Json::f64(v.static_nj),
+    }
+}
+
+fn energy_from_json(j: &Json) -> Result<EnergyBreakdown, String> {
+    Ok(EnergyBreakdown {
+        core_dynamic_nj: f(j, "core_dynamic_nj")?,
+        cache_dynamic_nj: f(j, "cache_dynamic_nj")?,
+        dram_dynamic_nj: f(j, "dram_dynamic_nj")?,
+        static_nj: f(j, "static_nj")?,
+    })
+}
+
+/// Serializes a report. The `derived` block (CPI, energy/inst, prefetch
+/// accuracy) is redundant with the raw counters and exists for downstream
+/// consumers; [`report_from_json`] ignores it.
+pub fn report_to_json(r: &RunReport) -> Json {
+    let acc = |a: Option<f64>| a.map_or(Json::Null, Json::f64);
+    obj! {
+        "workload": Json::str(&r.workload),
+        "config": Json::str(&r.config),
+        "verified": Json::Bool(r.verified),
+        "core": core_to_json(&r.core),
+        "mem": mem_to_json(&r.mem),
+        "energy": energy_to_json(&r.energy),
+        "derived": obj! {
+            "cpi": Json::f64(r.cpi()),
+            "ipc": Json::f64(r.ipc()),
+            "nj_per_inst": Json::f64(r.nj_per_inst()),
+            "total_nj": Json::f64(r.energy.total_nj()),
+            "svr_accuracy": acc(r.svr_accuracy()),
+            "imp_accuracy": acc(r.mem.imp.accuracy()),
+            "stride_accuracy": acc(r.mem.stride.accuracy()),
+        },
+    }
+}
+
+/// Deserializes a report produced by [`report_to_json`].
+pub fn report_from_json(j: &Json) -> Result<RunReport, String> {
+    Ok(RunReport {
+        workload: s(j, "workload")?,
+        config: s(j, "config")?,
+        verified: j
+            .get("verified")
+            .and_then(Json::as_bool)
+            .ok_or("missing bool field `verified`")?,
+        core: core_from_json(sub(j, "core")?)?,
+        mem: mem_from_json(sub(j, "mem")?)?,
+        energy: energy_from_json(sub(j, "energy")?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_kernel, SimConfig};
+    use svr_workloads::{Kernel, Scale};
+
+    #[test]
+    fn report_round_trips_bit_identically() {
+        for cfg in [SimConfig::inorder(), SimConfig::imp(), SimConfig::svr(16)] {
+            let r = run_kernel(Kernel::Camel, Scale::Tiny, &cfg);
+            let text = report_to_json(&r).pretty();
+            let back = report_from_json(&Json::parse(&text).expect("parses")).expect("decodes");
+            assert_eq!(r, back, "round trip for {}", r.config);
+        }
+    }
+
+    #[test]
+    fn derived_block_matches_methods() {
+        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16));
+        let j = report_to_json(&r);
+        let derived = j.get("derived").expect("derived");
+        assert_eq!(derived.get("cpi").and_then(Json::as_f64), Some(r.cpi()));
+        assert_eq!(
+            derived.get("svr_accuracy").and_then(Json::as_f64),
+            r.svr_accuracy()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_missing_fields() {
+        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder());
+        let mut j = report_to_json(&r);
+        if let Json::Obj(members) = &mut j {
+            members.retain(|(k, _)| k != "core");
+        }
+        assert!(report_from_json(&j).is_err());
+    }
+}

@@ -7,7 +7,7 @@ use svr_mem::MemStats;
 use svr_workloads::{Kernel, Scale, Workload};
 
 /// The result of simulating one workload under one configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Workload name ("PR_KR", ...).
     pub workload: String,
@@ -47,7 +47,16 @@ impl RunReport {
 }
 
 /// Simulates `workload` under `config` for at most `max_insts` instructions.
+///
+/// # Panics
+///
+/// Panics if the configuration is internally inconsistent (see
+/// [`SimConfig::validate`]) — e.g. [`CoreChoice::Imp`] without an attached
+/// `ImpConfig`, which would silently simulate the plain in-order baseline.
 pub fn run_workload(workload: &Workload, config: &SimConfig, max_insts: u64) -> RunReport {
+    if let Err(e) = config.validate() {
+        panic!("invalid SimConfig for {}: {e}", workload.name);
+    }
     let (program, mut image, mut arch) = workload.instantiate();
     let (core_stats, mem_stats, kind) = match &config.core {
         CoreChoice::InOrder | CoreChoice::Imp => {
@@ -237,6 +246,22 @@ mod tests {
         assert!(r.mem.imp.issued > 0, "IMP should fire on IS");
         let r2 = run_kernel(Kernel::NasIs, Scale::Tiny, &SimConfig::inorder());
         assert_eq!(r2.mem.imp.issued, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimConfig")]
+    fn degenerate_imp_config_is_rejected() {
+        let mut cfg = SimConfig::imp();
+        cfg.mem.imp = None; // representable, but silently equals plain InO
+        run_kernel(Kernel::Camel, Scale::Tiny, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimConfig")]
+    fn imp_prefetcher_under_wrong_core_is_rejected() {
+        let mut cfg = SimConfig::svr(16);
+        cfg.mem.imp = Some(svr_mem::prefetch::ImpConfig::default());
+        run_kernel(Kernel::Camel, Scale::Tiny, &cfg);
     }
 
     #[test]

@@ -1,0 +1,617 @@
+//! The experiment engine: declarative sweeps over (workload × configuration)
+//! grids with point deduplication, an on-disk result cache, parallel
+//! execution and per-job tracing.
+//!
+//! Every figure of the paper is a sweep over the same few suites and design
+//! points, and many figures share points (all sensitivity studies re-run the
+//! SVR-16/64 and in-order baselines). The engine hashes the *full*
+//! simulation configuration ([`SimConfig::cache_key`]) together with the
+//! workload identity, so
+//!
+//! * identical points inside one sweep are simulated once (dedup), and
+//! * points simulated by *any* earlier invocation are loaded from
+//!   `results/cache/<hash>.json` instead of re-simulated (cache).
+//!
+//! ```no_run
+//! use svr_sim::{Sweep, SimConfig};
+//! use svr_workloads::{irregular_suite, Scale};
+//!
+//! let res = Sweep::new(irregular_suite(), Scale::Small)
+//!     .configs(vec![SimConfig::inorder(), SimConfig::svr(16)])
+//!     .run(8);
+//! res.assert_verified();
+//! println!("speedup {:.2}", res.speedup(0, 1));
+//! eprintln!("{}", res.stats.summary());
+//! ```
+
+use crate::config::SimConfig;
+use crate::json::Json;
+use crate::report::{report_from_json, report_to_json};
+use crate::runner::{run_kernel, RunReport};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use svr_workloads::{Kernel, Scale};
+
+/// Bump when the cache-entry layout or simulator semantics change in a way
+/// that invalidates stored reports; old entries then simply stop matching.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a over a string (the cache/dedup point hash).
+pub fn fnv1a64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Where a job's report came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobSource {
+    /// Freshly simulated in this sweep.
+    Simulated,
+    /// Loaded from the on-disk result cache.
+    Cached,
+}
+
+/// Trace record for one resolved design point (the progress hook payload).
+#[derive(Debug, Clone)]
+pub struct JobTrace {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label.
+    pub config: String,
+    /// How the report was obtained.
+    pub source: JobSource,
+    /// Wall time spent simulating (or loading) this point, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Aggregate counters for one sweep invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Requested (workload, config) pairs.
+    pub pairs: usize,
+    /// Unique design points after dedup.
+    pub points: usize,
+    /// Points resolved by fresh simulation.
+    pub simulated: usize,
+    /// Points resolved from the on-disk cache.
+    pub cache_hits: usize,
+    /// Pairs that aliased an identical point inside this sweep.
+    pub deduped: usize,
+    /// Total wall time of the sweep in milliseconds.
+    pub wall_ms: u64,
+}
+
+impl SweepStats {
+    /// One-line human summary (binaries print this to stderr).
+    pub fn summary(&self) -> String {
+        format!(
+            "[sweep] pairs={} points={} simulated={} cached={} deduped={} wall={:.1}s",
+            self.pairs,
+            self.points,
+            self.simulated,
+            self.cache_hits,
+            self.deduped,
+            self.wall_ms as f64 / 1e3
+        )
+    }
+}
+
+/// A declarative sweep over `suite × configs` at one scale.
+pub struct Sweep {
+    suite: Vec<Kernel>,
+    scale: Scale,
+    configs: Vec<SimConfig>,
+    cache_dir: Option<PathBuf>,
+    on_job: Option<fn(&JobTrace)>,
+}
+
+impl Sweep {
+    /// Sweep of `suite` at `scale`. The result cache defaults to
+    /// `$SVR_CACHE_DIR` or `results/cache`; see [`Sweep::no_cache`].
+    pub fn new(suite: Vec<Kernel>, scale: Scale) -> Self {
+        let dir = std::env::var("SVR_CACHE_DIR").unwrap_or_else(|_| "results/cache".into());
+        Sweep {
+            suite,
+            scale,
+            configs: Vec::new(),
+            cache_dir: Some(PathBuf::from(dir)),
+            on_job: None,
+        }
+    }
+
+    /// Sets the configuration axis.
+    pub fn configs(mut self, configs: Vec<SimConfig>) -> Self {
+        self.configs = configs;
+        self
+    }
+
+    /// Appends one configuration.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.configs.push(config);
+        self
+    }
+
+    /// Disables the on-disk result cache (in-sweep dedup still applies).
+    pub fn no_cache(mut self) -> Self {
+        self.cache_dir = None;
+        self
+    }
+
+    /// Uses `dir` for the on-disk result cache.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Installs a progress hook called once per resolved point (from worker
+    /// threads, so interleaving is possible) with its wall time and source.
+    pub fn on_job(mut self, hook: fn(&JobTrace)) -> Self {
+        self.on_job = Some(hook);
+        self
+    }
+
+    /// Resolves every (workload, config) pair across `threads` OS threads
+    /// and returns the full grid. Deterministic: simulation results do not
+    /// depend on the thread count or on cache state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration fails [`SimConfig::validate`] (before any
+    /// simulation runs), so invalid points are reported eagerly rather than
+    /// from a worker thread.
+    pub fn run(self, threads: usize) -> SweepResult {
+        let t0 = Instant::now();
+        for cfg in &self.configs {
+            if let Err(e) = cfg.validate() {
+                panic!("invalid SimConfig {}: {e}", cfg.label());
+            }
+        }
+        let mut stats = SweepStats {
+            pairs: self.suite.len() * self.configs.len(),
+            ..SweepStats::default()
+        };
+
+        // Dedup identical points within the grid.
+        struct Point {
+            kernel: Kernel,
+            config: SimConfig,
+            key: String,
+            hash: u64,
+            report: Option<RunReport>,
+        }
+        let mut points: Vec<Point> = Vec::new();
+        let mut by_hash: HashMap<u64, usize> = HashMap::new();
+        let mut point_of: Vec<Vec<usize>> = Vec::with_capacity(self.configs.len());
+        for cfg in &self.configs {
+            let cfg_key = cfg.cache_key();
+            let mut row = Vec::with_capacity(self.suite.len());
+            for k in &self.suite {
+                let key = format!(
+                    "v{CACHE_FORMAT_VERSION};wl={};scale={};insts={};{cfg_key}",
+                    k.name(),
+                    self.scale.name(),
+                    self.scale.max_insts(),
+                );
+                let hash = fnv1a64(&key);
+                let idx = *by_hash.entry(hash).or_insert_with(|| {
+                    points.push(Point {
+                        kernel: *k,
+                        config: cfg.clone(),
+                        key,
+                        hash,
+                        report: None,
+                    });
+                    points.len() - 1
+                });
+                row.push(idx);
+            }
+            point_of.push(row);
+        }
+        stats.points = points.len();
+        stats.deduped = stats.pairs - stats.points;
+
+        let mut traces: Vec<JobTrace> = Vec::with_capacity(points.len());
+
+        // Probe the on-disk cache.
+        if let Some(dir) = &self.cache_dir {
+            for p in &mut points {
+                let t = Instant::now();
+                if let Some(report) = load_cached(dir, p.hash, &p.key) {
+                    let trace = JobTrace {
+                        workload: report.workload.clone(),
+                        config: report.config.clone(),
+                        source: JobSource::Cached,
+                        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+                    };
+                    emit(&self.on_job, &trace);
+                    traces.push(trace);
+                    p.report = Some(report);
+                    stats.cache_hits += 1;
+                }
+            }
+        }
+
+        // Simulate the misses in parallel (deterministic per point).
+        let todo: Vec<usize> = (0..points.len())
+            .filter(|&i| points[i].report.is_none())
+            .collect();
+        stats.simulated = todo.len();
+        if !todo.is_empty() {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Mutex;
+            let next = AtomicUsize::new(0);
+            let done: Mutex<Vec<(usize, RunReport, JobTrace)>> =
+                Mutex::new(Vec::with_capacity(todo.len()));
+            let scale = self.scale;
+            let cache_dir = self.cache_dir.as_deref();
+            let on_job = self.on_job;
+            {
+                let todo = &todo;
+                let points = &points;
+                let next = &next;
+                let done = &done;
+                std::thread::scope(|s| {
+                    for _ in 0..threads.max(1).min(todo.len()) {
+                        s.spawn(move || loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= todo.len() {
+                                break;
+                            }
+                            let p = &points[todo[i]];
+                            let t = Instant::now();
+                            let report = run_kernel(p.kernel, scale, &p.config);
+                            let trace = JobTrace {
+                                workload: report.workload.clone(),
+                                config: report.config.clone(),
+                                source: JobSource::Simulated,
+                                wall_ms: t.elapsed().as_secs_f64() * 1e3,
+                            };
+                            if let Some(dir) = cache_dir {
+                                store_cached(dir, p.hash, &p.key, scale, &report);
+                            }
+                            emit(&on_job, &trace);
+                            done.lock().expect("no poisoned sweeps").push((
+                                todo[i],
+                                report,
+                                trace,
+                            ));
+                        });
+                    }
+                });
+            }
+            for (idx, report, trace) in done.into_inner().expect("threads joined") {
+                points[idx].report = Some(report);
+                traces.push(trace);
+            }
+        }
+
+        stats.wall_ms = t0.elapsed().as_millis() as u64;
+        SweepResult {
+            suite: self.suite,
+            config_labels: self.configs.iter().map(SimConfig::label).collect(),
+            point_of,
+            reports: points
+                .into_iter()
+                .map(|p| p.report.expect("all points resolved"))
+                .collect(),
+            traces,
+            stats,
+        }
+    }
+}
+
+fn emit(hook: &Option<fn(&JobTrace)>, trace: &JobTrace) {
+    if let Some(f) = hook {
+        f(trace);
+    }
+    if std::env::var_os("SVR_SWEEP_LOG").is_some() {
+        eprintln!(
+            "[sweep] {:10} {:9.1} ms  {} / {}",
+            format!("{:?}", trace.source).to_lowercase(),
+            trace.wall_ms,
+            trace.workload,
+            trace.config
+        );
+    }
+}
+
+fn cache_path(dir: &Path, hash: u64) -> PathBuf {
+    dir.join(format!("{hash:016x}.json"))
+}
+
+/// Loads a cache entry, returning `None` on miss, parse failure, or a key
+/// mismatch (hash collision or stale format — both re-simulate).
+fn load_cached(dir: &Path, hash: u64, key: &str) -> Option<RunReport> {
+    let text = std::fs::read_to_string(cache_path(dir, hash)).ok()?;
+    let doc = Json::parse(&text).ok()?;
+    if doc.get("key").and_then(Json::as_str) != Some(key) {
+        return None;
+    }
+    report_from_json(doc.get("report")?).ok()
+}
+
+/// Writes a cache entry atomically (tmp file + rename), so concurrent
+/// invocations never observe a torn file. Failures are non-fatal: the cache
+/// is an optimization, not a correctness requirement.
+fn store_cached(dir: &Path, hash: u64, key: &str, scale: Scale, report: &RunReport) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let doc = Json::Obj(vec![
+        ("version".into(), Json::u64(u64::from(CACHE_FORMAT_VERSION))),
+        ("key".into(), Json::str(key)),
+        ("workload".into(), Json::str(&report.workload)),
+        ("config".into(), Json::str(&report.config)),
+        ("scale".into(), Json::str(scale.name())),
+        ("report".into(), report_to_json(report)),
+    ]);
+    let path = cache_path(dir, hash);
+    let tmp = dir.join(format!("{hash:016x}.tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, doc.pretty()).is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
+    }
+}
+
+/// The resolved grid of a [`Sweep`], indexed `[config][workload]` in the
+/// order the axes were declared.
+pub struct SweepResult {
+    suite: Vec<Kernel>,
+    config_labels: Vec<String>,
+    /// `point_of[config][workload]` → index into `reports`.
+    point_of: Vec<Vec<usize>>,
+    /// One report per *unique* design point.
+    reports: Vec<RunReport>,
+    /// Per-point traces (simulation order; cache hits first).
+    pub traces: Vec<JobTrace>,
+    /// Aggregate counters.
+    pub stats: SweepStats,
+}
+
+impl SweepResult {
+    /// The workload axis.
+    pub fn suite(&self) -> &[Kernel] {
+        &self.suite
+    }
+
+    /// The configuration labels, in axis order.
+    pub fn config_labels(&self) -> &[String] {
+        &self.config_labels
+    }
+
+    /// The report for (config `ci`, workload `wi`).
+    pub fn report(&self, ci: usize, wi: usize) -> &RunReport {
+        &self.reports[self.point_of[ci][wi]]
+    }
+
+    /// All reports for configuration `ci`, in suite order.
+    pub fn config_reports(&self, ci: usize) -> Vec<&RunReport> {
+        self.point_of[ci].iter().map(|&p| &self.reports[p]).collect()
+    }
+
+    /// The deduplicated reports (one per unique design point).
+    pub fn unique_reports(&self) -> &[RunReport] {
+        &self.reports
+    }
+
+    /// Harmonic-mean IPC speedup of configuration `ci` over `base_ci`
+    /// (Fig. 1's metric), matched per workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any speedup is non-positive or non-finite.
+    pub fn speedup(&self, base_ci: usize, ci: usize) -> f64 {
+        let mut denom = 0.0;
+        for wi in 0..self.suite.len() {
+            let b = self.report(base_ci, wi);
+            let n = self.report(ci, wi);
+            let s = n.ipc() / b.ipc();
+            assert!(s.is_finite() && s > 0.0, "bad speedup for {}", b.workload);
+            denom += 1.0 / s;
+        }
+        self.suite.len() as f64 / denom
+    }
+
+    /// Asserts every report passed its architectural check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any report failed.
+    pub fn assert_verified(&self) {
+        for r in &self.reports {
+            assert!(
+                r.verified,
+                "workload {} under {} failed its architectural check",
+                r.workload, r.config
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A unique temp cache dir per test (removed on drop).
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            static SEQ: AtomicUsize = AtomicUsize::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "svr-sweep-{tag}-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).expect("temp dir");
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn tiny_suite() -> Vec<Kernel> {
+        use svr_workloads::GraphInput;
+        vec![Kernel::Camel, Kernel::Pr(GraphInput::Ur), Kernel::NasIs]
+    }
+
+    #[test]
+    fn second_run_is_all_cache_hits_and_bit_identical() {
+        let dir = TempDir::new("roundtrip");
+        let configs = vec![SimConfig::inorder(), SimConfig::svr(16)];
+        let fresh = Sweep::new(tiny_suite(), Scale::Tiny)
+            .configs(configs.clone())
+            .cache_dir(&dir.0)
+            .run(2);
+        assert_eq!(fresh.stats.simulated, 6);
+        assert_eq!(fresh.stats.cache_hits, 0);
+
+        let cached = Sweep::new(tiny_suite(), Scale::Tiny)
+            .configs(configs)
+            .cache_dir(&dir.0)
+            .run(2);
+        assert_eq!(cached.stats.simulated, 0, "zero simulations on second run");
+        assert_eq!(cached.stats.cache_hits, 6);
+        for ci in 0..2 {
+            for wi in 0..3 {
+                assert_eq!(
+                    fresh.report(ci, wi),
+                    cached.report(ci, wi),
+                    "cached report differs at ({ci},{wi})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_points_are_deduped_within_a_sweep() {
+        let configs = vec![
+            SimConfig::inorder(),
+            SimConfig::svr(16),
+            SimConfig::inorder(), // shared baseline, declared twice
+        ];
+        let res = Sweep::new(tiny_suite(), Scale::Tiny)
+            .configs(configs)
+            .no_cache()
+            .run(2);
+        assert_eq!(res.stats.pairs, 9);
+        assert_eq!(res.stats.points, 6, "baseline simulated once");
+        assert_eq!(res.stats.deduped, 3);
+        for wi in 0..3 {
+            assert_eq!(res.report(0, wi), res.report(2, wi));
+        }
+    }
+
+    #[test]
+    fn sweep_matches_direct_runs_and_is_thread_count_invariant() {
+        let configs = vec![SimConfig::inorder(), SimConfig::svr(16)];
+        let base = Sweep::new(tiny_suite(), Scale::Tiny)
+            .configs(configs.clone())
+            .no_cache()
+            .run(1);
+        for threads in [2, 8] {
+            let res = Sweep::new(tiny_suite(), Scale::Tiny)
+                .configs(configs.clone())
+                .no_cache()
+                .run(threads);
+            for ci in 0..2 {
+                for wi in 0..3 {
+                    assert_eq!(
+                        base.report(ci, wi),
+                        res.report(ci, wi),
+                        "threads={threads} diverged at ({ci},{wi})"
+                    );
+                }
+            }
+        }
+        // And against the plain runner.
+        let direct = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16));
+        assert_eq!(&direct, base.report(1, 0));
+    }
+
+    #[test]
+    fn run_parallel_is_deterministic_across_thread_counts() {
+        let jobs: Vec<(Kernel, Scale, SimConfig)> = tiny_suite()
+            .into_iter()
+            .map(|k| (k, Scale::Tiny, SimConfig::svr(16)))
+            .collect();
+        let one = crate::run_parallel(jobs.clone(), 1);
+        for threads in [2, 8] {
+            let many = crate::run_parallel(jobs.clone(), threads);
+            assert_eq!(one, many, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn corrupt_cache_entries_are_resimulated() {
+        let dir = TempDir::new("corrupt");
+        let run = || {
+            Sweep::new(vec![Kernel::Camel], Scale::Tiny)
+                .config(SimConfig::inorder())
+                .cache_dir(&dir.0)
+                .run(1)
+        };
+        let fresh = run();
+        assert_eq!(fresh.stats.simulated, 1);
+        // Truncate every cache file.
+        for entry in std::fs::read_dir(&dir.0).expect("dir") {
+            std::fs::write(entry.expect("entry").path(), "{not json").expect("truncate");
+        }
+        let again = run();
+        assert_eq!(again.stats.cache_hits, 0, "corrupt entry must not hit");
+        assert_eq!(again.stats.simulated, 1);
+        assert_eq!(fresh.report(0, 0), again.report(0, 0));
+    }
+
+    #[test]
+    fn scales_do_not_share_cache_entries() {
+        let dir = TempDir::new("scales");
+        let run = |scale| {
+            Sweep::new(vec![Kernel::Camel], scale)
+                .config(SimConfig::inorder())
+                .cache_dir(&dir.0)
+                .run(1)
+        };
+        assert_eq!(run(Scale::Tiny).stats.simulated, 1);
+        assert_eq!(run(Scale::Small).stats.simulated, 1, "different scale");
+        assert_eq!(run(Scale::Tiny).stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn traces_cover_every_point() {
+        let res = Sweep::new(tiny_suite(), Scale::Tiny)
+            .config(SimConfig::inorder())
+            .no_cache()
+            .run(2);
+        assert_eq!(res.traces.len(), 3);
+        assert!(res.traces.iter().all(|t| t.source == JobSource::Simulated));
+        assert!(res.traces.iter().all(|t| t.wall_ms >= 0.0));
+        assert_eq!(res.stats.summary().contains("simulated=3"), true);
+    }
+
+    #[test]
+    fn speedup_matches_harmonic_mean_helper() {
+        let res = Sweep::new(tiny_suite(), Scale::Tiny)
+            .configs(vec![SimConfig::inorder(), SimConfig::svr(16)])
+            .no_cache()
+            .run(4);
+        let base: Vec<RunReport> = res.config_reports(0).into_iter().cloned().collect();
+        let new: Vec<RunReport> = res.config_reports(1).into_iter().cloned().collect();
+        let expect = crate::harmonic_mean_speedup(&base, &new);
+        assert!((res.speedup(0, 1) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned: changing the hash silently orphans every cache entry.
+        assert_eq!(fnv1a64(""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64("a"), 0xaf63dc4c8601ec8c);
+    }
+}

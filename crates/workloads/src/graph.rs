@@ -3,8 +3,7 @@
 //! stand-ins for the LiveJournal / Twitter / Orkut real-world inputs
 //! (substitution documented in DESIGN.md).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 
 /// A graph in compressed-sparse-row form (Fig. 2 of the paper).
 ///
@@ -153,10 +152,10 @@ impl GraphInput {
 
 /// Uniform-random digraph: `n * edge_factor` edges with i.i.d. endpoints.
 pub fn uniform(n: usize, edge_factor: usize, seed: u64) -> Csr {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let m = n * edge_factor;
     let edges: Vec<(u64, u64)> = (0..m)
-        .map(|_| (rng.gen_range(0..n as u64), rng.gen_range(0..n as u64)))
+        .map(|_| (rng.below(n as u64), rng.below(n as u64)))
         .collect();
     Csr::from_edges(n, &edges)
 }
@@ -167,7 +166,7 @@ pub fn rmat(n: usize, edge_factor: usize, abc: (f64, f64, f64), seed: u64) -> Cs
     let n_pow2 = n.next_power_of_two();
     let levels = n_pow2.trailing_zeros();
     let (a, b, c) = abc;
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let m = n * edge_factor;
     let mut edges = Vec::with_capacity(m);
     for _ in 0..m {
@@ -175,7 +174,7 @@ pub fn rmat(n: usize, edge_factor: usize, abc: (f64, f64, f64), seed: u64) -> Cs
         for _ in 0..levels {
             u <<= 1;
             v <<= 1;
-            let r: f64 = rng.gen();
+            let r: f64 = rng.next_f64();
             if r < a {
                 // top-left
             } else if r < a + b {

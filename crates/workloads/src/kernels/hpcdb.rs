@@ -3,8 +3,7 @@
 //! [`crate::kernels::gap::graph500`].)
 
 use crate::workload::{Check, Scale, Workload};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 use svr_isa::{AluOp, ArchState, Assembler, Cond, Reg};
 use svr_mem::MemImage;
 
@@ -16,8 +15,8 @@ fn r(i: u8) -> Reg {
 /// operations of "hump" compute per element.
 pub fn camel(scale: Scale) -> Workload {
     let n = scale.elems() as u64;
-    let mut rng = SmallRng::seed_from_u64(7);
-    let idx: Vec<u64> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+    let mut rng = Rng64::new(7);
+    let idx: Vec<u64> = (0..n).map(|_| rng.below(n)).collect();
     let data: Vec<u64> = (0..n).map(|i| i * 3 + 1).collect();
     let mut img = MemImage::new();
     let ib = img.alloc_array(&idx);
@@ -69,14 +68,14 @@ pub fn hashjoin(bucket: usize, scale: Scale) -> Workload {
     let n = scale.elems() as u64; // probe tuples
     let nbuckets = (scale.elems() / 2).next_power_of_two() as u64;
     let mask = nbuckets - 1;
-    let mut rng = SmallRng::seed_from_u64(11 + bucket as u64);
+    let mut rng = Rng64::new(11 + bucket as u64);
 
     // Build relation: fill each bucket with up to `bucket` keys.
     let mut tab_keys = vec![u64::MAX; (nbuckets as usize) * bucket];
     let mut tab_vals = vec![0u64; (nbuckets as usize) * bucket];
     let mut build_keys = Vec::new();
     for _ in 0..(nbuckets as usize * bucket / 2) {
-        let k: u64 = rng.gen_range(1..u64::MAX / 2);
+        let k: u64 = rng.range(1, u64::MAX / 2);
         let h = (hash64(k) & mask) as usize;
         for s in 0..bucket {
             if tab_keys[h * bucket + s] == u64::MAX {
@@ -91,9 +90,9 @@ pub fn hashjoin(bucket: usize, scale: Scale) -> Workload {
     let probe: Vec<u64> = (0..n)
         .map(|i| {
             if i % 2 == 0 && !build_keys.is_empty() {
-                build_keys[rng.gen_range(0..build_keys.len())]
+                build_keys[rng.index(build_keys.len())]
             } else {
-                rng.gen_range(1..u64::MAX / 2)
+                rng.range(1, u64::MAX / 2)
             }
         })
         .collect();
@@ -183,9 +182,9 @@ pub fn hashjoin(bucket: usize, scale: Scale) -> Workload {
 /// `count[k2[k1[i]]] += 1`. IMP only covers one level; SVR chases the chain.
 pub fn kangaroo(scale: Scale) -> Workload {
     let n = scale.elems() as u64;
-    let mut rng = SmallRng::seed_from_u64(23);
-    let k1: Vec<u64> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-    let k2: Vec<u64> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+    let mut rng = Rng64::new(23);
+    let k1: Vec<u64> = (0..n).map(|_| rng.below(n)).collect();
+    let k2: Vec<u64> = (0..n).map(|_| rng.below(n)).collect();
     let mut img = MemImage::new();
     let b1 = img.alloc_array(&k1);
     let b2 = img.alloc_array(&k2);
@@ -234,13 +233,13 @@ pub fn kangaroo(scale: Scale) -> Workload {
 pub fn nas_cg(scale: Scale) -> Workload {
     let rows = scale.nodes() as u64;
     let nnz_per_row = 12u64;
-    let mut rng = SmallRng::seed_from_u64(31);
+    let mut rng = Rng64::new(31);
     let mut offsets = vec![0u64; rows as usize + 1];
     for i in 0..rows as usize {
         offsets[i + 1] = offsets[i] + nnz_per_row;
     }
     let nnz = offsets[rows as usize];
-    let cols: Vec<u64> = (0..nnz).map(|_| rng.gen_range(0..rows)).collect();
+    let cols: Vec<u64> = (0..nnz).map(|_| rng.below(rows)).collect();
     let vals: Vec<u64> = (0..nnz).map(|i| i % 9 + 1).collect();
     let x: Vec<u64> = (0..rows).map(|i| i % 31 + 1).collect();
     let mut img = MemImage::new();
@@ -320,8 +319,8 @@ pub fn nas_cg(scale: Scale) -> Workload {
 pub fn nas_is(scale: Scale) -> Workload {
     let n = scale.elems() as u64;
     let range = (scale.elems() as u64).next_power_of_two();
-    let mut rng = SmallRng::seed_from_u64(37);
-    let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..range)).collect();
+    let mut rng = Rng64::new(37);
+    let keys: Vec<u64> = (0..n).map(|_| rng.below(range)).collect();
     let mut img = MemImage::new();
     let kb = img.alloc_array(&keys);
     let cb = img.alloc_words(range);
@@ -367,8 +366,8 @@ pub fn randacc(scale: Scale) -> Workload {
     let n = scale.elems() as u64;
     let table_size = (scale.elems() as u64 * 2).next_power_of_two();
     let mask = table_size - 1;
-    let mut rng = SmallRng::seed_from_u64(41);
-    let ran: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+    let mut rng = Rng64::new(41);
+    let ran: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
     let mut img = MemImage::new();
     let rb = img.alloc_array(&ran);
     let tb = img.alloc_words(table_size);

@@ -27,8 +27,10 @@
 mod graph;
 pub mod kernels;
 mod registry;
+mod rng;
 mod workload;
 
 pub use graph::{rmat, uniform, Csr, GraphInput};
+pub use rng::Rng64;
 pub use registry::{gap_suite, hpcdb_suite, irregular_suite, regular_suite, Group, Kernel};
 pub use workload::{Check, Scale, Workload};

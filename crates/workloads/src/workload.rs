@@ -108,6 +108,25 @@ impl Scale {
             Scale::Full => 10_000_000,
         }
     }
+
+    /// Canonical lowercase name (CLI flag value, cache-key component).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Parses a [`Scale::name`] string (case-insensitive).
+    pub fn from_name(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

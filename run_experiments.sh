@@ -1,9 +1,14 @@
 #!/bin/bash
-# Regenerates every table/figure of the paper into results/.
-# Usage: ./run_experiments.sh [--scale tiny|small|full]
+# Regenerates every table/figure of the paper into results/ (text tables
+# plus structured results/<bin>.json reports; simulation results are cached
+# under results/cache/ so re-runs only simulate new design points).
+# Usage: ./run_experiments.sh [--check] [--scale tiny|small|full] [--threads N] [--no-cache]
 set -u
-SCALE_ARGS="${@:---scale small}"
 cd "$(dirname "$0")"
+if [ "${1:-}" = "--check" ]; then
+  exec scripts/ci.sh
+fi
+SCALE_ARGS="${@:---scale small}"
 cargo build --release -p svr-bench 2>&1 | tail -1
 for bin in table2_overhead fig01_headline fig11_cpi fig13_accuracy_coverage \
            fig15_loop_bounds fig03_cpi_stacks fig12_energy fig14_spec_overhead \

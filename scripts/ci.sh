@@ -1,0 +1,38 @@
+#!/bin/bash
+# Tier-1 verification: build, test, and prove the experiment engine's result
+# cache works end-to-end (a figure binary run twice at the same scale must
+# perform zero simulations the second time).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "=== cargo build --release ==="
+cargo build --release --workspace
+
+echo "=== cargo test -q ==="
+cargo test --workspace -q --release
+
+echo "=== cache check: fig11_cpi twice at tiny scale ==="
+CACHE_DIR="$(mktemp -d)"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR" "$OUT_DIR"' EXIT
+
+SVR_CACHE_DIR="$CACHE_DIR" ./target/release/fig11_cpi --scale tiny \
+  --json "$OUT_DIR/first.json" > /dev/null
+SVR_CACHE_DIR="$CACHE_DIR" ./target/release/fig11_cpi --scale tiny \
+  --json "$OUT_DIR/second.json" > /dev/null
+
+# The JSON report embeds the sweep counters; the second run must be all
+# cache hits. Hand-rolled extraction so CI needs nothing beyond a shell.
+simulated=$(grep -o '"simulated": *[0-9]*' "$OUT_DIR/second.json" | grep -o '[0-9]*$')
+hits=$(grep -o '"cache_hits": *[0-9]*' "$OUT_DIR/second.json" | grep -o '[0-9]*$')
+pairs=$(grep -o '"pairs": *[0-9]*' "$OUT_DIR/second.json" | grep -o '[0-9]*$')
+echo "second run: pairs=$pairs simulated=$simulated cache_hits=$hits"
+if [ "$simulated" != "0" ]; then
+  echo "FAIL: second run simulated $simulated points (expected 0)" >&2
+  exit 1
+fi
+if [ "$hits" != "$pairs" ] || [ "$pairs" = "0" ]; then
+  echo "FAIL: expected all $pairs points from cache, got $hits hits" >&2
+  exit 1
+fi
+echo CI_OK

@@ -1,46 +1,55 @@
-//! Property-based tests (proptest) over the core data structures and
-//! cross-crate invariants.
+//! Randomized property tests over the core data structures and cross-crate
+//! invariants. Cases are generated with the deterministic in-tree
+//! [`Rng64`](svr::workloads::Rng64) (the offline registry has no proptest),
+//! so every run exercises exactly the same inputs.
 
-use proptest::prelude::*;
-use proptest::strategy::ValueTree;
 use svr::core::{svr::StrideDetector, IssueSlots, Scoreboard};
 use svr::isa::{AluOp, ArchState, DataMemory, Inst, Program, Reg, VecMemory};
 use svr::mem::{Access, AccessKind, Cache, CacheConfig, MemConfig, MemImage, MemoryHierarchy};
 use svr::sim::{run_workload, SimConfig};
-use svr::workloads::{Check, Csr, Scale, Workload};
+use svr::workloads::{Check, Csr, Rng64, Scale, Workload};
 
-/// Strategy: random straight-line ALU/Li programs over registers 1..8.
-fn straight_line_program() -> impl Strategy<Value = Vec<Inst>> {
-    let reg = (1u8..8).prop_map(Reg::new);
-    let op = prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Xor),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Sltu),
+/// Random straight-line ALU/Li program over registers 1..8.
+fn straight_line_program(rng: &mut Rng64) -> Vec<Inst> {
+    const OPS: [AluOp; 7] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Xor,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Sltu,
     ];
-    let inst =
-        prop_oneof![
-            (reg.clone(), -1000i64..1000).prop_map(|(dst, imm)| Inst::Li { dst, imm }),
-            (op.clone(), reg.clone(), reg.clone(), reg.clone())
-                .prop_map(|(op, dst, a, b)| Inst::Alu { op, dst, a, b }),
-            (op, reg.clone(), reg.clone(), -64i64..64).prop_map(|(op, dst, src, imm)| Inst::AluI {
-                op,
-                dst,
-                src,
-                imm
-            }),
-        ];
-    prop::collection::vec(inst, 1..60)
+    let reg = |rng: &mut Rng64| Reg::new(rng.range(1, 8) as u8);
+    let len = rng.range(1, 60) as usize;
+    (0..len)
+        .map(|_| match rng.below(3) {
+            0 => Inst::Li {
+                dst: reg(rng),
+                imm: rng.range(0, 2000) as i64 - 1000,
+            },
+            1 => Inst::Alu {
+                op: OPS[rng.index(OPS.len())],
+                dst: reg(rng),
+                a: reg(rng),
+                b: reg(rng),
+            },
+            _ => Inst::AluI {
+                op: OPS[rng.index(OPS.len())],
+                dst: reg(rng),
+                src: reg(rng),
+                imm: rng.range(0, 128) as i64 - 64,
+            },
+        })
+        .collect()
 }
 
-proptest! {
-    /// Functional execution is deterministic and halts.
-    #[test]
-    fn straight_line_execution_is_deterministic(insts in straight_line_program()) {
-        let mut insts = insts;
+/// Functional execution is deterministic and halts.
+#[test]
+fn straight_line_execution_is_deterministic() {
+    let mut rng = Rng64::new(0xA11CE);
+    for _ in 0..64 {
+        let mut insts = straight_line_program(&mut rng);
         insts.push(Inst::Halt);
         let p = Program::new("prop", insts);
         let run = || {
@@ -49,75 +58,101 @@ proptest! {
             st.run(&p, &mut mem, 10_000);
             (0..8).map(|i| st.reg(Reg::new(i))).collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    /// The memory image behaves as a flat 64-bit word store.
-    #[test]
-    fn mem_image_matches_hashmap_oracle(ops in prop::collection::vec((0u64..1u64<<20, any::<u64>()), 1..200)) {
+/// The memory image behaves as a flat 64-bit word store.
+#[test]
+fn mem_image_matches_hashmap_oracle() {
+    let mut rng = Rng64::new(0xBEEF);
+    for _ in 0..16 {
         let mut img = MemImage::new();
         let mut oracle = std::collections::HashMap::new();
-        for &(addr, val) in &ops {
-            let addr = addr & !7;
+        for _ in 0..rng.range(1, 200) {
+            let addr = rng.below(1 << 20) & !7;
+            let val = rng.next_u64();
             img.write_u64(addr, val);
             oracle.insert(addr, val);
         }
         for (&addr, &val) in &oracle {
-            prop_assert_eq!(img.read_u64(addr), val);
+            assert_eq!(img.read_u64(addr), val);
         }
     }
+}
 
-    /// Cache invariant: after a fill, the line is present until evicted by
-    /// fills to the same set; a demand access never invents a line.
-    #[test]
-    fn cache_presence_invariant(addrs in prop::collection::vec(0u64..1u64<<16, 1..300)) {
-        let mut c = Cache::new(CacheConfig { size_bytes: 2048, ways: 2 });
-        let mut filled = Vec::new();
-        for &a in &addrs {
+/// Cache invariant: after a fill, the line is present until evicted by
+/// fills to the same set; a demand access never invents a line.
+#[test]
+fn cache_presence_invariant() {
+    let mut rng = Rng64::new(0xCACE);
+    for _ in 0..16 {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 2048,
+            ways: 2,
+        });
+        for _ in 0..rng.range(1, 300) {
+            let a = rng.below(1 << 16);
             if !c.access(a, false).hit {
                 c.fill(a, false, None);
-                filled.push(a);
             }
             // The just-accessed/filled line must be present.
-            prop_assert!(c.probe(a));
+            assert!(c.probe(a));
         }
     }
+}
 
-    /// IssueSlots: per-cycle width is never exceeded and times are monotone.
-    #[test]
-    fn issue_slots_width_respected(reqs in prop::collection::vec(0u64..1000, 1..200)) {
+/// IssueSlots: per-cycle width is never exceeded and times are monotone.
+#[test]
+fn issue_slots_width_respected() {
+    let mut rng = Rng64::new(0x51075);
+    for _ in 0..16 {
         let mut s = IssueSlots::new(3);
         let mut counts = std::collections::HashMap::new();
         let mut last = 0;
-        for &r in &reqs {
+        for _ in 0..rng.range(1, 200) {
+            let r = rng.below(1000);
             let t = s.take(r);
-            prop_assert!(t >= last, "monotonic");
-            prop_assert!(t >= r);
+            assert!(t >= last, "monotonic");
+            assert!(t >= r);
             last = t;
             let c = counts.entry(t).or_insert(0u32);
             *c += 1;
-            prop_assert!(*c <= 3, "width exceeded at {t}");
+            assert!(*c <= 3, "width exceeded at {t}");
         }
     }
+}
 
-    /// Scoreboard never exceeds capacity in flight.
-    #[test]
-    fn scoreboard_capacity_respected(jobs in prop::collection::vec((0u64..100, 1u64..200), 1..100)) {
+/// Scoreboard never exceeds capacity in flight.
+#[test]
+fn scoreboard_capacity_respected() {
+    let mut rng = Rng64::new(0x5C0);
+    for _ in 0..16 {
         let mut sb = Scoreboard::new(8);
         let mut t = 0;
-        for &(gap, dur) in &jobs {
+        for _ in 0..rng.range(1, 100) {
+            let (gap, dur) = (rng.below(100), rng.range(1, 200));
             t += gap;
             let admitted = sb.admit(t);
-            prop_assert!(admitted >= t);
+            assert!(admitted >= t);
             sb.push(admitted + dur);
-            prop_assert!(sb.len() <= 8);
+            assert!(sb.len() <= 8);
         }
     }
+}
 
-    /// Stride detector: confident entries always report the true stride of
-    /// a perfectly striding stream.
-    #[test]
-    fn stride_detector_learns_any_stride(stride in prop_oneof![1i64..512, -512i64..-1], start in 0u64..1u64<<30) {
+/// Stride detector: confident entries always report the true stride of a
+/// perfectly striding stream.
+#[test]
+fn stride_detector_learns_any_stride() {
+    let mut rng = Rng64::new(0x57D);
+    for _ in 0..128 {
+        let stride = if rng.below(2) == 0 {
+            rng.range(1, 512) as i64
+        } else {
+            -(rng.range(1, 512) as i64)
+        };
+        let start = rng.below(1 << 30);
         let mut sd = StrideDetector::new(8, 2);
         let mut addr = start;
         let mut up = sd.update(7, addr);
@@ -125,18 +160,24 @@ proptest! {
             addr = addr.wrapping_add(stride as u64);
             up = sd.update(7, addr);
         }
-        prop_assert!(up.striding);
-        prop_assert_eq!(up.stride, stride);
-        prop_assert!(up.continued);
+        assert!(up.striding);
+        assert_eq!(up.stride, stride);
+        assert!(up.continued);
     }
+}
 
-    /// CSR construction preserves edges and invariants.
-    #[test]
-    fn csr_invariants(edges in prop::collection::vec((0u64..50, 0u64..50), 0..300)) {
+/// CSR construction preserves edges and invariants.
+#[test]
+fn csr_invariants() {
+    let mut rng = Rng64::new(0xC52);
+    for _ in 0..32 {
+        let edges: Vec<(u64, u64)> = (0..rng.below(300))
+            .map(|_| (rng.below(50), rng.below(50)))
+            .collect();
         let g = Csr::from_edges(50, &edges);
-        prop_assert!(g.check_invariants());
+        assert!(g.check_invariants());
         let non_loops = edges.iter().filter(|(u, v)| u != v).count();
-        prop_assert_eq!(g.num_edges(), non_loops);
+        assert_eq!(g.num_edges(), non_loops);
     }
 }
 
@@ -144,13 +185,9 @@ proptest! {
 /// matches the plain in-order run (runahead never leaks into architecture).
 #[test]
 fn svr_is_architecturally_transparent_on_random_gathers() {
-    let mut runner = proptest::test_runner::TestRunner::deterministic();
-    let strategy = (2u64..500, 1u64..7919);
+    let mut rng = Rng64::new(0x7A);
     for _ in 0..12 {
-        let (n, mult) = strategy
-            .new_tree(&mut runner)
-            .expect("value generated")
-            .current();
+        let (n, mult) = (rng.range(2, 500), rng.range(1, 7919));
         let w = gather_workload(n.max(4), mult);
         let a = run_workload(&w, &SimConfig::inorder(), u64::MAX);
         let b = run_workload(&w, &SimConfig::svr(16), u64::MAX);
@@ -207,13 +244,9 @@ fn gather_workload(n: u64, mult: u64) -> Workload {
 /// second access to the same line after completion is an L1 hit.
 #[test]
 fn hierarchy_timing_sanity() {
-    let mut runner = proptest::test_runner::TestRunner::deterministic();
-    let strategy = prop::collection::vec(0u64..1u64 << 22, 1..300);
+    let mut rng = Rng64::new(0x71E);
     for _ in 0..16 {
-        let addrs = strategy
-            .new_tree(&mut runner)
-            .expect("value generated")
-            .current();
+        let addrs: Vec<u64> = (0..rng.range(1, 300)).map(|_| rng.below(1 << 22)).collect();
         let mut h = MemoryHierarchy::new(MemConfig::default());
         let mut t = 0u64;
         for &a in &addrs {
@@ -251,15 +284,14 @@ fn workload_listings_round_trip_through_text_and_binary() {
     for k in irregular_suite() {
         let w = k.build(Scale::Tiny);
         let text = w.program.to_string();
-        let parsed = parse_program(w.program.name(), &text)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let parsed =
+            parse_program(w.program.name(), &text).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert_eq!(parsed, w.program, "{} text round trip", w.name);
         // The binary format documents a 32-bit immediate limit; kernels
         // using sentinel constants (INF) legitimately exceed it.
         match encode_program(&w.program) {
             Ok(words) => {
-                let decoded =
-                    decode_program(w.program.name(), &words).expect("decodable");
+                let decoded = decode_program(w.program.name(), &words).expect("decodable");
                 assert_eq!(decoded, w.program, "{} binary round trip", w.name);
             }
             Err(e) => assert!(
