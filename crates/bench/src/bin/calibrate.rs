@@ -34,7 +34,11 @@ fn main() {
     res.assert_verified();
     let dt = t0.elapsed().as_secs_f64();
 
-    let mut fig = Figure::new("calibrate", "Calibration — CPI on headline workloads", &args);
+    let mut fig = Figure::new(
+        "calibrate",
+        "Calibration — CPI on headline workloads",
+        &args,
+    );
     fig.section("", "workload", &["InO", "IMP", "OoO", "SVR16", "SVR64"]);
     let mut insts = 0u64;
     for (wi, k) in kernels.iter().enumerate() {

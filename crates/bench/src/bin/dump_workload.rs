@@ -12,7 +12,10 @@ use svr_workloads::{irregular_suite, regular_suite, Kernel};
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let all: Vec<Kernel> = irregular_suite().into_iter().chain(regular_suite()).collect();
+    let all: Vec<Kernel> = irregular_suite()
+        .into_iter()
+        .chain(regular_suite())
+        .collect();
     if raw.iter().any(|a| a == "--list") {
         for k in &all {
             println!("{}", k.name());

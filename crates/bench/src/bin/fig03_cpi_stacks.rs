@@ -54,11 +54,7 @@ fn main() {
         let n = groups.len() as f64;
         fig.row(
             "Avg.",
-            &[
-                total_cpi / n,
-                total_dram / n,
-                (total_cpi - total_dram) / n,
-            ],
+            &[total_cpi / n, total_dram / n, (total_cpi - total_dram) / n],
         );
     }
     fig.attach(&res);

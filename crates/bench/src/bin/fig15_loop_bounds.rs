@@ -32,7 +32,9 @@ fn main() {
             }));
         }
     }
-    let res = sweep(suite.clone(), &args).configs(configs).run(args.threads);
+    let res = sweep(suite.clone(), &args)
+        .configs(configs)
+        .run(args.threads);
     res.assert_verified();
     let base = res.config_reports(0);
 

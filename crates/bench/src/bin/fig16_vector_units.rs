@@ -31,7 +31,9 @@ fn main() {
     );
     fig.section("", "spc", &["SVR16", "SVR64"]);
     for (si, spc) in spcs.iter().enumerate() {
-        let row: Vec<f64> = (0..2).map(|half| res.speedup(0, 1 + si * 2 + half)).collect();
+        let row: Vec<f64> = (0..2)
+            .map(|half| res.speedup(0, 1 + si * 2 + half))
+            .collect();
         fig.row(&spc.to_string(), &row);
     }
     fig.attach(&res);

@@ -1,0 +1,66 @@
+//! Self-timing harness for the simulator hot path.
+//!
+//! Re-runs the Fig. 11 sweep (the broadest all-config workload × config
+//! product) with the result cache disabled, times the sweep end to end
+//! (workload build + simulation), and records the measurement against the
+//! checked-in pre-rework baseline in `results/perf_baseline.json`.
+//! See DESIGN.md ("The performance baseline") for the schema.
+
+use std::time::Instant;
+
+use svr_bench::{paper_configs, sweep, BenchArgs};
+use svr_workloads::irregular_suite;
+
+/// Wall time of `fig11_cpi --no-cache` at the default (small) scale on the
+/// reference machine *before* the integer-timing / hot-path rework.
+const BASELINE_WALL_MS: u64 = 154_000;
+
+/// Documented goal of the hot-path rework: at least 2× the baseline.
+const TARGET_SPEEDUP: f64 = 2.0;
+
+fn main() {
+    let mut args = BenchArgs::parse("perf_baseline");
+    // The measurement is only meaningful uncached.
+    args.no_cache = true;
+
+    let start = Instant::now();
+    let res = sweep(irregular_suite(), &args)
+        .configs(paper_configs())
+        .run(args.threads);
+    let wall_ms = start.elapsed().as_millis() as u64;
+    res.assert_verified();
+
+    let speedup = BASELINE_WALL_MS as f64 / wall_ms.max(1) as f64;
+    let json = format!(
+        "{{\n  \"name\": \"perf_baseline\",\n  \"benchmark\": \"fig11_cpi --no-cache --scale {}\",\n  \"pairs\": {},\n  \"baseline_wall_ms\": {},\n  \"current_wall_ms\": {},\n  \"speedup\": {:.3},\n  \"target_speedup\": {:.1}\n}}\n",
+        args.scale.name(),
+        res.stats.pairs,
+        BASELINE_WALL_MS,
+        wall_ms,
+        speedup,
+        TARGET_SPEEDUP,
+    );
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| "results/perf_baseline.json".into());
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&path, &json).expect("write perf_baseline.json");
+
+    println!(
+        "perf_baseline: {} pairs in {:.1}s ({:.2}x vs {:.1}s baseline, target {:.1}x)",
+        res.stats.pairs,
+        wall_ms as f64 / 1000.0,
+        speedup,
+        BASELINE_WALL_MS as f64 / 1000.0,
+        TARGET_SPEEDUP,
+    );
+    println!("wrote {}", path.display());
+    if args.scale.name() == "small" && speedup < TARGET_SPEEDUP {
+        eprintln!(
+            "warning: speedup {speedup:.2}x is below the {TARGET_SPEEDUP:.1}x target"
+        );
+    }
+}

@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn zero_and_nan_values_render_empty_bars() {
-        let s = bar_chart(&[("z".into(), 0.0), ("n".into(), f64::NAN), ("x".into(), 1.0)], 8);
+        let s = bar_chart(
+            &[("z".into(), 0.0), ("n".into(), f64::NAN), ("x".into(), 1.0)],
+            8,
+        );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines[0].matches('█').count(), 0);
         assert_eq!(lines[1].matches('█').count(), 0);

@@ -69,11 +69,10 @@ impl BenchArgs {
                 }
                 "--threads" => {
                     let v = value("--threads", &mut it)?;
-                    out.threads = v
-                        .parse::<usize>()
-                        .ok()
-                        .filter(|&n| n >= 1)
-                        .ok_or_else(|| format!("--threads needs a positive integer, got {v}"))?;
+                    out.threads =
+                        v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--threads needs a positive integer, got {v}")
+                        })?;
                 }
                 "--json" => out.json = Some(PathBuf::from(value("--json", &mut it)?)),
                 "--no-cache" => out.no_cache = true,
@@ -297,7 +296,7 @@ impl Figure {
                         ("label".into(), Json::str(&s.label)),
                         (
                             "columns".into(),
-                            Json::Arr(s.columns.iter().map(|c| Json::str(c)).collect()),
+                            Json::Arr(s.columns.iter().map(Json::str).collect()),
                         ),
                         (
                             "rows".into(),
@@ -325,7 +324,7 @@ impl Figure {
             ("sections".into(), sections),
             (
                 "notes".into(),
-                Json::Arr(self.notes.iter().map(|n| Json::str(n)).collect()),
+                Json::Arr(self.notes.iter().map(Json::str).collect()),
             ),
             (
                 "sweep".into(),
@@ -408,7 +407,13 @@ mod tests {
     #[test]
     fn usage_mentions_every_flag() {
         let u = usage("fig11_cpi");
-        for flag in ["--scale", "--threads", "--json", "--no-cache", "--cache-dir"] {
+        for flag in [
+            "--scale",
+            "--threads",
+            "--json",
+            "--no-cache",
+            "--cache-dir",
+        ] {
             assert!(u.contains(flag), "usage missing {flag}");
         }
     }

@@ -5,7 +5,7 @@ use crate::branch::{BranchPredictor, MISPREDICT_PENALTY};
 use crate::pipeline::{IssueSlots, Scoreboard};
 use crate::stats::{CoreStats, StallBucket};
 use crate::svr::{SvrConfig, SvrEngine};
-use svr_isa::{AluOp, ArchState, DataMemory, Inst, MemAccessKind, Outcome, Program, NUM_REGS};
+use svr_isa::{AluOp, ArchState, Inst, Outcome, Program, NUM_REGS};
 use svr_mem::{Access, AccessKind, HitLevel, MemConfig, MemImage, MemoryHierarchy};
 
 /// In-order core parameters (defaults = Table III).
@@ -188,10 +188,12 @@ impl InOrderCore {
             let Some(&inst) = program.get(pc) else { break };
 
             // Snapshot source values before execution (an instruction may
-            // overwrite its own source).
+            // overwrite its own source). Only the SVR engine consumes these.
             let mut src_vals = [0u64; 3];
-            for (i, r) in inst.srcs().enumerate().take(3) {
-                src_vals[i] = arch.reg(r);
+            if self.svr.is_some() {
+                for (i, r) in inst.srcs().enumerate().take(3) {
+                    src_vals[i] = arch.reg(r);
+                }
             }
 
             // Instruction fetch, one access per new cache line (16 insts).
@@ -243,10 +245,8 @@ impl InOrderCore {
             }
             self.last_issue = t;
 
-            // Functional execution.
-            let out: Outcome = arch
-                .step(program, image)
-                .expect("not halted and pc in range");
+            // Functional execution (`inst` was fetched from `pc` above).
+            let out: Outcome = arch.step_fetched(inst, image);
             self.stats.retired += 1;
             self.stats.issued_uops += 1;
 
@@ -256,10 +256,7 @@ impl InOrderCore {
 
             // SVR piggybacking.
             if let Some(svr) = self.svr.as_mut() {
-                let loaded_value = match out.mem {
-                    Some((MemAccessKind::Load, addr)) => Some(image.read_u64(addr)),
-                    _ => None,
-                };
+                let loaded_value = out.loaded;
                 let observed = Observed {
                     pc,
                     inst,
@@ -296,7 +293,7 @@ impl InOrderCore {
         match inst {
             Inst::Ld { .. } | Inst::LdX { .. } => {
                 let (_, addr) = out.mem.expect("load accesses memory");
-                let value = image.read_u64(addr);
+                let value = out.loaded.expect("load produces a value");
                 let res = self.hier.access_with_image(
                     Access::new(t, addr, AccessKind::DemandLoad)
                         .with_pc(pc as u64)
@@ -371,7 +368,7 @@ impl InOrderCore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use svr_isa::{Assembler, Cond, Reg};
+    use svr_isa::{Assembler, Cond, DataMemory, Reg};
 
     fn r(i: u8) -> Reg {
         Reg::new(i)

@@ -12,8 +12,9 @@ use crate::branch::{BranchPredictor, MISPREDICT_PENALTY};
 use crate::pipeline::{IssueSlots, Scoreboard};
 use crate::stats::{CoreStats, StallBucket};
 use std::collections::HashMap;
-use svr_isa::{AluOp, ArchState, DataMemory, Inst, Outcome, Program, NUM_REGS};
-use svr_mem::{Access, AccessKind, HitLevel, MemConfig, MemImage, MemoryHierarchy};
+use std::hash::BuildHasherDefault;
+use svr_isa::{AluOp, ArchState, Inst, Outcome, Program, NUM_REGS};
+use svr_mem::{Access, AccessKind, FxHasher, HitLevel, MemConfig, MemImage, MemoryHierarchy};
 
 /// Out-of-order core parameters (defaults = Table III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,8 +79,9 @@ pub struct OooCore {
     fetch_ready: u64,
     last_fetch_line: Option<usize>,
     /// Completion time of the last store per word address (conservative
-    /// same-address ordering with store-to-load forwarding).
-    store_fwd: HashMap<u64, u64>,
+    /// same-address ordering with store-to-load forwarding). FxHash: this is
+    /// probed on every load and written on every store.
+    store_fwd: HashMap<u64, u64, BuildHasherDefault<FxHasher>>,
     last_commit: u64,
     stats: CoreStats,
 }
@@ -115,7 +117,7 @@ impl OooCore {
             flags_ready: 0,
             fetch_ready: 0,
             last_fetch_line: None,
-            store_fwd: HashMap::new(),
+            store_fwd: HashMap::default(),
             last_commit: 0,
             stats: CoreStats::default(),
             cfg,
@@ -181,9 +183,8 @@ impl OooCore {
                 ready = ready.max(self.flags_ready);
             }
 
-            let out: Outcome = arch
-                .step(program, image)
-                .expect("not halted and pc in range");
+            // `inst` was fetched from `pc` above.
+            let out: Outcome = arch.step_fetched(inst, image);
             self.stats.retired += 1;
             self.stats.issued_uops += 1;
 
@@ -196,7 +197,7 @@ impl OooCore {
                     if let Some(&fwd) = self.store_fwd.get(&(addr & !7)) {
                         start = start.max(fwd);
                     }
-                    let value = image.read_u64(addr);
+                    let value = out.loaded.expect("load produces a value");
                     let res = self.hier.access_with_image(
                         Access::new(start, addr, AccessKind::DemandLoad)
                             .with_pc(pc as u64)
@@ -302,7 +303,7 @@ impl OooCore {
 mod tests {
     use super::*;
     use crate::inorder::{InOrderConfig, InOrderCore};
-    use svr_isa::{Assembler, Cond, Reg};
+    use svr_isa::{Assembler, Cond, DataMemory, Reg};
 
     fn r(i: u8) -> Reg {
         Reg::new(i)

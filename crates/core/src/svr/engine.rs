@@ -586,7 +586,7 @@ impl SvrEngine {
             }
             Inst::St { .. } | Inst::StX { .. } => {
                 // Transient stores only prefetch their line (for write).
-                for k in 0..lanes {
+                for (k, rdy) in ready.iter_mut().enumerate().take(lanes) {
                     if self.mask & (1u128 << k) == 0 {
                         continue;
                     }
@@ -602,8 +602,8 @@ impl SvrEngine {
                     let res =
                         ctx.hier
                             .access(Access::new(t, addr, AccessKind::Prefetch(PfSource::Svr)));
-                    ready[k] = res.complete_at;
-                    max_ready = max_ready.max(ready[k]);
+                    *rdy = res.complete_at;
+                    max_ready = max_ready.max(*rdy);
                     ctx.stats.svr.lane_loads += 1;
                 }
             }

@@ -90,6 +90,9 @@ pub struct Outcome {
     pub next_pc: usize,
     /// Data-memory access performed, if any.
     pub mem: Option<(MemAccessKind, u64)>,
+    /// Value loaded from memory (loads only; avoids timing models paying a
+    /// second functional read on the hot path).
+    pub loaded: Option<u64>,
     /// For branches: `(taken, taken_target)`.
     pub branch: Option<(bool, usize)>,
     /// Whether the program halted on this instruction.
@@ -185,18 +188,27 @@ impl ArchState {
         if self.halted {
             return None;
         }
-        let pc = self.pc;
-        let inst = match program.get(pc) {
+        let inst = match program.get(self.pc) {
             Some(i) => *i,
             None => {
                 self.halted = true;
                 return None;
             }
         };
+        Some(self.step_fetched(inst, mem))
+    }
+
+    /// Executes `inst` — which must be the instruction at the current PC,
+    /// already fetched and checked by the caller — and advances. Hot-path
+    /// variant of [`ArchState::step`] for cores that fetch the instruction
+    /// themselves anyway.
+    pub fn step_fetched<M: DataMemory>(&mut self, inst: Inst, mem: &mut M) -> Outcome {
+        let pc = self.pc;
         let mut out = Outcome {
             pc,
             next_pc: pc + 1,
             mem: None,
+            loaded: None,
             branch: None,
             halted: false,
         };
@@ -217,6 +229,7 @@ impl ArchState {
                 let v = mem.read_u64(addr);
                 self.set_reg(dst, v);
                 out.mem = Some((MemAccessKind::Load, addr));
+                out.loaded = Some(v);
             }
             Inst::St { src, .. } | Inst::StX { src, .. } => {
                 let addr = self
@@ -256,7 +269,7 @@ impl ArchState {
             }
         }
         self.pc = out.next_pc;
-        Some(out)
+        out
     }
 
     /// Runs until halt or until `max_insts` instructions retire; returns the

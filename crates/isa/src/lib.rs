@@ -40,9 +40,9 @@
 
 mod asm;
 pub mod encode;
-pub mod parse;
 mod exec;
 mod inst;
+pub mod parse;
 mod program;
 mod reg;
 

@@ -133,9 +133,7 @@ fn parse_based(line: usize, s: &str) -> Result<(Reg, i64), ParseError> {
 /// Parses one instruction line (without any `NNN:` prefix).
 pub fn parse_inst(line: usize, text: &str) -> Result<Inst, ParseError> {
     let text = text.trim();
-    let (mnemonic, rest) = text
-        .split_once(char::is_whitespace)
-        .unwrap_or((text, ""));
+    let (mnemonic, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
     let args: Vec<&str> = if rest.trim().is_empty() {
         Vec::new()
     } else {
@@ -244,8 +242,8 @@ pub fn parse_inst(line: usize, text: &str) -> Result<Inst, ParseError> {
             })
         }
         m => {
-            let (op, imm_form) = parse_alu_op(m)
-                .ok_or_else(|| err(line, format!("unknown mnemonic `{m}`")))?;
+            let (op, imm_form) =
+                parse_alu_op(m).ok_or_else(|| err(line, format!("unknown mnemonic `{m}`")))?;
             need(3)?;
             let dst = parse_reg(line, args[0])?;
             if imm_form {

@@ -4,6 +4,10 @@
 //! filled by a prefetch remembers which mechanism brought it in; the first
 //! demand access clears the tag ("used"), and evicting a still-tagged line
 //! counts as a wasted prefetch.
+//!
+//! The tag/LRU/metadata arrays are stored structure-of-arrays so the hit
+//! check — the single hottest loop in the simulator — scans only a handful
+//! of contiguous `u64` tags per set instead of striding over padded structs.
 
 use crate::{line_of, LINE_BYTES};
 
@@ -49,14 +53,9 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    pf: Option<PfSource>,
-    lru: u64,
-}
+/// Tag value marking an invalid way. Real tags are line numbers
+/// (`addr / 64` < 2^58), so the sentinel can never collide.
+const INVALID: u64 = u64::MAX;
 
 /// Result of a demand access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +77,17 @@ pub struct EvictInfo {
     pub pf_unused: Option<PfSource>,
 }
 
+/// Result of a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FillOutcome {
+    /// The victim evicted to make room, if any.
+    pub evicted: Option<EvictInfo>,
+    /// If the fill found the line already present carrying a prefetch tag
+    /// and this fill is a *demand* fill, the tag's source: the racing demand
+    /// fill is the line's first demand use, and the caller should count it.
+    pub first_use_of: Option<PfSource>,
+}
+
 /// A set-associative, write-back, write-allocate cache (timing only — data
 /// lives in [`crate::MemImage`]).
 ///
@@ -87,12 +97,19 @@ pub struct EvictInfo {
 /// use svr_mem::{Cache, CacheConfig};
 /// let mut c = Cache::new(CacheConfig::l1());
 /// assert!(!c.access(0x40, false).hit);
-/// c.fill(0x40, false, None);
+/// c.fill(0x40, false, None, true);
 /// assert!(c.access(0x40, false).hit);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cache {
-    lines: Vec<Line>,
+    /// Per-way line tags (`INVALID` = empty way).
+    tags: Vec<u64>,
+    /// Per-way last-touch ticks for LRU.
+    lru: Vec<u64>,
+    /// Per-way dirty bits.
+    dirty: Vec<bool>,
+    /// Per-way prefetch tags.
+    pf: Vec<Option<PfSource>>,
     ways: usize,
     set_mask: u64,
     tick: u64,
@@ -110,8 +127,12 @@ impl Cache {
             sets.is_power_of_two(),
             "set count {sets} not a power of two"
         );
+        let lines = sets * config.ways;
         Cache {
-            lines: vec![Line::default(); sets * config.ways],
+            tags: vec![INVALID; lines],
+            lru: vec![0; lines],
+            dirty: vec![false; lines],
+            pf: vec![None; lines],
             ways: config.ways,
             set_mask: sets as u64 - 1,
             tick: 0,
@@ -125,12 +146,19 @@ impl Cache {
         (set * self.ways, line)
     }
 
+    /// Index of the way holding `tag` within `[base, base+ways)`, if present.
+    #[inline]
+    fn find(&self, base: usize, tag: u64) -> Option<usize> {
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|w| base + w)
+    }
+
     /// Checks presence without updating replacement state.
     pub fn probe(&self, addr: u64) -> bool {
         let (base, tag) = self.set_range(addr);
-        self.lines[base..base + self.ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.find(base, tag).is_some()
     }
 
     /// Performs a demand access (load or store). On a hit, updates LRU, sets
@@ -139,16 +167,13 @@ impl Cache {
     pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
         self.tick += 1;
         let (base, tag) = self.set_range(addr);
-        for l in &mut self.lines[base..base + self.ways] {
-            if l.valid && l.tag == tag {
-                l.lru = self.tick;
-                l.dirty |= is_write;
-                let first_use_of = l.pf.take();
-                return AccessOutcome {
-                    hit: true,
-                    first_use_of,
-                };
-            }
+        if let Some(i) = self.find(base, tag) {
+            self.lru[i] = self.tick;
+            self.dirty[i] |= is_write;
+            return AccessOutcome {
+                hit: true,
+                first_use_of: self.pf[i].take(),
+            };
         }
         AccessOutcome {
             hit: false,
@@ -165,46 +190,64 @@ impl Cache {
     /// Inserts a line, evicting the LRU victim if the set is full.
     ///
     /// `pf` tags the line as brought in by a prefetcher; `dirty` marks
-    /// store-allocated lines.
-    pub fn fill(&mut self, addr: u64, dirty: bool, pf: Option<PfSource>) -> Option<EvictInfo> {
+    /// store-allocated lines; `demand` distinguishes demand fills from
+    /// writebacks and prefetch installs.
+    ///
+    /// When the line is already present (racing fills — e.g. a demand fill
+    /// completing over an earlier prefetch fill, or a writeback landing on a
+    /// resident line), the fill merges instead of duplicating: `dirty` ORs
+    /// in, and a racing *demand* fill consumes a resident prefetch tag,
+    /// reported via [`FillOutcome::first_use_of`] so prefetch accuracy and
+    /// coverage statistics (Fig. 13) count it as used rather than silently
+    /// keeping a stale tag. Non-demand racing fills (writebacks, redundant
+    /// prefetches) leave an existing tag in place and never plant a new one.
+    pub fn fill(
+        &mut self,
+        addr: u64,
+        dirty: bool,
+        pf: Option<PfSource>,
+        demand: bool,
+    ) -> FillOutcome {
         self.tick += 1;
         let (base, tag) = self.set_range(addr);
-        // Already present (e.g. racing fills): refresh tags only.
-        for l in &mut self.lines[base..base + self.ways] {
-            if l.valid && l.tag == tag {
-                l.dirty |= dirty;
-                l.lru = self.tick;
-                return None;
-            }
+        // Already present (racing fills): merge state, never duplicate.
+        if let Some(i) = self.find(base, tag) {
+            self.dirty[i] |= dirty;
+            self.lru[i] = self.tick;
+            let first_use_of = if demand { self.pf[i].take() } else { None };
+            return FillOutcome {
+                evicted: None,
+                first_use_of,
+            };
         }
+        // Victim: first invalid way, else least recently used.
         let mut victim = base;
         for i in base..base + self.ways {
-            if !self.lines[i].valid {
+            if self.tags[i] == INVALID {
                 victim = i;
                 break;
             }
-            if self.lines[i].lru < self.lines[victim].lru {
+            if self.lru[i] < self.lru[victim] {
                 victim = i;
             }
         }
-        let evicted = if self.lines[victim].valid {
-            let v = self.lines[victim];
+        let evicted = if self.tags[victim] != INVALID {
             Some(EvictInfo {
-                line_addr: v.tag * LINE_BYTES,
-                dirty: v.dirty,
-                pf_unused: v.pf,
+                line_addr: self.tags[victim] * LINE_BYTES,
+                dirty: self.dirty[victim],
+                pf_unused: self.pf[victim],
             })
         } else {
             None
         };
-        self.lines[victim] = Line {
-            tag,
-            valid: true,
-            dirty,
-            pf,
-            lru: self.tick,
-        };
-        evicted
+        self.tags[victim] = tag;
+        self.lru[victim] = self.tick;
+        self.dirty[victim] = dirty;
+        self.pf[victim] = pf;
+        FillOutcome {
+            evicted,
+            first_use_of: None,
+        }
     }
 
     /// Tags an already-present line as a prefetch from `src` (used when a
@@ -213,25 +256,29 @@ impl Cache {
     /// line is absent.
     pub fn tag_line(&mut self, addr: u64, src: PfSource) -> bool {
         let (base, tag) = self.set_range(addr);
-        for l in &mut self.lines[base..base + self.ways] {
-            if l.valid && l.tag == tag {
-                l.pf = Some(src);
-                return true;
-            }
+        if let Some(i) = self.find(base, tag) {
+            self.pf[i] = Some(src);
+            return true;
         }
         false
     }
 
     /// Invalidates every line (used between simulation phases in tests).
     pub fn clear(&mut self) {
-        for l in &mut self.lines {
-            *l = Line::default();
-        }
+        self.tags.fill(INVALID);
+        self.lru.fill(0);
+        self.dirty.fill(false);
+        self.pf.fill(None);
     }
 
     /// Number of currently valid lines.
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.tags.iter().filter(|&&t| t != INVALID).count()
+    }
+
+    /// Total line slots (sets × ways).
+    pub fn line_slots(&self) -> usize {
+        self.tags.len()
     }
 }
 
@@ -251,7 +298,7 @@ mod tests {
     fn miss_then_fill_then_hit() {
         let mut c = tiny();
         assert!(!c.access(0x100, false).hit);
-        assert_eq!(c.fill(0x100, false, None), None);
+        assert_eq!(c.fill(0x100, false, None, true), FillOutcome::default());
         assert!(c.access(0x100, false).hit);
         assert!(c.probe(0x13f)); // same line
         assert!(!c.probe(0x140)); // next line
@@ -264,10 +311,10 @@ mod tests {
         let a = 0x000;
         let b = 0x400;
         let d = 0x800;
-        c.fill(a, false, None);
-        c.fill(b, false, None);
+        c.fill(a, false, None, true);
+        c.fill(b, false, None, true);
         c.access(a, false); // a more recent than b
-        let ev = c.fill(d, false, None).expect("must evict");
+        let ev = c.fill(d, false, None, true).evicted.expect("must evict");
         assert_eq!(ev.line_addr, b);
         assert!(c.probe(a) && c.probe(d) && !c.probe(b));
     }
@@ -275,25 +322,25 @@ mod tests {
     #[test]
     fn dirty_eviction_reported() {
         let mut c = tiny();
-        c.fill(0x000, false, None);
+        c.fill(0x000, false, None, true);
         c.access(0x000, true); // make dirty
-        c.fill(0x400, false, None);
-        let ev = c.fill(0x800, false, None).unwrap();
+        c.fill(0x400, false, None, true);
+        let ev = c.fill(0x800, false, None, true).evicted.unwrap();
         assert!(ev.dirty);
     }
 
     #[test]
     fn prefetch_tag_first_use_and_unused_eviction() {
         let mut c = tiny();
-        c.fill(0x000, false, Some(PfSource::Svr));
+        c.fill(0x000, false, Some(PfSource::Svr), false);
         let out = c.access(0x000, false);
         assert_eq!(out.first_use_of, Some(PfSource::Svr));
         // Second access is no longer a "first use".
         assert_eq!(c.access(0x000, false).first_use_of, None);
 
-        c.fill(0x400, false, Some(PfSource::Imp));
+        c.fill(0x400, false, Some(PfSource::Imp), false);
         c.access(0x000, false);
-        let ev = c.fill(0x800, false, None).unwrap();
+        let ev = c.fill(0x800, false, None, true).evicted.unwrap();
         assert_eq!(ev.pf_unused, Some(PfSource::Imp));
         assert_eq!(ev.line_addr, 0x400);
     }
@@ -301,15 +348,62 @@ mod tests {
     #[test]
     fn refill_of_present_line_keeps_one_copy() {
         let mut c = tiny();
-        c.fill(0x000, false, None);
-        assert_eq!(c.fill(0x000, true, None), None);
+        c.fill(0x000, false, None, true);
+        let out = c.fill(0x000, true, None, true);
+        assert_eq!(out.evicted, None);
         assert_eq!(c.occupancy(), 1);
+        // The racing fill's dirty bit sticks: the next same-set evictions
+        // must report a writeback.
+        c.fill(0x400, false, None, true);
+        let ev = c.fill(0x800, false, None, true).evicted.unwrap();
+        assert!(ev.dirty, "racing fill's dirty bit was dropped");
+    }
+
+    /// Regression (Fig. 13 accounting): a demand fill racing with an earlier
+    /// prefetch fill of the same line must consume the prefetch tag and
+    /// report it as the first demand use — not silently keep the stale tag
+    /// (which would later count the prefetch as evicted-unused) and not drop
+    /// the new fill's dirty bit.
+    #[test]
+    fn demand_fill_over_prefetch_fill_consumes_tag() {
+        let mut c = tiny();
+        c.fill(0x000, false, Some(PfSource::Svr), false);
+        let out = c.fill(0x000, true, None, true);
+        assert_eq!(
+            out.first_use_of,
+            Some(PfSource::Svr),
+            "tag must be consumed"
+        );
+        assert_eq!(out.evicted, None);
+        // Tag is gone: a later demand access sees no first use...
+        assert_eq!(c.access(0x000, false).first_use_of, None);
+        // ...and eviction does not report the line as an unused prefetch.
+        c.fill(0x400, false, None, true);
+        let ev = c.fill(0x800, false, None, true).evicted.unwrap();
+        assert_eq!(ev.line_addr, 0x000);
+        assert_eq!(ev.pf_unused, None);
+        assert!(ev.dirty, "racing demand-store fill must keep dirty");
+    }
+
+    /// Non-demand racing fills (writebacks, redundant prefetches) leave an
+    /// existing tag alone: a writeback of a migrated-tagged line is not a
+    /// demand touch.
+    #[test]
+    fn non_demand_racing_fill_keeps_tag() {
+        let mut c = tiny();
+        c.fill(0x000, false, Some(PfSource::Imp), false);
+        let out = c.fill(0x000, true, None, false); // writeback lands on it
+        assert_eq!(out.first_use_of, None);
+        // A redundant prefetch fill neither steals nor replants the tag.
+        let out = c.fill(0x000, false, Some(PfSource::Svr), false);
+        assert_eq!(out.first_use_of, None);
+        assert_eq!(c.access(0x000, false).first_use_of, Some(PfSource::Imp));
     }
 
     #[test]
     fn clear_empties() {
         let mut c = tiny();
-        c.fill(0x000, false, None);
+        c.fill(0x000, false, None, true);
         c.clear();
         assert_eq!(c.occupancy(), 0);
         assert!(!c.probe(0x000));
@@ -318,7 +412,7 @@ mod tests {
     #[test]
     fn tag_line_marks_present_lines_only() {
         let mut c = tiny();
-        c.fill(0x000, false, None);
+        c.fill(0x000, false, None, true);
         assert!(c.tag_line(0x000, PfSource::Svr));
         assert_eq!(c.access(0x000, false).first_use_of, Some(PfSource::Svr));
         assert!(!c.tag_line(0xf00, PfSource::Svr));
@@ -328,7 +422,7 @@ mod tests {
     fn l1_l2_geometry() {
         let l1 = Cache::new(CacheConfig::l1());
         let l2 = Cache::new(CacheConfig::l2());
-        assert_eq!(l1.lines.len(), 1024); // 64KiB/64B
-        assert_eq!(l2.lines.len(), 8192); // 512KiB/64B
+        assert_eq!(l1.line_slots(), 1024); // 64KiB/64B
+        assert_eq!(l2.line_slots(), 8192); // 512KiB/64B
     }
 }

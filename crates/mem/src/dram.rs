@@ -1,6 +1,18 @@
 //! DRAM model: fixed access latency plus a bandwidth-limited channel.
+//!
+//! Channel occupancy is tracked in **integer fixed-point** sub-cycle units
+//! (1 cycle = [`TICKS_PER_CYCLE`] ticks) rather than `f64`. Accumulating
+//! millions of fractional line times in floating point drifts (the mantissa
+//! runs out of bits once `next_free` reaches billions of cycles), which made
+//! billion-cycle bandwidth sweeps (Fig. 18) depend on run length. Integer
+//! ticks are associative and drift-free: the completion cycle of the n-th
+//! back-to-back transfer is exactly `ceil((n*line_ticks)/1024) + latency`.
 
 use crate::LINE_BYTES;
+
+/// Fixed-point sub-cycle resolution: 1 core cycle = 1024 ticks.
+pub const TICKS_PER_CYCLE: u64 = 1 << TICK_SHIFT;
+const TICK_SHIFT: u32 = 10;
 
 /// DRAM configuration (Table III: 45 ns latency, 50 GiB/s bandwidth, 2 GHz
 /// core clock so 1 ns = 2 cycles).
@@ -30,14 +42,22 @@ impl DramConfig {
         let bytes_per_ns = self.bandwidth_gibps * (1u64 << 30) as f64 / 1e9;
         LINE_BYTES as f64 / bytes_per_ns * self.freq_ghz
     }
+
+    /// Channel occupancy per line in fixed-point ticks (rounded once, at
+    /// configuration time — the only place floating point touches timing).
+    pub fn line_ticks(&self) -> u64 {
+        let ticks = (self.cycles_per_line() * TICKS_PER_CYCLE as f64).round() as u64;
+        ticks.max(1)
+    }
 }
 
 /// A single bandwidth-shared DRAM channel.
 ///
-/// Each line transfer occupies the channel for `cycles_per_line`; a request
-/// arriving while the channel is busy queues behind it, and its completion
-/// time is `channel_start + latency`. Reads and writes (writebacks) share the
-/// channel, which is what makes over-prefetching expensive (§VI-C).
+/// Each line transfer occupies the channel for [`DramConfig::line_ticks`];
+/// a request arriving while the channel is busy queues behind it, and its
+/// completion time is `channel_start + latency`. Reads and writes
+/// (writebacks) share the channel, which is what makes over-prefetching
+/// expensive (§VI-C).
 ///
 /// # Examples
 ///
@@ -51,8 +71,9 @@ impl DramConfig {
 #[derive(Debug, Clone)]
 pub struct DramModel {
     config: DramConfig,
-    cycles_per_line: f64,
-    next_free: f64,
+    line_ticks: u64,
+    /// Tick at which the channel next frees (fixed-point; cycle × 1024).
+    next_free_ticks: u64,
     reads: u64,
     writes: u64,
 }
@@ -61,9 +82,9 @@ impl DramModel {
     /// Creates an idle channel.
     pub fn new(config: DramConfig) -> Self {
         DramModel {
-            cycles_per_line: config.cycles_per_line(),
+            line_ticks: config.line_ticks(),
             config,
-            next_free: 0.0,
+            next_free_ticks: 0,
             reads: 0,
             writes: 0,
         }
@@ -72,14 +93,18 @@ impl DramModel {
     /// Issues a line transfer at `now`; returns the completion cycle.
     /// `is_write` counts the transfer as writeback traffic.
     pub fn access(&mut self, now: u64, is_write: bool) -> u64 {
-        let start = self.next_free.max(now as f64);
-        self.next_free = start + self.cycles_per_line;
+        let start = self.next_free_ticks.max(now << TICK_SHIFT);
+        self.next_free_ticks = start + self.line_ticks;
         if is_write {
             self.writes += 1;
         } else {
             self.reads += 1;
         }
-        (start + self.config.latency_cycles as f64).ceil() as u64
+        // Completion rounds the fractional channel-start up to a whole cycle
+        // (the integer analogue of the former `f64::ceil`).
+        (start >> TICK_SHIFT)
+            + u64::from(start & (TICKS_PER_CYCLE - 1) != 0)
+            + self.config.latency_cycles
     }
 
     /// Number of read-line transfers so far.
@@ -159,5 +184,54 @@ mod tests {
         // 50 GiB/s @ 2GHz: 64B / 53.687 B/ns * 2 = ~2.38 cycles
         let c = DramConfig::default().cycles_per_line();
         assert!(c > 2.0 && c < 3.0, "{c}");
+        // Fixed-point occupancy rounds that once, to 2441/1024 cycles.
+        assert_eq!(DramConfig::default().line_ticks(), 2441);
+    }
+
+    /// Regression for the `f64` accumulation drift: after >10M back-to-back
+    /// transfers the completion cycle must equal the closed-form integer
+    /// expectation *exactly*. Under the old floating-point accumulator the
+    /// n-th completion diverged from `ceil(n*line_ticks/1024)` once
+    /// `next_free` grew past ~2^26 cycles (the f64 mantissa could no longer
+    /// represent the 1/1024-cycle fraction).
+    #[test]
+    fn ten_million_transfers_are_bit_exact() {
+        let cfg = DramConfig::default();
+        let ticks = cfg.line_ticks();
+        let lat = cfg.latency_cycles;
+        let mut d = DramModel::new(cfg);
+        let n: u64 = 10_000_001;
+        let mut last = 0;
+        for _ in 0..n {
+            last = d.access(0, false);
+        }
+        // The n-th transfer starts at (n-1)*ticks and completes at the start
+        // rounded up to a whole cycle plus the access latency.
+        let start = (n - 1) * ticks;
+        let expect = start / TICKS_PER_CYCLE + u64::from(start % TICKS_PER_CYCLE != 0) + lat;
+        assert_eq!(last, expect, "drift after {n} transfers");
+        assert_eq!(d.reads(), n);
+    }
+
+    /// The same closed form holds for a non-dyadic bandwidth point (Fig. 18's
+    /// 12.5 GiB/s sweep value), where the per-line time is not representable
+    /// in binary floating point after scaling.
+    #[test]
+    fn drift_free_at_low_bandwidth() {
+        let cfg = DramConfig {
+            bandwidth_gibps: 12.5,
+            ..DramConfig::default()
+        };
+        let ticks = cfg.line_ticks();
+        let mut d = DramModel::new(cfg);
+        let n: u64 = 2_000_000;
+        let mut last = 0;
+        for _ in 0..n {
+            last = d.access(0, false);
+        }
+        let start = (n - 1) * ticks;
+        let expect =
+            start / TICKS_PER_CYCLE + u64::from(start % TICKS_PER_CYCLE != 0) + cfg.latency_cycles;
+        assert_eq!(last, expect);
     }
 }

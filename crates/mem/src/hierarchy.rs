@@ -265,7 +265,7 @@ impl MemoryHierarchy {
                 }
                 // Demand and SVR lanes wait for a free MSHR.
                 _ => {
-                    let free = self.mshrs.earliest_free().max(t);
+                    let free = self.mshrs.earliest_free().unwrap_or(t).max(t);
                     t = free;
                     self.mshrs.retire(t);
                 }
@@ -311,7 +311,13 @@ impl MemoryHierarchy {
         // Writebacks drain from a write buffer at eviction time; they only
         // consume channel bandwidth and never delay the read's fill.
         if level == HitLevel::Dram {
-            if let Some(ev) = self.l2.fill(addr, false, None) {
+            let out = self.l2.fill(addr, false, None, is_demand);
+            if let Some(src) = out.first_use_of {
+                // Racing demand fill over a prefetch-tagged L2 line: this is
+                // the line's first demand use, not a stale tag to keep.
+                self.stats.pf_mut(src).used += 1;
+            }
+            if let Some(ev) = out.evicted {
                 if ev.dirty {
                     self.stats.writebacks += 1;
                     self.dram.access(t, true);
@@ -323,7 +329,11 @@ impl MemoryHierarchy {
                 }
             }
         }
-        if let Some(ev) = self.l1d.fill(addr, is_store, pf_tag) {
+        let out = self.l1d.fill(addr, is_store, pf_tag, is_demand);
+        if let Some(src) = out.first_use_of {
+            self.stats.pf_mut(src).used += 1;
+        }
+        if let Some(ev) = out.evicted {
             if let Some(src) = ev.pf_unused {
                 // Still resident in L2: the tag migrates; the prefetch only
                 // counts as wasted once it leaves the LLC untouched.
@@ -337,7 +347,9 @@ impl MemoryHierarchy {
                     self.stats.writebacks += 1;
                     self.dram.access(t, true);
                 }
-                self.l2.fill(ev.line_addr, true, None);
+                // A writeback fill is not a demand touch: it must not
+                // consume a prefetch tag on a resident line.
+                self.l2.fill(ev.line_addr, true, None, false);
             }
         }
 
@@ -362,7 +374,9 @@ impl MemoryHierarchy {
         }
         let res = self.access_data_path(acc.now, acc.addr, acc.kind);
         // Train prefetchers on demand traffic only.
-        if matches!(acc.kind, AccessKind::DemandLoad | AccessKind::DemandStore) {
+        if (self.stride_pf.is_some() || self.imp.is_some())
+            && matches!(acc.kind, AccessKind::DemandLoad | AccessKind::DemandStore)
+        {
             let info = DemandInfo {
                 pc: acc.pc,
                 addr: acc.addr,
@@ -373,20 +387,26 @@ impl MemoryHierarchy {
                 },
                 was_miss: res.level != HitLevel::L1,
             };
-            let empty = MemImage::new();
-            let img = image.unwrap_or(&empty);
+            let empty;
+            let img = match image {
+                Some(i) => i,
+                None => {
+                    empty = MemImage::new();
+                    &empty
+                }
+            };
             let mut scratch = std::mem::take(&mut self.pf_scratch);
             scratch.clear();
             if let Some(pf) = self.stride_pf.as_mut() {
                 pf.on_demand(info, img, &mut scratch);
                 let n = scratch.len();
-                self.issue_prefetches(acc.now, &mut scratch, PfSource::Stride, 0, n);
+                self.issue_prefetches(acc.now, &scratch, PfSource::Stride, 0, n);
             }
             if let Some(imp) = self.imp.as_mut() {
                 let start = scratch.len();
                 imp.on_demand(info, img, &mut scratch);
                 let n = scratch.len();
-                self.issue_prefetches(acc.now, &mut scratch, PfSource::Imp, start, n);
+                self.issue_prefetches(acc.now, &scratch, PfSource::Imp, start, n);
             }
             scratch.clear();
             self.pf_scratch = scratch;
@@ -397,13 +417,12 @@ impl MemoryHierarchy {
     fn issue_prefetches(
         &mut self,
         now: u64,
-        addrs: &mut Vec<u64>,
+        addrs: &[u64],
         src: PfSource,
         start: usize,
         end: usize,
     ) {
-        for i in start..end {
-            let addr = addrs[i];
+        for &addr in &addrs[start..end] {
             if self.l1d.prefetch_probe(addr) {
                 continue; // already cached
             }
@@ -434,10 +453,10 @@ impl MemoryHierarchy {
         } else {
             let done = self.dram.access(t + self.config.l2_latency, false);
             self.stats.dram_inst += 1;
-            self.l2.fill(addr, false, None);
+            self.l2.fill(addr, false, None, true);
             (done, HitLevel::Dram)
         };
-        self.l1i.fill(addr, false, None);
+        self.l1i.fill(addr, false, None, true);
         AccessResult {
             issued_at: now,
             complete_at: ready,
@@ -450,7 +469,7 @@ impl MemoryHierarchy {
         if self.mshrs.in_flight(now) < self.mshrs.capacity() {
             now
         } else {
-            self.mshrs.earliest_free()
+            self.mshrs.earliest_free().unwrap_or(now)
         }
     }
 }

@@ -1,9 +1,59 @@
 //! Sparse functional memory image with a bump allocator.
+//!
+//! This sits on the simulator's hottest path: every functionally executed
+//! load/store goes through [`DataMemory::read_u64`]/[`DataMemory::write_u64`],
+//! and the timing model reads values again for prefetcher training and SVR
+//! lane loads. The image therefore avoids the default SipHash `HashMap` on
+//! every access: pages in the low "dense" address range (which covers the
+//! bump-allocated heap of every workload) are resolved by direct indexing
+//! into a flat page table, with a one-entry last-page cache in front; only
+//! stray high pages fall back to an FxHash-style map.
 
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use svr_isa::DataMemory;
 
 const PAGE_WORDS: usize = 512; // 4 KiB pages of u64 words
+
+/// Pages below this page number use the flat table (direct index); the range
+/// covers [0, 1.25 GiB), comfortably containing [`HEAP_BASE`] plus every
+/// workload's bump-allocated footprint. Higher pages use the spill map.
+const DENSE_PAGES: u64 = 0x5_0000;
+
+/// Sentinel in the flat table meaning "page not mapped".
+const NO_SLOT: u32 = u32::MAX;
+
+type Page = Box<[u64; PAGE_WORDS]>;
+
+/// FxHash-style hasher for the spill map: a single multiply-rotate per
+/// `u64` write instead of SipHash's full permutation. Not DoS-resistant,
+/// which is fine for simulator-internal page numbers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// A sparse, page-backed flat memory holding the *functional* data of a
 /// workload (the caches in this crate model timing only).
@@ -25,7 +75,17 @@ const PAGE_WORDS: usize = 512; // 4 KiB pages of u64 words
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MemImage {
-    pages: HashMap<u64, Box<[u64; PAGE_WORDS]>>,
+    /// Page storage, in mapping order; never shrinks, so slots are stable.
+    pages: Vec<Page>,
+    /// Flat page table for dense pages: page number → slot + sentinel.
+    /// Grown lazily to the highest mapped dense page.
+    table: Vec<u32>,
+    /// One-entry last-page cache: `(page_number, slot)`. Repeated accesses
+    /// to the same page (the overwhelmingly common case: streaming and
+    /// line-local accesses) skip the table lookup entirely.
+    last: Cell<(u64, u32)>,
+    /// Pages at or above [`DENSE_PAGES`] (rare: absolute-address tests).
+    spill: HashMap<u64, Page, FxBuildHasher>,
     brk: u64,
 }
 
@@ -36,7 +96,10 @@ impl MemImage {
     /// Creates an empty image; allocation starts at a fixed heap base.
     pub fn new() -> Self {
         MemImage {
-            pages: HashMap::new(),
+            pages: Vec::new(),
+            table: Vec::new(),
+            last: Cell::new((u64::MAX, NO_SLOT)),
+            spill: HashMap::default(),
             brk: HEAP_BASE,
         }
     }
@@ -67,15 +130,40 @@ impl MemImage {
 
     /// Number of distinct mapped 4 KiB pages (touched by writes).
     pub fn mapped_pages(&self) -> usize {
-        self.pages.len()
+        self.pages.len() + self.spill.len()
+    }
+
+    /// Looks up the slot of a dense page, consulting the last-page cache.
+    #[inline]
+    fn dense_slot(&self, page: u64) -> u32 {
+        let (last_page, last_slot) = self.last.get();
+        if last_page == page {
+            return last_slot;
+        }
+        let slot = match self.table.get(page as usize) {
+            Some(&s) => s,
+            None => NO_SLOT,
+        };
+        if slot != NO_SLOT {
+            self.last.set((page, slot));
+        }
+        slot
     }
 }
 
 impl DataMemory for MemImage {
+    #[inline]
     fn read_u64(&self, addr: u64) -> u64 {
         let page = addr >> 12;
         let word = ((addr >> 3) & (PAGE_WORDS as u64 - 1)) as usize;
-        match self.pages.get(&page) {
+        if page < DENSE_PAGES {
+            let slot = self.dense_slot(page);
+            if slot == NO_SLOT {
+                return 0;
+            }
+            return self.pages[slot as usize][word];
+        }
+        match self.spill.get(&page) {
             Some(p) => p[word],
             None => 0,
         }
@@ -84,7 +172,21 @@ impl DataMemory for MemImage {
     fn write_u64(&mut self, addr: u64, value: u64) {
         let page = addr >> 12;
         let word = ((addr >> 3) & (PAGE_WORDS as u64 - 1)) as usize;
-        self.pages
+        if page < DENSE_PAGES {
+            let mut slot = self.dense_slot(page);
+            if slot == NO_SLOT {
+                if self.table.len() <= page as usize {
+                    self.table.resize(page as usize + 1, NO_SLOT);
+                }
+                slot = self.pages.len() as u32;
+                self.pages.push(Box::new([0; PAGE_WORDS]));
+                self.table[page as usize] = slot;
+                self.last.set((page, slot));
+            }
+            self.pages[slot as usize][word] = value;
+            return;
+        }
+        self.spill
             .entry(page)
             .or_insert_with(|| Box::new([0; PAGE_WORDS]))[word] = value;
     }
@@ -98,6 +200,7 @@ mod tests {
     fn unmapped_reads_zero() {
         let img = MemImage::new();
         assert_eq!(img.read_u64(0xdead_beef_000), 0);
+        assert_eq!(img.read_u64(0x10), 0);
     }
 
     #[test]
@@ -137,5 +240,54 @@ mod tests {
         img.write_u64(64, 42);
         // Address within the same word reads the same storage.
         assert_eq!(img.read_u64(64), 42);
+    }
+
+    #[test]
+    fn spill_pages_round_trip() {
+        // Addresses above the dense range exercise the FxHash spill map.
+        let mut img = MemImage::new();
+        let high = DENSE_PAGES << 12;
+        img.write_u64(high, 11);
+        img.write_u64(high + 0x1_0000_0000, 22);
+        assert_eq!(img.read_u64(high), 11);
+        assert_eq!(img.read_u64(high + 0x1_0000_0000), 22);
+        assert_eq!(img.read_u64(high + 8), 0);
+        assert_eq!(img.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn dense_spill_boundary_is_consistent() {
+        let mut img = MemImage::new();
+        let last_dense = (DENSE_PAGES << 12) - 8;
+        let first_spill = DENSE_PAGES << 12;
+        img.write_u64(last_dense, 1);
+        img.write_u64(first_spill, 2);
+        assert_eq!(img.read_u64(last_dense), 1);
+        assert_eq!(img.read_u64(first_spill), 2);
+    }
+
+    #[test]
+    fn interleaved_pages_keep_last_page_cache_coherent() {
+        // Alternate between two pages so the one-entry cache thrashes; every
+        // read must still see the latest write.
+        let mut img = MemImage::new();
+        let (a, b) = (HEAP_BASE, HEAP_BASE + 0x10_0000);
+        for i in 0..100u64 {
+            img.write_u64(a, i);
+            img.write_u64(b, i * 2);
+            assert_eq!(img.read_u64(a), i);
+            assert_eq!(img.read_u64(b), i * 2);
+        }
+        assert_eq!(img.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut img = MemImage::new();
+        img.write_u64(HEAP_BASE, 5);
+        let snap = img.clone();
+        img.write_u64(HEAP_BASE, 9);
+        assert_eq!(snap.read_u64(HEAP_BASE), 5);
+        assert_eq!(img.read_u64(HEAP_BASE), 9);
     }
 }

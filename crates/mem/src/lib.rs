@@ -30,10 +30,10 @@ pub mod prefetch;
 mod stats;
 mod tlb;
 
-pub use cache::{Cache, CacheConfig, EvictInfo, PfSource};
-pub use dram::{DramConfig, DramModel};
+pub use cache::{AccessOutcome, Cache, CacheConfig, EvictInfo, FillOutcome, PfSource};
+pub use dram::{DramConfig, DramModel, TICKS_PER_CYCLE};
 pub use hierarchy::{Access, AccessKind, AccessResult, HitLevel, MemConfig, MemoryHierarchy};
-pub use image::MemImage;
+pub use image::{FxHasher, MemImage};
 pub use mshr::MshrFile;
 pub use stats::{MemStats, PfCounters};
 pub use tlb::{Tlb, TlbConfig, WalkerPool};

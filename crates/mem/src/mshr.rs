@@ -1,12 +1,15 @@
 //! Miss-status holding registers with same-line coalescing.
 
-use std::collections::VecDeque;
-
 /// A file of MSHRs tracking outstanding cache misses.
 ///
 /// Each entry records the line address and the cycle the fill completes.
 /// A new miss to a line already outstanding *coalesces* (no new entry); when
 /// all entries are busy the requester must wait until [`MshrFile::earliest_free`].
+///
+/// The file is probed on every cache access, so retirement is O(1) in the
+/// common case: `min_ready` caches the earliest completion among live
+/// entries, and [`MshrFile::retire`] returns immediately unless some entry
+/// can actually have completed.
 ///
 /// # Examples
 ///
@@ -17,12 +20,14 @@ use std::collections::VecDeque;
 /// assert_eq!(m.outstanding(0x40, 10), Some(100)); // coalesce
 /// assert!(m.try_alloc(0x80, 120));
 /// assert!(!m.try_alloc(0xc0, 130)); // full
-/// assert_eq!(m.earliest_free(), 100);
+/// assert_eq!(m.earliest_free(), Some(100));
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    entries: VecDeque<(u64, u64)>, // (line_addr, ready_at)
+    entries: Vec<(u64, u64)>, // (line_addr, ready_at)
+    /// Minimum `ready_at` among live entries; `u64::MAX` when empty.
+    min_ready: u64,
 }
 
 impl MshrFile {
@@ -35,13 +40,28 @@ impl MshrFile {
         assert!(capacity > 0, "MSHR capacity must be positive");
         MshrFile {
             capacity,
-            entries: VecDeque::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            min_ready: u64::MAX,
         }
     }
 
     /// Drops entries whose fill completed at or before `now`.
     pub fn retire(&mut self, now: u64) {
-        self.entries.retain(|&(_, ready)| ready > now);
+        if self.min_ready > now {
+            return; // nothing can have completed — the common case
+        }
+        let mut min = u64::MAX;
+        let mut i = 0;
+        while i < self.entries.len() {
+            let ready = self.entries[i].1;
+            if ready <= now {
+                self.entries.swap_remove(i);
+            } else {
+                min = min.min(ready);
+                i += 1;
+            }
+        }
+        self.min_ready = min;
     }
 
     /// If a miss to `line_addr` is already outstanding at `now`, returns its
@@ -61,17 +81,20 @@ impl MshrFile {
         if self.entries.len() >= self.capacity {
             return false;
         }
-        self.entries.push_back((line_addr, ready_at));
+        self.entries.push((line_addr, ready_at));
+        self.min_ready = self.min_ready.min(ready_at);
         true
     }
 
-    /// The earliest cycle at which an entry frees. Only meaningful when full.
-    pub fn earliest_free(&self) -> u64 {
-        self.entries
-            .iter()
-            .map(|&(_, r)| r)
-            .min()
-            .unwrap_or_default()
+    /// The earliest cycle at which an entry frees, or `None` when the file
+    /// is empty. A full-file waiter must never be told "retry at cycle 0",
+    /// so emptiness is explicit rather than a `0` default.
+    pub fn earliest_free(&self) -> Option<u64> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.min_ready)
+        }
     }
 
     /// Number of in-flight misses at `now`.
@@ -114,7 +137,33 @@ mod tests {
         let mut m = MshrFile::new(2);
         m.try_alloc(0x40, 200);
         m.try_alloc(0x80, 150);
-        assert_eq!(m.earliest_free(), 150);
+        assert_eq!(m.earliest_free(), Some(150));
+    }
+
+    #[test]
+    fn empty_file_has_no_earliest_free() {
+        // Regression: an empty file used to report `0`, telling a waiter to
+        // retry at cycle 0 (i.e. in the past) forever.
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.earliest_free(), None);
+        m.try_alloc(0x40, 70);
+        m.retire(100);
+        assert_eq!(m.earliest_free(), None);
+    }
+
+    #[test]
+    fn min_ready_tracks_partial_retirement() {
+        let mut m = MshrFile::new(4);
+        m.try_alloc(0x40, 100);
+        m.try_alloc(0x80, 300);
+        m.try_alloc(0xc0, 200);
+        m.retire(100);
+        assert_eq!(m.earliest_free(), Some(200));
+        assert_eq!(m.in_flight(100), 2);
+        m.retire(250);
+        assert_eq!(m.earliest_free(), Some(300));
+        m.retire(300);
+        assert_eq!(m.earliest_free(), None);
     }
 
     #[test]

@@ -4,6 +4,11 @@
 //! S-TLB, and 4 page-table walkers. Translation adds latency on top of the
 //! cache access path; the walker pool bounds TLB-miss concurrency, which is
 //! what Fig. 17's PTW sweep measures.
+//!
+//! Both levels are stored as flat fixed arrays (pages and LRU ticks in
+//! separate vectors, invalid slots marked by a sentinel) so the per-access
+//! lookup is a branch-light scan over contiguous `u64`s instead of a
+//! pointer-chasing walk over `Vec<Vec<(u64, u64)>>`.
 
 use crate::page_of;
 
@@ -40,6 +45,10 @@ impl Default for TlbConfig {
     }
 }
 
+/// Page value marking an empty slot. Real pages are `addr >> 12` (< 2^52),
+/// so the sentinel can never collide.
+const EMPTY: u64 = u64::MAX;
+
 /// A two-level TLB (L1 fully associative, shared L2 set-associative).
 ///
 /// # Examples
@@ -56,8 +65,13 @@ impl Default for TlbConfig {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
-    l1: Vec<(u64, u64)>,      // (page, lru)
-    l2: Vec<Vec<(u64, u64)>>, // sets of (page, lru)
+    /// L1 entry pages (`EMPTY` = free slot) and matching LRU ticks.
+    l1_pages: Vec<u64>,
+    l1_lru: Vec<u64>,
+    /// L2 pages/ticks, flattened `sets × ways`.
+    l2_pages: Vec<u64>,
+    l2_lru: Vec<u64>,
+    l2_sets: usize,
     tick: u64,
     hits_l1: u64,
     hits_l2: u64,
@@ -69,9 +83,12 @@ impl Tlb {
     pub fn new(config: TlbConfig) -> Self {
         let sets = (config.l2_entries / config.l2_ways).max(1);
         Tlb {
+            l1_pages: vec![EMPTY; config.l1_entries],
+            l1_lru: vec![0; config.l1_entries],
+            l2_pages: vec![EMPTY; sets * config.l2_ways],
+            l2_lru: vec![0; sets * config.l2_ways],
+            l2_sets: sets,
             config,
-            l1: Vec::with_capacity(config.l1_entries),
-            l2: vec![Vec::with_capacity(config.l2_ways); sets],
             tick: 0,
             hits_l1: 0,
             hits_l2: 0,
@@ -88,19 +105,23 @@ impl Tlb {
         self.tick += 1;
         let page = page_of(addr);
         // L1 lookup.
-        if let Some(e) = self.l1.iter_mut().find(|e| e.0 == page) {
-            e.1 = self.tick;
+        if let Some(i) = self.l1_pages.iter().position(|&p| p == page) {
+            self.l1_lru[i] = self.tick;
             self.hits_l1 += 1;
             return (0, false);
         }
         // L2 lookup (hashed index to spread page-number patterns).
-        let sets = self.l2.len();
-        let set = &mut self.l2[stlb_index(page, sets)];
-        let l2_hit = if let Some(e) = set.iter_mut().find(|e| e.0 == page) {
-            e.1 = self.tick;
-            true
-        } else {
-            false
+        let base = stlb_index(page, self.l2_sets) * self.config.l2_ways;
+        let ways = self.config.l2_ways;
+        let l2_hit = match self.l2_pages[base..base + ways]
+            .iter()
+            .position(|&p| p == page)
+        {
+            Some(w) => {
+                self.l2_lru[base + w] = self.tick;
+                true
+            }
+            None => false,
         };
         if l2_hit {
             self.hits_l2 += 1;
@@ -115,34 +136,38 @@ impl Tlb {
         (done - now, true)
     }
 
+    /// Installs `page` in the L1: first free slot, else the LRU victim
+    /// (LRU ticks are unique — one per translate — so there are no ties).
     fn insert_l1(&mut self, page: u64) {
-        if self.l1.len() >= self.config.l1_entries {
-            let victim = self
-                .l1
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.1)
-                .map(|(i, _)| i)
-                .expect("l1 nonempty");
-            self.l1.swap_remove(victim);
-        }
-        self.l1.push((page, self.tick));
+        let victim = Self::victim(&self.l1_pages, &self.l1_lru);
+        self.l1_pages[victim] = page;
+        self.l1_lru[victim] = self.tick;
     }
 
     fn insert_l2(&mut self, page: u64) {
         let ways = self.config.l2_ways;
-        let sets = self.l2.len();
-        let set = &mut self.l2[stlb_index(page, sets)];
-        if set.len() >= ways {
-            let victim = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.1)
-                .map(|(i, _)| i)
-                .expect("set nonempty");
-            set.swap_remove(victim);
+        let base = stlb_index(page, self.l2_sets) * ways;
+        let victim = Self::victim(
+            &self.l2_pages[base..base + ways],
+            &self.l2_lru[base..base + ways],
+        );
+        self.l2_pages[base + victim] = page;
+        self.l2_lru[base + victim] = self.tick;
+    }
+
+    /// First empty slot in `pages`, else the index of the minimum LRU tick.
+    #[inline]
+    fn victim(pages: &[u64], lru: &[u64]) -> usize {
+        let mut victim = 0;
+        for (i, &p) in pages.iter().enumerate() {
+            if p == EMPTY {
+                return i;
+            }
+            if lru[i] < lru[victim] {
+                victim = i;
+            }
         }
-        set.push((page, self.tick));
+        victim
     }
 
     /// `(l1_hits, l2_hits, walks)` counters.
@@ -151,6 +176,8 @@ impl Tlb {
     }
 }
 
+/// S-TLB set hash: a Fibonacci-multiply spread so strided page patterns
+/// (which alias badly under low-bit indexing) distribute across sets.
 fn stlb_index(page: u64, sets: usize) -> usize {
     let h = page.wrapping_mul(0x9E3779B97F4A7C15) >> 17;
     (h as usize) % sets
@@ -225,6 +252,65 @@ mod tests {
         assert_eq!(walks, 3);
     }
 
+    /// At capacity, the L1 victim must be the least-recently-used entry —
+    /// not the oldest-inserted one.
+    #[test]
+    fn l1_victim_at_capacity_is_lru() {
+        let mut t = Tlb::new(small());
+        let mut p = WalkerPool::new(2);
+        t.translate(0, 0x1000, &mut p); // page 1
+        t.translate(0, 0x2000, &mut p); // page 2 — L1 now full
+        t.translate(0, 0x1000, &mut p); // touch page 1: page 2 is now LRU
+        t.translate(0, 0x3000, &mut p); // must evict page 2
+        let (h1_before, _, _) = t.stats();
+        let (lat, walked) = t.translate(500, 0x1000, &mut p);
+        assert_eq!(
+            (lat, walked),
+            (0, false),
+            "page 1 must still be L1-resident"
+        );
+        let (h1_after, _, _) = t.stats();
+        assert_eq!(h1_after, h1_before + 1);
+        // Page 2 was evicted to the S-TLB: hits there with L2 latency.
+        let (lat, walked) = t.translate(500, 0x2000, &mut p);
+        assert_eq!((lat, walked), (5, false));
+    }
+
+    /// The S-TLB index hash must spread both sequential and large-stride
+    /// page patterns across sets instead of aliasing into a few.
+    #[test]
+    fn stlb_index_distributes_page_patterns() {
+        let sets = 256;
+        // Sequential pages.
+        let mut counts = vec![0u32; sets];
+        for page in 0..4096u64 {
+            counts[stlb_index(page, sets)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(
+            max <= 64,
+            "sequential pages clump: max {max} of 4096 in one set"
+        );
+        assert!(
+            counts.iter().filter(|&&c| c > 0).count() > sets / 2,
+            "sequential pages use too few sets"
+        );
+        // Power-of-two strided pages (the pattern low-bit indexing aliases).
+        let mut counts = vec![0u32; sets];
+        for i in 0..4096u64 {
+            counts[stlb_index(i * 256, sets)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(
+            max <= 64,
+            "strided pages clump: max {max} of 4096 in one set"
+        );
+        // Results must be in range for a non-power-of-two set count too.
+        for page in 0..1000u64 {
+            assert!(stlb_index(page, 24) < 24);
+        }
+    }
+
     #[test]
     fn walker_pool_limits_concurrency() {
         let mut p = WalkerPool::new(1);
@@ -236,6 +322,27 @@ mod tests {
         let a = p2.walk(0, 100);
         let b = p2.walk(0, 100);
         assert_eq!((a, b), (100, 100)); // parallel
+    }
+
+    /// When every walker is busy, new walks queue behind the walker that
+    /// frees *earliest*, and completions come out in arrival order.
+    #[test]
+    fn walker_pool_exhaustion_orders_by_earliest_free() {
+        let mut p = WalkerPool::new(2);
+        let a = p.walk(0, 100); // walker 0 busy until 100
+        let b = p.walk(0, 40); // walker 1 busy until 40
+        assert_eq!((a, b), (100, 40));
+        // Pool exhausted at t=10: the next walk must wait for walker 1
+        // (frees at 40), not walker 0 (frees at 100).
+        let c = p.walk(10, 50);
+        assert_eq!(c, 90);
+        // Another: earliest-free is now walker 1 again (at 90).
+        let d = p.walk(10, 50);
+        assert_eq!(d, 140);
+        // Back-to-back exhaustion keeps completions monotone in issue order.
+        let e = p.walk(10, 50);
+        assert_eq!(e, 150);
+        assert!(c < d && d < e);
     }
 
     #[test]

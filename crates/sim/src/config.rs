@@ -345,8 +345,14 @@ mod tests {
             SimConfig::svr(16).with_ptws(6).cache_key(),
             SimConfig::svr(16).with_ptws(6).cache_key()
         );
-        assert_ne!(SimConfig::inorder().cache_key(), SimConfig::imp().cache_key());
-        assert_ne!(SimConfig::svr(16).cache_key(), SimConfig::svr(32).cache_key());
+        assert_ne!(
+            SimConfig::inorder().cache_key(),
+            SimConfig::imp().cache_key()
+        );
+        assert_ne!(
+            SimConfig::svr(16).cache_key(),
+            SimConfig::svr(32).cache_key()
+        );
     }
 
     #[test]

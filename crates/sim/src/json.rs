@@ -111,11 +111,7 @@ impl Json {
 
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
         let (nl, pad, pad_in) = match indent {
-            Some(w) => (
-                "\n",
-                " ".repeat(w * depth),
-                " ".repeat(w * (depth + 1)),
-            ),
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
             None => ("", String::new(), String::new()),
         };
         match self {
@@ -294,9 +290,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
                         let code = u32::from_str_radix(
                             std::str::from_utf8(hex).map_err(|e| e.to_string())?,
                             16,
@@ -322,9 +316,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
 
 fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
         *pos += 1;
     }
     let token = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
@@ -355,9 +347,18 @@ mod tests {
 
     #[test]
     fn f64_shortest_form_round_trips() {
-        for x in [0.1, 1.0 / 3.0, 2.5e-7, 123456789.123456789, f64::MIN_POSITIVE] {
+        for x in [
+            0.1,
+            1.0 / 3.0,
+            2.5e-7,
+            123456789.123456789,
+            f64::MIN_POSITIVE,
+        ] {
             let v = Json::f64(x);
-            let y = Json::parse(&v.dump()).expect("parses").as_f64().expect("num");
+            let y = Json::parse(&v.dump())
+                .expect("parses")
+                .as_f64()
+                .expect("num");
             assert_eq!(x.to_bits(), y.to_bits(), "{x} not bit-identical");
         }
         assert_eq!(Json::f64(f64::NAN), Json::Null);
@@ -374,7 +375,10 @@ mod tests {
         for text in [doc.dump(), doc.pretty()] {
             assert_eq!(Json::parse(&text).expect("parses"), doc);
         }
-        assert_eq!(doc.get("rows").and_then(|r| r.as_arr()).map(<[Json]>::len), Some(2));
+        assert_eq!(
+            doc.get("rows").and_then(|r| r.as_arr()).map(<[Json]>::len),
+            Some(2)
+        );
     }
 
     #[test]

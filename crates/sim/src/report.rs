@@ -36,7 +36,8 @@ fn s(j: &Json, k: &str) -> Result<String, String> {
 }
 
 fn sub<'j>(j: &'j Json, k: &str) -> Result<&'j Json, String> {
-    j.get(k).ok_or_else(|| format!("missing object field `{k}`"))
+    j.get(k)
+        .ok_or_else(|| format!("missing object field `{k}`"))
 }
 
 fn stack_to_json(v: &CpiStack) -> Json {

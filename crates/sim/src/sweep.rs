@@ -27,7 +27,7 @@
 use crate::config::SimConfig;
 use crate::json::Json;
 use crate::report::{report_from_json, report_to_json};
-use crate::runner::{run_kernel, RunReport};
+use crate::runner::{run_workload, RunReport};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -35,7 +35,9 @@ use svr_workloads::{Kernel, Scale};
 
 /// Bump when the cache-entry layout or simulator semantics change in a way
 /// that invalidates stored reports; old entries then simply stop matching.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+/// v2: integer fixed-point DRAM timing, `Option` MSHR `earliest_free`, and
+/// racing-fill prefetch-tag accounting (PR 2) can all shift reports.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a over a string (the cache/dedup point hash).
 pub fn fnv1a64(s: &str) -> u64 {
@@ -236,7 +238,13 @@ impl Sweep {
             }
         }
 
-        // Simulate the misses in parallel (deterministic per point).
+        // Simulate the misses in parallel (deterministic per point). Points
+        // are grouped by workload so each kernel is *built once per sweep*,
+        // not once per configuration: graph construction (ORK/LJN inputs)
+        // costs more wall time than simulating the point itself, so the old
+        // per-point `run_kernel` spent most of the sweep rebuilding identical
+        // inputs. Workers claim whole groups; the built workload is reused
+        // for every configuration in the group and dropped before the next.
         let todo: Vec<usize> = (0..points.len())
             .filter(|&i| points[i].report.is_none())
             .collect();
@@ -244,6 +252,14 @@ impl Sweep {
         if !todo.is_empty() {
             use std::sync::atomic::{AtomicUsize, Ordering};
             use std::sync::Mutex;
+            let mut groups: Vec<(Kernel, Vec<usize>)> = Vec::new();
+            for &i in &todo {
+                let k = points[i].kernel;
+                match groups.iter_mut().find(|(g, _)| *g == k) {
+                    Some((_, idxs)) => idxs.push(i),
+                    None => groups.push((k, vec![i])),
+                }
+            }
             let next = AtomicUsize::new(0);
             let done: Mutex<Vec<(usize, RunReport, JobTrace)>> =
                 Mutex::new(Vec::with_capacity(todo.len()));
@@ -251,35 +267,37 @@ impl Sweep {
             let cache_dir = self.cache_dir.as_deref();
             let on_job = self.on_job;
             {
-                let todo = &todo;
+                let groups = &groups;
                 let points = &points;
                 let next = &next;
                 let done = &done;
                 std::thread::scope(|s| {
-                    for _ in 0..threads.max(1).min(todo.len()) {
+                    for _ in 0..threads.max(1).min(groups.len()) {
                         s.spawn(move || loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= todo.len() {
+                            let g = next.fetch_add(1, Ordering::Relaxed);
+                            if g >= groups.len() {
                                 break;
                             }
-                            let p = &points[todo[i]];
-                            let t = Instant::now();
-                            let report = run_kernel(p.kernel, scale, &p.config);
-                            let trace = JobTrace {
-                                workload: report.workload.clone(),
-                                config: report.config.clone(),
-                                source: JobSource::Simulated,
-                                wall_ms: t.elapsed().as_secs_f64() * 1e3,
-                            };
-                            if let Some(dir) = cache_dir {
-                                store_cached(dir, p.hash, &p.key, scale, &report);
+                            let (kernel, idxs) = &groups[g];
+                            let workload = kernel.build(scale);
+                            for &idx in idxs {
+                                let p = &points[idx];
+                                let t = Instant::now();
+                                let report = run_workload(&workload, &p.config, scale.max_insts());
+                                let trace = JobTrace {
+                                    workload: report.workload.clone(),
+                                    config: report.config.clone(),
+                                    source: JobSource::Simulated,
+                                    wall_ms: t.elapsed().as_secs_f64() * 1e3,
+                                };
+                                if let Some(dir) = cache_dir {
+                                    store_cached(dir, p.hash, &p.key, scale, &report);
+                                }
+                                emit(&on_job, &trace);
+                                done.lock()
+                                    .expect("no poisoned sweeps")
+                                    .push((idx, report, trace));
                             }
-                            emit(&on_job, &trace);
-                            done.lock().expect("no poisoned sweeps").push((
-                                todo[i],
-                                report,
-                                trace,
-                            ));
                         });
                     }
                 });
@@ -390,7 +408,10 @@ impl SweepResult {
 
     /// All reports for configuration `ci`, in suite order.
     pub fn config_reports(&self, ci: usize) -> Vec<&RunReport> {
-        self.point_of[ci].iter().map(|&p| &self.reports[p]).collect()
+        self.point_of[ci]
+            .iter()
+            .map(|&p| &self.reports[p])
+            .collect()
     }
 
     /// The deduplicated reports (one per unique design point).
@@ -435,6 +456,7 @@ impl SweepResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_kernel;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// A unique temp cache dir per test (removed on drop).

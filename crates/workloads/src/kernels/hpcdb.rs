@@ -2,8 +2,8 @@
 //! NAS-CG, NAS-IS, and HPCC randacc. (Graph500 seq-CSR lives in
 //! [`crate::kernels::gap::graph500`].)
 
-use crate::workload::{Check, Scale, Workload};
 use crate::rng::Rng64;
+use crate::workload::{Check, Scale, Workload};
 use svr_isa::{AluOp, ArchState, Assembler, Cond, Reg};
 use svr_mem::MemImage;
 
@@ -42,8 +42,7 @@ pub fn camel(scale: Scale) -> Workload {
         .iter()
         .map(|&t| {
             let v = data[t as usize].wrapping_mul(0x45d9f3b);
-            let v = v ^ (v >> 16);
-            v
+            v ^ (v >> 16)
         })
         .fold(0u64, |a, b| a.wrapping_add(b));
 

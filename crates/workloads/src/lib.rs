@@ -31,6 +31,6 @@ mod rng;
 mod workload;
 
 pub use graph::{rmat, uniform, Csr, GraphInput};
-pub use rng::Rng64;
 pub use registry::{gap_suite, hpcdb_suite, irregular_suite, regular_suite, Group, Kernel};
+pub use rng::Rng64;
 pub use workload::{Check, Scale, Workload};

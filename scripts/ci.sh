@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "=== cargo build --release ==="
 cargo build --release --workspace
 
+echo "=== cargo clippy -D warnings ==="
+cargo clippy --workspace --release -- -D warnings
+
 echo "=== cargo test -q ==="
 cargo test --workspace -q --release
 
@@ -18,8 +21,20 @@ trap 'rm -rf "$CACHE_DIR" "$OUT_DIR"' EXIT
 
 SVR_CACHE_DIR="$CACHE_DIR" ./target/release/fig11_cpi --scale tiny \
   --json "$OUT_DIR/first.json" > /dev/null
+t0=$(date +%s)
 SVR_CACHE_DIR="$CACHE_DIR" ./target/release/fig11_cpi --scale tiny \
   --json "$OUT_DIR/second.json" > /dev/null
+t1=$(date +%s)
+
+# Budget assertion: a fully cached re-run performs no simulation, so it must
+# be quick even on a loaded machine. Catches regressions where the cache key
+# accidentally changes between identical invocations.
+cached_wall=$((t1 - t0))
+echo "cached re-run took ${cached_wall}s"
+if [ "$cached_wall" -gt 15 ]; then
+  echo "FAIL: cached fig11_cpi re-run took ${cached_wall}s (budget 15s)" >&2
+  exit 1
+fi
 
 # The JSON report embeds the sweep counters; the second run must be all
 # cache hits. Hand-rolled extraction so CI needs nothing beyond a shell.

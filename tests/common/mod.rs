@@ -1,0 +1,49 @@
+//! Shared helpers for the heavy integration suites (`pipeline.rs`,
+//! `paper_properties.rs`).
+//!
+//! Two levers keep `cargo test -q` fast without weakening the assertions:
+//!
+//! 1. **Reduced instruction budget.** The paper-scale tests exercise
+//!    qualitative properties (orderings, accuracy bands, ablation direction)
+//!    that are already stable after a few hundred thousand instructions at
+//!    `Scale::Small` working-set sizes. The default budget simulates a
+//!    quarter of the full tier; set `SVR_TEST_SCALE=full` to re-run the
+//!    original full budget (CI uses the default, releases can opt in).
+//! 2. **Workload memoisation.** Building a `Scale::Small` graph input costs
+//!    more than simulating it (e.g. ~0.6 s for an ORK-sized CSR), and the
+//!    suites re-run the same kernel under many configs. Workloads are built
+//!    once per process and cloned out of a cache.
+
+#![allow(dead_code)]
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use svr::sim::{run_workload, RunReport, SimConfig};
+use svr::workloads::{Kernel, Scale, Workload};
+
+/// Instruction budget for `Scale::Small` paper-property runs.
+///
+/// Defaults to a quarter of [`Scale::Small::max_insts`]; `SVR_TEST_SCALE=full`
+/// restores the full-tier budget.
+pub fn small_budget() -> u64 {
+    match std::env::var("SVR_TEST_SCALE").as_deref() {
+        Ok("full") => Scale::Small.max_insts(),
+        _ => Scale::Small.max_insts() / 4,
+    }
+}
+
+/// Runs `kernel` at `Scale::Small` under [`small_budget`], memoising the
+/// built workload so repeated configs don't rebuild the same inputs.
+pub fn run_small(kernel: Kernel, config: &SimConfig) -> RunReport {
+    static CACHE: Mutex<Option<HashMap<String, Workload>>> = Mutex::new(None);
+    let w = {
+        let mut guard = CACHE.lock().unwrap();
+        let cache = guard.get_or_insert_with(HashMap::new);
+        cache
+            .entry(kernel.name().to_string())
+            .or_insert_with(|| kernel.build(Scale::Small))
+            .clone()
+    };
+    run_workload(&w, config, small_budget())
+}

@@ -3,8 +3,11 @@
 
 use svr::core::svr::bit_budget;
 use svr::core::{LoopBoundMode, SvrConfig};
-use svr::sim::{run_kernel, SimConfig};
-use svr::workloads::{GraphInput, Kernel, Scale};
+use svr::sim::SimConfig;
+use svr::workloads::{GraphInput, Kernel};
+
+mod common;
+use common::run_small;
 
 /// Table II is reproduced exactly for the default design point.
 #[test]
@@ -21,7 +24,7 @@ fn table2_exact() {
 /// N prefetched iterations, the rest suppressed.
 #[test]
 fn waiting_mode_cadence() {
-    let r = run_kernel(Kernel::Camel, Scale::Small, &SimConfig::svr(16));
+    let r = run_small(Kernel::Camel, &SimConfig::svr(16));
     let s = r.core.svr;
     let per_round = s.waiting_suppressed as f64 / s.prm_rounds as f64;
     assert!(
@@ -39,7 +42,7 @@ fn graph_kernel_accuracy_above_threshold() {
         Kernel::Cc(GraphInput::Kr),
         Kernel::Bfs(GraphInput::Ljn),
     ] {
-        let r = run_kernel(k, Scale::Small, &SimConfig::svr(16));
+        let r = run_small(k, &SimConfig::svr(16));
         let acc = r.svr_accuracy().expect("prefetches issued");
         assert!(acc > 0.8, "{} accuracy {acc:.2}", k.name());
         assert_eq!(r.core.svr.banned_suppressed, 0, "{} banned", k.name());
@@ -50,11 +53,10 @@ fn graph_kernel_accuracy_above_threshold() {
 /// rounds and destroys the speedup (paper: SVR-64 becomes a slowdown).
 #[test]
 fn no_waiting_mode_collapses() {
-    let base = run_kernel(Kernel::Camel, Scale::Small, &SimConfig::inorder());
-    let with = run_kernel(Kernel::Camel, Scale::Small, &SimConfig::svr(64));
-    let without = run_kernel(
+    let base = run_small(Kernel::Camel, &SimConfig::inorder());
+    let with = run_small(Kernel::Camel, &SimConfig::svr(64));
+    let without = run_small(
         Kernel::Camel,
-        Scale::Small,
         &SimConfig::svr_with(SvrConfig {
             waiting_mode: false,
             ..SvrConfig::with_length(64)
@@ -73,15 +75,14 @@ fn no_waiting_mode_collapses() {
 #[test]
 fn lbd_wait_is_slower_than_tournament() {
     let k = Kernel::Pr(GraphInput::Kr);
-    let wait = run_kernel(
+    let wait = run_small(
         k,
-        Scale::Small,
         &SimConfig::svr_with(SvrConfig {
             loop_bound_mode: LoopBoundMode::LbdWait,
             ..SvrConfig::default()
         }),
     );
-    let tournament = run_kernel(k, Scale::Small, &SimConfig::svr(16));
+    let tournament = run_small(k, &SimConfig::svr(16));
     assert!(
         tournament.core.cycles <= wait.core.cycles,
         "tournament {} vs wait {}",
@@ -95,11 +96,11 @@ fn lbd_wait_is_slower_than_tournament() {
 #[test]
 fn bandwidth_direction() {
     let k = Kernel::Randacc;
-    let lo16 = run_kernel(k, Scale::Small, &SimConfig::svr(16).with_bandwidth(12.5));
-    let hi16 = run_kernel(k, Scale::Small, &SimConfig::svr(16).with_bandwidth(100.0));
+    let lo16 = run_small(k, &SimConfig::svr(16).with_bandwidth(12.5));
+    let hi16 = run_small(k, &SimConfig::svr(16).with_bandwidth(100.0));
     assert!(hi16.core.cycles <= lo16.core.cycles);
-    let lo64 = run_kernel(k, Scale::Small, &SimConfig::svr(64).with_bandwidth(12.5));
-    let hi64 = run_kernel(k, Scale::Small, &SimConfig::svr(64).with_bandwidth(100.0));
+    let lo64 = run_small(k, &SimConfig::svr(64).with_bandwidth(12.5));
+    let hi64 = run_small(k, &SimConfig::svr(64).with_bandwidth(100.0));
     let g16 = lo16.core.cycles as f64 / hi16.core.cycles as f64;
     let g64 = lo64.core.cycles as f64 / hi64.core.cycles as f64;
     assert!(g64 >= g16 * 0.9, "g16={g16:.2} g64={g64:.2}");
@@ -109,8 +110,8 @@ fn bandwidth_direction() {
 #[test]
 fn mshr_starvation_hurts() {
     let k = Kernel::NasIs;
-    let one = run_kernel(k, Scale::Small, &SimConfig::svr(16).with_mshrs(1));
-    let sixteen = run_kernel(k, Scale::Small, &SimConfig::svr(16).with_mshrs(16));
+    let one = run_small(k, &SimConfig::svr(16).with_mshrs(1));
+    let sixteen = run_small(k, &SimConfig::svr(16).with_mshrs(16));
     assert!(
         one.core.cycles > sixteen.core.cycles * 2,
         "1 MSHR {} vs 16 MSHRs {}",
@@ -124,9 +125,9 @@ fn mshr_starvation_hurts() {
 #[test]
 fn energy_ordering() {
     let k = Kernel::Kangaroo;
-    let ino = run_kernel(k, Scale::Small, &SimConfig::inorder());
-    let ooo = run_kernel(k, Scale::Small, &SimConfig::ooo());
-    let svr = run_kernel(k, Scale::Small, &SimConfig::svr(16));
+    let ino = run_small(k, &SimConfig::inorder());
+    let ooo = run_small(k, &SimConfig::ooo());
+    let svr = run_small(k, &SimConfig::svr(16));
     let e_ino = ino.energy.total_nj();
     let e_ooo = ooo.energy.total_nj();
     let e_svr = svr.energy.total_nj();

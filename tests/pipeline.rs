@@ -5,6 +5,9 @@
 use svr::sim::{run_kernel, run_workload, SimConfig};
 use svr::workloads::{hpcdb_suite, irregular_suite, GraphInput, Kernel, Scale};
 
+mod common;
+use common::run_small;
+
 /// Every irregular workload executes correctly (architectural check passes)
 /// on every core model at tiny scale.
 #[test]
@@ -59,9 +62,9 @@ fn qualitative_orderings_hold() {
         Kernel::Camel,
         Kernel::Pr(GraphInput::Kr),
     ] {
-        let ino = run_kernel(k, Scale::Small, &SimConfig::inorder());
-        let ooo = run_kernel(k, Scale::Small, &SimConfig::ooo());
-        let svr = run_kernel(k, Scale::Small, &SimConfig::svr(16));
+        let ino = run_small(k, &SimConfig::inorder());
+        let ooo = run_small(k, &SimConfig::ooo());
+        let svr = run_small(k, &SimConfig::svr(16));
         assert!(
             ooo.core.cycles < ino.core.cycles,
             "{}: OoO {} vs InO {}",
@@ -89,7 +92,7 @@ fn svr_accuracy_is_high_on_stride_indirect() {
         Kernel::Camel,
         Kernel::Kangaroo,
     ] {
-        let r = run_kernel(k, Scale::Small, &SimConfig::svr(16));
+        let r = run_small(k, &SimConfig::svr(16));
         let acc = r.svr_accuracy().expect("SVR issued prefetches");
         assert!(acc > 0.9, "{} accuracy {acc:.2}", k.name());
     }
@@ -99,10 +102,10 @@ fn svr_accuracy_is_high_on_stride_indirect() {
 /// SVR shows no meaningful speedup, unlike HJ2.
 #[test]
 fn hj8_shows_no_speedup_hj2_does() {
-    let base2 = run_kernel(Kernel::HashJoin(2), Scale::Small, &SimConfig::inorder());
-    let svr2 = run_kernel(Kernel::HashJoin(2), Scale::Small, &SimConfig::svr(16));
-    let base8 = run_kernel(Kernel::HashJoin(8), Scale::Small, &SimConfig::inorder());
-    let svr8 = run_kernel(Kernel::HashJoin(8), Scale::Small, &SimConfig::svr(16));
+    let base2 = run_small(Kernel::HashJoin(2), &SimConfig::inorder());
+    let svr2 = run_small(Kernel::HashJoin(2), &SimConfig::svr(16));
+    let base8 = run_small(Kernel::HashJoin(8), &SimConfig::inorder());
+    let svr8 = run_small(Kernel::HashJoin(8), &SimConfig::svr(16));
     let s2 = base2.core.cycles as f64 / svr2.core.cycles as f64;
     let s8 = base8.core.cycles as f64 / svr8.core.cycles as f64;
     assert!(s2 > 1.5, "HJ2 speedup {s2:.2}");
@@ -113,22 +116,22 @@ fn hj8_shows_no_speedup_hj2_does() {
 /// transformation in randacc and the second level in Kangaroo (§VI-A).
 #[test]
 fn imp_strengths_and_weaknesses() {
-    let is_imp = run_kernel(Kernel::NasIs, Scale::Small, &SimConfig::imp());
-    let is_ino = run_kernel(Kernel::NasIs, Scale::Small, &SimConfig::inorder());
+    let is_imp = run_small(Kernel::NasIs, &SimConfig::imp());
+    let is_ino = run_small(Kernel::NasIs, &SimConfig::inorder());
     assert!(
         (is_imp.core.cycles as f64) < is_ino.core.cycles as f64 * 0.5,
         "IMP should cover NAS-IS"
     );
 
-    let ra_imp = run_kernel(Kernel::Randacc, Scale::Small, &SimConfig::imp());
-    let ra_ino = run_kernel(Kernel::Randacc, Scale::Small, &SimConfig::inorder());
+    let ra_imp = run_small(Kernel::Randacc, &SimConfig::imp());
+    let ra_ino = run_small(Kernel::Randacc, &SimConfig::inorder());
     assert!(
         ra_imp.core.cycles as f64 > ra_ino.core.cycles as f64 * 0.9,
         "IMP must not cover randacc"
     );
 
-    let ka_imp = run_kernel(Kernel::Kangaroo, Scale::Small, &SimConfig::imp());
-    let ka_svr = run_kernel(Kernel::Kangaroo, Scale::Small, &SimConfig::svr(16));
+    let ka_imp = run_small(Kernel::Kangaroo, &SimConfig::imp());
+    let ka_svr = run_small(Kernel::Kangaroo, &SimConfig::svr(16));
     assert!(
         ka_svr.core.cycles * 2 < ka_imp.core.cycles,
         "SVR chases both levels of Kangaroo, IMP only one"
@@ -154,8 +157,8 @@ fn spec_like_overhead_is_small() {
 /// Larger vectors overlap more misses on deep regular-indirect chains.
 #[test]
 fn longer_vectors_help_on_regular_indirect() {
-    let r16 = run_kernel(Kernel::Kangaroo, Scale::Small, &SimConfig::svr(16));
-    let r64 = run_kernel(Kernel::Kangaroo, Scale::Small, &SimConfig::svr(64));
+    let r16 = run_small(Kernel::Kangaroo, &SimConfig::svr(16));
+    let r64 = run_small(Kernel::Kangaroo, &SimConfig::svr(64));
     assert!(
         r64.core.cycles <= r16.core.cycles,
         "SVR64 {} vs SVR16 {}",

@@ -94,7 +94,7 @@ fn cache_presence_invariant() {
         for _ in 0..rng.range(1, 300) {
             let a = rng.below(1 << 16);
             if !c.access(a, false).hit {
-                c.fill(a, false, None);
+                c.fill(a, false, None, true);
             }
             // The just-accessed/filled line must be present.
             assert!(c.probe(a));
