@@ -33,7 +33,7 @@ fn bench<F: FnMut() -> u64>(group: &str, name: &str, mut f: F) {
 }
 
 fn run(w: &Workload, cfg: &SimConfig) -> u64 {
-    run_workload(w, cfg, 200_000).core.retired
+    run_workload(w, cfg, 200_000).expect("valid config").core.retired
 }
 
 /// Core-model throughput on a fixed workload.

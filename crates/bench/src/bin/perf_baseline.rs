@@ -5,11 +5,18 @@
 //! (workload build + simulation), and records the measurement against the
 //! checked-in pre-rework baseline in `results/perf_baseline.json`.
 //! See DESIGN.md ("The performance baseline") for the schema.
+//!
+//! It also times the trace subsystem: the same workload simulated with the
+//! `NullSink` (tracing compiled out — this is the sweep's configuration) and
+//! with the bounded ring sink attached, recording both wall times and
+//! asserting the traced run's `RunReport` is bit-identical.
 
 use std::time::Instant;
 
 use svr_bench::{paper_configs, sweep, BenchArgs};
-use svr_workloads::irregular_suite;
+use svr_sim::{run_workload, run_workload_traced, SimConfig};
+use svr_trace::RingSink;
+use svr_workloads::{irregular_suite, Kernel, Scale};
 
 /// Wall time of `fig11_cpi --no-cache` at the default (small) scale on the
 /// reference machine *before* the integer-timing / hot-path rework.
@@ -17,6 +24,9 @@ const BASELINE_WALL_MS: u64 = 154_000;
 
 /// Documented goal of the hot-path rework: at least 2× the baseline.
 const TARGET_SPEEDUP: f64 = 2.0;
+
+/// Iterations of the trace-overhead probe (smooths scheduler noise).
+const TRACE_PROBE_ITERS: u32 = 3;
 
 fn main() {
     let mut args = BenchArgs::parse("perf_baseline");
@@ -30,15 +40,45 @@ fn main() {
     let wall_ms = start.elapsed().as_millis() as u64;
     res.assert_verified();
 
+    // Trace-overhead probe: fixed tiny pair so the numbers are comparable
+    // across scales and machines.
+    let probe = Kernel::Camel.build(Scale::Tiny);
+    let cfg = SimConfig::svr(16);
+    let budget = Scale::Tiny.max_insts();
+    let t = Instant::now();
+    let mut base = None;
+    for _ in 0..TRACE_PROBE_ITERS {
+        base = Some(run_workload(&probe, &cfg, budget).expect("valid config"));
+    }
+    let trace_off_ms = t.elapsed().as_secs_f64() * 1e3 / f64::from(TRACE_PROBE_ITERS);
+    let t = Instant::now();
+    let mut traced = None;
+    let mut ring_events = 0;
+    for _ in 0..TRACE_PROBE_ITERS {
+        let mut ring = RingSink::new(cfg.trace.ring_capacity);
+        traced = Some(run_workload_traced(&probe, &cfg, budget, &mut ring).expect("valid config"));
+        ring_events = ring.total();
+    }
+    let ring_sink_ms = t.elapsed().as_secs_f64() * 1e3 / f64::from(TRACE_PROBE_ITERS);
+    let trace_identical = base == traced;
+    assert!(
+        trace_identical,
+        "ring-sink run diverged from the untraced run"
+    );
+
     let speedup = BASELINE_WALL_MS as f64 / wall_ms.max(1) as f64;
     let json = format!(
-        "{{\n  \"name\": \"perf_baseline\",\n  \"benchmark\": \"fig11_cpi --no-cache --scale {}\",\n  \"pairs\": {},\n  \"baseline_wall_ms\": {},\n  \"current_wall_ms\": {},\n  \"speedup\": {:.3},\n  \"target_speedup\": {:.1}\n}}\n",
+        "{{\n  \"name\": \"perf_baseline\",\n  \"benchmark\": \"fig11_cpi --no-cache --scale {}\",\n  \"pairs\": {},\n  \"baseline_wall_ms\": {},\n  \"current_wall_ms\": {},\n  \"speedup\": {:.3},\n  \"target_speedup\": {:.1},\n  \"trace_probe\": \"Camel/SVR16 --scale tiny\",\n  \"trace_off_wall_ms\": {:.3},\n  \"ring_sink_wall_ms\": {:.3},\n  \"ring_sink_events\": {},\n  \"trace_identical\": {}\n}}\n",
         args.scale.name(),
         res.stats.pairs,
         BASELINE_WALL_MS,
         wall_ms,
         speedup,
         TARGET_SPEEDUP,
+        trace_off_ms,
+        ring_sink_ms,
+        ring_events,
+        trace_identical,
     );
     let path = args
         .json
@@ -56,6 +96,10 @@ fn main() {
         speedup,
         BASELINE_WALL_MS as f64 / 1000.0,
         TARGET_SPEEDUP,
+    );
+    println!(
+        "trace probe: off {trace_off_ms:.2} ms, ring sink {ring_sink_ms:.2} ms \
+         ({ring_events} events), identical={trace_identical}"
     );
     println!("wrote {}", path.display());
     if args.scale.name() == "small" && speedup < TARGET_SPEEDUP {

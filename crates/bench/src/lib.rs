@@ -19,6 +19,8 @@ pub mod chart;
 /// --json PATH               write the JSON report here (default results/<name>.json)
 /// --no-cache                ignore and do not write the result cache
 /// --cache-dir DIR           result cache directory (default $SVR_CACHE_DIR or results/cache)
+/// --trace[=PATH]            capture an event trace (default results/trace/<wl>_<cfg>.json)
+/// --trace-interval N        windowed-metrics interval in cycles (default 10000)
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
@@ -32,6 +34,13 @@ pub struct BenchArgs {
     pub no_cache: bool,
     /// Overrides the result-cache directory.
     pub cache_dir: Option<PathBuf>,
+    /// Capture an event trace (`--trace` / `--trace=PATH`).
+    pub trace: bool,
+    /// Explicit trace output path (`--trace=PATH`); otherwise the binary
+    /// derives `results/trace/<workload>_<config>.json`.
+    pub trace_path: Option<PathBuf>,
+    /// Windowed-metrics interval override in cycles (`--trace-interval N`).
+    pub trace_interval: Option<u64>,
     /// Arguments the shared parser did not consume (binary-specific).
     pub positional: Vec<String>,
 }
@@ -44,6 +53,9 @@ impl Default for BenchArgs {
             json: None,
             no_cache: false,
             cache_dir: None,
+            trace: false,
+            trace_path: None,
+            trace_interval: None,
             positional: Vec::new(),
         }
     }
@@ -78,6 +90,23 @@ impl BenchArgs {
                 "--no-cache" => out.no_cache = true,
                 "--cache-dir" => {
                     out.cache_dir = Some(PathBuf::from(value("--cache-dir", &mut it)?));
+                }
+                "--trace" => out.trace = true,
+                "--trace-interval" => {
+                    let v = value("--trace-interval", &mut it)?;
+                    out.trace_interval =
+                        v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--trace-interval needs a positive integer, got {v}")
+                        })?
+                        .into();
+                }
+                path if path.starts_with("--trace=") => {
+                    let p = &path["--trace=".len()..];
+                    if p.is_empty() {
+                        return Err("--trace= requires a path".into());
+                    }
+                    out.trace = true;
+                    out.trace_path = Some(PathBuf::from(p));
                 }
                 flag if flag.starts_with("--") && flag != "--" => {
                     return Err(format!("unknown flag {flag}"));
@@ -117,6 +146,8 @@ pub fn usage(bin: &str) -> String {
          \x20 --json PATH              JSON report path (default results/<bin>.json)\n\
          \x20 --no-cache               ignore and do not write the result cache\n\
          \x20 --cache-dir DIR          cache directory (default $SVR_CACHE_DIR or results/cache)\n\
+         \x20 --trace[=PATH]           capture an event trace (Perfetto/chrome://tracing JSON)\n\
+         \x20 --trace-interval N       windowed-metrics interval in cycles (default 10000)\n\
          \x20 --help                   show this help"
     )
 }
@@ -144,6 +175,29 @@ pub fn paper_configs() -> Vec<SimConfig> {
         SimConfig::svr(64),
         SimConfig::svr(128),
     ]
+}
+
+/// Resolves a kernel by its display name (`PR_KR`, `Camel`, `HJ8`, ...),
+/// searching the irregular and regular suites.
+pub fn kernel_from_name(name: &str) -> Option<Kernel> {
+    let mut all = svr_workloads::irregular_suite();
+    all.extend(svr_workloads::regular_suite());
+    all.into_iter().find(|k| k.name() == name)
+}
+
+/// Resolves a core configuration by its display label (`InO`, `IMP`, `OoO`,
+/// `SVR16`, ...). Covers the paper configurations plus any plain `SVR<n>`
+/// vector length.
+pub fn config_from_label(label: &str) -> Option<SimConfig> {
+    if let Some(c) = paper_configs().into_iter().find(|c| c.label() == label) {
+        return Some(c);
+    }
+    label
+        .strip_prefix("SVR")?
+        .parse::<usize>()
+        .ok()
+        .filter(|n| (1..=128).contains(n))
+        .map(SimConfig::svr)
 }
 
 /// Asserts all runs passed their architectural checks (capped runs pass by
@@ -413,9 +467,49 @@ mod tests {
             "--json",
             "--no-cache",
             "--cache-dir",
+            "--trace",
+            "--trace-interval",
         ] {
             assert!(u.contains(flag), "usage missing {flag}");
         }
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let a = BenchArgs::try_parse(&strs(&["--trace"])).expect("parses");
+        assert!(a.trace);
+        assert!(a.trace_path.is_none());
+        assert!(a.trace_interval.is_none());
+
+        let a = BenchArgs::try_parse(&strs(&[
+            "--trace=out/t.json",
+            "--trace-interval",
+            "5000",
+        ]))
+        .expect("parses");
+        assert!(a.trace);
+        assert_eq!(
+            a.trace_path.as_deref(),
+            Some(std::path::Path::new("out/t.json"))
+        );
+        assert_eq!(a.trace_interval, Some(5000));
+
+        assert!(BenchArgs::try_parse(&strs(&["--trace="])).is_err());
+        assert!(BenchArgs::try_parse(&strs(&["--trace-interval", "0"])).is_err());
+        assert!(BenchArgs::try_parse(&strs(&["--trace-interval"])).is_err());
+    }
+
+    #[test]
+    fn kernel_and_config_lookup() {
+        use svr_workloads::GraphInput;
+        assert_eq!(kernel_from_name("PR_KR"), Some(Kernel::Pr(GraphInput::Kr)));
+        assert_eq!(kernel_from_name("Camel"), Some(Kernel::Camel));
+        assert_eq!(kernel_from_name("nope"), None);
+        assert_eq!(config_from_label("InO").map(|c| c.label()).as_deref(), Some("InO"));
+        assert_eq!(config_from_label("SVR16").map(|c| c.label()).as_deref(), Some("SVR16"));
+        assert_eq!(config_from_label("SVR24").map(|c| c.label()).as_deref(), Some("SVR24"));
+        assert!(config_from_label("SVR0").is_none());
+        assert!(config_from_label("bogus").is_none());
     }
 
     #[test]

@@ -9,12 +9,14 @@
 //! where the in-order core serializes them.
 
 use crate::branch::{BranchPredictor, MISPREDICT_PENALTY};
+use crate::inorder::stall_tag;
 use crate::pipeline::{IssueSlots, Scoreboard};
 use crate::stats::{CoreStats, StallBucket};
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 use svr_isa::{AluOp, ArchState, Inst, Outcome, Program, NUM_REGS};
 use svr_mem::{Access, AccessKind, FxHasher, HitLevel, MemConfig, MemImage, MemoryHierarchy};
+use svr_trace::{NullSink, TraceEvent, TraceSink};
 
 /// Out-of-order core parameters (defaults = Table III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,9 +67,9 @@ impl Default for OooConfig {
 /// assert_eq!(core.stats().retired, 2);
 /// ```
 #[derive(Debug)]
-pub struct OooCore {
+pub struct OooCore<S: TraceSink = NullSink> {
     cfg: OooConfig,
-    hier: MemoryHierarchy,
+    hier: MemoryHierarchy<S>,
     bp: BranchPredictor,
     rob: Scoreboard,
     lsq: Scoreboard,
@@ -102,11 +104,18 @@ fn level_bucket(level: HitLevel) -> StallBucket {
     }
 }
 
-impl OooCore {
-    /// Creates a core over a fresh hierarchy.
+impl OooCore<NullSink> {
+    /// Creates a core over a fresh hierarchy with tracing disabled.
     pub fn new(cfg: OooConfig, mem: MemConfig) -> Self {
+        Self::with_sink(cfg, mem, NullSink)
+    }
+}
+
+impl<S: TraceSink> OooCore<S> {
+    /// Creates a core over a fresh hierarchy emitting trace events to `sink`.
+    pub fn with_sink(cfg: OooConfig, mem: MemConfig, sink: S) -> Self {
         OooCore {
-            hier: MemoryHierarchy::new(mem),
+            hier: MemoryHierarchy::with_sink(mem, sink),
             bp: BranchPredictor::new(),
             rob: Scoreboard::new(cfg.rob),
             lsq: Scoreboard::new(cfg.lsq),
@@ -135,7 +144,7 @@ impl OooCore {
     }
 
     /// The memory hierarchy.
-    pub fn hierarchy(&self) -> &MemoryHierarchy {
+    pub fn hierarchy(&self) -> &MemoryHierarchy<S> {
         &self.hier
     }
 
@@ -273,6 +282,7 @@ impl OooCore {
                 let delta = c.saturating_sub(self.last_commit);
                 if delta > 0 {
                     self.stats.stack.charge(StallBucket::Base, 1);
+                    let mut attr_bucket = StallBucket::Base;
                     if delta > 1 {
                         let b = if completion > ready {
                             bucket
@@ -285,6 +295,15 @@ impl OooCore {
                             _ => b,
                         };
                         self.stats.stack.charge(b, delta - 1);
+                        attr_bucket = b;
+                    }
+                    if S::ENABLED {
+                        self.hier.trace(&TraceEvent::Attrib {
+                            cycle: c,
+                            bucket: stall_tag(attr_bucket),
+                            base: 1,
+                            stall: delta - 1,
+                        });
                     }
                 }
                 self.last_commit = c;

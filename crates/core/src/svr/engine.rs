@@ -10,6 +10,7 @@ use crate::svr::monitor::AccuracyMonitor;
 use crate::svr::taint::{RecycleOutcome, TaintSrf};
 use svr_isa::{eval_alu, eval_cond, DataMemory, Inst, Reg};
 use svr_mem::{Access, AccessKind, PfSource};
+use svr_trace::{PrmEnd, TraceEvent, TraceSink};
 
 /// Why a PRM round ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +21,16 @@ enum EndReason {
     Timeout,
     /// A nested inner loop was detected; retargeting (§IV-A6).
     Retarget,
+}
+
+impl EndReason {
+    fn trace_reason(self) -> PrmEnd {
+        match self {
+            EndReason::Hslr => PrmEnd::Hslr,
+            EndReason::Timeout => PrmEnd::Timeout,
+            EndReason::Retarget => PrmEnd::Retarget,
+        }
+    }
 }
 
 /// Per-lane flag state produced by a tainted compare.
@@ -99,7 +110,7 @@ impl SvrEngine {
     }
 
     /// Observes one issued main-thread instruction (called by the pipeline).
-    pub fn observe(&mut self, ctx: &mut SvrCtx<'_>, ob: &Observed<'_>) {
+    pub fn observe<S: TraceSink>(&mut self, ctx: &mut SvrCtx<'_, S>, ob: &Observed<'_>) {
         self.inst_count += 1;
         if self.cfg.accuracy_ban {
             let pf = *ctx.hier.stats().pf(PfSource::Svr);
@@ -114,7 +125,7 @@ impl SvrEngine {
         if self.in_prm {
             self.prm_inst_count += 1;
             if self.prm_inst_count > self.cfg.timeout_insts {
-                self.end_round(ctx, EndReason::Timeout);
+                self.end_round(ctx, EndReason::Timeout, ob.issue_t);
             }
         }
 
@@ -179,7 +190,7 @@ impl SvrEngine {
     // Loads: stride detection, chain tracking, triggering.
     // ------------------------------------------------------------------
 
-    fn on_load(&mut self, ctx: &mut SvrCtx<'_>, ob: &Observed<'_>) {
+    fn on_load<S: TraceSink>(&mut self, ctx: &mut SvrCtx<'_, S>, ob: &Observed<'_>) {
         let pc = ob.pc;
         let (_, addr) = ob.outcome.mem.expect("load address");
         let is_hslr = self.hslr_pc == Some(pc);
@@ -204,7 +215,7 @@ impl SvrEngine {
         let mut just_ended = false;
         if self.in_prm {
             if is_hslr {
-                self.end_round(ctx, EndReason::Hslr);
+                self.end_round(ctx, EndReason::Hslr, ob.issue_t);
                 just_ended = true;
             } else if self.chain_inputs(ob.inst).is_some() {
                 // Indirect-chain load: vectorize and remember it as the LIL
@@ -226,7 +237,7 @@ impl SvrEngine {
                 let seen = self.sd.lookup(pc).map(|e| e.seen).unwrap_or(false);
                 if seen {
                     // Nested inner loop: abort and retarget (§IV-A6).
-                    self.end_round(ctx, EndReason::Retarget);
+                    self.end_round(ctx, EndReason::Retarget, ob.issue_t);
                     self.hslr_pc = Some(pc);
                     self.sd.clear_seen_except(pc);
                     ctx.stats.svr.retargets += 1;
@@ -257,9 +268,9 @@ impl SvrEngine {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn try_trigger(
+    fn try_trigger<S: TraceSink>(
         &mut self,
-        ctx: &mut SvrCtx<'_>,
+        ctx: &mut SvrCtx<'_, S>,
         ob: &Observed<'_>,
         addr: u64,
         stride: i64,
@@ -333,7 +344,13 @@ impl SvrEngine {
         self.enter_prm(ctx, ob, addr, stride);
     }
 
-    fn enter_prm(&mut self, ctx: &mut SvrCtx<'_>, ob: &Observed<'_>, addr: u64, stride: i64) {
+    fn enter_prm<S: TraceSink>(
+        &mut self,
+        ctx: &mut SvrCtx<'_, S>,
+        ob: &Observed<'_>,
+        addr: u64,
+        stride: i64,
+    ) {
         let pc = ob.pc;
         let n = self.cfg.vector_length as u64;
 
@@ -387,6 +404,13 @@ impl SvrEngine {
         self.flag_lanes = None;
         self.ts.clear();
         ctx.stats.svr.prm_rounds += 1;
+        if S::ENABLED {
+            ctx.hier.trace(&TraceEvent::PrmEnter {
+                cycle: ob.issue_t,
+                hslr_pc: pc as u64,
+                lanes: lanes as u32,
+            });
+        }
 
         self.gen_chain_head(ctx, ob, addr, stride);
     }
@@ -394,8 +418,21 @@ impl SvrEngine {
     /// Generates the SVI for a striding load (the head of a chain): lanes at
     /// `addr + (k+1)*stride`, and records the prefetched range for waiting
     /// mode.
-    fn gen_chain_head(&mut self, ctx: &mut SvrCtx<'_>, ob: &Observed<'_>, addr: u64, stride: i64) {
+    fn gen_chain_head<S: TraceSink>(
+        &mut self,
+        ctx: &mut SvrCtx<'_, S>,
+        ob: &Observed<'_>,
+        addr: u64,
+        stride: i64,
+    ) {
         let lanes = self.n_lanes;
+        if S::ENABLED {
+            ctx.hier.trace(&TraceEvent::SvrChain {
+                cycle: ob.issue_t,
+                pc: ob.pc as u64,
+                lanes: lanes as u32,
+            });
+        }
         let mut vals = vec![0u64; self.cfg.vector_length];
         let mut ready = vec![0u64; self.cfg.vector_length];
         let mut max_ready = ob.issue_t;
@@ -423,6 +460,9 @@ impl SvrEngine {
                 out => {
                     if matches!(out, RecycleOutcome::Recycled(_)) {
                         ctx.stats.svr.srf_recycles += 1;
+                        if S::ENABLED {
+                            ctx.hier.trace(&TraceEvent::SrfRecycle { cycle: ob.issue_t });
+                        }
                     }
                     let id = match out {
                         RecycleOutcome::Allocated(i) | RecycleOutcome::Recycled(i) => i,
@@ -455,9 +495,9 @@ impl SvrEngine {
     /// instruction (§IV-A1); dependent-instruction SVIs execute in spare
     /// issue slots with main-thread priority, so they do not stall the pipe
     /// (the core is memory-bound during runahead).
-    fn finish_svi(
+    fn finish_svi<S: TraceSink>(
         &mut self,
-        ctx: &mut SvrCtx<'_>,
+        ctx: &mut SvrCtx<'_, S>,
         ob: &Observed<'_>,
         lanes: usize,
         blocks_pipe: bool,
@@ -495,7 +535,7 @@ impl SvrEngine {
     }
 
     /// Generates an SVI for a dependent (tainted-input) instruction.
-    fn maybe_gen_svi(&mut self, ctx: &mut SvrCtx<'_>, ob: &Observed<'_>) {
+    fn maybe_gen_svi<S: TraceSink>(&mut self, ctx: &mut SvrCtx<'_, S>, ob: &Observed<'_>) {
         let Some(inputs) = self.chain_inputs(ob.inst) else {
             // Untainted result overwriting a mapped register frees it.
             if let Some(dst) = ob.inst.dst() {
@@ -652,6 +692,9 @@ impl SvrEngine {
                 out => {
                     if matches!(out, RecycleOutcome::Recycled(_)) {
                         ctx.stats.svr.srf_recycles += 1;
+                        if S::ENABLED {
+                            ctx.hier.trace(&TraceEvent::SrfRecycle { cycle: ob.issue_t });
+                        }
                     }
                     let id = match out {
                         RecycleOutcome::Allocated(i) | RecycleOutcome::Recycled(i) => i,
@@ -667,7 +710,12 @@ impl SvrEngine {
 
     /// Masks off lanes whose predicate disagrees with the real path
     /// (§IV-B1).
-    fn apply_branch_mask(&mut self, ctx: &mut SvrCtx<'_>, cond: svr_isa::Cond, real_taken: bool) {
+    fn apply_branch_mask<S: TraceSink>(
+        &mut self,
+        ctx: &mut SvrCtx<'_, S>,
+        cond: svr_isa::Cond,
+        real_taken: bool,
+    ) {
         let Some(f) = self.flag_lanes.take() else {
             return;
         };
@@ -683,9 +731,20 @@ impl SvrEngine {
         }
     }
 
-    fn end_round(&mut self, ctx: &mut SvrCtx<'_>, reason: EndReason) {
+    fn end_round<S: TraceSink>(
+        &mut self,
+        ctx: &mut SvrCtx<'_, S>,
+        reason: EndReason,
+        cycle: u64,
+    ) {
         if !self.in_prm {
             return;
+        }
+        if S::ENABLED {
+            ctx.hier.trace(&TraceEvent::PrmExit {
+                cycle,
+                reason: reason.trace_reason(),
+            });
         }
         self.in_prm = false;
         self.ts.clear();

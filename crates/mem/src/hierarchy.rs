@@ -12,6 +12,7 @@ use crate::prefetch::{
 };
 use crate::stats::MemStats;
 use crate::tlb::{Tlb, TlbConfig, WalkerPool};
+use svr_trace::{MemKind, MemLevel, NullSink, TraceEvent, TraceSink};
 
 /// What kind of access is being performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +78,31 @@ pub enum HitLevel {
     L2,
     /// Main memory.
     Dram,
+}
+
+impl AccessKind {
+    /// The trace-event classification of this access.
+    fn mem_kind(self) -> MemKind {
+        match self {
+            AccessKind::DemandLoad => MemKind::DemandLoad,
+            AccessKind::DemandStore => MemKind::DemandStore,
+            AccessKind::InstFetch => MemKind::InstFetch,
+            AccessKind::Prefetch(PfSource::Stride) => MemKind::StridePf,
+            AccessKind::Prefetch(PfSource::Imp) => MemKind::ImpPf,
+            AccessKind::Prefetch(PfSource::Svr) => MemKind::SvrPf,
+        }
+    }
+}
+
+impl HitLevel {
+    /// The trace-event classification of this level.
+    fn mem_level(self) -> MemLevel {
+        match self {
+            HitLevel::L1 => MemLevel::L1,
+            HitLevel::L2 => MemLevel::L2,
+            HitLevel::Dram => MemLevel::Dram,
+        }
+    }
 }
 
 /// Timing outcome of an access.
@@ -146,7 +172,7 @@ impl Default for MemConfig {
 /// assert_eq!(r2.level, HitLevel::L1);
 /// ```
 #[derive(Debug)]
-pub struct MemoryHierarchy {
+pub struct MemoryHierarchy<S: TraceSink = NullSink> {
     config: MemConfig,
     l1d: Cache,
     l1i: Cache,
@@ -162,11 +188,19 @@ pub struct MemoryHierarchy {
     pf_scratch: Vec<u64>,
     /// Optional hook address region: instruction fetches are mapped here.
     inst_base: u64,
+    sink: S,
 }
 
-impl MemoryHierarchy {
-    /// Creates an empty hierarchy.
+impl MemoryHierarchy<NullSink> {
+    /// Creates an empty, untraced hierarchy.
     pub fn new(config: MemConfig) -> Self {
+        Self::with_sink(config, NullSink)
+    }
+}
+
+impl<S: TraceSink> MemoryHierarchy<S> {
+    /// Creates an empty hierarchy that streams trace events into `sink`.
+    pub fn with_sink(config: MemConfig, sink: S) -> Self {
         MemoryHierarchy {
             l1d: Cache::new(config.l1d),
             l1i: Cache::new(config.l1i),
@@ -182,12 +216,27 @@ impl MemoryHierarchy {
             stats: MemStats::default(),
             pf_scratch: Vec::new(),
             inst_base: 0x4000_0000,
+            sink,
         }
     }
 
     /// The configuration in effect.
     pub fn config(&self) -> &MemConfig {
         &self.config
+    }
+
+    /// The attached trace sink (e.g. to inspect a `RingSink` after a run).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Emits a trace event. Call sites in the cores and SVR engine must
+    /// guard with `if S::ENABLED` so disabled tracing compiles away.
+    #[inline(always)]
+    pub fn trace(&mut self, ev: &TraceEvent) {
+        if S::ENABLED {
+            self.sink.emit(ev);
+        }
     }
 
     /// Accumulated statistics.
@@ -207,6 +256,12 @@ impl MemoryHierarchy {
         let (tlat, walked) = self.dtlb.translate(now, addr, &mut self.walkers);
         if walked {
             self.stats.tlb_walks += 1;
+            if S::ENABLED {
+                self.sink.emit(&TraceEvent::TlbWalk {
+                    cycle: now,
+                    done: now + tlat,
+                });
+            }
         }
         let mut t = now + tlat;
         let is_store = kind == AccessKind::DemandStore;
@@ -227,11 +282,22 @@ impl MemoryHierarchy {
             // Lines are installed eagerly at request time; a "hit" on a line
             // whose fill is still in flight completes when the fill does
             // (hit-under-miss / MSHR coalescing).
-            let ready = self
-                .mshrs
-                .outstanding(line, t)
-                .unwrap_or(t)
-                .max(t + self.config.l1_latency);
+            let outstanding = self.mshrs.outstanding(line, t);
+            let ready = outstanding.unwrap_or(t).max(t + self.config.l1_latency);
+            if S::ENABLED {
+                if outstanding.is_some() {
+                    // Hit on a line whose fill is still in flight — this is
+                    // the common MSHR-coalesce shape (fills are eager).
+                    self.sink.emit(&TraceEvent::MshrCoalesce { cycle: t, line });
+                }
+                self.sink.emit(&TraceEvent::Mem {
+                    start: now,
+                    complete: ready,
+                    addr,
+                    level: MemLevel::L1,
+                    kind: kind.mem_kind(),
+                });
+            }
             return AccessResult {
                 issued_at: now,
                 complete_at: ready,
@@ -244,9 +310,20 @@ impl MemoryHierarchy {
 
         // Coalesce onto an outstanding miss for the same line.
         if let Some(ready) = self.mshrs.outstanding(line, t) {
+            let complete = ready.max(t + self.config.l1_latency);
+            if S::ENABLED {
+                self.sink.emit(&TraceEvent::MshrCoalesce { cycle: t, line });
+                self.sink.emit(&TraceEvent::Mem {
+                    start: now,
+                    complete,
+                    addr,
+                    level: MemLevel::L1,
+                    kind: kind.mem_kind(),
+                });
+            }
             return AccessResult {
                 issued_at: now,
-                complete_at: ready.max(t + self.config.l1_latency),
+                complete_at: complete,
                 level: HitLevel::L1,
             };
         }
@@ -289,6 +366,13 @@ impl MemoryHierarchy {
                 self.stats.l2_misses += 1;
             }
             let done = self.dram.access(t + self.config.l2_latency, false);
+            if S::ENABLED {
+                self.sink.emit(&TraceEvent::Dram {
+                    enter: t + self.config.l2_latency,
+                    leave: done,
+                    write: false,
+                });
+            }
             match kind {
                 AccessKind::DemandLoad | AccessKind::DemandStore => {
                     self.stats.dram_demand_data += 1
@@ -301,7 +385,17 @@ impl MemoryHierarchy {
             (done, HitLevel::Dram)
         };
 
-        let _ = self.mshrs.try_alloc(line, ready);
+        let allocated = self.mshrs.try_alloc(line, ready);
+        if S::ENABLED && allocated {
+            // Fill time is known eagerly, so the retirement is emitted now
+            // with its future timestamp.
+            self.sink.emit(&TraceEvent::MshrAlloc {
+                cycle: t,
+                line,
+                fill_at: ready,
+            });
+            self.sink.emit(&TraceEvent::MshrRetire { cycle: ready, line });
+        }
 
         // Fill caches; dirty-evictions create writebacks.
         let pf_tag = match kind {
@@ -320,7 +414,14 @@ impl MemoryHierarchy {
             if let Some(ev) = out.evicted {
                 if ev.dirty {
                     self.stats.writebacks += 1;
-                    self.dram.access(t, true);
+                    let wb_done = self.dram.access(t, true);
+                    if S::ENABLED {
+                        self.sink.emit(&TraceEvent::Dram {
+                            enter: t,
+                            leave: wb_done,
+                            write: true,
+                        });
+                    }
                 }
                 if let Some(src) = ev.pf_unused {
                     // Gone from the LLC without a demand touch (§IV-A7 /
@@ -345,7 +446,14 @@ impl MemoryHierarchy {
                 // Writeback to L2; if it misses there it goes to DRAM.
                 if !self.l2.probe(ev.line_addr) {
                     self.stats.writebacks += 1;
-                    self.dram.access(t, true);
+                    let wb_done = self.dram.access(t, true);
+                    if S::ENABLED {
+                        self.sink.emit(&TraceEvent::Dram {
+                            enter: t,
+                            leave: wb_done,
+                            write: true,
+                        });
+                    }
                 }
                 // A writeback fill is not a demand touch: it must not
                 // consume a prefetch tag on a resident line.
@@ -353,6 +461,15 @@ impl MemoryHierarchy {
             }
         }
 
+        if S::ENABLED {
+            self.sink.emit(&TraceEvent::Mem {
+                start: now,
+                complete: ready,
+                addr,
+                level: level.mem_level(),
+                kind: kind.mem_kind(),
+            });
+        }
         AccessResult {
             issued_at: now,
             complete_at: ready,
@@ -435,11 +552,26 @@ impl MemoryHierarchy {
     /// (instruction index); it is mapped into a dedicated text segment.
     pub fn fetch_inst(&mut self, now: u64, pc: u64) -> AccessResult {
         let addr = self.inst_base + pc * 4;
-        let (tlat, _) = self.itlb.translate(now, addr, &mut self.walkers);
+        let (tlat, walked) = self.itlb.translate(now, addr, &mut self.walkers);
+        if S::ENABLED && walked {
+            self.sink.emit(&TraceEvent::TlbWalk {
+                cycle: now,
+                done: now + tlat,
+            });
+        }
         let t = now + tlat;
         let out = self.l1i.access(addr, false);
         if out.hit {
             self.stats.l1i_hits += 1;
+            if S::ENABLED {
+                self.sink.emit(&TraceEvent::Mem {
+                    start: now,
+                    complete: t + 1,
+                    addr,
+                    level: MemLevel::L1,
+                    kind: MemKind::InstFetch,
+                });
+            }
             return AccessResult {
                 issued_at: now,
                 complete_at: t + 1,
@@ -452,11 +584,27 @@ impl MemoryHierarchy {
             (t + self.config.l2_latency, HitLevel::L2)
         } else {
             let done = self.dram.access(t + self.config.l2_latency, false);
+            if S::ENABLED {
+                self.sink.emit(&TraceEvent::Dram {
+                    enter: t + self.config.l2_latency,
+                    leave: done,
+                    write: false,
+                });
+            }
             self.stats.dram_inst += 1;
             self.l2.fill(addr, false, None, true);
             (done, HitLevel::Dram)
         };
         self.l1i.fill(addr, false, None, true);
+        if S::ENABLED {
+            self.sink.emit(&TraceEvent::Mem {
+                start: now,
+                complete: ready,
+                addr,
+                level: level.mem_level(),
+                kind: MemKind::InstFetch,
+            });
+        }
         AccessResult {
             issued_at: now,
             complete_at: ready,
@@ -598,6 +746,55 @@ mod tests {
         let r = h.access(Access::new(500, 0x40, AccessKind::Prefetch(PfSource::Svr)));
         assert_eq!(r.level, HitLevel::L1);
         assert_eq!(h.stats().dram_reads(), before);
+    }
+
+    #[test]
+    fn traced_hierarchy_emits_miss_lifecycle_events() {
+        use svr_trace::RingSink;
+        let mut h = MemoryHierarchy::with_sink(
+            MemConfig {
+                stride_pf: None,
+                ..MemConfig::default()
+            },
+            RingSink::new(1024),
+        );
+        let r = h.access(Access::new(0, 0x10000, AccessKind::DemandLoad));
+        assert_eq!(r.level, HitLevel::Dram);
+        h.access(Access::new(1, 0x10008, AccessKind::DemandLoad)); // coalesce
+        let kinds: Vec<&str> = h.sink.iter().map(TraceEvent::kind_name).collect();
+        for expected in ["mem", "mshr_alloc", "mshr_retire", "dram", "mshr_coalesce"] {
+            assert!(kinds.contains(&expected), "missing {expected} in {kinds:?}");
+        }
+        // The DRAM span matches the miss completion computed by the access.
+        let dram = h
+            .sink
+            .iter()
+            .find_map(|ev| match *ev {
+                TraceEvent::Dram { enter, leave, .. } => Some((enter, leave)),
+                _ => None,
+            })
+            .expect("dram span");
+        assert_eq!(dram.1, r.complete_at);
+        assert!(dram.0 < dram.1);
+    }
+
+    #[test]
+    fn traced_and_untraced_timings_agree() {
+        use svr_trace::RingSink;
+        let cfg = || MemConfig::default();
+        let mut plain = MemoryHierarchy::new(cfg());
+        let mut traced = MemoryHierarchy::with_sink(cfg(), RingSink::new(64));
+        let mut t = 0;
+        for i in 0..256u64 {
+            let addr = (i * 97) % 4096 * 64;
+            let a = Access::new(t, addr, AccessKind::DemandLoad).with_pc(3);
+            let r1 = plain.access(a);
+            let r2 = traced.access(a);
+            assert_eq!(r1, r2, "iteration {i}");
+            t = r1.complete_at;
+        }
+        assert_eq!(plain.stats(), traced.stats());
+        assert!(traced.sink.total() > 0);
     }
 
     #[test]

@@ -5,6 +5,62 @@ use svr_core::{InOrderConfig, LoopBoundMode, OooConfig, SvrConfig};
 use svr_mem::prefetch::ImpConfig;
 use svr_mem::{DramConfig, MemConfig, TlbConfig};
 
+/// An internally inconsistent [`SimConfig`], rejected before any simulation
+/// runs. Carries enough context (config label, and the workload when the run
+/// was attempted for one) to point at the offending sweep point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Configuration label ([`SimConfig::label`]).
+    pub config: String,
+    /// Workload the run was attempted for, when known.
+    pub workload: Option<String>,
+    /// What is inconsistent.
+    pub message: String,
+}
+
+impl ConfigError {
+    /// Attaches the workload the run was attempted for.
+    pub(crate) fn for_workload(mut self, workload: &str) -> Self {
+        self.workload = Some(workload.to_string());
+        self
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid SimConfig {}", self.config)?;
+        if let Some(w) = &self.workload {
+            write!(f, " for {w}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Observability knobs: how the tracing subsystem behaves when a run is
+/// traced. Deliberately **excluded** from [`SimConfig::cache_key`] and
+/// [`SimConfig::label`]: tracing never changes simulated timing (the
+/// [`svr_trace::NullSink`] path is compiled out), so two configurations that
+/// differ only here simulate identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Windowed-metrics interval in cycles (per-interval CPI stacks, MLP
+    /// timelines).
+    pub interval: u64,
+    /// Capacity of the bounded in-memory ring sink.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            interval: 10_000,
+            ring_capacity: 1 << 20,
+        }
+    }
+}
+
 /// Which core model (and attachment) to simulate.
 #[derive(Debug, Clone)]
 pub enum CoreChoice {
@@ -85,6 +141,8 @@ pub struct SimConfig {
     pub inorder: InOrderConfig,
     /// Out-of-order parameters.
     pub ooo: OooConfig,
+    /// Observability knobs (excluded from `cache_key` and `label`).
+    pub trace: TraceConfig,
 }
 
 impl SimConfig {
@@ -95,6 +153,7 @@ impl SimConfig {
             mem: MemConfig::default(),
             inorder: InOrderConfig::default(),
             ooo: OooConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -175,23 +234,28 @@ impl SimConfig {
     /// configurations: [`CoreChoice::Imp`] with `mem.imp = None` would
     /// silently degenerate to the plain in-order baseline, and a non-IMP
     /// core with an IMP prefetcher attached would mislabel its rows.
-    pub fn validate(&self) -> Result<(), String> {
-        match (&self.core, &self.mem.imp) {
-            (CoreChoice::Imp, None) => Err(
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let message = match (&self.core, &self.mem.imp) {
+            (CoreChoice::Imp, None) => {
                 "CoreChoice::Imp requires mem.imp: Some(ImpConfig); without it the \
                  configuration silently degenerates to the in-order baseline \
                  (use SimConfig::imp())"
-                    .into(),
-            ),
+                    .to_string()
+            }
             (CoreChoice::InOrder | CoreChoice::OutOfOrder | CoreChoice::Svr(_), Some(_)) => {
-                Err(format!(
+                format!(
                     "mem.imp is set but the core choice is {:?}; the IMP prefetcher \
                      would run under a non-IMP label (use SimConfig::imp())",
                     self.core
-                ))
+                )
             }
-            _ => Ok(()),
-        }
+            _ => return Ok(()),
+        };
+        Err(ConfigError {
+            config: self.label(),
+            workload: None,
+            message,
+        })
     }
 
     /// Canonical content key covering **every** field of the configuration.

@@ -19,16 +19,21 @@
 //! ```
 
 mod config;
-pub mod json;
 mod report;
 mod runner;
 mod sweep;
 
-pub use config::{CoreChoice, SimConfig};
+/// The hand-rolled JSON support now lives in the dependency-free `svr-trace`
+/// crate (the streaming Perfetto writer needs it below this layer);
+/// re-exported here so `svr_sim::json` keeps working.
+pub use svr_trace::json;
+
+pub use config::{ConfigError, CoreChoice, SimConfig, TraceConfig};
 pub use json::Json;
 pub use report::{report_from_json, report_to_json};
 pub use runner::{
-    energy_input, harmonic_mean_speedup, run_kernel, run_parallel, run_workload, RunReport,
+    energy_input, harmonic_mean_speedup, run_kernel, run_parallel, run_workload,
+    run_workload_traced, RunReport,
 };
 pub use sweep::{
     fnv1a64, JobSource, JobTrace, Sweep, SweepResult, SweepStats, CACHE_FORMAT_VERSION,

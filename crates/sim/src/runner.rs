@@ -1,9 +1,10 @@
 //! Running workloads under configurations and collecting reports.
 
-use crate::config::{CoreChoice, SimConfig};
+use crate::config::{ConfigError, CoreChoice, SimConfig};
 use svr_core::{CoreStats, InOrderCore, OooCore};
 use svr_energy::{CoreKind, EnergyBreakdown, EnergyInput, EnergyModel};
 use svr_mem::MemStats;
+use svr_trace::{NullSink, TraceSink};
 use svr_workloads::{Kernel, Scale, Workload};
 
 /// The result of simulating one workload under one configuration.
@@ -48,49 +49,81 @@ impl RunReport {
 
 /// Simulates `workload` under `config` for at most `max_insts` instructions.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the configuration is internally inconsistent (see
+/// Returns a [`ConfigError`] (naming the workload and configuration label)
+/// if the configuration is internally inconsistent (see
 /// [`SimConfig::validate`]) — e.g. [`CoreChoice::Imp`] without an attached
 /// `ImpConfig`, which would silently simulate the plain in-order baseline.
-pub fn run_workload(workload: &Workload, config: &SimConfig, max_insts: u64) -> RunReport {
-    if let Err(e) = config.validate() {
-        panic!("invalid SimConfig for {}: {e}", workload.name);
-    }
+pub fn run_workload(
+    workload: &Workload,
+    config: &SimConfig,
+    max_insts: u64,
+) -> Result<RunReport, ConfigError> {
+    run_workload_traced(workload, config, max_insts, &mut NullSink)
+}
+
+/// [`run_workload`] with a caller-owned trace sink attached to the core and
+/// memory hierarchy.
+///
+/// The sink is *lent* for the duration of the run (via the forwarding
+/// `TraceSink for &mut S` impl), so the caller keeps ownership of ring
+/// buffers / writers and can inspect them afterwards. Passing
+/// [`NullSink`] makes this exactly [`run_workload`]: all emission sites
+/// monomorphize away.
+///
+/// # Errors
+///
+/// Same contract as [`run_workload`].
+pub fn run_workload_traced<S: TraceSink>(
+    workload: &Workload,
+    config: &SimConfig,
+    max_insts: u64,
+    sink: &mut S,
+) -> Result<RunReport, ConfigError> {
+    config
+        .validate()
+        .map_err(|e| e.for_workload(&workload.name))?;
     let (program, mut image, mut arch) = workload.instantiate();
     let (core_stats, mem_stats, kind) = match &config.core {
         CoreChoice::InOrder | CoreChoice::Imp => {
-            let mut core = InOrderCore::new(config.inorder, config.mem.clone());
+            let mut core = InOrderCore::with_sink(config.inorder, config.mem.clone(), sink);
             core.run(&program, &mut image, &mut arch, max_insts);
             (*core.stats(), *core.mem_stats(), CoreKind::InOrder)
         }
         CoreChoice::Svr(svr) => {
-            let mut core = InOrderCore::with_svr(config.inorder, config.mem.clone(), *svr);
+            let mut core =
+                InOrderCore::with_svr_sink(config.inorder, config.mem.clone(), *svr, sink);
             core.run(&program, &mut image, &mut arch, max_insts);
             (*core.stats(), *core.mem_stats(), CoreKind::InOrder)
         }
         CoreChoice::OutOfOrder => {
-            let mut core = OooCore::new(config.ooo, config.mem.clone());
+            let mut core = OooCore::with_sink(config.ooo, config.mem.clone(), sink);
             core.run(&program, &mut image, &mut arch, max_insts);
             (*core.stats(), *core.mem_stats(), CoreKind::OutOfOrder)
         }
     };
     let energy = EnergyModel::default().energy(&energy_input(&core_stats, &mem_stats, kind));
     let verified = !arch.halted() || workload.verify(&image, &arch);
-    RunReport {
+    Ok(RunReport {
         workload: workload.name.clone(),
         config: config.label(),
         core: core_stats,
         mem: mem_stats,
         energy,
         verified,
-    }
+    })
 }
 
 /// Builds and runs a registry kernel (convenience wrapper).
+///
+/// # Panics
+///
+/// Panics on an invalid `SimConfig` (the message starts with
+/// "invalid SimConfig"); use [`run_workload`] to handle the error instead.
 pub fn run_kernel(kernel: Kernel, scale: Scale, config: &SimConfig) -> RunReport {
     let w = kernel.build(scale);
-    run_workload(&w, config, scale.max_insts())
+    run_workload(&w, config, scale.max_insts()).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Assembles the energy-model event counts from simulator statistics.
@@ -262,6 +295,33 @@ mod tests {
         let mut cfg = SimConfig::svr(16);
         cfg.mem.imp = Some(svr_mem::prefetch::ImpConfig::default());
         run_kernel(Kernel::Camel, Scale::Tiny, &cfg);
+    }
+
+    #[test]
+    fn run_workload_surfaces_config_errors_with_context() {
+        let mut cfg = SimConfig::imp();
+        cfg.mem.imp = None;
+        let w = Kernel::Camel.build(Scale::Tiny);
+        let err = run_workload(&w, &cfg, 1000).expect_err("degenerate IMP must be rejected");
+        assert_eq!(err.workload.as_deref(), Some("Camel"));
+        assert_eq!(err.config, "IMP");
+        assert!(
+            err.to_string().starts_with("invalid SimConfig"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn traced_run_report_is_bit_identical_to_untraced() {
+        for cfg in [SimConfig::inorder(), SimConfig::ooo(), SimConfig::svr(16)] {
+            let w = Kernel::Camel.build(Scale::Tiny);
+            let base = run_workload(&w, &cfg, 100_000).expect("valid config");
+            let mut ring = svr_trace::RingSink::new(1 << 16);
+            let traced =
+                run_workload_traced(&w, &cfg, 100_000, &mut ring).expect("valid config");
+            assert_eq!(base, traced, "tracing changed the run under {}", cfg.label());
+            assert!(ring.total() > 0, "no events under {}", cfg.label());
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! eprintln!("{}", res.stats.summary());
 //! ```
 
-use crate::config::SimConfig;
+use crate::config::{ConfigError, SimConfig};
 use crate::json::Json;
 use crate::report::{report_from_json, report_to_json};
 use crate::runner::{run_workload, RunReport};
@@ -37,7 +37,9 @@ use svr_workloads::{Kernel, Scale};
 /// that invalidates stored reports; old entries then simply stop matching.
 /// v2: integer fixed-point DRAM timing, `Option` MSHR `earliest_free`, and
 /// racing-fill prefetch-tag accounting (PR 2) can all shift reports.
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+/// v3: exact CPI-stack tail attribution on the in-order core (PR 3) shifts
+/// per-bucket stack entries in stored reports.
+pub const CACHE_FORMAT_VERSION: u32 = 3;
 
 /// 64-bit FNV-1a over a string (the cache/dedup point hash).
 pub fn fnv1a64(s: &str) -> u64 {
@@ -163,15 +165,24 @@ impl Sweep {
     ///
     /// # Panics
     ///
-    /// Panics if any configuration fails [`SimConfig::validate`] (before any
-    /// simulation runs), so invalid points are reported eagerly rather than
-    /// from a worker thread.
+    /// Panics if any configuration fails [`SimConfig::validate`]; see
+    /// [`Sweep::try_run`] for the non-panicking form.
     pub fn run(self, threads: usize) -> SweepResult {
+        self.try_run(threads).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Sweep::run`], but an invalid configuration is surfaced as a
+    /// [`ConfigError`] naming the offending point (config label, and the
+    /// first workload of the suite it would have run against) instead of a
+    /// panic from a worker thread. Every configuration is validated eagerly
+    /// before any simulation starts.
+    pub fn try_run(self, threads: usize) -> Result<SweepResult, ConfigError> {
         let t0 = Instant::now();
         for cfg in &self.configs {
-            if let Err(e) = cfg.validate() {
-                panic!("invalid SimConfig {}: {e}", cfg.label());
-            }
+            cfg.validate().map_err(|e| match self.suite.first() {
+                Some(k) => e.for_workload(&k.name()),
+                None => e,
+            })?;
         }
         let mut stats = SweepStats {
             pairs: self.suite.len() * self.configs.len(),
@@ -283,7 +294,8 @@ impl Sweep {
                             for &idx in idxs {
                                 let p = &points[idx];
                                 let t = Instant::now();
-                                let report = run_workload(&workload, &p.config, scale.max_insts());
+                                let report = run_workload(&workload, &p.config, scale.max_insts())
+                                    .expect("configs validated before the sweep started");
                                 let trace = JobTrace {
                                     workload: report.workload.clone(),
                                     config: report.config.clone(),
@@ -309,7 +321,7 @@ impl Sweep {
         }
 
         stats.wall_ms = t0.elapsed().as_millis() as u64;
-        SweepResult {
+        Ok(SweepResult {
             suite: self.suite,
             config_labels: self.configs.iter().map(SimConfig::label).collect(),
             point_of,
@@ -319,7 +331,7 @@ impl Sweep {
                 .collect(),
             traces,
             stats,
-        }
+        })
     }
 }
 
@@ -377,6 +389,7 @@ fn store_cached(dir: &Path, hash: u64, key: &str, scale: Scale, report: &RunRepo
 
 /// The resolved grid of a [`Sweep`], indexed `[config][workload]` in the
 /// order the axes were declared.
+#[derive(Debug)]
 pub struct SweepResult {
     suite: Vec<Kernel>,
     config_labels: Vec<String>,
@@ -628,6 +641,20 @@ mod tests {
         let new: Vec<RunReport> = res.config_reports(1).into_iter().cloned().collect();
         let expect = crate::harmonic_mean_speedup(&base, &new);
         assert!((res.speedup(0, 1) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_run_surfaces_invalid_configs_with_context() {
+        let mut bad = SimConfig::imp();
+        bad.mem.imp = None; // representable, but silently equals plain InO
+        let err = Sweep::new(tiny_suite(), Scale::Tiny)
+            .configs(vec![SimConfig::inorder(), bad])
+            .no_cache()
+            .try_run(1)
+            .expect_err("invalid config must fail the sweep eagerly");
+        assert_eq!(err.config, "IMP");
+        assert_eq!(err.workload.as_deref(), Some("Camel"));
+        assert!(err.to_string().starts_with("invalid SimConfig IMP"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Typed trace events.
+//!
+//! Every event carries absolute cycle timestamps (the simulator is
+//! cycle-approximate and computes completion times eagerly at issue, so span
+//! events know both endpoints the moment they are emitted). The enum is small
+//! and `Copy` so that a disabled sink compiles the whole emission path away
+//! and an enabled ring sink can buffer events without allocation per event.
+
+/// Stall attribution tag, mirroring `svr_core::StallBucket` without creating
+/// a dependency cycle (trace is a leaf crate; core maps its buckets onto
+/// these tags at the emission site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StallTag {
+    /// Baseline issue cycle (one per issued instruction group).
+    Base,
+    /// Branch misprediction redirect.
+    Branch,
+    /// Instruction fetch miss.
+    Fetch,
+    /// Data access satisfied in L1 (hit-under-miss latency included).
+    MemL1,
+    /// Data access satisfied in L2.
+    MemL2,
+    /// Data access that went to DRAM.
+    MemDram,
+    /// Structural hazard (issue-width / scoreboard pressure).
+    Structural,
+}
+
+impl StallTag {
+    /// All tags, in the canonical CPI-stack order.
+    pub const ALL: [StallTag; 7] = [
+        StallTag::Base,
+        StallTag::Branch,
+        StallTag::Fetch,
+        StallTag::MemL1,
+        StallTag::MemL2,
+        StallTag::MemDram,
+        StallTag::Structural,
+    ];
+
+    /// Stable short name used in JSON artifacts and summary tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallTag::Base => "base",
+            StallTag::Branch => "branch",
+            StallTag::Fetch => "fetch",
+            StallTag::MemL1 => "mem_l1",
+            StallTag::MemL2 => "mem_l2",
+            StallTag::MemDram => "mem_dram",
+            StallTag::Structural => "structural",
+        }
+    }
+
+    /// Position in [`StallTag::ALL`]; used to index per-interval arrays.
+    pub fn index(self) -> usize {
+        match self {
+            StallTag::Base => 0,
+            StallTag::Branch => 1,
+            StallTag::Fetch => 2,
+            StallTag::MemL1 => 3,
+            StallTag::MemL2 => 4,
+            StallTag::MemDram => 5,
+            StallTag::Structural => 6,
+        }
+    }
+}
+
+/// Which level of the hierarchy satisfied a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemLevel {
+    L1,
+    L2,
+    Dram,
+}
+
+impl MemLevel {
+    pub fn name(self) -> &'static str {
+        match self {
+            MemLevel::L1 => "L1",
+            MemLevel::L2 => "L2",
+            MemLevel::Dram => "DRAM",
+        }
+    }
+}
+
+/// What kind of access generated a memory event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    DemandLoad,
+    DemandStore,
+    InstFetch,
+    /// Stride-prefetcher generated.
+    StridePf,
+    /// Indirect-memory-prefetcher generated.
+    ImpPf,
+    /// SVR runahead chain generated.
+    SvrPf,
+}
+
+impl MemKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            MemKind::DemandLoad => "load",
+            MemKind::DemandStore => "store",
+            MemKind::InstFetch => "ifetch",
+            MemKind::StridePf => "stride_pf",
+            MemKind::ImpPf => "imp_pf",
+            MemKind::SvrPf => "svr_pf",
+        }
+    }
+
+    /// True for prefetches injected by hardware rather than the program.
+    pub fn is_prefetch(self) -> bool {
+        matches!(self, MemKind::StridePf | MemKind::ImpPf | MemKind::SvrPf)
+    }
+}
+
+/// Why an SVR pseudo-runahead-mode (PRM) round ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrmEnd {
+    /// The highest-stall-latency load came around again.
+    Hslr,
+    /// The round timed out.
+    Timeout,
+    /// A different striding load retargeted the HSLR.
+    Retarget,
+}
+
+impl PrmEnd {
+    pub fn name(self) -> &'static str {
+        match self {
+            PrmEnd::Hslr => "hslr",
+            PrmEnd::Timeout => "timeout",
+            PrmEnd::Retarget => "retarget",
+        }
+    }
+}
+
+/// A single trace event. Cycle fields are absolute simulated cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// CPI-stack attribution: at `cycle` the core charged `base` cycles to
+    /// [`StallTag::Base`] and `stall` cycles to `bucket`. Mirrors the
+    /// aggregate `CpiStack` charges exactly, so summing `Attrib` events over
+    /// a run reproduces the final stack.
+    Attrib {
+        cycle: u64,
+        bucket: StallTag,
+        base: u8,
+        stall: u64,
+    },
+    /// A memory access span: issued at `start`, data available at `complete`.
+    Mem {
+        start: u64,
+        complete: u64,
+        addr: u64,
+        level: MemLevel,
+        kind: MemKind,
+    },
+    /// An MSHR was allocated for `line` and will fill (retire) at `fill_at`.
+    MshrAlloc { cycle: u64, line: u64, fill_at: u64 },
+    /// An access coalesced onto an in-flight MSHR for `line`.
+    MshrCoalesce { cycle: u64, line: u64 },
+    /// The MSHR tracking `line` retired (fill completed). Emitted at
+    /// allocation time with a future timestamp — the simulator knows fill
+    /// times eagerly.
+    MshrRetire { cycle: u64, line: u64 },
+    /// A DRAM transaction occupied the device queue from `enter` to `leave`.
+    Dram { enter: u64, leave: u64, write: bool },
+    /// A TLB miss triggered a page walk from `cycle` to `done`.
+    TlbWalk { cycle: u64, done: u64 },
+    /// SVR entered a pseudo-runahead round targeting `hslr_pc` with `lanes`
+    /// vector lanes.
+    PrmEnter { cycle: u64, hslr_pc: u64, lanes: u32 },
+    /// The current SVR round ended.
+    PrmExit { cycle: u64, reason: PrmEnd },
+    /// SVR issued a scalar-vector chain (head load fan-out) for `pc`.
+    SvrChain { cycle: u64, pc: u64, lanes: u32 },
+    /// The SRF recycled a register instead of allocating a fresh one.
+    SrfRecycle { cycle: u64 },
+}
+
+impl TraceEvent {
+    /// The primary timestamp of the event (start-of-span for span events).
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::Attrib { cycle, .. }
+            | TraceEvent::MshrAlloc { cycle, .. }
+            | TraceEvent::MshrCoalesce { cycle, .. }
+            | TraceEvent::MshrRetire { cycle, .. }
+            | TraceEvent::TlbWalk { cycle, .. }
+            | TraceEvent::PrmEnter { cycle, .. }
+            | TraceEvent::PrmExit { cycle, .. }
+            | TraceEvent::SvrChain { cycle, .. }
+            | TraceEvent::SrfRecycle { cycle } => cycle,
+            TraceEvent::Mem { start, .. } => start,
+            TraceEvent::Dram { enter, .. } => enter,
+        }
+    }
+
+    /// Encodes the event as a flat JSON record (`{"ev": <kind>, ...}`),
+    /// suitable for raw event dumps. [`TraceEvent::from_json`] inverts it.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        fn u(m: &mut Vec<(String, Json)>, k: &str, v: u64) {
+            m.push((k.to_string(), Json::u64(v)));
+        }
+        let mut m = vec![("ev".to_string(), Json::str(self.kind_name()))];
+        match *self {
+            TraceEvent::Attrib {
+                cycle,
+                bucket,
+                base,
+                stall,
+            } => {
+                u(&mut m, "cycle", cycle);
+                m.push(("bucket".into(), Json::str(bucket.name())));
+                u(&mut m, "base", u64::from(base));
+                u(&mut m, "stall", stall);
+            }
+            TraceEvent::Mem {
+                start,
+                complete,
+                addr,
+                level,
+                kind,
+            } => {
+                u(&mut m, "start", start);
+                u(&mut m, "complete", complete);
+                u(&mut m, "addr", addr);
+                m.push(("level".into(), Json::str(level.name())));
+                m.push(("kind".into(), Json::str(kind.name())));
+            }
+            TraceEvent::MshrAlloc {
+                cycle,
+                line,
+                fill_at,
+            } => {
+                u(&mut m, "cycle", cycle);
+                u(&mut m, "line", line);
+                u(&mut m, "fill_at", fill_at);
+            }
+            TraceEvent::MshrCoalesce { cycle, line } | TraceEvent::MshrRetire { cycle, line } => {
+                u(&mut m, "cycle", cycle);
+                u(&mut m, "line", line);
+            }
+            TraceEvent::Dram { enter, leave, write } => {
+                u(&mut m, "enter", enter);
+                u(&mut m, "leave", leave);
+                m.push(("write".into(), Json::Bool(write)));
+            }
+            TraceEvent::TlbWalk { cycle, done } => {
+                u(&mut m, "cycle", cycle);
+                u(&mut m, "done", done);
+            }
+            TraceEvent::PrmEnter {
+                cycle,
+                hslr_pc,
+                lanes,
+            } => {
+                u(&mut m, "cycle", cycle);
+                u(&mut m, "hslr_pc", hslr_pc);
+                u(&mut m, "lanes", u64::from(lanes));
+            }
+            TraceEvent::PrmExit { cycle, reason } => {
+                u(&mut m, "cycle", cycle);
+                m.push(("reason".into(), Json::str(reason.name())));
+            }
+            TraceEvent::SvrChain { cycle, pc, lanes } => {
+                u(&mut m, "cycle", cycle);
+                u(&mut m, "pc", pc);
+                u(&mut m, "lanes", u64::from(lanes));
+            }
+            TraceEvent::SrfRecycle { cycle } => u(&mut m, "cycle", cycle),
+        }
+        Json::Obj(m)
+    }
+
+    /// Decodes a record produced by [`TraceEvent::to_json`]. Returns `None`
+    /// for malformed or unknown records.
+    pub fn from_json(doc: &crate::json::Json) -> Option<TraceEvent> {
+        use crate::json::Json;
+        let u = |k: &str| doc.get(k).and_then(Json::as_u64);
+        let s = |k: &str| doc.get(k).and_then(Json::as_str);
+        Some(match s("ev")? {
+            "attrib" => {
+                let bucket_name = s("bucket")?;
+                TraceEvent::Attrib {
+                    cycle: u("cycle")?,
+                    bucket: *StallTag::ALL.iter().find(|t| t.name() == bucket_name)?,
+                    base: u8::try_from(u("base")?).ok()?,
+                    stall: u("stall")?,
+                }
+            }
+            "mem" => TraceEvent::Mem {
+                start: u("start")?,
+                complete: u("complete")?,
+                addr: u("addr")?,
+                level: match s("level")? {
+                    "L1" => MemLevel::L1,
+                    "L2" => MemLevel::L2,
+                    "DRAM" => MemLevel::Dram,
+                    _ => return None,
+                },
+                kind: match s("kind")? {
+                    "load" => MemKind::DemandLoad,
+                    "store" => MemKind::DemandStore,
+                    "ifetch" => MemKind::InstFetch,
+                    "stride_pf" => MemKind::StridePf,
+                    "imp_pf" => MemKind::ImpPf,
+                    "svr_pf" => MemKind::SvrPf,
+                    _ => return None,
+                },
+            },
+            "mshr_alloc" => TraceEvent::MshrAlloc {
+                cycle: u("cycle")?,
+                line: u("line")?,
+                fill_at: u("fill_at")?,
+            },
+            "mshr_coalesce" => TraceEvent::MshrCoalesce {
+                cycle: u("cycle")?,
+                line: u("line")?,
+            },
+            "mshr_retire" => TraceEvent::MshrRetire {
+                cycle: u("cycle")?,
+                line: u("line")?,
+            },
+            "dram" => TraceEvent::Dram {
+                enter: u("enter")?,
+                leave: u("leave")?,
+                write: doc.get("write").and_then(Json::as_bool)?,
+            },
+            "tlb_walk" => TraceEvent::TlbWalk {
+                cycle: u("cycle")?,
+                done: u("done")?,
+            },
+            "prm_enter" => TraceEvent::PrmEnter {
+                cycle: u("cycle")?,
+                hslr_pc: u("hslr_pc")?,
+                lanes: u32::try_from(u("lanes")?).ok()?,
+            },
+            "prm_exit" => TraceEvent::PrmExit {
+                cycle: u("cycle")?,
+                reason: match s("reason")? {
+                    "hslr" => PrmEnd::Hslr,
+                    "timeout" => PrmEnd::Timeout,
+                    "retarget" => PrmEnd::Retarget,
+                    _ => return None,
+                },
+            },
+            "svr_chain" => TraceEvent::SvrChain {
+                cycle: u("cycle")?,
+                pc: u("pc")?,
+                lanes: u32::try_from(u("lanes")?).ok()?,
+            },
+            "srf_recycle" => TraceEvent::SrfRecycle { cycle: u("cycle")? },
+            _ => return None,
+        })
+    }
+
+    /// Stable event-type name used in JSON artifacts.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceEvent::Attrib { .. } => "attrib",
+            TraceEvent::Mem { .. } => "mem",
+            TraceEvent::MshrAlloc { .. } => "mshr_alloc",
+            TraceEvent::MshrCoalesce { .. } => "mshr_coalesce",
+            TraceEvent::MshrRetire { .. } => "mshr_retire",
+            TraceEvent::Dram { .. } => "dram",
+            TraceEvent::TlbWalk { .. } => "tlb_walk",
+            TraceEvent::PrmEnter { .. } => "prm_enter",
+            TraceEvent::PrmExit { .. } => "prm_exit",
+            TraceEvent::SvrChain { .. } => "svr_chain",
+            TraceEvent::SrfRecycle { .. } => "srf_recycle",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_tag_indices_match_all_order() {
+        for (i, tag) in StallTag::ALL.iter().enumerate() {
+            assert_eq!(tag.index(), i);
+        }
+    }
+
+    #[test]
+    fn event_cycle_picks_span_start() {
+        let ev = TraceEvent::Mem {
+            start: 7,
+            complete: 100,
+            addr: 0x40,
+            level: MemLevel::Dram,
+            kind: MemKind::DemandLoad,
+        };
+        assert_eq!(ev.cycle(), 7);
+        let ev = TraceEvent::Dram {
+            enter: 12,
+            leave: 40,
+            write: true,
+        };
+        assert_eq!(ev.cycle(), 12);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<&str> = StallTag::ALL.iter().map(|t| t.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

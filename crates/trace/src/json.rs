@@ -1,11 +1,14 @@
 //! A minimal hand-rolled JSON tree, writer and parser.
 //!
-//! The vendored registry is offline, so serde is unavailable; the experiment
-//! engine needs only enough JSON for result-cache files and figure reports.
-//! Numbers keep their exact source text (`Json::Num` stores the token), so a
-//! `u64` or shortest-round-trip `f64` survives write → parse → write
-//! bit-identically — the property the result cache's "fresh vs. cached
+//! The vendored registry is offline, so serde is unavailable; the simulator
+//! needs only enough JSON for result-cache files, figure reports and trace
+//! artifacts. Numbers keep their exact source text (`Json::Num` stores the
+//! token), so a `u64` or shortest-round-trip `f64` survives write → parse →
+//! write bit-identically — the property the result cache's "fresh vs. cached
 //! reports are identical" guarantee rests on.
+//!
+//! This module lives in `svr-trace` (the bottom-most crate that needs it) and
+//! is re-exported as `svr_sim::json` for backwards compatibility.
 
 use std::fmt::Write as _;
 
@@ -176,7 +179,10 @@ impl Json {
     }
 }
 
-fn write_escaped(out: &mut String, s: &str) {
+/// Writes `s` as a JSON string literal (quotes included) into `out`.
+/// Escapes `"`, `\`, and all control characters below U+0020; everything
+/// else (including non-ASCII) is passed through as raw UTF-8.
+pub(crate) fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -346,6 +352,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::excessive_precision)]
     fn f64_shortest_form_round_trips() {
         for x in [
             0.1,
@@ -395,5 +402,50 @@ mod tests {
         let s = Json::str("tab\there \"quoted\" back\\slash \u{1}");
         let text = s.dump();
         assert_eq!(Json::parse(&text).expect("parses"), s);
+    }
+
+    #[test]
+    fn escaping_produces_expected_literals() {
+        let cases: [(&str, &str); 7] = [
+            ("plain", "\"plain\""),
+            ("quo\"te", "\"quo\\\"te\""),
+            ("back\\slash", "\"back\\\\slash\""),
+            ("line\nfeed", "\"line\\nfeed\""),
+            ("car\rtab\t", "\"car\\rtab\\t\""),
+            ("nul\u{0}bell\u{7}esc\u{1b}", "\"nul\\u0000bell\\u0007esc\\u001b\""),
+            ("unit\u{1f}sep", "\"unit\\u001fsep\""),
+        ];
+        for (raw, expected) in cases {
+            assert_eq!(Json::str(raw).dump(), expected, "escaping {raw:?}");
+        }
+    }
+
+    #[test]
+    fn every_control_char_round_trips() {
+        let all_ctl: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let v = Json::str(&all_ctl);
+        let text = v.dump();
+        // The serialized form must be pure ASCII with no raw control bytes.
+        assert!(text.bytes().all(|b| (0x20..0x7f).contains(&b)), "{text:?}");
+        assert_eq!(Json::parse(&text).expect("parses"), v);
+    }
+
+    #[test]
+    fn non_ascii_passes_through_raw_and_round_trips() {
+        for raw in ["héllo", "日本語", "emoji \u{1f600} done", "mixed\tπ\n√"] {
+            let v = Json::str(raw);
+            let text = v.dump();
+            assert_eq!(Json::parse(&text).expect("parses"), v, "{raw:?}");
+        }
+        // Non-ASCII is not \u-escaped: the raw bytes appear verbatim.
+        assert_eq!(Json::str("π").dump(), "\"π\"");
+    }
+
+    #[test]
+    fn object_keys_are_escaped_too() {
+        let doc = Json::Obj(vec![("we\"ird\nkey".into(), Json::u64(1))]);
+        let text = doc.dump();
+        assert_eq!(text, "{\"we\\\"ird\\nkey\":1}");
+        assert_eq!(Json::parse(&text).expect("parses"), doc);
     }
 }

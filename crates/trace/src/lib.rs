@@ -1,0 +1,39 @@
+//! # svr-trace — structured event tracing for the SVR simulator
+//!
+//! A leaf crate (no dependencies) providing:
+//!
+//! - [`TraceEvent`]: typed, `Copy`, cycle-stamped events covering the cores
+//!   (CPI-stack attribution), the SVR engine (runahead episodes, chain issue,
+//!   SRF recycling) and the memory hierarchy (per-level hits/misses, MSHR
+//!   lifecycle, DRAM queue spans, TLB walks).
+//! - [`TraceSink`]: the sink trait. Simulators are generic over
+//!   `S: TraceSink` and guard every emission with `if S::ENABLED`, so the
+//!   default [`NullSink`] monomorphizes to *zero* code — untraced runs are
+//!   bit-identical to pre-instrumentation builds (CI asserts this).
+//! - [`RingSink`]: a bounded most-recent-events buffer.
+//! - [`PerfettoWriter`] / [`PerfettoSink`]: a streaming Chrome
+//!   `trace_event` JSON writer loadable in `chrome://tracing` and Perfetto.
+//! - [`WindowedMetrics`]: interval CPI stacks, MLP timelines and occupancy
+//!   histograms derived from the event stream.
+//! - [`json`]: the workspace's hand-rolled JSON tree (re-exported by
+//!   `svr-sim` as `svr_sim::json`).
+//!
+//! ```
+//! use svr_trace::{RingSink, TraceEvent, TraceSink};
+//!
+//! let mut sink = RingSink::new(1024);
+//! sink.emit(&TraceEvent::SrfRecycle { cycle: 42 });
+//! assert_eq!(sink.total(), 1);
+//! ```
+
+pub mod json;
+
+mod event;
+mod metrics;
+mod perfetto;
+mod sink;
+
+pub use event::{MemKind, MemLevel, PrmEnd, StallTag, TraceEvent};
+pub use metrics::{Window, WindowReport, WindowedMetrics};
+pub use perfetto::{PerfettoSink, PerfettoWriter};
+pub use sink::{NullSink, RingSink, TraceSink};

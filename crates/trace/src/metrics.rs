@@ -1,0 +1,532 @@
+//! Windowed metrics computed over the event stream.
+//!
+//! [`WindowedMetrics`] is a [`TraceSink`] that bins events into fixed-size
+//! cycle intervals and, at [`WindowedMetrics::finish`], derives:
+//!
+//! - interval CPI stacks (from `Attrib` events, which mirror the aggregate
+//!   `CpiStack` charges exactly);
+//! - an in-flight-miss (MLP) timeline: average and peak number of concurrent
+//!   DRAM read transactions per interval;
+//! - MSHR and DRAM-queue occupancy histograms (cycles spent at each
+//!   occupancy level);
+//! - SVR runahead episode spans and the peak DRAM-read overlap observed
+//!   *inside* an episode — the headline "runahead extracts MLP" signal.
+
+use crate::event::{MemLevel, StallTag, TraceEvent};
+use crate::json::Json;
+use crate::sink::TraceSink;
+
+/// Per-interval accumulators (filled during the run).
+#[derive(Debug, Clone, Default)]
+struct IntervalRow {
+    /// Cycles charged per [`StallTag`] (indexed by `StallTag::index()`).
+    attributed: [u64; 7],
+    /// Instructions issued (one per `Attrib` with `base > 0`).
+    issued: u64,
+    hits_l1: u64,
+    hits_l2: u64,
+    misses_dram: u64,
+    prefetches: u64,
+    svr_chains: u64,
+    srf_recycles: u64,
+}
+
+/// One finished interval in a [`WindowReport`].
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// First cycle of the interval.
+    pub start: u64,
+    /// Cycles charged per [`StallTag`] (order of [`StallTag::ALL`]).
+    pub attributed: [u64; 7],
+    pub issued: u64,
+    pub hits_l1: u64,
+    pub hits_l2: u64,
+    pub misses_dram: u64,
+    pub prefetches: u64,
+    pub svr_chains: u64,
+    pub srf_recycles: u64,
+    /// Average concurrent DRAM reads over the interval (MLP timeline).
+    pub avg_dram_inflight: f64,
+    /// Peak concurrent DRAM reads observed inside the interval.
+    pub peak_dram_inflight: u64,
+}
+
+/// The finished windowed-metrics report.
+#[derive(Debug, Clone)]
+pub struct WindowReport {
+    pub interval: u64,
+    pub windows: Vec<Window>,
+    /// `mshr_occupancy[n]` = cycles spent with exactly `n` MSHRs in flight.
+    pub mshr_occupancy: Vec<u64>,
+    /// `dram_queue_occupancy[n]` = cycles with `n` DRAM transactions queued.
+    pub dram_queue_occupancy: Vec<u64>,
+    /// `(enter, exit)` cycles of each SVR runahead episode.
+    pub prm_episodes: Vec<(u64, u64)>,
+    /// Peak number of concurrently in-flight DRAM reads anywhere in the run.
+    pub max_dram_overlap: u64,
+    /// Peak concurrent DRAM reads observed while an SVR episode was open.
+    pub max_dram_overlap_in_prm: u64,
+    /// Total events consumed by the sink.
+    pub events: u64,
+}
+
+impl WindowReport {
+    pub fn to_json(&self) -> Json {
+        let windows = self
+            .windows
+            .iter()
+            .map(|w| {
+                let stack = StallTag::ALL
+                    .iter()
+                    .map(|t| (t.name().to_string(), Json::u64(w.attributed[t.index()])))
+                    .collect();
+                Json::Obj(vec![
+                    ("start".into(), Json::u64(w.start)),
+                    ("cpi_stack".into(), Json::Obj(stack)),
+                    ("issued".into(), Json::u64(w.issued)),
+                    ("hits_l1".into(), Json::u64(w.hits_l1)),
+                    ("hits_l2".into(), Json::u64(w.hits_l2)),
+                    ("misses_dram".into(), Json::u64(w.misses_dram)),
+                    ("prefetches".into(), Json::u64(w.prefetches)),
+                    ("svr_chains".into(), Json::u64(w.svr_chains)),
+                    ("srf_recycles".into(), Json::u64(w.srf_recycles)),
+                    ("avg_dram_inflight".into(), Json::f64(w.avg_dram_inflight)),
+                    ("peak_dram_inflight".into(), Json::u64(w.peak_dram_inflight)),
+                ])
+            })
+            .collect();
+        let hist = |h: &[u64]| Json::Arr(h.iter().map(|&v| Json::u64(v)).collect());
+        Json::Obj(vec![
+            ("interval".into(), Json::u64(self.interval)),
+            ("windows".into(), Json::Arr(windows)),
+            ("mshr_occupancy".into(), hist(&self.mshr_occupancy)),
+            (
+                "dram_queue_occupancy".into(),
+                hist(&self.dram_queue_occupancy),
+            ),
+            (
+                "prm_episodes".into(),
+                Json::Arr(
+                    self.prm_episodes
+                        .iter()
+                        .map(|&(b, e)| Json::Arr(vec![Json::u64(b), Json::u64(e)]))
+                        .collect(),
+                ),
+            ),
+            ("max_dram_overlap".into(), Json::u64(self.max_dram_overlap)),
+            (
+                "max_dram_overlap_in_prm".into(),
+                Json::u64(self.max_dram_overlap_in_prm),
+            ),
+            ("events".into(), Json::u64(self.events)),
+        ])
+    }
+}
+
+/// Sink that accumulates [`WindowReport`] inputs during a run.
+#[derive(Debug, Clone)]
+pub struct WindowedMetrics {
+    interval: u64,
+    rows: Vec<IntervalRow>,
+    /// `(enter, leave)` spans of DRAM *read* transactions.
+    dram_reads: Vec<(u64, u64)>,
+    mshr_deltas: Vec<(u64, i64)>,
+    dramq_deltas: Vec<(u64, i64)>,
+    prm_spans: Vec<(u64, u64)>,
+    open_prm: Option<u64>,
+    max_cycle: u64,
+    events: u64,
+}
+
+impl WindowedMetrics {
+    /// `interval` is clamped to at least 1 cycle.
+    pub fn new(interval: u64) -> Self {
+        WindowedMetrics {
+            interval: interval.max(1),
+            rows: Vec::new(),
+            dram_reads: Vec::new(),
+            mshr_deltas: Vec::new(),
+            dramq_deltas: Vec::new(),
+            prm_spans: Vec::new(),
+            open_prm: None,
+            max_cycle: 0,
+            events: 0,
+        }
+    }
+
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    fn row(&mut self, cycle: u64) -> &mut IntervalRow {
+        let idx = (cycle / self.interval) as usize;
+        if idx >= self.rows.len() {
+            self.rows.resize_with(idx + 1, IntervalRow::default);
+        }
+        &mut self.rows[idx]
+    }
+
+    fn see(&mut self, cycle: u64) {
+        self.max_cycle = self.max_cycle.max(cycle);
+    }
+
+    /// Consumes the accumulators and derives the report.
+    pub fn finish(mut self) -> WindowReport {
+        // Close a dangling episode at the last observed cycle.
+        if let Some(enter) = self.open_prm.take() {
+            self.prm_spans.push((enter, self.max_cycle.max(enter)));
+        }
+        let interval = self.interval;
+        let n_windows = self
+            .rows
+            .len()
+            .max((self.max_cycle / interval) as usize + usize::from(self.max_cycle > 0));
+        self.rows.resize_with(n_windows.max(1), IntervalRow::default);
+
+        // MLP timeline: per-interval busy-cycle integral and peak from the
+        // DRAM read spans, plus the global / in-PRM overlap peaks from a
+        // single sorted sweep.
+        let mut inflight_integral = vec![0u64; self.rows.len()];
+        let mut peak_inflight = vec![0u64; self.rows.len()];
+        let mut sweep: Vec<(u64, i64)> = Vec::with_capacity(self.dram_reads.len() * 2);
+        for &(enter, leave) in &self.dram_reads {
+            let leave = leave.max(enter + 1);
+            sweep.push((enter, 1));
+            sweep.push((leave, -1));
+            // Integral: overlap of [enter, leave) with each interval.
+            let first = (enter / interval) as usize;
+            let last = ((leave - 1) / interval) as usize;
+            for (i, integral) in inflight_integral
+                .iter_mut()
+                .enumerate()
+                .take(self.rows.len().min(last + 1))
+                .skip(first)
+            {
+                let w_start = i as u64 * interval;
+                let w_end = w_start + interval;
+                let lo = enter.max(w_start);
+                let hi = leave.min(w_end);
+                *integral += hi.saturating_sub(lo);
+            }
+        }
+        sweep.sort_unstable();
+        let mut prm_sorted = self.prm_spans.clone();
+        prm_sorted.sort_unstable();
+        let in_prm = |ts: u64| {
+            prm_sorted
+                .iter()
+                .take_while(|&&(b, _)| b <= ts)
+                .any(|&(_, e)| ts < e)
+        };
+        let mut occ: i64 = 0;
+        let mut max_overlap = 0u64;
+        let mut max_overlap_in_prm = 0u64;
+        let mut i = 0;
+        while i < sweep.len() {
+            let ts = sweep[i].0;
+            while i < sweep.len() && sweep[i].0 == ts {
+                occ += sweep[i].1;
+                i += 1;
+            }
+            let level = occ.max(0) as u64;
+            max_overlap = max_overlap.max(level);
+            if level > max_overlap_in_prm && in_prm(ts) {
+                max_overlap_in_prm = level;
+            }
+            let idx = (ts / interval) as usize;
+            if idx < peak_inflight.len() {
+                peak_inflight[idx] = peak_inflight[idx].max(level);
+            }
+        }
+
+        let occupancy_hist = |deltas: &mut Vec<(u64, i64)>| -> Vec<u64> {
+            deltas.sort_unstable();
+            let mut hist: Vec<u64> = Vec::new();
+            let mut occ: i64 = 0;
+            let mut prev_ts: Option<u64> = None;
+            let mut i = 0;
+            while i < deltas.len() {
+                let ts = deltas[i].0;
+                if let Some(p) = prev_ts {
+                    let level = occ.max(0) as usize;
+                    if level >= hist.len() {
+                        hist.resize(level + 1, 0);
+                    }
+                    hist[level] += ts - p;
+                }
+                while i < deltas.len() && deltas[i].0 == ts {
+                    occ += deltas[i].1;
+                    i += 1;
+                }
+                prev_ts = Some(ts);
+            }
+            hist
+        };
+        let mut mshr_deltas = std::mem::take(&mut self.mshr_deltas);
+        let mut dramq_deltas = std::mem::take(&mut self.dramq_deltas);
+        let mshr_occupancy = occupancy_hist(&mut mshr_deltas);
+        let dram_queue_occupancy = occupancy_hist(&mut dramq_deltas);
+
+        let windows = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Window {
+                start: i as u64 * interval,
+                attributed: r.attributed,
+                issued: r.issued,
+                hits_l1: r.hits_l1,
+                hits_l2: r.hits_l2,
+                misses_dram: r.misses_dram,
+                prefetches: r.prefetches,
+                svr_chains: r.svr_chains,
+                srf_recycles: r.srf_recycles,
+                avg_dram_inflight: inflight_integral[i] as f64 / interval as f64,
+                peak_dram_inflight: peak_inflight[i],
+            })
+            .collect();
+
+        WindowReport {
+            interval,
+            windows,
+            mshr_occupancy,
+            dram_queue_occupancy,
+            prm_episodes: self.prm_spans,
+            max_dram_overlap: max_overlap,
+            max_dram_overlap_in_prm: max_overlap_in_prm,
+            events: self.events,
+        }
+    }
+}
+
+impl TraceSink for WindowedMetrics {
+    fn emit(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        match *ev {
+            TraceEvent::Attrib {
+                cycle,
+                bucket,
+                base,
+                stall,
+            } => {
+                self.see(cycle);
+                let row = self.row(cycle);
+                row.attributed[StallTag::Base.index()] += u64::from(base);
+                row.attributed[bucket.index()] += stall;
+                row.issued += u64::from(base > 0);
+            }
+            TraceEvent::Mem {
+                start,
+                complete,
+                level,
+                kind,
+                ..
+            } => {
+                self.see(complete);
+                let row = self.row(start);
+                match level {
+                    MemLevel::L1 => row.hits_l1 += 1,
+                    MemLevel::L2 => row.hits_l2 += 1,
+                    MemLevel::Dram => row.misses_dram += 1,
+                }
+                if kind.is_prefetch() {
+                    row.prefetches += 1;
+                }
+            }
+            TraceEvent::MshrAlloc { cycle, fill_at, .. } => {
+                self.see(fill_at);
+                self.mshr_deltas.push((cycle, 1));
+                self.mshr_deltas.push((fill_at.max(cycle), -1));
+            }
+            TraceEvent::MshrCoalesce { .. } | TraceEvent::MshrRetire { .. } => {}
+            TraceEvent::Dram { enter, leave, write } => {
+                self.see(leave);
+                self.dramq_deltas.push((enter, 1));
+                self.dramq_deltas.push((leave.max(enter), -1));
+                if !write {
+                    self.dram_reads.push((enter, leave));
+                }
+            }
+            TraceEvent::TlbWalk { done, .. } => self.see(done),
+            TraceEvent::PrmEnter { cycle, .. } => {
+                self.see(cycle);
+                // A nested enter (shouldn't happen) closes the previous one.
+                if let Some(enter) = self.open_prm.replace(cycle) {
+                    self.prm_spans.push((enter, cycle));
+                }
+            }
+            TraceEvent::PrmExit { cycle, .. } => {
+                self.see(cycle);
+                if let Some(enter) = self.open_prm.take() {
+                    self.prm_spans.push((enter, cycle.max(enter)));
+                }
+            }
+            TraceEvent::SvrChain { cycle, .. } => {
+                self.see(cycle);
+                self.row(cycle).svr_chains += 1;
+            }
+            TraceEvent::SrfRecycle { cycle } => {
+                self.see(cycle);
+                self.row(cycle).srf_recycles += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MemKind, PrmEnd};
+
+    #[test]
+    fn attrib_events_bin_into_interval_cpi_stacks() {
+        let mut m = WindowedMetrics::new(100);
+        m.emit(&TraceEvent::Attrib {
+            cycle: 10,
+            bucket: StallTag::MemDram,
+            base: 1,
+            stall: 40,
+        });
+        m.emit(&TraceEvent::Attrib {
+            cycle: 150,
+            bucket: StallTag::Branch,
+            base: 1,
+            stall: 5,
+        });
+        let r = m.finish();
+        assert_eq!(r.windows.len(), 2);
+        assert_eq!(r.windows[0].attributed[StallTag::Base.index()], 1);
+        assert_eq!(r.windows[0].attributed[StallTag::MemDram.index()], 40);
+        assert_eq!(r.windows[1].attributed[StallTag::Branch.index()], 5);
+        assert_eq!(r.windows[0].issued, 1);
+    }
+
+    #[test]
+    fn dram_overlap_peaks_are_tracked_globally_and_inside_prm() {
+        let mut m = WindowedMetrics::new(1000);
+        // Two overlapping reads outside any PRM episode.
+        m.emit(&TraceEvent::Dram {
+            enter: 10,
+            leave: 100,
+            write: false,
+        });
+        m.emit(&TraceEvent::Dram {
+            enter: 20,
+            leave: 110,
+            write: false,
+        });
+        // Three overlapping reads inside an episode.
+        m.emit(&TraceEvent::PrmEnter {
+            cycle: 200,
+            hslr_pc: 0,
+            lanes: 8,
+        });
+        for k in 0..3 {
+            m.emit(&TraceEvent::Dram {
+                enter: 210 + k,
+                leave: 400 + k,
+                write: false,
+            });
+        }
+        m.emit(&TraceEvent::PrmExit {
+            cycle: 450,
+            reason: PrmEnd::Hslr,
+        });
+        let r = m.finish();
+        assert_eq!(r.max_dram_overlap, 3);
+        assert_eq!(r.max_dram_overlap_in_prm, 3);
+        assert_eq!(r.prm_episodes, vec![(200, 450)]);
+        assert!(r.windows[0].avg_dram_inflight > 0.0);
+        assert_eq!(r.windows[0].peak_dram_inflight, 3);
+    }
+
+    #[test]
+    fn writes_count_for_queue_occupancy_but_not_mlp() {
+        let mut m = WindowedMetrics::new(100);
+        m.emit(&TraceEvent::Dram {
+            enter: 0,
+            leave: 50,
+            write: true,
+        });
+        let r = m.finish();
+        assert_eq!(r.max_dram_overlap, 0);
+        // 50 cycles at queue occupancy 1.
+        assert_eq!(r.dram_queue_occupancy, vec![0, 50]);
+    }
+
+    #[test]
+    fn mshr_occupancy_histogram_integrates_cycles() {
+        let mut m = WindowedMetrics::new(100);
+        m.emit(&TraceEvent::MshrAlloc {
+            cycle: 0,
+            line: 0x40,
+            fill_at: 10,
+        });
+        m.emit(&TraceEvent::MshrAlloc {
+            cycle: 5,
+            line: 0x80,
+            fill_at: 15,
+        });
+        let r = m.finish();
+        // [0,5): occ 1, [5,10): occ 2, [10,15): occ 1 → 10 cycles at 1, 5 at 2.
+        assert_eq!(r.mshr_occupancy, vec![0, 10, 5]);
+    }
+
+    #[test]
+    fn dangling_prm_episode_is_closed_at_last_cycle() {
+        let mut m = WindowedMetrics::new(100);
+        m.emit(&TraceEvent::PrmEnter {
+            cycle: 10,
+            hslr_pc: 0,
+            lanes: 4,
+        });
+        m.emit(&TraceEvent::SvrChain {
+            cycle: 20,
+            pc: 4,
+            lanes: 4,
+        });
+        let r = m.finish();
+        assert_eq!(r.prm_episodes, vec![(10, 20)]);
+        assert_eq!(r.windows[0].svr_chains, 1);
+    }
+
+    #[test]
+    fn mem_events_bin_by_level() {
+        let mut m = WindowedMetrics::new(100);
+        for (level, kind) in [
+            (MemLevel::L1, MemKind::DemandLoad),
+            (MemLevel::L2, MemKind::DemandLoad),
+            (MemLevel::Dram, MemKind::SvrPf),
+        ] {
+            m.emit(&TraceEvent::Mem {
+                start: 1,
+                complete: 2,
+                addr: 0,
+                level,
+                kind,
+            });
+        }
+        let r = m.finish();
+        let w = &r.windows[0];
+        assert_eq!(
+            (w.hits_l1, w.hits_l2, w.misses_dram, w.prefetches),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn report_serializes_and_round_trips_key_fields() {
+        let mut m = WindowedMetrics::new(50);
+        m.emit(&TraceEvent::Attrib {
+            cycle: 1,
+            bucket: StallTag::Base,
+            base: 1,
+            stall: 0,
+        });
+        let doc = m.finish().to_json();
+        let text = doc.pretty();
+        let back = Json::parse(&text).expect("parses");
+        assert_eq!(back.get("interval").and_then(Json::as_u64), Some(50));
+        assert!(back.get("windows").and_then(Json::as_arr).is_some());
+    }
+}

@@ -1,0 +1,504 @@
+//! Streaming Chrome `trace_event` / Perfetto JSON writer.
+//!
+//! Emits the object form `{"displayTimeUnit":"ms","traceEvents":[...]}` that
+//! both `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! load directly. One simulated cycle maps to one microsecond of trace time.
+//!
+//! Track layout (all under pid 1):
+//! - tid 1 — SVR runahead: `B`/`E` spans per PRM round, instants for chain
+//!   issue and SRF recycling.
+//! - tid 2 — MSHR instants (coalesces).
+//! - tids 10+ — DRAM transactions, greedily packed onto rows so concurrent
+//!   transactions visibly stack.
+//! - tids 100+ — memory-access spans that missed L1 (demand, ifetch,
+//!   prefetch), greedily packed the same way.
+//! - tids 300+ — TLB walks.
+//! - tid 0 — `C` counter samples for MSHR and DRAM-queue occupancy. These are
+//!   accumulated as deltas during the run (MSHR retire timestamps arrive out
+//!   of order) and emitted sorted at [`PerfettoWriter::finish`].
+//!
+//! Events in the `traceEvents` array need not be globally time-sorted; only
+//! `B`/`E` nesting per tid matters, and PRM rounds are strictly alternating.
+
+use crate::event::{MemLevel, TraceEvent};
+use crate::json::Json;
+use std::collections::BTreeSet;
+use std::io::{self, Write};
+
+const TID_COUNTER: u64 = 0;
+const TID_SVR: u64 = 1;
+const TID_MSHR: u64 = 2;
+const TID_DRAM_BASE: u64 = 10;
+const TID_MEM_BASE: u64 = 100;
+const TID_TLB_BASE: u64 = 300;
+
+/// Streams trace events as Chrome `trace_event` JSON into any `io::Write`.
+#[derive(Debug)]
+pub struct PerfettoWriter<W: Write> {
+    out: W,
+    first: bool,
+    named_tids: BTreeSet<u64>,
+    /// Per-row busy-until time for greedy lane assignment.
+    dram_rows: Vec<u64>,
+    mem_rows: Vec<u64>,
+    tlb_rows: Vec<u64>,
+    /// (timestamp, ±1) occupancy deltas, sorted and emitted at finish.
+    mshr_deltas: Vec<(u64, i64)>,
+    dramq_deltas: Vec<(u64, i64)>,
+}
+
+/// First row whose previous span has ended by `start`; allocates a new row
+/// when every existing one is still busy. Greedy packing keeps concurrent
+/// spans on distinct rows so overlap is visible in the UI.
+fn assign_row(rows: &mut Vec<u64>, start: u64, end: u64) -> u64 {
+    for (i, busy_until) in rows.iter_mut().enumerate() {
+        if *busy_until <= start {
+            *busy_until = end;
+            return i as u64;
+        }
+    }
+    rows.push(end);
+    (rows.len() - 1) as u64
+}
+
+impl<W: Write> PerfettoWriter<W> {
+    /// Writes the document header and returns a live writer.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        Ok(PerfettoWriter {
+            out,
+            first: true,
+            named_tids: BTreeSet::new(),
+            dram_rows: Vec::new(),
+            mem_rows: Vec::new(),
+            tlb_rows: Vec::new(),
+            mshr_deltas: Vec::new(),
+            dramq_deltas: Vec::new(),
+        })
+    }
+
+    fn entry(&mut self, value: &Json) -> io::Result<()> {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.write_all(b",")?;
+        }
+        self.out.write_all(value.dump().as_bytes())
+    }
+
+    fn name_tid(&mut self, tid: u64, name: &str) -> io::Result<()> {
+        if !self.named_tids.insert(tid) {
+            return Ok(());
+        }
+        let meta = Json::Obj(vec![
+            ("ph".into(), Json::str("M")),
+            ("pid".into(), Json::u64(1)),
+            ("tid".into(), Json::u64(tid)),
+            ("name".into(), Json::str("thread_name")),
+            (
+                "args".into(),
+                Json::Obj(vec![("name".into(), Json::str(name))]),
+            ),
+        ]);
+        self.entry(&meta)
+    }
+
+    fn span(&mut self, tid: u64, ts: u64, dur: u64, name: &str, args: Json) -> io::Result<()> {
+        let mut members = vec![
+            ("ph".into(), Json::str("X")),
+            ("pid".into(), Json::u64(1)),
+            ("tid".into(), Json::u64(tid)),
+            ("ts".into(), Json::u64(ts)),
+            ("dur".into(), Json::u64(dur.max(1))),
+            ("name".into(), Json::str(name)),
+        ];
+        if !matches!(args, Json::Null) {
+            members.push(("args".into(), args));
+        }
+        self.entry(&Json::Obj(members))
+    }
+
+    fn instant(&mut self, tid: u64, ts: u64, name: &str) -> io::Result<()> {
+        self.entry(&Json::Obj(vec![
+            ("ph".into(), Json::str("i")),
+            ("pid".into(), Json::u64(1)),
+            ("tid".into(), Json::u64(tid)),
+            ("ts".into(), Json::u64(ts)),
+            ("s".into(), Json::str("t")),
+            ("name".into(), Json::str(name)),
+        ]))
+    }
+
+    /// Consumes one trace event. `Attrib` and L1-hit `Mem` events carry no
+    /// timeline information worth a track entry and are skipped (windowed
+    /// metrics cover them).
+    pub fn event(&mut self, ev: &TraceEvent) -> io::Result<()> {
+        match *ev {
+            TraceEvent::Attrib { .. } => Ok(()),
+            TraceEvent::Mem {
+                start,
+                complete,
+                addr,
+                level,
+                kind,
+            } => {
+                if level == MemLevel::L1 {
+                    return Ok(());
+                }
+                let row = assign_row(&mut self.mem_rows, start, complete);
+                let tid = TID_MEM_BASE + row;
+                self.name_tid(tid, &format!("mem miss lane {row}"))?;
+                let name = format!("{} {}", kind.name(), level.name());
+                let args = Json::Obj(vec![(
+                    "addr".into(),
+                    Json::str(format!("{addr:#x}")),
+                )]);
+                self.span(tid, start, complete.saturating_sub(start), &name, args)
+            }
+            TraceEvent::MshrAlloc { cycle, fill_at, .. } => {
+                self.mshr_deltas.push((cycle, 1));
+                self.mshr_deltas.push((fill_at.max(cycle), -1));
+                Ok(())
+            }
+            TraceEvent::MshrCoalesce { cycle, line } => {
+                self.name_tid(TID_MSHR, "MSHR")?;
+                self.instant(TID_MSHR, cycle, &format!("coalesce {line:#x}"))
+            }
+            // Retirement is already encoded by the alloc's `fill_at` delta.
+            TraceEvent::MshrRetire { .. } => Ok(()),
+            TraceEvent::Dram { enter, leave, write } => {
+                self.dramq_deltas.push((enter, 1));
+                self.dramq_deltas.push((leave.max(enter), -1));
+                let row = assign_row(&mut self.dram_rows, enter, leave);
+                let tid = TID_DRAM_BASE + row;
+                self.name_tid(tid, &format!("dram lane {row}"))?;
+                let name = if write { "dram_wr" } else { "dram_rd" };
+                self.span(tid, enter, leave.saturating_sub(enter), name, Json::Null)
+            }
+            TraceEvent::TlbWalk { cycle, done } => {
+                let row = assign_row(&mut self.tlb_rows, cycle, done);
+                let tid = TID_TLB_BASE + row;
+                self.name_tid(tid, &format!("tlb walk lane {row}"))?;
+                self.span(tid, cycle, done.saturating_sub(cycle), "tlb_walk", Json::Null)
+            }
+            TraceEvent::PrmEnter {
+                cycle,
+                hslr_pc,
+                lanes,
+            } => {
+                self.name_tid(TID_SVR, "SVR runahead")?;
+                self.entry(&Json::Obj(vec![
+                    ("ph".into(), Json::str("B")),
+                    ("pid".into(), Json::u64(1)),
+                    ("tid".into(), Json::u64(TID_SVR)),
+                    ("ts".into(), Json::u64(cycle)),
+                    ("name".into(), Json::str(format!("PRM hslr={hslr_pc:#x}"))),
+                    (
+                        "args".into(),
+                        Json::Obj(vec![("lanes".into(), Json::u64(u64::from(lanes)))]),
+                    ),
+                ]))
+            }
+            TraceEvent::PrmExit { cycle, reason } => {
+                self.name_tid(TID_SVR, "SVR runahead")?;
+                self.entry(&Json::Obj(vec![
+                    ("ph".into(), Json::str("E")),
+                    ("pid".into(), Json::u64(1)),
+                    ("tid".into(), Json::u64(TID_SVR)),
+                    ("ts".into(), Json::u64(cycle)),
+                    (
+                        "args".into(),
+                        Json::Obj(vec![("reason".into(), Json::str(reason.name()))]),
+                    ),
+                ]))
+            }
+            TraceEvent::SvrChain { cycle, pc, lanes } => {
+                self.name_tid(TID_SVR, "SVR runahead")?;
+                self.instant(TID_SVR, cycle, &format!("chain pc={pc:#x} lanes={lanes}"))
+            }
+            TraceEvent::SrfRecycle { cycle } => {
+                self.name_tid(TID_SVR, "SVR runahead")?;
+                self.instant(TID_SVR, cycle, "srf_recycle")
+            }
+        }
+    }
+
+    fn counter_track(&mut self, name: &str, deltas: &[(u64, i64)]) -> io::Result<()> {
+        let mut sorted = deltas.to_vec();
+        sorted.sort_unstable();
+        let mut occ: i64 = 0;
+        let mut i = 0;
+        while i < sorted.len() {
+            let ts = sorted[i].0;
+            while i < sorted.len() && sorted[i].0 == ts {
+                occ += sorted[i].1;
+                i += 1;
+            }
+            self.entry(&Json::Obj(vec![
+                ("ph".into(), Json::str("C")),
+                ("pid".into(), Json::u64(1)),
+                ("tid".into(), Json::u64(TID_COUNTER)),
+                ("ts".into(), Json::u64(ts)),
+                ("name".into(), Json::str(name)),
+                (
+                    "args".into(),
+                    Json::Obj(vec![("occ".into(), Json::u64(occ.max(0) as u64))]),
+                ),
+            ]))?;
+        }
+        Ok(())
+    }
+
+    /// Emits the deferred counter tracks, closes the document (attaching
+    /// `metadata` if given — e.g. windowed metrics) and returns the writer.
+    pub fn finish(mut self, metadata: Option<Json>) -> io::Result<W> {
+        let mshr = std::mem::take(&mut self.mshr_deltas);
+        let dramq = std::mem::take(&mut self.dramq_deltas);
+        self.counter_track("MSHR occupancy", &mshr)?;
+        self.counter_track("DRAM queue occupancy", &dramq)?;
+        self.out.write_all(b"]")?;
+        if let Some(meta) = metadata {
+            self.out.write_all(b",\"metadata\":")?;
+            self.out.write_all(meta.dump().as_bytes())?;
+        }
+        self.out.write_all(b"}")?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// [`crate::TraceSink`] adapter around [`PerfettoWriter`]. The first I/O
+/// error is stored and writing stops; [`PerfettoSink::finish`] surfaces it.
+pub struct PerfettoSink<W: Write> {
+    writer: Option<PerfettoWriter<W>>,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> std::fmt::Debug for PerfettoSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PerfettoSink")
+            .field("live", &self.writer.is_some())
+            .field("error", &self.error)
+            .finish()
+    }
+}
+
+impl<W: Write> PerfettoSink<W> {
+    pub fn new(out: W) -> io::Result<Self> {
+        Ok(PerfettoSink {
+            writer: Some(PerfettoWriter::new(out)?),
+            error: None,
+        })
+    }
+
+    /// Closes the trace document. Returns the first error hit while
+    /// streaming, if any.
+    pub fn finish(self, metadata: Option<Json>) -> io::Result<W> {
+        if let Some(err) = self.error {
+            return Err(err);
+        }
+        match self.writer {
+            Some(w) => w.finish(metadata),
+            None => Err(io::Error::other("writer already failed")),
+        }
+    }
+}
+
+impl<W: Write> crate::TraceSink for PerfettoSink<W> {
+    fn emit(&mut self, ev: &TraceEvent) {
+        if let Some(w) = &mut self.writer {
+            if let Err(e) = w.event(ev) {
+                self.error = Some(e);
+                self.writer = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MemKind, PrmEnd};
+    use crate::TraceSink;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::PrmEnter {
+                cycle: 100,
+                hslr_pc: 0x40,
+                lanes: 16,
+            },
+            TraceEvent::SvrChain {
+                cycle: 101,
+                pc: 0x44,
+                lanes: 16,
+            },
+            TraceEvent::SrfRecycle { cycle: 102 },
+            // Two overlapping DRAM reads — must land on distinct rows.
+            TraceEvent::Dram {
+                enter: 110,
+                leave: 200,
+                write: false,
+            },
+            TraceEvent::Dram {
+                enter: 120,
+                leave: 210,
+                write: false,
+            },
+            TraceEvent::MshrAlloc {
+                cycle: 110,
+                line: 0x1000,
+                fill_at: 200,
+            },
+            TraceEvent::MshrCoalesce {
+                cycle: 115,
+                line: 0x1000,
+            },
+            TraceEvent::MshrRetire {
+                cycle: 200,
+                line: 0x1000,
+            },
+            TraceEvent::Mem {
+                start: 110,
+                complete: 200,
+                addr: 0x1008,
+                level: MemLevel::Dram,
+                kind: MemKind::DemandLoad,
+            },
+            TraceEvent::Mem {
+                start: 111,
+                complete: 114,
+                addr: 0x2000,
+                level: MemLevel::L1,
+                kind: MemKind::DemandLoad,
+            },
+            TraceEvent::TlbWalk {
+                cycle: 109,
+                done: 130,
+            },
+            TraceEvent::PrmExit {
+                cycle: 205,
+                reason: PrmEnd::Hslr,
+            },
+        ]
+    }
+
+    fn write_sample(metadata: Option<Json>) -> Json {
+        let mut w = PerfettoWriter::new(Vec::new()).expect("header");
+        for ev in sample_events() {
+            w.event(&ev).expect("event");
+        }
+        let bytes = w.finish(metadata).expect("finish");
+        Json::parse(std::str::from_utf8(&bytes).expect("utf8")).expect("valid JSON")
+    }
+
+    #[test]
+    fn document_is_valid_json_with_trace_events() {
+        let doc = write_sample(None);
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        assert_eq!(
+            doc.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ms")
+        );
+    }
+
+    #[test]
+    fn prm_round_becomes_balanced_begin_end_pair() {
+        let doc = write_sample(None);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let phase = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+                .count()
+        };
+        assert_eq!(phase("B"), 1);
+        assert_eq!(phase("E"), 1);
+        // chain + recycle + coalesce instants
+        assert_eq!(phase("i"), 3);
+    }
+
+    #[test]
+    fn overlapping_dram_spans_stack_on_distinct_rows() {
+        let doc = write_sample(None);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let dram_tids: Vec<u64> = events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(Json::as_str) == Some("dram_rd")
+                    && e.get("ph").and_then(Json::as_str) == Some("X")
+            })
+            .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+            .collect();
+        assert_eq!(dram_tids.len(), 2);
+        assert_ne!(dram_tids[0], dram_tids[1], "overlap must use two rows");
+    }
+
+    #[test]
+    fn l1_hits_are_not_rendered() {
+        let doc = write_sample(None);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert!(events
+            .iter()
+            .all(|e| e.get("name").and_then(Json::as_str) != Some("load L1")));
+        // ...but the DRAM-level miss is.
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("load DRAM")));
+    }
+
+    #[test]
+    fn counter_samples_are_sorted_and_return_to_zero() {
+        let doc = write_sample(None);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let mshr: Vec<(u64, u64)> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("MSHR occupancy"))
+            .map(|e| {
+                (
+                    e.get("ts").and_then(Json::as_u64).unwrap(),
+                    e.get("args")
+                        .and_then(|a| a.get("occ"))
+                        .and_then(Json::as_u64)
+                        .unwrap(),
+                )
+            })
+            .collect();
+        assert!(!mshr.is_empty());
+        assert!(mshr.windows(2).all(|w| w[0].0 <= w[1].0), "sorted by ts");
+        assert_eq!(mshr.last().unwrap().1, 0, "occupancy drains to zero");
+        assert!(mshr.iter().any(|&(_, occ)| occ > 0));
+    }
+
+    #[test]
+    fn metadata_is_attached_verbatim() {
+        let meta = Json::Obj(vec![("workload".into(), Json::str("PR_KR"))]);
+        let doc = write_sample(Some(meta.clone()));
+        assert_eq!(doc.get("metadata"), Some(&meta));
+    }
+
+    #[test]
+    fn sink_adapter_streams_and_finishes() {
+        let mut sink = PerfettoSink::new(Vec::new()).expect("new");
+        for ev in sample_events() {
+            sink.emit(&ev);
+        }
+        let bytes = sink.finish(None).expect("finish");
+        assert!(Json::parse(std::str::from_utf8(&bytes).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn trace_event_records_round_trip_through_json() {
+        for ev in sample_events() {
+            let doc = ev.to_json();
+            let text = doc.dump();
+            let back = TraceEvent::from_json(&Json::parse(&text).expect("parses"))
+                .unwrap_or_else(|| panic!("decodes: {text}"));
+            assert_eq!(back, ev, "round trip of {text}");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Trace sinks.
+//!
+//! The [`TraceSink`] trait is designed so that a disabled trace is *free*:
+//! simulators are generic over `S: TraceSink`, every emission site is guarded
+//! by `if S::ENABLED { ... }`, and [`NullSink`] sets `ENABLED = false` with an
+//! `#[inline(always)]` no-op `emit`. After monomorphization the guard is a
+//! compile-time constant and the whole event-construction block is dead code —
+//! the untraced simulator binary is bit-for-bit the same computation as before
+//! the instrumentation existed. CI verifies this behaviorally (identical
+//! `RunReport`s) and with a wall-time budget.
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+
+/// A consumer of trace events.
+///
+/// `Debug` is a supertrait so simulator structs that own a sink can keep
+/// `#[derive(Debug)]`.
+pub trait TraceSink: std::fmt::Debug {
+    /// Whether emission sites should construct and emit events at all.
+    /// Sites must guard with `if S::ENABLED` so disabled tracing folds away.
+    const ENABLED: bool = true;
+
+    /// Consume one event.
+    fn emit(&mut self, ev: &TraceEvent);
+}
+
+/// The zero-cost disabled sink.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _ev: &TraceEvent) {}
+}
+
+/// Forwarding impl so a caller can keep ownership of a sink and lend it to a
+/// simulator for the duration of one run.
+impl<S: TraceSink> TraceSink for &mut S {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline(always)]
+    fn emit(&mut self, ev: &TraceEvent) {
+        (**self).emit(ev);
+    }
+}
+
+/// Tee: every event goes to both sinks. Enabled if either side is.
+impl<A: TraceSink, B: TraceSink> TraceSink for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline(always)]
+    fn emit(&mut self, ev: &TraceEvent) {
+        if A::ENABLED {
+            self.0.emit(ev);
+        }
+        if B::ENABLED {
+            self.1.emit(ev);
+        }
+    }
+}
+
+/// A bounded ring buffer of the most recent events.
+///
+/// When full, the oldest event is dropped; `total()` still counts every event
+/// ever emitted so callers can report how many were shed.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    buf: VecDeque<TraceEvent>,
+    cap: usize,
+    total: u64,
+}
+
+impl RingSink {
+    /// `cap` is clamped to at least 1.
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        RingSink {
+            buf: VecDeque::with_capacity(cap),
+            cap,
+            total: 0,
+        }
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever emitted into this sink.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// Oldest-to-newest iteration over the retained events.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&mut self, ev: &TraceEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(*ev);
+        self.total += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MemKind, MemLevel};
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent::SrfRecycle { cycle }
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink::ENABLED);
+        let mut s = NullSink;
+        s.emit(&ev(1)); // no-op, must not panic
+    }
+
+    #[test]
+    fn ring_sink_bounds_and_counts() {
+        let mut s = RingSink::new(3);
+        for c in 0..10 {
+            s.emit(&ev(c));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.total(), 10);
+        assert_eq!(s.dropped(), 7);
+        let cycles: Vec<u64> = s.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn mut_ref_forwards() {
+        let mut s = RingSink::new(8);
+        {
+            let mut lent: &mut RingSink = &mut s;
+            TraceSink::emit(&mut lent, &ev(5));
+        }
+        assert_eq!(s.total(), 1);
+        assert!(<&mut RingSink as TraceSink>::ENABLED);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn tuple_tees_to_both_sides() {
+        let mut pair = (RingSink::new(4), RingSink::new(4));
+        pair.emit(&TraceEvent::Mem {
+            start: 1,
+            complete: 9,
+            addr: 0x80,
+            level: MemLevel::L2,
+            kind: MemKind::DemandLoad,
+        });
+        assert_eq!(pair.0.total(), 1);
+        assert_eq!(pair.1.total(), 1);
+        assert!(<(RingSink, RingSink) as TraceSink>::ENABLED);
+        assert!(<(NullSink, RingSink) as TraceSink>::ENABLED);
+        assert!(!<(NullSink, NullSink) as TraceSink>::ENABLED);
+    }
+
+    #[test]
+    fn tuple_with_null_side_skips_it() {
+        // A (NullSink, RingSink) tee must still deliver to the live side.
+        let mut pair = (NullSink, RingSink::new(4));
+        pair.emit(&ev(3));
+        assert_eq!(pair.1.total(), 1);
+    }
+}

@@ -50,4 +50,43 @@ if [ "$hits" != "$pairs" ] || [ "$pairs" = "0" ]; then
   echo "FAIL: expected all $pairs points from cache, got $hits hits" >&2
   exit 1
 fi
+
+echo "=== trace check: traced run is bit-identical and shows runahead MLP ==="
+# --check-identical makes the binary exit non-zero if the traced RunReport
+# diverges from the untraced one; the overlap marker proves the Perfetto
+# trace captures >= 2 concurrent DRAM-origin misses inside a runahead episode
+# (the paper's whole point).
+./target/release/svr_trace_dump PR_KR SVR16 --scale tiny \
+  --trace="$OUT_DIR/trace.json" --check-identical > "$OUT_DIR/trace_dump.txt"
+grep -q '^trace_identical=1$' "$OUT_DIR/trace_dump.txt" || {
+  echo "FAIL: traced run diverged from untraced run" >&2; exit 1; }
+overlap=$(grep -o '^max_dram_overlap_in_prm=[0-9]*' "$OUT_DIR/trace_dump.txt" \
+  | grep -o '[0-9]*$')
+echo "max DRAM overlap inside runahead: $overlap"
+if [ "${overlap:-0}" -lt 2 ]; then
+  echo "FAIL: runahead episodes overlap only ${overlap:-0} DRAM misses (need >= 2)" >&2
+  exit 1
+fi
+# Perfetto files start with the trace_event envelope; a truncated stream
+# (writer dropped before finish()) would not.
+head -c 32 "$OUT_DIR/trace.json" | grep -q '"displayTimeUnit"' || {
+  echo "FAIL: $OUT_DIR/trace.json is not a Chrome trace_event file" >&2; exit 1; }
+
+echo "=== trace overhead: NullSink run fits the untraced wall-time budget ==="
+# perf_baseline probes the same pair untraced (NullSink, instrumentation
+# monomorphized away) and with the ring sink, and asserts bit-identity
+# internally. Budget: the whole tiny-scale binary must stay quick; a blown
+# budget means the NullSink path stopped compiling out.
+t0=$(date +%s)
+SVR_CACHE_DIR="$CACHE_DIR" ./target/release/perf_baseline --scale tiny \
+  --json "$OUT_DIR/perf.json" > /dev/null
+t1=$(date +%s)
+perf_wall=$((t1 - t0))
+echo "perf_baseline at tiny took ${perf_wall}s"
+if [ "$perf_wall" -gt 60 ]; then
+  echo "FAIL: perf_baseline took ${perf_wall}s at tiny scale (budget 60s)" >&2
+  exit 1
+fi
+grep -q '"trace_identical": true' "$OUT_DIR/perf.json" || {
+  echo "FAIL: perf_baseline trace probe reported a divergent run" >&2; exit 1; }
 echo CI_OK

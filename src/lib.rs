@@ -4,4 +4,5 @@ pub use svr_energy as energy;
 pub use svr_isa as isa;
 pub use svr_mem as mem;
 pub use svr_sim as sim;
+pub use svr_trace as trace;
 pub use svr_workloads as workloads;

@@ -45,5 +45,5 @@ pub fn run_small(kernel: Kernel, config: &SimConfig) -> RunReport {
             .or_insert_with(|| kernel.build(Scale::Small))
             .clone()
     };
-    run_workload(&w, config, small_budget())
+    run_workload(&w, config, small_budget()).expect("paper configs are valid")
 }

@@ -20,7 +20,7 @@ fn all_workloads_verify_on_all_cores() {
             SimConfig::ooo(),
             SimConfig::svr(16),
         ] {
-            let r = run_workload(&w, &cfg, u64::MAX);
+            let r = run_workload(&w, &cfg, u64::MAX).expect("valid config");
             assert!(r.verified, "{} failed under {}", w.name, cfg.label());
         }
     }
@@ -32,9 +32,9 @@ fn all_workloads_verify_on_all_cores() {
 fn cores_retire_identical_instruction_counts() {
     for k in hpcdb_suite() {
         let w = k.build(Scale::Tiny);
-        let a = run_workload(&w, &SimConfig::inorder(), u64::MAX);
-        let b = run_workload(&w, &SimConfig::ooo(), u64::MAX);
-        let c = run_workload(&w, &SimConfig::svr(16), u64::MAX);
+        let a = run_workload(&w, &SimConfig::inorder(), u64::MAX).expect("valid config");
+        let b = run_workload(&w, &SimConfig::ooo(), u64::MAX).expect("valid config");
+        let c = run_workload(&w, &SimConfig::svr(16), u64::MAX).expect("valid config");
         assert_eq!(a.core.retired, b.core.retired, "{}", w.name);
         assert_eq!(a.core.retired, c.core.retired, "{}", w.name);
     }

@@ -189,10 +189,58 @@ fn svr_is_architecturally_transparent_on_random_gathers() {
     for _ in 0..12 {
         let (n, mult) = (rng.range(2, 500), rng.range(1, 7919));
         let w = gather_workload(n.max(4), mult);
-        let a = run_workload(&w, &SimConfig::inorder(), u64::MAX);
-        let b = run_workload(&w, &SimConfig::svr(16), u64::MAX);
+        let a = run_workload(&w, &SimConfig::inorder(), u64::MAX).expect("valid config");
+        let b = run_workload(&w, &SimConfig::svr(16), u64::MAX).expect("valid config");
         assert!(a.verified && b.verified, "n={n} mult={mult}");
         assert_eq!(a.core.retired, b.core.retired);
+    }
+}
+
+/// Exact CPI stacks: for every core model, the stack's bucket sum equals the
+/// cycle count **exactly** on a seeded sample of random gather workloads
+/// (the stacks are attribution, not estimation — every cycle is charged to
+/// exactly one bucket, including the post-issue drain tail).
+#[test]
+fn cpi_stack_total_equals_cycles_on_every_core_model() {
+    let mut rng = Rng64::new(0x57AC);
+    for _ in 0..10 {
+        let (n, mult) = (rng.range(4, 400), rng.range(1, 7919));
+        let w = gather_workload(n, mult);
+        for cfg in [
+            SimConfig::inorder(),
+            SimConfig::imp(),
+            SimConfig::ooo(),
+            SimConfig::svr(16),
+        ] {
+            let r = run_workload(&w, &cfg, u64::MAX).expect("valid config");
+            assert_eq!(
+                r.core.stack.total(),
+                r.core.cycles,
+                "inexact CPI stack for n={n} mult={mult} under {}",
+                cfg.label()
+            );
+        }
+    }
+}
+
+/// Tracing is observation only: attaching a live ring sink never changes the
+/// simulated run (`RunReport`s are bit-identical), on any core model.
+#[test]
+fn attaching_a_trace_sink_never_changes_the_run() {
+    use svr::sim::run_workload_traced;
+    use svr::trace::RingSink;
+    let mut rng = Rng64::new(0xD1CE);
+    for _ in 0..6 {
+        let (n, mult) = (rng.range(4, 300), rng.range(1, 7919));
+        let w = gather_workload(n, mult);
+        for cfg in [SimConfig::inorder(), SimConfig::ooo(), SimConfig::svr(16)] {
+            let base = run_workload(&w, &cfg, u64::MAX).expect("valid config");
+            let mut ring = RingSink::new(1 << 14);
+            let traced =
+                run_workload_traced(&w, &cfg, u64::MAX, &mut ring).expect("valid config");
+            assert_eq!(base, traced, "n={n} mult={mult} under {}", cfg.label());
+            assert!(ring.total() > 0, "no events under {}", cfg.label());
+        }
     }
 }
 
