@@ -85,13 +85,13 @@ fn sensitivity_family() {
     for mshrs in [1usize, 8, 16] {
         let cfg = SimConfig::svr(16).with_mshrs(mshrs);
         bench("sensitivity", &format!("mshrs/{mshrs}"), || {
-            run_kernel(Kernel::Randacc, Scale::Tiny, &cfg).core.retired
+            run_kernel(Kernel::Randacc, Scale::Tiny, &cfg).expect("valid config").core.retired
         });
     }
     for bw in [12.5f64, 50.0] {
         let cfg = SimConfig::svr(16).with_bandwidth(bw);
         bench("sensitivity", &format!("bw/{bw}"), || {
-            run_kernel(Kernel::Randacc, Scale::Tiny, &cfg).core.retired
+            run_kernel(Kernel::Randacc, Scale::Tiny, &cfg).expect("valid config").core.retired
         });
     }
 }

@@ -32,6 +32,14 @@ fn fail(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// A simulation failure (watchdog trip, invariant violation) is not a usage
+/// error: print the structured message alone and exit 1. CI's watchdog smoke
+/// test relies on this being a prompt, clean failure rather than a hang.
+fn sim_fail(e: &svr_sim::SimError) -> ! {
+    eprintln!("svr_trace_dump: simulation failed: {e}");
+    std::process::exit(1);
+}
+
 fn print_windows(report: &WindowReport) {
     println!(
         "{:>10} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>6} {:>6} {:>8} {:>5}",
@@ -91,7 +99,7 @@ fn main() {
     let budget = args.scale.max_insts();
 
     // Untraced reference run (NullSink: the instrumentation compiles out).
-    let base = run_workload(&workload, &config, budget).unwrap_or_else(|e| fail(&e.to_string()));
+    let base = run_workload(&workload, &config, budget).unwrap_or_else(|e| sim_fail(&e));
 
     // Traced run: windowed metrics always; the Perfetto stream on --trace.
     let trace_path = args.trace.then(|| {
@@ -118,7 +126,7 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("write {}: {e}", path.display())));
             let mut sink = (metrics, perfetto);
             let traced = run_workload_traced(&workload, &config, budget, &mut sink)
-                .unwrap_or_else(|e| fail(&e.to_string()));
+                .unwrap_or_else(|e| sim_fail(&e));
             let (metrics, perfetto) = sink;
             let report = metrics.finish();
             let metadata = Json::Obj(vec![
@@ -135,7 +143,7 @@ fn main() {
         None => {
             let mut sink = metrics;
             let traced = run_workload_traced(&workload, &config, budget, &mut sink)
-                .unwrap_or_else(|e| fail(&e.to_string()));
+                .unwrap_or_else(|e| sim_fail(&e));
             (traced, sink.finish(), None)
         }
     };

@@ -178,10 +178,13 @@ pub fn paper_configs() -> Vec<SimConfig> {
 }
 
 /// Resolves a kernel by its display name (`PR_KR`, `Camel`, `HJ8`, ...),
-/// searching the irregular and regular suites.
+/// searching the irregular and regular suites plus the diagnostic kernels
+/// (`DiagSpin`, `DiagPanic` — used by the CI watchdog smoke test).
 pub fn kernel_from_name(name: &str) -> Option<Kernel> {
     let mut all = svr_workloads::irregular_suite();
     all.extend(svr_workloads::regular_suite());
+    all.push(Kernel::DiagSpin);
+    all.push(Kernel::DiagPanic);
     all.into_iter().find(|k| k.name() == name)
 }
 
@@ -322,6 +325,8 @@ impl Figure {
         self.sweep.points += res.stats.points;
         self.sweep.simulated += res.stats.simulated;
         self.sweep.cache_hits += res.stats.cache_hits;
+        self.sweep.journal_hits += res.stats.journal_hits;
+        self.sweep.failed += res.stats.failed;
         self.sweep.deduped += res.stats.deduped;
         self.sweep.wall_ms += res.stats.wall_ms;
         for r in res.unique_reports() {
@@ -387,6 +392,8 @@ impl Figure {
                     ("points".into(), Json::u64(stats.points as u64)),
                     ("simulated".into(), Json::u64(stats.simulated as u64)),
                     ("cache_hits".into(), Json::u64(stats.cache_hits as u64)),
+                    ("journal_hits".into(), Json::u64(stats.journal_hits as u64)),
+                    ("failed".into(), Json::u64(stats.failed as u64)),
                     ("deduped".into(), Json::u64(stats.deduped as u64)),
                     ("wall_ms".into(), Json::u64(stats.wall_ms)),
                 ]),

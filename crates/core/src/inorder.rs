@@ -5,6 +5,7 @@ use crate::branch::{BranchPredictor, MISPREDICT_PENALTY};
 use crate::pipeline::{IssueSlots, Scoreboard};
 use crate::stats::{CoreStats, StallBucket};
 use crate::svr::{SvrConfig, SvrEngine};
+use crate::watchdog::{RunError, WatchdogConfig};
 use svr_isa::{AluOp, ArchState, Inst, Outcome, Program, NUM_REGS};
 use svr_mem::{Access, AccessKind, HitLevel, MemConfig, MemImage, MemoryHierarchy};
 use svr_trace::{NullSink, StallTag, TraceEvent, TraceSink};
@@ -20,6 +21,8 @@ pub struct InOrderConfig {
     pub mispredict_penalty: u64,
     /// Whether to model instruction fetch through the L1-I.
     pub model_fetch: bool,
+    /// Runaway-guest protection (cycle budget + forward-progress detector).
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for InOrderConfig {
@@ -29,6 +32,7 @@ impl Default for InOrderConfig {
             scoreboard: 32,
             mispredict_penalty: MISPREDICT_PENALTY,
             model_fetch: true,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -86,7 +90,7 @@ pub struct Observed<'a> {
 /// let mut image = MemImage::new();
 /// let mut arch = ArchState::new();
 /// let mut core = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
-/// core.run(&p, &mut image, &mut arch, u64::MAX);
+/// core.run(&p, &mut image, &mut arch, u64::MAX).unwrap();
 /// assert_eq!(arch.reg(Reg::new(1)), 7);
 /// assert!(core.stats().cycles > 0);
 /// ```
@@ -104,6 +108,10 @@ pub struct InOrderCore<S: TraceSink = NullSink> {
     fetch_bucket: StallBucket,
     last_fetch_line: Option<usize>,
     last_issue: u64,
+    /// Issue cycle of the last instruction with an architectural effect
+    /// (register write, memory access, or flags write) — the
+    /// forward-progress watermark.
+    last_effect: u64,
     max_completion: u64,
     /// Bucket describing what the longest-outstanding completion was waiting
     /// on; the post-run drain tail is charged here so the CPI stack accounts
@@ -170,6 +178,7 @@ impl<S: TraceSink> InOrderCore<S> {
             fetch_bucket: StallBucket::Fetch,
             last_fetch_line: None,
             last_issue: 0,
+            last_effect: 0,
             max_completion: 0,
             tail_bucket: StallBucket::Base,
             stats: CoreStats::default(),
@@ -209,13 +218,22 @@ impl<S: TraceSink> InOrderCore<S> {
     ///
     /// `arch` carries initial register state (workloads pre-load base
     /// addresses) and holds final state afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] if the configured [`WatchdogConfig`] trips:
+    /// the guest issued no architecturally-effectful instruction within the
+    /// progress window, or blew the cycle budget. Statistics and
+    /// architectural state reflect the run up to the trip point.
     pub fn run(
         &mut self,
         program: &Program,
         image: &mut MemImage,
         arch: &mut ArchState,
         max_insts: u64,
-    ) {
+    ) -> Result<(), RunError> {
+        let budget = self.cfg.watchdog.budget(max_insts);
+        let window = self.cfg.watchdog.window();
         while self.stats.retired < max_insts && !arch.halted() {
             let pc = arch.pc();
             let Some(&inst) = program.get(pc) else { break };
@@ -288,6 +306,29 @@ impl<S: TraceSink> InOrderCore<S> {
             }
             self.last_issue = t;
 
+            // Watchdog: two u64 compares per instruction (hot-path neutral).
+            if t > budget {
+                return Err(RunError::CycleBudgetExceeded {
+                    pc,
+                    cycles: t,
+                    budget,
+                    retired: self.stats.retired,
+                });
+            }
+            if t.saturating_sub(self.last_effect) > window {
+                return Err(RunError::NoForwardProgress {
+                    pc,
+                    cycle: t,
+                    last_effect: self.last_effect,
+                    window,
+                    stall: bucket,
+                    outstanding_mshrs: self.hier.mshrs_in_flight(t),
+                });
+            }
+            if !matches!(inst, Inst::J { .. } | Inst::B { .. } | Inst::Nop | Inst::Halt) {
+                self.last_effect = t;
+            }
+
             // Functional execution (`inst` was fetched from `pc` above).
             let out: Outcome = arch.step_fetched(inst, image);
             self.stats.retired += 1;
@@ -343,6 +384,7 @@ impl<S: TraceSink> InOrderCore<S> {
             }
             self.last_issue = cycles;
         }
+        Ok(())
     }
 
     /// Computes the completion time of one instruction and updates
@@ -502,7 +544,7 @@ mod tests {
     fn executes_correctly_and_counts() {
         let (p, mut img, mut arch) = streaming(100);
         let mut core = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
-        core.run(&p, &mut img, &mut arch, u64::MAX);
+        core.run(&p, &mut img, &mut arch, u64::MAX).unwrap();
         assert!(arch.halted());
         assert_eq!(arch.reg(r(3)), (0..100).sum::<u64>());
         assert_eq!(core.stats().retired, 100 * 5 + 1);
@@ -514,7 +556,7 @@ mod tests {
     fn pointer_chase_is_memory_bound() {
         let (p, mut img, mut arch) = pointer_chase(2000);
         let mut core = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
-        core.run(&p, &mut img, &mut arch, u64::MAX);
+        core.run(&p, &mut img, &mut arch, u64::MAX).unwrap();
         let cpi = core.stats().cpi();
         // Each iteration (4 insts) serializes a ~100-cycle DRAM access once
         // caches are cold/thrashing: CPI must be well above 10.
@@ -533,7 +575,7 @@ mod tests {
     fn streaming_is_fast_with_stride_prefetcher() {
         let (p, mut img, mut arch) = streaming(20_000);
         let mut core = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
-        core.run(&p, &mut img, &mut arch, u64::MAX);
+        core.run(&p, &mut img, &mut arch, u64::MAX).unwrap();
         let cpi = core.stats().cpi();
         assert!(cpi < 3.0, "streaming cpi={cpi}");
     }
@@ -542,7 +584,7 @@ mod tests {
     fn respects_max_insts() {
         let (p, mut img, mut arch) = streaming(1000);
         let mut core = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
-        core.run(&p, &mut img, &mut arch, 42);
+        core.run(&p, &mut img, &mut arch, 42).unwrap();
         assert_eq!(core.stats().retired, 42);
         assert!(!arch.halted());
     }
@@ -551,7 +593,7 @@ mod tests {
     fn branch_stats_counted() {
         let (p, mut img, mut arch) = streaming(50);
         let mut core = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
-        core.run(&p, &mut img, &mut arch, u64::MAX);
+        core.run(&p, &mut img, &mut arch, u64::MAX).unwrap();
         assert_eq!(core.stats().branches, 50);
         // The loop exit is hard to predict at least once.
         assert!(core.stats().mispredicts >= 1);
@@ -561,7 +603,7 @@ mod tests {
     fn cpi_stack_total_equals_cycles_exactly() {
         let (p, mut img, mut arch) = pointer_chase(500);
         let mut core = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
-        core.run(&p, &mut img, &mut arch, u64::MAX);
+        core.run(&p, &mut img, &mut arch, u64::MAX).unwrap();
         let total = core.stats().stack.total();
         let cycles = core.stats().cycles;
         // Issue-to-issue gaps plus the completion-drain tail account for
@@ -578,7 +620,7 @@ mod tests {
             MemConfig::default(),
             RingSink::new(1 << 16),
         );
-        core.run(&p, &mut img, &mut arch, u64::MAX);
+        core.run(&p, &mut img, &mut arch, u64::MAX).unwrap();
         let mut attributed = 0u64;
         for ev in core.hierarchy().sink().iter() {
             if let TraceEvent::Attrib { base, stall, .. } = *ev {

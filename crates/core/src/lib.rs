@@ -32,7 +32,7 @@
 //! );
 //! let mut image = MemImage::new();
 //! let mut arch = ArchState::new();
-//! core.run(&program, &mut image, &mut arch, u64::MAX);
+//! core.run(&program, &mut image, &mut arch, u64::MAX).unwrap();
 //! assert_eq!(core.stats().retired, 2);
 //! ```
 
@@ -42,6 +42,7 @@ mod ooo;
 mod pipeline;
 mod stats;
 pub mod svr;
+mod watchdog;
 
 pub use branch::{BranchPredictor, MISPREDICT_PENALTY};
 pub use inorder::{InOrderConfig, InOrderCore, Observed, SvrCtx};
@@ -49,3 +50,4 @@ pub use ooo::{OooConfig, OooCore};
 pub use pipeline::{IssueSlots, Scoreboard};
 pub use stats::{CoreStats, CpiStack, StallBucket, SvrActivity};
 pub use svr::{bit_budget, BitBudget, LoopBoundMode, RecyclePolicy, SvrConfig};
+pub use watchdog::{RunError, WatchdogConfig};

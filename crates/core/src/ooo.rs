@@ -12,6 +12,7 @@ use crate::branch::{BranchPredictor, MISPREDICT_PENALTY};
 use crate::inorder::stall_tag;
 use crate::pipeline::{IssueSlots, Scoreboard};
 use crate::stats::{CoreStats, StallBucket};
+use crate::watchdog::{RunError, WatchdogConfig};
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 use svr_isa::{AluOp, ArchState, Inst, Outcome, Program, NUM_REGS};
@@ -33,6 +34,8 @@ pub struct OooConfig {
     pub model_fetch: bool,
     /// Rename/RS scheduling delay between dispatch and earliest execute.
     pub rs_delay: u64,
+    /// Runaway-guest protection (cycle budget + forward-progress detector).
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for OooConfig {
@@ -44,6 +47,7 @@ impl Default for OooConfig {
             mispredict_penalty: MISPREDICT_PENALTY,
             model_fetch: true,
             rs_delay: 2,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -63,7 +67,7 @@ impl Default for OooConfig {
 /// let p = asm.finish();
 /// let mut core = OooCore::new(OooConfig::default(), MemConfig::default());
 /// let (mut img, mut arch) = (MemImage::new(), ArchState::new());
-/// core.run(&p, &mut img, &mut arch, u64::MAX);
+/// core.run(&p, &mut img, &mut arch, u64::MAX).unwrap();
 /// assert_eq!(core.stats().retired, 2);
 /// ```
 #[derive(Debug)]
@@ -85,6 +89,9 @@ pub struct OooCore<S: TraceSink = NullSink> {
     /// probed on every load and written on every store.
     store_fwd: HashMap<u64, u64, BuildHasherDefault<FxHasher>>,
     last_commit: u64,
+    /// Dispatch cycle of the last architecturally-effectful instruction
+    /// (the forward-progress watermark).
+    last_effect: u64,
     stats: CoreStats,
 }
 
@@ -128,6 +135,7 @@ impl<S: TraceSink> OooCore<S> {
             last_fetch_line: None,
             store_fwd: HashMap::default(),
             last_commit: 0,
+            last_effect: 0,
             stats: CoreStats::default(),
             cfg,
         }
@@ -149,13 +157,20 @@ impl<S: TraceSink> OooCore<S> {
     }
 
     /// Runs `program` until `halt` or `max_insts` retired instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] when the configured [`WatchdogConfig`] trips
+    /// (no forward progress within the window, or a blown cycle budget).
     pub fn run(
         &mut self,
         program: &Program,
         image: &mut MemImage,
         arch: &mut ArchState,
         max_insts: u64,
-    ) {
+    ) -> Result<(), RunError> {
+        let budget = self.cfg.watchdog.budget(max_insts);
+        let window = self.cfg.watchdog.window();
         while self.stats.retired < max_insts && !arch.halted() {
             let pc = arch.pc();
             let Some(&inst) = program.get(pc) else { break };
@@ -190,6 +205,29 @@ impl<S: TraceSink> OooCore<S> {
             }
             if matches!(inst, Inst::B { .. }) {
                 ready = ready.max(self.flags_ready);
+            }
+
+            // Watchdog: two u64 compares per instruction (hot-path neutral).
+            if dispatch_t > budget {
+                return Err(RunError::CycleBudgetExceeded {
+                    pc,
+                    cycles: dispatch_t,
+                    budget,
+                    retired: self.stats.retired,
+                });
+            }
+            if dispatch_t.saturating_sub(self.last_effect) > window {
+                return Err(RunError::NoForwardProgress {
+                    pc,
+                    cycle: dispatch_t,
+                    last_effect: self.last_effect,
+                    window,
+                    stall: bucket,
+                    outstanding_mshrs: self.hier.mshrs_in_flight(dispatch_t),
+                });
+            }
+            if !matches!(inst, Inst::J { .. } | Inst::B { .. } | Inst::Nop | Inst::Halt) {
+                self.last_effect = dispatch_t;
             }
 
             // `inst` was fetched from `pc` above.
@@ -315,6 +353,7 @@ impl<S: TraceSink> OooCore<S> {
         if self.store_fwd.len() > 1 << 20 {
             self.store_fwd.clear();
         }
+        Ok(())
     }
 }
 
@@ -386,8 +425,8 @@ mod tests {
         let (_, mut img2, mut a2) = independent_misses(500);
         let mut ooo = OooCore::new(OooConfig::default(), MemConfig::default());
         let mut ino = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
-        ooo.run(&p, &mut img1, &mut a1, u64::MAX);
-        ino.run(&p, &mut img2, &mut a2, u64::MAX);
+        ooo.run(&p, &mut img1, &mut a1, u64::MAX).unwrap();
+        ino.run(&p, &mut img2, &mut a2, u64::MAX).unwrap();
         assert_eq!(a1.reg(r(3)), a2.reg(r(3)));
         assert_eq!(ooo.stats().retired, ino.stats().retired);
     }
@@ -396,12 +435,12 @@ mod tests {
     fn ooo_overlaps_independent_misses() {
         let (p, mut img, mut arch) = independent_misses(3000);
         let mut ooo = OooCore::new(OooConfig::default(), mem_no_pf());
-        ooo.run(&p, &mut img, &mut arch, u64::MAX);
+        ooo.run(&p, &mut img, &mut arch, u64::MAX).unwrap();
         let cpi_ooo = ooo.stats().cpi();
 
         let (p, mut img, mut arch) = independent_misses(3000);
         let mut ino = InOrderCore::new(InOrderConfig::default(), mem_no_pf());
-        ino.run(&p, &mut img, &mut arch, u64::MAX);
+        ino.run(&p, &mut img, &mut arch, u64::MAX).unwrap();
         let cpi_ino = ino.stats().cpi();
 
         assert!(
@@ -414,7 +453,7 @@ mod tests {
     fn dependent_chain_defeats_ooo() {
         let (p, mut img, mut arch) = dependent_chain(2000);
         let mut ooo = OooCore::new(OooConfig::default(), mem_no_pf());
-        ooo.run(&p, &mut img, &mut arch, u64::MAX);
+        ooo.run(&p, &mut img, &mut arch, u64::MAX).unwrap();
         let cpi_ooo = ooo.stats().cpi();
         // A serial pointer chase cannot be overlapped: CPI stays high.
         assert!(cpi_ooo > 10.0, "cpi={cpi_ooo}");
@@ -433,7 +472,7 @@ mod tests {
         let mut img = MemImage::new();
         let mut arch = ArchState::new();
         let mut ooo = OooCore::new(OooConfig::default(), MemConfig::default());
-        ooo.run(&p, &mut img, &mut arch, u64::MAX);
+        ooo.run(&p, &mut img, &mut arch, u64::MAX).unwrap();
         assert_eq!(arch.reg(r(3)), 77);
     }
 
@@ -448,11 +487,11 @@ mod tests {
             },
             mem_no_pf(),
         );
-        small.run(&p, &mut img, &mut arch, u64::MAX);
+        small.run(&p, &mut img, &mut arch, u64::MAX).unwrap();
 
         let (p, mut img, mut arch) = independent_misses(1500);
         let mut big = OooCore::new(OooConfig::default(), mem_no_pf());
-        big.run(&p, &mut img, &mut arch, u64::MAX);
+        big.run(&p, &mut img, &mut arch, u64::MAX).unwrap();
         assert!(
             small.stats().cycles > big.stats().cycles * 3 / 2,
             "rob4={} rob32={}",

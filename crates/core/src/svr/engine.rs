@@ -836,7 +836,7 @@ mod tests {
             Some(s) => InOrderCore::with_svr(InOrderConfig::default(), MemConfig::default(), s),
             None => InOrderCore::new(InOrderConfig::default(), MemConfig::default()),
         };
-        core.run(&p, &mut img, &mut arch, u64::MAX);
+        core.run(&p, &mut img, &mut arch, u64::MAX).unwrap();
         (core, arch)
     }
 
@@ -963,7 +963,7 @@ mod tests {
             MemConfig::default(),
             SvrConfig::default(),
         );
-        core.run(&p, &mut img, &mut arch, u64::MAX);
+        core.run(&p, &mut img, &mut arch, u64::MAX).unwrap();
         let eng = core.svr_engine().unwrap();
         // The inner striding load lives at pc 5 (`ldx rv, rib, rj`): the
         // Seen-bit protocol keeps runahead prioritized on the inner loop
@@ -1093,7 +1093,7 @@ mod tests {
             MemConfig::default(),
             SvrConfig::default(),
         );
-        core.run(&p, &mut img, &mut arch, u64::MAX);
+        core.run(&p, &mut img, &mut arch, u64::MAX).unwrap();
         // With a constant large stride SVR *is* accurate (it prefetches the
         // actual future addresses), so this is a smoke test that the monitor
         // ran without banning a perfectly striding pattern.

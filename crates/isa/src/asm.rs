@@ -1,5 +1,6 @@
 //! A tiny assembler with forward/backward label resolution.
 
+use crate::error::AsmError;
 use crate::inst::{AluOp, Cond, Inst};
 use crate::program::Program;
 use crate::reg::Reg;
@@ -58,14 +59,28 @@ impl Assembler {
     ///
     /// # Panics
     ///
-    /// Panics if the label was already bound.
+    /// Panics if the label was already bound. Use [`Assembler::try_bind`]
+    /// when the label comes from untrusted input.
     pub fn bind(&mut self, label: Label) {
-        assert!(
-            self.bindings[label.0].is_none(),
-            "label bound twice at pc {}",
-            self.insts.len()
-        );
+        self.try_bind(label).unwrap_or_else(|e| panic!("{}", e.reason));
+    }
+
+    /// Fallible form of [`Assembler::bind`]: errors instead of panicking if
+    /// the label was already bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] (with the current pc in `line`) on a double
+    /// bind.
+    pub fn try_bind(&mut self, label: Label) -> Result<(), AsmError> {
+        if self.bindings[label.0].is_some() {
+            return Err(AsmError::at_pc(
+                self.insts.len(),
+                format!("label bound twice at pc {}", self.insts.len()),
+            ));
+        }
         self.bindings[label.0] = Some(self.insts.len());
+        Ok(())
     }
 
     /// The PC of the next emitted instruction.
@@ -165,17 +180,32 @@ impl Assembler {
     ///
     /// # Panics
     ///
-    /// Panics if any referenced label was never bound.
-    pub fn finish(mut self) -> Program {
+    /// Panics if any referenced label was never bound. Use
+    /// [`Assembler::try_finish`] when the program comes from untrusted input.
+    pub fn finish(self) -> Program {
+        self.try_finish().unwrap_or_else(|e| panic!("{}", e.reason))
+    }
+
+    /// Fallible form of [`Assembler::finish`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] (with the referencing pc in `line`) if any
+    /// referenced label was never bound.
+    pub fn try_finish(mut self) -> Result<Program, AsmError> {
         for &(pc, label) in &self.fixups {
-            let target = self.bindings[label.0]
-                .unwrap_or_else(|| panic!("unbound label referenced at pc {pc}"));
+            let Some(target) = self.bindings[label.0] else {
+                return Err(AsmError::at_pc(
+                    pc,
+                    format!("unbound label referenced at pc {pc}"),
+                ));
+            };
             match &mut self.insts[pc] {
                 Inst::B { target: t, .. } | Inst::J { target: t } => *t = target,
                 other => unreachable!("fixup on non-branch {other:?}"),
             }
         }
-        Program::new(self.name, self.insts)
+        Ok(Program::new(self.name, self.insts))
     }
 }
 
@@ -250,6 +280,24 @@ mod tests {
         );
         assert!(p[2].is_load());
         assert!(p[3].is_store());
+    }
+
+    #[test]
+    fn try_forms_return_structured_errors() {
+        let mut asm = Assembler::new("t");
+        let l = asm.label();
+        asm.bind(l);
+        let e = asm.try_bind(l).unwrap_err();
+        assert_eq!((e.line, e.col), (0, 0));
+        assert!(e.reason.contains("bound twice"));
+
+        let mut asm = Assembler::new("t");
+        let l = asm.label();
+        asm.nop();
+        asm.j(l);
+        let e = asm.try_finish().unwrap_err();
+        assert_eq!((e.line, e.col), (1, 0));
+        assert!(e.to_string().contains("unbound label referenced at pc 1"));
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! The assembler/parser error type, carrying a source position.
+
+use std::fmt;
+
+/// An error from the text parser or the label assembler.
+///
+/// Parser errors carry a 1-based `line` and `col` pointing at the offending
+/// token in the source listing. Assembler errors (label misuse) have no
+/// source text; they carry the instruction index in `line` and `col == 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line (or instruction pc for assembler errors).
+    pub line: usize,
+    /// 1-based column of the offending token; 0 when not applicable.
+    pub col: usize,
+    /// Description of the problem.
+    pub reason: String,
+}
+
+impl AsmError {
+    /// A parser error at `line`:`col`.
+    pub fn at(line: usize, col: usize, reason: impl Into<String>) -> Self {
+        AsmError {
+            line,
+            col,
+            reason: reason.into(),
+        }
+    }
+
+    /// An assembler error at instruction `pc` (no source column).
+    pub fn at_pc(pc: usize, reason: impl Into<String>) -> Self {
+        AsmError {
+            line: pc,
+            col: 0,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.col > 0 {
+            write!(
+                f,
+                "parse error on line {}, column {}: {}",
+                self.line, self.col, self.reason
+            )
+        } else {
+            write!(f, "assembly error: {}", self.reason)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_when_known() {
+        let e = AsmError::at(3, 7, "bad register `x99`");
+        assert_eq!(
+            e.to_string(),
+            "parse error on line 3, column 7: bad register `x99`"
+        );
+        let a = AsmError::at_pc(5, "unbound label referenced at pc 5");
+        assert_eq!(a.to_string(), "assembly error: unbound label referenced at pc 5");
+    }
+}

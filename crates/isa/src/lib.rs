@@ -40,6 +40,7 @@
 
 mod asm;
 pub mod encode;
+mod error;
 mod exec;
 mod inst;
 pub mod parse;
@@ -47,6 +48,7 @@ mod program;
 mod reg;
 
 pub use asm::{Assembler, Label};
+pub use error::AsmError;
 pub use exec::{ArchState, DataMemory, Flags, MemAccessKind, Outcome, VecMemory};
 pub use inst::{eval_alu, eval_cond, AluOp, Cond, Inst};
 pub use program::Program;

@@ -12,50 +12,46 @@
 //! ```
 //!
 //! Leading `NNN:` indices, blank lines and `;` comments are ignored.
+//!
+//! Errors are [`AsmError`]s carrying the 1-based line *and column* of the
+//! offending token, so a bad listing points straight at the problem.
 
 use crate::inst::{AluOp, Cond, Inst};
 use crate::program::Program;
 use crate::reg::Reg;
-use std::fmt;
 
-/// Error produced for a line that does not parse.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError {
-    /// 1-based line number in the input.
-    pub line: usize,
-    /// Description of the problem.
-    pub reason: String,
+pub use crate::error::AsmError as ParseError;
+
+fn err(line: usize, col: usize, reason: impl Into<String>) -> ParseError {
+    ParseError::at(line, col, reason)
 }
 
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error on line {}: {}", self.line, self.reason)
+/// 1-based column of the subslice `tok` within `src`, or 0 if `tok` is not
+/// actually a subslice of `src` (e.g. a lowercased copy).
+fn col_of(src: &str, tok: &str) -> usize {
+    let base = src.as_ptr() as usize;
+    let t = tok.as_ptr() as usize;
+    if t >= base && t <= base + src.len() {
+        t - base + 1
+    } else {
+        0
     }
 }
 
-impl std::error::Error for ParseError {}
-
-fn err(line: usize, reason: impl Into<String>) -> ParseError {
-    ParseError {
-        line,
-        reason: reason.into(),
-    }
-}
-
-fn parse_reg(line: usize, tok: &str) -> Result<Reg, ParseError> {
+fn parse_reg(line: usize, src: &str, tok: &str) -> Result<Reg, ParseError> {
     let tok = tok.trim().trim_end_matches(',');
     let idx = tok
         .strip_prefix('x')
         .and_then(|s| s.parse::<u8>().ok())
         .filter(|&i| (i as usize) < crate::reg::NUM_REGS)
-        .ok_or_else(|| err(line, format!("bad register `{tok}`")))?;
+        .ok_or_else(|| err(line, col_of(src, tok), format!("bad register `{tok}`")))?;
     Ok(Reg::new(idx))
 }
 
-fn parse_imm(line: usize, tok: &str) -> Result<i64, ParseError> {
+fn parse_imm(line: usize, src: &str, tok: &str) -> Result<i64, ParseError> {
     let tok = tok.trim().trim_end_matches(',');
     tok.parse::<i64>()
-        .map_err(|_| err(line, format!("bad immediate `{tok}`")))
+        .map_err(|_| err(line, col_of(src, tok), format!("bad immediate `{tok}`")))
 }
 
 fn parse_alu_op(tok: &str) -> Option<(AluOp, bool)> {
@@ -86,7 +82,7 @@ fn parse_alu_op(tok: &str) -> Option<(AluOp, bool)> {
     Some((op, imm))
 }
 
-fn parse_cond(line: usize, tok: &str) -> Result<Cond, ParseError> {
+fn parse_cond(line: usize, col: usize, tok: &str) -> Result<Cond, ParseError> {
     Ok(match tok.to_ascii_lowercase().as_str() {
         "eq" => Cond::Eq,
         "ne" => Cond::Ne,
@@ -94,46 +90,51 @@ fn parse_cond(line: usize, tok: &str) -> Result<Cond, ParseError> {
         "ge" => Cond::Ge,
         "ltu" => Cond::Ltu,
         "geu" => Cond::Geu,
-        other => return Err(err(line, format!("bad condition `{other}`"))),
+        other => return Err(err(line, col, format!("bad condition `{other}`"))),
     })
 }
 
 /// Parses `(xB + xI<<S)` into (base, index, shift).
-fn parse_indexed(line: usize, s: &str) -> Result<(Reg, Reg, u8), ParseError> {
-    let inner = s
-        .trim()
+fn parse_indexed(line: usize, src: &str, s: &str) -> Result<(Reg, Reg, u8), ParseError> {
+    let s_trim = s.trim();
+    let at = col_of(src, s_trim);
+    let inner = s_trim
         .strip_prefix('(')
         .and_then(|t| t.strip_suffix(')'))
-        .ok_or_else(|| err(line, format!("expected (base + index<<shift), got `{s}`")))?;
+        .ok_or_else(|| err(line, at, format!("expected (base + index<<shift), got `{s_trim}`")))?;
     let (b, rest) = inner
         .split_once('+')
-        .ok_or_else(|| err(line, "expected `+` in indexed operand"))?;
+        .ok_or_else(|| err(line, at, "expected `+` in indexed operand"))?;
     let (i, sh) = rest
         .split_once("<<")
-        .ok_or_else(|| err(line, "expected `<<` in indexed operand"))?;
+        .ok_or_else(|| err(line, at, "expected `<<` in indexed operand"))?;
     let shift = sh
         .trim()
         .parse::<u8>()
-        .map_err(|_| err(line, format!("bad shift `{sh}`")))?;
-    Ok((parse_reg(line, b)?, parse_reg(line, i)?, shift))
+        .map_err(|_| err(line, col_of(src, sh.trim()), format!("bad shift `{sh}`")))?;
+    Ok((parse_reg(line, src, b)?, parse_reg(line, src, i)?, shift))
 }
 
 /// Parses `OFF(xB)` into (base, offset).
-fn parse_based(line: usize, s: &str) -> Result<(Reg, i64), ParseError> {
-    let (off, rest) = s
-        .trim()
+fn parse_based(line: usize, src: &str, s: &str) -> Result<(Reg, i64), ParseError> {
+    let s_trim = s.trim();
+    let at = col_of(src, s_trim);
+    let (off, rest) = s_trim
         .split_once('(')
-        .ok_or_else(|| err(line, format!("expected off(base), got `{s}`")))?;
+        .ok_or_else(|| err(line, at, format!("expected off(base), got `{s_trim}`")))?;
     let base = rest
         .strip_suffix(')')
-        .ok_or_else(|| err(line, "missing `)`"))?;
-    Ok((parse_reg(line, base)?, parse_imm(line, off)?))
+        .ok_or_else(|| err(line, at, "missing `)`"))?;
+    Ok((parse_reg(line, src, base)?, parse_imm(line, src, off)?))
 }
 
-/// Parses one instruction line (without any `NNN:` prefix).
+/// Parses one instruction line (without any `NNN:` prefix). Error columns
+/// are relative to `text` as passed in.
 pub fn parse_inst(line: usize, text: &str) -> Result<Inst, ParseError> {
+    let src = text;
     let text = text.trim();
     let (mnemonic, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+    let mcol = col_of(src, mnemonic);
     let args: Vec<&str> = if rest.trim().is_empty() {
         Vec::new()
     } else {
@@ -145,6 +146,7 @@ pub fn parse_inst(line: usize, text: &str) -> Result<Inst, ParseError> {
         } else {
             Err(err(
                 line,
+                mcol,
                 format!("`{mnemonic}` expects {n} operands, got {}", args.len()),
             ))
         }
@@ -153,24 +155,24 @@ pub fn parse_inst(line: usize, text: &str) -> Result<Inst, ParseError> {
         "li" => {
             need(2)?;
             Ok(Inst::Li {
-                dst: parse_reg(line, args[0])?,
-                imm: parse_imm(line, args[1])?,
+                dst: parse_reg(line, src, args[0])?,
+                imm: parse_imm(line, src, args[1])?,
             })
         }
         "ld" => {
             need(2)?;
-            let (base, offset) = parse_based(line, args[1])?;
+            let (base, offset) = parse_based(line, src, args[1])?;
             Ok(Inst::Ld {
-                dst: parse_reg(line, args[0])?,
+                dst: parse_reg(line, src, args[0])?,
                 base,
                 offset,
             })
         }
         "ldx" => {
             need(2)?;
-            let (base, index, shift) = parse_indexed(line, args[1])?;
+            let (base, index, shift) = parse_indexed(line, src, args[1])?;
             Ok(Inst::LdX {
-                dst: parse_reg(line, args[0])?,
+                dst: parse_reg(line, src, args[0])?,
                 base,
                 index,
                 shift,
@@ -178,18 +180,18 @@ pub fn parse_inst(line: usize, text: &str) -> Result<Inst, ParseError> {
         }
         "st" => {
             need(2)?;
-            let (base, offset) = parse_based(line, args[1])?;
+            let (base, offset) = parse_based(line, src, args[1])?;
             Ok(Inst::St {
-                src: parse_reg(line, args[0])?,
+                src: parse_reg(line, src, args[0])?,
                 base,
                 offset,
             })
         }
         "stx" => {
             need(2)?;
-            let (base, index, shift) = parse_indexed(line, args[1])?;
+            let (base, index, shift) = parse_indexed(line, src, args[1])?;
             Ok(Inst::StX {
-                src: parse_reg(line, args[0])?,
+                src: parse_reg(line, src, args[0])?,
                 base,
                 index,
                 shift,
@@ -198,26 +200,26 @@ pub fn parse_inst(line: usize, text: &str) -> Result<Inst, ParseError> {
         "cmp" => {
             need(2)?;
             Ok(Inst::Cmp {
-                a: parse_reg(line, args[0])?,
-                b: parse_reg(line, args[1])?,
+                a: parse_reg(line, src, args[0])?,
+                b: parse_reg(line, src, args[1])?,
             })
         }
         "cmpi" => {
             need(2)?;
             Ok(Inst::CmpI {
-                a: parse_reg(line, args[0])?,
-                imm: parse_imm(line, args[1])?,
+                a: parse_reg(line, src, args[0])?,
+                imm: parse_imm(line, src, args[1])?,
             })
         }
         "j" => {
             need(1)?;
             let t = args[0]
                 .strip_prefix('@')
-                .ok_or_else(|| err(line, "jump target must be @N"))?;
+                .ok_or_else(|| err(line, col_of(src, args[0]), "jump target must be @N"))?;
             Ok(Inst::J {
                 target: t
                     .parse()
-                    .map_err(|_| err(line, format!("bad target `{t}`")))?,
+                    .map_err(|_| err(line, col_of(src, t), format!("bad target `{t}`")))?,
             })
         }
         "nop" => {
@@ -230,35 +232,37 @@ pub fn parse_inst(line: usize, text: &str) -> Result<Inst, ParseError> {
         }
         m if m.starts_with("b.") => {
             need(1)?;
-            let cond = parse_cond(line, &m[2..])?;
+            // `m` is a lowercased copy, so point the column at the condition
+            // suffix within the original mnemonic token.
+            let cond = parse_cond(line, mcol + 2, &m[2..])?;
             let t = args[0]
                 .strip_prefix('@')
-                .ok_or_else(|| err(line, "branch target must be @N"))?;
+                .ok_or_else(|| err(line, col_of(src, args[0]), "branch target must be @N"))?;
             Ok(Inst::B {
                 cond,
                 target: t
                     .parse()
-                    .map_err(|_| err(line, format!("bad target `{t}`")))?,
+                    .map_err(|_| err(line, col_of(src, t), format!("bad target `{t}`")))?,
             })
         }
         m => {
-            let (op, imm_form) =
-                parse_alu_op(m).ok_or_else(|| err(line, format!("unknown mnemonic `{m}`")))?;
+            let (op, imm_form) = parse_alu_op(m)
+                .ok_or_else(|| err(line, mcol, format!("unknown mnemonic `{mnemonic}`")))?;
             need(3)?;
-            let dst = parse_reg(line, args[0])?;
+            let dst = parse_reg(line, src, args[0])?;
             if imm_form {
                 Ok(Inst::AluI {
                     op,
                     dst,
-                    src: parse_reg(line, args[1])?,
-                    imm: parse_imm(line, args[2])?,
+                    src: parse_reg(line, src, args[1])?,
+                    imm: parse_imm(line, src, args[2])?,
                 })
             } else {
                 Ok(Inst::Alu {
                     op,
                     dst,
-                    a: parse_reg(line, args[1])?,
-                    b: parse_reg(line, args[2])?,
+                    a: parse_reg(line, src, args[1])?,
+                    b: parse_reg(line, src, args[2])?,
                 })
             }
         }
@@ -294,7 +298,8 @@ fn split_operands(s: &str) -> Vec<&str> {
 ///
 /// # Errors
 ///
-/// Returns the first [`ParseError`] encountered.
+/// Returns the first [`ParseError`] encountered, with `line` and `col`
+/// relative to the raw input text (prefix stripping does not shift columns).
 ///
 /// # Examples
 ///
@@ -330,7 +335,14 @@ pub fn parse_program(name: &str, text: &str) -> Result<Program, ParseError> {
         if line.is_empty() {
             continue;
         }
-        insts.push(parse_inst(line_no, line)?);
+        insts.push(parse_inst(line_no, line).map_err(|mut e| {
+            // `line` is a subslice of `raw`; shift the column so it indexes
+            // into the raw line, NNN: prefix and leading whitespace included.
+            if e.col > 0 {
+                e.col += line.as_ptr() as usize - raw.as_ptr() as usize;
+            }
+            e
+        })?);
     }
     Ok(Program::new(name, insts))
 }
@@ -380,7 +392,22 @@ mod tests {
     fn errors_carry_line_numbers() {
         let e = parse_program("e", "nop\nfrobnicate x1, x2, x3").unwrap_err();
         assert_eq!(e.line, 2);
+        assert_eq!(e.col, 1);
         assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn errors_carry_columns_in_raw_coordinates() {
+        // The bad register starts at byte 6 of the raw line (1-based col 7),
+        // after the `0: ` prefix that parse_program strips.
+        let e = parse_program("e", "0: li xbad, 1").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 7));
+        assert!(e.to_string().contains("column 7"));
+        assert!(e.to_string().contains("xbad"));
+
+        // Indented continuation lines shift too.
+        let e = parse_program("e", "nop\n   1: cmpi x1, zzz").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 16));
     }
 
     #[test]

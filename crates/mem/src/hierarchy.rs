@@ -249,6 +249,42 @@ impl<S: TraceSink> MemoryHierarchy<S> {
         self.dram.reads() + self.dram.writes()
     }
 
+    /// Outstanding L1-D MSHR entries at `now` (watchdog diagnostics).
+    pub fn mshrs_in_flight(&mut self, now: u64) -> usize {
+        self.mshrs.in_flight(now)
+    }
+
+    /// Checks the hierarchy's cross-counter identities, which hold by
+    /// construction and break only under real accounting bugs:
+    ///
+    /// * every demand L2 miss goes to DRAM exactly once, so
+    ///   `dram_demand_data == l2_misses`;
+    /// * only demand L1-D misses that neither coalesce nor hit an in-flight
+    ///   line reach the L2, so `l2_hits + l2_misses <= l1d_misses`;
+    /// * the MSHR file's retire watermark must not strand entries
+    ///   ([`MshrFile::check_invariants`]).
+    ///
+    /// Runs in O(MSHR capacity); callers check once per completed run, so
+    /// violations surface in release builds too (not just debug asserts).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let s = &self.stats;
+        if s.dram_demand_data != s.l2_misses {
+            return Err(format!(
+                "demand DRAM traffic diverged from L2 misses: \
+                 dram_demand_data={} l2_misses={}",
+                s.dram_demand_data, s.l2_misses
+            ));
+        }
+        if s.l2_hits + s.l2_misses > s.l1d_misses {
+            return Err(format!(
+                "more demand L2 lookups than L1-D misses: l2_hits={} \
+                 l2_misses={} l1d_misses={}",
+                s.l2_hits, s.l2_misses, s.l1d_misses
+            ));
+        }
+        self.mshrs.check_invariants()
+    }
+
     /// Performs a data-side access without prefetcher training (used
     /// internally and by SVR transient lanes via `Prefetch(Svr)`).
     fn access_data_path(&mut self, now: u64, addr: u64, kind: AccessKind) -> AccessResult {

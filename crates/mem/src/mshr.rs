@@ -107,6 +107,31 @@ impl MshrFile {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Verifies internal consistency: the file must never exceed its
+    /// capacity, and the cached `min_ready` watermark must sit at or below
+    /// every live entry's completion time. A watermark above an entry would
+    /// make [`MshrFile::retire`]'s early-out skip that entry forever — a
+    /// leaked MSHR that eventually wedges the whole hierarchy.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.entries.len() > self.capacity {
+            return Err(format!(
+                "MSHR overflow: {} live entries exceed capacity {}",
+                self.entries.len(),
+                self.capacity
+            ));
+        }
+        for &(line, ready) in &self.entries {
+            if ready < self.min_ready {
+                return Err(format!(
+                    "leaked MSHR: line {line:#x} fills at {ready}, below the \
+                     retire watermark {} (retire would never free it)",
+                    self.min_ready
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,128 @@
+//! Crash flight recorder: when a sweep job dies (panic, watchdog trip,
+//! invariant violation), the last-K trace events from the job's
+//! [`svr_trace::RingSink`] plus the failing point's identity and the
+//! structured [`SimError`] are dumped to one JSON file under
+//! `results/crash/` (override with `$SVR_CRASH_DIR`).
+//!
+//! The simulator is deterministic, so the dump is produced by *re-running*
+//! the failing point with tracing attached — the first (untraced, fast)
+//! attempt only decides whether a dump is needed. The events in the dump are
+//! therefore exactly the events leading into the failure, not a lossy
+//! sample of a different run.
+
+use crate::error::SimError;
+use crate::json::Json;
+use std::io;
+use std::path::{Path, PathBuf};
+use svr_trace::RingSink;
+
+/// The crash-dump directory: `$SVR_CRASH_DIR` or `results/crash`.
+pub fn default_crash_dir() -> PathBuf {
+    std::env::var("SVR_CRASH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results/crash"))
+}
+
+/// Maps a workload/config pair to a filesystem-safe dump filename.
+/// Config labels contain `/` ("SVR16/mshr4"), which must not create
+/// subdirectories.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Writes a crash dump for one failed job and returns its path.
+///
+/// Schema (documented in DESIGN.md §Robustness):
+///
+/// ```json
+/// {
+///   "workload": "DiagSpin", "config": "SVR16",
+///   "cache_key": "v3;wl=DiagSpin;...",
+///   "error": { "kind": "no_forward_progress", "message": "...", ... },
+///   "events_total": 12345, "events_dropped": 12000,
+///   "events": [ { "kind": "retire", ... }, ... ]
+/// }
+/// ```
+///
+/// `events` holds the last `ring.len()` events (the ring's capacity bounds
+/// K); `events_total`/`events_dropped` say how much history was discarded.
+/// The write is atomic (tmp + rename) so a dump is never observed torn.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the directory cannot be created or
+/// the file cannot be written; callers treat dumps as best-effort.
+pub fn write_crash_dump(
+    dir: &Path,
+    workload: &str,
+    config: &str,
+    cache_key: &str,
+    error: &SimError,
+    ring: &RingSink,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let events: Vec<Json> = ring.iter().map(|e| e.to_json()).collect();
+    let doc = Json::Obj(vec![
+        ("workload".into(), Json::str(workload)),
+        ("config".into(), Json::str(config)),
+        ("cache_key".into(), Json::str(cache_key)),
+        ("error".into(), error.to_json()),
+        ("events_total".into(), Json::u64(ring.total())),
+        ("events_dropped".into(), Json::u64(ring.dropped())),
+        ("events".into(), Json::Arr(events)),
+    ]);
+    let name = format!("{}_{}.json", sanitize(workload), sanitize(config));
+    let path = dir.join(&name);
+    let tmp = dir.join(format!("{name}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, doc.pretty())?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svr_trace::{TraceEvent, TraceSink};
+
+    #[test]
+    fn sanitize_flattens_path_separators() {
+        assert_eq!(sanitize("SVR16/mshr4"), "SVR16_mshr4");
+        assert_eq!(sanitize("PR_KR"), "PR_KR");
+        assert_eq!(sanitize("a b:c"), "a_b_c");
+    }
+
+    #[test]
+    fn dump_roundtrips_events_and_error() {
+        let dir = std::env::temp_dir().join(format!("svr-crash-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut ring = RingSink::new(4);
+        for i in 0..6 {
+            ring.emit(&TraceEvent::MshrCoalesce { cycle: i, line: i });
+        }
+        let err = SimError::Panic {
+            workload: "W".into(),
+            config: "SVR16/mshr4".into(),
+            message: "boom".into(),
+        };
+        let path = write_crash_dump(&dir, "W", "SVR16/mshr4", "v3;wl=W", &err, &ring)
+            .expect("dump written");
+        assert_eq!(path.file_name().unwrap(), "W_SVR16_mshr4.json");
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("events_total").and_then(Json::as_u64), Some(6));
+        assert_eq!(doc.get("events_dropped").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("events").and_then(Json::as_arr).unwrap().len(), 4);
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("panic")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

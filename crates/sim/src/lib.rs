@@ -13,12 +13,14 @@
 //! use svr_sim::{run_kernel, SimConfig};
 //! use svr_workloads::{Kernel, Scale};
 //!
-//! let base = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder());
-//! let svr = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16));
+//! let base = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder()).unwrap();
+//! let svr = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16)).unwrap();
 //! assert!(svr.core.cycles < base.core.cycles, "SVR speeds up Camel");
 //! ```
 
 mod config;
+mod crash;
+mod error;
 mod report;
 mod runner;
 mod sweep;
@@ -29,6 +31,8 @@ mod sweep;
 pub use svr_trace::json;
 
 pub use config::{ConfigError, CoreChoice, SimConfig, TraceConfig};
+pub use crash::{default_crash_dir, write_crash_dump};
+pub use error::SimError;
 pub use json::Json;
 pub use report::{report_from_json, report_to_json};
 pub use runner::{
@@ -36,7 +40,8 @@ pub use runner::{
     run_workload_traced, RunReport,
 };
 pub use sweep::{
-    fnv1a64, JobSource, JobTrace, Sweep, SweepResult, SweepStats, CACHE_FORMAT_VERSION,
+    fnv1a64, JobError, JobResult, JobSource, JobTrace, Sweep, SweepResult, SweepStats,
+    CACHE_FORMAT_VERSION,
 };
 
 /// Groups reports by the kernel group label and averages a metric within
@@ -98,8 +103,8 @@ mod tests {
 
     #[test]
     fn svr_beats_inorder_on_tiny_camel() {
-        let base = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder());
-        let svr = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16));
+        let base = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder()).unwrap();
+        let svr = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16)).unwrap();
         assert!(svr.core.cycles < base.core.cycles);
     }
 }

@@ -1,6 +1,7 @@
 //! Running workloads under configurations and collecting reports.
 
-use crate::config::{ConfigError, CoreChoice, SimConfig};
+use crate::config::{CoreChoice, SimConfig};
+use crate::error::SimError;
 use svr_core::{CoreStats, InOrderCore, OooCore};
 use svr_energy::{CoreKind, EnergyBreakdown, EnergyInput, EnergyModel};
 use svr_mem::MemStats;
@@ -51,15 +52,23 @@ impl RunReport {
 ///
 /// # Errors
 ///
-/// Returns a [`ConfigError`] (naming the workload and configuration label)
-/// if the configuration is internally inconsistent (see
-/// [`SimConfig::validate`]) — e.g. [`CoreChoice::Imp`] without an attached
-/// `ImpConfig`, which would silently simulate the plain in-order baseline.
+/// Returns a [`SimError`] naming the workload and configuration label:
+///
+/// * [`SimError::Config`] if the configuration is internally inconsistent
+///   (see [`SimConfig::validate`]) — e.g. [`CoreChoice::Imp`] without an
+///   attached `ImpConfig`, which would silently simulate the plain in-order
+///   baseline;
+/// * [`SimError::NoForwardProgress`] / [`SimError::CycleBudgetExceeded`] if
+///   the watchdog terminated a livelocked or runaway guest (see
+///   [`svr_core::WatchdogConfig`]);
+/// * [`SimError::InvariantViolation`] if a post-run simulator self-check
+///   failed — checked in release builds too, so accounting bugs surface in
+///   real sweeps and not only under `debug_assert!`.
 pub fn run_workload(
     workload: &Workload,
     config: &SimConfig,
     max_insts: u64,
-) -> Result<RunReport, ConfigError> {
+) -> Result<RunReport, SimError> {
     run_workload_traced(workload, config, max_insts, &mut NullSink)
 }
 
@@ -80,34 +89,75 @@ pub fn run_workload_traced<S: TraceSink>(
     config: &SimConfig,
     max_insts: u64,
     sink: &mut S,
-) -> Result<RunReport, ConfigError> {
+) -> Result<RunReport, SimError> {
     config
         .validate()
         .map_err(|e| e.for_workload(&workload.name))?;
+    let label = config.label();
     let (program, mut image, mut arch) = workload.instantiate();
-    let (core_stats, mem_stats, kind) = match &config.core {
+    // Each arm runs the core to completion, then checks the memory
+    // hierarchy's cross-counter invariants while the core still owns it.
+    let (core_stats, mem_stats, kind, mem_check) = match &config.core {
         CoreChoice::InOrder | CoreChoice::Imp => {
             let mut core = InOrderCore::with_sink(config.inorder, config.mem.clone(), sink);
-            core.run(&program, &mut image, &mut arch, max_insts);
-            (*core.stats(), *core.mem_stats(), CoreKind::InOrder)
+            core.run(&program, &mut image, &mut arch, max_insts)
+                .map_err(|e| SimError::from_run_error(e, &workload.name, &label))?;
+            let check = core.hierarchy().check_invariants();
+            (*core.stats(), *core.mem_stats(), CoreKind::InOrder, check)
         }
         CoreChoice::Svr(svr) => {
             let mut core =
                 InOrderCore::with_svr_sink(config.inorder, config.mem.clone(), *svr, sink);
-            core.run(&program, &mut image, &mut arch, max_insts);
-            (*core.stats(), *core.mem_stats(), CoreKind::InOrder)
+            core.run(&program, &mut image, &mut arch, max_insts)
+                .map_err(|e| SimError::from_run_error(e, &workload.name, &label))?;
+            let check = core.hierarchy().check_invariants();
+            (*core.stats(), *core.mem_stats(), CoreKind::InOrder, check)
         }
         CoreChoice::OutOfOrder => {
             let mut core = OooCore::with_sink(config.ooo, config.mem.clone(), sink);
-            core.run(&program, &mut image, &mut arch, max_insts);
-            (*core.stats(), *core.mem_stats(), CoreKind::OutOfOrder)
+            core.run(&program, &mut image, &mut arch, max_insts)
+                .map_err(|e| SimError::from_run_error(e, &workload.name, &label))?;
+            let check = core.hierarchy().check_invariants();
+            (*core.stats(), *core.mem_stats(), CoreKind::OutOfOrder, check)
         }
     };
+    let violation = |invariant: &str, detail: String| SimError::InvariantViolation {
+        workload: workload.name.clone(),
+        config: label.clone(),
+        invariant: invariant.to_string(),
+        detail,
+    };
+    if let Err(detail) = mem_check {
+        return Err(violation("mem-counters", detail));
+    }
+    // CPI-stack drift: every simulated cycle must be attributed to exactly
+    // one stall bucket (pinned exact on both cores).
+    if core_stats.stack.total() != core_stats.cycles {
+        return Err(violation(
+            "cpi-stack",
+            format!(
+                "stack attributes {} cycles but the core ran {}",
+                core_stats.stack.total(),
+                core_stats.cycles
+            ),
+        ));
+    }
+    // Retire-count mismatch: the run loop may only end by halting or by
+    // exhausting the instruction cap; anything else is a lost instruction.
+    if !arch.halted() && core_stats.retired < max_insts {
+        return Err(violation(
+            "retire-count",
+            format!(
+                "run ended without halt after {} of {max_insts} instructions",
+                core_stats.retired
+            ),
+        ));
+    }
     let energy = EnergyModel::default().energy(&energy_input(&core_stats, &mem_stats, kind));
     let verified = !arch.halted() || workload.verify(&image, &arch);
     Ok(RunReport {
         workload: workload.name.clone(),
-        config: config.label(),
+        config: label,
         core: core_stats,
         mem: mem_stats,
         energy,
@@ -117,13 +167,14 @@ pub fn run_workload_traced<S: TraceSink>(
 
 /// Builds and runs a registry kernel (convenience wrapper).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an invalid `SimConfig` (the message starts with
-/// "invalid SimConfig"); use [`run_workload`] to handle the error instead.
-pub fn run_kernel(kernel: Kernel, scale: Scale, config: &SimConfig) -> RunReport {
+/// Same contract as [`run_workload`]; registry kernels terminate and their
+/// configurations are valid, so callers that only use paper kernels and
+/// [`SimConfig`] constructors typically `.expect(...)` the result.
+pub fn run_kernel(kernel: Kernel, scale: Scale, config: &SimConfig) -> Result<RunReport, SimError> {
     let w = kernel.build(scale);
-    run_workload(&w, config, scale.max_insts()).unwrap_or_else(|e| panic!("{e}"))
+    run_workload(&w, config, scale.max_insts())
 }
 
 /// Assembles the energy-model event counts from simulator statistics.
@@ -166,12 +217,22 @@ pub fn harmonic_mean_speedup(base: &[RunReport], new: &[RunReport]) -> f64 {
 }
 
 /// Runs `jobs` across `threads` OS threads; results come back in job order.
-pub fn run_parallel(jobs: Vec<(Kernel, Scale, SimConfig)>, threads: usize) -> Vec<RunReport> {
+///
+/// # Errors
+///
+/// If any job fails, the error of the *earliest* failing job (in declaration
+/// order, independent of thread interleaving) is returned; the remaining
+/// jobs still run to completion first, so a transient failure never leaves
+/// detached worker threads behind.
+pub fn run_parallel(
+    jobs: Vec<(Kernel, Scale, SimConfig)>,
+    threads: usize,
+) -> Result<Vec<RunReport>, SimError> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     let n = jobs.len();
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; n]);
+    let results: Mutex<Vec<Option<Result<RunReport, SimError>>>> = Mutex::new(vec![None; n]);
     {
         let jobs = &jobs;
         let next = &next;
@@ -185,14 +246,18 @@ pub fn run_parallel(jobs: Vec<(Kernel, Scale, SimConfig)>, threads: usize) -> Ve
                     }
                     let (kernel, scale, config) = &jobs[i];
                     let report = run_kernel(*kernel, *scale, config);
-                    results.lock().expect("no poisoned runs")[i] = Some(report);
+                    // A worker that panicked while holding the lock poisons
+                    // it; the data (one slot per job) is still consistent.
+                    results
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())[i] = Some(report);
                 });
             }
         });
     }
     results
         .into_inner()
-        .expect("threads joined")
+        .unwrap_or_else(|p| p.into_inner())
         .into_iter()
         .map(|r| r.expect("all jobs completed"))
         .collect()
@@ -205,7 +270,7 @@ mod tests {
 
     #[test]
     fn run_kernel_produces_verified_report() {
-        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder());
+        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder()).expect("camel runs");
         assert!(r.verified, "camel must verify");
         assert!(r.cpi() > 0.0);
         assert!(r.nj_per_inst() > 0.0);
@@ -215,7 +280,7 @@ mod tests {
 
     #[test]
     fn svr_report_contains_activity() {
-        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16));
+        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16)).expect("camel runs");
         assert!(r.core.svr.prm_rounds > 0);
         assert!(r.svr_accuracy().is_some());
         assert!(r.verified);
@@ -275,26 +340,26 @@ mod tests {
 
     #[test]
     fn imp_config_actually_prefetches() {
-        let r = run_kernel(Kernel::NasIs, Scale::Tiny, &SimConfig::imp());
+        let r = run_kernel(Kernel::NasIs, Scale::Tiny, &SimConfig::imp()).expect("IS runs");
         assert!(r.mem.imp.issued > 0, "IMP should fire on IS");
-        let r2 = run_kernel(Kernel::NasIs, Scale::Tiny, &SimConfig::inorder());
+        let r2 = run_kernel(Kernel::NasIs, Scale::Tiny, &SimConfig::inorder()).expect("IS runs");
         assert_eq!(r2.mem.imp.issued, 0);
     }
 
     #[test]
-    #[should_panic(expected = "invalid SimConfig")]
     fn degenerate_imp_config_is_rejected() {
         let mut cfg = SimConfig::imp();
         cfg.mem.imp = None; // representable, but silently equals plain InO
-        run_kernel(Kernel::Camel, Scale::Tiny, &cfg);
+        let err = run_kernel(Kernel::Camel, Scale::Tiny, &cfg).expect_err("must be rejected");
+        assert!(err.to_string().starts_with("invalid SimConfig"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "invalid SimConfig")]
     fn imp_prefetcher_under_wrong_core_is_rejected() {
         let mut cfg = SimConfig::svr(16);
         cfg.mem.imp = Some(svr_mem::prefetch::ImpConfig::default());
-        run_kernel(Kernel::Camel, Scale::Tiny, &cfg);
+        let err = run_kernel(Kernel::Camel, Scale::Tiny, &cfg).expect_err("must be rejected");
+        assert!(err.to_string().starts_with("invalid SimConfig"), "{err}");
     }
 
     #[test]
@@ -303,10 +368,31 @@ mod tests {
         cfg.mem.imp = None;
         let w = Kernel::Camel.build(Scale::Tiny);
         let err = run_workload(&w, &cfg, 1000).expect_err("degenerate IMP must be rejected");
-        assert_eq!(err.workload.as_deref(), Some("Camel"));
-        assert_eq!(err.config, "IMP");
+        assert_eq!(err.kind_name(), "config");
+        assert_eq!(err.workload(), Some("Camel"));
+        assert_eq!(err.config(), "IMP");
         assert!(
             err.to_string().starts_with("invalid SimConfig"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn watchdog_errors_carry_run_context() {
+        // A pathologically small cycle budget trips on a healthy kernel,
+        // proving the core error is wrapped with workload/config context.
+        let mut cfg = SimConfig::inorder();
+        cfg.inorder.watchdog.cycles_per_inst = 0; // budget = 0 would disable;
+        cfg.inorder.watchdog.progress_window = 1; // ...window of 1 must trip.
+        let err = run_kernel(Kernel::Camel, Scale::Tiny, &cfg)
+            .expect_err("a 1-cycle progress window cannot be met");
+        assert_eq!(err.workload(), Some("Camel"));
+        assert_eq!(err.config(), "InO");
+        assert!(
+            matches!(
+                err,
+                SimError::NoForwardProgress { .. } | SimError::CycleBudgetExceeded { .. }
+            ),
             "{err}"
         );
     }
@@ -330,8 +416,11 @@ mod tests {
             (Kernel::Camel, Scale::Tiny, SimConfig::inorder()),
             (Kernel::Pr(GraphInput::Ur), Scale::Tiny, SimConfig::svr(16)),
         ];
-        let par = run_parallel(jobs.clone(), 2);
-        let ser: Vec<RunReport> = jobs.iter().map(|(k, s, c)| run_kernel(*k, *s, c)).collect();
+        let par = run_parallel(jobs.clone(), 2).expect("all jobs valid");
+        let ser: Vec<RunReport> = jobs
+            .iter()
+            .map(|(k, s, c)| run_kernel(*k, *s, c).expect("job valid"))
+            .collect();
         for (a, b) in par.iter().zip(&ser) {
             assert_eq!(a.workload, b.workload);
             assert_eq!(a.core.cycles, b.core.cycles, "determinism violated");

@@ -1,6 +1,10 @@
 //! The experiment engine: declarative sweeps over (workload × configuration)
 //! grids with point deduplication, an on-disk result cache, parallel
-//! execution and per-job tracing.
+//! execution, per-job tracing — and a hardened failure path: every job runs
+//! panic-isolated, failures come back as structured [`JobError`]s instead of
+//! tearing down the sweep, a journal of completed points makes a killed
+//! sweep resumable with zero recomputation, and failing jobs leave a crash
+//! dump behind (see [`crate::crash`]).
 //!
 //! Every figure of the paper is a sweep over the same few suites and design
 //! points, and many figures share points (all sensitivity studies re-run the
@@ -25,13 +29,19 @@
 //! ```
 
 use crate::config::{ConfigError, SimConfig};
+use crate::crash::{default_crash_dir, write_crash_dump};
+use crate::error::SimError;
 use crate::json::Json;
 use crate::report::{report_from_json, report_to_json};
-use crate::runner::{run_workload, RunReport};
-use std::collections::HashMap;
+use crate::runner::{run_workload, run_workload_traced, RunReport};
+use std::collections::{HashMap, HashSet};
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::Instant;
-use svr_workloads::{Kernel, Scale};
+use svr_trace::RingSink;
+use svr_workloads::{Kernel, Scale, Workload};
 
 /// Bump when the cache-entry layout or simulator semantics change in a way
 /// that invalidates stored reports; old entries then simply stop matching.
@@ -58,7 +68,42 @@ pub enum JobSource {
     Simulated,
     /// Loaded from the on-disk result cache.
     Cached,
+    /// Loaded from the cache *and* recorded in this sweep's journal — i.e.
+    /// completed by an earlier (killed) invocation of the same sweep.
+    Journal,
+    /// The job failed; see the matching [`JobError`].
+    Failed,
 }
+
+/// One failed sweep job: the structured error plus the crash-dump path when
+/// the flight recorder managed to write one.
+#[derive(Debug, Clone)]
+pub struct JobError {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label.
+    pub config: String,
+    /// What went wrong.
+    pub error: SimError,
+    /// Where the crash dump landed, if one was written.
+    pub crash_dump: Option<PathBuf>,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.error.fmt(f)?;
+        if let Some(p) = &self.crash_dump {
+            write!(f, " (crash dump: {})", p.display())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// The outcome of one sweep job: a report, or the structured failure that
+/// replaced it.
+pub type JobResult = Result<RunReport, JobError>;
 
 /// Trace record for one resolved design point (the progress hook payload).
 #[derive(Debug, Clone)]
@@ -84,6 +129,11 @@ pub struct SweepStats {
     pub simulated: usize,
     /// Points resolved from the on-disk cache.
     pub cache_hits: usize,
+    /// Cache hits that were journaled by a killed invocation of this sweep
+    /// (a subset of `cache_hits`).
+    pub journal_hits: usize,
+    /// Points whose job failed (panic, watchdog, invariant violation).
+    pub failed: usize,
     /// Pairs that aliased an identical point inside this sweep.
     pub deduped: usize,
     /// Total wall time of the sweep in milliseconds.
@@ -94,11 +144,14 @@ impl SweepStats {
     /// One-line human summary (binaries print this to stderr).
     pub fn summary(&self) -> String {
         format!(
-            "[sweep] pairs={} points={} simulated={} cached={} deduped={} wall={:.1}s",
+            "[sweep] pairs={} points={} simulated={} cached={} journal={} \
+             failed={} deduped={} wall={:.1}s",
             self.pairs,
             self.points,
             self.simulated,
             self.cache_hits,
+            self.journal_hits,
+            self.failed,
             self.deduped,
             self.wall_ms as f64 / 1e3
         )
@@ -111,12 +164,14 @@ pub struct Sweep {
     scale: Scale,
     configs: Vec<SimConfig>,
     cache_dir: Option<PathBuf>,
+    crash_dir: Option<PathBuf>,
     on_job: Option<fn(&JobTrace)>,
 }
 
 impl Sweep {
     /// Sweep of `suite` at `scale`. The result cache defaults to
-    /// `$SVR_CACHE_DIR` or `results/cache`; see [`Sweep::no_cache`].
+    /// `$SVR_CACHE_DIR` or `results/cache`; see [`Sweep::no_cache`]. Crash
+    /// dumps default to `$SVR_CRASH_DIR` or `results/crash`.
     pub fn new(suite: Vec<Kernel>, scale: Scale) -> Self {
         let dir = std::env::var("SVR_CACHE_DIR").unwrap_or_else(|_| "results/cache".into());
         Sweep {
@@ -124,6 +179,7 @@ impl Sweep {
             scale,
             configs: Vec::new(),
             cache_dir: Some(PathBuf::from(dir)),
+            crash_dir: Some(default_crash_dir()),
             on_job: None,
         }
     }
@@ -140,7 +196,8 @@ impl Sweep {
         self
     }
 
-    /// Disables the on-disk result cache (in-sweep dedup still applies).
+    /// Disables the on-disk result cache (in-sweep dedup still applies; the
+    /// resume journal is also disabled, since it lives in the cache dir).
     pub fn no_cache(mut self) -> Self {
         self.cache_dir = None;
         self
@@ -149,6 +206,19 @@ impl Sweep {
     /// Uses `dir` for the on-disk result cache.
     pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Uses `dir` for crash dumps (the flight recorder output).
+    pub fn crash_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.crash_dir = Some(dir.into());
+        self
+    }
+
+    /// Disables the crash flight recorder (failures still come back as
+    /// structured [`JobError`]s, just without a dump on disk).
+    pub fn no_crash_dumps(mut self) -> Self {
+        self.crash_dir = None;
         self
     }
 
@@ -165,17 +235,31 @@ impl Sweep {
     ///
     /// # Panics
     ///
-    /// Panics if any configuration fails [`SimConfig::validate`]; see
+    /// Panics if any configuration fails [`SimConfig::validate`] or if any
+    /// job failed (listing every failure and its crash dump); see
     /// [`Sweep::try_run`] for the non-panicking form.
     pub fn run(self, threads: usize) -> SweepResult {
-        self.try_run(threads).unwrap_or_else(|e| panic!("{e}"))
+        let res = self.try_run(threads).unwrap_or_else(|e| panic!("{e}"));
+        let errors = res.errors();
+        if !errors.is_empty() {
+            let lines: Vec<String> = errors.iter().map(|e| format!("  {e}")).collect();
+            panic!("{} sweep job(s) failed:\n{}", errors.len(), lines.join("\n"));
+        }
+        res
     }
 
-    /// [`Sweep::run`], but an invalid configuration is surfaced as a
-    /// [`ConfigError`] naming the offending point (config label, and the
-    /// first workload of the suite it would have run against) instead of a
-    /// panic from a worker thread. Every configuration is validated eagerly
-    /// before any simulation starts.
+    /// [`Sweep::run`], but failures are data instead of panics:
+    ///
+    /// * an invalid configuration is surfaced eagerly as a [`ConfigError`]
+    ///   naming the offending point, before any simulation starts;
+    /// * a job that panics, trips the watchdog, or violates a simulator
+    ///   invariant becomes a [`JobError`] on its own grid slot — sibling
+    ///   jobs complete normally ([`SweepResult::errors`] lists failures).
+    ///
+    /// When the cache is enabled, completed points are journaled under
+    /// `<cache_dir>/journal/`; re-running an identical sweep after a kill
+    /// resumes from the journal with zero recomputation, and a sweep that
+    /// completes with no failures removes its journal.
     pub fn try_run(self, threads: usize) -> Result<SweepResult, ConfigError> {
         let t0 = Instant::now();
         for cfg in &self.configs {
@@ -195,7 +279,7 @@ impl Sweep {
             config: SimConfig,
             key: String,
             hash: u64,
-            report: Option<RunReport>,
+            outcome: Option<JobResult>,
         }
         let mut points: Vec<Point> = Vec::new();
         let mut by_hash: HashMap<u64, usize> = HashMap::new();
@@ -217,7 +301,7 @@ impl Sweep {
                         config: cfg.clone(),
                         key,
                         hash,
-                        report: None,
+                        outcome: None,
                     });
                     points.len() - 1
                 });
@@ -230,20 +314,38 @@ impl Sweep {
 
         let mut traces: Vec<JobTrace> = Vec::with_capacity(points.len());
 
+        // The resume journal is keyed by the full point set, so "the same
+        // sweep, invoked again" maps to the same journal file.
+        let journal = self.cache_dir.as_ref().map(|dir| {
+            let mut id_src = String::new();
+            for p in &points {
+                id_src.push_str(&p.key);
+                id_src.push('\n');
+            }
+            Journal::new(dir, fnv1a64(&id_src))
+        });
+        let journaled: HashSet<u64> = journal.as_ref().map(Journal::load).unwrap_or_default();
+
         // Probe the on-disk cache.
         if let Some(dir) = &self.cache_dir {
             for p in &mut points {
                 let t = Instant::now();
                 if let Some(report) = load_cached(dir, p.hash, &p.key) {
+                    let source = if journaled.contains(&p.hash) {
+                        stats.journal_hits += 1;
+                        JobSource::Journal
+                    } else {
+                        JobSource::Cached
+                    };
                     let trace = JobTrace {
                         workload: report.workload.clone(),
                         config: report.config.clone(),
-                        source: JobSource::Cached,
+                        source,
                         wall_ms: t.elapsed().as_secs_f64() * 1e3,
                     };
                     emit(&self.on_job, &trace);
                     traces.push(trace);
-                    p.report = Some(report);
+                    p.outcome = Some(Ok(report));
                     stats.cache_hits += 1;
                 }
             }
@@ -256,13 +358,16 @@ impl Sweep {
         // per-point `run_kernel` spent most of the sweep rebuilding identical
         // inputs. Workers claim whole groups; the built workload is reused
         // for every configuration in the group and dropped before the next.
+        //
+        // Every job — including workload construction — runs panic-isolated:
+        // one failing point (panic, watchdog trip, invariant violation)
+        // becomes a `JobError` on its own slot and its siblings finish
+        // normally.
         let todo: Vec<usize> = (0..points.len())
-            .filter(|&i| points[i].report.is_none())
+            .filter(|&i| points[i].outcome.is_none())
             .collect();
-        stats.simulated = todo.len();
         if !todo.is_empty() {
             use std::sync::atomic::{AtomicUsize, Ordering};
-            use std::sync::Mutex;
             let mut groups: Vec<(Kernel, Vec<usize>)> = Vec::new();
             for &i in &todo {
                 let k = points[i].kernel;
@@ -272,10 +377,12 @@ impl Sweep {
                 }
             }
             let next = AtomicUsize::new(0);
-            let done: Mutex<Vec<(usize, RunReport, JobTrace)>> =
+            let done: Mutex<Vec<(usize, JobResult, JobTrace)>> =
                 Mutex::new(Vec::with_capacity(todo.len()));
             let scale = self.scale;
             let cache_dir = self.cache_dir.as_deref();
+            let crash_dir = self.crash_dir.as_deref();
+            let journal = journal.as_ref();
             let on_job = self.on_job;
             {
                 let groups = &groups;
@@ -290,48 +397,243 @@ impl Sweep {
                                 break;
                             }
                             let (kernel, idxs) = &groups[g];
-                            let workload = kernel.build(scale);
+                            // Workload construction can panic too (a build
+                            // bug); that fails this group's points only.
+                            let built = catch_unwind(AssertUnwindSafe(|| kernel.build(scale)));
+                            let workload = match built {
+                                Ok(w) => w,
+                                Err(payload) => {
+                                    let msg = panic_message(payload);
+                                    for &idx in idxs {
+                                        let p = &points[idx];
+                                        let job = build_failure(
+                                            kernel,
+                                            p.config.label(),
+                                            &p.key,
+                                            &msg,
+                                            crash_dir,
+                                        );
+                                        let trace = JobTrace {
+                                            workload: job.workload.clone(),
+                                            config: job.config.clone(),
+                                            source: JobSource::Failed,
+                                            wall_ms: 0.0,
+                                        };
+                                        emit(&on_job, &trace);
+                                        lock_ok(done).push((idx, Err(job), trace));
+                                    }
+                                    continue;
+                                }
+                            };
                             for &idx in idxs {
                                 let p = &points[idx];
                                 let t = Instant::now();
-                                let report = run_workload(&workload, &p.config, scale.max_insts())
-                                    .expect("configs validated before the sweep started");
+                                let result = simulate_point(
+                                    &workload, &p.config, &p.key, scale, crash_dir,
+                                );
+                                let source = match &result {
+                                    Ok(report) => {
+                                        if let Some(dir) = cache_dir {
+                                            store_cached(dir, p.hash, &p.key, scale, report);
+                                        }
+                                        if let Some(j) = journal {
+                                            j.append(p.hash);
+                                        }
+                                        JobSource::Simulated
+                                    }
+                                    Err(_) => JobSource::Failed,
+                                };
                                 let trace = JobTrace {
-                                    workload: report.workload.clone(),
-                                    config: report.config.clone(),
-                                    source: JobSource::Simulated,
+                                    workload: workload.name.clone(),
+                                    config: p.config.label(),
+                                    source,
                                     wall_ms: t.elapsed().as_secs_f64() * 1e3,
                                 };
-                                if let Some(dir) = cache_dir {
-                                    store_cached(dir, p.hash, &p.key, scale, &report);
-                                }
                                 emit(&on_job, &trace);
-                                done.lock()
-                                    .expect("no poisoned sweeps")
-                                    .push((idx, report, trace));
+                                lock_ok(done).push((idx, result, trace));
                             }
                         });
                     }
                 });
             }
-            for (idx, report, trace) in done.into_inner().expect("threads joined") {
-                points[idx].report = Some(report);
+            for (idx, outcome, trace) in lock_ok(&done).drain(..) {
+                points[idx].outcome = Some(outcome);
                 traces.push(trace);
             }
         }
 
+        let reports: Vec<JobResult> = points
+            .into_iter()
+            .map(
+                #[allow(clippy::result_large_err)] // cold path: errors only exist on failed jobs
+                |p| p.outcome.expect("all points resolved"),
+            )
+            .collect();
+        stats.failed = reports.iter().filter(|r| r.is_err()).count();
+        stats.simulated = todo.len() - stats.failed;
+        // A fully successful sweep no longer needs its journal (the cache
+        // answers everything); keep it when anything failed, so a fixed
+        // re-run still skips the completed points.
+        if stats.failed == 0 {
+            if let Some(j) = &journal {
+                j.remove();
+            }
+        }
         stats.wall_ms = t0.elapsed().as_millis() as u64;
         Ok(SweepResult {
             suite: self.suite,
             config_labels: self.configs.iter().map(SimConfig::label).collect(),
             point_of,
-            reports: points
-                .into_iter()
-                .map(|p| p.report.expect("all points resolved"))
-                .collect(),
+            reports,
             traces,
             stats,
         })
+    }
+}
+
+/// Locks a mutex, riding through poisoning: a panicking sweep worker is
+/// already caught at the job boundary, and the per-slot data is consistent.
+fn lock_ok<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Renders a panic payload (the common `&str`/`String` cases).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs one point panic-isolated, with one bounded retry.
+///
+/// The first attempt is untraced (full speed). If it fails *in any way* —
+/// panic or structured error — the point is retried once with the ring sink
+/// attached: the simulator is deterministic, so a real failure reproduces
+/// with the event history needed for the crash dump, while a flaky
+/// host-environment panic (OOM kill of a neighbor, filesystem hiccup in a
+/// workload build) gets its one retry and recovers.
+#[allow(clippy::result_large_err)] // cold path: the Err carries full diagnostics by design
+fn simulate_point(
+    workload: &Workload,
+    config: &SimConfig,
+    key: &str,
+    scale: Scale,
+    crash_dir: Option<&Path>,
+) -> JobResult {
+    let max_insts = scale.max_insts();
+    if let Ok(Ok(report)) = catch_unwind(AssertUnwindSafe(|| {
+        run_workload(workload, config, max_insts)
+    })) {
+        return Ok(report);
+    }
+    // The ring lives OUTSIDE the closure so the events leading into a panic
+    // survive the unwind and reach the crash dump.
+    let mut ring = RingSink::new(config.trace.ring_capacity);
+    let second = catch_unwind(AssertUnwindSafe(|| {
+        run_workload_traced(workload, config, max_insts, &mut ring)
+    }));
+    let error = match second {
+        Ok(Ok(report)) => return Ok(report), // flaky first failure, recovered
+        Ok(Err(e)) => e,
+        Err(payload) => SimError::Panic {
+            workload: workload.name.clone(),
+            config: config.label(),
+            message: panic_message(payload),
+        },
+    };
+    let crash_dump = crash_dir.and_then(|dir| {
+        write_crash_dump(dir, &workload.name, &config.label(), key, &error, &ring)
+            .map_err(|e| eprintln!("[sweep] warning: could not write crash dump: {e}"))
+            .ok()
+    });
+    Err(JobError {
+        workload: workload.name.clone(),
+        config: config.label(),
+        error,
+        crash_dump,
+    })
+}
+
+/// A workload-build panic fails every point of its group; there is no trace
+/// history yet, so the dump records only the point identity and the error.
+fn build_failure(
+    kernel: &Kernel,
+    config_label: String,
+    key: &str,
+    message: &str,
+    crash_dir: Option<&Path>,
+) -> JobError {
+    let workload = kernel.name();
+    let error = SimError::Panic {
+        workload: workload.clone(),
+        config: config_label.clone(),
+        message: format!("workload build panicked: {message}"),
+    };
+    let empty = RingSink::new(1);
+    let crash_dump = crash_dir.and_then(|dir| {
+        write_crash_dump(dir, &workload, &config_label, key, &error, &empty).ok()
+    });
+    JobError {
+        workload,
+        config: config_label,
+        error,
+        crash_dump,
+    }
+}
+
+/// Append-only journal of completed point hashes, enabling kill-and-resume.
+///
+/// Format: one `{hash:016x}` line per completed point, appended (fsync-free;
+/// a torn final line is ignored on load). The file lives at
+/// `<cache_dir>/journal/<sweep_id:016x>.journal` where the sweep id hashes
+/// the full point-key set — identical sweep invocations share a journal,
+/// different sweeps never collide.
+struct Journal {
+    path: PathBuf,
+    lock: Mutex<()>,
+}
+
+impl Journal {
+    fn new(cache_dir: &Path, sweep_id: u64) -> Journal {
+        Journal {
+            path: cache_dir.join("journal").join(format!("{sweep_id:016x}.journal")),
+            lock: Mutex::new(()),
+        }
+    }
+
+    /// The completed-point hashes from a previous (killed) invocation.
+    fn load(&self) -> HashSet<u64> {
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return HashSet::new();
+        };
+        text.lines()
+            .filter_map(|l| u64::from_str_radix(l.trim(), 16).ok())
+            .collect()
+    }
+
+    /// Records `hash` as completed. Best-effort: journaling failures cost
+    /// resumability, never correctness.
+    fn append(&self, hash: u64) {
+        let _guard = self.lock.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(parent) = self.path.parent() else { return };
+        if std::fs::create_dir_all(parent).is_err() {
+            return;
+        }
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+        {
+            let _ = writeln!(f, "{hash:016x}");
+        }
+    }
+
+    fn remove(&self) {
+        let _ = std::fs::remove_file(&self.path);
     }
 }
 
@@ -356,13 +658,62 @@ fn cache_path(dir: &Path, hash: u64) -> PathBuf {
 
 /// Loads a cache entry, returning `None` on miss, parse failure, or a key
 /// mismatch (hash collision or stale format — both re-simulate).
-fn load_cached(dir: &Path, hash: u64, key: &str) -> Option<RunReport> {
-    let text = std::fs::read_to_string(cache_path(dir, hash)).ok()?;
-    let doc = Json::parse(&text).ok()?;
-    if doc.get("key").and_then(Json::as_str) != Some(key) {
+///
+/// A file that exists but does not parse — or parses but lacks the expected
+/// structure — is *corrupt* (torn write from a killed process, disk fault,
+/// manual edit) and is quarantined to `<dir>/quarantine/` with a warning so
+/// it never shadows the slot again and stays available for forensics.
+pub(crate) fn load_cached(dir: &Path, hash: u64, key: &str) -> Option<RunReport> {
+    let path = cache_path(dir, hash);
+    let bytes = std::fs::read(&path).ok()?;
+    let Ok(text) = String::from_utf8(bytes) else {
+        quarantine(dir, &path, "not valid UTF-8");
         return None;
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        quarantine(dir, &path, "not valid JSON");
+        return None;
+    };
+    match doc.get("key").and_then(Json::as_str) {
+        // A different key at the same hash is a stale format or a genuine
+        // hash collision, not corruption: leave the entry alone.
+        Some(k) if k == key => {}
+        Some(_) => return None,
+        None => {
+            quarantine(dir, &path, "missing \"key\" field");
+            return None;
+        }
     }
-    report_from_json(doc.get("report")?).ok()
+    let Some(report) = doc.get("report") else {
+        quarantine(dir, &path, "missing \"report\" field");
+        return None;
+    };
+    match report_from_json(report) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            quarantine(dir, &path, &format!("bad report: {e}"));
+            None
+        }
+    }
+}
+
+/// Moves a corrupt cache entry aside (best-effort) and warns.
+fn quarantine(dir: &Path, path: &Path, reason: &str) {
+    let qdir = dir.join("quarantine");
+    let moved = std::fs::create_dir_all(&qdir).is_ok()
+        && path
+            .file_name()
+            .map(|n| std::fs::rename(path, qdir.join(n)).is_ok())
+            .unwrap_or(false);
+    eprintln!(
+        "[sweep] warning: corrupt cache entry {} ({reason}); {} — will re-simulate",
+        path.display(),
+        if moved {
+            "quarantined to quarantine/"
+        } else {
+            "could not quarantine it"
+        }
+    );
 }
 
 /// Writes a cache entry atomically (tmp file + rename), so concurrent
@@ -395,8 +746,8 @@ pub struct SweepResult {
     config_labels: Vec<String>,
     /// `point_of[config][workload]` → index into `reports`.
     point_of: Vec<Vec<usize>>,
-    /// One report per *unique* design point.
-    reports: Vec<RunReport>,
+    /// One outcome per *unique* design point.
+    reports: Vec<JobResult>,
     /// Per-point traces (simulation order; cache hits first).
     pub traces: Vec<JobTrace>,
     /// Aggregate counters.
@@ -415,21 +766,41 @@ impl SweepResult {
     }
 
     /// The report for (config `ci`, workload `wi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the structured error) if that job failed; use
+    /// [`SweepResult::try_report`] to handle failures.
     pub fn report(&self, ci: usize, wi: usize) -> &RunReport {
-        &self.reports[self.point_of[ci][wi]]
+        match &self.reports[self.point_of[ci][wi]] {
+            Ok(r) => r,
+            Err(e) => panic!("sweep point ({ci},{wi}) failed: {e}"),
+        }
+    }
+
+    /// The outcome for (config `ci`, workload `wi`).
+    pub fn try_report(&self, ci: usize, wi: usize) -> Result<&RunReport, &JobError> {
+        self.reports[self.point_of[ci][wi]].as_ref()
     }
 
     /// All reports for configuration `ci`, in suite order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job of that configuration failed.
     pub fn config_reports(&self, ci: usize) -> Vec<&RunReport> {
-        self.point_of[ci]
-            .iter()
-            .map(|&p| &self.reports[p])
-            .collect()
+        (0..self.suite.len()).map(|wi| self.report(ci, wi)).collect()
     }
 
-    /// The deduplicated reports (one per unique design point).
-    pub fn unique_reports(&self) -> &[RunReport] {
-        &self.reports
+    /// The deduplicated successful reports (one per unique design point
+    /// whose job succeeded).
+    pub fn unique_reports(&self) -> Vec<&RunReport> {
+        self.reports.iter().filter_map(|r| r.as_ref().ok()).collect()
+    }
+
+    /// Every failed job, in point order.
+    pub fn errors(&self) -> Vec<&JobError> {
+        self.reports.iter().filter_map(|r| r.as_ref().err()).collect()
     }
 
     /// Harmonic-mean IPC speedup of configuration `ci` over `base_ci`
@@ -437,7 +808,8 @@ impl SweepResult {
     ///
     /// # Panics
     ///
-    /// Panics if any speedup is non-positive or non-finite.
+    /// Panics if any involved job failed, or if any speedup is non-positive
+    /// or non-finite.
     pub fn speedup(&self, base_ci: usize, ci: usize) -> f64 {
         let mut denom = 0.0;
         for wi in 0..self.suite.len() {
@@ -450,13 +822,20 @@ impl SweepResult {
         self.suite.len() as f64 / denom
     }
 
-    /// Asserts every report passed its architectural check.
+    /// Asserts every job succeeded and passed its architectural check.
     ///
     /// # Panics
     ///
-    /// Panics if any report failed.
+    /// Panics if any job failed or any report failed verification.
     pub fn assert_verified(&self) {
-        for r in &self.reports {
+        let errors = self.errors();
+        assert!(
+            errors.is_empty(),
+            "{} sweep job(s) failed; first: {}",
+            errors.len(),
+            errors[0]
+        );
+        for r in self.reports.iter().filter_map(|r| r.as_ref().ok()) {
             assert!(
                 r.verified,
                 "workload {} under {} failed its architectural check",
@@ -567,7 +946,8 @@ mod tests {
             }
         }
         // And against the plain runner.
-        let direct = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16));
+        let direct =
+            run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16)).expect("camel runs");
         assert_eq!(&direct, base.report(1, 0));
     }
 
@@ -577,15 +957,15 @@ mod tests {
             .into_iter()
             .map(|k| (k, Scale::Tiny, SimConfig::svr(16)))
             .collect();
-        let one = crate::run_parallel(jobs.clone(), 1);
+        let one = crate::run_parallel(jobs.clone(), 1).expect("jobs valid");
         for threads in [2, 8] {
-            let many = crate::run_parallel(jobs.clone(), threads);
+            let many = crate::run_parallel(jobs.clone(), threads).expect("jobs valid");
             assert_eq!(one, many, "threads={threads}");
         }
     }
 
     #[test]
-    fn corrupt_cache_entries_are_resimulated() {
+    fn corrupt_cache_entries_are_quarantined_and_resimulated() {
         let dir = TempDir::new("corrupt");
         let run = || {
             Sweep::new(vec![Kernel::Camel], Scale::Tiny)
@@ -597,12 +977,181 @@ mod tests {
         assert_eq!(fresh.stats.simulated, 1);
         // Truncate every cache file.
         for entry in std::fs::read_dir(&dir.0).expect("dir") {
-            std::fs::write(entry.expect("entry").path(), "{not json").expect("truncate");
+            let path = entry.expect("entry").path();
+            if path.extension().and_then(|e| e.to_str()) == Some("json") {
+                std::fs::write(path, "{not json").expect("truncate");
+            }
         }
         let again = run();
         assert_eq!(again.stats.cache_hits, 0, "corrupt entry must not hit");
         assert_eq!(again.stats.simulated, 1);
         assert_eq!(fresh.report(0, 0), again.report(0, 0));
+        // The corrupt original was moved aside for forensics, not deleted.
+        let quarantined = std::fs::read_dir(dir.0.join("quarantine"))
+            .expect("quarantine dir exists")
+            .count();
+        assert_eq!(quarantined, 1, "corrupt entry lands in quarantine/");
+    }
+
+    #[test]
+    fn cache_loader_survives_arbitrary_corruption() {
+        // Property test: feed `load_cached` every prefix truncation of a
+        // valid entry plus a batch of random single-byte corruptions (and a
+        // guaranteed non-UTF-8 one); it must never panic — `None` and
+        // quarantining are the only acceptable outcomes.
+        let dir = TempDir::new("fuzz");
+        Sweep::new(vec![Kernel::Camel], Scale::Tiny)
+            .config(SimConfig::inorder())
+            .cache_dir(&dir.0)
+            .run(1);
+        let (path, hash) = std::fs::read_dir(&dir.0)
+            .expect("dir")
+            .filter_map(|e| {
+                let p = e.ok()?.path();
+                let stem = p.file_stem()?.to_str()?;
+                let hash = u64::from_str_radix(stem, 16).ok()?;
+                Some((p, hash))
+            })
+            .next()
+            .expect("one cache entry");
+        let valid = std::fs::read(&path).expect("entry bytes");
+        let key = "v-any;does-not-matter";
+        // Every prefix truncation.
+        for len in 0..valid.len() {
+            std::fs::write(&path, &valid[..len]).expect("write");
+            let _ = load_cached(&dir.0, hash, key);
+        }
+        // Random single-byte corruptions (deterministic xorshift).
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..256 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let mut bytes = valid.clone();
+            let pos = (state as usize) % bytes.len();
+            bytes[pos] = (state >> 32) as u8;
+            std::fs::write(&path, &bytes).expect("write");
+            let _ = load_cached(&dir.0, hash, key);
+        }
+        // Guaranteed invalid UTF-8.
+        std::fs::write(&path, [0xff, 0xfe, b'{', 0xff]).expect("write");
+        assert!(load_cached(&dir.0, hash, key).is_none());
+    }
+
+    #[test]
+    fn panicking_and_livelocking_jobs_fail_in_isolation() {
+        let dir = TempDir::new("isolate");
+        let crash = TempDir::new("isolate-crash");
+        let res = Sweep::new(
+            vec![Kernel::Camel, Kernel::DiagSpin, Kernel::DiagPanic],
+            Scale::Tiny,
+        )
+        .config(SimConfig::inorder())
+        .cache_dir(&dir.0)
+        .crash_dir(&crash.0)
+        .try_run(2)
+        .expect("configs valid");
+        assert_eq!(res.stats.failed, 2);
+        assert_eq!(res.stats.simulated, 1);
+
+        // The healthy sibling completed normally.
+        let camel = res.try_report(0, 0).expect("camel unaffected");
+        assert!(camel.verified);
+
+        // The livelocking guest was terminated by the forward-progress
+        // watchdog, with a non-empty flight recording.
+        let spin = res.try_report(0, 1).expect_err("DiagSpin must fail");
+        assert!(
+            matches!(spin.error, SimError::NoForwardProgress { .. }),
+            "expected NoForwardProgress, got: {}",
+            spin.error
+        );
+        let dump = spin.crash_dump.as_ref().expect("crash dump written");
+        let doc = Json::parse(&std::fs::read_to_string(dump).expect("dump readable"))
+            .expect("dump is valid JSON");
+        let events = doc.get("events").and_then(Json::as_arr).expect("events array");
+        assert!(!events.is_empty(), "flight recording must not be empty");
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("no_forward_progress")
+        );
+
+        // The build panic was contained to its own point, payload preserved.
+        let pan = res.try_report(0, 2).expect_err("DiagPanic must fail");
+        assert!(matches!(pan.error, SimError::Panic { .. }), "{}", pan.error);
+        assert!(pan.error.to_string().contains("DiagPanic"), "{}", pan.error);
+        assert!(pan.crash_dump.is_some(), "build panics get a dump too");
+
+        // errors() lists exactly the two failures.
+        assert_eq!(res.errors().len(), 2);
+    }
+
+    #[test]
+    fn failed_sweeps_keep_their_journal_and_resume_from_it() {
+        let dir = TempDir::new("resume");
+        let crash = TempDir::new("resume-crash");
+        let run = || {
+            Sweep::new(vec![Kernel::Camel, Kernel::DiagSpin], Scale::Tiny)
+                .config(SimConfig::inorder())
+                .cache_dir(&dir.0)
+                .crash_dir(&crash.0)
+                .try_run(2)
+                .expect("configs valid")
+        };
+        let first = run();
+        assert_eq!(first.stats.failed, 1);
+        assert_eq!(first.stats.simulated, 1);
+        let journal_dir = dir.0.join("journal");
+        assert_eq!(
+            std::fs::read_dir(&journal_dir).expect("journal dir").count(),
+            1,
+            "a failed sweep keeps its journal"
+        );
+
+        let second = run();
+        assert_eq!(second.stats.journal_hits, 1, "Camel resumes from the journal");
+        assert_eq!(second.stats.simulated, 0, "zero recomputation on resume");
+        assert_eq!(second.stats.failed, 1, "the livelock still fails");
+        assert!(second
+            .traces
+            .iter()
+            .any(|t| t.source == JobSource::Journal));
+    }
+
+    #[test]
+    fn successful_sweeps_remove_their_journal() {
+        let dir = TempDir::new("journal-gc");
+        Sweep::new(vec![Kernel::Camel], Scale::Tiny)
+            .config(SimConfig::inorder())
+            .cache_dir(&dir.0)
+            .run(1);
+        let journal_dir = dir.0.join("journal");
+        let remaining = std::fs::read_dir(&journal_dir)
+            .map(|d| d.count())
+            .unwrap_or(0);
+        assert_eq!(remaining, 0, "completed sweep leaves no journal behind");
+    }
+
+    #[test]
+    fn journal_roundtrip_ignores_garbage_lines() {
+        let dir = TempDir::new("journal-unit");
+        let j = Journal::new(&dir.0, 0xabcd);
+        assert!(j.load().is_empty());
+        j.append(42);
+        j.append(0xdead_beef);
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&j.path)
+            .and_then(|mut f| writeln!(f, "not-hex"))
+            .expect("garbage line");
+        j.append(7);
+        let loaded = j.load();
+        assert_eq!(loaded.len(), 3);
+        assert!(loaded.contains(&42) && loaded.contains(&0xdead_beef) && loaded.contains(&7));
+        j.remove();
+        assert!(j.load().is_empty());
     }
 
     #[test]

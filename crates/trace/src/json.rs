@@ -309,12 +309,30 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 *pos += 1;
             }
+            Some(&byte) if byte < 0x80 => {
+                out.push(byte as char);
+                *pos += 1;
+            }
             Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so this is safe).
-                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("nonempty");
-                out.push(c);
-                *pos += c.len_utf8();
+                // One multi-byte UTF-8 scalar: decode from a 4-byte window.
+                // Validating the whole remaining input here instead made
+                // string parsing quadratic — a multi-megabyte crash dump
+                // took effectively forever to load.
+                let window = &b[*pos..(*pos + 4).min(b.len())];
+                let valid = match std::str::from_utf8(window) {
+                    Ok(s) => s,
+                    Err(e) if e.valid_up_to() > 0 => {
+                        std::str::from_utf8(&window[..e.valid_up_to()]).unwrap_or("")
+                    }
+                    Err(e) => return Err(format!("{e} at byte {pos}")),
+                };
+                match valid.chars().next() {
+                    Some(c) => {
+                        out.push(c);
+                        *pos += c.len_utf8();
+                    }
+                    None => return Err(format!("invalid UTF-8 at byte {pos}")),
+                }
             }
         }
     }
@@ -402,6 +420,25 @@ mod tests {
         let s = Json::str("tab\there \"quoted\" back\\slash \u{1}");
         let text = s.dump();
         assert_eq!(Json::parse(&text).expect("parses"), s);
+    }
+
+    #[test]
+    fn large_string_heavy_documents_parse_in_linear_time() {
+        // Regression: parse_string used to re-validate the entire remaining
+        // input as UTF-8 once per character, so a multi-megabyte crash dump
+        // took hours to load. This hangs rather than fails if that returns.
+        let mut s = String::with_capacity(400_000);
+        for i in 0..100_000 {
+            s.push(match i % 4 {
+                0 => 'a',
+                1 => 'é',
+                2 => '中',
+                _ => '🦀',
+            });
+        }
+        let doc = Json::Arr(vec![Json::str(&s), Json::str(&s)]);
+        let back = Json::parse(&doc.dump()).expect("parses");
+        assert_eq!(back.as_arr().and_then(|a| a[0].as_str()), Some(s.as_str()));
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Diagnostic (non-paper) kernels that exercise the harness's failure
+//! paths: a guest that livelocks and a workload whose *build* panics. They
+//! are registered ([`crate::Kernel::DiagSpin`], [`crate::Kernel::DiagPanic`])
+//! so harness binaries can name them, but belong to no paper suite — no
+//! figure ever sweeps them.
+
+use crate::workload::{Check, Scale, Workload};
+use svr_isa::{ArchState, Assembler, Reg};
+use svr_mem::MemImage;
+
+/// A livelocking guest: one dependent load, then an unconditional
+/// `j`-to-self. After the load retires, the spin issues forever without a
+/// single architectural effect (jumps write no register, no memory, no
+/// flags), so the forward-progress watchdog — not the cycle budget — must be
+/// what terminates it.
+pub fn livelock(_scale: Scale) -> Workload {
+    let mut img = MemImage::new();
+    let base = img.alloc_array(&[0xdead_beefu64]);
+
+    let rp = Reg::new(1);
+    let mut asm = Assembler::new("diag_spin");
+    asm.ld(rp, rp, 0); // one real (dependent) load first
+    let top = asm.label();
+    asm.bind(top);
+    asm.j(top); // spin: never an architectural effect
+    asm.halt(); // unreachable
+
+    let mut arch = ArchState::new();
+    arch.set_reg(rp, base);
+    Workload {
+        name: "DiagSpin".into(),
+        program: asm.finish(),
+        image: img,
+        arch,
+        check: Check::None,
+    }
+}
+
+/// A workload whose construction itself panics, exercising the sweep's
+/// build-isolation path (one broken kernel must only fail its own points).
+pub fn panic_on_build(_scale: Scale) -> Workload {
+    panic!("DiagPanic: deliberate diagnostic panic during workload build");
+}

@@ -1,10 +1,12 @@
 //! All workload kernels: GAP graph kernels, the HPC/database set, and the
 //! SPEC-like regular set.
 
+pub mod diag;
 pub mod gap;
 pub mod hpcdb;
 pub mod regular;
 
+pub use diag::{livelock, panic_on_build};
 pub use gap::{bc, bfs, cc, graph500, pagerank, sssp};
 pub use hpcdb::{camel, hashjoin, kangaroo, nas_cg, nas_is, randacc};
 pub use regular::{spec_like, SPEC_NAMES};

@@ -67,6 +67,12 @@ pub enum Kernel {
     Randacc,
     /// SPEC-like regular kernel by name.
     Regular(&'static str),
+    /// Diagnostic: a guest that livelocks (watchdog test target). Not part
+    /// of any paper suite.
+    DiagSpin,
+    /// Diagnostic: a workload whose build panics (harness isolation test
+    /// target). Not part of any paper suite.
+    DiagPanic,
 }
 
 impl Kernel {
@@ -86,6 +92,8 @@ impl Kernel {
             Kernel::NasIs => kernels::nas_is(scale),
             Kernel::Regular(name) => kernels::spec_like(name, scale),
             Kernel::Randacc => kernels::randacc(scale),
+            Kernel::DiagSpin => kernels::livelock(scale),
+            Kernel::DiagPanic => kernels::panic_on_build(scale),
         }
     }
 
@@ -105,6 +113,8 @@ impl Kernel {
             Kernel::NasIs => "NAS-IS".into(),
             Kernel::Randacc => "Randacc".into(),
             Kernel::Regular(name) => name.into(),
+            Kernel::DiagSpin => "DiagSpin".into(),
+            Kernel::DiagPanic => "DiagPanic".into(),
         }
     }
 

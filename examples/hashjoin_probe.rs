@@ -14,8 +14,8 @@ fn main() {
     let scale = Scale::Small;
     for bucket in [2usize, 8] {
         let kernel = Kernel::HashJoin(bucket);
-        let base = run_kernel(kernel, scale, &SimConfig::inorder());
-        let svr = run_kernel(kernel, scale, &SimConfig::svr(16));
+        let base = run_kernel(kernel, scale, &SimConfig::inorder()).expect("valid config");
+        let svr = run_kernel(kernel, scale, &SimConfig::svr(16)).expect("valid config");
         assert!(base.verified && svr.verified);
         let speedup = base.core.cycles as f64 / svr.core.cycles as f64;
         println!(

@@ -27,7 +27,7 @@ fn main() {
         SimConfig::svr(16),
         SimConfig::svr(64),
     ] {
-        let r = run_kernel(kernel, scale, &cfg);
+        let r = run_kernel(kernel, scale, &cfg).expect("valid config");
         assert!(r.verified, "architectural check failed");
         println!(
             "{:8} {:>8.2} {:>12} {:>12.2} {:>12}",

@@ -56,7 +56,7 @@ fn main() {
     init(&mut arch);
     let mut img = image.clone();
     let mut base = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
-    base.run(&program, &mut img, &mut arch, u64::MAX);
+    base.run(&program, &mut img, &mut arch, u64::MAX).unwrap();
     let base_sum = arch.reg(sum);
 
     // Same core + SVR.
@@ -68,7 +68,7 @@ fn main() {
         MemConfig::default(),
         SvrConfig::default(),
     );
-    svr_core.run(&program, &mut img, &mut arch, u64::MAX);
+    svr_core.run(&program, &mut img, &mut arch, u64::MAX).unwrap();
 
     assert_eq!(arch.reg(sum), base_sum, "SVR must not change architecture");
     println!(

@@ -33,6 +33,13 @@ pub fn small_budget() -> u64 {
     }
 }
 
+/// The livelocking diagnostic workload: a dependent load followed by a
+/// tight jmp-to-self, so the core keeps issuing but never makes
+/// architectural progress. The forward-progress watchdog must terminate it.
+pub fn livelock_workload() -> Workload {
+    Kernel::DiagSpin.build(Scale::Tiny)
+}
+
 /// Runs `kernel` at `Scale::Small` under [`small_budget`], memoising the
 /// built workload so repeated configs don't rebuild the same inputs.
 pub fn run_small(kernel: Kernel, config: &SimConfig) -> RunReport {

@@ -44,8 +44,8 @@ fn cores_retire_identical_instruction_counts() {
 #[test]
 fn runs_are_deterministic() {
     for cfg in [SimConfig::svr(16), SimConfig::ooo()] {
-        let a = run_kernel(Kernel::Camel, Scale::Tiny, &cfg);
-        let b = run_kernel(Kernel::Camel, Scale::Tiny, &cfg);
+        let a = run_kernel(Kernel::Camel, Scale::Tiny, &cfg).expect("valid config");
+        let b = run_kernel(Kernel::Camel, Scale::Tiny, &cfg).expect("valid config");
         assert_eq!(a.core.cycles, b.core.cycles);
         assert_eq!(a.mem.dram_reads(), b.mem.dram_reads());
     }
@@ -143,8 +143,8 @@ fn imp_strengths_and_weaknesses() {
 fn spec_like_overhead_is_small() {
     for name in ["bwaves", "namd", "xalancbmk", "perlbench"] {
         let k = Kernel::Regular(name);
-        let base = run_kernel(k, Scale::Tiny, &SimConfig::inorder());
-        let svr = run_kernel(k, Scale::Tiny, &SimConfig::svr(16));
+        let base = run_kernel(k, Scale::Tiny, &SimConfig::inorder()).expect("valid config");
+        let svr = run_kernel(k, Scale::Tiny, &SimConfig::svr(16)).expect("valid config");
         let ratio = svr.core.cycles as f64 / base.core.cycles as f64;
         assert!(
             ratio < 1.08,

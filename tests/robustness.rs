@@ -1,0 +1,82 @@
+//! Robustness integration tests: the hardened harness must terminate
+//! livelocked guests via the forward-progress watchdog, surface the failure
+//! as a structured [`SimError`], and leave a usable flight-recorder dump
+//! behind — all without disturbing healthy jobs in the same sweep.
+
+mod common;
+
+use svr::sim::{run_workload, Json, SimConfig, SimError, Sweep};
+use svr::workloads::{Kernel, Scale};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("svr-robust-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The watchdog terminates a tight jmp-to-self loop on every core model and
+/// names the livelocked pc, the stall reason and the progress window.
+#[test]
+fn livelock_terminates_with_no_forward_progress() {
+    let w = common::livelock_workload();
+    for config in [SimConfig::inorder(), SimConfig::ooo(), SimConfig::svr(16)] {
+        let err = run_workload(&w, &config, Scale::Tiny.max_insts())
+            .expect_err("a jmp-to-self loop must trip the watchdog");
+        match &err {
+            SimError::NoForwardProgress {
+                workload,
+                pc,
+                cycle,
+                last_effect,
+                window,
+                ..
+            } => {
+                assert_eq!(workload, "DiagSpin");
+                // The spin is the `j @top` right after the dependent load.
+                assert!(*pc >= 1, "pc {pc} should be inside the program");
+                assert_eq!(*window, 100_000, "default progress window");
+                assert!(
+                    cycle - last_effect >= *window,
+                    "trip only after a full quiet window ({cycle} vs {last_effect})"
+                );
+            }
+            other => panic!("expected NoForwardProgress under {}, got {other}", config.label()),
+        }
+        let text = err.to_string();
+        assert!(text.contains("DiagSpin"), "diagnostic names the workload: {text}");
+        assert!(text.contains("no forward progress"), "diagnostic names the failure: {text}");
+    }
+}
+
+/// A sweep containing the livelocking guest completes, reports the failure
+/// as a per-job error, and writes a non-empty flight-recorder dump while the
+/// healthy job in the same sweep still verifies.
+#[test]
+fn livelocked_sweep_job_leaves_a_flight_recorder_dump() {
+    let cache = temp_dir("cache");
+    let crash = temp_dir("crash");
+    let res = Sweep::new(vec![Kernel::Camel, Kernel::DiagSpin], Scale::Tiny)
+        .config(SimConfig::inorder())
+        .cache_dir(&cache)
+        .crash_dir(&crash)
+        .try_run(2)
+        .expect("configs are valid");
+
+    assert_eq!(res.stats.failed, 1, "only the livelocked job fails");
+    res.try_report(0, 0).expect("Camel still completes and verifies");
+
+    let job = res.try_report(0, 1).expect_err("DiagSpin fails");
+    assert!(matches!(job.error, SimError::NoForwardProgress { .. }));
+    let dump = job.crash_dump.as_ref().expect("flight recorder wrote a dump");
+    let doc = Json::parse(&std::fs::read_to_string(dump).expect("dump readable"))
+        .expect("dump is valid JSON");
+    assert_eq!(
+        doc.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("no_forward_progress")
+    );
+    let events = doc.get("events").and_then(Json::as_arr).expect("events array");
+    assert!(!events.is_empty(), "the dump holds the last-K trace events");
+
+    let _ = std::fs::remove_dir_all(&cache);
+    let _ = std::fs::remove_dir_all(&crash);
+}
