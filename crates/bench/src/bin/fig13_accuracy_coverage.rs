@@ -1,6 +1,7 @@
 //! Fig. 13: (a) prefetch accuracy of IMP and SVR-16/64 with and without
 //! loop-bound prediction; (b) coverage — DRAM loads by origin normalized to
-//! the in-order baseline's demand loads.
+//! the in-order baseline's demand loads; (c, beyond the paper) timeliness
+//! and pollution from the shared efficacy taxonomy (DESIGN.md § Profiling).
 use svr_bench::{sweep, BenchArgs, Figure};
 use svr_core::{LoopBoundMode, SvrConfig};
 use svr_sim::{RunReport, SimConfig};
@@ -108,6 +109,41 @@ fn main() {
                     (demand + pf) / base_demand * 100.0,
                 ],
             );
+        }
+    }
+    // Beyond the paper: the full efficacy taxonomy the profiler maintains
+    // (PR 5). "late" is the share of useful prefetches whose fill was still
+    // in flight at first demand touch; "pollution" charges demand misses to
+    // the prefetch fills that evicted the victims, per 1k issued prefetches.
+    fig.section(
+        "Fig. 13c — prefetch timeliness and pollution (taxonomy extension): \
+         late % of useful prefetches, demand misses blamed on prefetch \
+         evictions per 1k issued",
+        "group/config",
+        &["late", "pollution"],
+    );
+    for g in groups {
+        for (i, name) in names.iter().enumerate() {
+            let reports = res.config_reports(i + 1);
+            let (mut used, mut late, mut pollution, mut issued) = (0u64, 0u64, 0u64, 0u64);
+            for r in group_rows(&suite, &reports, g) {
+                let c = if *name == "IMP" { &r.mem.imp } else { &r.mem.svr };
+                used += c.used;
+                late += c.late;
+                pollution += c.pollution;
+                issued += c.issued;
+            }
+            let late_pct = if used + late == 0 {
+                f64::NAN
+            } else {
+                late as f64 / (used + late) as f64 * 100.0
+            };
+            let poll_per_k = if issued == 0 {
+                f64::NAN
+            } else {
+                pollution as f64 / issued as f64 * 1000.0
+            };
+            fig.row(&format!("{}/{}", g.label(), name), &[late_pct, poll_per_k]);
         }
     }
     fig.attach(&res);

@@ -103,9 +103,14 @@ pub struct InOrderCore<S: TraceSink = NullSink> {
     sb: Scoreboard,
     reg_ready: [u64; NUM_REGS],
     reg_bucket: [StallBucket; NUM_REGS],
+    /// Producer PC per register — the *cause* a stall-on-use wait is charged
+    /// to in [`TraceEvent::Attrib`]. Only maintained when tracing is on.
+    reg_pc: [u64; NUM_REGS],
     flags_ready: u64,
+    flags_pc: u64,
     fetch_ready: u64,
     fetch_bucket: StallBucket,
+    fetch_pc: u64,
     last_fetch_line: Option<usize>,
     last_issue: u64,
     /// Issue cycle of the last instruction with an architectural effect
@@ -117,6 +122,8 @@ pub struct InOrderCore<S: TraceSink = NullSink> {
     /// on; the post-run drain tail is charged here so the CPI stack accounts
     /// for every cycle exactly.
     tail_bucket: StallBucket,
+    /// PC of the instruction owning the longest-outstanding completion.
+    tail_pc: u64,
     stats: CoreStats,
     svr: Option<SvrEngine>,
 }
@@ -173,14 +180,18 @@ impl<S: TraceSink> InOrderCore<S> {
             sb: Scoreboard::new(cfg.scoreboard),
             reg_ready: [0; NUM_REGS],
             reg_bucket: [StallBucket::Base; NUM_REGS],
+            reg_pc: [0; NUM_REGS],
             flags_ready: 0,
+            flags_pc: 0,
             fetch_ready: 0,
             fetch_bucket: StallBucket::Fetch,
+            fetch_pc: 0,
             last_fetch_line: None,
             last_issue: 0,
             last_effect: 0,
             max_completion: 0,
             tail_bucket: StallBucket::Base,
+            tail_pc: 0,
             stats: CoreStats::default(),
             svr: None,
             cfg,
@@ -212,6 +223,13 @@ impl<S: TraceSink> InOrderCore<S> {
     /// The SVR engine, when configured.
     pub fn svr_engine(&self) -> Option<&SvrEngine> {
         self.svr.as_ref()
+    }
+
+    /// Closes the memory hierarchy's prefetch ledger (still-resident
+    /// prefetched lines become `resident_at_end`). Call once after the run
+    /// completes; idempotent.
+    pub fn finalize_mem(&mut self) {
+        self.hier.finalize(self.stats.cycles);
     }
 
     /// Runs `program` until `halt` or `max_insts` retired instructions.
@@ -255,23 +273,31 @@ impl<S: TraceSink> InOrderCore<S> {
                     if r.complete_at > self.fetch_ready {
                         self.fetch_ready = r.complete_at;
                         self.fetch_bucket = StallBucket::Fetch;
+                        if S::ENABLED {
+                            self.fetch_pc = pc as u64;
+                        }
                     }
                     self.last_fetch_line = Some(line);
                 }
             }
 
-            // Data readiness (stall-on-use).
+            // Data readiness (stall-on-use). `cause_pc` tracks who produced
+            // the limiting operand; it is only consumed inside `S::ENABLED`
+            // blocks, so untraced builds eliminate it entirely.
             let mut ready = self.fetch_ready;
             let mut bucket = self.fetch_bucket;
+            let mut cause_pc = self.fetch_pc;
             for r in inst.srcs() {
                 if self.reg_ready[r.index()] > ready {
                     ready = self.reg_ready[r.index()];
                     bucket = self.reg_bucket[r.index()];
+                    cause_pc = self.reg_pc[r.index()];
                 }
             }
             if matches!(inst, Inst::B { .. }) && self.flags_ready > ready {
                 ready = self.flags_ready;
                 bucket = StallBucket::Base;
+                cause_pc = self.flags_pc;
             }
 
             // Claim an issue slot, then a scoreboard entry.
@@ -286,8 +312,12 @@ impl<S: TraceSink> InOrderCore<S> {
             if delta > 0 {
                 self.stats.stack.charge(StallBucket::Base, 1);
                 let mut attr_bucket = StallBucket::Base;
+                let mut attr_pc = cause_pc;
                 if delta > 1 {
                     let b = if t > ready {
+                        // Structural stalls are the issuing instruction's
+                        // own fault, not a producer's.
+                        attr_pc = pc as u64;
                         StallBucket::Structural
                     } else {
                         bucket
@@ -301,6 +331,7 @@ impl<S: TraceSink> InOrderCore<S> {
                         bucket: stall_tag(attr_bucket),
                         base: 1,
                         stall: delta - 1,
+                        pc: attr_pc,
                     });
                 }
             }
@@ -337,6 +368,9 @@ impl<S: TraceSink> InOrderCore<S> {
             let (completion, completion_bucket) = self.timing_for(inst, pc, t, &out, image);
             if completion > self.max_completion {
                 self.tail_bucket = completion_bucket;
+                if S::ENABLED {
+                    self.tail_pc = pc as u64;
+                }
             }
             self.sb.push(completion);
             self.max_completion = self.max_completion.max(completion).max(t);
@@ -380,6 +414,7 @@ impl<S: TraceSink> InOrderCore<S> {
                     bucket: stall_tag(self.tail_bucket),
                     base: 0,
                     stall: tail,
+                    pc: self.tail_pc,
                 });
             }
             self.last_issue = cycles;
@@ -415,6 +450,9 @@ impl<S: TraceSink> InOrderCore<S> {
                 if let Some(dst) = inst.dst() {
                     self.reg_ready[dst.index()] = res.complete_at;
                     self.reg_bucket[dst.index()] = level_bucket(res.level);
+                    if S::ENABLED {
+                        self.reg_pc[dst.index()] = pc as u64;
+                    }
                 }
                 (res.complete_at, level_bucket(res.level))
             }
@@ -436,6 +474,9 @@ impl<S: TraceSink> InOrderCore<S> {
                 if let Some(dst) = inst.dst() {
                     self.reg_ready[dst.index()] = done;
                     self.reg_bucket[dst.index()] = StallBucket::Base;
+                    if S::ENABLED {
+                        self.reg_pc[dst.index()] = pc as u64;
+                    }
                 }
                 (done, StallBucket::Base)
             }
@@ -444,11 +485,17 @@ impl<S: TraceSink> InOrderCore<S> {
                 if let Some(dst) = inst.dst() {
                     self.reg_ready[dst.index()] = done;
                     self.reg_bucket[dst.index()] = StallBucket::Base;
+                    if S::ENABLED {
+                        self.reg_pc[dst.index()] = pc as u64;
+                    }
                 }
                 (done, StallBucket::Base)
             }
             Inst::Cmp { .. } | Inst::CmpI { .. } => {
                 self.flags_ready = t + 1;
+                if S::ENABLED {
+                    self.flags_pc = pc as u64;
+                }
                 (t + 1, StallBucket::Base)
             }
             Inst::B { .. } => {
@@ -462,6 +509,9 @@ impl<S: TraceSink> InOrderCore<S> {
                     if redirect > self.fetch_ready {
                         self.fetch_ready = redirect;
                         self.fetch_bucket = StallBucket::Branch;
+                        if S::ENABLED {
+                            self.fetch_pc = pc as u64;
+                        }
                     }
                     // The fetch line changes on the (mispredicted) path.
                     self.last_fetch_line = None;

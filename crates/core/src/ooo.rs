@@ -81,7 +81,10 @@ pub struct OooCore<S: TraceSink = NullSink> {
     commit: IssueSlots,
     reg_ready: [u64; NUM_REGS],
     reg_bucket: [StallBucket; NUM_REGS],
+    /// Producer PC per register (stall-cause attribution; traced runs only).
+    reg_pc: [u64; NUM_REGS],
     flags_ready: u64,
+    flags_pc: u64,
     fetch_ready: u64,
     last_fetch_line: Option<usize>,
     /// Completion time of the last store per word address (conservative
@@ -130,7 +133,9 @@ impl<S: TraceSink> OooCore<S> {
             commit: IssueSlots::new(cfg.width),
             reg_ready: [0; NUM_REGS],
             reg_bucket: [StallBucket::Base; NUM_REGS],
+            reg_pc: [0; NUM_REGS],
             flags_ready: 0,
+            flags_pc: 0,
             fetch_ready: 0,
             last_fetch_line: None,
             store_fwd: HashMap::default(),
@@ -154,6 +159,13 @@ impl<S: TraceSink> OooCore<S> {
     /// The memory hierarchy.
     pub fn hierarchy(&self) -> &MemoryHierarchy<S> {
         &self.hier
+    }
+
+    /// Closes the memory hierarchy's prefetch ledger (still-resident
+    /// prefetched lines become `resident_at_end`). Call once after the run
+    /// completes; idempotent.
+    pub fn finalize_mem(&mut self) {
+        self.hier.finalize(self.stats.cycles);
     }
 
     /// Runs `program` until `halt` or `max_insts` retired instructions.
@@ -197,14 +209,18 @@ impl<S: TraceSink> OooCore<S> {
             // wakeup/select add a couple of cycles past dispatch.
             let mut ready = dispatch_t + self.cfg.rs_delay;
             let mut bucket = StallBucket::Base;
+            // Only consumed in `S::ENABLED` blocks; dead in untraced builds.
+            let mut cause_pc = 0u64;
             for r in inst.srcs() {
                 if self.reg_ready[r.index()] > ready {
                     ready = self.reg_ready[r.index()];
                     bucket = self.reg_bucket[r.index()];
+                    cause_pc = self.reg_pc[r.index()];
                 }
             }
-            if matches!(inst, Inst::B { .. }) {
-                ready = ready.max(self.flags_ready);
+            if matches!(inst, Inst::B { .. }) && self.flags_ready > ready {
+                ready = self.flags_ready;
+                cause_pc = self.flags_pc;
             }
 
             // Watchdog: two u64 compares per instruction (hot-path neutral).
@@ -256,6 +272,9 @@ impl<S: TraceSink> OooCore<S> {
                     if let Some(dst) = inst.dst() {
                         self.reg_ready[dst.index()] = res.complete_at;
                         self.reg_bucket[dst.index()] = level_bucket(res.level);
+                        if S::ENABLED {
+                            self.reg_pc[dst.index()] = pc as u64;
+                        }
                     }
                     res.complete_at
                 }
@@ -280,6 +299,9 @@ impl<S: TraceSink> OooCore<S> {
                     if let Some(dst) = inst.dst() {
                         self.reg_ready[dst.index()] = done;
                         self.reg_bucket[dst.index()] = StallBucket::Base;
+                        if S::ENABLED {
+                            self.reg_pc[dst.index()] = pc as u64;
+                        }
                     }
                     done
                 }
@@ -288,11 +310,17 @@ impl<S: TraceSink> OooCore<S> {
                     if let Some(dst) = inst.dst() {
                         self.reg_ready[dst.index()] = done;
                         self.reg_bucket[dst.index()] = StallBucket::Base;
+                        if S::ENABLED {
+                            self.reg_pc[dst.index()] = pc as u64;
+                        }
                     }
                     done
                 }
                 Inst::Cmp { .. } | Inst::CmpI { .. } => {
                     self.flags_ready = ready + 1;
+                    if S::ENABLED {
+                        self.flags_pc = pc as u64;
+                    }
                     ready + 1
                 }
                 Inst::B { .. } => {
@@ -307,6 +335,7 @@ impl<S: TraceSink> OooCore<S> {
                         self.fetch_ready = self.fetch_ready.max(done + self.cfg.mispredict_penalty);
                         self.last_fetch_line = None;
                         bucket = StallBucket::Branch;
+                        cause_pc = pc as u64;
                     }
                     done
                 }
@@ -321,6 +350,7 @@ impl<S: TraceSink> OooCore<S> {
                 if delta > 0 {
                     self.stats.stack.charge(StallBucket::Base, 1);
                     let mut attr_bucket = StallBucket::Base;
+                    let mut attr_pc = cause_pc;
                     if delta > 1 {
                         let b = if completion > ready {
                             bucket
@@ -334,6 +364,11 @@ impl<S: TraceSink> OooCore<S> {
                         };
                         self.stats.stack.charge(b, delta - 1);
                         attr_bucket = b;
+                        if matches!(b, StallBucket::Structural) {
+                            // Structural back-pressure is the committing
+                            // instruction's own wait, not a producer's.
+                            attr_pc = pc as u64;
+                        }
                     }
                     if S::ENABLED {
                         self.hier.trace(&TraceEvent::Attrib {
@@ -341,6 +376,7 @@ impl<S: TraceSink> OooCore<S> {
                             bucket: stall_tag(attr_bucket),
                             base: 1,
                             stall: delta - 1,
+                            pc: attr_pc,
                         });
                     }
                 }

@@ -114,8 +114,10 @@ impl SvrEngine {
         self.inst_count += 1;
         if self.cfg.accuracy_ban {
             let pf = *ctx.hier.stats().pf(PfSource::Svr);
+            // Late prefetches were still wanted by the program, so they
+            // count as useful for the ban decision.
             self.monitor
-                .observe(self.inst_count, pf.used, pf.evicted_unused);
+                .observe(self.inst_count, pf.used + pf.late, pf.evicted_unused);
         }
         if self.inst_count >= self.next_useful_reset {
             self.sd.reset_usefulness();
@@ -442,11 +444,10 @@ impl SvrEngine {
             }
             let lane_addr = addr.wrapping_add((stride * (k as i64 + 1)) as u64);
             let t = self.lane_issue_time(ob.issue_t, k);
-            let res = ctx.hier.access(Access::new(
-                t,
-                lane_addr,
-                AccessKind::Prefetch(PfSource::Svr),
-            ));
+            let res = ctx.hier.access(
+                Access::new(t, lane_addr, AccessKind::Prefetch(PfSource::Svr))
+                    .with_pc(ob.pc as u64),
+            );
             vals[k] = ctx.image.read_u64(lane_addr);
             ready[k] = res.complete_at;
             max_ready = max_ready.max(res.complete_at);
@@ -615,9 +616,10 @@ impl SvrEngine {
                         _ => unreachable!(),
                     };
                     let t = self.lane_issue_time(ob.issue_t, k).max(rdy_in);
-                    let res =
-                        ctx.hier
-                            .access(Access::new(t, addr, AccessKind::Prefetch(PfSource::Svr)));
+                    let res = ctx.hier.access(
+                        Access::new(t, addr, AccessKind::Prefetch(PfSource::Svr))
+                            .with_pc(ob.pc as u64),
+                    );
                     vals[k] = ctx.image.read_u64(addr);
                     ready[k] = res.complete_at;
                     max_ready = max_ready.max(ready[k]);
@@ -639,9 +641,10 @@ impl SvrEngine {
                     };
                     let rdy_in = input(1, k).1.max(input(2, k).1).max(input(0, k).1);
                     let t = self.lane_issue_time(ob.issue_t, k).max(rdy_in);
-                    let res =
-                        ctx.hier
-                            .access(Access::new(t, addr, AccessKind::Prefetch(PfSource::Svr)));
+                    let res = ctx.hier.access(
+                        Access::new(t, addr, AccessKind::Prefetch(PfSource::Svr))
+                            .with_pc(ob.pc as u64),
+                    );
                     *rdy = res.complete_at;
                     max_ready = max_ready.max(*rdy);
                     ctx.stats.svr.lane_loads += 1;

@@ -2,7 +2,7 @@
 
 use crate::error::AsmError;
 use crate::inst::{AluOp, Cond, Inst};
-use crate::program::Program;
+use crate::program::{Program, SymbolMap};
 use crate::reg::Reg;
 
 /// An opaque label handle produced by [`Assembler::label`].
@@ -36,6 +36,9 @@ pub struct Assembler {
     fixups: Vec<(usize, Label)>,
     /// Label id -> bound pc.
     bindings: Vec<Option<usize>>,
+    /// Label id -> retained name ([`Assembler::named_label`] only); bound
+    /// named labels become the program's [`SymbolMap`].
+    names: Vec<Option<String>>,
 }
 
 impl Assembler {
@@ -46,13 +49,24 @@ impl Assembler {
             insts: Vec::new(),
             fixups: Vec::new(),
             bindings: Vec::new(),
+            names: Vec::new(),
         }
     }
 
     /// Allocates a fresh, unbound label.
     pub fn label(&mut self) -> Label {
         self.bindings.push(None);
+        self.names.push(None);
         Label(self.bindings.len() - 1)
+    }
+
+    /// Allocates a fresh, unbound label whose name is retained: once bound,
+    /// it appears in the finished program's [`SymbolMap`], so profilers can
+    /// report `name+offset` instead of raw PCs.
+    pub fn named_label(&mut self, name: impl Into<String>) -> Label {
+        let l = self.label();
+        self.names[l.0] = Some(name.into());
+        l
     }
 
     /// Binds `label` to the current position (the next emitted instruction).
@@ -205,7 +219,17 @@ impl Assembler {
                 other => unreachable!("fixup on non-branch {other:?}"),
             }
         }
-        Ok(Program::new(self.name, self.insts))
+        let syms = self
+            .names
+            .iter()
+            .enumerate()
+            .filter_map(|(id, name)| Some((self.bindings[id]?, name.clone()?)))
+            .collect();
+        Ok(Program::with_symbols(
+            self.name,
+            self.insts,
+            SymbolMap::new(syms),
+        ))
     }
 }
 
@@ -298,6 +322,40 @@ mod tests {
         let e = asm.try_finish().unwrap_err();
         assert_eq!((e.line, e.col), (1, 0));
         assert!(e.to_string().contains("unbound label referenced at pc 1"));
+    }
+
+    #[test]
+    fn named_labels_round_trip_through_the_symbol_map() {
+        let mut asm = Assembler::new("t");
+        let top = asm.named_label("top");
+        let scan = asm.named_label("scan");
+        let anon = asm.label();
+        asm.bind(top);
+        asm.nop(); // pc 0
+        asm.bind(scan);
+        asm.nop(); // pc 1
+        asm.nop(); // pc 2
+        asm.bind(anon);
+        asm.halt(); // pc 3
+        let p = asm.finish();
+        // label -> pc -> label+offset round trip.
+        let syms = p.symbols();
+        let top_pc = syms.lookup("top").expect("top bound");
+        let scan_pc = syms.lookup("scan").expect("scan bound");
+        assert_eq!((top_pc, scan_pc), (0, 1));
+        assert_eq!(syms.resolve(top_pc), Some(("top", 0)));
+        assert_eq!(syms.symbolize(scan_pc + 1), "scan+1");
+        // Anonymous labels stay out of the symbol table.
+        assert_eq!(syms.len(), 2);
+    }
+
+    #[test]
+    fn unbound_named_label_is_omitted_from_symbols() {
+        let mut asm = Assembler::new("t");
+        let _unused = asm.named_label("never_bound");
+        asm.halt();
+        let p = asm.finish();
+        assert!(p.symbols().is_empty());
     }
 
     #[test]

@@ -51,5 +51,5 @@ pub use asm::{Assembler, Label};
 pub use error::AsmError;
 pub use exec::{ArchState, DataMemory, Flags, MemAccessKind, Outcome, VecMemory};
 pub use inst::{eval_alu, eval_cond, AluOp, Cond, Inst};
-pub use program::Program;
+pub use program::{Program, SymbolMap};
 pub use reg::{Reg, NUM_REGS, ZERO};

@@ -11,13 +11,15 @@
 //!    5: halt
 //! ```
 //!
-//! Leading `NNN:` indices, blank lines and `;` comments are ignored.
+//! Leading `NNN:` indices, blank lines and `;` comments are ignored. A bare
+//! `name:` line (as emitted for named labels) binds a symbol to the next
+//! instruction's pc, so listings round-trip with their symbol table intact.
 //!
 //! Errors are [`AsmError`]s carrying the 1-based line *and column* of the
 //! offending token, so a bad listing points straight at the problem.
 
 use crate::inst::{AluOp, Cond, Inst};
-use crate::program::Program;
+use crate::program::{Program, SymbolMap};
 use crate::reg::Reg;
 
 pub use crate::error::AsmError as ParseError;
@@ -317,6 +319,7 @@ fn split_operands(s: &str) -> Vec<&str> {
 /// ```
 pub fn parse_program(name: &str, text: &str) -> Result<Program, ParseError> {
     let mut insts = Vec::new();
+    let mut syms: Vec<(usize, String)> = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
         let mut line = raw.trim();
@@ -335,6 +338,19 @@ pub fn parse_program(name: &str, text: &str) -> Result<Program, ParseError> {
         if line.is_empty() {
             continue;
         }
+        // A bare `name:` line binds a symbol to the next instruction's pc.
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            let ident = !label.is_empty()
+                && !label.starts_with(|c: char| c.is_ascii_digit())
+                && label
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.');
+            if ident {
+                syms.push((insts.len(), label.to_string()));
+                continue;
+            }
+        }
         insts.push(parse_inst(line_no, line).map_err(|mut e| {
             // `line` is a subslice of `raw`; shift the column so it indexes
             // into the raw line, NNN: prefix and leading whitespace included.
@@ -344,7 +360,7 @@ pub fn parse_program(name: &str, text: &str) -> Result<Program, ParseError> {
             e
         })?);
     }
-    Ok(Program::new(name, insts))
+    Ok(Program::with_symbols(name, insts, SymbolMap::new(syms)))
 }
 
 #[cfg(test)]
@@ -380,6 +396,27 @@ mod tests {
         let text = p.to_string();
         let back = parse_program("rt", &text).expect("listing parses");
         assert_eq!(back, p);
+    }
+
+    /// Named labels print as `name:` lines and parse back into the symbol
+    /// map, bound to the following instruction's pc.
+    #[test]
+    fn symbol_labels_round_trip() {
+        let mut asm = Assembler::new("sym");
+        let top = asm.named_label("top");
+        asm.nop();
+        asm.bind(top);
+        asm.cmpi(r(1), 0);
+        let out = asm.named_label("out");
+        asm.b(Cond::Ne, top);
+        asm.bind(out);
+        asm.halt();
+        let p = asm.finish();
+        let back = parse_program("sym", &p.to_string()).expect("listing parses");
+        assert_eq!(back, p);
+        assert_eq!(back.symbols().lookup("top"), Some(1));
+        assert_eq!(back.symbols().symbolize(2), "top+1");
+        assert_eq!(back.symbols().symbolize(3), "out");
     }
 
     #[test]

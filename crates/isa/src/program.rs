@@ -4,6 +4,64 @@ use crate::inst::Inst;
 use std::fmt;
 use std::ops::Index;
 
+/// Maps guest PCs back to the source-level label names the assembler bound
+/// there — the moral equivalent of an ELF symbol table, so profilers can
+/// print `scan+2` instead of a bare instruction index.
+///
+/// Symbols are kept sorted by PC; [`SymbolMap::resolve`] charges a PC to the
+/// nearest preceding symbol (again like `perf` does for stripped-down symbol
+/// tables).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolMap {
+    /// `(pc, name)` pairs sorted by pc (ties keep insertion order).
+    syms: Vec<(usize, String)>,
+}
+
+impl SymbolMap {
+    /// Builds a map from arbitrary `(pc, name)` pairs.
+    pub fn new(mut syms: Vec<(usize, String)>) -> Self {
+        syms.sort_by_key(|&(pc, _)| pc);
+        SymbolMap { syms }
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// Whether the map holds no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// Iterates `(pc, name)` in ascending pc order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.syms.iter().map(|(pc, n)| (*pc, n.as_str()))
+    }
+
+    /// The pc a symbol name is bound to (first match wins).
+    pub fn lookup(&self, name: &str) -> Option<usize> {
+        self.syms.iter().find(|(_, n)| n == name).map(|&(pc, _)| pc)
+    }
+
+    /// Resolves `pc` to the nearest preceding symbol and the offset from it.
+    pub fn resolve(&self, pc: usize) -> Option<(&str, usize)> {
+        let idx = self.syms.partition_point(|&(sym_pc, _)| sym_pc <= pc);
+        let (sym_pc, name) = self.syms.get(idx.checked_sub(1)?)?;
+        Some((name.as_str(), pc - sym_pc))
+    }
+
+    /// Human-readable form of [`SymbolMap::resolve`]: `name`, `name+off`, or
+    /// the bare pc when no symbol precedes it.
+    pub fn symbolize(&self, pc: usize) -> String {
+        match self.resolve(pc) {
+            Some((name, 0)) => name.to_string(),
+            Some((name, off)) => format!("{name}+{off}"),
+            None => format!("pc {pc}"),
+        }
+    }
+}
+
 /// An assembled, label-resolved program.
 ///
 /// PCs are instruction indices (`0..len`). Programs are produced by
@@ -12,6 +70,7 @@ use std::ops::Index;
 pub struct Program {
     name: String,
     insts: Vec<Inst>,
+    symbols: SymbolMap,
 }
 
 impl Program {
@@ -21,6 +80,16 @@ impl Program {
     ///
     /// Panics if any branch target is out of range.
     pub fn new(name: impl Into<String>, insts: Vec<Inst>) -> Self {
+        Program::with_symbols(name, insts, SymbolMap::default())
+    }
+
+    /// Creates a program carrying a symbol table (named labels the
+    /// assembler retained).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any branch target is out of range.
+    pub fn with_symbols(name: impl Into<String>, insts: Vec<Inst>, symbols: SymbolMap) -> Self {
         let len = insts.len();
         for (pc, inst) in insts.iter().enumerate() {
             if let Inst::B { target, .. } | Inst::J { target } = *inst {
@@ -33,7 +102,13 @@ impl Program {
         Program {
             name: name.into(),
             insts,
+            symbols,
         }
+    }
+
+    /// The retained label names, keyed by pc.
+    pub fn symbols(&self) -> &SymbolMap {
+        &self.symbols
     }
 
     /// The program's human-readable name.
@@ -74,6 +149,11 @@ impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "; program {}", self.name)?;
         for (pc, inst) in self.insts.iter().enumerate() {
+            for (sym_pc, name) in self.symbols.iter() {
+                if sym_pc == pc {
+                    writeln!(f, "{name}:")?;
+                }
+            }
             writeln!(f, "{pc:4}: {inst}")?;
         }
         Ok(())
@@ -114,5 +194,29 @@ mod tests {
         let s = p.to_string();
         assert!(s.contains("nop"));
         assert!(s.contains("halt"));
+    }
+
+    #[test]
+    fn symbol_map_resolves_to_nearest_preceding_symbol() {
+        let m = SymbolMap::new(vec![(5, "scan".into()), (0, "top".into())]);
+        assert_eq!(m.resolve(0), Some(("top", 0)));
+        assert_eq!(m.resolve(3), Some(("top", 3)));
+        assert_eq!(m.resolve(5), Some(("scan", 0)));
+        assert_eq!(m.resolve(9), Some(("scan", 4)));
+        assert_eq!(m.lookup("scan"), Some(5));
+        assert_eq!(m.lookup("nope"), None);
+        assert_eq!(m.symbolize(6), "scan+1");
+        assert_eq!(m.symbolize(0), "top");
+        assert_eq!(SymbolMap::default().resolve(3), None);
+        assert_eq!(SymbolMap::default().symbolize(3), "pc 3");
+    }
+
+    #[test]
+    fn programs_carry_symbols() {
+        let m = SymbolMap::new(vec![(1, "end".into())]);
+        let p = Program::with_symbols("s", vec![Inst::Nop, Inst::Halt], m);
+        assert_eq!(p.symbols().len(), 1);
+        assert_eq!(p.symbols().symbolize(1), "end");
+        assert!(p.to_string().contains("end:"));
     }
 }

@@ -22,6 +22,24 @@ pub enum PfSource {
     Svr,
 }
 
+/// A per-line prefetch tag: which mechanism brought the line in and the
+/// guest PC of the load whose training triggered it (so efficacy outcomes
+/// can be charged back to the triggering instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PfTag {
+    /// The prefetching mechanism.
+    pub src: PfSource,
+    /// Guest PC of the triggering load.
+    pub pc: u64,
+}
+
+impl PfTag {
+    /// Convenience constructor.
+    pub fn new(src: PfSource, pc: u64) -> Self {
+        PfTag { src, pc }
+    }
+}
+
 /// Cache geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -62,8 +80,8 @@ const INVALID: u64 = u64::MAX;
 pub struct AccessOutcome {
     /// Whether the line was present.
     pub hit: bool,
-    /// If this was the first demand touch of a prefetched line, its source.
-    pub first_use_of: Option<PfSource>,
+    /// If this was the first demand touch of a prefetched line, its tag.
+    pub first_use_of: Option<PfTag>,
 }
 
 /// Information about an evicted line.
@@ -73,8 +91,8 @@ pub struct EvictInfo {
     pub line_addr: u64,
     /// Whether the victim was dirty (needs a writeback).
     pub dirty: bool,
-    /// If the victim was a never-used prefetch, its source.
-    pub pf_unused: Option<PfSource>,
+    /// If the victim was a never-used prefetch, its tag.
+    pub pf_unused: Option<PfTag>,
 }
 
 /// Result of a fill.
@@ -83,9 +101,9 @@ pub struct FillOutcome {
     /// The victim evicted to make room, if any.
     pub evicted: Option<EvictInfo>,
     /// If the fill found the line already present carrying a prefetch tag
-    /// and this fill is a *demand* fill, the tag's source: the racing demand
-    /// fill is the line's first demand use, and the caller should count it.
-    pub first_use_of: Option<PfSource>,
+    /// and this fill is a *demand* fill, the tag: the racing demand fill is
+    /// the line's first demand use, and the caller should count it.
+    pub first_use_of: Option<PfTag>,
 }
 
 /// A set-associative, write-back, write-allocate cache (timing only — data
@@ -96,9 +114,9 @@ pub struct FillOutcome {
 /// ```
 /// use svr_mem::{Cache, CacheConfig};
 /// let mut c = Cache::new(CacheConfig::l1());
-/// assert!(!c.access(0x40, false).hit);
+/// assert!(!c.access(0x40, false, true).hit);
 /// c.fill(0x40, false, None, true);
-/// assert!(c.access(0x40, false).hit);
+/// assert!(c.access(0x40, false, true).hit);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cache {
@@ -109,7 +127,7 @@ pub struct Cache {
     /// Per-way dirty bits.
     dirty: Vec<bool>,
     /// Per-way prefetch tags.
-    pf: Vec<Option<PfSource>>,
+    pf: Vec<Option<PfTag>>,
     ways: usize,
     set_mask: u64,
     tick: u64,
@@ -161,10 +179,14 @@ impl Cache {
         self.find(base, tag).is_some()
     }
 
-    /// Performs a demand access (load or store). On a hit, updates LRU, sets
-    /// the dirty bit for writes, and reports the first use of a prefetched
-    /// line. On a miss, state is unchanged (call [`Cache::fill`] afterwards).
-    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+    /// Performs an access (load or store). On a hit, updates LRU, sets the
+    /// dirty bit for writes and — for *demand* accesses only — consumes and
+    /// reports a resident prefetch tag (the line's first demand use).
+    /// Non-demand accesses (hardware-prefetch lookups) leave tags in place:
+    /// a prefetcher touching its own line is not a use, and consuming the
+    /// tag there would leak the line out of the efficacy ledger. On a miss,
+    /// state is unchanged (call [`Cache::fill`] afterwards).
+    pub fn access(&mut self, addr: u64, is_write: bool, demand: bool) -> AccessOutcome {
         self.tick += 1;
         let (base, tag) = self.set_range(addr);
         if let Some(i) = self.find(base, tag) {
@@ -172,7 +194,7 @@ impl Cache {
             self.dirty[i] |= is_write;
             return AccessOutcome {
                 hit: true,
-                first_use_of: self.pf[i].take(),
+                first_use_of: if demand { self.pf[i].take() } else { None },
             };
         }
         AccessOutcome {
@@ -201,13 +223,7 @@ impl Cache {
     /// coverage statistics (Fig. 13) count it as used rather than silently
     /// keeping a stale tag. Non-demand racing fills (writebacks, redundant
     /// prefetches) leave an existing tag in place and never plant a new one.
-    pub fn fill(
-        &mut self,
-        addr: u64,
-        dirty: bool,
-        pf: Option<PfSource>,
-        demand: bool,
-    ) -> FillOutcome {
+    pub fn fill(&mut self, addr: u64, dirty: bool, pf: Option<PfTag>, demand: bool) -> FillOutcome {
         self.tick += 1;
         let (base, tag) = self.set_range(addr);
         // Already present (racing fills): merge state, never duplicate.
@@ -250,17 +266,27 @@ impl Cache {
         }
     }
 
-    /// Tags an already-present line as a prefetch from `src` (used when a
+    /// Tags an already-present, untagged line as a prefetch (used when a
     /// tagged line migrates down a level on eviction, so accuracy follows
-    /// the paper's eviction-from-LLC definition). Returns `false` when the
-    /// line is absent.
-    pub fn tag_line(&mut self, addr: u64, src: PfSource) -> bool {
-        let (base, tag) = self.set_range(addr);
-        if let Some(i) = self.find(base, tag) {
-            self.pf[i] = Some(src);
-            return true;
+    /// the paper's eviction-from-LLC definition). Returns `false` — and
+    /// leaves the cache untouched — when the line is absent *or* already
+    /// carries a tag (overwriting would silently drop the resident tag from
+    /// the efficacy ledger; the caller counts the migrating one instead).
+    pub fn tag_line(&mut self, addr: u64, tag: PfTag) -> bool {
+        let (base, line) = self.set_range(addr);
+        if let Some(i) = self.find(base, line) {
+            if self.pf[i].is_none() {
+                self.pf[i] = Some(tag);
+                return true;
+            }
         }
         false
+    }
+
+    /// Iterates the prefetch tags still resident (never demanded) — the
+    /// end-of-run `resident_at_end` population of the efficacy ledger.
+    pub fn resident_pf_tags(&self) -> impl Iterator<Item = PfTag> + '_ {
+        self.pf.iter().filter_map(|t| *t)
     }
 
     /// Invalidates every line (used between simulation phases in tests).
@@ -294,12 +320,16 @@ mod tests {
         })
     }
 
+    fn pf(src: PfSource) -> Option<PfTag> {
+        Some(PfTag::new(src, 7))
+    }
+
     #[test]
     fn miss_then_fill_then_hit() {
         let mut c = tiny();
-        assert!(!c.access(0x100, false).hit);
+        assert!(!c.access(0x100, false, true).hit);
         assert_eq!(c.fill(0x100, false, None, true), FillOutcome::default());
-        assert!(c.access(0x100, false).hit);
+        assert!(c.access(0x100, false, true).hit);
         assert!(c.probe(0x13f)); // same line
         assert!(!c.probe(0x140)); // next line
     }
@@ -313,7 +343,7 @@ mod tests {
         let d = 0x800;
         c.fill(a, false, None, true);
         c.fill(b, false, None, true);
-        c.access(a, false); // a more recent than b
+        c.access(a, false, true); // a more recent than b
         let ev = c.fill(d, false, None, true).evicted.expect("must evict");
         assert_eq!(ev.line_addr, b);
         assert!(c.probe(a) && c.probe(d) && !c.probe(b));
@@ -323,7 +353,7 @@ mod tests {
     fn dirty_eviction_reported() {
         let mut c = tiny();
         c.fill(0x000, false, None, true);
-        c.access(0x000, true); // make dirty
+        c.access(0x000, true, true); // make dirty
         c.fill(0x400, false, None, true);
         let ev = c.fill(0x800, false, None, true).evicted.unwrap();
         assert!(ev.dirty);
@@ -332,17 +362,28 @@ mod tests {
     #[test]
     fn prefetch_tag_first_use_and_unused_eviction() {
         let mut c = tiny();
-        c.fill(0x000, false, Some(PfSource::Svr), false);
-        let out = c.access(0x000, false);
-        assert_eq!(out.first_use_of, Some(PfSource::Svr));
+        c.fill(0x000, false, pf(PfSource::Svr), false);
+        let out = c.access(0x000, false, true);
+        assert_eq!(out.first_use_of, pf(PfSource::Svr));
         // Second access is no longer a "first use".
-        assert_eq!(c.access(0x000, false).first_use_of, None);
+        assert_eq!(c.access(0x000, false, true).first_use_of, None);
 
-        c.fill(0x400, false, Some(PfSource::Imp), false);
-        c.access(0x000, false);
+        c.fill(0x400, false, pf(PfSource::Imp), false);
+        c.access(0x000, false, true);
         let ev = c.fill(0x800, false, None, true).evicted.unwrap();
-        assert_eq!(ev.pf_unused, Some(PfSource::Imp));
+        assert_eq!(ev.pf_unused, pf(PfSource::Imp));
         assert_eq!(ev.line_addr, 0x400);
+    }
+
+    /// A *non-demand* hit (a prefetcher looking at its own line) must leave
+    /// the tag in place — only demand touches consume it.
+    #[test]
+    fn non_demand_access_leaves_tag_in_place() {
+        let mut c = tiny();
+        c.fill(0x000, false, pf(PfSource::Svr), false);
+        assert_eq!(c.access(0x000, false, false).first_use_of, None);
+        assert_eq!(c.access(0x000, false, true).first_use_of, pf(PfSource::Svr));
+        assert_eq!(c.resident_pf_tags().count(), 0);
     }
 
     #[test]
@@ -367,16 +408,12 @@ mod tests {
     #[test]
     fn demand_fill_over_prefetch_fill_consumes_tag() {
         let mut c = tiny();
-        c.fill(0x000, false, Some(PfSource::Svr), false);
+        c.fill(0x000, false, pf(PfSource::Svr), false);
         let out = c.fill(0x000, true, None, true);
-        assert_eq!(
-            out.first_use_of,
-            Some(PfSource::Svr),
-            "tag must be consumed"
-        );
+        assert_eq!(out.first_use_of, pf(PfSource::Svr), "tag must be consumed");
         assert_eq!(out.evicted, None);
         // Tag is gone: a later demand access sees no first use...
-        assert_eq!(c.access(0x000, false).first_use_of, None);
+        assert_eq!(c.access(0x000, false, true).first_use_of, None);
         // ...and eviction does not report the line as an unused prefetch.
         c.fill(0x400, false, None, true);
         let ev = c.fill(0x800, false, None, true).evicted.unwrap();
@@ -391,13 +428,13 @@ mod tests {
     #[test]
     fn non_demand_racing_fill_keeps_tag() {
         let mut c = tiny();
-        c.fill(0x000, false, Some(PfSource::Imp), false);
+        c.fill(0x000, false, pf(PfSource::Imp), false);
         let out = c.fill(0x000, true, None, false); // writeback lands on it
         assert_eq!(out.first_use_of, None);
         // A redundant prefetch fill neither steals nor replants the tag.
-        let out = c.fill(0x000, false, Some(PfSource::Svr), false);
+        let out = c.fill(0x000, false, pf(PfSource::Svr), false);
         assert_eq!(out.first_use_of, None);
-        assert_eq!(c.access(0x000, false).first_use_of, Some(PfSource::Imp));
+        assert_eq!(c.access(0x000, false, true).first_use_of, pf(PfSource::Imp));
     }
 
     #[test]
@@ -410,12 +447,19 @@ mod tests {
     }
 
     #[test]
-    fn tag_line_marks_present_lines_only() {
+    fn tag_line_marks_present_untagged_lines_only() {
         let mut c = tiny();
         c.fill(0x000, false, None, true);
-        assert!(c.tag_line(0x000, PfSource::Svr));
-        assert_eq!(c.access(0x000, false).first_use_of, Some(PfSource::Svr));
-        assert!(!c.tag_line(0xf00, PfSource::Svr));
+        assert!(c.tag_line(0x000, PfTag::new(PfSource::Svr, 7)));
+        assert_eq!(c.resident_pf_tags().count(), 1);
+        assert_eq!(c.access(0x000, false, true).first_use_of, pf(PfSource::Svr));
+        assert!(!c.tag_line(0xf00, PfTag::new(PfSource::Svr, 7)));
+        // A line already carrying a tag refuses a second one: the resident
+        // tag stays in the ledger and the migrating one is the caller's to
+        // count as wasted.
+        c.fill(0x040, false, pf(PfSource::Imp), false);
+        assert!(!c.tag_line(0x040, PfTag::new(PfSource::Svr, 9)));
+        assert_eq!(c.access(0x040, false, true).first_use_of, pf(PfSource::Imp));
     }
 
     #[test]

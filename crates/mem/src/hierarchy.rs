@@ -2,7 +2,7 @@
 //! attached prefetchers. This is the single timing entry point used by all
 //! core models.
 
-use crate::cache::{Cache, CacheConfig, PfSource};
+use crate::cache::{Cache, CacheConfig, PfSource, PfTag};
 use crate::dram::{DramConfig, DramModel};
 use crate::image::MemImage;
 use crate::line_of;
@@ -12,7 +12,54 @@ use crate::prefetch::{
 };
 use crate::stats::MemStats;
 use crate::tlb::{Tlb, TlbConfig, WalkerPool};
-use svr_trace::{MemKind, MemLevel, NullSink, TraceEvent, TraceSink};
+use svr_trace::{MemKind, MemLevel, NullSink, PfEvent, TraceEvent, TraceSink};
+
+/// Slots in the evicted-by pollution filter (direct-mapped on line number).
+/// Bounded so the filter costs a fixed ~100 KiB regardless of footprint; a
+/// conflicting insert simply forgets the older victim, making the pollution
+/// counter a slight *under*-estimate (documented in DESIGN.md).
+const POLLUTION_SLOTS: usize = 4096;
+
+/// Remembers, per victim line, the prefetch whose fill evicted it from the
+/// LLC, so a later demand miss on that line can be charged to the polluting
+/// prefetch (the "pollution" leg of the efficacy taxonomy).
+#[derive(Debug)]
+struct PollutionFilter {
+    /// `(victim_line_number, tag)`; `u64::MAX` marks an empty slot.
+    slots: Vec<(u64, PfTag)>,
+}
+
+impl PollutionFilter {
+    fn new() -> Self {
+        PollutionFilter {
+            slots: vec![
+                (u64::MAX, PfTag::new(PfSource::Stride, 0));
+                POLLUTION_SLOTS
+            ],
+        }
+    }
+
+    #[inline]
+    fn slot(line_addr: u64) -> usize {
+        ((line_addr / crate::LINE_BYTES) as usize) & (POLLUTION_SLOTS - 1)
+    }
+
+    /// Records `tag`'s fill as the evictor of the line at `line_addr`.
+    fn record(&mut self, line_addr: u64, tag: PfTag) {
+        self.slots[Self::slot(line_addr)] = (line_addr, tag);
+    }
+
+    /// Removes and returns the evictor of the line at `line_addr`.
+    fn take(&mut self, line_addr: u64) -> Option<PfTag> {
+        let entry = &mut self.slots[Self::slot(line_addr)];
+        if entry.0 == line_addr {
+            entry.0 = u64::MAX;
+            Some(entry.1)
+        } else {
+            None
+        }
+    }
+}
 
 /// What kind of access is being performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +232,10 @@ pub struct MemoryHierarchy<S: TraceSink = NullSink> {
     stride_pf: Option<StridePrefetcher>,
     imp: Option<ImpPrefetcher>,
     stats: MemStats,
+    pollution: PollutionFilter,
+    /// Set by [`MemoryHierarchy::finalize`]; gates the prefetch-ledger
+    /// invariant (which only balances once residents are counted).
+    finalized: bool,
     pf_scratch: Vec<u64>,
     /// Optional hook address region: instruction fetches are mapped here.
     inst_base: u64,
@@ -214,6 +265,8 @@ impl<S: TraceSink> MemoryHierarchy<S> {
             imp: config.imp.map(ImpPrefetcher::new),
             config,
             stats: MemStats::default(),
+            pollution: PollutionFilter::new(),
+            finalized: false,
             pf_scratch: Vec::new(),
             inst_base: 0x4000_0000,
             sink,
@@ -262,7 +315,10 @@ impl<S: TraceSink> MemoryHierarchy<S> {
     /// * only demand L1-D misses that neither coalesce nor hit an in-flight
     ///   line reach the L2, so `l2_hits + l2_misses <= l1d_misses`;
     /// * the MSHR file's retire watermark must not strand entries
-    ///   ([`MshrFile::check_invariants`]).
+    ///   ([`MshrFile::check_invariants`]);
+    /// * after [`MemoryHierarchy::finalize`], each prefetch source's ledger
+    ///   balances: `issued == used + late + evicted_unused +
+    ///   resident_at_end`.
     ///
     /// Runs in O(MSHR capacity); callers check once per completed run, so
     /// violations surface in release builds too (not just debug asserts).
@@ -282,12 +338,56 @@ impl<S: TraceSink> MemoryHierarchy<S> {
                 s.l2_hits, s.l2_misses, s.l1d_misses
             ));
         }
+        if self.finalized {
+            for (name, c) in [("stride", &s.stride), ("imp", &s.imp), ("svr", &s.svr)] {
+                if !c.outcomes_balance() {
+                    return Err(format!(
+                        "{name} prefetch ledger out of balance: issued={} \
+                         used={} late={} evicted_unused={} resident_at_end={}",
+                        c.issued, c.used, c.late, c.evicted_unused, c.resident_at_end
+                    ));
+                }
+            }
+        }
         self.mshrs.check_invariants()
+    }
+
+    /// Ends the run's prefetch ledger: every still-resident, never-demanded
+    /// prefetched line (in L1-D or L2) is counted as `resident_at_end`, so
+    /// each source's outcomes balance against `issued` — enforced by
+    /// [`MemoryHierarchy::check_invariants`] from then on. Idempotent; call
+    /// once when the simulated program halts.
+    pub fn finalize(&mut self, now: u64) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        let resident: Vec<PfTag> = self
+            .l1d
+            .resident_pf_tags()
+            .chain(self.l2.resident_pf_tags())
+            .collect();
+        for tag in resident {
+            self.stats.pf_mut(tag.src).resident_at_end += 1;
+            if S::ENABLED {
+                self.sink.emit(&TraceEvent::Pf {
+                    cycle: now,
+                    kind: AccessKind::Prefetch(tag.src).mem_kind(),
+                    pc: tag.pc,
+                    outcome: PfEvent::Resident,
+                });
+            }
+        }
+    }
+
+    /// Whether [`MemoryHierarchy::finalize`] has run.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
     }
 
     /// Performs a data-side access without prefetcher training (used
     /// internally and by SVR transient lanes via `Prefetch(Svr)`).
-    fn access_data_path(&mut self, now: u64, addr: u64, kind: AccessKind) -> AccessResult {
+    fn access_data_path(&mut self, now: u64, addr: u64, kind: AccessKind, pc: u64) -> AccessResult {
         // Translation.
         let (tlat, walked) = self.dtlb.translate(now, addr, &mut self.walkers);
         if walked {
@@ -296,6 +396,7 @@ impl<S: TraceSink> MemoryHierarchy<S> {
                 self.sink.emit(&TraceEvent::TlbWalk {
                     cycle: now,
                     done: now + tlat,
+                    pc,
                 });
             }
         }
@@ -304,13 +405,8 @@ impl<S: TraceSink> MemoryHierarchy<S> {
         let is_demand = matches!(kind, AccessKind::DemandLoad | AccessKind::DemandStore);
         let line = line_of(addr);
 
-        // L1 lookup.
-        let outcome = self.l1d.access(addr, is_store);
-        if let Some(src) = outcome.first_use_of {
-            if is_demand {
-                self.stats.pf_mut(src).used += 1;
-            }
-        }
+        // L1 lookup; only demand accesses consume prefetch tags.
+        let outcome = self.l1d.access(addr, is_store, is_demand);
         if outcome.hit {
             if is_demand {
                 self.stats.l1d_hits += 1;
@@ -319,6 +415,26 @@ impl<S: TraceSink> MemoryHierarchy<S> {
             // whose fill is still in flight completes when the fill does
             // (hit-under-miss / MSHR coalescing).
             let outstanding = self.mshrs.outstanding(line, t);
+            if let Some(tag) = outcome.first_use_of {
+                // First demand touch of a prefetched line. If the fill is
+                // still in flight, the prefetch was wanted but hid only part
+                // of the miss latency: *late*, not fully used.
+                let pf_outcome = if outstanding.is_some() {
+                    self.stats.pf_mut(tag.src).late += 1;
+                    PfEvent::Late
+                } else {
+                    self.stats.pf_mut(tag.src).used += 1;
+                    PfEvent::Used
+                };
+                if S::ENABLED {
+                    self.sink.emit(&TraceEvent::Pf {
+                        cycle: t,
+                        kind: AccessKind::Prefetch(tag.src).mem_kind(),
+                        pc: tag.pc,
+                        outcome: pf_outcome,
+                    });
+                }
+            }
             let ready = outstanding.unwrap_or(t).max(t + self.config.l1_latency);
             if S::ENABLED {
                 if outstanding.is_some() {
@@ -332,6 +448,8 @@ impl<S: TraceSink> MemoryHierarchy<S> {
                     addr,
                     level: MemLevel::L1,
                     kind: kind.mem_kind(),
+                    pc,
+                    miss: false,
                 });
             }
             return AccessResult {
@@ -355,6 +473,8 @@ impl<S: TraceSink> MemoryHierarchy<S> {
                     addr,
                     level: MemLevel::L1,
                     kind: kind.mem_kind(),
+                    pc,
+                    miss: is_demand,
                 });
             }
             return AccessResult {
@@ -385,11 +505,19 @@ impl<S: TraceSink> MemoryHierarchy<S> {
             }
         }
 
-        // L2 lookup.
-        let l2_out = self.l2.access(addr, false);
-        if let Some(src) = l2_out.first_use_of {
-            if is_demand {
-                self.stats.pf_mut(src).used += 1;
+        // L2 lookup; only demand accesses consume prefetch tags.
+        let l2_out = self.l2.access(addr, false, is_demand);
+        if let Some(tag) = l2_out.first_use_of {
+            // Demand touch of a line the prefetcher kept in the LLC: the
+            // DRAM latency was hidden, so the prefetch counts as used.
+            self.stats.pf_mut(tag.src).used += 1;
+            if S::ENABLED {
+                self.sink.emit(&TraceEvent::Pf {
+                    cycle: t,
+                    kind: AccessKind::Prefetch(tag.src).mem_kind(),
+                    pc: tag.pc,
+                    outcome: PfEvent::Used,
+                });
             }
         }
         let (ready, level) = if l2_out.hit {
@@ -398,8 +526,23 @@ impl<S: TraceSink> MemoryHierarchy<S> {
             }
             (t + self.config.l2_latency, HitLevel::L2)
         } else {
+            // The line is being (re)installed below, so its evicted-by
+            // record is finished either way; a *demand* miss on a
+            // remembered victim is pollution, charged to the evictor.
+            let polluter = self.pollution.take(line);
             if is_demand {
                 self.stats.l2_misses += 1;
+                if let Some(tag) = polluter {
+                    self.stats.pf_mut(tag.src).pollution += 1;
+                    if S::ENABLED {
+                        self.sink.emit(&TraceEvent::Pf {
+                            cycle: t,
+                            kind: AccessKind::Prefetch(tag.src).mem_kind(),
+                            pc: tag.pc,
+                            outcome: PfEvent::Pollution,
+                        });
+                    }
+                }
             }
             let done = self.dram.access(t + self.config.l2_latency, false);
             if S::ENABLED {
@@ -435,19 +578,48 @@ impl<S: TraceSink> MemoryHierarchy<S> {
 
         // Fill caches; dirty-evictions create writebacks.
         let pf_tag = match kind {
-            AccessKind::Prefetch(src) => Some(src),
+            AccessKind::Prefetch(src) => {
+                // The ledger admits a prefetch only here, when its line is
+                // actually installed — in-cache, coalesced and structurally
+                // dropped requests never get this far — so every `issued`
+                // line reaches exactly one terminal outcome.
+                self.stats.pf_mut(src).issued += 1;
+                if S::ENABLED {
+                    self.sink.emit(&TraceEvent::Pf {
+                        cycle: t,
+                        kind: kind.mem_kind(),
+                        pc,
+                        outcome: PfEvent::Issued,
+                    });
+                }
+                Some(PfTag::new(src, pc))
+            }
             _ => None,
         };
         // Writebacks drain from a write buffer at eviction time; they only
         // consume channel bandwidth and never delay the read's fill.
         if level == HitLevel::Dram {
             let out = self.l2.fill(addr, false, None, is_demand);
-            if let Some(src) = out.first_use_of {
+            if let Some(tag) = out.first_use_of {
                 // Racing demand fill over a prefetch-tagged L2 line: this is
                 // the line's first demand use, not a stale tag to keep.
-                self.stats.pf_mut(src).used += 1;
+                self.stats.pf_mut(tag.src).used += 1;
+                if S::ENABLED {
+                    self.sink.emit(&TraceEvent::Pf {
+                        cycle: t,
+                        kind: AccessKind::Prefetch(tag.src).mem_kind(),
+                        pc: tag.pc,
+                        outcome: PfEvent::Used,
+                    });
+                }
             }
             if let Some(ev) = out.evicted {
+                if let AccessKind::Prefetch(src) = kind {
+                    // Remember who pushed this victim out of the LLC, so a
+                    // later demand miss on it can be charged as pollution.
+                    self.pollution
+                        .record(line_of(ev.line_addr), PfTag::new(src, pc));
+                }
                 if ev.dirty {
                     self.stats.writebacks += 1;
                     let wb_done = self.dram.access(t, true);
@@ -459,23 +631,49 @@ impl<S: TraceSink> MemoryHierarchy<S> {
                         });
                     }
                 }
-                if let Some(src) = ev.pf_unused {
+                if let Some(tag) = ev.pf_unused {
                     // Gone from the LLC without a demand touch (§IV-A7 /
                     // Fig. 13a count prefetches against LLC eviction).
-                    self.stats.pf_mut(src).evicted_unused += 1;
+                    self.stats.pf_mut(tag.src).evicted_unused += 1;
+                    if S::ENABLED {
+                        self.sink.emit(&TraceEvent::Pf {
+                            cycle: t,
+                            kind: AccessKind::Prefetch(tag.src).mem_kind(),
+                            pc: tag.pc,
+                            outcome: PfEvent::EvictedUnused,
+                        });
+                    }
                 }
             }
         }
         let out = self.l1d.fill(addr, is_store, pf_tag, is_demand);
-        if let Some(src) = out.first_use_of {
-            self.stats.pf_mut(src).used += 1;
+        if let Some(tag) = out.first_use_of {
+            self.stats.pf_mut(tag.src).used += 1;
+            if S::ENABLED {
+                self.sink.emit(&TraceEvent::Pf {
+                    cycle: t,
+                    kind: AccessKind::Prefetch(tag.src).mem_kind(),
+                    pc: tag.pc,
+                    outcome: PfEvent::Used,
+                });
+            }
         }
         if let Some(ev) = out.evicted {
-            if let Some(src) = ev.pf_unused {
+            if let Some(tag) = ev.pf_unused {
                 // Still resident in L2: the tag migrates; the prefetch only
-                // counts as wasted once it leaves the LLC untouched.
-                if !self.l2.tag_line(ev.line_addr, src) {
-                    self.stats.pf_mut(src).evicted_unused += 1;
+                // counts as wasted once it leaves the LLC untouched. A
+                // refused migration (victim L2 line already carries a tag)
+                // closes this ledger entry as evicted-unused instead.
+                if !self.l2.tag_line(ev.line_addr, tag) {
+                    self.stats.pf_mut(tag.src).evicted_unused += 1;
+                    if S::ENABLED {
+                        self.sink.emit(&TraceEvent::Pf {
+                            cycle: t,
+                            kind: AccessKind::Prefetch(tag.src).mem_kind(),
+                            pc: tag.pc,
+                            outcome: PfEvent::EvictedUnused,
+                        });
+                    }
                 }
             }
             if ev.dirty {
@@ -504,6 +702,8 @@ impl<S: TraceSink> MemoryHierarchy<S> {
                 addr,
                 level: level.mem_level(),
                 kind: kind.mem_kind(),
+                pc,
+                miss: is_demand,
             });
         }
         AccessResult {
@@ -525,7 +725,7 @@ impl<S: TraceSink> MemoryHierarchy<S> {
         if acc.kind == AccessKind::InstFetch {
             return self.fetch_inst(acc.now, acc.addr);
         }
-        let res = self.access_data_path(acc.now, acc.addr, acc.kind);
+        let res = self.access_data_path(acc.now, acc.addr, acc.kind, acc.pc);
         // Train prefetchers on demand traffic only.
         if (self.stride_pf.is_some() || self.imp.is_some())
             && matches!(acc.kind, AccessKind::DemandLoad | AccessKind::DemandStore)
@@ -553,13 +753,13 @@ impl<S: TraceSink> MemoryHierarchy<S> {
             if let Some(pf) = self.stride_pf.as_mut() {
                 pf.on_demand(info, img, &mut scratch);
                 let n = scratch.len();
-                self.issue_prefetches(acc.now, &scratch, PfSource::Stride, 0, n);
+                self.issue_prefetches(acc.now, &scratch, PfSource::Stride, 0, n, acc.pc);
             }
             if let Some(imp) = self.imp.as_mut() {
                 let start = scratch.len();
                 imp.on_demand(info, img, &mut scratch);
                 let n = scratch.len();
-                self.issue_prefetches(acc.now, &scratch, PfSource::Imp, start, n);
+                self.issue_prefetches(acc.now, &scratch, PfSource::Imp, start, n, acc.pc);
             }
             scratch.clear();
             self.pf_scratch = scratch;
@@ -567,6 +767,8 @@ impl<S: TraceSink> MemoryHierarchy<S> {
         res
     }
 
+    /// `pc` is the demand load that triggered these prefetches; outcomes
+    /// are attributed to it in the per-PC efficacy breakdowns.
     fn issue_prefetches(
         &mut self,
         now: u64,
@@ -574,13 +776,13 @@ impl<S: TraceSink> MemoryHierarchy<S> {
         src: PfSource,
         start: usize,
         end: usize,
+        pc: u64,
     ) {
         for &addr in &addrs[start..end] {
             if self.l1d.prefetch_probe(addr) {
                 continue; // already cached
             }
-            self.stats.pf_mut(src).issued += 1;
-            self.access_data_path(now, addr, AccessKind::Prefetch(src));
+            self.access_data_path(now, addr, AccessKind::Prefetch(src), pc);
         }
     }
 
@@ -589,14 +791,18 @@ impl<S: TraceSink> MemoryHierarchy<S> {
     pub fn fetch_inst(&mut self, now: u64, pc: u64) -> AccessResult {
         let addr = self.inst_base + pc * 4;
         let (tlat, walked) = self.itlb.translate(now, addr, &mut self.walkers);
-        if S::ENABLED && walked {
-            self.sink.emit(&TraceEvent::TlbWalk {
-                cycle: now,
-                done: now + tlat,
-            });
+        if walked {
+            self.stats.tlb_walks += 1;
+            if S::ENABLED {
+                self.sink.emit(&TraceEvent::TlbWalk {
+                    cycle: now,
+                    done: now + tlat,
+                    pc,
+                });
+            }
         }
         let t = now + tlat;
-        let out = self.l1i.access(addr, false);
+        let out = self.l1i.access(addr, false, true);
         if out.hit {
             self.stats.l1i_hits += 1;
             if S::ENABLED {
@@ -606,6 +812,8 @@ impl<S: TraceSink> MemoryHierarchy<S> {
                     addr,
                     level: MemLevel::L1,
                     kind: MemKind::InstFetch,
+                    pc,
+                    miss: false,
                 });
             }
             return AccessResult {
@@ -615,7 +823,20 @@ impl<S: TraceSink> MemoryHierarchy<S> {
             };
         }
         self.stats.l1i_misses += 1;
-        let l2_out = self.l2.access(addr, false);
+        let l2_out = self.l2.access(addr, false, true);
+        if let Some(tag) = l2_out.first_use_of {
+            // Text and data share the L2; an ifetch landing on a
+            // prefetch-tagged line still closes that ledger entry.
+            self.stats.pf_mut(tag.src).used += 1;
+            if S::ENABLED {
+                self.sink.emit(&TraceEvent::Pf {
+                    cycle: t,
+                    kind: AccessKind::Prefetch(tag.src).mem_kind(),
+                    pc: tag.pc,
+                    outcome: PfEvent::Used,
+                });
+            }
+        }
         let (ready, level) = if l2_out.hit {
             (t + self.config.l2_latency, HitLevel::L2)
         } else {
@@ -639,6 +860,8 @@ impl<S: TraceSink> MemoryHierarchy<S> {
                 addr,
                 level: level.mem_level(),
                 kind: MemKind::InstFetch,
+                pc,
+                miss: true,
             });
         }
         AccessResult {
@@ -831,6 +1054,53 @@ mod tests {
         }
         assert_eq!(plain.stats(), traced.stats());
         assert!(traced.sink.total() > 0);
+    }
+
+    #[test]
+    fn demand_racing_in_flight_prefetch_counts_late() {
+        let mut h = hier();
+        let r = h.access(Access::new(0, 0x2000, AccessKind::Prefetch(PfSource::Svr)).with_pc(9));
+        assert_eq!(r.level, HitLevel::Dram);
+        // Demand touch while the prefetch fill is still in flight.
+        let r2 = h.access(Access::new(5, 0x2000, AccessKind::DemandLoad));
+        assert_eq!(r2.level, HitLevel::L1);
+        assert_eq!(r2.complete_at, r.complete_at);
+        assert_eq!(h.stats().svr.late, 1);
+        assert_eq!(h.stats().svr.used, 0);
+    }
+
+    #[test]
+    fn prefetch_ledger_balances_after_finalize() {
+        let mut h = hier();
+        h.access(Access::new(0, 0x2000, AccessKind::Prefetch(PfSource::Svr)).with_pc(9));
+        h.access(Access::new(0, 0x3000, AccessKind::Prefetch(PfSource::Svr)).with_pc(9));
+        h.access(Access::new(500, 0x2000, AccessKind::DemandLoad));
+        h.finalize(1000);
+        h.finalize(1001); // idempotent
+        let svr = h.stats().svr;
+        assert_eq!(svr.issued, 2);
+        assert_eq!(svr.used, 1);
+        assert_eq!(svr.resident_at_end, 1);
+        assert!(svr.outcomes_balance());
+        assert!(h.is_finalized());
+        h.check_invariants().expect("ledger balances");
+    }
+
+    #[test]
+    fn demand_miss_on_prefetch_victim_counts_pollution() {
+        let mut h = hier();
+        let r = h.access(Access::new(0, 0x0, AccessKind::DemandLoad));
+        let mut t = r.complete_at;
+        // Lines at 64 KiB stride share both the L1 set and the L2 set with
+        // 0x0; enough prefetch fills evict it from L1 and then from the LLC.
+        for i in 1..=8u64 {
+            let r = h
+                .access(Access::new(t, i * 65536, AccessKind::Prefetch(PfSource::Imp)).with_pc(4));
+            t = r.complete_at + 1;
+        }
+        let r = h.access(Access::new(t, 0x0, AccessKind::DemandLoad));
+        assert_eq!(r.level, HitLevel::Dram, "victim must have left the LLC");
+        assert_eq!(h.stats().imp.pollution, 1);
     }
 
     #[test]

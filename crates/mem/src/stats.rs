@@ -3,26 +3,69 @@
 
 use crate::cache::PfSource;
 
-/// Per-prefetch-source counters.
+/// Per-prefetch-source efficacy counters, in the conventional
+/// accuracy / timeliness / pollution taxonomy (IMP [Yu+ MICRO'15]).
+///
+/// `issued` counts prefetched lines actually *installed* in the hierarchy
+/// (in-cache, coalesced, and structurally dropped prefetches never enter the
+/// ledger), so after [`crate::MemoryHierarchy::finalize`] every issued line
+/// has exactly one terminal outcome:
+///
+/// ```text
+/// issued == used + late + evicted_unused + resident_at_end
+/// ```
+///
+/// `pollution` sits outside that ledger: it charges *demand misses* to the
+/// prefetch whose fill evicted the victim line.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PfCounters {
-    /// Prefetches issued to the hierarchy (after in-cache drops).
+    /// Prefetched lines installed in the hierarchy.
     pub issued: u64,
-    /// Prefetched lines demand-touched before eviction ("useful").
+    /// Prefetched lines demand-touched after the fill completed ("useful",
+    /// full latency hidden).
     pub used: u64,
-    /// Prefetched lines evicted without a demand touch.
+    /// Prefetched lines whose first demand touch arrived while the fill was
+    /// still in flight — the prefetch helped, but hid only part of the
+    /// latency.
+    pub late: u64,
+    /// Prefetched lines evicted from the LLC without a demand touch.
     pub evicted_unused: u64,
+    /// Prefetched lines still resident, never demanded, at run end
+    /// (populated by the finalize step).
+    pub resident_at_end: u64,
+    /// Demand misses on lines evicted by this source's prefetch fills.
+    pub pollution: u64,
 }
 
 impl PfCounters {
-    /// `used / (used + evicted_unused)`, or `None` before any outcome.
+    /// `(used + late) / (used + late + evicted_unused)`, or `None` before
+    /// any terminal outcome. Late prefetches were still wanted by the
+    /// program, so they count toward accuracy; lines merely resident at run
+    /// end never got a verdict and are excluded.
     pub fn accuracy(&self) -> Option<f64> {
-        let total = self.used + self.evicted_unused;
+        let total = self.used + self.late + self.evicted_unused;
         if total == 0 {
             None
         } else {
-            Some(self.used as f64 / total as f64)
+            Some((self.used + self.late) as f64 / total as f64)
         }
+    }
+
+    /// Fraction of *useful* prefetches that were late —
+    /// `late / (used + late)`, or `None` before any useful outcome.
+    pub fn late_ratio(&self) -> Option<f64> {
+        let useful = self.used + self.late;
+        if useful == 0 {
+            None
+        } else {
+            Some(self.late as f64 / useful as f64)
+        }
+    }
+
+    /// Whether the terminal outcomes balance against `issued` (valid only
+    /// after the finalize step has populated `resident_at_end`).
+    pub fn outcomes_balance(&self) -> bool {
+        self.issued == self.used + self.late + self.evicted_unused + self.resident_at_end
     }
 }
 
@@ -59,7 +102,8 @@ pub struct MemStats {
     pub imp: PfCounters,
     /// SVR accuracy counters.
     pub svr: PfCounters,
-    /// TLB walks performed.
+    /// TLB walks performed (data- and instruction-side; mirrors the
+    /// per-PC `TlbWalk` trace events exactly).
     pub tlb_walks: u64,
 }
 
@@ -112,13 +156,24 @@ mod tests {
     }
 
     #[test]
-    fn accuracy_ratio() {
+    fn accuracy_ratio_counts_late_as_useful() {
         let c = PfCounters {
             issued: 10,
             used: 3,
+            late: 1,
             evicted_unused: 1,
+            resident_at_end: 5,
+            pollution: 2,
         };
-        assert_eq!(c.accuracy(), Some(0.75));
+        assert_eq!(c.accuracy(), Some(0.8));
+        assert_eq!(c.late_ratio(), Some(0.25));
+        assert!(c.outcomes_balance());
+        assert!(!PfCounters {
+            issued: 2,
+            ..PfCounters::default()
+        }
+        .outcomes_balance());
+        assert_eq!(PfCounters::default().late_ratio(), None);
     }
 
     #[test]

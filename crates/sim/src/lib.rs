@@ -21,6 +21,7 @@
 mod config;
 mod crash;
 mod error;
+mod profile;
 mod report;
 mod runner;
 mod sweep;
@@ -34,6 +35,10 @@ pub use config::{ConfigError, CoreChoice, SimConfig, TraceConfig};
 pub use crash::{default_crash_dir, write_crash_dump};
 pub use error::SimError;
 pub use json::Json;
+pub use profile::{
+    golden_diff, pf_source_index, PcProfile, Profiler, NUM_BUCKETS, NUM_PF_SOURCES,
+    PF_SOURCE_NAMES,
+};
 pub use report::{report_from_json, report_to_json};
 pub use runner::{
     energy_input, harmonic_mean_speedup, run_kernel, run_parallel, run_workload,

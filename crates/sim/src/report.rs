@@ -134,7 +134,10 @@ fn pf_to_json(v: &PfCounters) -> Json {
     obj! {
         "issued": Json::u64(v.issued),
         "used": Json::u64(v.used),
+        "late": Json::u64(v.late),
         "evicted_unused": Json::u64(v.evicted_unused),
+        "resident_at_end": Json::u64(v.resident_at_end),
+        "pollution": Json::u64(v.pollution),
     }
 }
 
@@ -142,7 +145,10 @@ fn pf_from_json(j: &Json) -> Result<PfCounters, String> {
     Ok(PfCounters {
         issued: u(j, "issued")?,
         used: u(j, "used")?,
+        late: u(j, "late")?,
         evicted_unused: u(j, "evicted_unused")?,
+        resident_at_end: u(j, "resident_at_end")?,
+        pollution: u(j, "pollution")?,
     })
 }
 

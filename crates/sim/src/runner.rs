@@ -95,13 +95,17 @@ pub fn run_workload_traced<S: TraceSink>(
         .map_err(|e| e.for_workload(&workload.name))?;
     let label = config.label();
     let (program, mut image, mut arch) = workload.instantiate();
-    // Each arm runs the core to completion, then checks the memory
-    // hierarchy's cross-counter invariants while the core still owns it.
+    // Each arm runs the core to completion, finalizes the prefetch ledger
+    // (still-resident lines become `resident_at_end`), then checks the
+    // memory hierarchy's cross-counter invariants while the core still owns
+    // it — including the per-source `issued == used + late + evicted_unused
+    // + resident_at_end` balance.
     let (core_stats, mem_stats, kind, mem_check) = match &config.core {
         CoreChoice::InOrder | CoreChoice::Imp => {
             let mut core = InOrderCore::with_sink(config.inorder, config.mem.clone(), sink);
             core.run(&program, &mut image, &mut arch, max_insts)
                 .map_err(|e| SimError::from_run_error(e, &workload.name, &label))?;
+            core.finalize_mem();
             let check = core.hierarchy().check_invariants();
             (*core.stats(), *core.mem_stats(), CoreKind::InOrder, check)
         }
@@ -110,6 +114,7 @@ pub fn run_workload_traced<S: TraceSink>(
                 InOrderCore::with_svr_sink(config.inorder, config.mem.clone(), *svr, sink);
             core.run(&program, &mut image, &mut arch, max_insts)
                 .map_err(|e| SimError::from_run_error(e, &workload.name, &label))?;
+            core.finalize_mem();
             let check = core.hierarchy().check_invariants();
             (*core.stats(), *core.mem_stats(), CoreKind::InOrder, check)
         }
@@ -117,6 +122,7 @@ pub fn run_workload_traced<S: TraceSink>(
             let mut core = OooCore::with_sink(config.ooo, config.mem.clone(), sink);
             core.run(&program, &mut image, &mut arch, max_insts)
                 .map_err(|e| SimError::from_run_error(e, &workload.name, &label))?;
+            core.finalize_mem();
             let check = core.hierarchy().check_invariants();
             (*core.stats(), *core.mem_stats(), CoreKind::OutOfOrder, check)
         }

@@ -49,7 +49,10 @@ use svr_workloads::{Kernel, Scale, Workload};
 /// racing-fill prefetch-tag accounting (PR 2) can all shift reports.
 /// v3: exact CPI-stack tail attribution on the in-order core (PR 3) shifts
 /// per-bucket stack entries in stored reports.
-pub const CACHE_FORMAT_VERSION: u32 = 3;
+/// v4: the prefetch efficacy taxonomy (PR 5) — install-point `issued`
+/// semantics (feeds the energy model's L1-access count), the late/used
+/// split feeding the SVR accuracy ban, and new `PfCounters` JSON fields.
+pub const CACHE_FORMAT_VERSION: u32 = 4;
 
 /// 64-bit FNV-1a over a string (the cache/dedup point hash).
 pub fn fnv1a64(s: &str) -> u64 {

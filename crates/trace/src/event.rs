@@ -116,6 +116,52 @@ impl MemKind {
     }
 }
 
+/// The lifecycle outcome of a hardware prefetch, in the conventional
+/// accuracy / timeliness / pollution taxonomy (IMP [Yu+ MICRO'15]). Each
+/// prefetched line gets exactly one terminal outcome (`Used`, `Late`,
+/// `EvictedUnused` or `Resident`); `Issued` marks its birth and `Pollution`
+/// charges a *demand* miss to the prefetch that evicted the victim line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PfEvent {
+    /// A prefetched line was installed in the cache.
+    Issued,
+    /// First demand touch found the prefetched line resident: fully timely.
+    Used,
+    /// First demand touch arrived while the prefetch was still in flight —
+    /// latency only partially hidden.
+    Late,
+    /// The line was evicted from the LLC without ever being demanded.
+    EvictedUnused,
+    /// A demand miss hit a line that a prefetch fill had evicted.
+    Pollution,
+    /// Still resident (never demanded) when the run ended.
+    Resident,
+}
+
+impl PfEvent {
+    /// All outcomes, in lifecycle order.
+    pub const ALL: [PfEvent; 6] = [
+        PfEvent::Issued,
+        PfEvent::Used,
+        PfEvent::Late,
+        PfEvent::EvictedUnused,
+        PfEvent::Pollution,
+        PfEvent::Resident,
+    ];
+
+    /// Stable short name used in JSON artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            PfEvent::Issued => "issued",
+            PfEvent::Used => "used",
+            PfEvent::Late => "late",
+            PfEvent::EvictedUnused => "evicted_unused",
+            PfEvent::Pollution => "pollution",
+            PfEvent::Resident => "resident",
+        }
+    }
+}
+
 /// Why an SVR pseudo-runahead-mode (PRM) round ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PrmEnd {
@@ -137,26 +183,48 @@ impl PrmEnd {
     }
 }
 
+fn mem_kind_from_name(name: &str) -> Option<MemKind> {
+    Some(match name {
+        "load" => MemKind::DemandLoad,
+        "store" => MemKind::DemandStore,
+        "ifetch" => MemKind::InstFetch,
+        "stride_pf" => MemKind::StridePf,
+        "imp_pf" => MemKind::ImpPf,
+        "svr_pf" => MemKind::SvrPf,
+        _ => return None,
+    })
+}
+
 /// A single trace event. Cycle fields are absolute simulated cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// CPI-stack attribution: at `cycle` the core charged `base` cycles to
     /// [`StallTag::Base`] and `stall` cycles to `bucket`. Mirrors the
     /// aggregate `CpiStack` charges exactly, so summing `Attrib` events over
-    /// a run reproduces the final stack.
+    /// a run reproduces the final stack. `pc` is the guest instruction the
+    /// stall is blamed on: the producer load for data stalls, the branch for
+    /// redirects, the fetched/issuing instruction otherwise.
     Attrib {
         cycle: u64,
         bucket: StallTag,
         base: u8,
         stall: u64,
+        pc: u64,
     },
     /// A memory access span: issued at `start`, data available at `complete`.
+    /// `pc` is the guest instruction that generated the access (for hardware
+    /// prefetches, the load whose training triggered it). `miss` mirrors the
+    /// aggregate L1 miss counters exactly — it is also set for accesses that
+    /// coalesce onto an in-flight line (reported with `level == L1`), so
+    /// per-PC miss totals reconcile with `MemStats`.
     Mem {
         start: u64,
         complete: u64,
         addr: u64,
         level: MemLevel,
         kind: MemKind,
+        pc: u64,
+        miss: bool,
     },
     /// An MSHR was allocated for `line` and will fill (retire) at `fill_at`.
     MshrAlloc { cycle: u64, line: u64, fill_at: u64 },
@@ -168,8 +236,17 @@ pub enum TraceEvent {
     MshrRetire { cycle: u64, line: u64 },
     /// A DRAM transaction occupied the device queue from `enter` to `leave`.
     Dram { enter: u64, leave: u64, write: bool },
-    /// A TLB miss triggered a page walk from `cycle` to `done`.
-    TlbWalk { cycle: u64, done: u64 },
+    /// A TLB miss triggered a page walk from `cycle` to `done`, charged to
+    /// the access issued by guest instruction `pc`.
+    TlbWalk { cycle: u64, done: u64, pc: u64 },
+    /// A prefetch-efficacy outcome (see [`PfEvent`]) for a prefetch of
+    /// `kind` triggered by the load at guest `pc`.
+    Pf {
+        cycle: u64,
+        kind: MemKind,
+        pc: u64,
+        outcome: PfEvent,
+    },
     /// SVR entered a pseudo-runahead round targeting `hslr_pc` with `lanes`
     /// vector lanes.
     PrmEnter { cycle: u64, hslr_pc: u64, lanes: u32 },
@@ -190,6 +267,7 @@ impl TraceEvent {
             | TraceEvent::MshrCoalesce { cycle, .. }
             | TraceEvent::MshrRetire { cycle, .. }
             | TraceEvent::TlbWalk { cycle, .. }
+            | TraceEvent::Pf { cycle, .. }
             | TraceEvent::PrmEnter { cycle, .. }
             | TraceEvent::PrmExit { cycle, .. }
             | TraceEvent::SvrChain { cycle, .. }
@@ -213,11 +291,13 @@ impl TraceEvent {
                 bucket,
                 base,
                 stall,
+                pc,
             } => {
                 u(&mut m, "cycle", cycle);
                 m.push(("bucket".into(), Json::str(bucket.name())));
                 u(&mut m, "base", u64::from(base));
                 u(&mut m, "stall", stall);
+                u(&mut m, "pc", pc);
             }
             TraceEvent::Mem {
                 start,
@@ -225,12 +305,16 @@ impl TraceEvent {
                 addr,
                 level,
                 kind,
+                pc,
+                miss,
             } => {
                 u(&mut m, "start", start);
                 u(&mut m, "complete", complete);
                 u(&mut m, "addr", addr);
                 m.push(("level".into(), Json::str(level.name())));
                 m.push(("kind".into(), Json::str(kind.name())));
+                u(&mut m, "pc", pc);
+                m.push(("miss".into(), Json::Bool(miss)));
             }
             TraceEvent::MshrAlloc {
                 cycle,
@@ -250,9 +334,21 @@ impl TraceEvent {
                 u(&mut m, "leave", leave);
                 m.push(("write".into(), Json::Bool(write)));
             }
-            TraceEvent::TlbWalk { cycle, done } => {
+            TraceEvent::TlbWalk { cycle, done, pc } => {
                 u(&mut m, "cycle", cycle);
                 u(&mut m, "done", done);
+                u(&mut m, "pc", pc);
+            }
+            TraceEvent::Pf {
+                cycle,
+                kind,
+                pc,
+                outcome,
+            } => {
+                u(&mut m, "cycle", cycle);
+                m.push(("kind".into(), Json::str(kind.name())));
+                u(&mut m, "pc", pc);
+                m.push(("outcome".into(), Json::str(outcome.name())));
             }
             TraceEvent::PrmEnter {
                 cycle,
@@ -291,6 +387,7 @@ impl TraceEvent {
                     bucket: *StallTag::ALL.iter().find(|t| t.name() == bucket_name)?,
                     base: u8::try_from(u("base")?).ok()?,
                     stall: u("stall")?,
+                    pc: u("pc")?,
                 }
             }
             "mem" => TraceEvent::Mem {
@@ -303,15 +400,9 @@ impl TraceEvent {
                     "DRAM" => MemLevel::Dram,
                     _ => return None,
                 },
-                kind: match s("kind")? {
-                    "load" => MemKind::DemandLoad,
-                    "store" => MemKind::DemandStore,
-                    "ifetch" => MemKind::InstFetch,
-                    "stride_pf" => MemKind::StridePf,
-                    "imp_pf" => MemKind::ImpPf,
-                    "svr_pf" => MemKind::SvrPf,
-                    _ => return None,
-                },
+                kind: mem_kind_from_name(s("kind")?)?,
+                pc: u("pc")?,
+                miss: doc.get("miss").and_then(Json::as_bool)?,
             },
             "mshr_alloc" => TraceEvent::MshrAlloc {
                 cycle: u("cycle")?,
@@ -334,7 +425,17 @@ impl TraceEvent {
             "tlb_walk" => TraceEvent::TlbWalk {
                 cycle: u("cycle")?,
                 done: u("done")?,
+                pc: u("pc")?,
             },
+            "pf" => {
+                let outcome_name = s("outcome")?;
+                TraceEvent::Pf {
+                    cycle: u("cycle")?,
+                    kind: mem_kind_from_name(s("kind")?)?,
+                    pc: u("pc")?,
+                    outcome: *PfEvent::ALL.iter().find(|o| o.name() == outcome_name)?,
+                }
+            }
             "prm_enter" => TraceEvent::PrmEnter {
                 cycle: u("cycle")?,
                 hslr_pc: u("hslr_pc")?,
@@ -369,6 +470,7 @@ impl TraceEvent {
             TraceEvent::MshrRetire { .. } => "mshr_retire",
             TraceEvent::Dram { .. } => "dram",
             TraceEvent::TlbWalk { .. } => "tlb_walk",
+            TraceEvent::Pf { .. } => "pf",
             TraceEvent::PrmEnter { .. } => "prm_enter",
             TraceEvent::PrmExit { .. } => "prm_exit",
             TraceEvent::SvrChain { .. } => "svr_chain",
@@ -396,6 +498,8 @@ mod tests {
             addr: 0x40,
             level: MemLevel::Dram,
             kind: MemKind::DemandLoad,
+            pc: 3,
+            miss: true,
         };
         assert_eq!(ev.cycle(), 7);
         let ev = TraceEvent::Dram {

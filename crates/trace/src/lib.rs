@@ -33,7 +33,7 @@ mod metrics;
 mod perfetto;
 mod sink;
 
-pub use event::{MemKind, MemLevel, PrmEnd, StallTag, TraceEvent};
+pub use event::{MemKind, MemLevel, PfEvent, PrmEnd, StallTag, TraceEvent};
 pub use metrics::{Window, WindowReport, WindowedMetrics};
 pub use perfetto::{PerfettoSink, PerfettoWriter};
 pub use sink::{NullSink, RingSink, TraceSink};

@@ -308,6 +308,7 @@ impl TraceSink for WindowedMetrics {
                 bucket,
                 base,
                 stall,
+                ..
             } => {
                 self.see(cycle);
                 let row = self.row(cycle);
@@ -348,6 +349,7 @@ impl TraceSink for WindowedMetrics {
                 }
             }
             TraceEvent::TlbWalk { done, .. } => self.see(done),
+            TraceEvent::Pf { cycle, .. } => self.see(cycle),
             TraceEvent::PrmEnter { cycle, .. } => {
                 self.see(cycle);
                 // A nested enter (shouldn't happen) closes the previous one.
@@ -386,12 +388,14 @@ mod tests {
             bucket: StallTag::MemDram,
             base: 1,
             stall: 40,
+            pc: 0,
         });
         m.emit(&TraceEvent::Attrib {
             cycle: 150,
             bucket: StallTag::Branch,
             base: 1,
             stall: 5,
+            pc: 0,
         });
         let r = m.finish();
         assert_eq!(r.windows.len(), 2);
@@ -504,6 +508,8 @@ mod tests {
                 addr: 0,
                 level,
                 kind,
+                pc: 0,
+                miss: level != MemLevel::L1,
             });
         }
         let r = m.finish();
@@ -522,6 +528,7 @@ mod tests {
             bucket: StallTag::Base,
             base: 1,
             stall: 0,
+            pc: 0,
         });
         let doc = m.finish().to_json();
         let text = doc.pretty();

@@ -134,13 +134,14 @@ impl<W: Write> PerfettoWriter<W> {
     /// metrics cover them).
     pub fn event(&mut self, ev: &TraceEvent) -> io::Result<()> {
         match *ev {
-            TraceEvent::Attrib { .. } => Ok(()),
+            TraceEvent::Attrib { .. } | TraceEvent::Pf { .. } => Ok(()),
             TraceEvent::Mem {
                 start,
                 complete,
                 addr,
                 level,
                 kind,
+                ..
             } => {
                 if level == MemLevel::L1 {
                     return Ok(());
@@ -175,7 +176,7 @@ impl<W: Write> PerfettoWriter<W> {
                 let name = if write { "dram_wr" } else { "dram_rd" };
                 self.span(tid, enter, leave.saturating_sub(enter), name, Json::Null)
             }
-            TraceEvent::TlbWalk { cycle, done } => {
+            TraceEvent::TlbWalk { cycle, done, .. } => {
                 let row = assign_row(&mut self.tlb_rows, cycle, done);
                 let tid = TID_TLB_BASE + row;
                 self.name_tid(tid, &format!("tlb walk lane {row}"))?;
@@ -364,6 +365,8 @@ mod tests {
                 addr: 0x1008,
                 level: MemLevel::Dram,
                 kind: MemKind::DemandLoad,
+                pc: 4,
+                miss: true,
             },
             TraceEvent::Mem {
                 start: 111,
@@ -371,10 +374,13 @@ mod tests {
                 addr: 0x2000,
                 level: MemLevel::L1,
                 kind: MemKind::DemandLoad,
+                pc: 5,
+                miss: false,
             },
             TraceEvent::TlbWalk {
                 cycle: 109,
                 done: 130,
+                pc: 4,
             },
             TraceEvent::PrmExit {
                 cycle: 205,

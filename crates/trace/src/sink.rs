@@ -171,6 +171,8 @@ mod tests {
             addr: 0x80,
             level: MemLevel::L2,
             kind: MemKind::DemandLoad,
+            pc: 0,
+            miss: true,
         });
         assert_eq!(pair.0.total(), 1);
         assert_eq!(pair.1.total(), 1);

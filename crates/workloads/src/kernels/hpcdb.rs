@@ -24,7 +24,7 @@ pub fn camel(scale: Scale) -> Workload {
 
     let (rib, rdb, ri, rn, rt, rv, racc) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7));
     let mut asm = Assembler::new("camel");
-    let top = asm.label();
+    let top = asm.named_label("top");
     asm.bind(top);
     asm.ldx(rt, rib, ri, 3); // t = idx[i]       (striding)
     asm.ldx(rv, rdb, rt, 3); // v = data[t]      (indirect)
@@ -118,11 +118,11 @@ pub fn hashjoin(bucket: usize, scale: Scale) -> Workload {
     );
 
     let mut asm = Assembler::new("hj");
-    let top = asm.label();
-    let scan = asm.label();
-    let no_match = asm.label();
-    let found = asm.label();
-    let next_tuple = asm.label();
+    let top = asm.named_label("top");
+    let scan = asm.named_label("scan");
+    let no_match = asm.named_label("no_match");
+    let found = asm.named_label("found");
+    let next_tuple = asm.label(); // binds at the same pc as no_match
     asm.bind(top);
     asm.ldx(rk, rpb, ri, 3); // k = probe[i]     (striding)
                              // h = hash(k) & mask
@@ -192,7 +192,7 @@ pub fn kangaroo(scale: Scale) -> Workload {
     let (rb1, rb2, rcb, ri, rn, ra, rbv, rc, racc) =
         (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8), r(9));
     let mut asm = Assembler::new("kangaroo");
-    let top = asm.label();
+    let top = asm.named_label("top");
     asm.bind(top);
     asm.ldx(ra, rb1, ri, 3); // a = k1[i]        (striding)
     asm.ldx(rbv, rb2, ra, 3); // b = k2[a]       (indirect level 1)
@@ -263,9 +263,9 @@ pub fn nas_cg(scale: Scale) -> Workload {
     );
 
     let mut asm = Assembler::new("cg");
-    let outer = asm.label();
-    let inner = asm.label();
-    let after = asm.label();
+    let outer = asm.named_label("outer");
+    let inner = asm.named_label("inner");
+    let after = asm.named_label("after");
     asm.bind(outer);
     asm.ldx(rj, rob, rrow, 3);
     asm.alui(AluOp::Add, rt, rrow, 1);
@@ -326,7 +326,7 @@ pub fn nas_is(scale: Scale) -> Workload {
 
     let (rkb, rcb, ri, rn, rk, rc, racc) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7));
     let mut asm = Assembler::new("is");
-    let top = asm.label();
+    let top = asm.named_label("top");
     asm.bind(top);
     asm.ldx(rk, rkb, ri, 3); // k = key[i]      (striding)
     asm.ldx(rc, rcb, rk, 3); // c = count[k]    (indirect)
@@ -373,7 +373,7 @@ pub fn randacc(scale: Scale) -> Workload {
 
     let (rrb, rtb, ri, rn, rt, ra, rold, racc) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8));
     let mut asm = Assembler::new("randacc");
-    let top = asm.label();
+    let top = asm.named_label("top");
     asm.bind(top);
     asm.ldx(rt, rrb, ri, 3); // t = ran[i]         (striding)
     asm.alui(AluOp::And, ra, rt, mask as i64);

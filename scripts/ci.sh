@@ -163,6 +163,46 @@ cmp -s "$RESUME_OUT/a.stripped" "$RESUME_OUT/b.stripped" || {
   exit 1; }
 echo "resumed figure is bit-identical to the from-scratch figure"
 
+echo "=== profiler smoke: attribution conserves, profiling is observation-only ==="
+# svr_profile runs the pair unprofiled and profiled: the RunReports must be
+# bit-identical (profiling can never change timing) and the per-PC tables
+# must sum back to the aggregate CPI stack / MemStats exactly
+# (--check-identical and a conservation violation both exit non-zero).
+./target/release/svr_profile HJ8 SVR16 --scale tiny --check-identical \
+  --json "$OUT_DIR/profile.json" > "$OUT_DIR/profile.txt"
+grep -q '^profile_identical=1$' "$OUT_DIR/profile.txt" || {
+  echo "FAIL: profiled run diverged from unprofiled run" >&2; exit 1; }
+grep -q '^profile_conserved=1$' "$OUT_DIR/profile.txt" || {
+  echo "FAIL: per-PC attribution does not reconcile with aggregates" >&2; exit 1; }
+# The hot-site table must resolve PCs through the workload's symbol map.
+grep -q 'scan' "$OUT_DIR/profile.txt" || {
+  echo "FAIL: hot-site table is not symbolized (no 'scan' site)" >&2; exit 1; }
+
+echo "=== golden gate: metrics match the checked-in baseline ==="
+# The gate compares headline metrics of a fixed workload x config matrix
+# against results/golden/svr_profile.json: integers exactly, floats to 1e-6.
+./target/release/svr_profile --golden > "$OUT_DIR/golden.txt" || {
+  echo "FAIL: metrics drifted from results/golden/svr_profile.json" >&2
+  cat "$OUT_DIR/golden.txt" >&2
+  echo "(if intended: svr_profile --golden --bless, and commit the file)" >&2
+  exit 1; }
+grep -q '^golden_ok=1$' "$OUT_DIR/golden.txt" || {
+  echo "FAIL: golden gate did not report golden_ok=1" >&2; exit 1; }
+# Tamper demo: the gate must actually *fail* on a one-count drift...
+sed 's/"cycles": [0-9]*/"cycles": 1/' results/golden/svr_profile.json \
+  > "$OUT_DIR/tampered_golden.json"
+if ./target/release/svr_profile --golden \
+    --golden-path "$OUT_DIR/tampered_golden.json" > /dev/null 2>&1; then
+  echo "FAIL: golden gate passed against a tampered baseline" >&2; exit 1
+fi
+# ...and pass again after an explicit bless of the same run.
+./target/release/svr_profile --golden --bless \
+  --golden-path "$OUT_DIR/blessed_golden.json" > /dev/null
+./target/release/svr_profile --golden \
+  --golden-path "$OUT_DIR/blessed_golden.json" > /dev/null || {
+  echo "FAIL: golden gate failed right after --bless" >&2; exit 1; }
+echo "golden gate: pass, tamper-fail, bless-pass all verified"
+
 echo "=== panic-site budget: no new unwrap/expect/panic in library code ==="
 # Library entry points (runner, sweep, parser, assembler) are Result-first as
 # of the hardening pass; the sites that remain are documented internal
