@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 use svr_core::{LoopBoundMode, SvrConfig};
-use svr_sim::{run_kernel, run_workload, SimConfig};
+use svr_sim::{run_kernel, run_workload, RunOptions, SimConfig};
 use svr_workloads::{GraphInput, Kernel, Scale, Workload};
 
 const ITERS: u32 = 5;
@@ -33,7 +33,17 @@ fn bench<F: FnMut() -> u64>(group: &str, name: &str, mut f: F) {
 }
 
 fn run(w: &Workload, cfg: &SimConfig) -> u64 {
-    run_workload(w, cfg, 200_000).expect("valid config").core.retired
+    run_workload(w, cfg, &RunOptions::detailed(200_000))
+        .expect("valid config")
+        .core
+        .retired
+}
+
+fn run_warp(w: &Workload, cfg: &SimConfig) -> u64 {
+    run_workload(w, cfg, &RunOptions::warp(200_000))
+        .expect("valid config")
+        .core
+        .retired
 }
 
 /// Core-model throughput on a fixed workload.
@@ -48,6 +58,10 @@ fn core_throughput() {
     ] {
         bench("core_throughput", name, || run(&w, &cfg));
     }
+    // Functional fast-forward, for comparison against the detailed models.
+    bench("core_throughput", "warp", || {
+        run_warp(&w, &SimConfig::inorder())
+    });
 }
 
 /// Fig. 1/11 family: one representative workload per group under SVR-16.
@@ -85,13 +99,19 @@ fn sensitivity_family() {
     for mshrs in [1usize, 8, 16] {
         let cfg = SimConfig::svr(16).with_mshrs(mshrs);
         bench("sensitivity", &format!("mshrs/{mshrs}"), || {
-            run_kernel(Kernel::Randacc, Scale::Tiny, &cfg).expect("valid config").core.retired
+            run_kernel(Kernel::Randacc, Scale::Tiny, &cfg, &RunOptions::default())
+                .expect("valid config")
+                .core
+                .retired
         });
     }
     for bw in [12.5f64, 50.0] {
         let cfg = SimConfig::svr(16).with_bandwidth(bw);
         bench("sensitivity", &format!("bw/{bw}"), || {
-            run_kernel(Kernel::Randacc, Scale::Tiny, &cfg).expect("valid config").core.retired
+            run_kernel(Kernel::Randacc, Scale::Tiny, &cfg, &RunOptions::default())
+                .expect("valid config")
+                .core
+                .retired
         });
     }
 }

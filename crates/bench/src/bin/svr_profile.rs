@@ -29,7 +29,7 @@
 use std::path::{Path, PathBuf};
 
 use svr_bench::{config_from_label, kernel_from_name, usage, BenchArgs};
-use svr_sim::{golden_diff, run_workload, run_workload_traced, Json, Profiler, RunReport, SimConfig};
+use svr_sim::{golden_diff, run_workload, run_workload_traced, Json, Profiler, RunOptions, RunReport, SimConfig};
 use svr_workloads::Scale;
 
 /// Relative tolerance for float metrics in the golden gate.
@@ -108,7 +108,7 @@ fn golden_actual() -> Json {
         for cfg in GOLDEN_CONFIGS {
             let config = config_from_label(cfg)
                 .unwrap_or_else(|| fail(&format!("unknown config {cfg}")));
-            let report = run_workload(&workload, &config, Scale::Tiny.max_insts())
+            let report = run_workload(&workload, &config, &RunOptions::detailed(Scale::Tiny.max_insts()))
                 .unwrap_or_else(|e| sim_fail(&e));
             if !report.verified {
                 fail(&format!("{wl} under {cfg} failed architectural verification"));
@@ -228,11 +228,12 @@ fn main() {
     let budget = args.scale.max_insts();
 
     // Unprofiled reference run (NullSink: the instrumentation compiles out).
-    let base = run_workload(&workload, &config, budget).unwrap_or_else(|e| sim_fail(&e));
+    let base = run_workload(&workload, &config, &RunOptions::detailed(budget)).unwrap_or_else(|e| sim_fail(&e));
 
     let mut prof = Profiler::new();
     let profiled =
-        run_workload_traced(&workload, &config, budget, &mut prof).unwrap_or_else(|e| sim_fail(&e));
+        run_workload_traced(&workload, &config, &RunOptions::detailed(budget), &mut prof)
+            .unwrap_or_else(|e| sim_fail(&e));
 
     println!(
         "# {} under {} at {} scale: {} cycles, {} retired, CPI {:.3}",

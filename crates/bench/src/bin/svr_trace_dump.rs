@@ -19,7 +19,7 @@ use std::io::BufWriter;
 use std::path::PathBuf;
 
 use svr_bench::{config_from_label, kernel_from_name, usage, BenchArgs};
-use svr_sim::{run_workload, run_workload_traced, Json, SimConfig};
+use svr_sim::{run_workload, run_workload_traced, Json, RunOptions, SimConfig};
 use svr_trace::{PerfettoSink, StallTag, WindowReport, WindowedMetrics};
 
 fn fail(msg: &str) -> ! {
@@ -99,7 +99,7 @@ fn main() {
     let budget = args.scale.max_insts();
 
     // Untraced reference run (NullSink: the instrumentation compiles out).
-    let base = run_workload(&workload, &config, budget).unwrap_or_else(|e| sim_fail(&e));
+    let base = run_workload(&workload, &config, &RunOptions::detailed(budget)).unwrap_or_else(|e| sim_fail(&e));
 
     // Traced run: windowed metrics always; the Perfetto stream on --trace.
     let trace_path = args.trace.then(|| {
@@ -125,7 +125,7 @@ fn main() {
             let perfetto = PerfettoSink::new(BufWriter::new(file))
                 .unwrap_or_else(|e| fail(&format!("write {}: {e}", path.display())));
             let mut sink = (metrics, perfetto);
-            let traced = run_workload_traced(&workload, &config, budget, &mut sink)
+            let traced = run_workload_traced(&workload, &config, &RunOptions::detailed(budget), &mut sink)
                 .unwrap_or_else(|e| sim_fail(&e));
             let (metrics, perfetto) = sink;
             let report = metrics.finish();
@@ -142,7 +142,7 @@ fn main() {
         }
         None => {
             let mut sink = metrics;
-            let traced = run_workload_traced(&workload, &config, budget, &mut sink)
+            let traced = run_workload_traced(&workload, &config, &RunOptions::detailed(budget), &mut sink)
                 .unwrap_or_else(|e| sim_fail(&e));
             (traced, sink.finish(), None)
         }

@@ -6,7 +6,7 @@
 //! into `results/<name>.json`.
 
 use std::path::PathBuf;
-use svr_sim::{Json, RunReport, SimConfig, Sweep, SweepResult, SweepStats};
+use svr_sim::{ExecMode, Json, RunReport, SimConfig, Sweep, SweepResult, SweepStats};
 use svr_workloads::{Kernel, Scale};
 
 pub mod chart;
@@ -15,6 +15,7 @@ pub mod chart;
 ///
 /// ```text
 /// --scale tiny|small|full   problem size (default small)
+/// --mode detailed|warp      execution mode (default detailed)
 /// --threads N               simulation threads (default: all cores)
 /// --json PATH               write the JSON report here (default results/<name>.json)
 /// --no-cache                ignore and do not write the result cache
@@ -26,6 +27,9 @@ pub mod chart;
 pub struct BenchArgs {
     /// Problem size preset.
     pub scale: Scale,
+    /// Execution mode: cycle-accurate `detailed` (default) or functional
+    /// `warp` fast-forward (architectural state only, zero timing).
+    pub mode: ExecMode,
     /// Worker threads for sweeps.
     pub threads: usize,
     /// Explicit JSON output path (otherwise `results/<name>.json`).
@@ -49,6 +53,7 @@ impl Default for BenchArgs {
     fn default() -> Self {
         BenchArgs {
             scale: Scale::Small,
+            mode: ExecMode::Detailed,
             threads: std::thread::available_parallelism().map_or(1, usize::from),
             json: None,
             no_cache: false,
@@ -78,6 +83,11 @@ impl BenchArgs {
                     let v = value("--scale", &mut it)?;
                     out.scale = Scale::from_name(&v)
                         .ok_or_else(|| format!("unknown --scale {v} (tiny|small|full)"))?;
+                }
+                "--mode" => {
+                    let v = value("--mode", &mut it)?;
+                    out.mode = ExecMode::from_name(&v)
+                        .ok_or_else(|| format!("unknown --mode {v} (detailed|warp)"))?;
                 }
                 "--threads" => {
                     let v = value("--threads", &mut it)?;
@@ -142,6 +152,7 @@ pub fn usage(bin: &str) -> String {
          \n\
          options:\n\
          \x20 --scale tiny|small|full  problem size (default small)\n\
+         \x20 --mode detailed|warp     execution mode (default detailed)\n\
          \x20 --threads N              simulation threads (default: all cores)\n\
          \x20 --json PATH              JSON report path (default results/<bin>.json)\n\
          \x20 --no-cache               ignore and do not write the result cache\n\
@@ -154,7 +165,7 @@ pub fn usage(bin: &str) -> String {
 
 /// Builds a [`Sweep`] over `suite` honouring the scale and cache flags.
 pub fn sweep(suite: Vec<Kernel>, args: &BenchArgs) -> Sweep {
-    let mut s = Sweep::new(suite, args.scale);
+    let mut s = Sweep::new(suite, args.scale).mode(args.mode);
     if args.no_cache {
         s = s.no_cache();
     } else if let Some(dir) = &args.cache_dir {
@@ -450,6 +461,7 @@ mod tests {
     fn defaults_are_sane() {
         let a = BenchArgs::try_parse(&[]).expect("parses");
         assert_eq!(a.scale, Scale::Small);
+        assert_eq!(a.mode, ExecMode::Detailed);
         assert!(a.threads >= 1);
         assert!(!a.no_cache);
         assert!(a.json.is_none());
@@ -463,6 +475,16 @@ mod tests {
         assert!(BenchArgs::try_parse(&strs(&["--threads", "0"])).is_err());
         assert!(BenchArgs::try_parse(&strs(&["--threads", "many"])).is_err());
         assert!(BenchArgs::try_parse(&strs(&["--json"])).is_err());
+        assert!(BenchArgs::try_parse(&strs(&["--mode", "turbo"])).is_err());
+        assert!(BenchArgs::try_parse(&strs(&["--mode"])).is_err());
+    }
+
+    #[test]
+    fn parses_mode_flag() {
+        let a = BenchArgs::try_parse(&strs(&["--mode", "warp"])).expect("parses");
+        assert_eq!(a.mode, ExecMode::Warp);
+        let a = BenchArgs::try_parse(&strs(&["--mode", "detailed"])).expect("parses");
+        assert_eq!(a.mode, ExecMode::Detailed);
     }
 
     #[test]
@@ -470,6 +492,7 @@ mod tests {
         let u = usage("fig11_cpi");
         for flag in [
             "--scale",
+            "--mode",
             "--threads",
             "--json",
             "--no-cache",

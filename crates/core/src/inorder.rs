@@ -6,7 +6,9 @@ use crate::pipeline::{IssueSlots, Scoreboard};
 use crate::stats::{CoreStats, StallBucket};
 use crate::svr::{SvrConfig, SvrEngine};
 use crate::watchdog::{RunError, WatchdogConfig};
-use svr_isa::{AluOp, ArchState, Inst, Outcome, Program, NUM_REGS};
+use svr_isa::{
+    AluOp, ArchState, DecodedOp, DecodedProgram, Inst, MicroOp, Outcome, Program, NO_REG, NUM_REGS,
+};
 use svr_mem::{Access, AccessKind, HitLevel, MemConfig, MemImage, MemoryHierarchy};
 use svr_trace::{NullSink, StallTag, TraceEvent, TraceSink};
 
@@ -60,6 +62,9 @@ pub struct Observed<'a> {
     pub pc: usize,
     /// The instruction.
     pub inst: Inst,
+    /// The pre-decoded form (resolved source/destination indices), so the
+    /// engine need not re-derive operands from `inst`.
+    pub op: &'a DecodedOp,
     /// Cycle it issued.
     pub issue_t: u64,
     /// Pre-execution values of the instruction's sources, in
@@ -250,18 +255,31 @@ impl<S: TraceSink> InOrderCore<S> {
         arch: &mut ArchState,
         max_insts: u64,
     ) -> Result<(), RunError> {
+        self.run_decoded(&DecodedProgram::lower(program), image, arch, max_insts)
+    }
+
+    /// Runs an already-lowered program (see [`InOrderCore::run`], which
+    /// lowers and delegates here). The hot loop dispatches pre-decoded
+    /// micro-ops by instruction index — no per-cycle decode.
+    pub fn run_decoded(
+        &mut self,
+        prog: &DecodedProgram,
+        image: &mut MemImage,
+        arch: &mut ArchState,
+        max_insts: u64,
+    ) -> Result<(), RunError> {
         let budget = self.cfg.watchdog.budget(max_insts);
         let window = self.cfg.watchdog.window();
         while self.stats.retired < max_insts && !arch.halted() {
             let pc = arch.pc();
-            let Some(&inst) = program.get(pc) else { break };
+            let Some(op) = prog.get(pc) else { break };
 
             // Snapshot source values before execution (an instruction may
             // overwrite its own source). Only the SVR engine consumes these.
             let mut src_vals = [0u64; 3];
             if self.svr.is_some() {
-                for (i, r) in inst.srcs().enumerate().take(3) {
-                    src_vals[i] = arch.reg(r);
+                for (i, &r) in op.src_indices().iter().enumerate() {
+                    src_vals[i] = arch.reg_at(r);
                 }
             }
 
@@ -287,14 +305,15 @@ impl<S: TraceSink> InOrderCore<S> {
             let mut ready = self.fetch_ready;
             let mut bucket = self.fetch_bucket;
             let mut cause_pc = self.fetch_pc;
-            for r in inst.srcs() {
-                if self.reg_ready[r.index()] > ready {
-                    ready = self.reg_ready[r.index()];
-                    bucket = self.reg_bucket[r.index()];
-                    cause_pc = self.reg_pc[r.index()];
+            for &r in op.src_indices() {
+                let r = r as usize;
+                if self.reg_ready[r] > ready {
+                    ready = self.reg_ready[r];
+                    bucket = self.reg_bucket[r];
+                    cause_pc = self.reg_pc[r];
                 }
             }
-            if matches!(inst, Inst::B { .. }) && self.flags_ready > ready {
+            if matches!(op.uop, MicroOp::B { .. }) && self.flags_ready > ready {
                 ready = self.flags_ready;
                 bucket = StallBucket::Base;
                 cause_pc = self.flags_pc;
@@ -356,16 +375,16 @@ impl<S: TraceSink> InOrderCore<S> {
                     outstanding_mshrs: self.hier.mshrs_in_flight(t),
                 });
             }
-            if !matches!(inst, Inst::J { .. } | Inst::B { .. } | Inst::Nop | Inst::Halt) {
+            if op.has_effect {
                 self.last_effect = t;
             }
 
-            // Functional execution (`inst` was fetched from `pc` above).
-            let out: Outcome = arch.step_fetched(inst, image);
+            // Functional execution (`op` was fetched from `pc` above).
+            let out: Outcome = arch.step_op(op, image);
             self.stats.retired += 1;
             self.stats.issued_uops += 1;
 
-            let (completion, completion_bucket) = self.timing_for(inst, pc, t, &out, image);
+            let (completion, completion_bucket) = self.timing_for(op, pc, t, &out, image);
             if completion > self.max_completion {
                 self.tail_bucket = completion_bucket;
                 if S::ENABLED {
@@ -380,7 +399,8 @@ impl<S: TraceSink> InOrderCore<S> {
                 let loaded_value = out.loaded;
                 let observed = Observed {
                     pc,
-                    inst,
+                    inst: op.raw,
+                    op,
                     issue_t: t,
                     src_vals,
                     outcome: out,
@@ -427,14 +447,14 @@ impl<S: TraceSink> InOrderCore<S> {
     /// bucket that waiting on this completion should be charged to.
     fn timing_for(
         &mut self,
-        inst: Inst,
+        op: &DecodedOp,
         pc: usize,
         t: u64,
         out: &Outcome,
         image: &MemImage,
     ) -> (u64, StallBucket) {
-        match inst {
-            Inst::Ld { .. } | Inst::LdX { .. } => {
+        match op.uop {
+            MicroOp::Ld { .. } | MicroOp::LdX { .. } => {
                 let (_, addr) = out.mem.expect("load accesses memory");
                 let value = out.loaded.expect("load produces a value");
                 let res = self.hier.access_with_image(
@@ -447,16 +467,16 @@ impl<S: TraceSink> InOrderCore<S> {
                     self.slots.bump(res.issued_at);
                 }
                 self.stats.loads += 1;
-                if let Some(dst) = inst.dst() {
-                    self.reg_ready[dst.index()] = res.complete_at;
-                    self.reg_bucket[dst.index()] = level_bucket(res.level);
+                if op.dst != NO_REG {
+                    self.reg_ready[op.dst as usize] = res.complete_at;
+                    self.reg_bucket[op.dst as usize] = level_bucket(res.level);
                     if S::ENABLED {
-                        self.reg_pc[dst.index()] = pc as u64;
+                        self.reg_pc[op.dst as usize] = pc as u64;
                     }
                 }
                 (res.complete_at, level_bucket(res.level))
             }
-            Inst::St { .. } | Inst::StX { .. } => {
+            MicroOp::St { .. } | MicroOp::StX { .. } => {
                 let (_, addr) = out.mem.expect("store accesses memory");
                 let res = self.hier.access_with_image(
                     Access::new(t, addr, AccessKind::DemandStore).with_pc(pc as u64),
@@ -469,36 +489,36 @@ impl<S: TraceSink> InOrderCore<S> {
                 // Stores retire into the write path; the core does not wait.
                 (t + 1, StallBucket::Base)
             }
-            Inst::Alu { op, .. } | Inst::AluI { op, .. } => {
-                let done = t + alu_latency(op);
-                if let Some(dst) = inst.dst() {
-                    self.reg_ready[dst.index()] = done;
-                    self.reg_bucket[dst.index()] = StallBucket::Base;
+            MicroOp::Alu { op: alu, .. } | MicroOp::AluI { op: alu, .. } => {
+                let done = t + alu_latency(alu);
+                if op.dst != NO_REG {
+                    self.reg_ready[op.dst as usize] = done;
+                    self.reg_bucket[op.dst as usize] = StallBucket::Base;
                     if S::ENABLED {
-                        self.reg_pc[dst.index()] = pc as u64;
+                        self.reg_pc[op.dst as usize] = pc as u64;
                     }
                 }
                 (done, StallBucket::Base)
             }
-            Inst::Li { .. } | Inst::Nop => {
+            MicroOp::Li { .. } | MicroOp::Nop => {
                 let done = t + 1;
-                if let Some(dst) = inst.dst() {
-                    self.reg_ready[dst.index()] = done;
-                    self.reg_bucket[dst.index()] = StallBucket::Base;
+                if op.dst != NO_REG {
+                    self.reg_ready[op.dst as usize] = done;
+                    self.reg_bucket[op.dst as usize] = StallBucket::Base;
                     if S::ENABLED {
-                        self.reg_pc[dst.index()] = pc as u64;
+                        self.reg_pc[op.dst as usize] = pc as u64;
                     }
                 }
                 (done, StallBucket::Base)
             }
-            Inst::Cmp { .. } | Inst::CmpI { .. } => {
+            MicroOp::Cmp { .. } | MicroOp::CmpI { .. } => {
                 self.flags_ready = t + 1;
                 if S::ENABLED {
                     self.flags_pc = pc as u64;
                 }
                 (t + 1, StallBucket::Base)
             }
-            Inst::B { .. } => {
+            MicroOp::B { .. } => {
                 self.stats.branches += 1;
                 let (taken, _) = out.branch.expect("branch outcome");
                 let pred = self.bp.predict(pc as u64);
@@ -518,7 +538,7 @@ impl<S: TraceSink> InOrderCore<S> {
                 }
                 (t + 1, StallBucket::Base)
             }
-            Inst::J { .. } | Inst::Halt => (t + 1, StallBucket::Base),
+            MicroOp::J { .. } | MicroOp::Halt => (t + 1, StallBucket::Base),
         }
     }
 }

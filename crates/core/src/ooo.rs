@@ -15,7 +15,9 @@ use crate::stats::{CoreStats, StallBucket};
 use crate::watchdog::{RunError, WatchdogConfig};
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
-use svr_isa::{AluOp, ArchState, Inst, Outcome, Program, NUM_REGS};
+use svr_isa::{
+    AluOp, ArchState, DecodedProgram, MicroOp, Outcome, Program, NO_REG, NUM_REGS,
+};
 use svr_mem::{Access, AccessKind, FxHasher, HitLevel, MemConfig, MemImage, MemoryHierarchy};
 use svr_trace::{NullSink, TraceEvent, TraceSink};
 
@@ -181,11 +183,24 @@ impl<S: TraceSink> OooCore<S> {
         arch: &mut ArchState,
         max_insts: u64,
     ) -> Result<(), RunError> {
+        self.run_decoded(&DecodedProgram::lower(program), image, arch, max_insts)
+    }
+
+    /// Runs an already-lowered program (see [`OooCore::run`], which lowers
+    /// and delegates here). The hot loop dispatches pre-decoded micro-ops by
+    /// instruction index — no per-cycle decode.
+    pub fn run_decoded(
+        &mut self,
+        prog: &DecodedProgram,
+        image: &mut MemImage,
+        arch: &mut ArchState,
+        max_insts: u64,
+    ) -> Result<(), RunError> {
         let budget = self.cfg.watchdog.budget(max_insts);
         let window = self.cfg.watchdog.window();
         while self.stats.retired < max_insts && !arch.halted() {
             let pc = arch.pc();
-            let Some(&inst) = program.get(pc) else { break };
+            let Some(op) = prog.get(pc) else { break };
 
             if self.cfg.model_fetch {
                 let line = pc / 16;
@@ -211,14 +226,15 @@ impl<S: TraceSink> OooCore<S> {
             let mut bucket = StallBucket::Base;
             // Only consumed in `S::ENABLED` blocks; dead in untraced builds.
             let mut cause_pc = 0u64;
-            for r in inst.srcs() {
-                if self.reg_ready[r.index()] > ready {
-                    ready = self.reg_ready[r.index()];
-                    bucket = self.reg_bucket[r.index()];
-                    cause_pc = self.reg_pc[r.index()];
+            for &r in op.src_indices() {
+                let r = r as usize;
+                if self.reg_ready[r] > ready {
+                    ready = self.reg_ready[r];
+                    bucket = self.reg_bucket[r];
+                    cause_pc = self.reg_pc[r];
                 }
             }
-            if matches!(inst, Inst::B { .. }) && self.flags_ready > ready {
+            if matches!(op.uop, MicroOp::B { .. }) && self.flags_ready > ready {
                 ready = self.flags_ready;
                 cause_pc = self.flags_pc;
             }
@@ -242,17 +258,17 @@ impl<S: TraceSink> OooCore<S> {
                     outstanding_mshrs: self.hier.mshrs_in_flight(dispatch_t),
                 });
             }
-            if !matches!(inst, Inst::J { .. } | Inst::B { .. } | Inst::Nop | Inst::Halt) {
+            if op.has_effect {
                 self.last_effect = dispatch_t;
             }
 
-            // `inst` was fetched from `pc` above.
-            let out: Outcome = arch.step_fetched(inst, image);
+            // `op` was fetched from `pc` above.
+            let out: Outcome = arch.step_op(op, image);
             self.stats.retired += 1;
             self.stats.issued_uops += 1;
 
-            let completion = match inst {
-                Inst::Ld { .. } | Inst::LdX { .. } => {
+            let completion = match op.uop {
+                MicroOp::Ld { .. } | MicroOp::LdX { .. } => {
                     let (_, addr) = out.mem.expect("load address");
                     let lsq_t = self.lsq.admit(dispatch_t);
                     let mut start = ready.max(lsq_t);
@@ -269,16 +285,16 @@ impl<S: TraceSink> OooCore<S> {
                     );
                     self.stats.loads += 1;
                     self.lsq.push(res.complete_at);
-                    if let Some(dst) = inst.dst() {
-                        self.reg_ready[dst.index()] = res.complete_at;
-                        self.reg_bucket[dst.index()] = level_bucket(res.level);
+                    if op.dst != NO_REG {
+                        self.reg_ready[op.dst as usize] = res.complete_at;
+                        self.reg_bucket[op.dst as usize] = level_bucket(res.level);
                         if S::ENABLED {
-                            self.reg_pc[dst.index()] = pc as u64;
+                            self.reg_pc[op.dst as usize] = pc as u64;
                         }
                     }
                     res.complete_at
                 }
-                Inst::St { .. } | Inst::StX { .. } => {
+                MicroOp::St { .. } | MicroOp::StX { .. } => {
                     let (_, addr) = out.mem.expect("store address");
                     let lsq_t = self.lsq.admit(dispatch_t);
                     let start = ready.max(lsq_t);
@@ -294,36 +310,36 @@ impl<S: TraceSink> OooCore<S> {
                     self.lsq.push(start + 1);
                     start + 1
                 }
-                Inst::Alu { op, .. } | Inst::AluI { op, .. } => {
-                    let done = ready + alu_latency(op);
-                    if let Some(dst) = inst.dst() {
-                        self.reg_ready[dst.index()] = done;
-                        self.reg_bucket[dst.index()] = StallBucket::Base;
+                MicroOp::Alu { op: alu, .. } | MicroOp::AluI { op: alu, .. } => {
+                    let done = ready + alu_latency(alu);
+                    if op.dst != NO_REG {
+                        self.reg_ready[op.dst as usize] = done;
+                        self.reg_bucket[op.dst as usize] = StallBucket::Base;
                         if S::ENABLED {
-                            self.reg_pc[dst.index()] = pc as u64;
+                            self.reg_pc[op.dst as usize] = pc as u64;
                         }
                     }
                     done
                 }
-                Inst::Li { .. } | Inst::Nop => {
+                MicroOp::Li { .. } | MicroOp::Nop => {
                     let done = ready + 1;
-                    if let Some(dst) = inst.dst() {
-                        self.reg_ready[dst.index()] = done;
-                        self.reg_bucket[dst.index()] = StallBucket::Base;
+                    if op.dst != NO_REG {
+                        self.reg_ready[op.dst as usize] = done;
+                        self.reg_bucket[op.dst as usize] = StallBucket::Base;
                         if S::ENABLED {
-                            self.reg_pc[dst.index()] = pc as u64;
+                            self.reg_pc[op.dst as usize] = pc as u64;
                         }
                     }
                     done
                 }
-                Inst::Cmp { .. } | Inst::CmpI { .. } => {
+                MicroOp::Cmp { .. } | MicroOp::CmpI { .. } => {
                     self.flags_ready = ready + 1;
                     if S::ENABLED {
                         self.flags_pc = pc as u64;
                     }
                     ready + 1
                 }
-                Inst::B { .. } => {
+                MicroOp::B { .. } => {
                     self.stats.branches += 1;
                     let (taken, _) = out.branch.expect("branch outcome");
                     let pred = self.bp.predict(pc as u64);
@@ -339,7 +355,7 @@ impl<S: TraceSink> OooCore<S> {
                     }
                     done
                 }
-                Inst::J { .. } | Inst::Halt => ready + 1,
+                MicroOp::J { .. } | MicroOp::Halt => ready + 1,
             };
 
             self.rob.push({
@@ -357,9 +373,9 @@ impl<S: TraceSink> OooCore<S> {
                         } else {
                             StallBucket::Structural
                         };
-                        let b = match inst {
-                            Inst::Ld { .. } | Inst::LdX { .. } => b,
-                            Inst::B { .. } => bucket,
+                        let b = match op.uop {
+                            MicroOp::Ld { .. } | MicroOp::LdX { .. } => b,
+                            MicroOp::B { .. } => bucket,
                             _ => b,
                         };
                         self.stats.stack.charge(b, delta - 1);

@@ -8,7 +8,7 @@ use crate::svr::detector::StrideDetector;
 use crate::svr::lbd::{LcEntry, LoopBounds};
 use crate::svr::monitor::AccuracyMonitor;
 use crate::svr::taint::{RecycleOutcome, TaintSrf};
-use svr_isa::{eval_alu, eval_cond, DataMemory, Inst, Reg};
+use svr_isa::{eval_alu, eval_cond, DataMemory, DecodedOp, Inst, Reg};
 use svr_mem::{Access, AccessKind, PfSource};
 use svr_trace::{PrmEnd, TraceEvent, TraceSink};
 
@@ -219,7 +219,7 @@ impl SvrEngine {
             if is_hslr {
                 self.end_round(ctx, EndReason::Hslr, ob.issue_t);
                 just_ended = true;
-            } else if self.chain_inputs(ob.inst).is_some() {
+            } else if self.chain_inputs(ob.op).is_some() {
                 // Indirect-chain load: vectorize and remember it as the LIL
                 // candidate.
                 self.maybe_gen_svi(ctx, ob);
@@ -255,7 +255,7 @@ impl SvrEngine {
             } else {
                 // An untainted load overwriting a mapped register frees it.
                 if let Some(dst) = ob.inst.dst() {
-                    if self.chain_inputs(ob.inst).is_none() {
+                    if self.chain_inputs(ob.op).is_none() {
                         self.ts.untaint(dst);
                     }
                 }
@@ -519,12 +519,13 @@ impl SvrEngine {
     }
 
     /// Which SRF entries feed this instruction, if any input is tainted and
-    /// still mapped. Returns per-source lane inputs.
-    fn chain_inputs(&self, inst: Inst) -> Option<Vec<Option<usize>>> {
+    /// still mapped. Returns per-source lane inputs. Operates on the
+    /// pre-decoded source list — no per-call operand re-derivation.
+    fn chain_inputs(&self, op: &DecodedOp) -> Option<Vec<Option<usize>>> {
         let mut any = false;
         let mut v = Vec::with_capacity(3);
-        for r in inst.srcs() {
-            let id = self.ts.vector_input(r);
+        for &r in op.src_indices() {
+            let id = self.ts.vector_input(Reg::new(r));
             any |= id.is_some();
             v.push(id);
         }
@@ -537,7 +538,7 @@ impl SvrEngine {
 
     /// Generates an SVI for a dependent (tainted-input) instruction.
     fn maybe_gen_svi<S: TraceSink>(&mut self, ctx: &mut SvrCtx<'_, S>, ob: &Observed<'_>) {
-        let Some(inputs) = self.chain_inputs(ob.inst) else {
+        let Some(inputs) = self.chain_inputs(ob.op) else {
             // Untainted result overwriting a mapped register frees it.
             if let Some(dst) = ob.inst.dst() {
                 self.ts.untaint(dst);
@@ -550,9 +551,9 @@ impl SvrEngine {
         }
 
         // LRU touch for every tainted source (§IV-A3).
-        for (r, id) in ob.inst.srcs().zip(inputs.iter()) {
+        for (&r, id) in ob.op.src_indices().iter().zip(inputs.iter()) {
             if id.is_some() {
-                self.ts.touch(r, self.prm_inst_count as u32);
+                self.ts.touch(Reg::new(r), self.prm_inst_count as u32);
             }
         }
 

@@ -1,0 +1,834 @@
+//! Pre-decoded micro-op IR: the execution representation every core model
+//! dispatches from.
+//!
+//! [`DecodedProgram::lower`] translates a [`Program`] once, at load time, into
+//! a flat array of [`DecodedOp`]s with
+//!
+//! * register operands resolved to raw `u8` indices (no `Reg` unwrapping on
+//!   the hot path),
+//! * immediates pre-extended to `u64` (the `imm as u64` conversion in the old
+//!   interpreter loop happens once here),
+//! * branch targets pre-checked (`Program` validation guarantees
+//!   `target < len`, so they fit in `u32` and need no bounds logic), and
+//! * a fused compare+branch hint on every `cmp`/`cmpi` that immediately
+//!   precedes a conditional branch.
+//!
+//! The ops are additionally grouped into basic blocks
+//! ([`DecodedProgram::block_starts`]): a block leader is pc 0, any branch
+//! target, or the fall-through successor of a control-flow instruction.
+//! Timing models use the flat op array; warp mode
+//! ([`ArchState::run_decoded`]) additionally exploits the fused hints.
+//!
+//! # Bit-identity contract
+//!
+//! [`ArchState::step_op`] is an exact port of the legacy per-`Inst`
+//! interpreter: for every instruction it produces the same [`Outcome`], the
+//! same register/flags/PC updates, and the same memory traffic. The fused
+//! fast path is warp-only and still writes the flags register, so
+//! architectural state never diverges between modes.
+
+use crate::exec::{ArchState, DataMemory, Flags, MemAccessKind, Outcome};
+use crate::inst::{eval_alu, eval_cond, AluOp, Cond, Inst};
+use crate::program::Program;
+use crate::reg::NUM_REGS;
+
+/// Sentinel register index meaning "no destination" (covers both
+/// destination-less instructions and writes to the hardwired-zero `x0`).
+pub const NO_REG: u8 = 0xff;
+
+/// A fully resolved micro-op: raw register indices, pre-extended immediates,
+/// pre-computed branch targets. Mirrors [`Inst`] one-to-one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// `dst = imm` (`dst` is [`NO_REG`] when the write would hit `x0`).
+    Li { dst: u8, imm: u64 },
+    /// `dst = op(reg[a], reg[b])`.
+    Alu { op: AluOp, dst: u8, a: u8, b: u8 },
+    /// `dst = op(reg[src], imm)`.
+    AluI { op: AluOp, dst: u8, src: u8, imm: u64 },
+    /// `dst = mem[reg[base] + offset]`.
+    Ld { dst: u8, base: u8, offset: u64 },
+    /// `dst = mem[reg[base] + (reg[index] << shift)]`.
+    LdX { dst: u8, base: u8, index: u8, shift: u8 },
+    /// `mem[reg[base] + offset] = reg[src]`.
+    St { src: u8, base: u8, offset: u64 },
+    /// `mem[reg[base] + (reg[index] << shift)] = reg[src]`.
+    StX { src: u8, base: u8, index: u8, shift: u8 },
+    /// Set flags from `(reg[a], reg[b])`.
+    Cmp { a: u8, b: u8 },
+    /// Set flags from `(reg[a], imm)`.
+    CmpI { a: u8, imm: u64 },
+    /// Conditional branch on flags.
+    B { cond: Cond, target: u32 },
+    /// Unconditional jump.
+    J { target: u32 },
+    /// No operation.
+    Nop,
+    /// Stop execution.
+    Halt,
+}
+
+/// Fused compare+branch hint attached to a `cmp`/`cmpi` whose fall-through
+/// successor is a conditional branch. Warp mode executes both instructions in
+/// one dispatch; timing models ignore the hint (each op is still scheduled
+/// separately, preserving bit-identical reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedBranch {
+    /// Condition of the following branch.
+    pub cond: Cond,
+    /// Taken target of the following branch.
+    pub target: u32,
+}
+
+/// One pre-decoded instruction slot: the micro-op plus everything the timing
+/// models used to recompute per cycle (source list, destination, watchdog
+/// classification) and the original [`Inst`] for consumers that still pattern
+/// match on it (the SVR engine, the tracer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedOp {
+    /// The resolved micro-op.
+    pub uop: MicroOp,
+    /// The original instruction (SVR engine and trace consumers match on it).
+    pub raw: Inst,
+    /// Source register indices, in [`Inst::srcs`] order.
+    pub srcs: [u8; 3],
+    /// Number of valid entries in [`DecodedOp::srcs`].
+    pub nsrcs: u8,
+    /// Destination register index, or [`NO_REG`] (none, or `x0`).
+    pub dst: u8,
+    /// Fused compare+branch hint (warp-mode fast path), if any.
+    pub fused: Option<FusedBranch>,
+    /// Whether executing this op can change architectural state other than
+    /// the PC — i.e. it is not a `j`/`b`/`nop`/`halt`. Watchdogs use this to
+    /// detect livelock (a loop of effect-free ops makes no forward progress).
+    pub has_effect: bool,
+}
+
+impl DecodedOp {
+    /// Decodes a single instruction (no fusion — that needs the successor,
+    /// see [`DecodedProgram::lower`]).
+    pub fn from_inst(inst: Inst) -> DecodedOp {
+        let uop = match inst {
+            Inst::Li { imm, .. } => MicroOp::Li {
+                dst: dst_idx(inst),
+                imm: imm as u64,
+            },
+            Inst::Alu { op, a, b, .. } => MicroOp::Alu {
+                op,
+                dst: dst_idx(inst),
+                a: a.index() as u8,
+                b: b.index() as u8,
+            },
+            Inst::AluI { op, src, imm, .. } => MicroOp::AluI {
+                op,
+                dst: dst_idx(inst),
+                src: src.index() as u8,
+                imm: imm as u64,
+            },
+            Inst::Ld { base, offset, .. } => MicroOp::Ld {
+                dst: dst_idx(inst),
+                base: base.index() as u8,
+                offset: offset as u64,
+            },
+            Inst::LdX {
+                base, index, shift, ..
+            } => MicroOp::LdX {
+                dst: dst_idx(inst),
+                base: base.index() as u8,
+                index: index.index() as u8,
+                shift,
+            },
+            Inst::St { src, base, offset } => MicroOp::St {
+                src: src.index() as u8,
+                base: base.index() as u8,
+                offset: offset as u64,
+            },
+            Inst::StX {
+                src,
+                base,
+                index,
+                shift,
+            } => MicroOp::StX {
+                src: src.index() as u8,
+                base: base.index() as u8,
+                index: index.index() as u8,
+                shift,
+            },
+            Inst::Cmp { a, b } => MicroOp::Cmp {
+                a: a.index() as u8,
+                b: b.index() as u8,
+            },
+            Inst::CmpI { a, imm } => MicroOp::CmpI {
+                a: a.index() as u8,
+                imm: imm as u64,
+            },
+            Inst::B { cond, target } => MicroOp::B {
+                cond,
+                target: target as u32,
+            },
+            Inst::J { target } => MicroOp::J {
+                target: target as u32,
+            },
+            Inst::Nop => MicroOp::Nop,
+            Inst::Halt => MicroOp::Halt,
+        };
+        let mut srcs = [0u8; 3];
+        let mut nsrcs = 0u8;
+        for (i, r) in inst.srcs().enumerate().take(3) {
+            srcs[i] = r.index() as u8;
+            nsrcs = i as u8 + 1;
+        }
+        DecodedOp {
+            uop,
+            raw: inst,
+            srcs,
+            nsrcs,
+            dst: dst_idx(inst),
+            fused: None,
+            has_effect: !matches!(
+                inst,
+                Inst::B { .. } | Inst::J { .. } | Inst::Nop | Inst::Halt
+            ),
+        }
+    }
+
+    /// Source register indices as a slice (in [`Inst::srcs`] order).
+    #[inline]
+    pub fn src_indices(&self) -> &[u8] {
+        &self.srcs[..self.nsrcs as usize]
+    }
+}
+
+#[inline]
+fn dst_idx(inst: Inst) -> u8 {
+    match inst.dst() {
+        Some(r) => r.index() as u8,
+        None => NO_REG,
+    }
+}
+
+/// A [`Program`] lowered to pre-decoded micro-ops grouped into basic blocks.
+///
+/// Lower once per run segment; the cores then dispatch by instruction index
+/// with no per-cycle decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedProgram {
+    ops: Vec<DecodedOp>,
+    block_starts: Vec<u32>,
+    /// `block_end[pc]` = exclusive end of the basic block containing `pc`.
+    /// Lets the warp loop retire a whole block off one budget check.
+    block_end: Vec<u32>,
+}
+
+impl DecodedProgram {
+    /// Lowers `program` into micro-ops.
+    ///
+    /// Fusion rule: a `cmp`/`cmpi` at `pc` whose successor at `pc + 1` is a
+    /// conditional branch gets a [`FusedBranch`] hint. The hint is always
+    /// architecturally safe to take — flags are still written — and the
+    /// branch op itself remains at `pc + 1` for direct jumps into it.
+    pub fn lower(program: &Program) -> DecodedProgram {
+        let mut ops: Vec<DecodedOp> = program.iter().map(|&i| DecodedOp::from_inst(i)).collect();
+        for pc in 0..ops.len() {
+            if !matches!(ops[pc].uop, MicroOp::Cmp { .. } | MicroOp::CmpI { .. }) {
+                continue;
+            }
+            if let Some(next) = ops.get(pc + 1) {
+                if let MicroOp::B { cond, target } = next.uop {
+                    ops[pc].fused = Some(FusedBranch { cond, target });
+                }
+            }
+        }
+
+        // Basic-block leaders: entry, branch targets, fall-throughs after
+        // control flow (b is conditional, so its fall-through is a leader
+        // too; halt ends a block the same way).
+        let mut starts: Vec<u32> = Vec::new();
+        if !ops.is_empty() {
+            starts.push(0);
+        }
+        for (pc, op) in ops.iter().enumerate() {
+            match op.uop {
+                MicroOp::B { target, .. } | MicroOp::J { target } => {
+                    starts.push(target);
+                    if pc + 1 < ops.len() {
+                        starts.push(pc as u32 + 1);
+                    }
+                }
+                MicroOp::Halt if pc + 1 < ops.len() => {
+                    starts.push(pc as u32 + 1);
+                }
+                _ => {}
+            }
+        }
+        starts.sort_unstable();
+        starts.dedup();
+        let mut block_end = vec![ops.len() as u32; ops.len()];
+        for w in starts.windows(2) {
+            for pc in w[0]..w[1] {
+                block_end[pc as usize] = w[1];
+            }
+        }
+        DecodedProgram {
+            ops,
+            block_starts: starts,
+            block_end,
+        }
+    }
+
+    /// The op at `pc`, or `None` past the end.
+    #[inline]
+    pub fn get(&self, pc: usize) -> Option<&DecodedOp> {
+        self.ops.get(pc)
+    }
+
+    /// All ops in program order.
+    #[inline]
+    pub fn ops(&self) -> &[DecodedOp] {
+        &self.ops
+    }
+
+    /// Number of static micro-ops (equals the source program's length).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Basic-block leader PCs, ascending.
+    pub fn block_starts(&self) -> &[u32] {
+        &self.block_starts
+    }
+
+    /// Iterates basic blocks as `(start, end)` half-open pc ranges.
+    pub fn blocks(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let n = self.ops.len();
+        self.block_starts.iter().enumerate().map(move |(i, &s)| {
+            let end = self
+                .block_starts
+                .get(i + 1)
+                .map(|&e| e as usize)
+                .unwrap_or(n);
+            (s as usize, end)
+        })
+    }
+}
+
+impl ArchState {
+    /// Reads the register at raw index `idx` (callers pass pre-resolved
+    /// [`DecodedOp`] indices; `x0` reads 0 by construction).
+    #[inline]
+    pub fn reg_at(&self, idx: u8) -> u64 {
+        self.regs[idx as usize]
+    }
+
+    #[inline]
+    fn write_idx(&mut self, dst: u8, value: u64) {
+        if dst != NO_REG {
+            self.regs[dst as usize] = value;
+        }
+    }
+
+    /// Hot-path source-register read. Source indices come from [`Reg`]
+    /// (`< NUM_REGS`) by construction, so the mask is a no-op that lets the
+    /// register file index without a bounds check.
+    ///
+    /// [`Reg`]: crate::reg::Reg
+    #[inline(always)]
+    fn rd(&self, idx: u8) -> u64 {
+        debug_assert!((idx as usize) < NUM_REGS);
+        self.regs[idx as usize & (NUM_REGS - 1)]
+    }
+
+    /// Executes the pre-decoded op — which must be the op at the current PC —
+    /// and advances. This is the single decoded entry point all execution
+    /// paths share; it reproduces the legacy interpreter's semantics exactly
+    /// (same [`Outcome`], same state updates, same memory traffic).
+    #[inline]
+    pub fn step_op<M: DataMemory>(&mut self, op: &DecodedOp, mem: &mut M) -> Outcome {
+        let pc = self.pc;
+        let mut out = Outcome {
+            pc,
+            next_pc: pc + 1,
+            mem: None,
+            loaded: None,
+            branch: None,
+            halted: false,
+        };
+        match op.uop {
+            MicroOp::Li { dst, imm } => self.write_idx(dst, imm),
+            MicroOp::Alu { op, dst, a, b } => {
+                let v = eval_alu(op, self.regs[a as usize], self.regs[b as usize]);
+                self.write_idx(dst, v);
+            }
+            MicroOp::AluI { op, dst, src, imm } => {
+                let v = eval_alu(op, self.regs[src as usize], imm);
+                self.write_idx(dst, v);
+            }
+            MicroOp::Ld { dst, base, offset } => {
+                let addr = self.regs[base as usize].wrapping_add(offset);
+                let v = mem.read_u64(addr);
+                self.write_idx(dst, v);
+                out.mem = Some((MemAccessKind::Load, addr));
+                out.loaded = Some(v);
+            }
+            MicroOp::LdX {
+                dst,
+                base,
+                index,
+                shift,
+            } => {
+                let addr = self.regs[base as usize].wrapping_add(self.regs[index as usize] << shift);
+                let v = mem.read_u64(addr);
+                self.write_idx(dst, v);
+                out.mem = Some((MemAccessKind::Load, addr));
+                out.loaded = Some(v);
+            }
+            MicroOp::St { src, base, offset } => {
+                let addr = self.regs[base as usize].wrapping_add(offset);
+                mem.write_u64(addr, self.regs[src as usize]);
+                out.mem = Some((MemAccessKind::Store, addr));
+            }
+            MicroOp::StX {
+                src,
+                base,
+                index,
+                shift,
+            } => {
+                let addr = self.regs[base as usize].wrapping_add(self.regs[index as usize] << shift);
+                mem.write_u64(addr, self.regs[src as usize]);
+                out.mem = Some((MemAccessKind::Store, addr));
+            }
+            MicroOp::Cmp { a, b } => {
+                self.flags = Flags {
+                    a: self.regs[a as usize],
+                    b: self.regs[b as usize],
+                };
+            }
+            MicroOp::CmpI { a, imm } => {
+                self.flags = Flags {
+                    a: self.regs[a as usize],
+                    b: imm,
+                };
+            }
+            MicroOp::B { cond, target } => {
+                let taken = eval_cond(cond, self.flags.a, self.flags.b);
+                out.branch = Some((taken, target as usize));
+                if taken {
+                    out.next_pc = target as usize;
+                }
+            }
+            MicroOp::J { target } => {
+                out.branch = Some((true, target as usize));
+                out.next_pc = target as usize;
+            }
+            MicroOp::Nop => {}
+            MicroOp::Halt => {
+                self.halted = true;
+                out.halted = true;
+                out.next_pc = pc;
+            }
+        }
+        self.pc = out.next_pc;
+        out
+    }
+
+    /// Warp-mode executor: pure-functional, no timing, no memory hierarchy.
+    ///
+    /// Runs until halt (explicit, or PC off the end of the program) or until
+    /// `max_insts` instructions retire; returns the retired count. Retired
+    /// counts match detailed mode exactly: `halt` retires, running off the
+    /// end does not, and a fused compare+branch retires as two instructions
+    /// (the fused path falls back to single-op dispatch when fewer than two
+    /// budget slots remain, so capped runs stop at the same instruction in
+    /// every mode).
+    pub fn run_decoded<M: DataMemory>(
+        &mut self,
+        prog: &DecodedProgram,
+        mem: &mut M,
+        max_insts: u64,
+    ) -> u64 {
+        // This is the warp-mode hot loop: it re-implements [`Self::step_op`]'s
+        // state updates with the PC and flags in locals and no [`Outcome`]
+        // construction (the struct exists for timing-model callers; building
+        // and discarding it here costs ~2× on pure-functional throughput).
+        // `step_op_matches_legacy_interpreter` and the lockstep tests below
+        // pin the two paths to identical architectural behaviour.
+        if self.halted {
+            return 0;
+        }
+        let ops = prog.ops();
+        let mut pc = self.pc;
+        let mut flags = self.flags;
+        let mut n = 0;
+        while n < max_insts {
+            if pc >= ops.len() {
+                self.halted = true;
+                break;
+            }
+            // Block fast path: when the rest of the current basic block fits
+            // in the remaining budget, retire it off this one check — no
+            // per-op budget or bounds tests, and fused pairs are always
+            // eligible. Control flow only happens at a block's last op, so
+            // straight-line ops need no PC bookkeeping either.
+            let end = prog.block_end[pc] as usize;
+            if n + (end - pc) as u64 <= max_insts {
+                let base = pc;
+                let block = &ops[base..end];
+                n += block.len() as u64;
+                pc = end; // fall-through default; control ops overwrite
+                let mut i = 0;
+                while i < block.len() {
+                    let op = &block[i];
+                    match op.uop {
+                        MicroOp::Li { dst, imm } => self.write_idx(dst, imm),
+                        MicroOp::Alu { op, dst, a, b } => {
+                            let v = eval_alu(op, self.rd(a), self.rd(b));
+                            self.write_idx(dst, v);
+                        }
+                        MicroOp::AluI { op, dst, src, imm } => {
+                            let v = eval_alu(op, self.rd(src), imm);
+                            self.write_idx(dst, v);
+                        }
+                        MicroOp::Ld { dst, base, offset } => {
+                            let addr = self.rd(base).wrapping_add(offset);
+                            let v = mem.read_u64(addr);
+                            self.write_idx(dst, v);
+                        }
+                        MicroOp::LdX {
+                            dst,
+                            base,
+                            index,
+                            shift,
+                        } => {
+                            let addr = self.rd(base).wrapping_add(self.rd(index) << shift);
+                            let v = mem.read_u64(addr);
+                            self.write_idx(dst, v);
+                        }
+                        MicroOp::St { src, base, offset } => {
+                            let addr = self.rd(base).wrapping_add(offset);
+                            mem.write_u64(addr, self.rd(src));
+                        }
+                        MicroOp::StX {
+                            src,
+                            base,
+                            index,
+                            shift,
+                        } => {
+                            let addr = self.rd(base).wrapping_add(self.rd(index) << shift);
+                            mem.write_u64(addr, self.rd(src));
+                        }
+                        MicroOp::Cmp { a, b } => {
+                            let (va, vb) = (self.rd(a), self.rd(b));
+                            flags = Flags { a: va, b: vb };
+                            // The fused branch sits at i + 1; it is inside
+                            // this block unless it is itself a jump target
+                            // (then the block ends at the compare and the
+                            // branch dispatches on the next outer iteration).
+                            if i + 1 < block.len() {
+                                if let Some(f) = op.fused {
+                                    if eval_cond(f.cond, va, vb) {
+                                        pc = f.target as usize;
+                                    }
+                                    break;
+                                }
+                            }
+                        }
+                        MicroOp::CmpI { a, imm } => {
+                            let va = self.rd(a);
+                            flags = Flags { a: va, b: imm };
+                            if i + 1 < block.len() {
+                                if let Some(f) = op.fused {
+                                    if eval_cond(f.cond, va, imm) {
+                                        pc = f.target as usize;
+                                    }
+                                    break;
+                                }
+                            }
+                        }
+                        MicroOp::B { cond, target } => {
+                            if eval_cond(cond, flags.a, flags.b) {
+                                pc = target as usize;
+                            }
+                        }
+                        MicroOp::J { target } => pc = target as usize,
+                        MicroOp::Nop => {}
+                        MicroOp::Halt => {
+                            self.halted = true;
+                            pc = base + i;
+                        }
+                    }
+                    i += 1;
+                }
+                if self.halted {
+                    break;
+                }
+                continue;
+            }
+            // Budget tail: fewer slots remain than the block needs, so fall
+            // back to one-op-at-a-time dispatch with per-op budget checks
+            // (and the fused fallback at the budget edge).
+            let op = &ops[pc];
+            match op.uop {
+                MicroOp::Li { dst, imm } => {
+                    self.write_idx(dst, imm);
+                    pc += 1;
+                }
+                MicroOp::Alu { op, dst, a, b } => {
+                    let v = eval_alu(op, self.rd(a), self.rd(b));
+                    self.write_idx(dst, v);
+                    pc += 1;
+                }
+                MicroOp::AluI { op, dst, src, imm } => {
+                    let v = eval_alu(op, self.rd(src), imm);
+                    self.write_idx(dst, v);
+                    pc += 1;
+                }
+                MicroOp::Ld { dst, base, offset } => {
+                    let addr = self.rd(base).wrapping_add(offset);
+                    let v = mem.read_u64(addr);
+                    self.write_idx(dst, v);
+                    pc += 1;
+                }
+                MicroOp::LdX {
+                    dst,
+                    base,
+                    index,
+                    shift,
+                } => {
+                    let addr = self.rd(base).wrapping_add(self.rd(index) << shift);
+                    let v = mem.read_u64(addr);
+                    self.write_idx(dst, v);
+                    pc += 1;
+                }
+                MicroOp::St { src, base, offset } => {
+                    let addr = self.rd(base).wrapping_add(offset);
+                    mem.write_u64(addr, self.rd(src));
+                    pc += 1;
+                }
+                MicroOp::StX {
+                    src,
+                    base,
+                    index,
+                    shift,
+                } => {
+                    let addr = self.rd(base).wrapping_add(self.rd(index) << shift);
+                    mem.write_u64(addr, self.rd(src));
+                    pc += 1;
+                }
+                MicroOp::Cmp { a, b } => {
+                    let (va, vb) = (self.rd(a), self.rd(b));
+                    flags = Flags { a: va, b: vb };
+                    // Fused compare+branch: both instructions retire in one
+                    // dispatch when two budget slots remain; otherwise fall
+                    // back to the compare alone so capped runs stop at the
+                    // same instruction as detailed mode.
+                    if let Some(f) = op.fused {
+                        if n + 2 <= max_insts {
+                            pc = if eval_cond(f.cond, va, vb) {
+                                f.target as usize
+                            } else {
+                                pc + 2
+                            };
+                            n += 2;
+                            continue;
+                        }
+                    }
+                    pc += 1;
+                }
+                MicroOp::CmpI { a, imm } => {
+                    let va = self.rd(a);
+                    flags = Flags { a: va, b: imm };
+                    if let Some(f) = op.fused {
+                        if n + 2 <= max_insts {
+                            pc = if eval_cond(f.cond, va, imm) {
+                                f.target as usize
+                            } else {
+                                pc + 2
+                            };
+                            n += 2;
+                            continue;
+                        }
+                    }
+                    pc += 1;
+                }
+                MicroOp::B { cond, target } => {
+                    pc = if eval_cond(cond, flags.a, flags.b) {
+                        target as usize
+                    } else {
+                        pc + 1
+                    };
+                }
+                MicroOp::J { target } => pc = target as usize,
+                MicroOp::Nop => pc += 1,
+                MicroOp::Halt => {
+                    self.halted = true;
+                    n += 1;
+                    break;
+                }
+            }
+            n += 1;
+        }
+        self.pc = pc;
+        self.flags = flags;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::exec::VecMemory;
+    use crate::reg::Reg;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn sum_program() -> Program {
+        let mut asm = Assembler::new("sum");
+        let top = asm.label();
+        asm.bind(top);
+        asm.ldx(r(5), r(1), r(3), 3);
+        asm.alu(AluOp::Add, r(4), r(4), r(5));
+        asm.alui(AluOp::Add, r(3), r(3), 1);
+        asm.cmp(r(3), r(2));
+        asm.b(Cond::Ne, top);
+        asm.halt();
+        asm.finish()
+    }
+
+    #[test]
+    fn lowering_resolves_operands_and_fuses() {
+        let p = sum_program();
+        let d = DecodedProgram::lower(&p);
+        assert_eq!(d.len(), p.len());
+        // ldx srcs = [base, index]
+        let ldx = d.get(0).unwrap();
+        assert_eq!(ldx.src_indices(), &[1, 3]);
+        assert_eq!(ldx.dst, 5);
+        assert!(ldx.has_effect);
+        // cmp at pc 3 fuses with b at pc 4
+        let cmp = d.get(3).unwrap();
+        assert_eq!(
+            cmp.fused,
+            Some(FusedBranch {
+                cond: Cond::Ne,
+                target: 0
+            })
+        );
+        // the branch op itself carries no fusion and no effect
+        let b = d.get(4).unwrap();
+        assert!(b.fused.is_none());
+        assert!(!b.has_effect);
+    }
+
+    #[test]
+    fn basic_blocks_cover_program() {
+        let p = sum_program();
+        let d = DecodedProgram::lower(&p);
+        // leaders: 0 (entry + loop target), 5 (fall-through of b)
+        assert_eq!(d.block_starts(), &[0, 5]);
+        let blocks: Vec<_> = d.blocks().collect();
+        assert_eq!(blocks, vec![(0, 5), (5, 6)]);
+        // blocks tile the program exactly
+        assert_eq!(blocks.iter().map(|(s, e)| e - s).sum::<usize>(), d.len());
+    }
+
+    #[test]
+    fn step_op_matches_legacy_interpreter() {
+        let p = sum_program();
+        let d = DecodedProgram::lower(&p);
+        let mut mem_a = VecMemory::from_words(vec![7, 11, 13, 17]);
+        let mut mem_b = mem_a.clone();
+        let mut legacy = ArchState::new();
+        legacy.set_reg(r(2), 4);
+        let mut decoded = legacy.clone();
+        loop {
+            let a = legacy.step(&p, &mut mem_a);
+            let b = match d.get(decoded.pc()) {
+                Some(op) if !decoded.halted() => Some(decoded.step_op(op, &mut mem_b)),
+                _ => None,
+            };
+            assert_eq!(a, b);
+            assert_eq!(legacy, decoded);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(mem_a, mem_b);
+    }
+
+    #[test]
+    fn warp_matches_stepwise_execution_and_counts() {
+        let p = sum_program();
+        let d = DecodedProgram::lower(&p);
+        let mut mem_a = VecMemory::from_words(vec![1, 2, 3, 4]);
+        let mut mem_b = mem_a.clone();
+        let mut slow = ArchState::new();
+        slow.set_reg(r(2), 4);
+        let mut fast = slow.clone();
+        let slow_n = slow.run(&p, &mut mem_a, u64::MAX);
+        let fast_n = fast.run_decoded(&d, &mut mem_b, u64::MAX);
+        assert_eq!(slow_n, fast_n);
+        assert_eq!(slow, fast);
+        assert_eq!(mem_a, mem_b);
+        assert_eq!(fast.reg(r(4)), 10);
+    }
+
+    #[test]
+    fn warp_budget_parity_at_fused_boundary() {
+        // Cap the run so it ends exactly on the cmp of a fused pair: the
+        // fused path must fall back and retire the cmp alone.
+        let p = sum_program();
+        let d = DecodedProgram::lower(&p);
+        for cap in 0..=12u64 {
+            let mut mem_a = VecMemory::from_words(vec![1, 2, 3, 4]);
+            let mut mem_b = mem_a.clone();
+            let mut slow = ArchState::new();
+            slow.set_reg(r(2), 4);
+            let mut fast = slow.clone();
+            let slow_n = slow.run(&p, &mut mem_a, cap);
+            let fast_n = fast.run_decoded(&d, &mut mem_b, cap);
+            assert_eq!(slow_n, fast_n, "cap {cap}");
+            assert_eq!(slow, fast, "cap {cap}");
+            assert_eq!(mem_a, mem_b, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn run_decoded_off_end_halts_uncounted() {
+        let p = Program::new("end", vec![Inst::Nop]);
+        let d = DecodedProgram::lower(&p);
+        let mut mem = VecMemory::new();
+        let mut st = ArchState::new();
+        assert_eq!(st.run_decoded(&d, &mut mem, 10), 1);
+        assert!(st.halted());
+        // a halted state retires nothing more
+        assert_eq!(st.run_decoded(&d, &mut mem, 10), 0);
+    }
+
+    #[test]
+    fn x0_writes_discarded_in_decoded_path() {
+        let p = Program::new(
+            "z",
+            vec![
+                Inst::Li {
+                    dst: Reg::new(0),
+                    imm: 42,
+                },
+                Inst::Halt,
+            ],
+        );
+        let d = DecodedProgram::lower(&p);
+        assert_eq!(d.get(0).unwrap().dst, NO_REG);
+        let mut mem = VecMemory::new();
+        let mut st = ArchState::new();
+        st.run_decoded(&d, &mut mem, 10);
+        assert_eq!(st.reg(Reg::new(0)), 0);
+    }
+}

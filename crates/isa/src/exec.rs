@@ -6,7 +6,8 @@
 //! [`crate::eval_alu`] / [`crate::eval_cond`] plus [`DataMemory`] reads to
 //! execute transient lanes without affecting architectural state.
 
-use crate::inst::{eval_alu, eval_cond, Inst};
+use crate::decoded::{DecodedOp, DecodedProgram};
+use crate::inst::Inst;
 use crate::program::Program;
 use crate::reg::{Reg, NUM_REGS};
 
@@ -31,6 +32,18 @@ pub trait DataMemory {
     fn read_u64(&self, addr: u64) -> u64;
     /// Writes the 64-bit word at `addr`.
     fn write_u64(&mut self, addr: u64, value: u64);
+
+    /// Bulk-reads `out.len()` consecutive words starting at `addr` (used by
+    /// warp-mode checkpointing and state comparison). The default impl loops
+    /// [`DataMemory::read_u64`], so every implementation — `VecMemory`,
+    /// `MemImage`, test doubles — observes identical values; backends may
+    /// override it with a faster page-aware copy but must not change the
+    /// result.
+    fn read_block(&self, addr: u64, out: &mut [u64]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.read_u64(addr.wrapping_add(8 * i as u64));
+        }
+    }
 }
 
 /// A simple dense `Vec`-backed memory for tests and examples: word `i` lives
@@ -102,10 +115,10 @@ pub struct Outcome {
 /// Architectural register/flags/PC state of one hardware thread.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArchState {
-    regs: [u64; NUM_REGS],
-    flags: Flags,
-    pc: usize,
-    halted: bool,
+    pub(crate) regs: [u64; NUM_REGS],
+    pub(crate) flags: Flags,
+    pub(crate) pc: usize,
+    pub(crate) halted: bool,
 }
 
 impl Default for ArchState {
@@ -183,7 +196,10 @@ impl ArchState {
     /// Executes the instruction at the current PC and advances.
     ///
     /// Returns `None` when the state is already halted or the PC ran off the
-    /// end of the program (treated as an implicit halt).
+    /// end of the program (treated as an implicit halt). Decodes on the fly —
+    /// convenient for single steps; hot loops should lower once with
+    /// [`crate::DecodedProgram::lower`] and dispatch via
+    /// [`ArchState::step_op`] instead.
     pub fn step<M: DataMemory>(&mut self, program: &Program, mem: &mut M) -> Option<Outcome> {
         if self.halted {
             return None;
@@ -195,94 +211,28 @@ impl ArchState {
                 return None;
             }
         };
-        Some(self.step_fetched(inst, mem))
+        Some(self.step_op(&DecodedOp::from_inst(inst), mem))
     }
 
     /// Executes `inst` — which must be the instruction at the current PC,
-    /// already fetched and checked by the caller — and advances. Hot-path
-    /// variant of [`ArchState::step`] for cores that fetch the instruction
-    /// themselves anyway.
+    /// already fetched and checked by the caller — and advances.
+    #[deprecated(
+        since = "0.2.0",
+        note = "decode once with `DecodedProgram::lower` (or `DecodedOp::from_inst`) and \
+                dispatch through `ArchState::step_op`"
+    )]
     pub fn step_fetched<M: DataMemory>(&mut self, inst: Inst, mem: &mut M) -> Outcome {
-        let pc = self.pc;
-        let mut out = Outcome {
-            pc,
-            next_pc: pc + 1,
-            mem: None,
-            loaded: None,
-            branch: None,
-            halted: false,
-        };
-        match inst {
-            Inst::Li { dst, imm } => self.set_reg(dst, imm as u64),
-            Inst::Alu { op, dst, a, b } => {
-                let v = eval_alu(op, self.reg(a), self.reg(b));
-                self.set_reg(dst, v);
-            }
-            Inst::AluI { op, dst, src, imm } => {
-                let v = eval_alu(op, self.reg(src), imm as u64);
-                self.set_reg(dst, v);
-            }
-            Inst::Ld { dst, .. } | Inst::LdX { dst, .. } => {
-                let addr = self
-                    .effective_addr(&inst)
-                    .expect("load has an effective address");
-                let v = mem.read_u64(addr);
-                self.set_reg(dst, v);
-                out.mem = Some((MemAccessKind::Load, addr));
-                out.loaded = Some(v);
-            }
-            Inst::St { src, .. } | Inst::StX { src, .. } => {
-                let addr = self
-                    .effective_addr(&inst)
-                    .expect("store has an effective address");
-                mem.write_u64(addr, self.reg(src));
-                out.mem = Some((MemAccessKind::Store, addr));
-            }
-            Inst::Cmp { a, b } => {
-                self.flags = Flags {
-                    a: self.reg(a),
-                    b: self.reg(b),
-                };
-            }
-            Inst::CmpI { a, imm } => {
-                self.flags = Flags {
-                    a: self.reg(a),
-                    b: imm as u64,
-                };
-            }
-            Inst::B { cond, target } => {
-                let taken = eval_cond(cond, self.flags.a, self.flags.b);
-                out.branch = Some((taken, target));
-                if taken {
-                    out.next_pc = target;
-                }
-            }
-            Inst::J { target } => {
-                out.branch = Some((true, target));
-                out.next_pc = target;
-            }
-            Inst::Nop => {}
-            Inst::Halt => {
-                self.halted = true;
-                out.halted = true;
-                out.next_pc = pc;
-            }
-        }
-        self.pc = out.next_pc;
-        out
+        self.step_op(&DecodedOp::from_inst(inst), mem)
     }
 
     /// Runs until halt or until `max_insts` instructions retire; returns the
     /// number of retired instructions.
+    ///
+    /// Lowers the program once and executes in warp mode
+    /// ([`ArchState::run_decoded`]); callers that already hold a
+    /// [`DecodedProgram`] should call that directly to skip re-lowering.
     pub fn run<M: DataMemory>(&mut self, program: &Program, mem: &mut M, max_insts: u64) -> u64 {
-        let mut n = 0;
-        while n < max_insts {
-            if self.step(program, mem).is_none() {
-                break;
-            }
-            n += 1;
-        }
-        n
+        self.run_decoded(&DecodedProgram::lower(program), mem, max_insts)
     }
 }
 

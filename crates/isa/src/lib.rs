@@ -39,6 +39,7 @@
 //! ```
 
 mod asm;
+mod decoded;
 pub mod encode;
 mod error;
 mod exec;
@@ -48,6 +49,7 @@ mod program;
 mod reg;
 
 pub use asm::{Assembler, Label};
+pub use decoded::{DecodedOp, DecodedProgram, FusedBranch, MicroOp, NO_REG};
 pub use error::AsmError;
 pub use exec::{ArchState, DataMemory, Flags, MemAccessKind, Outcome, VecMemory};
 pub use inst::{eval_alu, eval_cond, AluOp, Cond, Inst};

@@ -690,8 +690,23 @@ impl<S: TraceSink> MemoryHierarchy<S> {
                     }
                 }
                 // A writeback fill is not a demand touch: it must not
-                // consume a prefetch tag on a resident line.
-                self.l2.fill(ev.line_addr, true, None, false);
+                // consume a prefetch tag on a resident line. It can still
+                // evict a tagged L2 victim, whose ledger entry closes here
+                // as evicted-unused (same rule as any other L2 fill).
+                let wb = self.l2.fill(ev.line_addr, true, None, false);
+                if let Some(wb_ev) = wb.evicted {
+                    if let Some(tag) = wb_ev.pf_unused {
+                        self.stats.pf_mut(tag.src).evicted_unused += 1;
+                        if S::ENABLED {
+                            self.sink.emit(&TraceEvent::Pf {
+                                cycle: t,
+                                kind: AccessKind::Prefetch(tag.src).mem_kind(),
+                                pc: tag.pc,
+                                outcome: PfEvent::EvictedUnused,
+                            });
+                        }
+                    }
+                }
             }
         }
 
@@ -718,6 +733,7 @@ impl<S: TraceSink> MemoryHierarchy<S> {
     pub fn access(&mut self, acc: Access) -> AccessResult {
         self.access_with_image(acc, None)
     }
+
 
     /// Like [`MemoryHierarchy::access`], with a functional image so
     /// value-based prefetchers (IMP) can compute indirect targets.
@@ -849,7 +865,24 @@ impl<S: TraceSink> MemoryHierarchy<S> {
                 });
             }
             self.stats.dram_inst += 1;
-            self.l2.fill(addr, false, None, true);
+            // Text and data share the L2, so an instruction fill can evict a
+            // prefetch-tagged data line; that tag's ledger entry closes here
+            // as evicted-unused (same rule as the data-path L2 fill), or the
+            // `issued == outcomes` balance breaks at finalize.
+            let out = self.l2.fill(addr, false, None, true);
+            if let Some(ev) = out.evicted {
+                if let Some(tag) = ev.pf_unused {
+                    self.stats.pf_mut(tag.src).evicted_unused += 1;
+                    if S::ENABLED {
+                        self.sink.emit(&TraceEvent::Pf {
+                            cycle: t,
+                            kind: AccessKind::Prefetch(tag.src).mem_kind(),
+                            pc: tag.pc,
+                            outcome: PfEvent::EvictedUnused,
+                        });
+                    }
+                }
+            }
             (done, HitLevel::Dram)
         };
         self.l1i.fill(addr, false, None, true);
@@ -1083,6 +1116,70 @@ mod tests {
         assert_eq!(svr.resident_at_end, 1);
         assert!(svr.outcomes_balance());
         assert!(h.is_finalized());
+        h.check_invariants().expect("ledger balances");
+    }
+
+    #[test]
+    fn inst_fill_evicting_tagged_line_closes_ledger() {
+        let mut h = hier();
+        // Plant a tag on line 0x0 and migrate it to the L2 by pushing the
+        // line out of the L1-D (16 KiB stride shares its L1 set but not its
+        // L2 set, so the L2 copy stays put).
+        let r = h.access(Access::new(0, 0x0, AccessKind::Prefetch(PfSource::Imp)).with_pc(4));
+        let mut t = r.complete_at + 1;
+        for i in 1..=4u64 {
+            let r = h.access(Access::new(t, i * 16384, AccessKind::DemandLoad));
+            t = r.complete_at + 1;
+        }
+        // Instruction lines at 64 KiB stride land in the L2 set holding 0x0
+        // (text base is 64 KiB-aligned); eight of them fill the remaining
+        // ways and then evict the tagged line from the shared L2.
+        for k in 0..8u64 {
+            let r = h.fetch_inst(t, k * 16384);
+            t = r.complete_at + 1;
+        }
+        h.finalize(t);
+        let imp = h.stats().imp;
+        assert_eq!(imp.issued, 1);
+        assert_eq!(imp.evicted_unused, 1, "ifetch eviction must close the entry");
+        assert_eq!(imp.resident_at_end, 0);
+        assert!(imp.outcomes_balance());
+        h.check_invariants().expect("ledger balances");
+    }
+
+    #[test]
+    fn writeback_fill_evicting_tagged_line_closes_ledger() {
+        let mut h = hier();
+        // Dirty line 0x0 in the L1-D, with an L2 copy in set 0.
+        h.access(Access::new(0, 0x0, AccessKind::DemandStore));
+        // Tagged prefetch to 0x10000 (same L1 set, L2 set 0).
+        let r = h.access(Access::new(200, 0x10000, AccessKind::Prefetch(PfSource::Imp)).with_pc(4));
+        let mut t = r.complete_at + 1;
+        // Re-touch 0x0 so the prefetched line is the L1 LRU victim; three
+        // demand loads then push it out, migrating its tag to the L2 copy.
+        h.access(Access::new(t, 0x0, AccessKind::DemandStore));
+        for i in 1..=3u64 {
+            let r = h.access(Access::new(t + i, i * 16384, AccessKind::DemandLoad));
+            t = r.complete_at + 1;
+        }
+        // Instruction fills (64 KiB stride lands in L2 set 0, L1-D untouched)
+        // fill the set's six free ways and then evict 0x0 from the L2,
+        // leaving the tagged line as the set's oldest valid way.
+        for k in 0..7u64 {
+            let r = h.fetch_inst(t, k * 16384);
+            t = r.complete_at + 1;
+        }
+        // Evict dirty 0x0 from the L1-D (0x20000's line shares the L1 set
+        // but not L2 set 0): its writeback re-installs 0x0 in L2 set 0,
+        // evicting the tagged line from the LLC.
+        let r = h.access(Access::new(t, 0x20000 + 16384, AccessKind::DemandLoad));
+        t = r.complete_at + 1;
+        h.finalize(t);
+        let imp = h.stats().imp;
+        assert_eq!(imp.issued, 1);
+        assert_eq!(imp.evicted_unused, 1, "writeback eviction must close the entry");
+        assert_eq!(imp.resident_at_end, 0);
+        assert!(imp.outcomes_balance());
         h.check_invariants().expect("ledger balances");
     }
 

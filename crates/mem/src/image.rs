@@ -12,6 +12,7 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 use svr_isa::DataMemory;
 
 const PAGE_WORDS: usize = 512; // 4 KiB pages of u64 words
@@ -24,7 +25,17 @@ const DENSE_PAGES: u64 = 0x5_0000;
 /// Sentinel in the flat table meaning "page not mapped".
 const NO_SLOT: u32 = u32::MAX;
 
-type Page = Box<[u64; PAGE_WORDS]>;
+/// Reference-counted copy-on-write page. Cloning a [`MemImage`] (one per
+/// simulated run: `Workload::instantiate`) bumps a refcount per page instead
+/// of copying the whole footprint; a run then pays one 4 KiB copy per page it
+/// actually dirties ([`Arc::make_mut`] on first write). Checkpoint journaling
+/// rides the same mechanism: saving a pre-write page is an `Arc` clone.
+type Page = Arc<[u64; PAGE_WORDS]>;
+
+/// A fresh zeroed page.
+fn zero_page() -> Page {
+    Arc::new([0; PAGE_WORDS])
+}
 
 /// FxHash-style hasher for the spill map: a single multiply-rotate per
 /// `u64` write instead of SipHash's full permutation. Not DoS-resistant,
@@ -80,13 +91,47 @@ pub struct MemImage {
     /// Flat page table for dense pages: page number → slot + sentinel.
     /// Grown lazily to the highest mapped dense page.
     table: Vec<u32>,
-    /// One-entry last-page cache: `(page_number, slot)`. Repeated accesses
-    /// to the same page (the overwhelmingly common case: streaming and
-    /// line-local accesses) skip the table lookup entirely.
-    last: Cell<(u64, u32)>,
+    /// Two-entry last-page cache: `[(page_number, slot); 2]`, most recent
+    /// first. Repeated accesses to the same page (streaming and line-local
+    /// accesses) skip the table lookup entirely; the second entry keeps a
+    /// sequential stream hitting when it is interleaved with a scattered one
+    /// (e.g. a stride-indirect gather, which thrashes a one-entry cache).
+    last: Cell<[(u64, u32); 2]>,
     /// Pages at or above [`DENSE_PAGES`] (rare: absolute-address tests).
     spill: HashMap<u64, Page, FxBuildHasher>,
     brk: u64,
+    /// Copy-on-first-write checkpoint journal (warp-mode checkpointing).
+    /// `None` on the detailed hot path, so tracking costs one predictable
+    /// branch per write.
+    track: Option<TrackState>,
+}
+
+/// Active checkpoint journal: the pre-write contents of every page dirtied
+/// since [`MemImage::begin_tracking`] (`None` = page was unmapped).
+#[derive(Debug, Clone, Default)]
+struct TrackState {
+    saved: HashMap<u64, Option<Page>, FxBuildHasher>,
+    brk: u64,
+}
+
+/// Dirty-page delta of a [`MemImage`] between [`MemImage::begin_tracking`]
+/// and [`MemImage::take_delta`]: enough to roll the image back to the
+/// checkpoint with [`MemImage::restore`]. Deltas are cheap when the run
+/// segment touched few pages — cost is proportional to pages dirtied, not to
+/// image size.
+#[derive(Debug, Clone)]
+pub struct MemDelta {
+    /// `(page, pre-write contents)` sorted by page; `None` = unmapped at
+    /// checkpoint time.
+    saved: Vec<(u64, Option<Page>)>,
+    brk: u64,
+}
+
+impl MemDelta {
+    /// Number of pages dirtied since the checkpoint.
+    pub fn dirty_pages(&self) -> usize {
+        self.saved.len()
+    }
 }
 
 /// Base of the bump-allocated heap.
@@ -98,9 +143,136 @@ impl MemImage {
         MemImage {
             pages: Vec::new(),
             table: Vec::new(),
-            last: Cell::new((u64::MAX, NO_SLOT)),
+            last: Cell::new([(u64::MAX, NO_SLOT); 2]),
             spill: HashMap::default(),
             brk: HEAP_BASE,
+            track: None,
+        }
+    }
+
+    /// Starts (or restarts) checkpoint tracking: subsequent writes journal
+    /// each page's pre-write contents on first touch. Capture the matching
+    /// delta with [`MemImage::take_delta`].
+    pub fn begin_tracking(&mut self) {
+        self.track = Some(TrackState {
+            saved: HashMap::default(),
+            brk: self.brk,
+        });
+    }
+
+    /// Whether checkpoint tracking is active.
+    pub fn tracking(&self) -> bool {
+        self.track.is_some()
+    }
+
+    /// Stops tracking and returns the dirty-page delta accumulated since
+    /// [`MemImage::begin_tracking`], or `None` when tracking was never
+    /// started.
+    pub fn take_delta(&mut self) -> Option<MemDelta> {
+        let tr = self.track.take()?;
+        let mut saved: Vec<(u64, Option<Page>)> = tr.saved.into_iter().collect();
+        saved.sort_unstable_by_key(|&(page, _)| page);
+        Some(MemDelta {
+            saved,
+            brk: tr.brk,
+        })
+    }
+
+    /// Rolls the image back to the checkpoint captured in `delta`: every
+    /// dirtied page gets its pre-write contents back, and the bump allocator
+    /// is rewound. Pages first mapped after the checkpoint are zeroed in
+    /// place (dense) or unmapped (spill) — reads of a zeroed mapped page are
+    /// indistinguishable from an unmapped one, so the restored image is
+    /// read-identical to the checkpoint state.
+    pub fn restore(&mut self, delta: &MemDelta) {
+        for (page, prev) in &delta.saved {
+            let page = *page;
+            if page < DENSE_PAGES {
+                let slot = self.dense_slot(page);
+                if slot == NO_SLOT {
+                    // A tracked write always maps the page first, so the
+                    // slot exists; tolerate absence for robustness.
+                    continue;
+                }
+                match prev {
+                    Some(p) => self.pages[slot as usize] = Arc::clone(p),
+                    None => self.pages[slot as usize] = zero_page(),
+                }
+            } else {
+                match prev {
+                    Some(p) => {
+                        self.spill.insert(page, p.clone());
+                    }
+                    None => {
+                        self.spill.remove(&page);
+                    }
+                }
+            }
+        }
+        self.brk = delta.brk;
+    }
+
+    /// Order-independent hash of the image's readable contents: every
+    /// nonzero word, keyed by address, in canonical (ascending page, word)
+    /// order. Zero-filled mapped pages hash identically to unmapped ones, so
+    /// two images that answer every `read_u64` the same way hash the same —
+    /// the equality notion warp-vs-detailed equivalence tests need.
+    pub fn content_hash(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h = (h ^ x).wrapping_mul(FNV_PRIME);
+        };
+        for (page, &slot) in self.table.iter().enumerate() {
+            if slot == NO_SLOT {
+                continue;
+            }
+            for (w, &v) in self.pages[slot as usize].iter().enumerate() {
+                if v != 0 {
+                    mix(page as u64);
+                    mix(w as u64);
+                    mix(v);
+                }
+            }
+        }
+        let mut spill_pages: Vec<u64> = self.spill.keys().copied().collect();
+        spill_pages.sort_unstable();
+        for page in spill_pages {
+            for (w, &v) in self.spill[&page].iter().enumerate() {
+                if v != 0 {
+                    mix(page);
+                    mix(w as u64);
+                    mix(v);
+                }
+            }
+        }
+        h
+    }
+
+    /// Journals `page`'s pre-write contents on its first tracked write.
+    #[cold]
+    fn note_write(&mut self, page: u64) {
+        let already = self
+            .track
+            .as_ref()
+            .is_some_and(|t| t.saved.contains_key(&page));
+        if already {
+            return;
+        }
+        let prev: Option<Page> = if page < DENSE_PAGES {
+            let slot = self.dense_slot(page);
+            if slot == NO_SLOT {
+                None
+            } else {
+                // Arc clone: the journal shares the pre-write page; the
+                // write below copies it via `make_mut`.
+                Some(Arc::clone(&self.pages[slot as usize]))
+            }
+        } else {
+            self.spill.get(&page).map(Arc::clone)
+        };
+        if let Some(tr) = self.track.as_mut() {
+            tr.saved.insert(page, prev);
         }
     }
 
@@ -136,16 +308,20 @@ impl MemImage {
     /// Looks up the slot of a dense page, consulting the last-page cache.
     #[inline]
     fn dense_slot(&self, page: u64) -> u32 {
-        let (last_page, last_slot) = self.last.get();
-        if last_page == page {
-            return last_slot;
+        let [e0, e1] = self.last.get();
+        if e0.0 == page {
+            return e0.1;
+        }
+        if e1.0 == page {
+            self.last.set([e1, e0]);
+            return e1.1;
         }
         let slot = match self.table.get(page as usize) {
             Some(&s) => s,
             None => NO_SLOT,
         };
         if slot != NO_SLOT {
-            self.last.set((page, slot));
+            self.last.set([(page, slot), e0]);
         }
         slot
     }
@@ -172,6 +348,9 @@ impl DataMemory for MemImage {
     fn write_u64(&mut self, addr: u64, value: u64) {
         let page = addr >> 12;
         let word = ((addr >> 3) & (PAGE_WORDS as u64 - 1)) as usize;
+        if self.track.is_some() {
+            self.note_write(page);
+        }
         if page < DENSE_PAGES {
             let mut slot = self.dense_slot(page);
             if slot == NO_SLOT {
@@ -179,16 +358,42 @@ impl DataMemory for MemImage {
                     self.table.resize(page as usize + 1, NO_SLOT);
                 }
                 slot = self.pages.len() as u32;
-                self.pages.push(Box::new([0; PAGE_WORDS]));
+                self.pages.push(zero_page());
                 self.table[page as usize] = slot;
-                self.last.set((page, slot));
+                self.last.set([(page, slot), self.last.get()[0]]);
             }
-            self.pages[slot as usize][word] = value;
+            Arc::make_mut(&mut self.pages[slot as usize])[word] = value;
             return;
         }
-        self.spill
-            .entry(page)
-            .or_insert_with(|| Box::new([0; PAGE_WORDS]))[word] = value;
+        Arc::make_mut(self.spill.entry(page).or_insert_with(zero_page))[word] = value;
+    }
+
+    /// Page-aware bulk read: resolves each page once and memcpys whole runs
+    /// instead of taking the per-word lookup path. Result is identical to
+    /// the trait's default word-by-word loop.
+    fn read_block(&self, addr: u64, out: &mut [u64]) {
+        let mut i = 0usize;
+        while i < out.len() {
+            let a = addr.wrapping_add(8 * i as u64);
+            let page = a >> 12;
+            let word = ((a >> 3) & (PAGE_WORDS as u64 - 1)) as usize;
+            let run = (PAGE_WORDS - word).min(out.len() - i);
+            let src: Option<&Page> = if page < DENSE_PAGES {
+                let slot = self.dense_slot(page);
+                if slot == NO_SLOT {
+                    None
+                } else {
+                    Some(&self.pages[slot as usize])
+                }
+            } else {
+                self.spill.get(&page)
+            };
+            match src {
+                Some(p) => out[i..i + run].copy_from_slice(&p[word..word + run]),
+                None => out[i..i + run].fill(0),
+            }
+            i += run;
+        }
     }
 }
 
@@ -279,6 +484,93 @@ mod tests {
             assert_eq!(img.read_u64(b), i * 2);
         }
         assert_eq!(img.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips() {
+        let mut img = MemImage::new();
+        let a = img.alloc_array(&[1, 2, 3, 4]);
+        let before = img.content_hash();
+        let before_brk = img.allocated_bytes();
+
+        img.begin_tracking();
+        img.write_u64(a, 99); // dirty an existing page
+        let b = img.alloc_words(PAGE_WORDS as u64 * 2); // map new pages
+        img.write_u64(b, 7);
+        img.write_u64(b + 4096, 8);
+        let high = (DENSE_PAGES + 5) << 12; // dirty the spill map too
+        img.write_u64(high, 55);
+        let delta = img.take_delta().expect("tracking was active");
+        assert!(delta.dirty_pages() >= 3);
+        assert_ne!(img.content_hash(), before);
+
+        img.restore(&delta);
+        assert_eq!(img.content_hash(), before);
+        assert_eq!(img.allocated_bytes(), before_brk);
+        assert_eq!(img.read_u64(a), 1);
+        assert_eq!(img.read_u64(b), 0);
+        assert_eq!(img.read_u64(high), 0);
+        assert!(!img.tracking());
+    }
+
+    #[test]
+    fn restore_is_repeatable_from_same_delta() {
+        let mut img = MemImage::new();
+        let a = img.alloc_array(&[10, 20]);
+        let before = img.content_hash();
+        img.begin_tracking();
+        img.write_u64(a, 1);
+        let delta = img.take_delta().unwrap();
+        img.restore(&delta);
+        // Re-dirty and roll back again with the same delta.
+        img.write_u64(a, 2);
+        img.restore(&delta);
+        assert_eq!(img.content_hash(), before);
+        assert_eq!(img.read_u64(a), 10);
+    }
+
+    #[test]
+    fn take_delta_without_tracking_is_none() {
+        let mut img = MemImage::new();
+        assert!(img.take_delta().is_none());
+    }
+
+    #[test]
+    fn content_hash_ignores_zero_filled_pages() {
+        let mut a = MemImage::new();
+        let mut b = MemImage::new();
+        a.write_u64(HEAP_BASE, 42);
+        b.write_u64(HEAP_BASE, 42);
+        // Map an extra page in `b` but leave it all-zero: reads cannot tell
+        // the images apart, so the hashes must match.
+        b.write_u64(HEAP_BASE + 0x10_0000, 0);
+        assert_eq!(a.content_hash(), b.content_hash());
+        b.write_u64(HEAP_BASE + 0x10_0000, 1);
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn read_block_matches_word_loop() {
+        let mut img = MemImage::new();
+        let base = img.alloc_words(PAGE_WORDS as u64 + 100);
+        for i in 0..PAGE_WORDS as u64 + 100 {
+            if i % 3 != 0 {
+                img.write_u64(base + 8 * i, i * 7);
+            }
+        }
+        // Span two pages plus trailing unmapped space.
+        let start = base + 8 * 100;
+        let mut bulk = vec![0u64; PAGE_WORDS + 200];
+        img.read_block(start, &mut bulk);
+        for (i, &v) in bulk.iter().enumerate() {
+            assert_eq!(v, img.read_u64(start + 8 * i as u64), "word {i}");
+        }
+        // Spill-range block reads agree with the default impl too.
+        let high = (DENSE_PAGES + 1) << 12;
+        img.write_u64(high + 24, 9);
+        let mut spill = [0u64; 8];
+        img.read_block(high, &mut spill);
+        assert_eq!(spill, [0, 0, 0, 9, 0, 0, 0, 0]);
     }
 
     #[test]

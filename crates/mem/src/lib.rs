@@ -33,7 +33,7 @@ mod tlb;
 pub use cache::{AccessOutcome, Cache, CacheConfig, EvictInfo, FillOutcome, PfSource};
 pub use dram::{DramConfig, DramModel, TICKS_PER_CYCLE};
 pub use hierarchy::{Access, AccessKind, AccessResult, HitLevel, MemConfig, MemoryHierarchy};
-pub use image::{FxHasher, MemImage};
+pub use image::{FxHasher, MemDelta, MemImage};
 pub use mshr::MshrFile;
 pub use stats::{MemStats, PfCounters};
 pub use tlb::{Tlb, TlbConfig, WalkerPool};

@@ -10,17 +10,24 @@
 //! # Examples
 //!
 //! ```
-//! use svr_sim::{run_kernel, SimConfig};
+//! use svr_sim::{run_kernel, RunOptions, SimConfig};
 //! use svr_workloads::{Kernel, Scale};
 //!
-//! let base = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder()).unwrap();
-//! let svr = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16)).unwrap();
+//! let opts = RunOptions::default();
+//! let base = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder(), &opts).unwrap();
+//! let svr = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16), &opts).unwrap();
 //! assert!(svr.core.cycles < base.core.cycles, "SVR speeds up Camel");
+//!
+//! // Warp mode: functional fast-forward, no timing model at all.
+//! let warp = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder(), &RunOptions::default().with_mode(svr_sim::ExecMode::Warp)).unwrap();
+//! assert_eq!(warp.core.retired, base.core.retired);
+//! assert_eq!(warp.core.cycles, 0);
 //! ```
 
 mod config;
 mod crash;
 mod error;
+mod options;
 mod profile;
 mod report;
 mod runner;
@@ -35,6 +42,7 @@ pub use config::{ConfigError, CoreChoice, SimConfig, TraceConfig};
 pub use crash::{default_crash_dir, write_crash_dump};
 pub use error::SimError;
 pub use json::Json;
+pub use options::{ExecMode, RunOptions};
 pub use profile::{
     golden_diff, pf_source_index, PcProfile, Profiler, NUM_BUCKETS, NUM_PF_SOURCES,
     PF_SOURCE_NAMES,
@@ -108,8 +116,9 @@ mod tests {
 
     #[test]
     fn svr_beats_inorder_on_tiny_camel() {
-        let base = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder()).unwrap();
-        let svr = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16)).unwrap();
+        let opts = RunOptions::default();
+        let base = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder(), &opts).unwrap();
+        let svr = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16), &opts).unwrap();
         assert!(svr.core.cycles < base.core.cycles);
     }
 }

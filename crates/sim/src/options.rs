@@ -1,0 +1,159 @@
+//! Execution-mode selection and per-run options.
+//!
+//! Every entry point that simulates a workload — [`crate::run_workload`],
+//! [`crate::run_workload_traced`], [`crate::run_kernel`], and
+//! [`crate::Sweep`] — takes a [`RunOptions`] describing *how* to execute:
+//! which [`ExecMode`], the instruction cap, and an optional watchdog
+//! override. `RunOptions::default()` reproduces the historical behaviour
+//! exactly (detailed timing, uncapped, config-supplied watchdog).
+
+use svr_core::WatchdogConfig;
+
+/// How a workload is executed.
+///
+/// * [`ExecMode::Detailed`] is the cycle-accurate simulator: the chosen core
+///   model ([`crate::CoreChoice`]), the full memory hierarchy, prefetchers,
+///   and CPI-stack accounting. Reports are bit-identical to the pre-`ExecMode`
+///   runner.
+/// * [`ExecMode::Warp`] is a pure-functional fast-forward: the pre-decoded
+///   program ([`svr_isa::DecodedProgram`]) runs directly against the memory
+///   image with **no timing model at all** — no caches, no predictors, no
+///   cycles. Final architectural state (registers, flags, PC, halt, memory)
+///   is identical to a detailed run of the same workload; every timing
+///   statistic in the report is zero. Use it to fast-forward to a region of
+///   interest, to verify workloads, or to generate reference state cheaply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Cycle-accurate simulation on the configured core model.
+    #[default]
+    Detailed,
+    /// Functional fast-forward: architectural state only, zero timing.
+    Warp,
+}
+
+impl ExecMode {
+    /// Stable lower-case name (`"detailed"` / `"warp"`), used by CLI flags
+    /// and cache keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Detailed => "detailed",
+            ExecMode::Warp => "warp",
+        }
+    }
+
+    /// Parses [`ExecMode::name`] output; `None` for anything else.
+    pub fn from_name(s: &str) -> Option<ExecMode> {
+        match s {
+            "detailed" => Some(ExecMode::Detailed),
+            "warp" => Some(ExecMode::Warp),
+            _ => None,
+        }
+    }
+}
+
+/// Options governing one simulated run.
+///
+/// Construct with [`RunOptions::detailed`] / [`RunOptions::warp`] for the
+/// common cases, or start from `RunOptions::default()` (detailed, uncapped)
+/// and refine with the `with_*` builders.
+///
+/// # Examples
+///
+/// ```
+/// use svr_sim::{ExecMode, RunOptions};
+///
+/// let opts = RunOptions::warp(10_000);
+/// assert_eq!(opts.mode, ExecMode::Warp);
+/// assert_eq!(opts.max_insts, 10_000);
+///
+/// let dflt = RunOptions::default();
+/// assert_eq!(dflt.mode, ExecMode::Detailed);
+/// assert_eq!(dflt.max_insts, u64::MAX);
+/// assert!(dflt.watchdog.is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    /// Execution mode (default: [`ExecMode::Detailed`]).
+    pub mode: ExecMode,
+    /// Retired-instruction cap (default: `u64::MAX`, i.e. run to `halt`).
+    /// Entry points that also receive a [`svr_workloads::Scale`] cap the run
+    /// at the *minimum* of the two limits.
+    pub max_insts: u64,
+    /// When `Some`, overrides the watchdog of whichever core the
+    /// [`crate::SimConfig`] selects. `None` keeps the config's own
+    /// thresholds. Ignored in warp mode (a functional run has no cycles for
+    /// a watchdog to count; termination is bounded by `max_insts`).
+    pub watchdog: Option<WatchdogConfig>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            mode: ExecMode::Detailed,
+            max_insts: u64::MAX,
+            watchdog: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Detailed mode capped at `max_insts` retired instructions.
+    pub fn detailed(max_insts: u64) -> Self {
+        RunOptions {
+            max_insts,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Warp mode capped at `max_insts` retired instructions.
+    pub fn warp(max_insts: u64) -> Self {
+        RunOptions {
+            mode: ExecMode::Warp,
+            max_insts,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Replaces the execution mode.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Replaces the instruction cap.
+    pub fn with_max_insts(mut self, max_insts: u64) -> Self {
+        self.max_insts = max_insts;
+        self
+    }
+
+    /// Overrides the core watchdog (detailed mode only).
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_names_round_trip() {
+        for mode in [ExecMode::Detailed, ExecMode::Warp] {
+            assert_eq!(ExecMode::from_name(mode.name()), Some(mode));
+        }
+        assert_eq!(ExecMode::from_name("Warp"), None);
+        assert_eq!(ExecMode::from_name(""), None);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let wd = WatchdogConfig::off();
+        let o = RunOptions::default()
+            .with_mode(ExecMode::Warp)
+            .with_max_insts(42)
+            .with_watchdog(wd);
+        assert_eq!(o, RunOptions::warp(42).with_watchdog(wd));
+        assert_eq!(o.watchdog, Some(wd));
+    }
+}

@@ -526,13 +526,14 @@ fn type_name(j: &Json) -> &'static str {
 mod tests {
     use super::*;
     use crate::config::SimConfig;
+    use crate::options::RunOptions;
     use crate::runner::{run_workload, run_workload_traced};
     use svr_workloads::{Kernel, Scale};
 
     fn profile(kernel: Kernel, config: &SimConfig) -> (Profiler, RunReport) {
         let wl = kernel.build(Scale::Tiny);
         let mut prof = Profiler::new();
-        let report = run_workload_traced(&wl, config, 2_000_000, &mut prof).expect("run");
+        let report = run_workload_traced(&wl, config, &RunOptions::detailed(2_000_000), &mut prof).expect("run");
         (prof, report)
     }
 
@@ -558,9 +559,9 @@ mod tests {
     fn profiled_run_is_bit_identical_to_unprofiled() {
         let wl = Kernel::Camel.build(Scale::Tiny);
         let config = SimConfig::svr(16);
-        let plain = run_workload(&wl, &config, 2_000_000).expect("plain");
+        let plain = run_workload(&wl, &config, &RunOptions::detailed(2_000_000)).expect("plain");
         let mut prof = Profiler::new();
-        let profiled = run_workload_traced(&wl, &config, 2_000_000, &mut prof).expect("profiled");
+        let profiled = run_workload_traced(&wl, &config, &RunOptions::detailed(2_000_000), &mut prof).expect("profiled");
         assert_eq!(plain, profiled, "attaching a profiler changed the simulation");
     }
 

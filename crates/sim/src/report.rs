@@ -254,13 +254,13 @@ pub fn report_from_json(j: &Json) -> Result<RunReport, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{run_kernel, SimConfig};
+    use crate::{run_kernel, RunOptions, SimConfig};
     use svr_workloads::{Kernel, Scale};
 
     #[test]
     fn report_round_trips_bit_identically() {
         for cfg in [SimConfig::inorder(), SimConfig::imp(), SimConfig::svr(16)] {
-            let r = run_kernel(Kernel::Camel, Scale::Tiny, &cfg).expect("valid config");
+            let r = run_kernel(Kernel::Camel, Scale::Tiny, &cfg, &RunOptions::default()).expect("valid config");
             let text = report_to_json(&r).pretty();
             let back = report_from_json(&Json::parse(&text).expect("parses")).expect("decodes");
             assert_eq!(r, back, "round trip for {}", r.config);
@@ -269,7 +269,7 @@ mod tests {
 
     #[test]
     fn derived_block_matches_methods() {
-        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16)).expect("valid config");
+        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16), &RunOptions::default()).expect("valid config");
         let j = report_to_json(&r);
         let derived = j.get("derived").expect("derived");
         assert_eq!(derived.get("cpi").and_then(Json::as_f64), Some(r.cpi()));
@@ -281,7 +281,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_missing_fields() {
-        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder()).expect("valid config");
+        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder(), &RunOptions::default()).expect("valid config");
         let mut j = report_to_json(&r);
         if let Json::Obj(members) = &mut j {
             members.retain(|(k, _)| k != "core");

@@ -2,8 +2,10 @@
 
 use crate::config::{CoreChoice, SimConfig};
 use crate::error::SimError;
+use crate::options::{ExecMode, RunOptions};
 use svr_core::{CoreStats, InOrderCore, OooCore};
 use svr_energy::{CoreKind, EnergyBreakdown, EnergyInput, EnergyModel};
+use svr_isa::DecodedProgram;
 use svr_mem::MemStats;
 use svr_trace::{NullSink, TraceSink};
 use svr_workloads::{Kernel, Scale, Workload};
@@ -48,7 +50,13 @@ impl RunReport {
     }
 }
 
-/// Simulates `workload` under `config` for at most `max_insts` instructions.
+/// Simulates `workload` under `config` as directed by `opts`.
+///
+/// In [`ExecMode::Detailed`] (the default) this is the cycle-accurate
+/// simulator and the report is bit-identical to the historical runner. In
+/// [`ExecMode::Warp`] the pre-decoded program executes functionally (no
+/// timing, no memory hierarchy): final architectural state and `retired`
+/// match a detailed run, while every timing/memory statistic is zero.
 ///
 /// # Errors
 ///
@@ -59,17 +67,17 @@ impl RunReport {
 ///   attached `ImpConfig`, which would silently simulate the plain in-order
 ///   baseline;
 /// * [`SimError::NoForwardProgress`] / [`SimError::CycleBudgetExceeded`] if
-///   the watchdog terminated a livelocked or runaway guest (see
-///   [`svr_core::WatchdogConfig`]);
+///   the watchdog terminated a livelocked or runaway guest (detailed mode
+///   only; see [`svr_core::WatchdogConfig`] and [`RunOptions::watchdog`]);
 /// * [`SimError::InvariantViolation`] if a post-run simulator self-check
 ///   failed — checked in release builds too, so accounting bugs surface in
 ///   real sweeps and not only under `debug_assert!`.
 pub fn run_workload(
     workload: &Workload,
     config: &SimConfig,
-    max_insts: u64,
+    opts: &RunOptions,
 ) -> Result<RunReport, SimError> {
-    run_workload_traced(workload, config, max_insts, &mut NullSink)
+    run_workload_traced(workload, config, opts, &mut NullSink)
 }
 
 /// [`run_workload`] with a caller-owned trace sink attached to the core and
@@ -81,50 +89,83 @@ pub fn run_workload(
 /// [`NullSink`] makes this exactly [`run_workload`]: all emission sites
 /// monomorphize away.
 ///
+/// Warp-mode runs emit no trace events (there is no timing to trace); the
+/// sink is simply left untouched.
+///
 /// # Errors
 ///
 /// Same contract as [`run_workload`].
 pub fn run_workload_traced<S: TraceSink>(
     workload: &Workload,
     config: &SimConfig,
-    max_insts: u64,
+    opts: &RunOptions,
     sink: &mut S,
 ) -> Result<RunReport, SimError> {
     config
         .validate()
         .map_err(|e| e.for_workload(&workload.name))?;
+    // A watchdog override applies to whichever core the config selects; it
+    // only bounds runs that would not terminate, never the timing of one
+    // that does, so (like `SimConfig`'s own watchdog) it stays out of cache
+    // keys and labels.
+    let owned_config;
+    let config = match opts.watchdog {
+        Some(wd) => {
+            let mut c = config.clone();
+            c.inorder.watchdog = wd;
+            c.ooo.watchdog = wd;
+            owned_config = c;
+            &owned_config
+        }
+        None => config,
+    };
+    let max_insts = opts.max_insts;
     let label = config.label();
     let (program, mut image, mut arch) = workload.instantiate();
-    // Each arm runs the core to completion, finalizes the prefetch ledger
-    // (still-resident lines become `resident_at_end`), then checks the
-    // memory hierarchy's cross-counter invariants while the core still owns
-    // it — including the per-source `issued == used + late + evicted_unused
-    // + resident_at_end` balance.
-    let (core_stats, mem_stats, kind, mem_check) = match &config.core {
-        CoreChoice::InOrder | CoreChoice::Imp => {
-            let mut core = InOrderCore::with_sink(config.inorder, config.mem.clone(), sink);
-            core.run(&program, &mut image, &mut arch, max_insts)
-                .map_err(|e| SimError::from_run_error(e, &workload.name, &label))?;
-            core.finalize_mem();
-            let check = core.hierarchy().check_invariants();
-            (*core.stats(), *core.mem_stats(), CoreKind::InOrder, check)
-        }
-        CoreChoice::Svr(svr) => {
-            let mut core =
-                InOrderCore::with_svr_sink(config.inorder, config.mem.clone(), *svr, sink);
-            core.run(&program, &mut image, &mut arch, max_insts)
-                .map_err(|e| SimError::from_run_error(e, &workload.name, &label))?;
-            core.finalize_mem();
-            let check = core.hierarchy().check_invariants();
-            (*core.stats(), *core.mem_stats(), CoreKind::InOrder, check)
-        }
-        CoreChoice::OutOfOrder => {
-            let mut core = OooCore::with_sink(config.ooo, config.mem.clone(), sink);
-            core.run(&program, &mut image, &mut arch, max_insts)
-                .map_err(|e| SimError::from_run_error(e, &workload.name, &label))?;
-            core.finalize_mem();
-            let check = core.hierarchy().check_invariants();
-            (*core.stats(), *core.mem_stats(), CoreKind::OutOfOrder, check)
+    // Each detailed-mode arm runs the core to completion, finalizes the
+    // prefetch ledger (still-resident lines become `resident_at_end`), then
+    // checks the memory hierarchy's cross-counter invariants while the core
+    // still owns it — including the per-source `issued == used + late +
+    // evicted_unused + resident_at_end` balance. Warp mode bypasses the
+    // cores entirely: the lowered program runs straight against the image,
+    // so timing stats stay zero and the shared invariants below degenerate
+    // to `0 == 0`.
+    let (core_stats, mem_stats, kind, mem_check) = if opts.mode == ExecMode::Warp {
+        let decoded = DecodedProgram::lower(&program);
+        let retired = arch.run_decoded(&decoded, &mut image, max_insts);
+        let core = CoreStats {
+            retired,
+            issued_uops: retired,
+            ..CoreStats::default()
+        };
+        (core, MemStats::default(), CoreKind::InOrder, Ok(()))
+    } else {
+        match &config.core {
+            CoreChoice::InOrder | CoreChoice::Imp => {
+                let mut core = InOrderCore::with_sink(config.inorder, config.mem.clone(), sink);
+                core.run(&program, &mut image, &mut arch, max_insts)
+                    .map_err(|e| SimError::from_run_error(e, &workload.name, &label))?;
+                core.finalize_mem();
+                let check = core.hierarchy().check_invariants();
+                (*core.stats(), *core.mem_stats(), CoreKind::InOrder, check)
+            }
+            CoreChoice::Svr(svr) => {
+                let mut core =
+                    InOrderCore::with_svr_sink(config.inorder, config.mem.clone(), *svr, sink);
+                core.run(&program, &mut image, &mut arch, max_insts)
+                    .map_err(|e| SimError::from_run_error(e, &workload.name, &label))?;
+                core.finalize_mem();
+                let check = core.hierarchy().check_invariants();
+                (*core.stats(), *core.mem_stats(), CoreKind::InOrder, check)
+            }
+            CoreChoice::OutOfOrder => {
+                let mut core = OooCore::with_sink(config.ooo, config.mem.clone(), sink);
+                core.run(&program, &mut image, &mut arch, max_insts)
+                    .map_err(|e| SimError::from_run_error(e, &workload.name, &label))?;
+                core.finalize_mem();
+                let check = core.hierarchy().check_invariants();
+                (*core.stats(), *core.mem_stats(), CoreKind::OutOfOrder, check)
+            }
         }
     };
     let violation = |invariant: &str, detail: String| SimError::InvariantViolation {
@@ -173,14 +214,27 @@ pub fn run_workload_traced<S: TraceSink>(
 
 /// Builds and runs a registry kernel (convenience wrapper).
 ///
+/// The effective instruction cap is the *minimum* of the scale's own cap
+/// ([`Scale::max_insts`]) and [`RunOptions::max_insts`], so
+/// `RunOptions::default()` reproduces the historical behaviour exactly.
+///
 /// # Errors
 ///
 /// Same contract as [`run_workload`]; registry kernels terminate and their
 /// configurations are valid, so callers that only use paper kernels and
 /// [`SimConfig`] constructors typically `.expect(...)` the result.
-pub fn run_kernel(kernel: Kernel, scale: Scale, config: &SimConfig) -> Result<RunReport, SimError> {
+pub fn run_kernel(
+    kernel: Kernel,
+    scale: Scale,
+    config: &SimConfig,
+    opts: &RunOptions,
+) -> Result<RunReport, SimError> {
     let w = kernel.build(scale);
-    run_workload(&w, config, scale.max_insts())
+    let effective = RunOptions {
+        max_insts: scale.max_insts().min(opts.max_insts),
+        ..*opts
+    };
+    run_workload(&w, config, &effective)
 }
 
 /// Assembles the energy-model event counts from simulator statistics.
@@ -251,7 +305,7 @@ pub fn run_parallel(
                         break;
                     }
                     let (kernel, scale, config) = &jobs[i];
-                    let report = run_kernel(*kernel, *scale, config);
+                    let report = run_kernel(*kernel, *scale, config, &RunOptions::default());
                     // A worker that panicked while holding the lock poisons
                     // it; the data (one slot per job) is still consistent.
                     results
@@ -274,9 +328,16 @@ mod tests {
     use super::*;
     use svr_workloads::GraphInput;
 
+    /// Default options: detailed mode, uncapped, config-supplied watchdog.
+    const OPTS: RunOptions = RunOptions {
+        mode: ExecMode::Detailed,
+        max_insts: u64::MAX,
+        watchdog: None,
+    };
+
     #[test]
     fn run_kernel_produces_verified_report() {
-        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder()).expect("camel runs");
+        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder(), &OPTS).expect("camel runs");
         assert!(r.verified, "camel must verify");
         assert!(r.cpi() > 0.0);
         assert!(r.nj_per_inst() > 0.0);
@@ -286,7 +347,7 @@ mod tests {
 
     #[test]
     fn svr_report_contains_activity() {
-        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16)).expect("camel runs");
+        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16), &OPTS).expect("camel runs");
         assert!(r.core.svr.prm_rounds > 0);
         assert!(r.svr_accuracy().is_some());
         assert!(r.verified);
@@ -346,9 +407,9 @@ mod tests {
 
     #[test]
     fn imp_config_actually_prefetches() {
-        let r = run_kernel(Kernel::NasIs, Scale::Tiny, &SimConfig::imp()).expect("IS runs");
+        let r = run_kernel(Kernel::NasIs, Scale::Tiny, &SimConfig::imp(), &OPTS).expect("IS runs");
         assert!(r.mem.imp.issued > 0, "IMP should fire on IS");
-        let r2 = run_kernel(Kernel::NasIs, Scale::Tiny, &SimConfig::inorder()).expect("IS runs");
+        let r2 = run_kernel(Kernel::NasIs, Scale::Tiny, &SimConfig::inorder(), &OPTS).expect("IS runs");
         assert_eq!(r2.mem.imp.issued, 0);
     }
 
@@ -356,7 +417,7 @@ mod tests {
     fn degenerate_imp_config_is_rejected() {
         let mut cfg = SimConfig::imp();
         cfg.mem.imp = None; // representable, but silently equals plain InO
-        let err = run_kernel(Kernel::Camel, Scale::Tiny, &cfg).expect_err("must be rejected");
+        let err = run_kernel(Kernel::Camel, Scale::Tiny, &cfg, &OPTS).expect_err("must be rejected");
         assert!(err.to_string().starts_with("invalid SimConfig"), "{err}");
     }
 
@@ -364,7 +425,7 @@ mod tests {
     fn imp_prefetcher_under_wrong_core_is_rejected() {
         let mut cfg = SimConfig::svr(16);
         cfg.mem.imp = Some(svr_mem::prefetch::ImpConfig::default());
-        let err = run_kernel(Kernel::Camel, Scale::Tiny, &cfg).expect_err("must be rejected");
+        let err = run_kernel(Kernel::Camel, Scale::Tiny, &cfg, &OPTS).expect_err("must be rejected");
         assert!(err.to_string().starts_with("invalid SimConfig"), "{err}");
     }
 
@@ -373,7 +434,7 @@ mod tests {
         let mut cfg = SimConfig::imp();
         cfg.mem.imp = None;
         let w = Kernel::Camel.build(Scale::Tiny);
-        let err = run_workload(&w, &cfg, 1000).expect_err("degenerate IMP must be rejected");
+        let err = run_workload(&w, &cfg, &RunOptions::detailed(1000)).expect_err("degenerate IMP must be rejected");
         assert_eq!(err.kind_name(), "config");
         assert_eq!(err.workload(), Some("Camel"));
         assert_eq!(err.config(), "IMP");
@@ -390,7 +451,7 @@ mod tests {
         let mut cfg = SimConfig::inorder();
         cfg.inorder.watchdog.cycles_per_inst = 0; // budget = 0 would disable;
         cfg.inorder.watchdog.progress_window = 1; // ...window of 1 must trip.
-        let err = run_kernel(Kernel::Camel, Scale::Tiny, &cfg)
+        let err = run_kernel(Kernel::Camel, Scale::Tiny, &cfg, &OPTS)
             .expect_err("a 1-cycle progress window cannot be met");
         assert_eq!(err.workload(), Some("Camel"));
         assert_eq!(err.config(), "InO");
@@ -407,13 +468,72 @@ mod tests {
     fn traced_run_report_is_bit_identical_to_untraced() {
         for cfg in [SimConfig::inorder(), SimConfig::ooo(), SimConfig::svr(16)] {
             let w = Kernel::Camel.build(Scale::Tiny);
-            let base = run_workload(&w, &cfg, 100_000).expect("valid config");
+            let base = run_workload(&w, &cfg, &RunOptions::detailed(100_000)).expect("valid config");
             let mut ring = svr_trace::RingSink::new(1 << 16);
             let traced =
-                run_workload_traced(&w, &cfg, 100_000, &mut ring).expect("valid config");
+                run_workload_traced(&w, &cfg, &RunOptions::detailed(100_000), &mut ring).expect("valid config");
             assert_eq!(base, traced, "tracing changed the run under {}", cfg.label());
             assert!(ring.total() > 0, "no events under {}", cfg.label());
         }
+    }
+
+    #[test]
+    fn warp_mode_verifies_with_zero_timing() {
+        let warp = run_kernel(
+            Kernel::Camel,
+            Scale::Tiny,
+            &SimConfig::inorder(),
+            &RunOptions::default().with_mode(ExecMode::Warp),
+        )
+        .expect("camel runs in warp mode");
+        assert!(warp.verified, "warp run must still pass the workload check");
+        assert_eq!(warp.core.cycles, 0, "warp mode models no time");
+        assert_eq!(warp.mem, MemStats::default(), "warp mode touches no hierarchy");
+        assert!(warp.core.retired > 0);
+        let detailed =
+            run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder(), &OPTS).expect("camel");
+        assert_eq!(
+            warp.core.retired, detailed.core.retired,
+            "both modes retire the same instruction stream"
+        );
+    }
+
+    #[test]
+    fn warp_mode_ignores_core_choice() {
+        let w = Kernel::Camel.build(Scale::Tiny);
+        let opts = RunOptions::warp(100_000);
+        let a = run_workload(&w, &SimConfig::inorder(), &opts).expect("warp InO");
+        let b = run_workload(&w, &SimConfig::ooo(), &opts).expect("warp OoO");
+        assert_eq!(a.core, b.core, "warp bypasses the core models");
+        assert_eq!(a.mem, b.mem);
+    }
+
+    #[test]
+    fn options_watchdog_override_applies() {
+        use svr_core::WatchdogConfig;
+        let tight = WatchdogConfig {
+            cycles_per_inst: 0,
+            progress_window: 1,
+        };
+        let opts = RunOptions::default().with_watchdog(tight);
+        let err = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder(), &opts)
+            .expect_err("a 1-cycle progress window cannot be met");
+        assert!(
+            matches!(
+                err,
+                SimError::NoForwardProgress { .. } | SimError::CycleBudgetExceeded { .. }
+            ),
+            "{err}"
+        );
+        // The same override in warp mode is ignored: no cycles, no watchdog.
+        let warp = run_kernel(
+            Kernel::Camel,
+            Scale::Tiny,
+            &SimConfig::inorder(),
+            &opts.with_mode(ExecMode::Warp),
+        )
+        .expect("warp ignores the watchdog");
+        assert!(warp.verified);
     }
 
     #[test]
@@ -425,7 +545,7 @@ mod tests {
         let par = run_parallel(jobs.clone(), 2).expect("all jobs valid");
         let ser: Vec<RunReport> = jobs
             .iter()
-            .map(|(k, s, c)| run_kernel(*k, *s, c).expect("job valid"))
+            .map(|(k, s, c)| run_kernel(*k, *s, c, &OPTS).expect("job valid"))
             .collect();
         for (a, b) in par.iter().zip(&ser) {
             assert_eq!(a.workload, b.workload);

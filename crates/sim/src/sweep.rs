@@ -32,6 +32,7 @@ use crate::config::{ConfigError, SimConfig};
 use crate::crash::{default_crash_dir, write_crash_dump};
 use crate::error::SimError;
 use crate::json::Json;
+use crate::options::{ExecMode, RunOptions};
 use crate::report::{report_from_json, report_to_json};
 use crate::runner::{run_workload, run_workload_traced, RunReport};
 use std::collections::{HashMap, HashSet};
@@ -166,6 +167,7 @@ pub struct Sweep {
     suite: Vec<Kernel>,
     scale: Scale,
     configs: Vec<SimConfig>,
+    options: RunOptions,
     cache_dir: Option<PathBuf>,
     crash_dir: Option<PathBuf>,
     on_job: Option<fn(&JobTrace)>,
@@ -181,10 +183,28 @@ impl Sweep {
             suite,
             scale,
             configs: Vec::new(),
+            options: RunOptions::default(),
             cache_dir: Some(PathBuf::from(dir)),
             crash_dir: Some(default_crash_dir()),
             on_job: None,
         }
+    }
+
+    /// Sets the execution mode for every point (default:
+    /// [`ExecMode::Detailed`]). Warp points are cached under distinct keys
+    /// (`;mode=warp` suffix), so a warp sweep never pollutes — or reuses —
+    /// detailed results.
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.options.mode = mode;
+        self
+    }
+
+    /// Replaces the full per-run options (mode, instruction cap, watchdog
+    /// override). The effective cap of each point is the minimum of
+    /// [`Scale::max_insts`] and [`RunOptions::max_insts`].
+    pub fn options(mut self, options: RunOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// Sets the configuration axis.
@@ -287,15 +307,23 @@ impl Sweep {
         let mut points: Vec<Point> = Vec::new();
         let mut by_hash: HashMap<u64, usize> = HashMap::new();
         let mut point_of: Vec<Vec<usize>> = Vec::with_capacity(self.configs.len());
+        // Detailed-mode keys are byte-identical to the historical format so
+        // existing caches stay valid; warp keys append a `;mode=warp` tag.
+        // The watchdog override is deliberately absent (it never changes the
+        // report of a run that completes; see `WatchdogConfig`).
+        let mode_key = match self.options.mode {
+            ExecMode::Detailed => "",
+            ExecMode::Warp => ";mode=warp",
+        };
+        let effective_insts = self.scale.max_insts().min(self.options.max_insts);
         for cfg in &self.configs {
             let cfg_key = cfg.cache_key();
             let mut row = Vec::with_capacity(self.suite.len());
             for k in &self.suite {
                 let key = format!(
-                    "v{CACHE_FORMAT_VERSION};wl={};scale={};insts={};{cfg_key}",
+                    "v{CACHE_FORMAT_VERSION};wl={};scale={};insts={effective_insts};{cfg_key}{mode_key}",
                     k.name(),
                     self.scale.name(),
-                    self.scale.max_insts(),
                 );
                 let hash = fnv1a64(&key);
                 let idx = *by_hash.entry(hash).or_insert_with(|| {
@@ -383,6 +411,7 @@ impl Sweep {
             let done: Mutex<Vec<(usize, JobResult, JobTrace)>> =
                 Mutex::new(Vec::with_capacity(todo.len()));
             let scale = self.scale;
+            let options = self.options;
             let cache_dir = self.cache_dir.as_deref();
             let crash_dir = self.crash_dir.as_deref();
             let journal = journal.as_ref();
@@ -432,7 +461,7 @@ impl Sweep {
                                 let p = &points[idx];
                                 let t = Instant::now();
                                 let result = simulate_point(
-                                    &workload, &p.config, &p.key, scale, crash_dir,
+                                    &workload, &p.config, &p.key, scale, &options, crash_dir,
                                 );
                                 let source = match &result {
                                     Ok(report) => {
@@ -525,11 +554,15 @@ fn simulate_point(
     config: &SimConfig,
     key: &str,
     scale: Scale,
+    options: &RunOptions,
     crash_dir: Option<&Path>,
 ) -> JobResult {
-    let max_insts = scale.max_insts();
+    let opts = RunOptions {
+        max_insts: scale.max_insts().min(options.max_insts),
+        ..*options
+    };
     if let Ok(Ok(report)) = catch_unwind(AssertUnwindSafe(|| {
-        run_workload(workload, config, max_insts)
+        run_workload(workload, config, &opts)
     })) {
         return Ok(report);
     }
@@ -537,7 +570,7 @@ fn simulate_point(
     // survive the unwind and reach the crash dump.
     let mut ring = RingSink::new(config.trace.ring_capacity);
     let second = catch_unwind(AssertUnwindSafe(|| {
-        run_workload_traced(workload, config, max_insts, &mut ring)
+        run_workload_traced(workload, config, &opts, &mut ring)
     }));
     let error = match second {
         Ok(Ok(report)) => return Ok(report), // flaky first failure, recovered
@@ -949,9 +982,35 @@ mod tests {
             }
         }
         // And against the plain runner.
-        let direct =
-            run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::svr(16)).expect("camel runs");
+        let direct = run_kernel(
+            Kernel::Camel,
+            Scale::Tiny,
+            &SimConfig::svr(16),
+            &RunOptions::default(),
+        )
+        .expect("camel runs");
         assert_eq!(&direct, base.report(1, 0));
+    }
+
+    #[test]
+    fn warp_points_use_distinct_cache_keys() {
+        let dir = TempDir::new("warpkey");
+        let sweep = || {
+            Sweep::new(vec![Kernel::Camel], Scale::Tiny)
+                .config(SimConfig::inorder())
+                .cache_dir(&dir.0)
+        };
+        let detailed = sweep().run(1);
+        let warp = sweep().mode(ExecMode::Warp).run(1);
+        assert_eq!(warp.stats.cache_hits, 0, "warp must not reuse detailed results");
+        assert_eq!(warp.stats.simulated, 1);
+        let r = warp.report(0, 0);
+        assert_eq!(r.core.cycles, 0, "warp reports carry no timing");
+        assert_eq!(r.core.retired, detailed.report(0, 0).core.retired);
+        // Warp results are themselves cached, under their own key.
+        let again = sweep().mode(ExecMode::Warp).run(1);
+        assert_eq!(again.stats.cache_hits, 1);
+        assert_eq!(again.report(0, 0), r);
     }
 
     #[test]

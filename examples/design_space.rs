@@ -7,13 +7,13 @@
 //! ```
 
 use svr::core::{bit_budget, LoopBoundMode, SvrConfig};
-use svr::sim::{run_kernel, SimConfig};
+use svr::sim::{run_kernel, RunOptions, SimConfig};
 use svr::workloads::{Kernel, Scale};
 
 fn main() {
     let kernel = Kernel::Kangaroo;
     let scale = Scale::Small;
-    let base = run_kernel(kernel, scale, &SimConfig::inorder()).expect("valid config");
+    let base = run_kernel(kernel, scale, &SimConfig::inorder(), &RunOptions::default()).expect("valid config");
     println!(
         "Kangaroo (two-level indirection), in-order CPI {:.2}",
         base.cpi()
@@ -30,7 +30,7 @@ fn main() {
                 loop_bound_mode: mode,
                 ..SvrConfig::with_length(n)
             });
-            let r = run_kernel(kernel, scale, &cfg).expect("valid config");
+            let r = run_kernel(kernel, scale, &cfg, &RunOptions::default()).expect("valid config");
             assert!(r.verified);
             println!(
                 "{:>4} {:>4} {:12} {:>9.2} {:>8.2}x {:>9.2}",
@@ -59,7 +59,7 @@ fn main() {
             loop_bound_mode: mode,
             ..SvrConfig::with_length(16)
         });
-        let r = run_kernel(kernel, scale, &cfg).expect("valid config");
+        let r = run_kernel(kernel, scale, &cfg, &RunOptions::default()).expect("valid config");
         println!(
             "{:>4} {:>4} {:12} {:>9.2} {:>8.2}x",
             16,

@@ -7,15 +7,15 @@
 //! cargo run --release --example hashjoin_probe
 //! ```
 
-use svr::sim::{run_kernel, SimConfig};
+use svr::sim::{run_kernel, RunOptions, SimConfig};
 use svr::workloads::{Kernel, Scale};
 
 fn main() {
     let scale = Scale::Small;
     for bucket in [2usize, 8] {
         let kernel = Kernel::HashJoin(bucket);
-        let base = run_kernel(kernel, scale, &SimConfig::inorder()).expect("valid config");
-        let svr = run_kernel(kernel, scale, &SimConfig::svr(16)).expect("valid config");
+        let base = run_kernel(kernel, scale, &SimConfig::inorder(), &RunOptions::default()).expect("valid config");
+        let svr = run_kernel(kernel, scale, &SimConfig::svr(16), &RunOptions::default()).expect("valid config");
         assert!(base.verified && svr.verified);
         let speedup = base.core.cycles as f64 / svr.core.cycles as f64;
         println!(

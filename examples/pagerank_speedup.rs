@@ -5,7 +5,7 @@
 //! cargo run --release --example pagerank_speedup
 //! ```
 
-use svr::sim::{run_kernel, SimConfig};
+use svr::sim::{run_kernel, RunOptions, SimConfig};
 use svr::workloads::{GraphInput, Kernel, Scale};
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
         SimConfig::svr(16),
         SimConfig::svr(64),
     ] {
-        let r = run_kernel(kernel, scale, &cfg).expect("valid config");
+        let r = run_kernel(kernel, scale, &cfg, &RunOptions::default()).expect("valid config");
         assert!(r.verified, "architectural check failed");
         println!(
             "{:8} {:>8.2} {:>12} {:>12.2} {:>12}",

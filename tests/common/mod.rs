@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use svr::sim::{run_workload, RunReport, SimConfig};
+use svr::sim::{run_workload, RunOptions, RunReport, SimConfig};
 use svr::workloads::{Kernel, Scale, Workload};
 
 /// Instruction budget for `Scale::Small` paper-property runs.
@@ -52,5 +52,5 @@ pub fn run_small(kernel: Kernel, config: &SimConfig) -> RunReport {
             .or_insert_with(|| kernel.build(Scale::Small))
             .clone()
     };
-    run_workload(&w, config, small_budget()).expect("paper configs are valid")
+    run_workload(&w, config, &RunOptions::detailed(small_budget())).expect("paper configs are valid")
 }

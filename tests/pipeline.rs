@@ -2,7 +2,7 @@
 //! simulated on each core model and validated against its native reference,
 //! and the paper's qualitative orderings are asserted.
 
-use svr::sim::{run_kernel, run_workload, SimConfig};
+use svr::sim::{run_kernel, run_workload, RunOptions, SimConfig};
 use svr::workloads::{hpcdb_suite, irregular_suite, GraphInput, Kernel, Scale};
 
 mod common;
@@ -20,7 +20,7 @@ fn all_workloads_verify_on_all_cores() {
             SimConfig::ooo(),
             SimConfig::svr(16),
         ] {
-            let r = run_workload(&w, &cfg, u64::MAX).expect("valid config");
+            let r = run_workload(&w, &cfg, &RunOptions::default()).expect("valid config");
             assert!(r.verified, "{} failed under {}", w.name, cfg.label());
         }
     }
@@ -32,9 +32,9 @@ fn all_workloads_verify_on_all_cores() {
 fn cores_retire_identical_instruction_counts() {
     for k in hpcdb_suite() {
         let w = k.build(Scale::Tiny);
-        let a = run_workload(&w, &SimConfig::inorder(), u64::MAX).expect("valid config");
-        let b = run_workload(&w, &SimConfig::ooo(), u64::MAX).expect("valid config");
-        let c = run_workload(&w, &SimConfig::svr(16), u64::MAX).expect("valid config");
+        let a = run_workload(&w, &SimConfig::inorder(), &RunOptions::default()).expect("valid config");
+        let b = run_workload(&w, &SimConfig::ooo(), &RunOptions::default()).expect("valid config");
+        let c = run_workload(&w, &SimConfig::svr(16), &RunOptions::default()).expect("valid config");
         assert_eq!(a.core.retired, b.core.retired, "{}", w.name);
         assert_eq!(a.core.retired, c.core.retired, "{}", w.name);
     }
@@ -44,8 +44,8 @@ fn cores_retire_identical_instruction_counts() {
 #[test]
 fn runs_are_deterministic() {
     for cfg in [SimConfig::svr(16), SimConfig::ooo()] {
-        let a = run_kernel(Kernel::Camel, Scale::Tiny, &cfg).expect("valid config");
-        let b = run_kernel(Kernel::Camel, Scale::Tiny, &cfg).expect("valid config");
+        let a = run_kernel(Kernel::Camel, Scale::Tiny, &cfg, &RunOptions::default()).expect("valid config");
+        let b = run_kernel(Kernel::Camel, Scale::Tiny, &cfg, &RunOptions::default()).expect("valid config");
         assert_eq!(a.core.cycles, b.core.cycles);
         assert_eq!(a.mem.dram_reads(), b.mem.dram_reads());
     }
@@ -143,8 +143,8 @@ fn imp_strengths_and_weaknesses() {
 fn spec_like_overhead_is_small() {
     for name in ["bwaves", "namd", "xalancbmk", "perlbench"] {
         let k = Kernel::Regular(name);
-        let base = run_kernel(k, Scale::Tiny, &SimConfig::inorder()).expect("valid config");
-        let svr = run_kernel(k, Scale::Tiny, &SimConfig::svr(16)).expect("valid config");
+        let base = run_kernel(k, Scale::Tiny, &SimConfig::inorder(), &RunOptions::default()).expect("valid config");
+        let svr = run_kernel(k, Scale::Tiny, &SimConfig::svr(16), &RunOptions::default()).expect("valid config");
         let ratio = svr.core.cycles as f64 / base.core.cycles as f64;
         assert!(
             ratio < 1.08,

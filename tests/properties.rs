@@ -6,7 +6,7 @@
 use svr::core::{svr::StrideDetector, IssueSlots, Scoreboard};
 use svr::isa::{AluOp, ArchState, DataMemory, Inst, Program, Reg, VecMemory};
 use svr::mem::{Access, AccessKind, Cache, CacheConfig, MemConfig, MemImage, MemoryHierarchy};
-use svr::sim::{run_workload, SimConfig};
+use svr::sim::{run_workload, RunOptions, SimConfig};
 use svr::workloads::{Check, Csr, Rng64, Scale, Workload};
 
 /// Random straight-line ALU/Li program over registers 1..8.
@@ -189,8 +189,8 @@ fn svr_is_architecturally_transparent_on_random_gathers() {
     for _ in 0..12 {
         let (n, mult) = (rng.range(2, 500), rng.range(1, 7919));
         let w = gather_workload(n.max(4), mult);
-        let a = run_workload(&w, &SimConfig::inorder(), u64::MAX).expect("valid config");
-        let b = run_workload(&w, &SimConfig::svr(16), u64::MAX).expect("valid config");
+        let a = run_workload(&w, &SimConfig::inorder(), &RunOptions::default()).expect("valid config");
+        let b = run_workload(&w, &SimConfig::svr(16), &RunOptions::default()).expect("valid config");
         assert!(a.verified && b.verified, "n={n} mult={mult}");
         assert_eq!(a.core.retired, b.core.retired);
     }
@@ -212,7 +212,7 @@ fn cpi_stack_total_equals_cycles_on_every_core_model() {
             SimConfig::ooo(),
             SimConfig::svr(16),
         ] {
-            let r = run_workload(&w, &cfg, u64::MAX).expect("valid config");
+            let r = run_workload(&w, &cfg, &RunOptions::default()).expect("valid config");
             assert_eq!(
                 r.core.stack.total(),
                 r.core.cycles,
@@ -234,10 +234,10 @@ fn attaching_a_trace_sink_never_changes_the_run() {
         let (n, mult) = (rng.range(4, 300), rng.range(1, 7919));
         let w = gather_workload(n, mult);
         for cfg in [SimConfig::inorder(), SimConfig::ooo(), SimConfig::svr(16)] {
-            let base = run_workload(&w, &cfg, u64::MAX).expect("valid config");
+            let base = run_workload(&w, &cfg, &RunOptions::default()).expect("valid config");
             let mut ring = RingSink::new(1 << 14);
             let traced =
-                run_workload_traced(&w, &cfg, u64::MAX, &mut ring).expect("valid config");
+                run_workload_traced(&w, &cfg, &RunOptions::default(), &mut ring).expect("valid config");
             assert_eq!(base, traced, "n={n} mult={mult} under {}", cfg.label());
             assert!(ring.total() > 0, "no events under {}", cfg.label());
         }

@@ -5,7 +5,7 @@
 
 mod common;
 
-use svr::sim::{run_workload, Json, SimConfig, SimError, Sweep};
+use svr::sim::{run_workload, Json, RunOptions, SimConfig, SimError, Sweep};
 use svr::workloads::{Kernel, Scale};
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -20,7 +20,7 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
 fn livelock_terminates_with_no_forward_progress() {
     let w = common::livelock_workload();
     for config in [SimConfig::inorder(), SimConfig::ooo(), SimConfig::svr(16)] {
-        let err = run_workload(&w, &config, Scale::Tiny.max_insts())
+        let err = run_workload(&w, &config, &RunOptions::detailed(Scale::Tiny.max_insts()))
             .expect_err("a jmp-to-self loop must trip the watchdog");
         match &err {
             SimError::NoForwardProgress {
