@@ -1,7 +1,24 @@
 //! Fig. 11: cycles-per-instruction for every workload under every
 //! configuration (lower is better).
+//!
+//! Under `--mode sampled` the binary doubles as the sampling validation
+//! harness: it re-runs the same sweep in detailed mode and reports the
+//! sampled-vs-detailed CPI error, the 95% confidence interval of each
+//! estimate, and the simulation-time speedup (build time excluded), which
+//! `scripts/ci.sh` gates on.
 use svr_bench::{paper_configs, sweep, BenchArgs, Figure};
+use svr_sim::{ExecMode, JobSource, SweepResult};
 use svr_workloads::irregular_suite;
+
+/// Wall time spent actually simulating (cache hits and workload
+/// construction excluded) across a sweep, in milliseconds.
+fn sim_ms(res: &SweepResult) -> f64 {
+    res.traces
+        .iter()
+        .filter(|t| t.source == JobSource::Simulated)
+        .map(|t| t.wall_ms)
+        .sum()
+}
 
 fn main() {
     let args = BenchArgs::parse("fig11_cpi");
@@ -18,11 +35,8 @@ fn main() {
         &args,
     );
     let labels: Vec<String> = configs.iter().map(|c| c.label()).collect();
-    fig.section(
-        "",
-        "workload",
-        &labels.iter().map(String::as_str).collect::<Vec<_>>(),
-    );
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    fig.section("", "workload", &label_refs);
     for (wi, k) in suite.iter().enumerate() {
         let row: Vec<f64> = (0..configs.len())
             .map(|ci| res.report(ci, wi).cpi())
@@ -37,5 +51,65 @@ fn main() {
         .collect();
     fig.row("Avg.", &avg);
     fig.attach(&res);
+
+    if args.mode == ExecMode::Sampled {
+        let detailed_args = BenchArgs {
+            mode: ExecMode::Detailed,
+            ..args.clone()
+        };
+        let det = sweep(suite.clone(), &detailed_args)
+            .configs(configs.clone())
+            .run(args.threads);
+        det.assert_verified();
+
+        fig.section("Sampled vs detailed CPI error (%)", "workload", &label_refs);
+        let mut max_err = 0.0f64;
+        for (wi, k) in suite.iter().enumerate() {
+            let row: Vec<f64> = (0..configs.len())
+                .map(|ci| {
+                    let s = res.report(ci, wi).cpi();
+                    let d = det.report(ci, wi).cpi();
+                    let err = (s - d).abs() / d * 100.0;
+                    max_err = max_err.max(err);
+                    err
+                })
+                .collect();
+            fig.row(&k.name(), &row);
+        }
+
+        fig.section(
+            "Sampled 95% CI half-width (cycles/inst)",
+            "workload",
+            &label_refs,
+        );
+        for (wi, k) in suite.iter().enumerate() {
+            let row: Vec<f64> = (0..configs.len())
+                .map(|ci| {
+                    res.report(ci, wi)
+                        .sampled
+                        .map_or(f64::NAN, |s| s.ci95)
+                })
+                .collect();
+            fig.row(&k.name(), &row);
+        }
+
+        let (s_ms, d_ms) = (sim_ms(&res), sim_ms(&det));
+        fig.note(&format!(
+            "sampled max CPI error vs detailed: {max_err:.3}%"
+        ));
+        if s_ms > 0.0 && d_ms > 0.0 {
+            fig.note(&format!(
+                "sim time: sampled {s_ms:.1} ms, detailed {d_ms:.1} ms, speedup {:.2}x \
+                 (simulation only; cache hits and workload builds excluded)",
+                d_ms / s_ms
+            ));
+        } else {
+            // A fully cache-resolved sweep simulates nothing, so there is no
+            // wall time to compare; rerun with --no-cache to measure speedup.
+            fig.note("sim time: speedup n/a (sweep resolved from cache; rerun with --no-cache)");
+        }
+        fig.attach(&det);
+    }
+
     fig.finish();
 }

@@ -115,6 +115,8 @@ fn main() {
     // (PR 5). "late" is the share of useful prefetches whose fill was still
     // in flight at first demand touch; "pollution" charges demand misses to
     // the prefetch fills that evicted the victims, per 1k issued prefetches.
+    // Pollution counts are exact per victim line (PR 7) — no longer the
+    // lower bound the old direct-mapped evicted-by filter produced.
     fig.section(
         "Fig. 13c — prefetch timeliness and pollution (taxonomy extension): \
          late % of useful prefetches, demand misses blamed on prefetch \

@@ -6,7 +6,7 @@
 //! into `results/<name>.json`.
 
 use std::path::PathBuf;
-use svr_sim::{ExecMode, Json, RunReport, SimConfig, Sweep, SweepResult, SweepStats};
+use svr_sim::{ExecMode, Json, RunOptions, RunReport, SimConfig, Sweep, SweepResult, SweepStats};
 use svr_workloads::{Kernel, Scale};
 
 pub mod chart;
@@ -14,14 +14,17 @@ pub mod chart;
 /// Parsed command line shared by every harness binary.
 ///
 /// ```text
-/// --scale tiny|small|full   problem size (default small)
-/// --mode detailed|warp      execution mode (default detailed)
+/// --scale tiny|small|full        problem size (default small)
+/// --mode detailed|warp|sampled   execution mode (default detailed)
 /// --threads N               simulation threads (default: all cores)
 /// --json PATH               write the JSON report here (default results/<name>.json)
 /// --no-cache                ignore and do not write the result cache
 /// --cache-dir DIR           result cache directory (default $SVR_CACHE_DIR or results/cache)
 /// --trace[=PATH]            capture an event trace (default results/trace/<wl>_<cfg>.json)
 /// --trace-interval N        windowed-metrics interval in cycles (default 10000)
+/// --sample-interval N       sampled mode: measured instructions per period
+/// --sample-warmup N         sampled mode: detailed warm-up instructions per period
+/// --sample-period N         sampled mode: total instructions per period
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
@@ -45,6 +48,13 @@ pub struct BenchArgs {
     pub trace_path: Option<PathBuf>,
     /// Windowed-metrics interval override in cycles (`--trace-interval N`).
     pub trace_interval: Option<u64>,
+    /// Sampled mode: measured-interval override (`--sample-interval N`).
+    /// `None` keeps [`svr_sim::RunOptions`]'s default.
+    pub sample_interval: Option<u64>,
+    /// Sampled mode: warm-up override (`--sample-warmup N`; 0 is valid).
+    pub sample_warmup: Option<u64>,
+    /// Sampled mode: period override (`--sample-period N`).
+    pub sample_period: Option<u64>,
     /// Arguments the shared parser did not consume (binary-specific).
     pub positional: Vec<String>,
 }
@@ -61,6 +71,9 @@ impl Default for BenchArgs {
             trace: false,
             trace_path: None,
             trace_interval: None,
+            sample_interval: None,
+            sample_warmup: None,
+            sample_period: None,
             positional: Vec::new(),
         }
     }
@@ -87,7 +100,7 @@ impl BenchArgs {
                 "--mode" => {
                     let v = value("--mode", &mut it)?;
                     out.mode = ExecMode::from_name(&v)
-                        .ok_or_else(|| format!("unknown --mode {v} (detailed|warp)"))?;
+                        .ok_or_else(|| format!("unknown --mode {v} (detailed|warp|sampled)"))?;
                 }
                 "--threads" => {
                     let v = value("--threads", &mut it)?;
@@ -107,6 +120,30 @@ impl BenchArgs {
                     out.trace_interval =
                         v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
                             format!("--trace-interval needs a positive integer, got {v}")
+                        })?
+                        .into();
+                }
+                "--sample-interval" => {
+                    let v = value("--sample-interval", &mut it)?;
+                    out.sample_interval =
+                        v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--sample-interval needs a positive integer, got {v}")
+                        })?
+                        .into();
+                }
+                "--sample-warmup" => {
+                    let v = value("--sample-warmup", &mut it)?;
+                    // 0 is a valid warm-up (measure immediately after the gap).
+                    out.sample_warmup = v
+                        .parse::<u64>()
+                        .map_err(|_| format!("--sample-warmup needs an integer, got {v}"))?
+                        .into();
+                }
+                "--sample-period" => {
+                    let v = value("--sample-period", &mut it)?;
+                    out.sample_period =
+                        v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--sample-period needs a positive integer, got {v}")
                         })?
                         .into();
                 }
@@ -152,20 +189,40 @@ pub fn usage(bin: &str) -> String {
          \n\
          options:\n\
          \x20 --scale tiny|small|full  problem size (default small)\n\
-         \x20 --mode detailed|warp     execution mode (default detailed)\n\
+         \x20 --mode detailed|warp|sampled  execution mode (default detailed)\n\
          \x20 --threads N              simulation threads (default: all cores)\n\
          \x20 --json PATH              JSON report path (default results/<bin>.json)\n\
          \x20 --no-cache               ignore and do not write the result cache\n\
          \x20 --cache-dir DIR          cache directory (default $SVR_CACHE_DIR or results/cache)\n\
          \x20 --trace[=PATH]           capture an event trace (Perfetto/chrome://tracing JSON)\n\
          \x20 --trace-interval N       windowed-metrics interval in cycles (default 10000)\n\
+         \x20 --sample-interval N      sampled mode: measured instructions per period\n\
+         \x20 --sample-warmup N        sampled mode: warm-up instructions per period\n\
+         \x20 --sample-period N        sampled mode: total instructions per period\n\
          \x20 --help                   show this help"
     )
 }
 
-/// Builds a [`Sweep`] over `suite` honouring the scale and cache flags.
+/// The [`RunOptions`] a command line selects: the execution mode plus any
+/// sampling-parameter overrides (absent flags keep the library defaults).
+pub fn run_options(args: &BenchArgs) -> RunOptions {
+    let mut opts = RunOptions::default().with_mode(args.mode);
+    if let Some(v) = args.sample_interval {
+        opts.sample_interval = v;
+    }
+    if let Some(v) = args.sample_warmup {
+        opts.sample_warmup = v;
+    }
+    if let Some(v) = args.sample_period {
+        opts.sample_period = v;
+    }
+    opts
+}
+
+/// Builds a [`Sweep`] over `suite` honouring the scale, mode/sampling and
+/// cache flags.
 pub fn sweep(suite: Vec<Kernel>, args: &BenchArgs) -> Sweep {
-    let mut s = Sweep::new(suite, args.scale).mode(args.mode);
+    let mut s = Sweep::new(suite, args.scale).options(run_options(args));
     if args.no_cache {
         s = s.no_cache();
     } else if let Some(dir) = &args.cache_dir {
@@ -485,6 +542,41 @@ mod tests {
         assert_eq!(a.mode, ExecMode::Warp);
         let a = BenchArgs::try_parse(&strs(&["--mode", "detailed"])).expect("parses");
         assert_eq!(a.mode, ExecMode::Detailed);
+        let a = BenchArgs::try_parse(&strs(&["--mode", "sampled"])).expect("parses");
+        assert_eq!(a.mode, ExecMode::Sampled);
+    }
+
+    #[test]
+    fn parses_sampling_flags_and_builds_options() {
+        let a = BenchArgs::try_parse(&strs(&[
+            "--mode",
+            "sampled",
+            "--sample-interval",
+            "500",
+            "--sample-warmup",
+            "0",
+            "--sample-period",
+            "4000",
+        ]))
+        .expect("parses");
+        assert_eq!(a.sample_interval, Some(500));
+        assert_eq!(a.sample_warmup, Some(0));
+        assert_eq!(a.sample_period, Some(4000));
+        let opts = run_options(&a);
+        assert_eq!(opts.mode, ExecMode::Sampled);
+        assert_eq!(
+            (opts.sample_interval, opts.sample_warmup, opts.sample_period),
+            (500, 0, 4000)
+        );
+
+        // Absent flags keep the library defaults.
+        let d = run_options(&BenchArgs::default());
+        assert_eq!(d, RunOptions::default());
+
+        assert!(BenchArgs::try_parse(&strs(&["--sample-interval", "0"])).is_err());
+        assert!(BenchArgs::try_parse(&strs(&["--sample-period", "0"])).is_err());
+        assert!(BenchArgs::try_parse(&strs(&["--sample-warmup", "x"])).is_err());
+        assert!(BenchArgs::try_parse(&strs(&["--sample-warmup"])).is_err());
     }
 
     #[test]
@@ -499,9 +591,13 @@ mod tests {
             "--cache-dir",
             "--trace",
             "--trace-interval",
+            "--sample-interval",
+            "--sample-warmup",
+            "--sample-period",
         ] {
             assert!(u.contains(flag), "usage missing {flag}");
         }
+        assert!(u.contains("sampled"), "usage missing the sampled mode");
     }
 
     #[test]

@@ -354,7 +354,13 @@ impl<S: TraceSink> InOrderCore<S> {
                     });
                 }
             }
-            self.last_issue = t;
+            // `last_issue` doubles as the attributed-through watermark: the
+            // end-of-run drain below bumps it to `cycles`, so on a resumed
+            // run the first issues can land *below* it. Letting it move
+            // backwards would re-open the drained window and double-charge
+            // those cycles on the next gap (breaking per-segment
+            // `stack.total() == cycles` conservation in sampled mode).
+            self.last_issue = self.last_issue.max(t);
 
             // Watchdog: two u64 compares per instruction (hot-path neutral).
             if t > budget {
@@ -679,6 +685,32 @@ mod tests {
         // Issue-to-issue gaps plus the completion-drain tail account for
         // every cycle.
         assert_eq!(total, cycles);
+    }
+
+    #[test]
+    fn segmented_runs_conserve_stack_totals_at_every_boundary() {
+        // Sampled mode resumes the same core with growing cumulative caps;
+        // the drain watermark must survive each seam or interval CPI stacks
+        // double-charge the drained window.
+        let (p, mut img, mut arch) = pointer_chase(500);
+        let mut core = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
+        let mut target = 0u64;
+        while !arch.halted() {
+            target += 37;
+            core.run(&p, &mut img, &mut arch, target).unwrap();
+            assert_eq!(
+                core.stats().stack.total(),
+                core.stats().cycles,
+                "conservation after {} retired",
+                core.stats().retired
+            );
+        }
+
+        let (p2, mut img2, mut arch2) = pointer_chase(500);
+        let mut whole = InOrderCore::new(InOrderConfig::default(), MemConfig::default());
+        whole.run(&p2, &mut img2, &mut arch2, u64::MAX).unwrap();
+        assert_eq!(core.stats().cycles, whole.stats().cycles);
+        assert_eq!(core.stats().retired, whole.stats().retired);
     }
 
     #[test]

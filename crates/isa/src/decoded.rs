@@ -218,6 +218,10 @@ pub struct DecodedProgram {
     /// `block_end[pc]` = exclusive end of the basic block containing `pc`.
     /// Lets the warp loop retire a whole block off one budget check.
     block_end: Vec<u32>,
+    /// `block_has_effect[pc]` = whether any op in `[pc, block_end[pc])` has
+    /// an architectural effect. Lets the watched warp loop update its quiet
+    /// counter once per block instead of once per op.
+    block_has_effect: Vec<bool>,
 }
 
 impl DecodedProgram {
@@ -269,10 +273,16 @@ impl DecodedProgram {
                 block_end[pc as usize] = w[1];
             }
         }
+        // Indexed by entry pc (not block leader): a run segment can resume
+        // mid-block, and the suffix it actually executes is what matters.
+        let block_has_effect = (0..ops.len())
+            .map(|pc| ops[pc..block_end[pc] as usize].iter().any(|o| o.has_effect))
+            .collect();
         DecodedProgram {
             ops,
             block_starts: starts,
             block_end,
+            block_has_effect,
         }
     }
 
@@ -451,14 +461,41 @@ impl ArchState {
         mem: &mut M,
         max_insts: u64,
     ) -> u64 {
+        let mut quiet = 0;
+        self.run_decoded_watched(prog, mem, max_insts, u64::MAX, &mut quiet)
+            .0
+    }
+
+    /// [`Self::run_decoded`] with a forward-progress watchdog.
+    ///
+    /// `quiet` counts consecutive retired instructions with no architectural
+    /// effect ([`DecodedOp::has_effect`]); any effectful retirement resets it
+    /// to zero. When the count exceeds `window` the run stops and returns
+    /// `Some(pc)` of the instruction about to dispatch — under warp there are
+    /// no cycles, so a loop that retires only `j`/`b`/`nop` is the only way
+    /// to spin without ever reaching `max_insts`' worth of *useful* work,
+    /// and `window` bounds how long such a spin may run. The counter is
+    /// caller-owned so it carries across segmented runs (sampling alternates
+    /// many short warp segments; a livelock spanning segments still trips).
+    pub fn run_decoded_watched<M: DataMemory>(
+        &mut self,
+        prog: &DecodedProgram,
+        mem: &mut M,
+        max_insts: u64,
+        window: u64,
+        quiet: &mut u64,
+    ) -> (u64, Option<usize>) {
         // This is the warp-mode hot loop: it re-implements [`Self::step_op`]'s
         // state updates with the PC and flags in locals and no [`Outcome`]
         // construction (the struct exists for timing-model callers; building
         // and discarding it here costs ~2× on pure-functional throughput).
         // `step_op_matches_legacy_interpreter` and the lockstep tests below
-        // pin the two paths to identical architectural behaviour.
+        // pin the two paths to identical architectural behaviour. The quiet
+        // counter is maintained per *block* on the fast path, so the
+        // unwatched wrapper (window = `u64::MAX`) pays two or three extra
+        // ops per block, not per instruction.
         if self.halted {
-            return 0;
+            return (0, None);
         }
         let ops = prog.ops();
         let mut pc = self.pc;
@@ -468,6 +505,11 @@ impl ArchState {
             if pc >= ops.len() {
                 self.halted = true;
                 break;
+            }
+            if *quiet > window {
+                self.pc = pc;
+                self.flags = flags;
+                return (n, Some(pc));
             }
             // Block fast path: when the rest of the current basic block fits
             // in the remaining budget, retire it off this one check — no
@@ -563,6 +605,11 @@ impl ArchState {
                     }
                     i += 1;
                 }
+                if prog.block_has_effect[base] {
+                    *quiet = 0;
+                } else {
+                    *quiet = quiet.saturating_add(block.len() as u64);
+                }
                 if self.halted {
                     break;
                 }
@@ -572,6 +619,7 @@ impl ArchState {
             // back to one-op-at-a-time dispatch with per-op budget checks
             // (and the fused fallback at the budget edge).
             let op = &ops[pc];
+            let effect = op.has_effect;
             match op.uop {
                 MicroOp::Li { dst, imm } => {
                     self.write_idx(dst, imm);
@@ -634,6 +682,7 @@ impl ArchState {
                                 pc + 2
                             };
                             n += 2;
+                            *quiet = 1; // effectful cmp resets; the branch adds one
                             continue;
                         }
                     }
@@ -650,6 +699,7 @@ impl ArchState {
                                 pc + 2
                             };
                             n += 2;
+                            *quiet = 1;
                             continue;
                         }
                     }
@@ -671,10 +721,15 @@ impl ArchState {
                 }
             }
             n += 1;
+            if effect {
+                *quiet = 0;
+            } else {
+                *quiet = quiet.saturating_add(1);
+            }
         }
         self.pc = pc;
         self.flags = flags;
-        n
+        (n, None)
     }
 }
 
@@ -810,6 +865,50 @@ mod tests {
         assert!(st.halted());
         // a halted state retires nothing more
         assert_eq!(st.run_decoded(&d, &mut mem, 10), 0);
+    }
+
+    #[test]
+    fn watched_run_trips_on_effect_free_spin() {
+        // `j @self`: the only block is effect-free, so the quiet counter
+        // grows by one per retirement and trips just past the window.
+        let p = Program::new("spin", vec![Inst::J { target: 0 }]);
+        let d = DecodedProgram::lower(&p);
+        let mut mem = VecMemory::new();
+        let mut st = ArchState::new();
+        let mut quiet = 0;
+        let (n, trip) = st.run_decoded_watched(&d, &mut mem, u64::MAX, 100, &mut quiet);
+        assert_eq!(trip, Some(0), "spin pc is reported");
+        assert!(!st.halted());
+        assert!((100..=102).contains(&n), "trips just past the window, not before: {n}");
+
+        // The counter is caller-owned: a spin split across segments still
+        // trips, even though each segment alone stays under the window.
+        let mut st = ArchState::new();
+        let mut quiet = 0;
+        let mut tripped = None;
+        for _ in 0..10 {
+            let (_, trip) = st.run_decoded_watched(&d, &mut mem, 20, 100, &mut quiet);
+            if trip.is_some() {
+                tripped = trip;
+                break;
+            }
+        }
+        assert_eq!(tripped, Some(0), "quiet carries across segments");
+
+        // A healthy loop (effectful body) never trips and matches the
+        // unwatched path's retirement count.
+        let p = sum_program();
+        let d = DecodedProgram::lower(&p);
+        let mut mem_a = VecMemory::from_words(vec![1, 2, 3, 4]);
+        let mut mem_b = mem_a.clone();
+        let mut watched = ArchState::new();
+        watched.set_reg(r(2), 4);
+        let mut plain = watched.clone();
+        let mut quiet = 0;
+        let (n, trip) = watched.run_decoded_watched(&d, &mut mem_a, u64::MAX, 2, &mut quiet);
+        assert_eq!(trip, None, "effectful loops reset the quiet counter");
+        assert_eq!(n, plain.run_decoded(&d, &mut mem_b, u64::MAX));
+        assert_eq!(watched, plain);
     }
 
     #[test]

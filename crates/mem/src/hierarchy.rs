@@ -14,50 +14,39 @@ use crate::stats::MemStats;
 use crate::tlb::{Tlb, TlbConfig, WalkerPool};
 use svr_trace::{MemKind, MemLevel, NullSink, PfEvent, TraceEvent, TraceSink};
 
-/// Slots in the evicted-by pollution filter (direct-mapped on line number).
-/// Bounded so the filter costs a fixed ~100 KiB regardless of footprint; a
-/// conflicting insert simply forgets the older victim, making the pollution
-/// counter a slight *under*-estimate (documented in DESIGN.md).
-const POLLUTION_SLOTS: usize = 4096;
-
 /// Remembers, per victim line, the prefetch whose fill evicted it from the
 /// LLC, so a later demand miss on that line can be charged to the polluting
 /// prefetch (the "pollution" leg of the efficacy taxonomy).
-#[derive(Debug)]
+///
+/// The map is exact: every tagged victim is remembered until its next L2
+/// miss consumes the tag, so the `pollution` counter is the true count, not
+/// the lower bound the old 4096-slot direct-mapped filter gave (a
+/// conflicting insert used to forget the older victim). Memory is bounded
+/// by the number of distinct lines whose last L2 eviction was by a prefetch
+/// fill and that never miss again — proportional to footprint, a few bytes
+/// per line, and `take` removes entries on every L2 miss along the way.
+#[derive(Debug, Default)]
 struct PollutionFilter {
-    /// `(victim_line_number, tag)`; `u64::MAX` marks an empty slot.
-    slots: Vec<(u64, PfTag)>,
+    evictors: std::collections::HashMap<
+        u64,
+        PfTag,
+        std::hash::BuildHasherDefault<crate::image::FxHasher>,
+    >,
 }
 
 impl PollutionFilter {
     fn new() -> Self {
-        PollutionFilter {
-            slots: vec![
-                (u64::MAX, PfTag::new(PfSource::Stride, 0));
-                POLLUTION_SLOTS
-            ],
-        }
-    }
-
-    #[inline]
-    fn slot(line_addr: u64) -> usize {
-        ((line_addr / crate::LINE_BYTES) as usize) & (POLLUTION_SLOTS - 1)
+        PollutionFilter::default()
     }
 
     /// Records `tag`'s fill as the evictor of the line at `line_addr`.
     fn record(&mut self, line_addr: u64, tag: PfTag) {
-        self.slots[Self::slot(line_addr)] = (line_addr, tag);
+        self.evictors.insert(line_addr, tag);
     }
 
     /// Removes and returns the evictor of the line at `line_addr`.
     fn take(&mut self, line_addr: u64) -> Option<PfTag> {
-        let entry = &mut self.slots[Self::slot(line_addr)];
-        if entry.0 == line_addr {
-            entry.0 = u64::MAX;
-            Some(entry.1)
-        } else {
-            None
-        }
+        self.evictors.remove(&line_addr)
     }
 }
 
@@ -1198,6 +1187,21 @@ mod tests {
         let r = h.access(Access::new(t, 0x0, AccessKind::DemandLoad));
         assert_eq!(r.level, HitLevel::Dram, "victim must have left the LLC");
         assert_eq!(h.stats().imp.pollution, 1);
+    }
+
+    #[test]
+    fn pollution_filter_keeps_aliasing_victims() {
+        // The old direct-mapped filter indexed on line number mod 4096, so
+        // two victims 4096 lines apart overwrote each other and the second
+        // demand miss lost its pollution charge. The exact map keeps both.
+        let mut f = PollutionFilter::new();
+        let a = 0u64;
+        let b = 4096 * crate::LINE_BYTES;
+        f.record(a, PfTag::new(PfSource::Stride, 1));
+        f.record(b, PfTag::new(PfSource::Imp, 2));
+        assert_eq!(f.take(a).map(|t| t.src), Some(PfSource::Stride));
+        assert_eq!(f.take(b).map(|t| t.src), Some(PfSource::Imp));
+        assert_eq!(f.take(a), None, "take consumes the tag");
     }
 
     #[test]

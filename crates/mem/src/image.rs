@@ -210,6 +210,12 @@ impl MemImage {
             }
         }
         self.brk = delta.brk;
+        // Drop the last-page cache: it must never outlive a rollback. Today
+        // it stores `(page, slot)` pairs and dense slots are stable across
+        // `restore`, but that is an implementation accident — anything that
+        // remaps a page (spill removal above, or a future compaction) would
+        // leave a hit on stale storage, a bug no read would ever report.
+        self.last.set([(u64::MAX, NO_SLOT); 2]);
     }
 
     /// Order-independent hash of the image's readable contents: every
@@ -527,6 +533,29 @@ mod tests {
         img.restore(&delta);
         assert_eq!(img.content_hash(), before);
         assert_eq!(img.read_u64(a), 10);
+    }
+
+    #[test]
+    fn restore_invalidates_last_page_cache() {
+        // Prime the two-entry cache on a page, roll back across a restore,
+        // then read through the same page again: the read must go back
+        // through the table and see the restored contents, never a cached
+        // pre-restore resolution.
+        let mut img = MemImage::new();
+        let a = img.alloc_array(&[1, 2]);
+        let b = a + 0x10_0000; // second page, fills the other cache entry
+        img.write_u64(b, 3);
+        img.begin_tracking();
+        img.write_u64(a, 77);
+        img.write_u64(b, 88);
+        let delta = img.take_delta().unwrap();
+        // Both cache entries now point at the dirtied pages.
+        assert_eq!(img.read_u64(a), 77);
+        assert_eq!(img.read_u64(b), 88);
+        img.restore(&delta);
+        assert_eq!(img.last.get(), [(u64::MAX, NO_SLOT); 2], "cache dropped");
+        assert_eq!(img.read_u64(a), 1, "read-through sees restored page");
+        assert_eq!(img.read_u64(b), 3);
     }
 
     #[test]

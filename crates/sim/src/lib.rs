@@ -50,7 +50,7 @@ pub use profile::{
 pub use report::{report_from_json, report_to_json};
 pub use runner::{
     energy_input, harmonic_mean_speedup, run_kernel, run_parallel, run_workload,
-    run_workload_traced, RunReport,
+    run_workload_traced, RunReport, SampledStats,
 };
 pub use sweep::{
     fnv1a64, JobError, JobResult, JobSource, JobTrace, Sweep, SweepResult, SweepStats,
@@ -99,6 +99,7 @@ mod tests {
                     mem: svr_mem::MemStats::default(),
                     energy: svr_energy::EnergyBreakdown::default(),
                     verified: true,
+                    sampled: None,
                 },
             )
         };

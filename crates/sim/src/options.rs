@@ -22,6 +22,15 @@ use svr_core::WatchdogConfig;
 ///   is identical to a detailed run of the same workload; every timing
 ///   statistic in the report is zero. Use it to fast-forward to a region of
 ///   interest, to verify workloads, or to generate reference state cheaply.
+/// * [`ExecMode::Sampled`] is SMARTS-style systematic sampling: the run is
+///   divided into fixed periods of [`RunOptions::sample_period`] retired
+///   instructions, each of which runs [`RunOptions::sample_warmup`]
+///   instructions on the detailed model (timing recorded but the sample
+///   discarded, so microarchitectural state re-converges after the gap),
+///   then [`RunOptions::sample_interval`] *measured* detailed instructions,
+///   then warp fast-forward for the remainder of the period. CPI is
+///   estimated from the measured intervals (ratio of sums) with a 95%
+///   confidence interval; see [`crate::SampledStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
     /// Cycle-accurate simulation on the configured core model.
@@ -29,15 +38,18 @@ pub enum ExecMode {
     Detailed,
     /// Functional fast-forward: architectural state only, zero timing.
     Warp,
+    /// Systematic sampling: short detailed intervals between warp gaps.
+    Sampled,
 }
 
 impl ExecMode {
-    /// Stable lower-case name (`"detailed"` / `"warp"`), used by CLI flags
-    /// and cache keys.
+    /// Stable lower-case name (`"detailed"` / `"warp"` / `"sampled"`), used
+    /// by CLI flags and cache keys.
     pub fn name(self) -> &'static str {
         match self {
             ExecMode::Detailed => "detailed",
             ExecMode::Warp => "warp",
+            ExecMode::Sampled => "sampled",
         }
     }
 
@@ -46,6 +58,7 @@ impl ExecMode {
         match s {
             "detailed" => Some(ExecMode::Detailed),
             "warp" => Some(ExecMode::Warp),
+            "sampled" => Some(ExecMode::Sampled),
             _ => None,
         }
     }
@@ -81,10 +94,28 @@ pub struct RunOptions {
     pub max_insts: u64,
     /// When `Some`, overrides the watchdog of whichever core the
     /// [`crate::SimConfig`] selects. `None` keeps the config's own
-    /// thresholds. Ignored in warp mode (a functional run has no cycles for
-    /// a watchdog to count; termination is bounded by `max_insts`).
+    /// thresholds. Warp (and the warp gaps of sampled mode) has no cycles
+    /// to count, so only `progress_window` applies there, measured in
+    /// consecutive effect-free retired instructions instead of quiet cycles.
     pub watchdog: Option<WatchdogConfig>,
+    /// Sampled mode: measured detailed instructions per sampling period.
+    pub sample_interval: u64,
+    /// Sampled mode: detailed warm-up instructions run (and timed, but not
+    /// sampled) before each measured interval, re-converging cache/TLB/
+    /// predictor timing state after the functional gap.
+    pub sample_warmup: u64,
+    /// Sampled mode: total retired instructions per period (warm-up +
+    /// measured interval + warp fast-forward). Clamped at use to at least
+    /// `sample_warmup + sample_interval`.
+    pub sample_period: u64,
 }
+
+/// Default measured-interval length (instructions) for sampled mode.
+pub const DEFAULT_SAMPLE_INTERVAL: u64 = 1_000;
+/// Default detailed warm-up length (instructions) for sampled mode.
+pub const DEFAULT_SAMPLE_WARMUP: u64 = 2_000;
+/// Default sampling period (instructions) for sampled mode.
+pub const DEFAULT_SAMPLE_PERIOD: u64 = 50_000;
 
 impl Default for RunOptions {
     fn default() -> Self {
@@ -92,6 +123,9 @@ impl Default for RunOptions {
             mode: ExecMode::Detailed,
             max_insts: u64::MAX,
             watchdog: None,
+            sample_interval: DEFAULT_SAMPLE_INTERVAL,
+            sample_warmup: DEFAULT_SAMPLE_WARMUP,
+            sample_period: DEFAULT_SAMPLE_PERIOD,
         }
     }
 }
@@ -114,6 +148,16 @@ impl RunOptions {
         }
     }
 
+    /// Sampled mode capped at `max_insts` retired instructions, with the
+    /// default interval/warm-up/period.
+    pub fn sampled(max_insts: u64) -> Self {
+        RunOptions {
+            mode: ExecMode::Sampled,
+            max_insts,
+            ..RunOptions::default()
+        }
+    }
+
     /// Replaces the execution mode.
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
@@ -126,9 +170,18 @@ impl RunOptions {
         self
     }
 
-    /// Overrides the core watchdog (detailed mode only).
+    /// Overrides the core watchdog.
     pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
         self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Replaces the sampled-mode parameters (measured interval, warm-up,
+    /// period — all in retired instructions).
+    pub fn with_sampling(mut self, interval: u64, warmup: u64, period: u64) -> Self {
+        self.sample_interval = interval;
+        self.sample_warmup = warmup;
+        self.sample_period = period;
         self
     }
 }
@@ -139,7 +192,7 @@ mod tests {
 
     #[test]
     fn mode_names_round_trip() {
-        for mode in [ExecMode::Detailed, ExecMode::Warp] {
+        for mode in [ExecMode::Detailed, ExecMode::Warp, ExecMode::Sampled] {
             assert_eq!(ExecMode::from_name(mode.name()), Some(mode));
         }
         assert_eq!(ExecMode::from_name("Warp"), None);
@@ -155,5 +208,25 @@ mod tests {
             .with_watchdog(wd);
         assert_eq!(o, RunOptions::warp(42).with_watchdog(wd));
         assert_eq!(o.watchdog, Some(wd));
+    }
+
+    #[test]
+    fn sampled_builder_sets_mode_and_params() {
+        let o = RunOptions::sampled(1_000_000).with_sampling(500, 1_000, 10_000);
+        assert_eq!(o.mode, ExecMode::Sampled);
+        assert_eq!(o.max_insts, 1_000_000);
+        assert_eq!(
+            (o.sample_interval, o.sample_warmup, o.sample_period),
+            (500, 1_000, 10_000)
+        );
+        let d = RunOptions::default();
+        assert_eq!(
+            (d.sample_interval, d.sample_warmup, d.sample_period),
+            (
+                DEFAULT_SAMPLE_INTERVAL,
+                DEFAULT_SAMPLE_WARMUP,
+                DEFAULT_SAMPLE_PERIOD
+            )
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! bit-identically (asserted by the cache round-trip tests).
 
 use crate::json::Json;
-use crate::runner::RunReport;
+use crate::runner::{RunReport, SampledStats};
 use svr_core::{CoreStats, CpiStack, SvrActivity};
 use svr_energy::EnergyBreakdown;
 use svr_mem::{MemStats, PfCounters};
@@ -212,12 +212,40 @@ fn energy_from_json(j: &Json) -> Result<EnergyBreakdown, String> {
     })
 }
 
+fn sampled_to_json(v: &SampledStats) -> Json {
+    obj! {
+        "intervals": Json::u64(v.intervals),
+        "interval_insts": Json::u64(v.interval_insts),
+        "warmup_insts": Json::u64(v.warmup_insts),
+        "period_insts": Json::u64(v.period_insts),
+        "total_retired": Json::u64(v.total_retired),
+        "measured_retired": Json::u64(v.measured_retired),
+        "measured_cycles": Json::u64(v.measured_cycles),
+        "cpi": Json::f64(v.cpi),
+        "ci95": Json::f64(v.ci95),
+    }
+}
+
+fn sampled_from_json(j: &Json) -> Result<SampledStats, String> {
+    Ok(SampledStats {
+        intervals: u(j, "intervals")?,
+        interval_insts: u(j, "interval_insts")?,
+        warmup_insts: u(j, "warmup_insts")?,
+        period_insts: u(j, "period_insts")?,
+        total_retired: u(j, "total_retired")?,
+        measured_retired: u(j, "measured_retired")?,
+        measured_cycles: u(j, "measured_cycles")?,
+        cpi: f(j, "cpi")?,
+        ci95: f(j, "ci95")?,
+    })
+}
+
 /// Serializes a report. The `derived` block (CPI, energy/inst, prefetch
 /// accuracy) is redundant with the raw counters and exists for downstream
 /// consumers; [`report_from_json`] ignores it.
 pub fn report_to_json(r: &RunReport) -> Json {
     let acc = |a: Option<f64>| a.map_or(Json::Null, Json::f64);
-    obj! {
+    let mut j = obj! {
         "workload": Json::str(&r.workload),
         "config": Json::str(&r.config),
         "verified": Json::Bool(r.verified),
@@ -233,7 +261,13 @@ pub fn report_to_json(r: &RunReport) -> Json {
             "imp_accuracy": acc(r.mem.imp.accuracy()),
             "stride_accuracy": acc(r.mem.stride.accuracy()),
         },
+    };
+    // The block is present exactly when the report carries an estimate, so
+    // detailed/warp reports serialize byte-identically to the v4 layout.
+    if let (Json::Obj(members), Some(sampled)) = (&mut j, &r.sampled) {
+        members.push(("sampled".into(), sampled_to_json(sampled)));
     }
+    j
 }
 
 /// Deserializes a report produced by [`report_to_json`].
@@ -248,6 +282,10 @@ pub fn report_from_json(j: &Json) -> Result<RunReport, String> {
         core: core_from_json(sub(j, "core")?)?,
         mem: mem_from_json(sub(j, "mem")?)?,
         energy: energy_from_json(sub(j, "energy")?)?,
+        sampled: match j.get("sampled") {
+            Some(sj) => Some(sampled_from_json(sj)?),
+            None => None,
+        },
     })
 }
 
@@ -265,6 +303,26 @@ mod tests {
             let back = report_from_json(&Json::parse(&text).expect("parses")).expect("decodes");
             assert_eq!(r, back, "round trip for {}", r.config);
         }
+    }
+
+    #[test]
+    fn sampled_report_round_trips_and_detailed_omits_block() {
+        let detailed = run_kernel(
+            Kernel::Camel,
+            Scale::Tiny,
+            &SimConfig::inorder(),
+            &RunOptions::default(),
+        )
+        .expect("valid config");
+        assert!(report_to_json(&detailed).get("sampled").is_none());
+
+        let opts = RunOptions::sampled(u64::MAX).with_sampling(500, 500, 5_000);
+        let r = run_kernel(Kernel::Camel, Scale::Tiny, &SimConfig::inorder(), &opts)
+            .expect("valid config");
+        assert!(r.sampled.is_some());
+        let text = report_to_json(&r).pretty();
+        let back = report_from_json(&Json::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(r, back, "sampled round trip");
     }
 
     #[test]

@@ -53,7 +53,9 @@ use svr_workloads::{Kernel, Scale, Workload};
 /// v4: the prefetch efficacy taxonomy (PR 5) — install-point `issued`
 /// semantics (feeds the energy model's L1-access count), the late/used
 /// split feeding the SVR accuracy ban, and new `PfCounters` JSON fields.
-pub const CACHE_FORMAT_VERSION: u32 = 4;
+/// v5: exact per-line pollution tagging (PR 7) shifts `pollution` counters,
+/// and reports gain an optional `sampled` estimator block.
+pub const CACHE_FORMAT_VERSION: u32 = 5;
 
 /// 64-bit FNV-1a over a string (the cache/dedup point hash).
 pub fn fnv1a64(s: &str) -> u64 {
@@ -308,12 +310,18 @@ impl Sweep {
         let mut by_hash: HashMap<u64, usize> = HashMap::new();
         let mut point_of: Vec<Vec<usize>> = Vec::with_capacity(self.configs.len());
         // Detailed-mode keys are byte-identical to the historical format so
-        // existing caches stay valid; warp keys append a `;mode=warp` tag.
+        // existing caches stay valid; warp keys append a `;mode=warp` tag and
+        // sampled keys a `;mode=sampled` tag carrying the three sampling
+        // parameters (they change the report, so they must key the cache).
         // The watchdog override is deliberately absent (it never changes the
         // report of a run that completes; see `WatchdogConfig`).
         let mode_key = match self.options.mode {
-            ExecMode::Detailed => "",
-            ExecMode::Warp => ";mode=warp",
+            ExecMode::Detailed => String::new(),
+            ExecMode::Warp => ";mode=warp".to_string(),
+            ExecMode::Sampled => format!(
+                ";mode=sampled;si={};sw={};sp={}",
+                self.options.sample_interval, self.options.sample_warmup, self.options.sample_period
+            ),
         };
         let effective_insts = self.scale.max_insts().min(self.options.max_insts);
         for cfg in &self.configs {
@@ -1011,6 +1019,32 @@ mod tests {
         let again = sweep().mode(ExecMode::Warp).run(1);
         assert_eq!(again.stats.cache_hits, 1);
         assert_eq!(again.report(0, 0), r);
+    }
+
+    #[test]
+    fn sampled_points_key_on_mode_and_sampling_params() {
+        let dir = TempDir::new("samplekey");
+        let sweep = |opts: RunOptions| {
+            Sweep::new(vec![Kernel::Camel], Scale::Tiny)
+                .config(SimConfig::inorder())
+                .cache_dir(&dir.0)
+                .options(opts)
+        };
+        let detailed = sweep(RunOptions::default()).run(1);
+        let sampled = sweep(RunOptions::sampled(u64::MAX)).run(1);
+        assert_eq!(
+            sampled.stats.cache_hits, 0,
+            "sampled must not reuse detailed results"
+        );
+        let r = sampled.report(0, 0);
+        let est = r.sampled.expect("sampled reports carry the estimator");
+        assert_eq!(est.total_retired, detailed.report(0, 0).core.retired);
+        // Same sampling parameters hit the cache; different ones miss.
+        let again = sweep(RunOptions::sampled(u64::MAX)).run(1);
+        assert_eq!(again.stats.cache_hits, 1);
+        assert_eq!(again.report(0, 0), r);
+        let other = sweep(RunOptions::sampled(u64::MAX).with_sampling(500, 500, 5_000)).run(1);
+        assert_eq!(other.stats.cache_hits, 0, "params are part of the key");
     }
 
     #[test]

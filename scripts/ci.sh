@@ -114,6 +114,51 @@ if [ "${wfail:-0}" != "0" ]; then
   echo "FAIL: $wfail warp sweep job(s) failed" >&2; exit 1
 fi
 
+echo "=== sampled check: SMARTS estimate tracks detailed CPI ==="
+# Accuracy probe: dense sampling (2k measured / 2k warm-up / 6k period, 67%
+# coverage) at tiny scale. fig11_cpi re-runs the matrix in detailed mode and
+# emits a per-workload "Sampled vs detailed CPI error (%)" section; the three
+# workload x two config cells gated below are steady-state at tiny scale
+# (short phase-heavy kernels only retire ~20k instructions at tiny, so their
+# estimates are legitimately noisy and are not gated).
+SVR_CACHE_DIR="$CACHE_DIR" ./target/release/fig11_cpi --scale tiny --mode sampled \
+  --sample-interval 2000 --sample-warmup 2000 --sample-period 6000 \
+  --json "$OUT_DIR/sampled_acc.json" > /dev/null
+# Extracts one cell of the error section: workload row, 0-based config column
+# (paper order: InO IMP OoO SVR8 SVR16 SVR32 SVR64 SVR128).
+err_cell() {
+  awk -v wl="\"$2\"," -v col="$3" '
+    /"heading": "Sampled vs detailed CPI error/ { insec = 1 }
+    insec && index($0, "\"label\": " wl) { inrow = 1; n = -1; next }
+    inrow && /^[[:space:]]*[0-9.eE+-]+,?[[:space:]]*$/ {
+      n++; if (n == col) { gsub(/[[:space:],]/, ""); print; exit } }
+  ' "$1"
+}
+err_le() { awk -v v="$1" -v t="$2" 'BEGIN { exit !(v + 0 <= t + 0 && length(v) > 0) }'; }
+for probe in "SSSP_KR 0 InO" "SSSP_KR 4 SVR16" \
+             "NAS-IS 3 SVR8" "NAS-IS 4 SVR16" \
+             "CC_UR 3 SVR8" "CC_UR 7 SVR128"; do
+  set -- $probe
+  e=$(err_cell "$OUT_DIR/sampled_acc.json" "$1" "$2")
+  echo "sampled CPI error: $1 x $3 = ${e:-missing}%"
+  err_le "${e:-99}" 3.0 || {
+    echo "FAIL: sampled CPI error ${e:-missing}% for $1 x $3 exceeds 3%" >&2
+    exit 1; }
+done
+
+echo "=== sampled speedup: sparse sampling beats detailed by >= 5x ==="
+# Sparse probe (256/256/50000: ~1% detailed coverage) with the cache off so
+# both sweeps really simulate; the binary's note reports summed per-point
+# simulation time (workload construction excluded) for both modes.
+./target/release/fig11_cpi --scale tiny --mode sampled --no-cache \
+  --sample-interval 256 --sample-warmup 256 --sample-period 50000 \
+  --json "$OUT_DIR/sampled_speed.json" > /dev/null
+sspeed=$(grep -o 'speedup [0-9.]*x' "$OUT_DIR/sampled_speed.json" | grep -o '[0-9.]*')
+echo "sampled vs detailed simulation-time speedup: ${sspeed:-missing}x"
+awk -v v="${sspeed:-0}" 'BEGIN { exit !(v + 0 >= 5.0) }' || {
+  echo "FAIL: sampled simulation speedup ${sspeed:-missing}x is below 5x" >&2
+  exit 1; }
+
 echo "=== perf gate: committed baseline clears both speedup targets ==="
 # results/perf_baseline.json (v2) records the decoded-detailed fig11 sweep
 # against the pre-rework wall time, plus the warp-vs-detailed probe

@@ -150,6 +150,7 @@ fn read_block_matches_scalar_reads_on_workload_images() {
 fn exec_mode_cli_names_round_trip() {
     assert_eq!(ExecMode::from_name("warp"), Some(ExecMode::Warp));
     assert_eq!(ExecMode::from_name("detailed"), Some(ExecMode::Detailed));
+    assert_eq!(ExecMode::from_name("sampled"), Some(ExecMode::Sampled));
     assert_eq!(ExecMode::default(), ExecMode::Detailed);
 }
 

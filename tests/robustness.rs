@@ -15,36 +15,54 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
 }
 
 /// The watchdog terminates a tight jmp-to-self loop on every core model and
-/// names the livelocked pc, the stall reason and the progress window.
+/// in every execution mode — detailed (quiet cycles), warp (consecutive
+/// effect-free retired instructions) and sampled (either, depending on which
+/// segment the spin lands in) — and names the livelocked pc, the stall
+/// reason and the progress window.
 #[test]
 fn livelock_terminates_with_no_forward_progress() {
     let w = common::livelock_workload();
+    let cap = Scale::Tiny.max_insts();
+    let modes = [
+        RunOptions::detailed(cap),
+        RunOptions::warp(cap),
+        RunOptions::sampled(cap),
+    ];
     for config in [SimConfig::inorder(), SimConfig::ooo(), SimConfig::svr(16)] {
-        let err = run_workload(&w, &config, &RunOptions::detailed(Scale::Tiny.max_insts()))
-            .expect_err("a jmp-to-self loop must trip the watchdog");
-        match &err {
-            SimError::NoForwardProgress {
-                workload,
-                pc,
-                cycle,
-                last_effect,
-                window,
-                ..
-            } => {
-                assert_eq!(workload, "DiagSpin");
-                // The spin is the `j @top` right after the dependent load.
-                assert!(*pc >= 1, "pc {pc} should be inside the program");
-                assert_eq!(*window, 100_000, "default progress window");
-                assert!(
-                    cycle - last_effect >= *window,
-                    "trip only after a full quiet window ({cycle} vs {last_effect})"
-                );
+        for opts in modes {
+            let err = run_workload(&w, &config, &opts)
+                .expect_err("a jmp-to-self loop must trip the watchdog in every mode");
+            match &err {
+                SimError::NoForwardProgress {
+                    workload,
+                    pc,
+                    cycle,
+                    last_effect,
+                    window,
+                    ..
+                } => {
+                    assert_eq!(workload, "DiagSpin");
+                    // The spin is the `j @top` right after the dependent load.
+                    assert!(*pc >= 1, "pc {pc} should be inside the program");
+                    assert_eq!(*window, 100_000, "default progress window");
+                    assert!(
+                        cycle - last_effect >= *window,
+                        "trip only after a full quiet window ({cycle} vs {last_effect})"
+                    );
+                }
+                other => panic!(
+                    "expected NoForwardProgress under {} in {:?} mode, got {other}",
+                    config.label(),
+                    opts.mode
+                ),
             }
-            other => panic!("expected NoForwardProgress under {}, got {other}", config.label()),
+            let text = err.to_string();
+            assert!(text.contains("DiagSpin"), "diagnostic names the workload: {text}");
+            assert!(
+                text.contains("no forward progress"),
+                "diagnostic names the failure: {text}"
+            );
         }
-        let text = err.to_string();
-        assert!(text.contains("DiagSpin"), "diagnostic names the workload: {text}");
-        assert!(text.contains("no forward progress"), "diagnostic names the failure: {text}");
     }
 }
 

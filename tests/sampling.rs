@@ -1,0 +1,79 @@
+//! SMARTS sampling estimator properties.
+//!
+//! Two properties anchor the sampled execution mode:
+//!
+//! 1. **Convergence**: as the sampling period shrinks to the measured
+//!    interval (full coverage, no warp gaps, no warm-up), the estimator
+//!    degenerates to detailed simulation run in segments — the measured
+//!    sums must equal the detailed run's cycle and retired counts
+//!    *exactly*, on every registry workload.
+//! 2. **Conservation**: inside each measured interval, the CPI-stack delta
+//!    must account for the interval's cycle delta exactly. The runner
+//!    enforces this invariant inside the scheduler (a violation fails the
+//!    run with `SimError::InvariantViolation`), so sampled runs succeeding
+//!    across all three core models *is* the conservation property.
+
+use svr::sim::{run_workload, RunOptions, SimConfig};
+use svr::workloads::{irregular_suite, regular_suite, Kernel, Scale};
+
+/// Every registry kernel, capped for runtime (tiny-scale workloads retire
+/// well under this, so the cap only bounds the pathological case).
+const CAP: u64 = 150_000;
+
+#[test]
+fn full_coverage_sampling_equals_detailed_on_every_workload() {
+    let cfg = SimConfig::inorder();
+    let mut all = irregular_suite();
+    all.extend(regular_suite());
+    for kernel in all {
+        let w = kernel.build(Scale::Tiny);
+        let detailed = run_workload(&w, &cfg, &RunOptions::detailed(CAP)).expect("detailed runs");
+        let opts = RunOptions::sampled(CAP).with_sampling(4_096, 0, 4_096);
+        let sampled = run_workload(&w, &cfg, &opts).expect("sampled runs");
+        let s = sampled.sampled.expect("sampled reports carry the estimator");
+        assert_eq!(
+            s.measured_retired, detailed.core.retired,
+            "{}: full coverage must measure every instruction",
+            w.name
+        );
+        assert_eq!(
+            s.measured_cycles, detailed.core.cycles,
+            "{}: segmented detailed cycles must match one continuous run",
+            w.name
+        );
+        assert!(
+            (sampled.cpi() - detailed.cpi()).abs() < 1e-12,
+            "{}: estimate {} != detailed {}",
+            w.name,
+            sampled.cpi(),
+            detailed.cpi()
+        );
+        assert!(sampled.verified, "{}: sampled run must verify", w.name);
+    }
+}
+
+#[test]
+fn interval_stacks_conserve_across_core_models() {
+    for cfg in [SimConfig::inorder(), SimConfig::ooo(), SimConfig::svr(16)] {
+        for kernel in [Kernel::Camel, Kernel::HashJoin(2), Kernel::NasIs] {
+            let w = kernel.build(Scale::Tiny);
+            let opts = RunOptions::sampled(CAP).with_sampling(500, 300, 2_000);
+            let r = run_workload(&w, &cfg, &opts).unwrap_or_else(|e| {
+                panic!(
+                    "{} under {}: interval conservation violated: {e}",
+                    w.name,
+                    cfg.label()
+                )
+            });
+            let s = r.sampled.expect("estimator present");
+            assert!(
+                s.intervals >= 2,
+                "{} under {}: need multiple intervals to exercise the seams",
+                w.name,
+                cfg.label()
+            );
+            assert!(s.cpi > 0.0);
+            assert!(r.verified);
+        }
+    }
+}
