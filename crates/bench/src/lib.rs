@@ -20,6 +20,7 @@ pub mod chart;
 /// --json PATH               write the JSON report here (default results/<name>.json)
 /// --no-cache                ignore and do not write the result cache
 /// --cache-dir DIR           result cache directory (default $SVR_CACHE_DIR or results/cache)
+/// --cache-max-bytes N       evict least-recently-used cache entries beyond N bytes
 /// --trace[=PATH]            capture an event trace (default results/trace/<wl>_<cfg>.json)
 /// --trace-interval N        windowed-metrics interval in cycles (default 10000)
 /// --sample-interval N       sampled mode: measured instructions per period
@@ -41,6 +42,9 @@ pub struct BenchArgs {
     pub no_cache: bool,
     /// Overrides the result-cache directory.
     pub cache_dir: Option<PathBuf>,
+    /// Caps the result cache: after the sweep, least-recently-used entries
+    /// are evicted until the cache fits (`--cache-max-bytes N`).
+    pub cache_max_bytes: Option<u64>,
     /// Capture an event trace (`--trace` / `--trace=PATH`).
     pub trace: bool,
     /// Explicit trace output path (`--trace=PATH`); otherwise the binary
@@ -68,6 +72,7 @@ impl Default for BenchArgs {
             json: None,
             no_cache: false,
             cache_dir: None,
+            cache_max_bytes: None,
             trace: false,
             trace_path: None,
             trace_interval: None,
@@ -113,6 +118,14 @@ impl BenchArgs {
                 "--no-cache" => out.no_cache = true,
                 "--cache-dir" => {
                     out.cache_dir = Some(PathBuf::from(value("--cache-dir", &mut it)?));
+                }
+                "--cache-max-bytes" => {
+                    let v = value("--cache-max-bytes", &mut it)?;
+                    out.cache_max_bytes =
+                        v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--cache-max-bytes needs a positive integer, got {v}")
+                        })?
+                        .into();
                 }
                 "--trace" => out.trace = true,
                 "--trace-interval" => {
@@ -172,6 +185,10 @@ impl BenchArgs {
             println!("{}", usage(bin));
             std::process::exit(0);
         }
+        // Every harness binary gets graceful interruption: the first
+        // SIGINT/SIGTERM lets the in-flight points finish and journals the
+        // rest (exit 130 with a resume hint); the second kills as usual.
+        svr_sim::shutdown::install();
         match BenchArgs::try_parse(&args) {
             Ok(parsed) => parsed,
             Err(e) => {
@@ -194,6 +211,7 @@ pub fn usage(bin: &str) -> String {
          \x20 --json PATH              JSON report path (default results/<bin>.json)\n\
          \x20 --no-cache               ignore and do not write the result cache\n\
          \x20 --cache-dir DIR          cache directory (default $SVR_CACHE_DIR or results/cache)\n\
+         \x20 --cache-max-bytes N      evict least-recently-used cache entries beyond N bytes\n\
          \x20 --trace[=PATH]           capture an event trace (Perfetto/chrome://tracing JSON)\n\
          \x20 --trace-interval N       windowed-metrics interval in cycles (default 10000)\n\
          \x20 --sample-interval N      sampled mode: measured instructions per period\n\
@@ -227,6 +245,9 @@ pub fn sweep(suite: Vec<Kernel>, args: &BenchArgs) -> Sweep {
         s = s.no_cache();
     } else if let Some(dir) = &args.cache_dir {
         s = s.cache_dir(dir.clone());
+    }
+    if let Some(max) = args.cache_max_bytes {
+        s = s.cache_max_bytes(max);
     }
     s
 }
@@ -503,6 +524,8 @@ mod tests {
             "--no-cache",
             "--cache-dir",
             "/tmp/c",
+            "--cache-max-bytes",
+            "1048576",
             "PR_KR",
         ]))
         .expect("parses");
@@ -511,6 +534,7 @@ mod tests {
         assert_eq!(a.json.as_deref(), Some(std::path::Path::new("out.json")));
         assert!(a.no_cache);
         assert_eq!(a.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/c")));
+        assert_eq!(a.cache_max_bytes, Some(1_048_576));
         assert_eq!(a.positional, vec!["PR_KR"]);
     }
 
@@ -534,6 +558,8 @@ mod tests {
         assert!(BenchArgs::try_parse(&strs(&["--json"])).is_err());
         assert!(BenchArgs::try_parse(&strs(&["--mode", "turbo"])).is_err());
         assert!(BenchArgs::try_parse(&strs(&["--mode"])).is_err());
+        assert!(BenchArgs::try_parse(&strs(&["--cache-max-bytes", "0"])).is_err());
+        assert!(BenchArgs::try_parse(&strs(&["--cache-max-bytes", "lots"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! The simulation daemon: accepts design-point submissions over HTTP,
+//! deduplicates, simulates, streams progress, and drains gracefully.
+//!
+//! ```text
+//! svr_serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]
+//!           [--cache-max-bytes N] [--queue-limit N] [--crash-dir DIR]
+//!           [--claim-timeout SECS] [--claim-stale SECS] [--no-resume]
+//! ```
+//!
+//! `--addr 127.0.0.1:0` binds an ephemeral port; the bound address is
+//! printed as `listening on <addr>` (scripts parse this line). SIGINT or
+//! SIGTERM begins a drain: in-flight jobs finish, queued jobs stay
+//! journaled, and a restarted daemon resumes them (`--no-resume` opts out).
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use svr_serve::{Server, ServerConfig};
+use svr_sim::shutdown;
+
+fn usage() -> String {
+    "usage: svr_serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR] \
+     [--cache-max-bytes N] [--queue-limit N] [--crash-dir DIR] \
+     [--claim-timeout SECS] [--claim-stale SECS] [--no-resume]"
+        .to_string()
+}
+
+struct Args {
+    addr: String,
+    resume: bool,
+    cfg: ServerConfig,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".into(),
+        resume: true,
+        cfg: ServerConfig::default(),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--cache-dir" => args.cfg.cache_dir = PathBuf::from(value("--cache-dir")?),
+            "--cache-max-bytes" => {
+                args.cfg.cache_max_bytes = Some(
+                    value("--cache-max-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--cache-max-bytes: {e}"))?,
+                );
+            }
+            "--queue-limit" => {
+                args.cfg.queue_limit = value("--queue-limit")?
+                    .parse()
+                    .map_err(|e| format!("--queue-limit: {e}"))?;
+            }
+            "--crash-dir" => args.cfg.crash_dir = Some(PathBuf::from(value("--crash-dir")?)),
+            // How long to wait on another process's cache claim, and the
+            // age at which a claim counts as abandoned (a SIGKILLed daemon
+            // cannot remove its claim files; a restarted daemon must be
+            // able to steal them promptly).
+            "--claim-timeout" => {
+                args.cfg.claim_timeout = std::time::Duration::from_secs(
+                    value("--claim-timeout")?
+                        .parse()
+                        .map_err(|e| format!("--claim-timeout: {e}"))?,
+                );
+            }
+            "--claim-stale" => {
+                args.cfg.claim_stale = std::time::Duration::from_secs(
+                    value("--claim-stale")?
+                        .parse()
+                        .map_err(|e| format!("--claim-stale: {e}"))?,
+                );
+            }
+            "--no-resume" => args.resume = false,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+    shutdown::install();
+    let listener =
+        TcpListener::bind(&args.addr).map_err(|e| format!("bind {}: {e}", args.addr))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let server = Server::new(args.cfg);
+    if args.resume {
+        let resumed = server.resume_pending();
+        if resumed > 0 {
+            eprintln!("resumed {resumed} pending job(s) from the journal");
+        }
+    }
+    // Scripts wait for this exact line to learn the ephemeral port.
+    println!("listening on {bound}");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server
+        .serve(listener)
+        .map_err(|e| format!("serve: {e}"))?;
+    eprintln!("drained; exiting");
+    Ok(())
+}
+
+fn main() {
+    // A zero exit means the drain completed cleanly — queued work is
+    // journaled and in-flight work finished.
+    if let Err(e) = run() {
+        eprintln!("svr_serve: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,301 @@
+//! Wire protocol of the simulation server: request parsing, point
+//! resolution, and structured error bodies.
+//!
+//! Everything on the wire is the repo's hand-rolled [`Json`]. A submitted
+//! *point* is the JSON form of one (workload, config, scale, mode) design
+//! point — exactly the identity the sweep engine hashes, so a point
+//! submitted over the socket dedups against cache entries produced by CLI
+//! sweeps and vice versa.
+//!
+//! Error bodies are never bare status lines: every failure renders as
+//! `{"kind", "message", "workload", "config", ...}` — the same shape
+//! [`svr_sim::SimError::to_json`] produces — so a client can always tell
+//! *which* design point went wrong and why (satellite requirement: no bare
+//! 500s).
+
+use svr_sim::json::Json;
+use svr_sim::{RunOptions, SimConfig};
+use svr_workloads::{Kernel, Scale};
+
+/// One design point as submitted over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointSpec {
+    /// Workload display name (`PR_KR`, `Camel`, ...).
+    pub workload: String,
+    /// Configuration label (`InO`, `SVR16`, ...).
+    pub config: String,
+    /// Scale name (`tiny`, `small`, ...).
+    pub scale: String,
+    /// Execution mode (`detailed`, `warp`, `sampled`).
+    pub mode: String,
+}
+
+/// A [`PointSpec`] resolved against the registries: everything needed to
+/// actually simulate.
+#[derive(Debug, Clone)]
+pub struct ResolvedPoint {
+    /// The workload to build.
+    pub kernel: Kernel,
+    /// The full simulation configuration.
+    pub sim: SimConfig,
+    /// The scale.
+    pub scale: Scale,
+    /// Mode and caps.
+    pub options: RunOptions,
+}
+
+/// A protocol-level failure: an HTTP status plus a structured JSON body.
+#[derive(Debug, Clone)]
+pub struct ProtoError {
+    /// HTTP status code to respond with.
+    pub status: u16,
+    /// Structured body (`kind`/`message`/`workload`/`config` at minimum).
+    pub body: Json,
+    /// Client back-off hint in seconds (surfaced as `Retry-After` on 429s).
+    pub retry_after: Option<u64>,
+}
+
+/// Builds the canonical error body. `workload`/`config` are `null` when the
+/// failure is not tied to a point (e.g. a parse error before any point was
+/// identified).
+pub fn error_body(
+    kind: &str,
+    message: &str,
+    workload: Option<&str>,
+    config: Option<&str>,
+) -> Json {
+    Json::Obj(vec![
+        ("kind".into(), Json::str(kind)),
+        ("message".into(), Json::str(message)),
+        ("workload".into(), workload.map_or(Json::Null, Json::str)),
+        ("config".into(), config.map_or(Json::Null, Json::str)),
+    ])
+}
+
+impl ProtoError {
+    /// 400 with a structured body.
+    pub fn bad_request(message: &str, workload: Option<&str>, config: Option<&str>) -> Self {
+        ProtoError {
+            status: 400,
+            body: error_body("bad_request", message, workload, config),
+            retry_after: None,
+        }
+    }
+}
+
+impl PointSpec {
+    /// Parses one point object: `workload` and `config` are required,
+    /// `scale` defaults to `"tiny"` and `mode` to `"detailed"`.
+    pub fn from_json(j: &Json) -> Result<PointSpec, ProtoError> {
+        let field = |name: &str| j.get(name).and_then(Json::as_str).map(str::to_string);
+        let Some(workload) = field("workload") else {
+            return Err(ProtoError::bad_request(
+                "point is missing required string field \"workload\"",
+                None,
+                field("config").as_deref(),
+            ));
+        };
+        let Some(config) = field("config") else {
+            return Err(ProtoError::bad_request(
+                "point is missing required string field \"config\"",
+                Some(&workload),
+                None,
+            ));
+        };
+        Ok(PointSpec {
+            workload,
+            config,
+            scale: field("scale").unwrap_or_else(|| "tiny".into()),
+            mode: field("mode").unwrap_or_else(|| "detailed".into()),
+        })
+    }
+
+    /// The JSON form (pending-journal entries and job descriptors).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::str(&self.workload)),
+            ("config".into(), Json::str(&self.config)),
+            ("scale".into(), Json::str(&self.scale)),
+            ("mode".into(), Json::str(&self.mode)),
+        ])
+    }
+
+    /// Resolves names against the workload/config/scale registries and
+    /// validates the configuration. Every failure names the point.
+    pub fn resolve(&self) -> Result<ResolvedPoint, ProtoError> {
+        let wl = Some(self.workload.as_str());
+        let cfg = Some(self.config.as_str());
+        let Some(kernel) = Kernel::from_name(&self.workload) else {
+            return Err(ProtoError::bad_request(
+                &format!("unknown workload {:?}", self.workload),
+                wl,
+                cfg,
+            ));
+        };
+        let Some(sim) = SimConfig::from_label(&self.config) else {
+            return Err(ProtoError::bad_request(
+                &format!(
+                    "unknown config label {:?} (expected InO, IMP, OoO or SVR<1..=128>)",
+                    self.config
+                ),
+                wl,
+                cfg,
+            ));
+        };
+        let Some(scale) = Scale::from_name(&self.scale) else {
+            return Err(ProtoError::bad_request(
+                &format!("unknown scale {:?}", self.scale),
+                wl,
+                cfg,
+            ));
+        };
+        let options = match self.mode.as_str() {
+            "detailed" => RunOptions::default(),
+            "warp" => RunOptions::warp(u64::MAX),
+            "sampled" => RunOptions::sampled(u64::MAX),
+            other => {
+                return Err(ProtoError::bad_request(
+                    &format!(
+                        "unknown mode {other:?} (expected detailed, warp or sampled)"
+                    ),
+                    wl,
+                    cfg,
+                ));
+            }
+        };
+        if let Err(e) = sim.validate() {
+            // An invalid config reachable through a label would be a bug in
+            // `from_label`, but the check is cheap and the error structured.
+            return Err(ProtoError {
+                status: 400,
+                body: svr_sim::SimError::from(e).to_json(),
+                retry_after: None,
+            });
+        }
+        Ok(ResolvedPoint {
+            kernel,
+            sim,
+            scale,
+            options,
+        })
+    }
+}
+
+/// Parses the body of `POST /v1/jobs`: `{"client": "...", "points": [...]}`.
+/// `client` defaults to `"anonymous"`; `points` must be a non-empty array.
+pub fn parse_submit(body: &[u8]) -> Result<(String, Vec<PointSpec>), ProtoError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ProtoError::bad_request("request body is not UTF-8", None, None))?;
+    let doc = Json::parse(text).map_err(|e| {
+        ProtoError::bad_request(&format!("request body is not valid JSON: {e}"), None, None)
+    })?;
+    let client = doc
+        .get("client")
+        .and_then(Json::as_str)
+        .unwrap_or("anonymous")
+        .to_string();
+    let Some(points) = doc.get("points").and_then(Json::as_arr) else {
+        return Err(ProtoError::bad_request(
+            "body is missing required array field \"points\"",
+            None,
+            None,
+        ));
+    };
+    if points.is_empty() {
+        return Err(ProtoError::bad_request(
+            "\"points\" must not be empty",
+            None,
+            None,
+        ));
+    }
+    let specs: Result<Vec<PointSpec>, ProtoError> =
+        points.iter().map(PointSpec::from_json).collect();
+    Ok((client, specs?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svr_sim::ExecMode;
+
+    #[test]
+    fn submit_round_trip_and_defaults() {
+        let body = br#"{"client":"c1","points":[{"workload":"Camel","config":"SVR16"}]}"#;
+        let (client, specs) = parse_submit(body).expect("valid");
+        assert_eq!(client, "c1");
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].workload, "Camel");
+        assert_eq!(specs[0].scale, "tiny");
+        assert_eq!(specs[0].mode, "detailed");
+        let r = specs[0].resolve().expect("resolves");
+        assert_eq!(r.kernel.name(), "Camel");
+        assert_eq!(r.sim.label(), "SVR16");
+        // JSON round trip preserves the spec.
+        let again = PointSpec::from_json(&specs[0].to_json()).expect("round trip");
+        assert_eq!(again, specs[0]);
+    }
+
+    #[test]
+    fn errors_are_structured_and_name_the_point() {
+        let spec = PointSpec {
+            workload: "NoSuchKernel".into(),
+            config: "SVR16".into(),
+            scale: "tiny".into(),
+            mode: "detailed".into(),
+        };
+        let err = spec.resolve().expect_err("unknown workload");
+        assert_eq!(err.status, 400);
+        assert_eq!(err.body.get("kind").and_then(Json::as_str), Some("bad_request"));
+        assert_eq!(
+            err.body.get("workload").and_then(Json::as_str),
+            Some("NoSuchKernel")
+        );
+        assert_eq!(err.body.get("config").and_then(Json::as_str), Some("SVR16"));
+        assert!(err
+            .body
+            .get("message")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("NoSuchKernel")));
+
+        for (wl, cfg, scale, mode) in [
+            ("Camel", "SVR999", "tiny", "detailed"),
+            ("Camel", "SVR16", "galactic", "detailed"),
+            ("Camel", "SVR16", "tiny", "psychic"),
+        ] {
+            let err = PointSpec {
+                workload: wl.into(),
+                config: cfg.into(),
+                scale: scale.into(),
+                mode: mode.into(),
+            }
+            .resolve()
+            .expect_err("invalid point");
+            assert_eq!(err.status, 400);
+            assert!(err.body.get("message").and_then(Json::as_str).is_some());
+        }
+
+        let err = parse_submit(b"not json").expect_err("parse error");
+        assert_eq!(err.body.get("kind").and_then(Json::as_str), Some("bad_request"));
+        assert_eq!(err.body.get("workload"), Some(&Json::Null));
+
+        let err = parse_submit(br#"{"points":[]}"#).expect_err("empty points");
+        assert!(err
+            .body
+            .get("message")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("empty")));
+    }
+
+    #[test]
+    fn modes_map_to_run_options() {
+        let mk = |mode: &str| PointSpec {
+            workload: "Camel".into(),
+            config: "InO".into(),
+            scale: "tiny".into(),
+            mode: mode.into(),
+        };
+        assert_eq!(mk("detailed").resolve().expect("ok").options.mode, ExecMode::Detailed);
+        assert_eq!(mk("warp").resolve().expect("ok").options.mode, ExecMode::Warp);
+        assert_eq!(mk("sampled").resolve().expect("ok").options.mode, ExecMode::Sampled);
+    }
+}

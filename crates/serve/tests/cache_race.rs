@@ -1,0 +1,86 @@
+//! Two *processes* racing on the same cache directory and design point:
+//! the claim protocol must ensure exactly one of them simulates, the loser
+//! reads the winner's entry, and nothing is corrupted or quarantined.
+
+use std::process::{Command, Stdio};
+
+#[test]
+fn two_processes_racing_on_one_point_cost_one_simulation() {
+    let dir = std::env::temp_dir().join(format!("svr-race-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let spawn = || {
+        Command::new(env!("CARGO_BIN_EXE_svr_client"))
+            .args([
+                "run-local",
+                "--cache-dir",
+                dir.to_str().expect("utf-8 temp dir"),
+                "Camel:InO",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn svr_client")
+    };
+    let (a, b) = (spawn(), spawn());
+    let a = a.wait_with_output().expect("wait a");
+    let b = b.wait_with_output().expect("wait b");
+    let out_a = String::from_utf8_lossy(&a.stdout).to_string();
+    let out_b = String::from_utf8_lossy(&b.stdout).to_string();
+    assert!(
+        a.status.success() && b.status.success(),
+        "a: {}\n{}\nb: {}\n{}",
+        out_a,
+        String::from_utf8_lossy(&a.stderr),
+        out_b,
+        String::from_utf8_lossy(&b.stderr),
+    );
+
+    // Exactly one process simulated; the other resolved from its entry.
+    let both = format!("{out_a}{out_b}");
+    let simulated = both.matches("source=simulated").count();
+    let cached = both.matches("source=cached").count();
+    assert_eq!(simulated, 1, "exactly one simulation ran:\n{both}");
+    assert_eq!(cached, 1, "the loser read the winner's entry:\n{both}");
+
+    // Both saw the same result (cycles printed from the shared entry).
+    let cycles = |s: &str| {
+        s.split("cycles=")
+            .nth(1)
+            .and_then(|t| t.split_whitespace().next())
+            .map(str::to_string)
+    };
+    assert_eq!(
+        cycles(&out_a).expect("cycles a"),
+        cycles(&out_b).expect("cycles b"),
+        "both processes must report the same cached result"
+    );
+
+    // No corruption: one well-formed entry, no quarantine, no stray claims.
+    let entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir")
+        .flatten()
+        .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("json"))
+        .collect();
+    assert_eq!(entries.len(), 1, "one cache entry for one point");
+    let text = std::fs::read_to_string(entries[0].path()).expect("entry readable");
+    svr_sim::json::Json::parse(&text).expect("entry is valid JSON");
+    let quarantined = std::fs::read_dir(dir.join("quarantine"))
+        .map(|d| d.count())
+        .unwrap_or(0);
+    assert_eq!(quarantined, 0, "no quarantine false-positives");
+    let claims = std::fs::read_dir(&dir)
+        .expect("cache dir")
+        .flatten()
+        .filter(|e| {
+            e.path()
+                .extension()
+                .and_then(|x| x.to_str())
+                .is_some_and(|x| x == "claim")
+        })
+        .count();
+    assert_eq!(claims, 0, "claim files are cleaned up");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,240 @@
+//! End-to-end tests: a real [`svr_serve::Server`] on a real TCP socket,
+//! exercised through the HTTP client in [`svr_serve::http`].
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use svr_serve::http;
+use svr_sim::json::Json;
+use svr_serve::{Server, ServerConfig};
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Binds an ephemeral port and runs `srv` on it in a background thread.
+fn spawn_server(srv: &Arc<Server>) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let srv = Arc::clone(srv);
+    let handle = std::thread::spawn(move || srv.serve(listener));
+    (addr, handle)
+}
+
+fn temp_cache(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("svr-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn submit_body(client: &str, points: &[(&str, &str)]) -> String {
+    let pts = points
+        .iter()
+        .map(|(w, c)| {
+            Json::Obj(vec![
+                ("workload".into(), Json::str(*w)),
+                ("config".into(), Json::str(*c)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("client".into(), Json::str(client)),
+        ("points".into(), Json::Arr(pts)),
+    ])
+    .pretty()
+}
+
+/// Polls `/v1/status` until `pred` holds on the status document.
+fn wait_status(addr: &str, pred: impl Fn(&Json) -> bool) -> Json {
+    let deadline = Instant::now() + TIMEOUT;
+    loop {
+        let resp = http::request(addr, "GET", "/v1/status", None, TIMEOUT, |_| {})
+            .expect("status request");
+        let doc = Json::parse(&String::from_utf8_lossy(&resp.body)).expect("status json");
+        if pred(&doc) {
+            return doc;
+        }
+        assert!(Instant::now() < deadline, "timed out; last status: {}", doc.pretty());
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn counter(status: &Json, name: &str) -> u64 {
+    status
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(u64::MAX)
+}
+
+#[test]
+fn overlapping_batches_from_two_clients_cost_one_simulation_per_point() {
+    let dir = temp_cache("dedup");
+    let srv = Server::new(ServerConfig {
+        cache_dir: dir.clone(),
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let (addr, handle) = spawn_server(&srv);
+
+    // Overlap: SVR16 appears in both batches — 4 submissions, 3 points.
+    let a_body = submit_body("alice", &[("Camel", "InO"), ("Camel", "SVR16")]);
+    let b_body = submit_body("bob", &[("Camel", "SVR16"), ("Camel", "SVR32")]);
+    let addr_a = addr.clone();
+    let addr_b = addr.clone();
+    let ta = std::thread::spawn(move || {
+        http::request(&addr_a, "POST", "/v1/jobs", Some(a_body.as_bytes()), TIMEOUT, |_| {})
+            .expect("submit a")
+    });
+    let tb = std::thread::spawn(move || {
+        http::request(&addr_b, "POST", "/v1/jobs", Some(b_body.as_bytes()), TIMEOUT, |_| {})
+            .expect("submit b")
+    });
+    let (ra, rb) = (ta.join().expect("a"), tb.join().expect("b"));
+    assert_eq!(ra.status, 200, "{}", String::from_utf8_lossy(&ra.body));
+    assert_eq!(rb.status, 200, "{}", String::from_utf8_lossy(&rb.body));
+
+    let status = wait_status(&addr, |s| {
+        counter(s, "simulated") + counter(s, "cached") + counter(s, "errors") >= 3
+            && s.get("queued").and_then(Json::as_u64) == Some(0)
+    });
+    // 4 submissions, 3 unique points, a fresh cache: exactly 3 simulations.
+    assert_eq!(counter(&status, "accepted"), 3, "{}", status.pretty());
+    assert_eq!(counter(&status, "joined"), 1, "{}", status.pretty());
+    assert_eq!(counter(&status, "simulated"), 3, "{}", status.pretty());
+    assert_eq!(counter(&status, "errors"), 0, "{}", status.pretty());
+
+    // Job views are complete: report attached, no error.
+    let jobs = Json::parse(&String::from_utf8_lossy(&ra.body)).expect("jobs json");
+    let hash = jobs
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .and_then(|a| a.first())
+        .and_then(|j| j.get("hash"))
+        .and_then(Json::as_str)
+        .expect("hash")
+        .to_string();
+    let view = http::request(&addr, "GET", &format!("/v1/jobs/{hash}"), None, TIMEOUT, |_| {})
+        .expect("job view");
+    assert_eq!(view.status, 200);
+    let view = Json::parse(&String::from_utf8_lossy(&view.body)).expect("view json");
+    assert_eq!(view.get("state").and_then(Json::as_str), Some("done"));
+    assert!(view.get("report").is_some_and(|r| r.get("core").is_some()));
+
+    // Clean shutdown over the wire: serve() returns, thread joins, exit ok.
+    let resp = http::request(&addr, "POST", "/v1/shutdown", None, TIMEOUT, |_| {})
+        .expect("shutdown");
+    assert_eq!(resp.status, 200);
+    handle.join().expect("serve thread").expect("clean drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn streaming_relays_progress_and_terminal_state() {
+    let dir = temp_cache("stream");
+    let srv = Server::new(ServerConfig {
+        cache_dir: dir.clone(),
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let (addr, handle) = spawn_server(&srv);
+
+    // The stream may subscribe at any point in the job's life — even after
+    // it finished — because a subscription replays the job's full event
+    // history before relaying live events. So this is deterministic: no
+    // matter how the stream races the (fast, release-mode) simulation, it
+    // must deliver the interval feed and end on the terminal state event.
+    let body = submit_body("alice", &[("Camel", "SVR16")]);
+    let resp = http::request(&addr, "POST", "/v1/jobs", Some(body.as_bytes()), TIMEOUT, |_| {})
+        .expect("submit");
+    assert_eq!(resp.status, 200);
+    let jobs = Json::parse(&String::from_utf8_lossy(&resp.body)).expect("json");
+    let hash = jobs
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .and_then(|a| a.first())
+        .and_then(|j| j.get("hash"))
+        .and_then(Json::as_str)
+        .expect("hash")
+        .to_string();
+
+    // Follow the chunked stream (replay + live tail) to the terminal event.
+    let mut lines = Vec::new();
+    let resp = http::request(
+        &addr,
+        "GET",
+        &format!("/v1/jobs/{hash}/stream"),
+        None,
+        TIMEOUT,
+        |line| lines.push(line.to_string()),
+    )
+    .expect("stream");
+    assert_eq!(resp.status, 200);
+    let events: Vec<Json> = lines
+        .iter()
+        .filter(|l| !l.is_empty())
+        .map(|l| Json::parse(l).expect("event json"))
+        .collect();
+    let last = events.last().expect("at least one event");
+    assert_eq!(last.get("state").and_then(Json::as_str), Some("done"));
+    assert_eq!(last.get("terminal").and_then(Json::as_bool), Some(true));
+    assert_eq!(last.get("source").and_then(Json::as_str), Some("simulated"));
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("event").and_then(Json::as_str) == Some("interval")),
+        "stream must carry windowed progress: {events:?}"
+    );
+
+    let resp = http::request(&addr, "POST", "/v1/shutdown", None, TIMEOUT, |_| {})
+        .expect("shutdown");
+    assert_eq!(resp.status, 200);
+    handle.join().expect("serve thread").expect("clean drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wire_errors_are_structured() {
+    let dir = temp_cache("errors");
+    let srv = Server::new(ServerConfig {
+        cache_dir: dir.clone(),
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let (addr, handle) = spawn_server(&srv);
+
+    // Unknown workload: 400 naming the point.
+    let body = submit_body("alice", &[("NoSuchKernel", "SVR16")]);
+    let resp = http::request(&addr, "POST", "/v1/jobs", Some(body.as_bytes()), TIMEOUT, |_| {})
+        .expect("submit");
+    assert_eq!(resp.status, 400);
+    let err = Json::parse(&String::from_utf8_lossy(&resp.body)).expect("json");
+    assert_eq!(err.get("kind").and_then(Json::as_str), Some("bad_request"));
+    assert_eq!(err.get("workload").and_then(Json::as_str), Some("NoSuchKernel"));
+
+    // Unknown route: 404, still a structured body.
+    let resp = http::request(&addr, "GET", "/v1/nonsense", None, TIMEOUT, |_| {})
+        .expect("request");
+    assert_eq!(resp.status, 404);
+    let err = Json::parse(&String::from_utf8_lossy(&resp.body)).expect("json");
+    assert_eq!(err.get("kind").and_then(Json::as_str), Some("not_found"));
+
+    // Unknown job: 404 naming the hash.
+    let resp = http::request(&addr, "GET", "/v1/jobs/00000000deadbeef", None, TIMEOUT, |_| {})
+        .expect("request");
+    assert_eq!(resp.status, 404);
+
+    // Malformed body: 400, structured.
+    let resp = http::request(&addr, "POST", "/v1/jobs", Some(b"not json"), TIMEOUT, |_| {})
+        .expect("request");
+    assert_eq!(resp.status, 400);
+    let err = Json::parse(&String::from_utf8_lossy(&resp.body)).expect("json");
+    assert!(err
+        .get("message")
+        .and_then(Json::as_str)
+        .is_some_and(|m| m.contains("JSON")));
+
+    let resp = http::request(&addr, "POST", "/v1/shutdown", None, TIMEOUT, |_| {})
+        .expect("shutdown");
+    assert_eq!(resp.status, 200);
+    handle.join().expect("serve thread").expect("clean drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}

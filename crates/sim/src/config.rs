@@ -230,6 +230,26 @@ impl SimConfig {
         label
     }
 
+    /// Resolves a configuration from a *paper design point* label: the four
+    /// Table III points (`InO`, `IMP`, `OoO`) and `SVR<n>` for 1 ≤ n ≤ 128.
+    /// The partial inverse of [`SimConfig::label`] — sensitivity suffixes
+    /// (`/mshr4`, `/K2`, ...) are deliberately not parsed; callers wanting
+    /// those construct them with the builder methods. CLI flags and the
+    /// simulation server's wire protocol both resolve through here.
+    pub fn from_label(label: &str) -> Option<SimConfig> {
+        match label {
+            "InO" => Some(Self::inorder()),
+            "IMP" => Some(Self::imp()),
+            "OoO" => Some(Self::ooo()),
+            _ => label
+                .strip_prefix("SVR")?
+                .parse::<usize>()
+                .ok()
+                .filter(|n| (1..=128).contains(n))
+                .map(Self::svr),
+        }
+    }
+
     /// Checks internal consistency. [`crate::run_workload`] refuses invalid
     /// configurations: [`CoreChoice::Imp`] with `mem.imp = None` would
     /// silently degenerate to the plain in-order baseline, and a non-IMP
@@ -352,6 +372,18 @@ mod tests {
         assert_eq!(SimConfig::imp().label(), "IMP");
         assert_eq!(SimConfig::ooo().label(), "OoO");
         assert_eq!(SimConfig::svr(64).label(), "SVR64");
+    }
+
+    #[test]
+    fn from_label_inverts_label_for_paper_points() {
+        for l in ["InO", "IMP", "OoO", "SVR8", "SVR16", "SVR128"] {
+            let c = SimConfig::from_label(l).expect(l);
+            assert_eq!(c.label(), l);
+        }
+        assert!(SimConfig::from_label("SVR0").is_none());
+        assert!(SimConfig::from_label("SVR129").is_none());
+        assert!(SimConfig::from_label("SVR16/mshr4").is_none());
+        assert!(SimConfig::from_label("bogus").is_none());
     }
 
     #[test]

@@ -82,6 +82,17 @@ pub enum SimError {
         /// The panic payload, when it was a string (the common case).
         message: String,
     },
+    /// The run was never started (or was abandoned before starting) because
+    /// a shutdown was requested — SIGINT/SIGTERM mid-sweep, or a draining
+    /// simulation server. Not a failure of the point itself: re-running the
+    /// identical sweep resumes from the journal, and a restarted server
+    /// re-enqueues the point from its pending journal.
+    Interrupted {
+        /// Workload name.
+        workload: String,
+        /// Configuration label.
+        config: String,
+    },
 }
 
 impl SimError {
@@ -129,6 +140,7 @@ impl SimError {
             SimError::CycleBudgetExceeded { .. } => "cycle_budget_exceeded",
             SimError::InvariantViolation { .. } => "invariant_violation",
             SimError::Panic { .. } => "panic",
+            SimError::Interrupted { .. } => "interrupted",
         }
     }
 
@@ -139,7 +151,8 @@ impl SimError {
             SimError::NoForwardProgress { workload, .. }
             | SimError::CycleBudgetExceeded { workload, .. }
             | SimError::InvariantViolation { workload, .. }
-            | SimError::Panic { workload, .. } => Some(workload),
+            | SimError::Panic { workload, .. }
+            | SimError::Interrupted { workload, .. } => Some(workload),
         }
     }
 
@@ -150,16 +163,27 @@ impl SimError {
             SimError::NoForwardProgress { config, .. }
             | SimError::CycleBudgetExceeded { config, .. }
             | SimError::InvariantViolation { config, .. }
-            | SimError::Panic { config, .. } => config,
+            | SimError::Panic { config, .. }
+            | SimError::Interrupted { config, .. } => config,
         }
     }
 
-    /// JSON form for the crash flight recorder: `{"kind", "message"}` plus
-    /// the variant's numeric diagnostics as flat fields.
+    /// JSON form for the crash flight recorder and the server's error
+    /// bodies: `{"kind", "message", "workload", "config"}` plus the
+    /// variant's numeric diagnostics as flat fields. The workload/config
+    /// context PR 4 threads through every variant is always present (the
+    /// workload is `null` only for a [`ConfigError`] raised before any run
+    /// was attempted), so no consumer ever has to parse it back out of the
+    /// message text.
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
             ("kind".into(), Json::str(self.kind_name())),
             ("message".into(), Json::str(self.to_string())),
+            (
+                "workload".into(),
+                self.workload().map_or(Json::Null, Json::str),
+            ),
+            ("config".into(), Json::str(self.config())),
         ];
         match self {
             SimError::NoForwardProgress {
@@ -196,7 +220,7 @@ impl SimError {
             SimError::InvariantViolation { invariant, .. } => {
                 fields.push(("invariant".into(), Json::str(invariant)));
             }
-            SimError::Config(_) | SimError::Panic { .. } => {}
+            SimError::Config(_) | SimError::Panic { .. } | SimError::Interrupted { .. } => {}
         }
         Json::Obj(fields)
     }
@@ -250,6 +274,12 @@ impl std::fmt::Display for SimError {
                 config,
                 message,
             } => write!(f, "{workload} under {config}: job panicked: {message}"),
+            SimError::Interrupted { workload, config } => write!(
+                f,
+                "{workload} under {config}: interrupted before the run \
+                 started (shutdown requested); completed work is journaled — \
+                 resume by re-running"
+            ),
         }
     }
 }
@@ -301,6 +331,25 @@ mod tests {
         assert_eq!(j.get("kind").and_then(Json::as_str), Some("cycle_budget_exceeded"));
         assert_eq!(j.get("budget").and_then(Json::as_u64), Some(800));
         assert_eq!(j.get("retired").and_then(Json::as_u64), Some(12));
+        // The PR-4 context rides along as first-class fields.
+        assert_eq!(j.get("workload").and_then(Json::as_str), Some("w"));
+        assert_eq!(j.get("config").and_then(Json::as_str), Some("c"));
+    }
+
+    #[test]
+    fn interrupted_names_the_point_and_promises_resume() {
+        let e = SimError::Interrupted {
+            workload: "PR_KR".into(),
+            config: "SVR16".into(),
+        };
+        assert_eq!(e.kind_name(), "interrupted");
+        assert_eq!(e.workload(), Some("PR_KR"));
+        assert_eq!(e.config(), "SVR16");
+        assert!(e.to_string().contains("resume"), "{e}");
+        let j = e.to_json();
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some("interrupted"));
+        assert_eq!(j.get("workload").and_then(Json::as_str), Some("PR_KR"));
+        assert_eq!(j.get("config").and_then(Json::as_str), Some("SVR16"));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! assert_eq!(warp.core.cycles, 0);
 //! ```
 
+mod cache;
 mod config;
 mod crash;
 mod error;
@@ -31,6 +32,7 @@ mod options;
 mod profile;
 mod report;
 mod runner;
+pub mod shutdown;
 mod sweep;
 
 /// The hand-rolled JSON support now lives in the dependency-free `svr-trace`
@@ -38,6 +40,10 @@ mod sweep;
 /// re-exported here so `svr_sim::json` keeps working.
 pub use svr_trace::json;
 
+pub use cache::{
+    fnv1a64, point_key, CacheGcStats, Claim, ClaimGuard, PointKey, ResultCache,
+    CACHE_FORMAT_VERSION,
+};
 pub use config::{ConfigError, CoreChoice, SimConfig, TraceConfig};
 pub use crash::{default_crash_dir, write_crash_dump};
 pub use error::SimError;
@@ -53,8 +59,8 @@ pub use runner::{
     run_workload_traced, RunReport, SampledStats,
 };
 pub use sweep::{
-    fnv1a64, JobError, JobResult, JobSource, JobTrace, Sweep, SweepResult, SweepStats,
-    CACHE_FORMAT_VERSION,
+    run_point, run_point_traced, JobError, JobResult, JobSource, JobTrace, Sweep, SweepResult,
+    SweepStats,
 };
 
 /// Groups reports by the kernel group label and averages a metric within

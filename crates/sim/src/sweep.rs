@@ -28,13 +28,14 @@
 //! eprintln!("{}", res.stats.summary());
 //! ```
 
+use crate::cache::{load_cached, point_key, store_cached, PointKey};
 use crate::config::{ConfigError, SimConfig};
 use crate::crash::{default_crash_dir, write_crash_dump};
 use crate::error::SimError;
-use crate::json::Json;
+use crate::fnv1a64;
 use crate::options::{ExecMode, RunOptions};
-use crate::report::{report_from_json, report_to_json};
-use crate::runner::{run_workload, run_workload_traced, RunReport};
+use crate::runner::{run_workload_traced, RunReport};
+use crate::shutdown;
 use std::collections::{HashMap, HashSet};
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -43,29 +44,6 @@ use std::sync::Mutex;
 use std::time::Instant;
 use svr_trace::RingSink;
 use svr_workloads::{Kernel, Scale, Workload};
-
-/// Bump when the cache-entry layout or simulator semantics change in a way
-/// that invalidates stored reports; old entries then simply stop matching.
-/// v2: integer fixed-point DRAM timing, `Option` MSHR `earliest_free`, and
-/// racing-fill prefetch-tag accounting (PR 2) can all shift reports.
-/// v3: exact CPI-stack tail attribution on the in-order core (PR 3) shifts
-/// per-bucket stack entries in stored reports.
-/// v4: the prefetch efficacy taxonomy (PR 5) — install-point `issued`
-/// semantics (feeds the energy model's L1-access count), the late/used
-/// split feeding the SVR accuracy ban, and new `PfCounters` JSON fields.
-/// v5: exact per-line pollution tagging (PR 7) shifts `pollution` counters,
-/// and reports gain an optional `sampled` estimator block.
-pub const CACHE_FORMAT_VERSION: u32 = 5;
-
-/// 64-bit FNV-1a over a string (the cache/dedup point hash).
-pub fn fnv1a64(s: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in s.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 /// Where a job's report came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +118,10 @@ pub struct SweepStats {
     pub journal_hits: usize,
     /// Points whose job failed (panic, watchdog, invariant violation).
     pub failed: usize,
+    /// Points skipped because a shutdown signal arrived mid-sweep (their
+    /// slots carry [`SimError::Interrupted`]; the journal is kept so an
+    /// identical re-run resumes the completed points).
+    pub interrupted: usize,
     /// Pairs that aliased an identical point inside this sweep.
     pub deduped: usize,
     /// Total wall time of the sweep in milliseconds.
@@ -149,9 +131,14 @@ pub struct SweepStats {
 impl SweepStats {
     /// One-line human summary (binaries print this to stderr).
     pub fn summary(&self) -> String {
+        let interrupted = if self.interrupted > 0 {
+            format!(" interrupted={}", self.interrupted)
+        } else {
+            String::new()
+        };
         format!(
             "[sweep] pairs={} points={} simulated={} cached={} journal={} \
-             failed={} deduped={} wall={:.1}s",
+             failed={}{interrupted} deduped={} wall={:.1}s",
             self.pairs,
             self.points,
             self.simulated,
@@ -171,8 +158,10 @@ pub struct Sweep {
     configs: Vec<SimConfig>,
     options: RunOptions,
     cache_dir: Option<PathBuf>,
+    cache_max_bytes: Option<u64>,
     crash_dir: Option<PathBuf>,
     on_job: Option<fn(&JobTrace)>,
+    stop: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Sweep {
@@ -187,8 +176,10 @@ impl Sweep {
             configs: Vec::new(),
             options: RunOptions::default(),
             cache_dir: Some(PathBuf::from(dir)),
+            cache_max_bytes: None,
             crash_dir: Some(default_crash_dir()),
             on_job: None,
+            stop: None,
         }
     }
 
@@ -234,6 +225,15 @@ impl Sweep {
         self
     }
 
+    /// Caps the on-disk result cache at `max_bytes`: after the sweep
+    /// resolves, the oldest entries (LRU by mtime) are evicted until the
+    /// cache fits (see [`crate::ResultCache::gc`]; journal and quarantine
+    /// files are never evicted). `None` (the default) means unbounded.
+    pub fn cache_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.cache_max_bytes = Some(max_bytes);
+        self
+    }
+
     /// Uses `dir` for crash dumps (the flight recorder output).
     pub fn crash_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.crash_dir = Some(dir.into());
@@ -254,6 +254,17 @@ impl Sweep {
         self
     }
 
+    /// Adds a sweep-local stop flag, checked alongside the process-wide
+    /// [`crate::shutdown`] flag: when either is set, workers stop claiming
+    /// points and surface the remainder as [`SimError::Interrupted`]. The
+    /// simulation server drains individual sweeps this way without asking
+    /// the whole process to shut down (and tests interrupt deterministically
+    /// without touching global state).
+    pub fn stop_flag(mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) -> Self {
+        self.stop = Some(flag);
+        self
+    }
+
     /// Resolves every (workload, config) pair across `threads` OS threads
     /// and returns the full grid. Deterministic: simulation results do not
     /// depend on the thread count or on cache state.
@@ -263,8 +274,29 @@ impl Sweep {
     /// Panics if any configuration fails [`SimConfig::validate`] or if any
     /// job failed (listing every failure and its crash dump); see
     /// [`Sweep::try_run`] for the non-panicking form.
+    ///
+    /// # Exits
+    ///
+    /// When a shutdown signal (SIGINT/SIGTERM, with
+    /// [`crate::shutdown::install`]ed handlers) arrives mid-sweep, the sweep
+    /// stops claiming new points, journals what completed, prints the
+    /// partial summary, and exits the process with status 130 — the
+    /// conventional interrupted-by-signal code — instead of panicking over
+    /// the unfinished points. Re-running the identical command resumes from
+    /// the journal. Library callers that need to survive an interruption
+    /// should use [`Sweep::try_run`] and inspect
+    /// [`SweepStats::interrupted`].
     pub fn run(self, threads: usize) -> SweepResult {
         let res = self.try_run(threads).unwrap_or_else(|e| panic!("{e}"));
+        if res.stats.interrupted > 0 {
+            eprintln!("{}", res.stats.summary());
+            eprintln!(
+                "[sweep] interrupted by signal: {} of {} points unresolved; \
+                 completed points are journaled — re-run the same command to resume",
+                res.stats.interrupted, res.stats.points
+            );
+            std::process::exit(130);
+        }
         let errors = res.errors();
         if !errors.is_empty() {
             let lines: Vec<String> = errors.iter().map(|e| format!("  {e}")).collect();
@@ -309,31 +341,15 @@ impl Sweep {
         let mut points: Vec<Point> = Vec::new();
         let mut by_hash: HashMap<u64, usize> = HashMap::new();
         let mut point_of: Vec<Vec<usize>> = Vec::with_capacity(self.configs.len());
-        // Detailed-mode keys are byte-identical to the historical format so
-        // existing caches stay valid; warp keys append a `;mode=warp` tag and
-        // sampled keys a `;mode=sampled` tag carrying the three sampling
-        // parameters (they change the report, so they must key the cache).
-        // The watchdog override is deliberately absent (it never changes the
-        // report of a run that completes; see `WatchdogConfig`).
-        let mode_key = match self.options.mode {
-            ExecMode::Detailed => String::new(),
-            ExecMode::Warp => ";mode=warp".to_string(),
-            ExecMode::Sampled => format!(
-                ";mode=sampled;si={};sw={};sp={}",
-                self.options.sample_interval, self.options.sample_warmup, self.options.sample_period
-            ),
-        };
-        let effective_insts = self.scale.max_insts().min(self.options.max_insts);
+        // Point identity comes from the shared `point_key` (see
+        // `crate::cache`): byte-identical to the historical sweep format so
+        // existing caches stay valid, with mode/sampling tags appended for
+        // non-detailed runs.
         for cfg in &self.configs {
-            let cfg_key = cfg.cache_key();
             let mut row = Vec::with_capacity(self.suite.len());
             for k in &self.suite {
-                let key = format!(
-                    "v{CACHE_FORMAT_VERSION};wl={};scale={};insts={effective_insts};{cfg_key}{mode_key}",
-                    k.name(),
-                    self.scale.name(),
-                );
-                let hash = fnv1a64(&key);
+                let PointKey { key, hash } =
+                    point_key(&k.name(), self.scale, cfg, &self.options);
                 let idx = *by_hash.entry(hash).or_insert_with(|| {
                     points.push(Point {
                         kernel: *k,
@@ -424,7 +440,15 @@ impl Sweep {
             let crash_dir = self.crash_dir.as_deref();
             let journal = journal.as_ref();
             let on_job = self.on_job;
+            let stop = self.stop.clone();
+            let interrupted_now = move || {
+                shutdown::requested()
+                    || stop
+                        .as_ref()
+                        .is_some_and(|f| f.load(Ordering::SeqCst))
+            };
             {
+                let interrupted_now = &interrupted_now;
                 let groups = &groups;
                 let points = &points;
                 let next = &next;
@@ -437,6 +461,26 @@ impl Sweep {
                                 break;
                             }
                             let (kernel, idxs) = &groups[g];
+                            // A shutdown signal mid-sweep: stop claiming
+                            // work. Every unstarted point is surfaced as a
+                            // structured `Interrupted` error; completed
+                            // points are already journaled, so an identical
+                            // re-run resumes without recomputation.
+                            if interrupted_now() {
+                                for &idx in idxs {
+                                    let p = &points[idx];
+                                    let job = interrupt_failure(kernel, p.config.label());
+                                    let trace = JobTrace {
+                                        workload: job.workload.clone(),
+                                        config: job.config.clone(),
+                                        source: JobSource::Failed,
+                                        wall_ms: 0.0,
+                                    };
+                                    emit(&on_job, &trace);
+                                    lock_ok(done).push((idx, Err(job), trace));
+                                }
+                                continue;
+                            }
                             // Workload construction can panic too (a build
                             // bug); that fails this group's points only.
                             let built = catch_unwind(AssertUnwindSafe(|| kernel.build(scale)));
@@ -467,6 +511,18 @@ impl Sweep {
                             };
                             for &idx in idxs {
                                 let p = &points[idx];
+                                if interrupted_now() {
+                                    let job = interrupt_failure(kernel, p.config.label());
+                                    let trace = JobTrace {
+                                        workload: job.workload.clone(),
+                                        config: job.config.clone(),
+                                        source: JobSource::Failed,
+                                        wall_ms: 0.0,
+                                    };
+                                    emit(&on_job, &trace);
+                                    lock_ok(done).push((idx, Err(job), trace));
+                                    continue;
+                                }
                                 let t = Instant::now();
                                 let result = simulate_point(
                                     &workload, &p.config, &p.key, scale, &options, crash_dir,
@@ -509,14 +565,35 @@ impl Sweep {
                 |p| p.outcome.expect("all points resolved"),
             )
             .collect();
-        stats.failed = reports.iter().filter(|r| r.is_err()).count();
-        stats.simulated = todo.len() - stats.failed;
+        stats.interrupted = reports
+            .iter()
+            .filter(|r| {
+                matches!(r, Err(e) if matches!(e.error, SimError::Interrupted { .. }))
+            })
+            .count();
+        stats.failed = reports.iter().filter(|r| r.is_err()).count() - stats.interrupted;
+        stats.simulated = todo.len() - stats.failed - stats.interrupted;
         // A fully successful sweep no longer needs its journal (the cache
-        // answers everything); keep it when anything failed, so a fixed
-        // re-run still skips the completed points.
-        if stats.failed == 0 {
+        // answers everything); keep it when anything failed or was
+        // interrupted, so a fixed or resumed re-run still skips the
+        // completed points.
+        if stats.failed == 0 && stats.interrupted == 0 {
             if let Some(j) = &journal {
                 j.remove();
+            }
+        }
+        // Size-capped cache: evict the oldest entries now that this sweep's
+        // results are stored (so the points just computed are the newest and
+        // survive preferentially).
+        if let (Some(dir), Some(max)) = (&self.cache_dir, self.cache_max_bytes) {
+            let gc = crate::ResultCache::new(dir).gc(max);
+            if gc.evicted > 0 {
+                eprintln!(
+                    "[sweep] cache gc: evicted {} entr{} ({} bytes) to fit {max} bytes",
+                    gc.evicted,
+                    if gc.evicted == 1 { "y" } else { "ies" },
+                    gc.evicted_bytes
+                );
             }
         }
         stats.wall_ms = t0.elapsed().as_millis() as u64;
@@ -548,6 +625,61 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Runs one design point exactly as a sweep job would — panic-isolated,
+/// with one bounded retry and a crash dump on failure — without requiring a
+/// [`Sweep`]. This is the job executor the simulation server (`svr-serve`)
+/// schedules onto; the caller owns cache lookup/store (see
+/// [`crate::ResultCache`]) and supplies the point's content key for the
+/// crash dump.
+///
+/// # Errors
+///
+/// A structured [`JobError`] naming the workload and configuration, with
+/// the crash-dump path when the flight recorder managed to write one.
+#[allow(clippy::result_large_err)] // cold path: the Err carries full diagnostics by design
+pub fn run_point(
+    workload: &Workload,
+    config: &SimConfig,
+    key: &PointKey,
+    scale: Scale,
+    options: &RunOptions,
+    crash_dir: Option<&Path>,
+) -> JobResult {
+    simulate_point(workload, config, &key.key, scale, options, crash_dir)
+}
+
+/// [`run_point`] with a caller-owned trace sink attached (the simulation
+/// server streams windowed progress to its clients this way). The sink sees
+/// the events of every attempt: if the panic-isolated first attempt fails
+/// and the traced retry runs, cycle timestamps restart from zero — live
+/// consumers should treat a cycle regression as "the run restarted".
+#[allow(clippy::result_large_err)] // cold path: the Err carries full diagnostics by design
+pub fn run_point_traced<S: svr_trace::TraceSink>(
+    workload: &Workload,
+    config: &SimConfig,
+    key: &PointKey,
+    scale: Scale,
+    options: &RunOptions,
+    crash_dir: Option<&Path>,
+    sink: &mut S,
+) -> JobResult {
+    simulate_point_traced(workload, config, &key.key, scale, options, crash_dir, sink)
+}
+
+/// The structured error for a point skipped because shutdown was requested.
+fn interrupt_failure(kernel: &Kernel, config_label: String) -> JobError {
+    let workload = kernel.name();
+    JobError {
+        error: SimError::Interrupted {
+            workload: workload.clone(),
+            config: config_label.clone(),
+        },
+        workload,
+        config: config_label,
+        crash_dump: None,
+    }
+}
+
 /// Runs one point panic-isolated, with one bounded retry.
 ///
 /// The first attempt is untraced (full speed). If it fails *in any way* —
@@ -565,21 +697,43 @@ fn simulate_point(
     options: &RunOptions,
     crash_dir: Option<&Path>,
 ) -> JobResult {
+    simulate_point_traced(
+        workload,
+        config,
+        key,
+        scale,
+        options,
+        crash_dir,
+        &mut svr_trace::NullSink,
+    )
+}
+
+#[allow(clippy::result_large_err)] // cold path: the Err carries full diagnostics by design
+fn simulate_point_traced<S: svr_trace::TraceSink>(
+    workload: &Workload,
+    config: &SimConfig,
+    key: &str,
+    scale: Scale,
+    options: &RunOptions,
+    crash_dir: Option<&Path>,
+    sink: &mut S,
+) -> JobResult {
     let opts = RunOptions {
         max_insts: scale.max_insts().min(options.max_insts),
         ..*options
     };
     if let Ok(Ok(report)) = catch_unwind(AssertUnwindSafe(|| {
-        run_workload(workload, config, &opts)
+        run_workload_traced(workload, config, &opts, &mut *sink)
     })) {
         return Ok(report);
     }
-    // The ring lives OUTSIDE the closure so the events leading into a panic
-    // survive the unwind and reach the crash dump.
-    let mut ring = RingSink::new(config.trace.ring_capacity);
+    // The ring lives OUTSIDE the closure (inside the tee) so the events
+    // leading into a panic survive the unwind and reach the crash dump.
+    let mut tee = (RingSink::new(config.trace.ring_capacity), &mut *sink);
     let second = catch_unwind(AssertUnwindSafe(|| {
-        run_workload_traced(workload, config, &opts, &mut ring)
+        run_workload_traced(workload, config, &opts, &mut tee)
     }));
+    let ring = tee.0;
     let error = match second {
         Ok(Ok(report)) => return Ok(report), // flaky first failure, recovered
         Ok(Err(e)) => e,
@@ -696,92 +850,6 @@ fn emit(hook: &Option<fn(&JobTrace)>, trace: &JobTrace) {
     }
 }
 
-fn cache_path(dir: &Path, hash: u64) -> PathBuf {
-    dir.join(format!("{hash:016x}.json"))
-}
-
-/// Loads a cache entry, returning `None` on miss, parse failure, or a key
-/// mismatch (hash collision or stale format — both re-simulate).
-///
-/// A file that exists but does not parse — or parses but lacks the expected
-/// structure — is *corrupt* (torn write from a killed process, disk fault,
-/// manual edit) and is quarantined to `<dir>/quarantine/` with a warning so
-/// it never shadows the slot again and stays available for forensics.
-pub(crate) fn load_cached(dir: &Path, hash: u64, key: &str) -> Option<RunReport> {
-    let path = cache_path(dir, hash);
-    let bytes = std::fs::read(&path).ok()?;
-    let Ok(text) = String::from_utf8(bytes) else {
-        quarantine(dir, &path, "not valid UTF-8");
-        return None;
-    };
-    let Ok(doc) = Json::parse(&text) else {
-        quarantine(dir, &path, "not valid JSON");
-        return None;
-    };
-    match doc.get("key").and_then(Json::as_str) {
-        // A different key at the same hash is a stale format or a genuine
-        // hash collision, not corruption: leave the entry alone.
-        Some(k) if k == key => {}
-        Some(_) => return None,
-        None => {
-            quarantine(dir, &path, "missing \"key\" field");
-            return None;
-        }
-    }
-    let Some(report) = doc.get("report") else {
-        quarantine(dir, &path, "missing \"report\" field");
-        return None;
-    };
-    match report_from_json(report) {
-        Ok(r) => Some(r),
-        Err(e) => {
-            quarantine(dir, &path, &format!("bad report: {e}"));
-            None
-        }
-    }
-}
-
-/// Moves a corrupt cache entry aside (best-effort) and warns.
-fn quarantine(dir: &Path, path: &Path, reason: &str) {
-    let qdir = dir.join("quarantine");
-    let moved = std::fs::create_dir_all(&qdir).is_ok()
-        && path
-            .file_name()
-            .map(|n| std::fs::rename(path, qdir.join(n)).is_ok())
-            .unwrap_or(false);
-    eprintln!(
-        "[sweep] warning: corrupt cache entry {} ({reason}); {} — will re-simulate",
-        path.display(),
-        if moved {
-            "quarantined to quarantine/"
-        } else {
-            "could not quarantine it"
-        }
-    );
-}
-
-/// Writes a cache entry atomically (tmp file + rename), so concurrent
-/// invocations never observe a torn file. Failures are non-fatal: the cache
-/// is an optimization, not a correctness requirement.
-fn store_cached(dir: &Path, hash: u64, key: &str, scale: Scale, report: &RunReport) {
-    if std::fs::create_dir_all(dir).is_err() {
-        return;
-    }
-    let doc = Json::Obj(vec![
-        ("version".into(), Json::u64(u64::from(CACHE_FORMAT_VERSION))),
-        ("key".into(), Json::str(key)),
-        ("workload".into(), Json::str(&report.workload)),
-        ("config".into(), Json::str(&report.config)),
-        ("scale".into(), Json::str(scale.name())),
-        ("report".into(), report_to_json(report)),
-    ]);
-    let path = cache_path(dir, hash);
-    let tmp = dir.join(format!("{hash:016x}.tmp.{}", std::process::id()));
-    if std::fs::write(&tmp, doc.pretty()).is_ok() {
-        let _ = std::fs::rename(&tmp, &path);
-    }
-}
-
 /// The resolved grid of a [`Sweep`], indexed `[config][workload]` in the
 /// order the axes were declared.
 #[derive(Debug)]
@@ -892,6 +960,7 @@ impl SweepResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::Json;
     use crate::runner::run_kernel;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -1214,6 +1283,87 @@ mod tests {
             .traces
             .iter()
             .any(|t| t.source == JobSource::Journal));
+    }
+
+    #[test]
+    fn interrupted_sweeps_journal_partial_work_and_resume() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let dir = TempDir::new("interrupt");
+        // Stop flag pre-set: every point is surfaced as Interrupted without
+        // simulating anything. (A sweep-local flag, not the global shutdown
+        // flag, so parallel sibling tests are unaffected.)
+        let stop = Arc::new(AtomicBool::new(true));
+        let first = Sweep::new(vec![Kernel::Camel, Kernel::Kangaroo], Scale::Tiny)
+            .config(SimConfig::inorder())
+            .cache_dir(&dir.0)
+            .stop_flag(stop)
+            .try_run(2)
+            .expect("configs valid");
+        assert_eq!(first.stats.interrupted, 2);
+        assert_eq!(first.stats.simulated, 0);
+        assert_eq!(first.stats.failed, 0, "interruption is not failure");
+        assert!(first.stats.summary().contains("interrupted=2"));
+        let err = first.try_report(0, 0).expect_err("point was interrupted");
+        assert!(
+            matches!(err.error, SimError::Interrupted { .. }),
+            "{}",
+            err.error
+        );
+        assert!(err.crash_dump.is_none(), "no crash dump for interruption");
+
+        // The identical sweep without the flag resumes and completes.
+        let second = Sweep::new(vec![Kernel::Camel, Kernel::Kangaroo], Scale::Tiny)
+            .config(SimConfig::inorder())
+            .cache_dir(&dir.0)
+            .try_run(2)
+            .expect("configs valid");
+        assert_eq!(second.stats.interrupted, 0);
+        assert_eq!(second.stats.simulated, 2);
+        second.assert_verified();
+        let journal_dir = dir.0.join("journal");
+        assert_eq!(
+            std::fs::read_dir(&journal_dir).map(|d| d.count()).unwrap_or(0),
+            0,
+            "completed resume removes the journal"
+        );
+    }
+
+    #[test]
+    fn stop_flag_set_mid_sweep_keeps_completed_points() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let dir = TempDir::new("interrupt-mid");
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        // Single worker, two workload groups: flip the flag from the first
+        // group's progress hook, so the second group must be interrupted.
+        static FLAG: Mutex<Option<Arc<AtomicBool>>> = Mutex::new(None);
+        *lock_ok(&FLAG) = Some(flag);
+        fn hook(_: &JobTrace) {
+            if let Some(f) = lock_ok(&FLAG).as_ref() {
+                f.store(true, Ordering::SeqCst);
+            }
+        }
+        let res = Sweep::new(vec![Kernel::Camel, Kernel::Kangaroo], Scale::Tiny)
+            .config(SimConfig::inorder())
+            .cache_dir(&dir.0)
+            .stop_flag(stop)
+            .on_job(hook)
+            .try_run(1)
+            .expect("configs valid");
+        *lock_ok(&FLAG) = None;
+        assert_eq!(res.stats.simulated, 1, "first point completed");
+        assert_eq!(res.stats.interrupted, 1, "second point interrupted");
+        // The completed point is cached: a re-run only simulates the rest.
+        let second = Sweep::new(vec![Kernel::Camel, Kernel::Kangaroo], Scale::Tiny)
+            .config(SimConfig::inorder())
+            .cache_dir(&dir.0)
+            .try_run(1)
+            .expect("configs valid");
+        assert_eq!(second.stats.simulated, 1, "completed work is not redone");
+        assert_eq!(second.stats.interrupted, 0);
+        second.assert_verified();
     }
 
     #[test]

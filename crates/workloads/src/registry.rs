@@ -118,6 +118,20 @@ impl Kernel {
         }
     }
 
+    /// Resolves a kernel from its display name (`PR_KR`, `Camel`, `HJ8`,
+    /// ...), searching the irregular and regular suites plus the diagnostic
+    /// kernels (`DiagSpin`, `DiagPanic`). This is the inverse of
+    /// [`Kernel::name`] for every kernel the harness can address — CLI
+    /// positional arguments and the simulation server's wire protocol both
+    /// resolve through here.
+    pub fn from_name(name: &str) -> Option<Kernel> {
+        let mut all = irregular_suite();
+        all.extend(regular_suite());
+        all.push(Kernel::DiagSpin);
+        all.push(Kernel::DiagPanic);
+        all.into_iter().find(|k| k.name() == name)
+    }
+
     /// The group this kernel is reported under.
     pub fn group(self) -> Group {
         match self {
@@ -207,6 +221,18 @@ mod tests {
         let groups: Vec<Group> = irregular_suite().iter().map(|k| k.group()).collect();
         assert_eq!(groups.iter().filter(|&&g| g == Group::Pr).count(), 5);
         assert_eq!(groups.iter().filter(|&&g| g == Group::HpcDb).count(), 8);
+    }
+
+    #[test]
+    fn from_name_inverts_name_for_every_addressable_kernel() {
+        for k in irregular_suite()
+            .into_iter()
+            .chain(regular_suite())
+            .chain([Kernel::DiagSpin, Kernel::DiagPanic])
+        {
+            assert_eq!(Kernel::from_name(&k.name()), Some(k), "{}", k.name());
+        }
+        assert_eq!(Kernel::from_name("nope"), None);
     }
 
     #[test]

@@ -292,6 +292,98 @@ fi
   echo "FAIL: golden gate failed right after --bless" >&2; exit 1; }
 echo "golden gate: pass, tamper-fail, bless-pass all verified"
 
+echo "=== server smoke: dedup, streaming, kill+resume, clean drain ==="
+SERVE_CACHE="$(mktemp -d)"
+SERVE_OUT="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR" "$OUT_DIR" "$RESUME_CACHE" "$RESUME_OUT" "$SERVE_CACHE" "$SERVE_OUT"' EXIT
+
+start_daemon() {
+  ./target/release/svr_serve --addr 127.0.0.1:0 --cache-dir "$SERVE_CACHE" \
+    --workers 2 --claim-timeout 30 --claim-stale 2 > "$1" 2>&1 &
+  serve_pid=$!
+  serve_addr=""
+  for _ in $(seq 1 100); do
+    serve_addr=$(sed -n 's/^listening on //p' "$1")
+    [ -n "$serve_addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  [ -n "$serve_addr" ] || { echo "FAIL: svr_serve did not report its address" >&2
+    cat "$1" >&2; exit 1; }
+}
+
+start_daemon "$SERVE_OUT/serve1.log"
+# Two clients submit overlapping batches concurrently (SVR16 is in both) and
+# follow the chunked progress streams to the terminal events.
+./target/release/svr_client submit --addr "$serve_addr" --client alice --stream \
+  Camel:InO Camel:SVR16 > "$SERVE_OUT/alice.log" 2>&1 &
+alice_pid=$!
+./target/release/svr_client submit --addr "$serve_addr" --client bob --stream \
+  Camel:SVR16 Camel:SVR32 > "$SERVE_OUT/bob.log" 2>&1 &
+bob_pid=$!
+wait "$alice_pid" || { echo "FAIL: alice's batch failed" >&2
+  cat "$SERVE_OUT/alice.log" >&2; exit 1; }
+wait "$bob_pid" || { echo "FAIL: bob's batch failed" >&2
+  cat "$SERVE_OUT/bob.log" >&2; exit 1; }
+# Streamed progress arrived: windowed intervals plus the terminal state line.
+grep -q '"event":"interval"' "$SERVE_OUT/alice.log" || {
+  echo "FAIL: no streamed interval events reached alice" >&2
+  cat "$SERVE_OUT/alice.log" >&2; exit 1; }
+grep -q '"state":"done"' "$SERVE_OUT/bob.log" || {
+  echo "FAIL: bob never saw a terminal done event" >&2
+  cat "$SERVE_OUT/bob.log" >&2; exit 1; }
+# Dedup: 4 submissions, 3 unique points — the job-source counters must show
+# exactly one simulation per unique point and one join.
+./target/release/svr_client status --addr "$serve_addr" > "$SERVE_OUT/status.json"
+ssim=$(grep -o '"simulated": *[0-9]*' "$SERVE_OUT/status.json" | grep -o '[0-9]*$')
+sacc=$(grep -o '"accepted": *[0-9]*' "$SERVE_OUT/status.json" | grep -o '[0-9]*$')
+sjoin=$(grep -o '"joined": *[0-9]*' "$SERVE_OUT/status.json" | grep -o '[0-9]*$')
+serr=$(grep -o '"errors": *[0-9]*' "$SERVE_OUT/status.json" | grep -o '[0-9]*$')
+echo "server counters: accepted=$sacc joined=$sjoin simulated=$ssim errors=$serr"
+if [ "$ssim" != "3" ] || [ "$sacc" != "3" ] || [ "$sjoin" != "1" ] || [ "$serr" != "0" ]; then
+  echo "FAIL: expected accepted=3 joined=1 simulated=3 errors=0" >&2
+  cat "$SERVE_OUT/status.json" >&2; exit 1
+fi
+
+# Kill the daemon mid-batch: submit fresh points and SIGKILL immediately.
+# Unfinished jobs stay journaled in serve-pending/ and a restarted daemon
+# must resume them; already-finished points resolve from the shared cache.
+./target/release/svr_client submit --addr "$serve_addr" --client carol \
+  Camel:SVR7 Camel:SVR9 Camel:SVR11 Camel:SVR13 > /dev/null
+kill -9 "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+pending=$(find "$SERVE_CACHE/serve-pending" -name '*.json' 2>/dev/null | wc -l)
+echo "killed daemon with $pending journaled pending job(s)"
+
+start_daemon "$SERVE_OUT/serve2.log"
+# Wait until the restarted daemon has worked off everything it resumed.
+for _ in $(seq 1 600); do
+  pending=$(find "$SERVE_CACHE/serve-pending" -name '*.json' 2>/dev/null | wc -l)
+  [ "$pending" -eq 0 ] && break
+  sleep 0.1
+done
+if [ "$pending" -ne 0 ]; then
+  echo "FAIL: restarted daemon left $pending pending job(s) unresumed" >&2
+  cat "$SERVE_OUT/serve2.log" >&2; exit 1
+fi
+# Every unique point from both phases must now have a cache entry: the
+# killed batch was completed by the restart, not lost (3 + 4 points).
+cache_entries=$(find "$SERVE_CACHE" -maxdepth 1 -name '*.json' | wc -l)
+echo "cache entries after resume: $cache_entries (expected 7)"
+if [ "$cache_entries" -ne 7 ]; then
+  echo "FAIL: expected 7 cache entries after kill+resume, got $cache_entries" >&2
+  cat "$SERVE_OUT/serve2.log" >&2; exit 1
+fi
+# Clean lifecycle: a drain requested over the wire must exit 0.
+./target/release/svr_client shutdown --addr "$serve_addr" > /dev/null
+rc=0
+wait "$serve_pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: drained daemon exited $rc (expected 0)" >&2
+  cat "$SERVE_OUT/serve2.log" >&2; exit 1
+fi
+echo "server smoke: dedup, streaming, resume and clean drain all verified"
+
 echo "=== panic-site budget: no new unwrap/expect/panic in library code ==="
 # Library entry points (runner, sweep, parser, assembler) are Result-first as
 # of the hardening pass; the sites that remain are documented internal
