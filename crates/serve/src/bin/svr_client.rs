@@ -12,7 +12,11 @@
 //!
 //! `submit` posts a batch; with `--stream` it then follows each job's
 //! chunked progress stream to a terminal state, printing every event line,
-//! and exits non-zero if any job errored. `run-local` bypasses the daemon
+//! and exits non-zero if any job errored. Transport failures and 429/503
+//! responses are retried with jittered exponential backoff, honoring the
+//! server's `Retry-After` header — a full queue is a "later", not an error
+//! (resubmission is safe: the daemon dedups by content hash).
+//! `run-local` bypasses the daemon
 //! entirely: it claims the point in the shared on-disk store and simulates
 //! only on a claim win — two racing `run-local` processes (or a `run-local`
 //! racing a daemon) cost one simulation; the output line `source=...` says
@@ -25,6 +29,12 @@ use svr_sim::json::Json;
 use svr_sim::{point_key, run_point, Claim, ResultCache};
 
 const TIMEOUT: Duration = Duration::from_secs(600);
+
+/// The retry policy for daemon requests, seeded by pid so concurrent
+/// clients jitter apart deterministically.
+fn retry_policy() -> http::RetryPolicy {
+    http::RetryPolicy::new(u64::from(std::process::id()))
+}
 
 fn usage() -> String {
     "usage:\n  svr_client submit   --addr HOST:PORT [--client NAME] [--stream] POINT...\n  \
@@ -77,12 +87,13 @@ fn submit(args: &[String]) -> Result<i32, String> {
         ),
     ])
     .pretty();
-    let resp = http::request(
+    let resp = http::request_with_retry(
         &addr,
         "POST",
         "/v1/jobs",
         Some(body.as_bytes()),
         TIMEOUT,
+        &retry_policy(),
         |_| {},
     )?;
     let text = String::from_utf8_lossy(&resp.body).to_string();
@@ -112,12 +123,16 @@ fn submit(args: &[String]) -> Result<i32, String> {
     }
     let mut failed = 0;
     for (hash, _) in &jobs {
-        let resp = http::request(
+        // A dropped stream is retried whole: the server replays the full
+        // event history on re-subscription, so no transition is lost
+        // (duplicate lines are possible, missing ones are not).
+        let resp = http::request_with_retry(
             &addr,
             "GET",
             &format!("/v1/jobs/{hash}/stream"),
             None,
             TIMEOUT,
+            &retry_policy(),
             |line| println!("{line}"),
         )?;
         if resp.status != 200 {

@@ -5,12 +5,20 @@
 //! svr_serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]
 //!           [--cache-max-bytes N] [--queue-limit N] [--crash-dir DIR]
 //!           [--claim-timeout SECS] [--claim-stale SECS] [--no-resume]
+//!           [--job-deadline SECS] [--sock-timeout SECS] [--faults SPEC]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; the bound address is
 //! printed as `listening on <addr>` (scripts parse this line). SIGINT or
 //! SIGTERM begins a drain: in-flight jobs finish, queued jobs stay
 //! journaled, and a restarted daemon resumes them (`--no-resume` opts out).
+//!
+//! `--faults` (or the `SVR_FAULTS` environment variable) installs a seeded
+//! deterministic fault-injection schedule — see `svr_sim::fault` for the
+//! spec grammar and site catalog. Chaos testing only; never set it on a
+//! daemon whose results you are about to trust for latency (results stay
+//! correct — that is the point — but injected stalls and retries cost
+//! time). Fired faults are reported on stderr at drain.
 
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -20,13 +28,15 @@ use svr_sim::shutdown;
 fn usage() -> String {
     "usage: svr_serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR] \
      [--cache-max-bytes N] [--queue-limit N] [--crash-dir DIR] \
-     [--claim-timeout SECS] [--claim-stale SECS] [--no-resume]"
+     [--claim-timeout SECS] [--claim-stale SECS] [--no-resume] \
+     [--job-deadline SECS] [--sock-timeout SECS] [--faults SPEC]"
         .to_string()
 }
 
 struct Args {
     addr: String,
     resume: bool,
+    faults: Option<String>,
     cfg: ServerConfig,
 }
 
@@ -34,6 +44,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7878".into(),
         resume: true,
+        faults: None,
         cfg: ServerConfig::default(),
     };
     let mut it = argv.iter();
@@ -83,6 +94,27 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 );
             }
             "--no-resume" => args.resume = false,
+            // Wall-clock budget per job (acceptance → completion); expired
+            // jobs finish with a structured {kind:"deadline"} error.
+            "--job-deadline" => {
+                args.cfg.job_deadline = Some(std::time::Duration::from_secs(
+                    value("--job-deadline")?
+                        .parse()
+                        .map_err(|e| format!("--job-deadline: {e}"))?,
+                ));
+            }
+            // Socket read AND write timeout per request (also the overall
+            // budget for one request to arrive — slow-loris protection).
+            "--sock-timeout" => {
+                let d = std::time::Duration::from_secs(
+                    value("--sock-timeout")?
+                        .parse()
+                        .map_err(|e| format!("--sock-timeout: {e}"))?,
+                );
+                args.cfg.read_timeout = d;
+                args.cfg.write_timeout = d;
+            }
+            "--faults" => args.faults = Some(value("--faults")?),
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -93,6 +125,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&argv)?;
+    // The --faults flag wins over the SVR_FAULTS environment variable.
+    let faulted = match &args.faults {
+        Some(spec) => {
+            let plan = svr_sim::FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?;
+            let armed = !plan.is_empty();
+            svr_sim::fault::install(plan);
+            armed
+        }
+        None => svr_sim::fault::install_from_env().map_err(|e| format!("SVR_FAULTS: {e}"))?,
+    };
+    if faulted {
+        eprintln!("fault injection armed (chaos mode; results stay correct, latency does not)");
+    }
     shutdown::install();
     let listener =
         TcpListener::bind(&args.addr).map_err(|e| format!("bind {}: {e}", args.addr))?;
@@ -113,6 +158,9 @@ fn run() -> Result<(), String> {
     server
         .serve(listener)
         .map_err(|e| format!("serve: {e}"))?;
+    if let Some(report) = svr_sim::fault::report_line() {
+        eprintln!("injected faults fired: {report}");
+    }
     eprintln!("drained; exiting");
     Ok(())
 }

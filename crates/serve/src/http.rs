@@ -23,12 +23,58 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use svr_sim::fault::{self, FaultSite};
+use svr_workloads::Rng64;
 
 /// Maximum bytes of request line + headers.
 const MAX_HEAD: usize = 64 * 1024;
 /// Maximum bytes of request/response body.
 const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// Why reading a request failed, classified so the server can answer with
+/// the right status and a structured `{kind,...}` body instead of a bare
+/// connection drop.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The client took too long to deliver the request (slow-loris or a
+    /// stalled socket) — `408`, kind `timeout`.
+    Timeout(String),
+    /// The head or body exceeded a hard cap — `413`, kind `too_large`.
+    TooLarge(String),
+    /// Malformed or truncated request — `400`, kind `bad_request`.
+    Bad(String),
+}
+
+impl ReadError {
+    /// `(status, reason, kind)` for the structured error response.
+    pub fn status(&self) -> (u16, &'static str, &'static str) {
+        match self {
+            ReadError::Timeout(_) => (408, "Request Timeout", "timeout"),
+            ReadError::TooLarge(_) => (413, "Payload Too Large", "too_large"),
+            ReadError::Bad(_) => (400, "Bad Request", "bad_request"),
+        }
+    }
+
+    /// The human-readable detail.
+    pub fn message(&self) -> &str {
+        match self {
+            ReadError::Timeout(m) | ReadError::TooLarge(m) | ReadError::Bad(m) => m,
+        }
+    }
+}
+
+/// Classifies one socket-read failure: blocking-with-timeout sockets
+/// surface an expired timeout as `WouldBlock` or `TimedOut` depending on
+/// platform.
+fn classify_read_err(e: std::io::Error, what: &str) -> ReadError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            ReadError::Timeout(format!("{what}: socket read timed out"))
+        }
+        _ => ReadError::Bad(format!("{what}: {e}")),
+    }
+}
 
 /// One parsed HTTP request.
 #[derive(Debug)]
@@ -55,7 +101,15 @@ impl Request {
 
 /// Reads head bytes until the `\r\n\r\n` terminator (bounded by
 /// [`MAX_HEAD`]), returning the head and any body bytes already read.
-fn read_head(stream: &mut TcpStream) -> Result<(Vec<u8>, Vec<u8>), String> {
+///
+/// `deadline` is an *overall* budget for the whole head: per-read socket
+/// timeouts alone cannot stop a slow-loris client that trickles one byte
+/// per interval, so the server passes `now + read_timeout` here and the
+/// head as a whole must arrive within it.
+fn read_head(
+    stream: &mut TcpStream,
+    deadline: Option<Instant>,
+) -> Result<(Vec<u8>, Vec<u8>), ReadError> {
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
     loop {
@@ -65,13 +119,18 @@ fn read_head(stream: &mut TcpStream) -> Result<(Vec<u8>, Vec<u8>), String> {
             return Ok((buf, rest));
         }
         if buf.len() > MAX_HEAD {
-            return Err("request head exceeds 64 KiB".into());
+            return Err(ReadError::TooLarge("request head exceeds 64 KiB".into()));
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(ReadError::Timeout(
+                "request head did not arrive in time".into(),
+            ));
         }
         let n = stream
             .read(&mut chunk)
-            .map_err(|e| format!("read: {e}"))?;
+            .map_err(|e| classify_read_err(e, "read"))?;
         if n == 0 {
-            return Err("connection closed before end of head".into());
+            return Err(ReadError::Bad("connection closed before end of head".into()));
         }
         buf.extend_from_slice(&chunk[..n]);
     }
@@ -81,16 +140,24 @@ fn find_terminator(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Reads and parses one request from `stream`.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
-    let (head, mut body) = read_head(stream)?;
-    let head = String::from_utf8(head).map_err(|_| "head is not UTF-8".to_string())?;
+/// Reads and parses one request from `stream`. `deadline` bounds the
+/// arrival of the *whole* request (head and body); `None` waits on the
+/// socket's own timeouts only.
+pub fn read_request(
+    stream: &mut TcpStream,
+    deadline: Option<Instant>,
+) -> Result<Request, ReadError> {
+    let (head, mut body) = read_head(stream, deadline)?;
+    let head =
+        String::from_utf8(head).map_err(|_| ReadError::Bad("head is not UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_ascii_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m.to_ascii_uppercase(), p.to_string()),
-        _ => return Err(format!("malformed request line {request_line:?}")),
+        _ => return Err(ReadError::Bad(format!(
+            "malformed request line {request_line:?}"
+        ))),
     };
     let mut headers = Vec::new();
     for line in lines {
@@ -98,7 +165,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
             continue;
         }
         let Some((name, value)) = line.split_once(':') else {
-            return Err(format!("malformed header line {line:?}"));
+            return Err(ReadError::Bad(format!("malformed header line {line:?}")));
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
@@ -108,19 +175,24 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
         .and_then(|(_, v)| v.parse::<usize>().ok())
         .unwrap_or(0);
     if content_length > MAX_BODY {
-        return Err("request body exceeds 16 MiB".into());
+        return Err(ReadError::TooLarge("request body exceeds 16 MiB".into()));
     }
     if body.len() > content_length {
         body.truncate(content_length);
     }
     while body.len() < content_length {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(ReadError::Timeout(
+                "request body did not arrive in time".into(),
+            ));
+        }
         let mut chunk = [0u8; 4096];
         let want = (content_length - body.len()).min(chunk.len());
         let n = stream
             .read(&mut chunk[..want])
-            .map_err(|e| format!("read body: {e}"))?;
+            .map_err(|e| classify_read_err(e, "read body"))?;
         if n == 0 {
-            return Err("connection closed mid-body".into());
+            return Err(ReadError::Bad("connection closed mid-body".into()));
         }
         body.extend_from_slice(&chunk[..n]);
     }
@@ -186,6 +258,19 @@ impl<'a> Chunked<'a> {
     pub fn send(&mut self, line: &str) -> std::io::Result<()> {
         let payload = format!("{line}\n");
         let framed = format!("{:x}\r\n{payload}\r\n", payload.len());
+        if fault::fires(FaultSite::ConnDropChunk) {
+            // Injected mid-stream disconnect: half a frame, then the socket
+            // dies. The client must see a transport error (never a clean
+            // end-of-stream) and recover by retrying.
+            let half = &framed.as_bytes()[..framed.len() / 2];
+            let _ = self.stream.write_all(half);
+            let _ = self.stream.flush();
+            let _ = self.stream.shutdown(std::net::Shutdown::Both);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "injected fault: conn_drop_chunk",
+            ));
+        }
         self.stream.write_all(framed.as_bytes())?;
         self.stream.flush()
     }
@@ -204,6 +289,8 @@ pub struct ClientResponse {
     pub status: u16,
     /// The body: for chunked responses, the concatenation of all chunks.
     pub body: Vec<u8>,
+    /// Parsed `Retry-After` header (seconds), when the server sent one.
+    pub retry_after: Option<u64>,
 }
 
 /// Issues `method path` against `addr` with an optional body and reads the
@@ -232,7 +319,8 @@ pub fn request(
         .and_then(|()| stream.flush())
         .map_err(|e| format!("send {addr}: {e}"))?;
 
-    let (head, rest) = read_head(&mut stream)?;
+    let (head, rest) =
+        read_head(&mut stream, None).map_err(|e| e.message().to_string())?;
     let head = String::from_utf8(head).map_err(|_| "response head not UTF-8".to_string())?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next().unwrap_or("");
@@ -242,6 +330,7 @@ pub fn request(
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
     let mut content_length: Option<usize> = None;
+    let mut retry_after: Option<u64> = None;
     let mut chunked = false;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
@@ -251,13 +340,19 @@ pub fn request(
         let value = value.trim();
         if name == "content-length" {
             content_length = value.parse::<usize>().ok();
+        } else if name == "retry-after" {
+            retry_after = value.parse::<u64>().ok();
         } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
             chunked = true;
         }
     }
     if chunked {
         let body = read_chunked(&mut stream, rest, &mut on_chunk)?;
-        return Ok(ClientResponse { status, body });
+        return Ok(ClientResponse {
+            status,
+            body,
+            retry_after,
+        });
     }
     let len = content_length.unwrap_or(0).min(MAX_BODY);
     let mut body = rest;
@@ -272,7 +367,101 @@ pub fn request(
         }
         body.extend_from_slice(&chunk[..n]);
     }
-    Ok(ClientResponse { status, body })
+    Ok(ClientResponse {
+        status,
+        body,
+        retry_after,
+    })
+}
+
+/// How [`request_with_retry`] behaves: attempt count and the jittered
+/// exponential backoff between attempts.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).
+    pub attempts: u32,
+    /// First backoff step; doubles per retry.
+    pub base: Duration,
+    /// Ceiling on any single sleep, including honored `Retry-After` values.
+    pub cap: Duration,
+    /// Seed for the jitter (use e.g. the pid so concurrent clients
+    /// de-synchronize deterministically).
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// The default policy: 5 attempts, 100 ms doubling to a 5 s cap.
+    pub fn new(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(5),
+            seed,
+        }
+    }
+}
+
+/// Whether a response status is worth retrying: the server said "later"
+/// (429 queue-full, 503 draining) — anything else is the caller's answer.
+fn retryable_status(status: u16) -> bool {
+    status == 429 || status == 503
+}
+
+/// [`request`] wrapped in bounded retries: transport errors and 429/503
+/// responses back off (honoring `Retry-After` when present, jittered
+/// exponential otherwise, both capped by the policy) and try again.
+/// Returns the last error / non-retryable response. Safe for `POST
+/// /v1/jobs` because the server's registry dedups resubmissions by content
+/// hash.
+pub fn request_with_retry(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    timeout: Duration,
+    policy: &RetryPolicy,
+    mut on_chunk: impl FnMut(&str),
+) -> Result<ClientResponse, String> {
+    let mut rng = Rng64::new(policy.seed);
+    let mut backoff = policy.base;
+    let attempts = policy.attempts.max(1);
+    let mut last_err = String::new();
+    for attempt in 1..=attempts {
+        let (sleep, why) = match request(addr, method, path, body, timeout, &mut on_chunk) {
+            Ok(resp) if retryable_status(resp.status) && attempt < attempts => {
+                // Honor the server's Retry-After; fall back to our own
+                // backoff schedule when it didn't send one.
+                let sleep = resp
+                    .retry_after
+                    .map(Duration::from_secs)
+                    .unwrap_or(backoff)
+                    .min(policy.cap);
+                last_err = format!("status {}", resp.status);
+                (sleep, format!("status {}", resp.status))
+            }
+            Ok(resp) => return Ok(resp),
+            Err(e) if attempt < attempts => {
+                last_err = e.clone();
+                (backoff.min(policy.cap), e)
+            }
+            Err(e) => return Err(format!("{e} (after {attempts} attempts)")),
+        };
+        let jittered = jitter(sleep, &mut rng);
+        eprintln!(
+            "[client] {method} {path}: {why}; retrying in {} ms (attempt {attempt}/{attempts})",
+            jittered.as_millis()
+        );
+        std::thread::sleep(jittered);
+        backoff = (backoff * 2).min(policy.cap);
+    }
+    Err(format!("{last_err} (after {attempts} attempts)"))
+}
+
+/// Half the duration plus a random half, so synchronized clients spread out.
+fn jitter(d: Duration, rng: &mut Rng64) -> Duration {
+    let ms = d.as_millis() as u64;
+    let half = ms / 2;
+    Duration::from_millis(half + rng.below(half + 1)).max(Duration::from_millis(1))
 }
 
 /// Decodes a chunked body, invoking `on_chunk` per chunk.

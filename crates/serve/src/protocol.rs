@@ -12,6 +12,19 @@
 //! [`svr_sim::SimError::to_json`] produces — so a client can always tell
 //! *which* design point went wrong and why (satellite requirement: no bare
 //! 500s).
+//!
+//! Protocol-level `kind`s a client can see, beyond the simulator's own
+//! [`svr_sim::SimError`] kinds:
+//!
+//! | kind          | status | meaning                                        |
+//! |---------------|--------|------------------------------------------------|
+//! | `bad_request` | 400    | malformed request / unknown point               |
+//! | `timeout`     | 408    | the request (head+body) did not arrive in time |
+//! | `too_large`   | 413    | head > 64 KiB or body > 16 MiB                 |
+//! | `not_found`   | 404    | unknown route or job hash                      |
+//! | `queue_full`  | 429    | per-client admission bound; carries `Retry-After` |
+//! | `draining`    | 503    | drain in progress, no new submissions          |
+//! | `deadline`    | —      | the job outlived `--job-deadline` (job body, not HTTP status) |
 
 use svr_sim::json::Json;
 use svr_sim::{RunOptions, SimConfig};

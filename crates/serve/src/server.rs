@@ -37,7 +37,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use svr_sim::fault::{self, FaultSite};
 use svr_sim::json::Json;
 use svr_sim::{
     point_key, report_to_json, run_point_traced, shutdown, Claim, PointKey, ResultCache,
@@ -72,6 +73,17 @@ pub struct ServerConfig {
     pub claim_timeout: Duration,
     /// Age beyond which another process's claim is considered abandoned.
     pub claim_stale: Duration,
+    /// Wall-clock budget from acceptance to completion. A job past its
+    /// deadline finishes with a structured `{kind:"deadline"}` error instead
+    /// of occupying a worker (or, when the simulation already ran, instead
+    /// of pretending the answer arrived in time). `None` disables deadlines.
+    pub job_deadline: Option<Duration>,
+    /// Per-request socket read timeout; also the overall budget for one
+    /// request (head + body) to arrive, so slow-loris clients get a 408
+    /// instead of a worker-less connection slot forever.
+    pub read_timeout: Duration,
+    /// Per-request socket write timeout (responses and stream chunks).
+    pub write_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +98,9 @@ impl Default for ServerConfig {
             retry_after_secs: 1,
             claim_timeout: Duration::from_secs(600),
             claim_stale: Duration::from_secs(600),
+            job_deadline: None,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -164,6 +179,8 @@ pub struct Job {
     pub spec: PointSpec,
     /// Resolved content key (drives cache load/store/claim).
     pub key: PointKey,
+    /// Acceptance time — the zero point of the per-job deadline.
+    created: Instant,
     inner: Mutex<JobInner>,
 }
 
@@ -173,6 +190,7 @@ impl Job {
             hash: key.hash,
             spec,
             key,
+            created: Instant::now(),
             inner: Mutex::new(JobInner {
                 phase: Phase::Queued,
                 source: None,
@@ -573,10 +591,39 @@ impl Server {
         }
     }
 
+    /// Whether `job` has outlived its wall-clock budget.
+    fn past_deadline(&self, job: &Job) -> bool {
+        self.cfg
+            .job_deadline
+            .is_some_and(|d| job.created.elapsed() > d)
+    }
+
+    /// The structured `{kind:"deadline"}` error body for `job`.
+    fn deadline_body(&self, job: &Job) -> Json {
+        let budget = self.cfg.job_deadline.unwrap_or_default();
+        error_body(
+            "deadline",
+            &format!(
+                "job exceeded its {} ms deadline ({} ms since acceptance)",
+                budget.as_millis(),
+                job.created.elapsed().as_millis()
+            ),
+            Some(&job.spec.workload),
+            Some(&job.spec.config),
+        )
+    }
+
     /// Resolves one job: cache claim → hit, or simulate with a streaming
     /// progress relay. Terminal state is always set and the pending-journal
     /// entry removed, whatever happens.
     fn process(&self, job: &Arc<Job>) {
+        if self.past_deadline(job) {
+            // Expired while queued: fail it without occupying a worker.
+            self.counters.errors.fetch_add(1, Ordering::SeqCst);
+            job.finish_error(Phase::Error, self.deadline_body(job));
+            let _ = std::fs::remove_file(self.pending_path(job.hash));
+            return;
+        }
         job.transition(Phase::Running);
         let resolved = match job.spec.resolve() {
             Ok(r) => r,
@@ -626,6 +673,9 @@ impl Server {
                 return;
             }
         };
+        if let Some(d) = fault::stall(FaultSite::WorkerStall) {
+            std::thread::sleep(d);
+        }
         let mut relay = ProgressRelay::new(job, resolved.sim.trace.interval.max(1));
         let result = run_point_traced(
             &workload,
@@ -638,12 +688,20 @@ impl Server {
         );
         match result {
             Ok(report) => {
+                // Store first, deadline second: a late result is still a
+                // correct result, and caching it means nobody pays for this
+                // point again — only *this* job reports the deadline miss.
                 self.cache.store(&job.key, scale, &report);
                 if let Some(max) = self.cfg.cache_max_bytes {
                     self.cache.gc(max);
                 }
                 self.counters.simulated.fetch_add(1, Ordering::SeqCst);
-                job.finish_done("simulated", report_to_json(&report));
+                if self.past_deadline(job) {
+                    self.counters.errors.fetch_add(1, Ordering::SeqCst);
+                    job.finish_error(Phase::Error, self.deadline_body(job));
+                } else {
+                    job.finish_done("simulated", report_to_json(&report));
+                }
             }
             Err(e) => {
                 self.counters.errors.fetch_add(1, Ordering::SeqCst);
@@ -714,6 +772,9 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        // Workers are joined: no store of ours is in flight, so any of our
+        // tmp staging files left in the cache are torn writes — sweep them.
+        self.cache.sweep_own_tmp();
         self.interrupt_queued();
         for c in conns {
             let _ = c.join();
@@ -723,15 +784,25 @@ impl Server {
 
     /// Handles one `Connection: close` request.
     fn handle_conn(&self, mut stream: TcpStream) {
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-        let req = match crate::http::read_request(&mut stream) {
+        if let Some(d) = fault::stall(FaultSite::ConnSlowRead) {
+            // Injected network latency: the request sits unread for a while
+            // (the client's retry/timeout story must absorb this).
+            std::thread::sleep(d);
+        }
+        let _ = stream.set_read_timeout(Some(self.cfg.read_timeout));
+        let _ = stream.set_write_timeout(Some(self.cfg.write_timeout));
+        let deadline = Instant::now() + self.cfg.read_timeout;
+        let req = match crate::http::read_request(&mut stream, Some(deadline)) {
             Ok(r) => r,
             Err(e) => {
-                let body = error_body("bad_request", &e, None, None).pretty();
+                // Every malformed/oversized/stalled request gets a
+                // structured `{kind,...}` body, never a bare drop.
+                let (status, reason, kind) = e.status();
+                let body = error_body(kind, e.message(), None, None).pretty();
                 let _ = crate::http::respond(
                     &mut stream,
-                    400,
-                    "Bad Request",
+                    status,
+                    reason,
                     "application/json",
                     &[],
                     body.as_bytes(),
@@ -741,6 +812,33 @@ impl Server {
         };
         match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/v1/jobs") => self.handle_submit(&mut stream, &req.body),
+            ("GET", "/v1/healthz") => {
+                // Readiness: 200 while accepting, 503 once draining (load
+                // balancers and orchestrators stop routing here).
+                let draining = self.draining();
+                let body = Json::Obj(vec![
+                    (
+                        "status".into(),
+                        Json::str(if draining { "draining" } else { "ok" }),
+                    ),
+                    ("draining".into(), Json::Bool(draining)),
+                    ("workers".into(), Json::u64(self.cfg.workers as u64)),
+                ])
+                .pretty();
+                let (status, reason) = if draining {
+                    (503, "Service Unavailable")
+                } else {
+                    (200, "OK")
+                };
+                let _ = crate::http::respond(
+                    &mut stream,
+                    status,
+                    reason,
+                    "application/json",
+                    &[],
+                    body.as_bytes(),
+                );
+            }
             ("GET", "/v1/status") => {
                 let body = self.status_json().pretty();
                 let _ = crate::http::respond(
@@ -923,7 +1021,7 @@ impl Server {
         }
         // Streaming: relay events as chunked JSON lines until terminal.
         let _ = stream.set_read_timeout(None);
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_write_timeout(Some(self.cfg.write_timeout));
         let (rx, replay) = job.subscribe();
         let Ok(mut chunked) =
             crate::http::Chunked::start(stream, 200, "OK", "application/x-ndjson")

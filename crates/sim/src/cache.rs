@@ -20,13 +20,14 @@
 //!   forensic evidence; neither is a cache hit candidate).
 
 use crate::config::SimConfig;
+use crate::fault::{self, FaultSite};
 use crate::json::Json;
 use crate::options::{ExecMode, RunOptions};
 use crate::report::{report_from_json, report_to_json};
 use crate::runner::RunReport;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant, SystemTime};
-use svr_workloads::Scale;
+use svr_workloads::{Rng64, Scale};
 
 /// Bump when the cache-entry layout or simulator semantics change in a way
 /// that invalidates stored reports; old entries then simply stop matching.
@@ -40,6 +41,13 @@ use svr_workloads::Scale;
 /// v5: exact per-line pollution tagging (PR 7) shifts `pollution` counters,
 /// and reports gain an optional `sampled` estimator block.
 pub const CACHE_FORMAT_VERSION: u32 = 5;
+
+/// First claim-wait backoff step; doubles per miss up to the cap. The
+/// actual sleep is jittered (half the step plus a random half) so waiters
+/// de-synchronize instead of polling in lockstep.
+const CLAIM_BACKOFF_START_MS: u64 = 4;
+/// Ceiling on the claim-wait backoff step.
+const CLAIM_BACKOFF_CAP_MS: u64 = 200;
 
 /// 64-bit FNV-1a over a string (the cache/dedup point hash).
 pub fn fnv1a64(s: &str) -> u64 {
@@ -186,14 +194,19 @@ impl ResultCache {
     /// sharing this directory) wins a claim file and must simulate, while
     /// everyone else blocks in here until the winner's entry appears.
     ///
-    /// Waiters poll at 20 ms. If the claim disappears without an entry (the
-    /// winner crashed or declined), the next waiter re-claims. A claim older
-    /// than `stale_after` is stolen — a SIGKILLed winner cannot remove its
-    /// claim file, and simulating twice is always safe. After `timeout` of
+    /// Waiters poll with jittered exponential backoff (seeded by the point
+    /// hash and pid, ~4 ms doubling to a 200 ms cap) so hundreds of waiters
+    /// on one hot point don't thundering-herd the filesystem in lockstep.
+    /// If the claim disappears without an entry (the winner crashed or
+    /// declined), the next waiter re-claims. A claim older than
+    /// `stale_after` is stolen — a SIGKILLed winner cannot remove its claim
+    /// file, and simulating twice is always safe. After `timeout` of
     /// unproductive waiting the caller simulates anyway (atomic entry writes
     /// make duplicated work harmless, just not free).
     pub fn claim(&self, point: &PointKey, timeout: Duration, stale_after: Duration) -> Claim {
         let deadline = Instant::now() + timeout;
+        let mut rng = Rng64::new(point.hash ^ u64::from(std::process::id()));
+        let mut backoff_ms: u64 = CLAIM_BACKOFF_START_MS;
         loop {
             if let Some(report) = self.load(point) {
                 return Claim::Hit(Box::new(report));
@@ -217,6 +230,9 @@ impl ResultCache {
                         let _ = std::fs::remove_file(&path);
                         return Claim::Hit(Box::new(report));
                     }
+                    if fault::fires(FaultSite::GcMidClaim) {
+                        self.gc(0);
+                    }
                     return Claim::Won(ClaimGuard { path });
                 }
                 Err(_) => {
@@ -225,26 +241,81 @@ impl ResultCache {
                         .and_then(|m| m.modified())
                         .ok()
                         .and_then(|m| SystemTime::now().duration_since(m).ok())
-                        .is_some_and(|age| age > stale_after);
+                        .is_some_and(|age| age > stale_after)
+                        || fault::fires(FaultSite::ClaimSteal);
                     if stale {
                         let _ = std::fs::remove_file(&path);
                         continue;
                     }
-                    if Instant::now() >= deadline {
+                    let now = Instant::now();
+                    if now >= deadline {
                         return Claim::Won(ClaimGuard { path });
                     }
-                    std::thread::sleep(Duration::from_millis(20));
+                    // Jittered exponential backoff: sleep half the current
+                    // step plus a random half, never past the deadline.
+                    let half = backoff_ms / 2;
+                    let jittered = half + rng.below(half + 1);
+                    let remaining = deadline - now;
+                    std::thread::sleep(Duration::from_millis(jittered.max(1)).min(remaining));
+                    backoff_ms = (backoff_ms * 2).min(CLAIM_BACKOFF_CAP_MS);
                 }
             }
         }
+    }
+
+    /// Removes orphaned `*.tmp.*` staging files older than `max_age` —
+    /// residue of writers that died between the tmp write and the rename.
+    /// Young tmp files are left alone (a live writer may be about to rename
+    /// them). Returns the number removed.
+    pub fn sweep_tmp(&self, max_age: Duration) -> usize {
+        self.sweep_tmp_matching(|_, meta| {
+            meta.modified()
+                .ok()
+                .and_then(|m| SystemTime::now().duration_since(m).ok())
+                .is_some_and(|age| age > max_age)
+        })
+    }
+
+    /// Removes `*.tmp.<this pid>` staging files regardless of age. Only
+    /// safe when this process provably has no store in flight — e.g. a
+    /// server at drain, after every worker has been joined.
+    pub fn sweep_own_tmp(&self) -> usize {
+        let suffix = format!(".tmp.{}", std::process::id());
+        self.sweep_tmp_matching(|name, _| name.ends_with(&suffix))
+    }
+
+    fn sweep_tmp_matching(
+        &self,
+        remove_if: impl Fn(&str, &std::fs::Metadata) -> bool,
+    ) -> usize {
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for e in dir.flatten() {
+            let path = e.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if !name.contains(".tmp.") {
+                continue;
+            }
+            let Ok(meta) = e.metadata() else { continue };
+            if meta.is_file() && remove_if(name, &meta) && std::fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
     }
 
     /// Enforces `max_bytes` over the top-level `*.json` entries with an
     /// LRU-by-mtime policy: oldest entries are removed until the total fits.
     /// `journal/` and `quarantine/` sub-directories (and claim files) are
     /// never touched — they are resume state and forensic evidence, not
-    /// reloadable results.
+    /// reloadable results. Stale `*.tmp.*` staging files (dead writers) are
+    /// swept as a side effect.
     pub fn gc(&self, max_bytes: u64) -> CacheGcStats {
+        self.sweep_tmp(Duration::from_secs(600));
         let mut stats = CacheGcStats::default();
         let Ok(dir) = std::fs::read_dir(&self.dir) else {
             return stats;
@@ -296,6 +367,11 @@ fn cache_path(dir: &Path, hash: u64) -> PathBuf {
 /// manual edit) and is quarantined to `<dir>/quarantine/` with a warning so
 /// it never shadows the slot again and stays available for forensics.
 pub(crate) fn load_cached(dir: &Path, hash: u64, key: &str) -> Option<RunReport> {
+    if fault::fires(FaultSite::CacheLoadErr) {
+        // Injected read error: behave exactly like an I/O failure (a pure
+        // miss) — the caller must re-simulate, never crash or quarantine.
+        return None;
+    }
     let path = cache_path(dir, hash);
     let bytes = std::fs::read(&path).ok()?;
     let Ok(text) = String::from_utf8(bytes) else {
@@ -365,7 +441,16 @@ pub(crate) fn store_cached(dir: &Path, hash: u64, key: &str, scale: Scale, repor
     ]);
     let path = cache_path(dir, hash);
     let tmp = dir.join(format!("{hash:016x}.tmp.{}", std::process::id()));
-    if std::fs::write(&tmp, doc.pretty()).is_ok() {
+    let text = doc.pretty();
+    if fault::fires(FaultSite::CacheStoreTorn) {
+        // Injected crash mid-write: half the document lands in the staging
+        // file and the rename never happens. The final path stays untouched
+        // (that is the invariant tmp+rename buys), so readers see a miss and
+        // the orphaned tmp is swept by gc / the server's drain.
+        let _ = std::fs::write(&tmp, &text.as_bytes()[..text.len() / 2]);
+        return;
+    }
+    if std::fs::write(&tmp, text).is_ok() {
         let _ = std::fs::rename(&tmp, &path);
     }
 }
@@ -516,6 +601,30 @@ mod tests {
         let stats = cache.gc(0);
         assert_eq!(stats.evicted, 2);
         assert_eq!(cache.gc(0).entries, 0);
+    }
+
+    #[test]
+    fn tmp_sweeps_respect_age_and_ownership() {
+        let dir = TempDir::new("tmpsweep");
+        let cache = ResultCache::new(&dir.0);
+        let own = format!("0000000000000001.tmp.{}", std::process::id());
+        let other = "0000000000000002.tmp.99999999";
+        std::fs::write(dir.0.join(&own), b"torn").expect("own tmp");
+        std::fs::write(dir.0.join(other), b"torn").expect("other tmp");
+        std::fs::write(dir.0.join("entry.json"), b"{}").expect("entry");
+        // Fresh tmp files survive an age-based sweep (a live writer may be
+        // about to rename them)...
+        assert_eq!(cache.sweep_tmp(Duration::from_secs(600)), 0);
+        // ...and an aggressive one takes both.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(cache.sweep_tmp(Duration::from_millis(1)), 2);
+        assert!(dir.0.join("entry.json").exists(), "entries untouched");
+        // Ownership sweep only touches this pid's files.
+        std::fs::write(dir.0.join(&own), b"torn").expect("own tmp again");
+        std::fs::write(dir.0.join(other), b"torn").expect("other tmp again");
+        assert_eq!(cache.sweep_own_tmp(), 1);
+        assert!(!dir.0.join(&own).exists());
+        assert!(dir.0.join(other).exists(), "foreign tmp spared");
     }
 
     #[test]

@@ -28,6 +28,7 @@ mod cache;
 mod config;
 mod crash;
 mod error;
+pub mod fault;
 mod options;
 mod profile;
 mod report;
@@ -47,6 +48,7 @@ pub use cache::{
 pub use config::{ConfigError, CoreChoice, SimConfig, TraceConfig};
 pub use crash::{default_crash_dir, write_crash_dump};
 pub use error::SimError;
+pub use fault::{FaultPlan, FaultSite};
 pub use json::Json;
 pub use options::{ExecMode, RunOptions};
 pub use profile::{

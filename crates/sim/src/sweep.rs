@@ -723,6 +723,11 @@ fn simulate_point_traced<S: svr_trace::TraceSink>(
         ..*options
     };
     if let Ok(Ok(report)) = catch_unwind(AssertUnwindSafe(|| {
+        // The worker-panic fault lives inside the first attempt ONLY: the
+        // panic-isolated retry below is deliberately not a site, so an
+        // injected panic always recovers (that recovery is the thing the
+        // chaos suite is proving).
+        crate::fault::maybe_panic(crate::fault::FaultSite::WorkerPanic);
         run_workload_traced(workload, config, &opts, &mut *sink)
     })) {
         return Ok(report);
@@ -826,7 +831,17 @@ impl Journal {
             .append(true)
             .open(&self.path)
         {
-            let _ = writeln!(f, "{hash:016x}");
+            let line = format!("{hash:016x}");
+            if crate::fault::fires(crate::fault::FaultSite::JournalTorn) {
+                // Injected crash mid-append: half a line, no newline. The
+                // loader's per-line parse skips it, costing one resume hit.
+                let _ = f.write_all(&line.as_bytes()[..line.len() / 2]);
+                return;
+            }
+            if crate::fault::fires(crate::fault::FaultSite::JournalDup) {
+                let _ = writeln!(f, "{line}");
+            }
+            let _ = writeln!(f, "{line}");
         }
     }
 
@@ -1423,7 +1438,7 @@ mod tests {
         assert_eq!(res.traces.len(), 3);
         assert!(res.traces.iter().all(|t| t.source == JobSource::Simulated));
         assert!(res.traces.iter().all(|t| t.wall_ms >= 0.0));
-        assert_eq!(res.stats.summary().contains("simulated=3"), true);
+        assert!(res.stats.summary().contains("simulated=3"));
     }
 
     #[test]

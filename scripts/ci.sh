@@ -384,6 +384,77 @@ if [ "$rc" -ne 0 ]; then
 fi
 echo "server smoke: dedup, streaming, resume and clean drain all verified"
 
+echo "=== chaos smoke: faulted daemon keeps exactly-once and drains clean ==="
+# A fixed fault schedule (seeded, probability-1 rules with per-site caps, so
+# the run is fully deterministic) tears a cache store, fails a cache load,
+# fires GC mid-claim, panics a worker twice, stalls a worker, lags a
+# connection and severs a chunked stream — and the service-tier invariants
+# must hold anyway: one simulation per unique point, zero job errors, a
+# clean drain, and no claim/tmp/pending/quarantine residue.
+CHAOS_CACHE="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR" "$OUT_DIR" "$RESUME_CACHE" "$RESUME_OUT" "$SERVE_CACHE" "$SERVE_OUT" "$CHAOS_CACHE"' EXIT
+CHAOS_SPEC='seed=3405691582;stall_ms=20;cache_store_torn=1x1;cache_load_err=1x1'
+CHAOS_SPEC="$CHAOS_SPEC;gc_mid_claim=1x1;worker_panic=1x2;worker_stall=1x1"
+CHAOS_SPEC="$CHAOS_SPEC;conn_slow_read=1x1;conn_drop_chunk=1x2"
+./target/release/svr_serve --addr 127.0.0.1:0 --cache-dir "$CHAOS_CACHE" \
+  --workers 2 --claim-timeout 30 --claim-stale 30 --sock-timeout 30 \
+  --faults "$CHAOS_SPEC" > "$SERVE_OUT/chaos.log" 2>&1 &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+  serve_addr=$(sed -n 's/^listening on //p' "$SERVE_OUT/chaos.log")
+  [ -n "$serve_addr" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.1
+done
+[ -n "$serve_addr" ] || { echo "FAIL: chaos svr_serve did not report its address" >&2
+  cat "$SERVE_OUT/chaos.log" >&2; exit 1; }
+./target/release/svr_client submit --addr "$serve_addr" --client chaos-a --stream \
+  Camel:InO Camel:SVR16 > "$SERVE_OUT/chaos_a.log" 2>&1 &
+ca_pid=$!
+./target/release/svr_client submit --addr "$serve_addr" --client chaos-b --stream \
+  Camel:SVR16 Camel:SVR32 > "$SERVE_OUT/chaos_b.log" 2>&1 &
+cb_pid=$!
+wait "$ca_pid" || { echo "FAIL: chaos client a failed" >&2
+  cat "$SERVE_OUT/chaos_a.log" >&2; exit 1; }
+wait "$cb_pid" || { echo "FAIL: chaos client b failed" >&2
+  cat "$SERVE_OUT/chaos_b.log" >&2; exit 1; }
+./target/release/svr_client status --addr "$serve_addr" > "$SERVE_OUT/chaos_status.json"
+csim=$(grep -o '"simulated": *[0-9]*' "$SERVE_OUT/chaos_status.json" | grep -o '[0-9]*$')
+cacc=$(grep -o '"accepted": *[0-9]*' "$SERVE_OUT/chaos_status.json" | grep -o '[0-9]*$')
+cjoin=$(grep -o '"joined": *[0-9]*' "$SERVE_OUT/chaos_status.json" | grep -o '[0-9]*$')
+cerr=$(grep -o '"errors": *[0-9]*' "$SERVE_OUT/chaos_status.json" | grep -o '[0-9]*$')
+echo "chaos counters: accepted=$cacc joined=$cjoin simulated=$csim errors=$cerr"
+if [ "$csim" != "3" ] || [ "$cacc" != "3" ] || [ "$cjoin" != "1" ] || [ "$cerr" != "0" ]; then
+  echo "FAIL: chaos run broke exactly-once (expected accepted=3 joined=1 simulated=3 errors=0)" >&2
+  cat "$SERVE_OUT/chaos_status.json" >&2; exit 1
+fi
+./target/release/svr_client shutdown --addr "$serve_addr" > /dev/null
+rc=0
+wait "$serve_pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: faulted daemon exited $rc on drain (expected 0)" >&2
+  cat "$SERVE_OUT/chaos.log" >&2; exit 1
+fi
+grep -q '^injected faults fired: ' "$SERVE_OUT/chaos.log" || {
+  echo "FAIL: chaos daemon reported no fired faults (schedule never armed?)" >&2
+  cat "$SERVE_OUT/chaos.log" >&2; exit 1; }
+# A clean run never creates serve-pending leftovers or a quarantine dir at
+# all; guard the finds so a missing dir reads as zero residue (pipefail
+# would otherwise abort the script on find's nonzero exit).
+residue_count() {
+  if [ -d "$1" ]; then find "$1" -type f | wc -l; else echo 0; fi
+}
+litter=$(find "$CHAOS_CACHE" -maxdepth 1 \( -name '*.claim' -o -name '*.tmp.*' \) | wc -l)
+pending=$(residue_count "$CHAOS_CACHE/serve-pending")
+quarantined=$(residue_count "$CHAOS_CACHE/quarantine")
+if [ "$litter" -ne 0 ] || [ "$pending" -ne 0 ] || [ "$quarantined" -ne 0 ]; then
+  echo "FAIL: chaos drain left residue (claim/tmp=$litter pending=$pending quarantine=$quarantined)" >&2
+  ls -la "$CHAOS_CACHE" >&2; exit 1
+fi
+echo "chaos smoke: $(sed -n 's/^injected faults fired: //p' "$SERVE_OUT/chaos.log")"
+echo "chaos smoke: exactly-once, clean drain and zero residue under injected faults"
+
 echo "=== panic-site budget: no new unwrap/expect/panic in library code ==="
 # Library entry points (runner, sweep, parser, assembler) are Result-first as
 # of the hardening pass; the sites that remain are documented internal
