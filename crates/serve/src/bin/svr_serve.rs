@@ -6,6 +6,7 @@
 //!           [--cache-max-bytes N] [--queue-limit N] [--crash-dir DIR]
 //!           [--claim-timeout SECS] [--claim-stale SECS] [--no-resume]
 //!           [--job-deadline SECS] [--sock-timeout SECS] [--faults SPEC]
+//!           [--log-level error|warn|info|debug|off]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; the bound address is
@@ -19,17 +20,25 @@
 //! daemon whose results you are about to trust for latency (results stay
 //! correct — that is the point — but injected stalls and retries cost
 //! time). Fired faults are reported on stderr at drain.
+//!
+//! Diagnostics go to stderr as structured JSON lines (see `svr_serve::log`);
+//! `--log-level` (or `SVR_LOG`; the flag wins) sets the threshold, default
+//! `info`. The stdout `listening on <addr>` line is part of the scriptable
+//! interface and is never silenced.
 
 use std::net::TcpListener;
 use std::path::PathBuf;
+use svr_serve::log;
 use svr_serve::{Server, ServerConfig};
+use svr_sim::json::Json;
 use svr_sim::shutdown;
 
 fn usage() -> String {
     "usage: svr_serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR] \
      [--cache-max-bytes N] [--queue-limit N] [--crash-dir DIR] \
      [--claim-timeout SECS] [--claim-stale SECS] [--no-resume] \
-     [--job-deadline SECS] [--sock-timeout SECS] [--faults SPEC]"
+     [--job-deadline SECS] [--sock-timeout SECS] [--faults SPEC] \
+     [--log-level error|warn|info|debug|off]"
         .to_string()
 }
 
@@ -37,6 +46,7 @@ struct Args {
     addr: String,
     resume: bool,
     faults: Option<String>,
+    log_level: Option<Option<log::Level>>,
     cfg: ServerConfig,
 }
 
@@ -45,6 +55,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         addr: "127.0.0.1:7878".into(),
         resume: true,
         faults: None,
+        log_level: None,
         cfg: ServerConfig::default(),
     };
     let mut it = argv.iter();
@@ -115,6 +126,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.cfg.write_timeout = d;
             }
             "--faults" => args.faults = Some(value("--faults")?),
+            "--log-level" => {
+                let v = value("--log-level")?;
+                args.log_level = Some(
+                    log::Level::parse(&v)
+                        .ok_or_else(|| format!("--log-level: unknown level {v:?}\n{}", usage()))?,
+                );
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -125,6 +143,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&argv)?;
+    // Threshold precedence: --log-level beats SVR_LOG beats the default.
+    match args.log_level {
+        Some(level) => log::set_level(level),
+        None => {
+            let _ = log::init_from_env();
+        }
+    }
     // The --faults flag wins over the SVR_FAULTS environment variable.
     let faulted = match &args.faults {
         Some(spec) => {
@@ -136,7 +161,13 @@ fn run() -> Result<(), String> {
         None => svr_sim::fault::install_from_env().map_err(|e| format!("SVR_FAULTS: {e}"))?,
     };
     if faulted {
-        eprintln!("fault injection armed (chaos mode; results stay correct, latency does not)");
+        log::warn(
+            "faults_armed",
+            &[(
+                "note",
+                Json::str("chaos mode; results stay correct, latency does not"),
+            )],
+        );
     }
     shutdown::install();
     let listener =
@@ -144,13 +175,20 @@ fn run() -> Result<(), String> {
     let bound = listener
         .local_addr()
         .map_err(|e| format!("local_addr: {e}"))?;
-    let server = Server::new(args.cfg);
-    if args.resume {
-        let resumed = server.resume_pending();
-        if resumed > 0 {
-            eprintln!("resumed {resumed} pending job(s) from the journal");
-        }
-    }
+    let server = Server::new(args.cfg.clone());
+    let resumed = if args.resume { server.resume_pending() } else { 0 };
+    log::info(
+        "startup",
+        &[
+            ("addr", Json::str(bound.to_string())),
+            ("workers", Json::u64(args.cfg.workers as u64)),
+            (
+                "cache_dir",
+                Json::str(args.cfg.cache_dir.display().to_string()),
+            ),
+            ("resumed", Json::u64(resumed as u64)),
+        ],
+    );
     // Scripts wait for this exact line to learn the ephemeral port.
     println!("listening on {bound}");
     use std::io::Write;
@@ -159,9 +197,10 @@ fn run() -> Result<(), String> {
         .serve(listener)
         .map_err(|e| format!("serve: {e}"))?;
     if let Some(report) = svr_sim::fault::report_line() {
-        eprintln!("injected faults fired: {report}");
+        // Keep the legible prefix: scripts grep the fired-fault report.
+        log::info("faults_fired", &[("report", Json::str(&report))]);
     }
-    eprintln!("drained; exiting");
+    log::info("drained", &[]);
     Ok(())
 }
 

@@ -25,6 +25,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 use svr_sim::fault::{self, FaultSite};
+use svr_sim::json::Json;
 use svr_workloads::Rng64;
 
 /// Maximum bytes of request line + headers.
@@ -447,9 +448,16 @@ pub fn request_with_retry(
             Err(e) => return Err(format!("{e} (after {attempts} attempts)")),
         };
         let jittered = jitter(sleep, &mut rng);
-        eprintln!(
-            "[client] {method} {path}: {why}; retrying in {} ms (attempt {attempt}/{attempts})",
-            jittered.as_millis()
+        crate::log::warn(
+            "client_retry",
+            &[
+                ("method", Json::str(method)),
+                ("path", Json::str(path)),
+                ("why", Json::str(&why)),
+                ("delay_ms", Json::u64(jittered.as_millis() as u64)),
+                ("attempt", Json::u64(attempt as u64)),
+                ("attempts", Json::u64(attempts as u64)),
+            ],
         );
         std::thread::sleep(jittered);
         backoff = (backoff * 2).min(policy.cap);

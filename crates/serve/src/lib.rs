@@ -19,6 +19,7 @@
 //!   lifecycle.
 
 pub mod http;
+pub mod log;
 pub mod protocol;
 pub mod server;
 

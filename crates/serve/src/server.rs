@@ -29,17 +29,21 @@
 //! restarted daemon re-enqueues everything found in the pending directory —
 //! points that completed before the kill resolve instantly from the cache.
 
+use crate::log;
 use crate::protocol::{error_body, parse_submit, PointSpec, ProtoError, ResolvedPoint};
 use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 use svr_sim::fault::{self, FaultSite};
 use svr_sim::json::Json;
+use svr_sim::metrics::{
+    CacheMetrics, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot,
+};
 use svr_sim::{
     point_key, report_to_json, run_point_traced, shutdown, Claim, PointKey, ResultCache,
     SimError,
@@ -334,27 +338,48 @@ impl Sched {
 
 /// Monotonic counters surfaced by `GET /v1/status` (the smoke test's
 /// "exactly one simulation per unique point" check reads `simulated` here).
-#[derive(Debug, Default)]
+/// The same counters back the registry's `jobs_*_total` Prometheus series:
+/// `/v1/status` and `/v1/metrics` can never disagree.
+#[derive(Debug)]
 pub struct Counters {
-    /// New jobs accepted (unique points).
-    pub accepted: AtomicU64,
-    /// Submissions deduplicated onto an existing job.
-    pub joined: AtomicU64,
-    /// Jobs resolved by actually simulating.
-    pub simulated: AtomicU64,
-    /// Jobs resolved from the shared result store.
-    pub cached: AtomicU64,
-    /// Jobs that finished with a structured error.
-    pub errors: AtomicU64,
-    /// Submissions rejected for a full client queue (429).
-    pub rejected: AtomicU64,
-    /// Jobs interrupted by a drain.
-    pub interrupted: AtomicU64,
+    /// New jobs accepted (unique points) — `jobs_accepted_total`.
+    pub accepted: Arc<Counter>,
+    /// Submissions deduplicated onto an existing job — `jobs_joined_total`.
+    pub joined: Arc<Counter>,
+    /// Jobs resolved by actually simulating — `jobs_simulated_total`.
+    pub simulated: Arc<Counter>,
+    /// Jobs resolved from the shared result store — `jobs_cached_total`.
+    pub cached: Arc<Counter>,
+    /// Jobs that finished with a structured error — `jobs_errors_total`.
+    pub errors: Arc<Counter>,
+    /// Submissions rejected for a full client queue (429) —
+    /// `jobs_rejected_total`.
+    pub rejected: Arc<Counter>,
+    /// Jobs interrupted by a drain — `jobs_interrupted_total`.
+    pub interrupted: Arc<Counter>,
 }
 
 impl Counters {
+    fn register(reg: &MetricsRegistry) -> Counters {
+        Counters {
+            accepted: reg.counter("jobs_accepted_total", "New jobs accepted (unique points)"),
+            joined: reg.counter(
+                "jobs_joined_total",
+                "Submissions deduplicated onto an existing job",
+            ),
+            simulated: reg.counter("jobs_simulated_total", "Jobs resolved by simulating"),
+            cached: reg.counter("jobs_cached_total", "Jobs resolved from the result store"),
+            errors: reg.counter("jobs_errors_total", "Jobs finished with a structured error"),
+            rejected: reg.counter(
+                "jobs_rejected_total",
+                "Submissions rejected for a full client queue",
+            ),
+            interrupted: reg.counter("jobs_interrupted_total", "Jobs interrupted by a drain"),
+        }
+    }
+
     fn to_json(&self) -> Json {
-        let f = |c: &AtomicU64| Json::u64(c.load(Ordering::SeqCst));
+        let f = |c: &Counter| Json::u64(c.get());
         Json::Obj(vec![
             ("accepted".into(), f(&self.accepted)),
             ("joined".into(), f(&self.joined)),
@@ -364,6 +389,70 @@ impl Counters {
             ("rejected".into(), f(&self.rejected)),
             ("interrupted".into(), f(&self.interrupted)),
         ])
+    }
+}
+
+/// The service-tier instrument cluster: one registry (behind
+/// `GET /v1/metrics` and `GET /v1/stats`) plus hot-path handles. All
+/// recording is relaxed atomics; all formatting happens at scrape time.
+pub struct ServeMetrics {
+    /// The registry everything below is registered in.
+    pub registry: MetricsRegistry,
+    /// Jobs waiting in client queues (set authoritatively at scrape).
+    pub queue_depth: Arc<Gauge>,
+    /// Workers currently resolving a job.
+    pub workers_busy: Arc<Gauge>,
+    /// `POST /v1/jobs` handling latency (µs), client-visible.
+    pub submit_latency_us: Arc<Histogram>,
+    /// Acceptance → worker pickup (µs).
+    pub queue_wait_us: Arc<Histogram>,
+    /// Wall time inside the simulator per simulated job (µs).
+    pub simulate_us: Arc<Histogram>,
+    /// Duration of `GET /v1/jobs/<hash>/stream` responses (µs).
+    pub stream_us: Arc<Histogram>,
+    /// Cache-tier counters (shared with the [`ResultCache`]).
+    pub cache: Arc<CacheMetrics>,
+}
+
+impl ServeMetrics {
+    fn new() -> ServeMetrics {
+        let registry = MetricsRegistry::new();
+        ServeMetrics {
+            queue_depth: registry.gauge("queue_depth", "Jobs waiting in client queues"),
+            workers_busy: registry.gauge("workers_busy", "Workers currently resolving a job"),
+            submit_latency_us: registry
+                .histogram("submit_latency_us", "POST /v1/jobs handling latency (us)"),
+            queue_wait_us: registry
+                .histogram("queue_wait_us", "Job acceptance to worker pickup (us)"),
+            simulate_us: registry
+                .histogram("simulate_us", "Simulator wall time per simulated job (us)"),
+            stream_us: registry
+                .histogram("stream_us", "Progress-stream response duration (us)"),
+            cache: CacheMetrics::register(&registry),
+            registry,
+        }
+    }
+
+    /// The per-route request counter (`http_requests_total{route=...}`).
+    pub fn http_requests(&self, route: &str) -> Arc<Counter> {
+        self.registry
+            .counter_with("http_requests_total", "HTTP requests by route", &[("route", route)])
+    }
+}
+
+impl std::fmt::Debug for ServeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeMetrics").finish_non_exhaustive()
+    }
+}
+
+/// Decrements a gauge on scope exit (worker-busy tracking survives early
+/// returns and panics caught at the job boundary).
+struct GaugeGuard<'a>(&'a Gauge);
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.sub(1);
     }
 }
 
@@ -378,6 +467,8 @@ pub struct Server {
     draining: AtomicBool,
     /// Counters for `/v1/status`.
     pub counters: Counters,
+    /// The observability cluster behind `/v1/metrics` and `/v1/stats`.
+    pub metrics: ServeMetrics,
 }
 
 /// How a submission was admitted.
@@ -392,14 +483,17 @@ pub enum Admission {
 impl Server {
     /// Creates a server (no threads started yet).
     pub fn new(cfg: ServerConfig) -> Arc<Server> {
-        let cache = ResultCache::new(&cfg.cache_dir);
+        let metrics = ServeMetrics::new();
+        let counters = Counters::register(&metrics.registry);
+        let cache = ResultCache::new(&cfg.cache_dir).with_metrics(Arc::clone(&metrics.cache));
         Arc::new(Server {
             cfg,
             cache,
             sched: Mutex::new(Sched::default()),
             wake: Condvar::new(),
             draining: AtomicBool::new(false),
-            counters: Counters::default(),
+            counters,
+            metrics,
         })
     }
 
@@ -441,12 +535,12 @@ impl Server {
         );
         let mut sched = lock_ok(&self.sched);
         if let Some(job) = sched.jobs.get(&key.hash) {
-            self.counters.joined.fetch_add(1, Ordering::SeqCst);
+            self.counters.joined.inc();
             return Ok((Arc::clone(job), Admission::Joined));
         }
         let queue = sched.queue_of(client);
         if queue.len() >= self.cfg.queue_limit {
-            self.counters.rejected.fetch_add(1, Ordering::SeqCst);
+            self.counters.rejected.inc();
             return Err(ProtoError {
                 status: 429,
                 body: error_body(
@@ -468,7 +562,16 @@ impl Server {
         sched.jobs.insert(job.hash, Arc::clone(&job));
         drop(sched);
         self.journal_pending(client, &job);
-        self.counters.accepted.fetch_add(1, Ordering::SeqCst);
+        self.counters.accepted.inc();
+        log::info(
+            "job_queued",
+            &[
+                ("hash", Json::str(format!("{:016x}", job.hash))),
+                ("client", Json::str(client)),
+                ("workload", Json::str(&spec.workload)),
+                ("config", Json::str(&spec.config)),
+            ],
+        );
         self.wake.notify_one();
         Ok((job, Admission::New))
     }
@@ -567,6 +670,28 @@ impl Server {
         ])
     }
 
+    /// Freezes every metric for `/v1/metrics` and `/v1/stats`: gauges are
+    /// set from authoritative scheduler state first (no incremental drift),
+    /// then armed fault sites are appended as `fault_fired_total{site=...}`
+    /// so the fault layer and the metrics layer attest each other.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let queued: i64 = {
+            let sched = lock_ok(&self.sched);
+            sched.queues.iter().map(|(_, q)| q.len() as i64).sum()
+        };
+        self.metrics.queue_depth.set(queued);
+        let mut snap = self.metrics.registry.snapshot();
+        for (site, fired) in fault::fire_counts() {
+            snap.push_counter(
+                "fault_fired_total",
+                "Injected fault-site firings",
+                &[("site", site)],
+                fired,
+            );
+        }
+        snap
+    }
+
     /// Worker thread body: pick jobs round-robin until a drain begins.
     fn worker_loop(&self) {
         loop {
@@ -617,20 +742,31 @@ impl Server {
     /// progress relay. Terminal state is always set and the pending-journal
     /// entry removed, whatever happens.
     fn process(&self, job: &Arc<Job>) {
+        self.metrics.workers_busy.add(1);
+        let _busy = GaugeGuard(&self.metrics.workers_busy);
+        let queue_wait = job.created.elapsed();
+        self.metrics.queue_wait_us.record_duration_us(queue_wait);
         if self.past_deadline(job) {
             // Expired while queued: fail it without occupying a worker.
-            self.counters.errors.fetch_add(1, Ordering::SeqCst);
+            self.counters.errors.inc();
             job.finish_error(Phase::Error, self.deadline_body(job));
             let _ = std::fs::remove_file(self.pending_path(job.hash));
             return;
         }
+        log::info(
+            "job_claimed",
+            &[
+                ("hash", Json::str(format!("{:016x}", job.hash))),
+                ("queue_wait_us", Json::u64(duration_us(queue_wait))),
+            ],
+        );
         job.transition(Phase::Running);
         let resolved = match job.spec.resolve() {
             Ok(r) => r,
             Err(e) => {
                 // Unreachable through submit (which resolves eagerly), but
                 // the resume path re-resolves journal entries.
-                self.counters.errors.fetch_add(1, Ordering::SeqCst);
+                self.counters.errors.inc();
                 job.finish_error(Phase::Error, e.body);
                 let _ = std::fs::remove_file(self.pending_path(job.hash));
                 return;
@@ -641,8 +777,12 @@ impl Server {
             .claim(&job.key, self.cfg.claim_timeout, self.cfg.claim_stale)
         {
             Claim::Hit(report) => {
-                self.counters.cached.fetch_add(1, Ordering::SeqCst);
+                self.counters.cached.inc();
                 job.finish_done("cached", report_to_json(&report));
+                log::info(
+                    "job_cached",
+                    &[("hash", Json::str(format!("{:016x}", job.hash)))],
+                );
             }
             Claim::Won(guard) => {
                 self.simulate(job, &resolved);
@@ -660,7 +800,7 @@ impl Server {
         let workload = match built {
             Ok(w) => w,
             Err(_) => {
-                self.counters.errors.fetch_add(1, Ordering::SeqCst);
+                self.counters.errors.inc();
                 job.finish_error(
                     Phase::Error,
                     SimError::Panic {
@@ -677,6 +817,7 @@ impl Server {
             std::thread::sleep(d);
         }
         let mut relay = ProgressRelay::new(job, resolved.sim.trace.interval.max(1));
+        let sim_start = Instant::now();
         let result = run_point_traced(
             &workload,
             &resolved.sim,
@@ -686,6 +827,8 @@ impl Server {
             self.cfg.crash_dir.as_deref(),
             &mut relay,
         );
+        let sim_wall = sim_start.elapsed();
+        self.metrics.simulate_us.record_duration_us(sim_wall);
         match result {
             Ok(report) => {
                 // Store first, deadline second: a late result is still a
@@ -695,16 +838,24 @@ impl Server {
                 if let Some(max) = self.cfg.cache_max_bytes {
                     self.cache.gc(max);
                 }
-                self.counters.simulated.fetch_add(1, Ordering::SeqCst);
+                self.counters.simulated.inc();
+                log::info(
+                    "job_simulated",
+                    &[
+                        ("hash", Json::str(format!("{:016x}", job.hash))),
+                        ("simulate_us", Json::u64(duration_us(sim_wall))),
+                        ("cycles", Json::u64(report.core.cycles)),
+                    ],
+                );
                 if self.past_deadline(job) {
-                    self.counters.errors.fetch_add(1, Ordering::SeqCst);
+                    self.counters.errors.inc();
                     job.finish_error(Phase::Error, self.deadline_body(job));
                 } else {
                     job.finish_done("simulated", report_to_json(&report));
                 }
             }
             Err(e) => {
-                self.counters.errors.fetch_add(1, Ordering::SeqCst);
+                self.counters.errors.inc();
                 let mut body = e.error.to_json();
                 if let (Json::Obj(fields), Some(dump)) = (&mut body, &e.crash_dump) {
                     fields.push((
@@ -712,6 +863,13 @@ impl Server {
                         Json::str(dump.display().to_string()),
                     ));
                 }
+                log::warn(
+                    "job_error",
+                    &[
+                        ("hash", Json::str(format!("{:016x}", job.hash))),
+                        ("error", body.clone()),
+                    ],
+                );
                 job.finish_error(Phase::Error, body);
             }
         }
@@ -730,7 +888,7 @@ impl Server {
             all
         };
         for job in drained {
-            self.counters.interrupted.fetch_add(1, Ordering::SeqCst);
+            self.counters.interrupted.inc();
             job.finish_error(
                 Phase::Interrupted,
                 SimError::Interrupted {
@@ -810,12 +968,23 @@ impl Server {
                 return;
             }
         };
+        let req_id = log::next_request_id();
+        let route = route_label(&req.method, &req.path);
+        self.metrics.http_requests(route).inc();
+        let t0 = Instant::now();
         match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/v1/jobs") => self.handle_submit(&mut stream, &req.body),
             ("GET", "/v1/healthz") => {
                 // Readiness: 200 while accepting, 503 once draining (load
-                // balancers and orchestrators stop routing here).
+                // balancers and orchestrators stop routing here). Queue
+                // depth and busy-worker count let probes tell "idle" from
+                // "saturated".
                 let draining = self.draining();
+                let queued: u64 = {
+                    let sched = lock_ok(&self.sched);
+                    sched.queues.iter().map(|(_, q)| q.len() as u64).sum()
+                };
+                let busy = self.metrics.workers_busy.get().max(0) as u64;
                 let body = Json::Obj(vec![
                     (
                         "status".into(),
@@ -823,6 +992,8 @@ impl Server {
                     ),
                     ("draining".into(), Json::Bool(draining)),
                     ("workers".into(), Json::u64(self.cfg.workers as u64)),
+                    ("queued".into(), Json::u64(queued)),
+                    ("workers_busy".into(), Json::u64(busy)),
                 ])
                 .pretty();
                 let (status, reason) = if draining {
@@ -841,6 +1012,32 @@ impl Server {
             }
             ("GET", "/v1/status") => {
                 let body = self.status_json().pretty();
+                let _ = crate::http::respond(
+                    &mut stream,
+                    200,
+                    "OK",
+                    "application/json",
+                    &[],
+                    body.as_bytes(),
+                );
+            }
+            ("GET", "/v1/metrics") => {
+                let body = self.metrics_snapshot().to_prometheus();
+                let _ = crate::http::respond(
+                    &mut stream,
+                    200,
+                    "OK",
+                    "text/plain; version=0.0.4",
+                    &[],
+                    body.as_bytes(),
+                );
+            }
+            ("GET", "/v1/stats") => {
+                let body = Json::Obj(vec![
+                    ("status".into(), self.status_json()),
+                    ("metrics".into(), self.metrics_snapshot().to_json()),
+                ])
+                .pretty();
                 let _ = crate::http::respond(
                     &mut stream,
                     200,
@@ -883,6 +1080,32 @@ impl Server {
                 );
             }
         }
+        let dur = t0.elapsed();
+        match route {
+            "submit" => self.metrics.submit_latency_us.record_duration_us(dur),
+            "job_stream" => {
+                self.metrics.stream_us.record_duration_us(dur);
+                log::info(
+                    "job_streamed",
+                    &[
+                        ("req", Json::u64(req_id)),
+                        ("path", Json::str(&req.path)),
+                        ("stream_us", Json::u64(duration_us(dur))),
+                    ],
+                );
+            }
+            _ => {}
+        }
+        log::debug(
+            "request",
+            &[
+                ("req", Json::u64(req_id)),
+                ("method", Json::str(&req.method)),
+                ("path", Json::str(&req.path)),
+                ("route", Json::str(route)),
+                ("dur_us", Json::u64(duration_us(dur))),
+            ],
+        );
     }
 
     /// `POST /v1/jobs`: parse, resolve and admit a batch. All points are
@@ -1070,6 +1293,27 @@ impl Server {
     }
 }
 
+/// Saturating microseconds of a duration (histogram/log unit).
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Normalizes a request to its `http_requests_total{route=...}` label
+/// (job hashes collapse into one label per route family).
+fn route_label(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("POST", "/v1/jobs") => "submit",
+        ("GET", "/v1/healthz") => "healthz",
+        ("GET", "/v1/status") => "status",
+        ("GET", "/v1/metrics") => "metrics",
+        ("GET", "/v1/stats") => "stats",
+        ("POST", "/v1/shutdown") => "shutdown",
+        ("GET", p) if p.starts_with("/v1/jobs/") && p.ends_with("/stream") => "job_stream",
+        ("GET", p) if p.starts_with("/v1/jobs/") => "job_get",
+        _ => "other",
+    }
+}
+
 /// Writes a [`ProtoError`] response (429s carry `Retry-After`).
 fn respond_proto_error(stream: &mut TcpStream, e: &ProtoError) -> std::io::Result<()> {
     let reason = match e.status {
@@ -1209,13 +1453,49 @@ mod tests {
         assert_eq!(a1, Admission::New);
         assert_eq!(a2, Admission::Joined, "same point shares one job");
         assert!(Arc::ptr_eq(&job1, &job2));
-        assert_eq!(srv.counters.accepted.load(Ordering::SeqCst), 1);
-        assert_eq!(srv.counters.joined.load(Ordering::SeqCst), 1);
+        assert_eq!(srv.counters.accepted.get(), 1);
+        assert_eq!(srv.counters.joined.get(), 1);
         let pending = dir.join("serve-pending");
         assert_eq!(
             std::fs::read_dir(&pending).expect("pending dir").count(),
             1,
             "one journal entry per unique job"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_snapshot_tracks_queue_and_renders_prometheus() {
+        let (cfg, dir) = temp_cfg("metrics");
+        let srv = Server::new(cfg);
+        let s = spec("Camel", "SVR16");
+        let r = s.resolve().expect("valid");
+        srv.submit("alice", &s, &r).expect("accepted");
+        srv.submit("bob", &s, &r).expect("joined");
+        srv.metrics.http_requests("submit").inc();
+
+        let snap = srv.metrics_snapshot();
+        let text = snap.to_prometheus();
+        let samples = svr_sim::metrics::parse_exposition(&text);
+        let get = |name: &str| {
+            svr_sim::metrics::find_sample(&samples, name, &[])
+                .unwrap_or_else(|| panic!("{name} missing from exposition"))
+                .value as u64
+        };
+        // The registry and the /v1/status counters are the same atomics.
+        assert_eq!(get("jobs_accepted_total"), srv.counters.accepted.get());
+        assert_eq!(get("jobs_joined_total"), 1);
+        assert_eq!(
+            get("queue_depth"),
+            1,
+            "one unique queued job, set authoritatively at scrape"
+        );
+        assert_eq!(get("workers_busy"), 0, "no worker pool was started");
+        assert_eq!(
+            svr_sim::metrics::find_sample(&samples, "http_requests_total", &[("route", "submit")])
+                .expect("labeled route counter")
+                .value as u64,
+            1
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -1244,7 +1524,7 @@ mod tests {
         );
         // Another client is unaffected (fairness is per-client).
         srv.submit("patient", &s, &r).expect("other client admitted");
-        assert_eq!(srv.counters.rejected.load(Ordering::SeqCst), 1);
+        assert_eq!(srv.counters.rejected.get(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1312,7 +1592,7 @@ mod tests {
             events.iter().any(|e| e.contains("\"interval\"")),
             "expected interval events, got {events:?}"
         );
-        assert_eq!(srv.counters.simulated.load(Ordering::SeqCst), 1);
+        assert_eq!(srv.counters.simulated.get(), 1);
         assert!(
             !srv.pending_path(job.hash).exists(),
             "terminal job leaves no pending journal entry"
@@ -1328,8 +1608,8 @@ mod tests {
         let picked = lock_ok(&srv2.sched).pick().expect("queued");
         srv2.process(&picked);
         assert_eq!(job2.phase(), Phase::Done);
-        assert_eq!(srv2.counters.cached.load(Ordering::SeqCst), 1);
-        assert_eq!(srv2.counters.simulated.load(Ordering::SeqCst), 0);
+        assert_eq!(srv2.counters.cached.get(), 1);
+        assert_eq!(srv2.counters.simulated.get(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1351,7 +1631,7 @@ mod tests {
         );
         assert_eq!(err.get("workload").and_then(Json::as_str), Some("DiagSpin"));
         assert_eq!(err.get("config").and_then(Json::as_str), Some("InO"));
-        assert_eq!(srv.counters.errors.load(Ordering::SeqCst), 1);
+        assert_eq!(srv.counters.errors.get(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -275,6 +275,23 @@ fn chaos_soak_overlapping_clients_under_hostile_schedule() {
         );
     }
 
+    // Observability closes the loop: every fired site is visible over the
+    // wire as a nonzero fault_fired_total{site=...} sample, with the same
+    // count the in-process tally reports.
+    let resp = http::request(&addr, "GET", "/v1/metrics", None, TIMEOUT, |_| {})
+        .expect("metrics scrape");
+    assert_eq!(resp.status, 200);
+    let samples = svr_sim::metrics::parse_exposition(&String::from_utf8_lossy(&resp.body));
+    for (site, count) in &fired {
+        let sample =
+            svr_sim::metrics::find_sample(&samples, "fault_fired_total", &[("site", site)])
+                .unwrap_or_else(|| panic!("fault_fired_total{{site={site}}} missing from scrape"));
+        assert_eq!(
+            sample.value as u64, *count,
+            "scraped fault_fired_total{{site={site}}} disagrees with fire_counts()"
+        );
+    }
+
     // Clean drain: shutdown over the wire, then zero residue on disk.
     let resp = http::request(&addr, "POST", "/v1/shutdown", None, TIMEOUT, |_| {})
         .expect("shutdown");

@@ -22,10 +22,12 @@
 use crate::config::SimConfig;
 use crate::fault::{self, FaultSite};
 use crate::json::Json;
+use crate::metrics::CacheMetrics;
 use crate::options::{ExecMode, RunOptions};
 use crate::report::{report_from_json, report_to_json};
 use crate::runner::RunReport;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime};
 use svr_workloads::{Rng64, Scale};
 
@@ -148,12 +150,25 @@ pub struct CacheGcStats {
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
+    metrics: Option<Arc<CacheMetrics>>,
 }
 
 impl ResultCache {
     /// A store rooted at `dir` (created lazily on first write).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        ResultCache { dir: dir.into() }
+        ResultCache {
+            dir: dir.into(),
+            metrics: None,
+        }
+    }
+
+    /// Attaches an instrument cluster (see [`CacheMetrics`]): claim
+    /// resolutions, steals, stores, GC evictions and claim-wait latency
+    /// are recorded into it. Strictly out-of-band — nothing about the
+    /// stored bytes or keys changes.
+    pub fn with_metrics(mut self, metrics: Arc<CacheMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// A store at the conventional location: `$SVR_CACHE_DIR` or
@@ -187,6 +202,9 @@ impl ResultCache {
     /// Writes the entry for `point` atomically. Failures are non-fatal.
     pub fn store(&self, point: &PointKey, scale: Scale, report: &RunReport) {
         store_cached(&self.dir, point.hash, &point.key, scale, report);
+        if let Some(m) = &self.metrics {
+            m.stores.inc();
+        }
     }
 
     /// Resolves `point` with cross-process arbitration: a cache hit returns
@@ -204,6 +222,19 @@ impl ResultCache {
     /// unproductive waiting the caller simulates anyway (atomic entry writes
     /// make duplicated work harmless, just not free).
     pub fn claim(&self, point: &PointKey, timeout: Duration, stale_after: Duration) -> Claim {
+        let t0 = Instant::now();
+        let claim = self.claim_inner(point, timeout, stale_after);
+        if let Some(m) = &self.metrics {
+            m.claim_wait_us.record_duration_us(t0.elapsed());
+            match &claim {
+                Claim::Hit(_) => m.hits.inc(),
+                Claim::Won(_) => m.misses.inc(),
+            }
+        }
+        claim
+    }
+
+    fn claim_inner(&self, point: &PointKey, timeout: Duration, stale_after: Duration) -> Claim {
         let deadline = Instant::now() + timeout;
         let mut rng = Rng64::new(point.hash ^ u64::from(std::process::id()));
         let mut backoff_ms: u64 = CLAIM_BACKOFF_START_MS;
@@ -244,6 +275,9 @@ impl ResultCache {
                         .is_some_and(|age| age > stale_after)
                         || fault::fires(FaultSite::ClaimSteal);
                     if stale {
+                        if let Some(m) = &self.metrics {
+                            m.steals.inc();
+                        }
                         let _ = std::fs::remove_file(&path);
                         continue;
                     }
@@ -350,6 +384,9 @@ impl ResultCache {
                 stats.evicted += 1;
                 stats.evicted_bytes += len;
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.gc_evicted.add(stats.evicted as u64);
         }
         stats
     }

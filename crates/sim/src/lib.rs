@@ -29,6 +29,7 @@ mod config;
 mod crash;
 mod error;
 pub mod fault;
+pub mod metrics;
 mod options;
 mod profile;
 mod report;
@@ -50,6 +51,9 @@ pub use crash::{default_crash_dir, write_crash_dump};
 pub use error::SimError;
 pub use fault::{FaultPlan, FaultSite};
 pub use json::Json;
+pub use metrics::{
+    CacheMetrics, Counter, Gauge, HistSnapshot, Histogram, MetricsRegistry, MetricsSnapshot,
+};
 pub use options::{ExecMode, RunOptions};
 pub use profile::{
     golden_diff, pf_source_index, PcProfile, Profiler, NUM_BUCKETS, NUM_PF_SOURCES,

@@ -33,6 +33,7 @@ use crate::config::{ConfigError, SimConfig};
 use crate::crash::{default_crash_dir, write_crash_dump};
 use crate::error::SimError;
 use crate::fnv1a64;
+use crate::metrics::CacheMetrics;
 use crate::options::{ExecMode, RunOptions};
 use crate::runner::{run_workload_traced, RunReport};
 use crate::shutdown;
@@ -162,6 +163,7 @@ pub struct Sweep {
     crash_dir: Option<PathBuf>,
     on_job: Option<fn(&JobTrace)>,
     stop: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    metrics: Option<std::sync::Arc<CacheMetrics>>,
 }
 
 impl Sweep {
@@ -180,6 +182,7 @@ impl Sweep {
             crash_dir: Some(default_crash_dir()),
             on_job: None,
             stop: None,
+            metrics: None,
         }
     }
 
@@ -262,6 +265,14 @@ impl Sweep {
     /// without touching global state).
     pub fn stop_flag(mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) -> Self {
         self.stop = Some(flag);
+        self
+    }
+
+    /// Attaches a cache instrument cluster (see [`CacheMetrics`]): cache
+    /// probes, stores and GC evictions performed by this sweep are counted
+    /// into it. Out-of-band — reports and cache bytes are unaffected.
+    pub fn metrics(mut self, metrics: std::sync::Arc<CacheMetrics>) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -382,10 +393,14 @@ impl Sweep {
         let journaled: HashSet<u64> = journal.as_ref().map(Journal::load).unwrap_or_default();
 
         // Probe the on-disk cache.
+        let cache_metrics = self.metrics.clone();
         if let Some(dir) = &self.cache_dir {
             for p in &mut points {
                 let t = Instant::now();
                 if let Some(report) = load_cached(dir, p.hash, &p.key) {
+                    if let Some(m) = &cache_metrics {
+                        m.hits.inc();
+                    }
                     let source = if journaled.contains(&p.hash) {
                         stats.journal_hits += 1;
                         JobSource::Journal
@@ -421,6 +436,9 @@ impl Sweep {
         let todo: Vec<usize> = (0..points.len())
             .filter(|&i| points[i].outcome.is_none())
             .collect();
+        if let Some(m) = &cache_metrics {
+            m.misses.add(todo.len() as u64);
+        }
         if !todo.is_empty() {
             use std::sync::atomic::{AtomicUsize, Ordering};
             let mut groups: Vec<(Kernel, Vec<usize>)> = Vec::new();
@@ -453,6 +471,7 @@ impl Sweep {
                 let points = &points;
                 let next = &next;
                 let done = &done;
+                let cache_metrics = &cache_metrics;
                 std::thread::scope(|s| {
                     for _ in 0..threads.max(1).min(groups.len()) {
                         s.spawn(move || loop {
@@ -531,6 +550,9 @@ impl Sweep {
                                     Ok(report) => {
                                         if let Some(dir) = cache_dir {
                                             store_cached(dir, p.hash, &p.key, scale, report);
+                                            if let Some(m) = cache_metrics {
+                                                m.stores.inc();
+                                            }
                                         }
                                         if let Some(j) = journal {
                                             j.append(p.hash);
@@ -586,7 +608,11 @@ impl Sweep {
         // results are stored (so the points just computed are the newest and
         // survive preferentially).
         if let (Some(dir), Some(max)) = (&self.cache_dir, self.cache_max_bytes) {
-            let gc = crate::ResultCache::new(dir).gc(max);
+            let mut store = crate::ResultCache::new(dir);
+            if let Some(m) = &cache_metrics {
+                store = store.with_metrics(m.clone());
+            }
+            let gc = store.gc(max);
             if gc.evicted > 0 {
                 eprintln!(
                     "[sweep] cache gc: evicted {} entr{} ({} bytes) to fit {max} bytes",

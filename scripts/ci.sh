@@ -345,6 +345,21 @@ if [ "$ssim" != "3" ] || [ "$sacc" != "3" ] || [ "$sjoin" != "1" ] || [ "$serr" 
   cat "$SERVE_OUT/status.json" >&2; exit 1
 fi
 
+echo "=== metrics smoke: /v1/metrics agrees exactly with client-observed counters ==="
+# The registry behind /v1/metrics and the /v1/status counters are the same
+# atomics, so the Prometheus scrape must agree exactly with what the
+# clients just observed: 3 simulations, 1 join, and (fresh cache) 0 hits.
+prom() { awk -v m="$1" '$1 == m { print $2 }' "$2"; }
+./target/release/svr_client metrics --addr "$serve_addr" > "$SERVE_OUT/metrics1.txt"
+msim=$(prom jobs_simulated_total "$SERVE_OUT/metrics1.txt")
+mjoin=$(prom jobs_joined_total "$SERVE_OUT/metrics1.txt")
+mhits=$(prom cache_hits_total "$SERVE_OUT/metrics1.txt")
+echo "scraped: jobs_simulated_total=$msim jobs_joined_total=$mjoin cache_hits_total=$mhits"
+if [ "$msim" != "$ssim" ] || [ "$mjoin" != "$sjoin" ] || [ "$mhits" != "0" ]; then
+  echo "FAIL: /v1/metrics disagrees with status (sim $msim/$ssim join $mjoin/$sjoin hits $mhits/0)" >&2
+  cat "$SERVE_OUT/metrics1.txt" >&2; exit 1
+fi
+
 # Kill the daemon mid-batch: submit fresh points and SIGKILL immediately.
 # Unfinished jobs stay journaled in serve-pending/ and a restarted daemon
 # must resume them; already-finished points resolve from the shared cache.
@@ -373,6 +388,24 @@ echo "cache entries after resume: $cache_entries (expected 7)"
 if [ "$cache_entries" -ne 7 ]; then
   echo "FAIL: expected 7 cache entries after kill+resume, got $cache_entries" >&2
   cat "$SERVE_OUT/serve2.log" >&2; exit 1
+fi
+# Warm-cache accounting: resubmitting the original 3 points must resolve
+# every one from the shared store, and the scraped deltas must match —
+# jobs_cached_total and cache_hits_total each move by exactly 3.
+./target/release/svr_client metrics --addr "$serve_addr" > "$SERVE_OUT/metrics2a.txt"
+./target/release/svr_client submit --addr "$serve_addr" --client dave --stream \
+  Camel:InO Camel:SVR16 Camel:SVR32 > "$SERVE_OUT/dave.log" 2>&1 || {
+    echo "FAIL: dave's warm-cache batch failed" >&2
+    cat "$SERVE_OUT/dave.log" >&2; exit 1; }
+./target/release/svr_client metrics --addr "$serve_addr" > "$SERVE_OUT/metrics2b.txt"
+cached_delta=$(( $(prom jobs_cached_total "$SERVE_OUT/metrics2b.txt") \
+  - $(prom jobs_cached_total "$SERVE_OUT/metrics2a.txt") ))
+hits_delta=$(( $(prom cache_hits_total "$SERVE_OUT/metrics2b.txt") \
+  - $(prom cache_hits_total "$SERVE_OUT/metrics2a.txt") ))
+echo "warm-cache deltas: jobs_cached_total=+$cached_delta cache_hits_total=+$hits_delta"
+if [ "$cached_delta" -ne 3 ] || [ "$hits_delta" -ne 3 ]; then
+  echo "FAIL: warm resubmit should move cached and cache-hit counters by 3" >&2
+  diff "$SERVE_OUT/metrics2a.txt" "$SERVE_OUT/metrics2b.txt" >&2 || true; exit 1
 fi
 # Clean lifecycle: a drain requested over the wire must exit 0.
 ./target/release/svr_client shutdown --addr "$serve_addr" > /dev/null
@@ -436,7 +469,8 @@ if [ "$rc" -ne 0 ]; then
   echo "FAIL: faulted daemon exited $rc on drain (expected 0)" >&2
   cat "$SERVE_OUT/chaos.log" >&2; exit 1
 fi
-grep -q '^injected faults fired: ' "$SERVE_OUT/chaos.log" || {
+# The drain report is a structured log line now: {"event":"faults_fired",...}.
+grep -q '"event":"faults_fired"' "$SERVE_OUT/chaos.log" || {
   echo "FAIL: chaos daemon reported no fired faults (schedule never armed?)" >&2
   cat "$SERVE_OUT/chaos.log" >&2; exit 1; }
 # A clean run never creates serve-pending leftovers or a quarantine dir at
@@ -452,8 +486,21 @@ if [ "$litter" -ne 0 ] || [ "$pending" -ne 0 ] || [ "$quarantined" -ne 0 ]; then
   echo "FAIL: chaos drain left residue (claim/tmp=$litter pending=$pending quarantine=$quarantined)" >&2
   ls -la "$CHAOS_CACHE" >&2; exit 1
 fi
-echo "chaos smoke: $(sed -n 's/^injected faults fired: //p' "$SERVE_OUT/chaos.log")"
+echo "chaos smoke: $(grep -o '"event":"faults_fired".*' "$SERVE_OUT/chaos.log" | head -1)"
 echo "chaos smoke: exactly-once, clean drain and zero residue under injected faults"
+
+echo "=== loadgen smoke: concurrent clients, one simulation per unique point ==="
+# Tiny self-hosted run: 3 clients race over the same 3 points against a
+# fresh cache; svr_loadgen exits nonzero if the scraped counter deltas show
+# anything but exactly one simulation per unique point and zero errors.
+./target/release/svr_loadgen --clients 3 --points 3 \
+  --out "$SERVE_OUT/serve_load.json" > "$SERVE_OUT/loadgen.log" 2>&1 || {
+    echo "FAIL: svr_loadgen reported a dedup violation or errored" >&2
+    cat "$SERVE_OUT/loadgen.log" >&2; exit 1; }
+grep -q '"dedup_ok": true' "$SERVE_OUT/serve_load.json" || {
+  echo "FAIL: serve_load.json missing dedup_ok=true" >&2
+  cat "$SERVE_OUT/serve_load.json" >&2; exit 1; }
+grep 'loadgen:' "$SERVE_OUT/loadgen.log"
 
 echo "=== panic-site budget: no new unwrap/expect/panic in library code ==="
 # Library entry points (runner, sweep, parser, assembler) are Result-first as
